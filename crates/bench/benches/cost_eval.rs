@@ -1,0 +1,36 @@
+//! Criterion micro-benchmarks of schedule validation and cost evaluation — the inner
+//! loop of the holistic local search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
+use mbsp_model::{async_cost, sync_cost, Architecture, MbspInstance};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+
+fn bench_cost_eval(c: &mut Criterion) {
+    let named = mbsp_gen::tiny_dataset(42).remove(8); // CG_N4_K1, the largest tiny DAG
+    let instance = MbspInstance::with_cache_factor(named.dag, Architecture::paper_default(0.0), 3.0);
+    let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+    let schedule = TwoStageScheduler::new().schedule(
+        instance.dag(),
+        instance.arch(),
+        &bsp,
+        &ClairvoyantPolicy::new(),
+    );
+    let mut group = c.benchmark_group("cost_and_validation");
+    group.bench_function("validate", |b| {
+        b.iter(|| schedule.validate(instance.dag(), instance.arch()).unwrap())
+    });
+    group.bench_function("sync_cost", |b| {
+        b.iter(|| sync_cost(&schedule, instance.dag(), instance.arch()))
+    });
+    group.bench_function("async_cost", |b| {
+        b.iter(|| async_cost(&schedule, instance.dag(), instance.arch()))
+    });
+    group.bench_function("statistics", |b| {
+        b.iter(|| schedule.statistics(instance.dag(), instance.arch()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_eval);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the LP/MIP solver substrate and the acyclic
+//! bipartitioning ILP (the pieces that replace COPT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lp_solver::{BranchBoundSolver, ConstraintSense, LinExpr, LpProblem, SolverLimits};
+use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+use mbsp_ilp::{bipartition, BipartitionConfig};
+use std::time::Duration;
+
+fn knapsack(n: usize) -> LpProblem {
+    let mut p = LpProblem::new();
+    let mut expr = LinExpr::new();
+    for i in 0..n {
+        let x = p.add_binary(format!("x{i}"), -((i % 7 + 1) as f64));
+        expr.add(x, ((i % 5) + 1) as f64);
+    }
+    p.add_constraint("cap", expr, ConstraintSense::LessEqual, (n as f64) / 2.0);
+    p
+}
+
+fn bench_lp_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solver");
+    let problem = knapsack(14);
+    group.bench_function("lp_relaxation", |b| b.iter(|| lp_solver::solve_lp(&problem)));
+    group.bench_function("branch_and_bound_knapsack14", |b| {
+        b.iter(|| {
+            BranchBoundSolver::with_limits(SolverLimits {
+                max_nodes: 500,
+                time_limit: Duration::from_secs(5),
+                relative_gap: 1e-6,
+            })
+            .solve(&problem)
+        })
+    });
+    group.finish();
+}
+
+fn bench_bipartition(c: &mut Criterion) {
+    let dag = random_layered_dag(
+        &RandomDagConfig { layers: 5, width: 6, ..Default::default() },
+        11,
+    );
+    let config = BipartitionConfig {
+        limits: SolverLimits {
+            max_nodes: 200,
+            time_limit: Duration::from_secs(2),
+            relative_gap: 1e-6,
+        },
+        ..Default::default()
+    };
+    c.bench_function("acyclic_bipartition_30_nodes", |b| b.iter(|| bipartition(&dag, &config)));
+}
+
+criterion_group!(benches, bench_lp_solver, bench_bipartition);
+criterion_main!(benches);

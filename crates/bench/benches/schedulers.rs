@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the scheduling pipelines: the greedy BSP scheduler,
+//! the Cilk work-stealing simulation, the two-stage conversion and the holistic
+//! post-optimisation pass, all on a representative tiny-dataset instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbsp_cache::{ClairvoyantPolicy, LruPolicy, TwoStageScheduler};
+use mbsp_ilp::improver::{canonical_bsp, post_optimize};
+use mbsp_model::{Architecture, CostModel, MbspInstance, ProcId};
+use mbsp_sched::{BspScheduler, CilkScheduler, GreedyBspScheduler};
+
+fn setup() -> MbspInstance {
+    let named = mbsp_gen::tiny_dataset(42).remove(5); // spmv_N10
+    MbspInstance::with_cache_factor(named.dag, Architecture::paper_default(0.0), 3.0)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let instance = setup();
+    let mut group = c.benchmark_group("bsp_schedulers");
+    group.bench_function("greedy_bsp", |b| {
+        b.iter(|| GreedyBspScheduler::new().schedule(instance.dag(), instance.arch()))
+    });
+    group.bench_function("cilk_work_stealing", |b| {
+        b.iter(|| CilkScheduler::new().schedule(instance.dag(), instance.arch()))
+    });
+    group.finish();
+}
+
+fn bench_two_stage(c: &mut Criterion) {
+    let instance = setup();
+    let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+    let converter = TwoStageScheduler::new();
+    let mut group = c.benchmark_group("two_stage_conversion");
+    group.bench_function("clairvoyant", |b| {
+        b.iter(|| converter.schedule(instance.dag(), instance.arch(), &bsp, &ClairvoyantPolicy::new()))
+    });
+    group.bench_function("lru", |b| {
+        b.iter(|| converter.schedule(instance.dag(), instance.arch(), &bsp, &LruPolicy::new()))
+    });
+    group.finish();
+}
+
+fn bench_holistic_components(c: &mut Criterion) {
+    let instance = setup();
+    let procs: Vec<ProcId> = instance
+        .dag()
+        .nodes()
+        .map(|v| ProcId::new(v.index() % instance.arch().processors))
+        .collect();
+    let mut group = c.benchmark_group("holistic_components");
+    group.bench_function("canonical_bsp", |b| {
+        b.iter(|| canonical_bsp(instance.dag(), instance.arch(), &procs))
+    });
+    let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+    let schedule = TwoStageScheduler::new().schedule(
+        instance.dag(),
+        instance.arch(),
+        &bsp,
+        &ClairvoyantPolicy::new(),
+    );
+    group.bench_function("post_optimize", |b| {
+        b.iter(|| {
+            let mut s = schedule.clone();
+            post_optimize(&mut s, instance.dag(), instance.arch(), CostModel::Synchronous, &[]);
+            s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_two_stage, bench_holistic_components);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 4: the distribution of per-instance cost-reduction ratios (holistic /
+//! baseline) for the base setting and the four variations shown in the paper
+//! (`r = 5·r₀`, `P = 8`, `L = 0`, asynchronous). Prints a textual box-plot summary
+//! (min / quartiles / max) per setting, which is the information the figure plots.
+
+use mbsp_bench::{run_tiny_comparison, ExperimentParams};
+use mbsp_model::CostModel;
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+fn main() {
+    let base = ExperimentParams::base();
+    let settings: Vec<(&str, ExperimentParams)> = vec![
+        ("base", base),
+        ("r = 5·r0", ExperimentParams { cache_factor: 5.0, ..base }),
+        ("P = 8", ExperimentParams { processors: 8, ..base }),
+        ("L = 0", ExperimentParams { latency: 0.0, ..base }),
+        (
+            "async",
+            ExperimentParams { latency: 0.0, cost_model: CostModel::Asynchronous, ..base },
+        ),
+    ];
+    println!("## Figure 4 — distribution of cost-reduction ratios per setting\n");
+    println!("| setting | min | q1 | median | q3 | max | geo-mean |");
+    println!("|---|---:|---:|---:|---:|---:|---:|");
+    for (name, params) in settings {
+        let rows = run_tiny_comparison(&params);
+        let mut ratios: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let geo = mbsp_bench::geometric_mean_ratio(&rows);
+        println!(
+            "| {name} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            quantile(&ratios, 0.0),
+            quantile(&ratios, 0.25),
+            quantile(&ratios, 0.5),
+            quantile(&ratios, 0.75),
+            quantile(&ratios, 1.0),
+            geo
+        );
+    }
+}

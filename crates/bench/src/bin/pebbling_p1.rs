@@ -1,0 +1,39 @@
+//! Section 7.2, single-processor experiment: with `P = 1` the problem is the
+//! red–blue pebble game with compute costs. The baseline is a DFS ordering with the
+//! clairvoyant eviction policy; the holistic scheduler rarely improves on it (the
+//! paper reports improvements on only 2 of 15 instances), confirming that the
+//! strength of the holistic approach lies in coupling *multiprocessor* scheduling
+//! with memory management.
+
+use mbsp_bench::{dfs_schedule, evaluate, ExperimentParams};
+use mbsp_ilp::HolisticScheduler;
+use mbsp_sched::{BspScheduler, DfsScheduler};
+
+fn main() {
+    let params = ExperimentParams { processors: 1, ..ExperimentParams::base() };
+    let holistic = HolisticScheduler::with_config(params.holistic_config());
+    println!("## P = 1 (red–blue pebbling with compute costs), r = 3·r0\n");
+    println!("| Instance | DFS + clairvoyant | holistic | improved? |");
+    println!("|---|---:|---:|:--:|");
+    let mut improved_count = 0usize;
+    let mut total = 0usize;
+    for named in mbsp_gen::tiny_dataset(params.seed) {
+        let instance = params.instance(&named);
+        let base = evaluate(&instance, &dfs_schedule(&instance), &params);
+        let bsp = DfsScheduler::new().schedule(instance.dag(), instance.arch());
+        let ours = evaluate(&instance, &holistic.schedule(&instance, &bsp), &params);
+        let improved = ours < base - 1e-9;
+        if improved {
+            improved_count += 1;
+        }
+        total += 1;
+        println!(
+            "| {} | {:.0} | {:.0} | {} |",
+            named.name,
+            base,
+            ours,
+            if improved { "yes" } else { "no" }
+        );
+    }
+    println!("\nimproved on {improved_count} of {total} instances");
+}

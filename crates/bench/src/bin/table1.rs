@@ -1,0 +1,14 @@
+//! Table 1: synchronous MBSP cost of the two-stage baseline vs. the holistic
+//! (ILP-style) scheduler on every instance of the tiny dataset, with the paper's
+//! base parameters (`P = 4`, `r = 3·r₀`, `g = 1`, `L = 10`).
+
+use mbsp_bench::{render_table, run_tiny_comparison, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams::base();
+    let rows = run_tiny_comparison(&params);
+    println!(
+        "{}",
+        render_table("Table 1 — baseline vs holistic scheduler (P=4, r=3·r0, g=1, L=10)", &rows)
+    );
+}

@@ -1,0 +1,13 @@
+//! Table 2: divide-and-conquer scheduler vs. the two-stage baseline on the
+//! 10-instance sample of the larger ("small") dataset, with `r = 5·r₀`.
+
+use mbsp_bench::{render_table, run_small_dataset_comparison, ExperimentParams};
+
+fn main() {
+    let params = ExperimentParams { cache_factor: 5.0, ..ExperimentParams::base() };
+    let rows = run_small_dataset_comparison(&params);
+    println!(
+        "{}",
+        render_table("Table 2 — baseline vs divide-and-conquer (larger DAGs, r=5·r0)", &rows)
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 3: the five-column comparison on the tiny dataset — main baseline
+//! (greedy BSP + clairvoyant), our holistic scheduler, the weak practical baseline
+//! (Cilk + LRU), the stronger BSP-optimising baseline, and the holistic scheduler
+//! seeded with that stronger baseline.
+
+use mbsp_bench::{baseline_schedule, cilk_lru_schedule, evaluate, ExperimentParams};
+use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
+use mbsp_ilp::{BspIlpScheduler, HolisticScheduler};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+
+fn main() {
+    let params = ExperimentParams::base();
+    let holistic = HolisticScheduler::with_config(params.holistic_config());
+    let converter = TwoStageScheduler::new();
+    let policy = ClairvoyantPolicy::new();
+
+    println!("## Table 3 — all baselines and holistic variants (P=4, r=3·r0, L=10)\n");
+    println!("| Instance | Baseline | Our ILP | Cilk+LRU | BSP-ILP base | BSP-ILP + our ILP |");
+    println!("|---|---:|---:|---:|---:|---:|");
+    let mut ratios: Vec<(f64, f64, f64, f64)> = Vec::new();
+    for named in mbsp_gen::tiny_dataset(params.seed) {
+        let instance = params.instance(&named);
+        let base = evaluate(&instance, &baseline_schedule(&instance), &params);
+
+        let greedy_bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+        let ours = evaluate(&instance, &holistic.schedule(&instance, &greedy_bsp), &params);
+
+        let cilk = evaluate(&instance, &cilk_lru_schedule(&instance), &params);
+
+        let bsp_ilp = BspIlpScheduler::new().schedule(instance.dag(), instance.arch());
+        let bsp_ilp_base = evaluate(
+            &instance,
+            &converter.schedule(instance.dag(), instance.arch(), &bsp_ilp, &policy),
+            &params,
+        );
+        let bsp_ilp_ours = evaluate(&instance, &holistic.schedule(&instance, &bsp_ilp), &params);
+
+        println!(
+            "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} |",
+            named.name, base, ours, cilk, bsp_ilp_base, bsp_ilp_ours
+        );
+        ratios.push((ours / base, ours / cilk, bsp_ilp_ours / bsp_ilp_base, bsp_ilp_base / base));
+    }
+    let geo = |select: &dyn Fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
+        (ratios.iter().map(|r| select(r).ln()).sum::<f64>() / ratios.len() as f64).exp()
+    };
+    println!();
+    println!("geo-mean our-ILP / baseline:          {:.2}x", geo(&|r| r.0));
+    println!("geo-mean our-ILP / (Cilk+LRU):        {:.2}x", geo(&|r| r.1));
+    println!("geo-mean (BSP-ILP + ILP) / BSP-ILP:   {:.2}x", geo(&|r| r.2));
+    println!("geo-mean BSP-ILP base / baseline:     {:.2}x", geo(&|r| r.3));
+}

@@ -1,0 +1,50 @@
+//! Table 4: baseline / holistic costs under alternative parameter settings —
+//! `r = 5·r₀`, `r = r₀`, `P = 8`, `L = 0`, and the asynchronous cost model.
+
+use mbsp_bench::{geometric_mean_ratio, run_tiny_comparison, ExperimentParams};
+use mbsp_model::CostModel;
+
+fn main() {
+    let base = ExperimentParams::base();
+    let settings: Vec<(&str, ExperimentParams)> = vec![
+        ("r = 5·r0", ExperimentParams { cache_factor: 5.0, ..base }),
+        ("r = r0", ExperimentParams { cache_factor: 1.0, ..base }),
+        ("P = 8", ExperimentParams { processors: 8, ..base }),
+        ("L = 0", ExperimentParams { latency: 0.0, ..base }),
+        (
+            "async",
+            ExperimentParams {
+                latency: 0.0,
+                cost_model: CostModel::Asynchronous,
+                ..base
+            },
+        ),
+    ];
+    let mut tables = Vec::new();
+    for (name, params) in &settings {
+        tables.push((name, run_tiny_comparison(params)));
+    }
+    println!("## Table 4 — baseline / holistic cost in alternative settings\n");
+    print!("| Instance |");
+    for (name, _) in &tables {
+        print!(" {name} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in &tables {
+        print!("---:|");
+    }
+    println!();
+    let num_instances = tables[0].1.len();
+    for i in 0..num_instances {
+        print!("| {} |", tables[0].1[i].instance);
+        for (_, rows) in &tables {
+            print!(" {:.0} / {:.0} |", rows[i].baseline, rows[i].ilp);
+        }
+        println!();
+    }
+    println!();
+    for (name, rows) in &tables {
+        println!("{name}: geometric-mean cost reduction {:.2}x", geometric_mean_ratio(rows));
+    }
+}

@@ -1,0 +1,72 @@
+//! Theorem 4.1: on the two-group / two-chain construction, the two-stage approach
+//! (optimal BSP schedule first, cache policy second) pays `Θ(d·m)` I/O, whereas the
+//! holistic assignment (children of `H1` on one processor, children of `H2` on the
+//! other) pays only `Θ(m + d)`. The binary evaluates both schedules for growing `d`
+//! and prints the cost ratio, which grows linearly as the theorem states.
+
+use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
+use mbsp_gen::constructions::theorem41_construction;
+use mbsp_ilp::improver::{canonical_bsp, post_optimize};
+use mbsp_model::{sync_cost, Architecture, CostModel, ProcId};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+
+fn main() {
+    println!("## Theorem 4.1 — two-stage vs holistic on the chain/group construction\n");
+    println!("| d | m | two-stage cost | holistic cost | ratio |");
+    println!("|---:|---:|---:|---:|---:|");
+    for d in [4usize, 8, 12, 16] {
+        let m = 4 * d;
+        let (dag, groups) = theorem41_construction(d, m);
+        // r = d + 2, P = 2, g = 1, L = 0 as in the proof.
+        let arch = Architecture::new(2, d as f64 + 2.0, 1.0, 0.0);
+        let converter = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+
+        // Two-stage: the BSP-optimal assignment puts one chain on each processor.
+        let two_stage_bsp = {
+            let mut procs = vec![ProcId::new(0); dag.num_nodes()];
+            for &v in &groups.chain_u {
+                procs[v.index()] = ProcId::new(1);
+            }
+            canonical_bsp(&dag, &arch, &procs)
+        };
+        let two_stage = converter.schedule(&dag, &arch, &two_stage_bsp, &policy);
+        let two_stage_cost = sync_cost(&two_stage, &dag, &arch).total;
+
+        // Holistic: all children of H1 on processor 0, all children of H2 on
+        // processor 1 (the optimal MBSP strategy of the proof).
+        let holistic_bsp = {
+            let mut procs = vec![ProcId::new(0); dag.num_nodes()];
+            for (i, (&u, &v)) in groups.chain_u.iter().zip(&groups.chain_v).enumerate() {
+                // u_i reads H1 for odd (i+1), H2 for even; v_i the opposite.
+                let (pu, pv) = if (i + 1) % 2 == 1 {
+                    (ProcId::new(0), ProcId::new(1))
+                } else {
+                    (ProcId::new(1), ProcId::new(0))
+                };
+                procs[u.index()] = pu;
+                procs[v.index()] = pv;
+            }
+            canonical_bsp(&dag, &arch, &procs)
+        };
+        let mut holistic = converter.schedule(&dag, &arch, &holistic_bsp, &policy);
+        post_optimize(&mut holistic, &dag, &arch, CostModel::Synchronous, &[]);
+        holistic.validate(&dag, &arch).unwrap();
+        two_stage.validate(&dag, &arch).unwrap();
+        let holistic_cost = sync_cost(&holistic, &dag, &arch).total;
+
+        println!(
+            "| {d} | {m} | {two_stage_cost:.0} | {holistic_cost:.0} | {:.2} |",
+            two_stage_cost / holistic_cost
+        );
+    }
+    // Also show what the generic pipeline (greedy BSP + clairvoyant) does.
+    let (dag, _) = theorem41_construction(8, 32);
+    let arch = Architecture::new(2, 10.0, 1.0, 0.0);
+    let bsp = GreedyBspScheduler::new().schedule(&dag, &arch);
+    let schedule = TwoStageScheduler::new().schedule(&dag, &arch, &bsp, &ClairvoyantPolicy::new());
+    println!(
+        "\ngreedy-BSP + clairvoyant on (d=8, m=32): cost {:.0}",
+        sync_cost(&schedule, &dag, &arch).total
+    );
+}

@@ -1,0 +1,268 @@
+//! # mbsp-bench — experiment harness regenerating the paper's tables and figures
+//!
+//! Every table and figure of the evaluation section has a dedicated binary (see the
+//! crate's `src/bin/` directory and EXPERIMENTS.md); this library holds the shared
+//! machinery: instance preparation, the scheduler pipelines being compared, cost
+//! evaluation, and report formatting (markdown tables and geometric means, the
+//! paper's headline metric).
+//!
+//! The schedulers compared are
+//!
+//! * **baseline** — greedy BSP scheduling (BSPg-style) + clairvoyant eviction (the
+//!   paper's main two-stage baseline);
+//! * **ilp** — the holistic scheduler seeded with that baseline (the paper's
+//!   ILP-based scheduler; see DESIGN.md, substitution 1);
+//! * **cilk+lru** — the practical baseline (work stealing + LRU);
+//! * **bsp-ilp** — the stronger two-stage baseline whose first stage optimises the
+//!   pure BSP cost;
+//! * **dnc** — the divide-and-conquer scheduler for the larger dataset.
+//!
+//! Wall-clock budgets are deliberately small so that the whole suite runs on a
+//! laptop; set the `MBSP_BENCH_SECONDS` environment variable to give the holistic
+//! search more time per instance (the paper gives COPT 30–60 minutes).
+
+use mbsp_cache::{ClairvoyantPolicy, EvictionPolicy, LruPolicy, TwoStageScheduler};
+use mbsp_gen::NamedInstance;
+use mbsp_ilp::{DivideAndConquerConfig, DivideAndConquerScheduler, HolisticConfig, HolisticScheduler};
+use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule};
+use mbsp_sched::{BspScheduler, CilkScheduler, DfsScheduler, GreedyBspScheduler};
+use serde::Serialize;
+use std::time::Duration;
+
+/// Parameters of one experiment configuration (a column of Table 4 / Figure 4).
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentParams {
+    /// Number of processors.
+    pub processors: usize,
+    /// Cache size as a multiple of the instance's minimal feasible cache `r₀`.
+    pub cache_factor: f64,
+    /// Communication gap `g`.
+    pub g: f64,
+    /// Synchronisation cost `L`.
+    pub latency: f64,
+    /// Cost model used for evaluation and optimisation.
+    pub cost_model: CostModel,
+    /// Time budget per instance for the holistic search.
+    pub time_limit: Duration,
+    /// Seed of the dataset and the search.
+    pub seed: u64,
+}
+
+impl ExperimentParams {
+    /// The paper's base configuration: `P = 4`, `r = 3·r₀`, `g = 1`, `L = 10`,
+    /// synchronous cost.
+    pub fn base() -> Self {
+        ExperimentParams {
+            processors: 4,
+            cache_factor: 3.0,
+            g: 1.0,
+            latency: 10.0,
+            cost_model: CostModel::Synchronous,
+            time_limit: default_time_limit(),
+            seed: 42,
+        }
+    }
+
+    /// Builds the [`MbspInstance`] of a named benchmark DAG under these parameters.
+    pub fn instance(&self, named: &NamedInstance) -> MbspInstance {
+        let arch = Architecture::new(self.processors, 0.0, self.g, self.latency);
+        MbspInstance::with_cache_factor(named.dag.clone(), arch, self.cache_factor)
+    }
+
+    /// The holistic-scheduler configuration corresponding to these parameters.
+    pub fn holistic_config(&self) -> HolisticConfig {
+        HolisticConfig {
+            cost_model: self.cost_model,
+            time_limit: self.time_limit,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-instance time budget for the holistic search, overridable through the
+/// `MBSP_BENCH_SECONDS` environment variable.
+pub fn default_time_limit() -> Duration {
+    let seconds = std::env::var("MBSP_BENCH_SECONDS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(3.0);
+    Duration::from_secs_f64(seconds.max(0.1))
+}
+
+/// One row of a comparison table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonRow {
+    /// Instance name.
+    pub instance: String,
+    /// Cost of the two-stage baseline.
+    pub baseline: f64,
+    /// Cost of the holistic (ILP-style) scheduler.
+    pub ilp: f64,
+    /// `ilp / baseline` cost-reduction ratio.
+    pub ratio: f64,
+}
+
+/// Schedules an instance with the main two-stage baseline (greedy BSP +
+/// clairvoyant eviction) and returns the schedule.
+pub fn baseline_schedule(instance: &MbspInstance) -> MbspSchedule {
+    two_stage_schedule(instance, &GreedyBspScheduler::new(), &ClairvoyantPolicy::new())
+}
+
+/// Schedules an instance with an arbitrary two-stage pipeline.
+pub fn two_stage_schedule(
+    instance: &MbspInstance,
+    scheduler: &dyn BspScheduler,
+    policy: &dyn EvictionPolicy,
+) -> MbspSchedule {
+    let bsp = scheduler.schedule(instance.dag(), instance.arch());
+    TwoStageScheduler::new().schedule(instance.dag(), instance.arch(), &bsp, policy)
+}
+
+/// Schedules an instance with the holistic scheduler seeded by the main baseline.
+pub fn holistic_schedule(instance: &MbspInstance, params: &ExperimentParams) -> MbspSchedule {
+    let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+    HolisticScheduler::with_config(params.holistic_config()).schedule(instance, &bsp)
+}
+
+/// Evaluates a schedule under the experiment's cost model, checking validity first.
+pub fn evaluate(instance: &MbspInstance, schedule: &MbspSchedule, params: &ExperimentParams) -> f64 {
+    schedule
+        .validate(instance.dag(), instance.arch())
+        .unwrap_or_else(|e| panic!("{}: invalid schedule: {e}", instance.name()));
+    params.cost_model.evaluate(schedule, instance.dag(), instance.arch())
+}
+
+/// Runs the baseline-vs-holistic comparison over the tiny dataset with the given
+/// parameters (the core of Tables 1, 3, 4 and Figure 4).
+pub fn run_tiny_comparison(params: &ExperimentParams) -> Vec<ComparisonRow> {
+    mbsp_gen::tiny_dataset(params.seed)
+        .iter()
+        .map(|named| {
+            let instance = params.instance(named);
+            let base = evaluate(&instance, &baseline_schedule(&instance), params);
+            let ilp = evaluate(&instance, &holistic_schedule(&instance, params), params);
+            ComparisonRow {
+                instance: named.name.clone(),
+                baseline: base,
+                ilp,
+                ratio: ilp / base,
+            }
+        })
+        .collect()
+}
+
+/// Runs the divide-and-conquer comparison over the small-dataset sample (Table 2).
+pub fn run_small_dataset_comparison(params: &ExperimentParams) -> Vec<ComparisonRow> {
+    let dnc = DivideAndConquerScheduler::with_config(DivideAndConquerConfig {
+        cost_model: params.cost_model,
+        per_part: HolisticConfig {
+            cost_model: params.cost_model,
+            time_limit: params.time_limit,
+            seed: params.seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    mbsp_gen::small_dataset_sample(params.seed)
+        .iter()
+        .map(|named| {
+            let instance = params.instance(named);
+            let base = evaluate(&instance, &baseline_schedule(&instance), params);
+            let schedule = dnc.schedule(&instance);
+            let ilp = evaluate(&instance, &schedule, params);
+            ComparisonRow {
+                instance: named.name.clone(),
+                baseline: base,
+                ilp,
+                ratio: ilp / base,
+            }
+        })
+        .collect()
+}
+
+/// The practical baseline of Table 3: Cilk work stealing + LRU eviction.
+pub fn cilk_lru_schedule(instance: &MbspInstance) -> MbspSchedule {
+    two_stage_schedule(instance, &CilkScheduler::new(), &LruPolicy::new())
+}
+
+/// The single-processor pebbling baseline: DFS order + clairvoyant eviction.
+pub fn dfs_schedule(instance: &MbspInstance) -> MbspSchedule {
+    two_stage_schedule(instance, &DfsScheduler::new(), &ClairvoyantPolicy::new())
+}
+
+/// Geometric mean of the cost-reduction ratios of a table.
+pub fn geometric_mean_ratio(rows: &[ComparisonRow]) -> f64 {
+    if rows.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = rows.iter().map(|r| r.ratio.max(1e-12).ln()).sum();
+    (log_sum / rows.len() as f64).exp()
+}
+
+/// Renders a comparison table in the markdown layout used by EXPERIMENTS.md.
+pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}\n");
+    let _ = writeln!(out, "| Instance | Baseline | ILP (holistic) | ratio |");
+    let _ = writeln!(out, "|---|---:|---:|---:|");
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {:.0} | {:.0} | {:.2} |",
+            row.instance, row.baseline, row.ilp, row.ratio
+        );
+    }
+    let _ = writeln!(out, "\ngeometric-mean cost reduction: {:.2}x", geometric_mean_ratio(rows));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> ExperimentParams {
+        ExperimentParams {
+            time_limit: Duration::from_millis(300),
+            ..ExperimentParams::base()
+        }
+    }
+
+    #[test]
+    fn baseline_and_holistic_run_on_one_instance() {
+        let params = quick_params();
+        let named = &mbsp_gen::tiny_dataset(params.seed)[3];
+        let instance = params.instance(named);
+        let base = evaluate(&instance, &baseline_schedule(&instance), &params);
+        let ilp = evaluate(&instance, &holistic_schedule(&instance, &params), &params);
+        assert!(base > 0.0);
+        assert!(ilp <= base + 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_and_table_rendering() {
+        let rows = vec![
+            ComparisonRow { instance: "a".into(), baseline: 100.0, ilp: 50.0, ratio: 0.5 },
+            ComparisonRow { instance: "b".into(), baseline: 100.0, ilp: 200.0, ratio: 2.0 },
+        ];
+        assert!((geometric_mean_ratio(&rows) - 1.0).abs() < 1e-9);
+        let table = render_table("Test", &rows);
+        assert!(table.contains("| a | 100 | 50 | 0.50 |"));
+        assert!(table.contains("geometric-mean"));
+        assert_eq!(geometric_mean_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn cilk_lru_and_dfs_pipelines_produce_valid_schedules() {
+        let params = quick_params();
+        let named = &mbsp_gen::tiny_dataset(params.seed)[0];
+        let instance = params.instance(named);
+        let cilk = cilk_lru_schedule(&instance);
+        cilk.validate(instance.dag(), instance.arch()).unwrap();
+        let single = ExperimentParams { processors: 1, ..params };
+        let instance1 = single.instance(named);
+        let dfs = dfs_schedule(&instance1);
+        dfs.validate(instance1.dag(), instance1.arch()).unwrap();
+    }
+}

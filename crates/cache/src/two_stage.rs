@@ -1,0 +1,574 @@
+//! The two-stage BSP → MBSP conversion (the paper's baseline scheduler).
+//!
+//! Given a memory-oblivious BSP schedule (which processor computes which node, and
+//! in which order) and an eviction policy, [`TwoStageScheduler`] produces a valid
+//! MBSP schedule by simulating the per-processor caches:
+//!
+//! 1. every processor executes a **maximal segment** of its remaining compute
+//!    sequence that needs no new I/O (missing inputs or insufficient cache space end
+//!    the segment) — this is one MBSP compute phase;
+//! 2. values computed in the segment that are needed by another processor, are
+//!    sinks, or are about to be evicted while still needed, are **saved**;
+//! 3. the eviction policy selects victims to **delete** until the inputs of the next
+//!    segment fit;
+//! 4. the missing inputs of the next segment are **loaded**, greedily prefetching
+//!    the inputs of further compute steps while space remains.
+//!
+//! Steps 1–4 form one MBSP superstep; the loop repeats until every processor has
+//! executed its whole sequence. The conversion never recomputes a node (the BSP
+//! stage assigns each node exactly once), exactly like the baseline in the paper.
+
+use crate::policy::{CandidateVictim, EvictionPolicy};
+use mbsp_dag::{CompDag, NodeId};
+use mbsp_model::{Architecture, ComputePhaseStep, MbspSchedule, ProcId};
+use mbsp_sched::BspSchedulingResult;
+
+/// Configuration of the two-stage converter.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoStageConfig {
+    /// If true, the load phase prefetches the inputs of further compute steps while
+    /// cache space remains (fewer supersteps, same I/O volume). If false, only the
+    /// inputs of the immediately next compute step are loaded.
+    pub prefetch: bool,
+}
+
+impl Default for TwoStageConfig {
+    fn default() -> Self {
+        TwoStageConfig { prefetch: true }
+    }
+}
+
+/// The two-stage (BSP schedule + cache policy) MBSP scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoStageScheduler {
+    config: TwoStageConfig,
+}
+
+impl TwoStageScheduler {
+    /// Creates a converter with the default configuration.
+    pub fn new() -> Self {
+        TwoStageScheduler { config: TwoStageConfig::default() }
+    }
+
+    /// Creates a converter with an explicit configuration.
+    pub fn with_config(config: TwoStageConfig) -> Self {
+        TwoStageScheduler { config }
+    }
+
+    /// Converts a BSP scheduling result into a valid MBSP schedule using `policy`
+    /// for cache eviction.
+    pub fn schedule(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        bsp: &BspSchedulingResult,
+        policy: &dyn EvictionPolicy,
+    ) -> MbspSchedule {
+        self.schedule_with_required_outputs(dag, arch, bsp, policy, &[])
+    }
+
+    /// Like [`TwoStageScheduler::schedule`], but additionally guarantees that every
+    /// node in `required_outputs` is saved to slow memory (used by the
+    /// divide-and-conquer scheduler for values needed by later sub-problems).
+    pub fn schedule_with_required_outputs(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        bsp: &BspSchedulingResult,
+        policy: &dyn EvictionPolicy,
+        required_outputs: &[NodeId],
+    ) -> MbspSchedule {
+        Converter::new(dag, arch, bsp, policy, self.config, required_outputs).run()
+    }
+}
+
+/// Internal cache-simulation state of the converter.
+struct Converter<'a> {
+    dag: &'a CompDag,
+    arch: &'a Architecture,
+    policy: &'a dyn EvictionPolicy,
+    config: TwoStageConfig,
+    /// Per processor: the full ordered sequence of nodes it computes.
+    seq: Vec<Vec<NodeId>>,
+    /// Per processor: current position in `seq`.
+    cursor: Vec<usize>,
+    /// Per processor and node: sorted positions in `seq[p]` where the node is used
+    /// as an input of a compute step.
+    use_positions: Vec<Vec<Vec<usize>>>,
+    /// Per processor and node: index of the first entry of `use_positions` that has
+    /// not been passed yet.
+    use_ptr: Vec<Vec<usize>>,
+    /// Per processor: which nodes are currently cached.
+    cached: Vec<Vec<bool>>,
+    /// Per processor: current cache usage.
+    used: Vec<f64>,
+    /// Per processor and node: logical time of the last access (for LRU).
+    last_use: Vec<Vec<usize>>,
+    /// Per processor: logical clock incremented on every compute step.
+    clock: Vec<usize>,
+    /// Which nodes currently have a blue pebble.
+    blue: Vec<bool>,
+    /// Number of not-yet-executed compute steps (on any processor) that read a node.
+    remaining_uses: Vec<usize>,
+    /// Whether the node must eventually reside in slow memory (sink of the DAG).
+    is_required_output: Vec<bool>,
+}
+
+impl<'a> Converter<'a> {
+    fn new(
+        dag: &'a CompDag,
+        arch: &'a Architecture,
+        bsp: &'a BspSchedulingResult,
+        policy: &'a dyn EvictionPolicy,
+        config: TwoStageConfig,
+        required_outputs: &[NodeId],
+    ) -> Self {
+        let n = dag.num_nodes();
+        let p = arch.processors;
+        // Global order position of every node (from the scheduler's order hint).
+        let mut order_pos = vec![usize::MAX; n];
+        for (i, &v) in bsp.order.iter().enumerate() {
+            order_pos[v.index()] = i;
+        }
+        // Build the per-processor compute sequences: nodes grouped by BSP superstep,
+        // ordered by the order hint; source nodes are not computed.
+        let mut seq: Vec<Vec<NodeId>> = vec![Vec::new(); p];
+        let mut keyed: Vec<(usize, usize, ProcId, NodeId)> = dag
+            .nodes()
+            .filter(|&v| !dag.is_source(v))
+            .map(|v| {
+                let proc = bsp.schedule.proc_of(v);
+                let step = bsp.schedule.superstep_of(v);
+                (step, order_pos[v.index()], proc, v)
+            })
+            .collect();
+        keyed.sort_unstable();
+        for (_, _, proc, v) in keyed {
+            seq[proc.index()].push(v);
+        }
+        // Input-use positions per processor.
+        let mut use_positions = vec![vec![Vec::new(); n]; p];
+        for (pi, s) in seq.iter().enumerate() {
+            for (pos, &v) in s.iter().enumerate() {
+                for &u in self_parents(dag, v) {
+                    use_positions[pi][u.index()].push(pos);
+                }
+            }
+        }
+        // Remaining global use counts.
+        let mut remaining_uses = vec![0usize; n];
+        for s in &seq {
+            for &v in s {
+                for &u in dag.parents(v) {
+                    remaining_uses[u.index()] += 1;
+                }
+            }
+        }
+        let mut blue = vec![false; n];
+        for v in dag.sources() {
+            blue[v.index()] = true;
+        }
+        let mut is_required_output: Vec<bool> = dag.nodes().map(|v| dag.is_sink(v)).collect();
+        for &v in required_outputs {
+            is_required_output[v.index()] = true;
+        }
+        Converter {
+            dag,
+            arch,
+            policy,
+            config,
+            seq,
+            cursor: vec![0; p],
+            use_positions,
+            use_ptr: vec![vec![0; n]; p],
+            cached: vec![vec![false; n]; p],
+            used: vec![0.0; p],
+            last_use: vec![vec![0; n]; p],
+            clock: vec![0; p],
+            blue,
+            remaining_uses,
+            is_required_output,
+        }
+    }
+
+    fn run(mut self) -> MbspSchedule {
+        let p = self.arch.processors;
+        let mut schedule = MbspSchedule::new(p);
+        let total: usize = self.seq.iter().map(|s| s.len()).sum();
+        let mut executed = 0usize;
+        // Each superstep makes progress (a compute or a load); the bound below is a
+        // generous safety net against construction bugs.
+        let max_supersteps = 4 * total + 4 * self.dag.num_nodes() + 8;
+
+        while self.cursor.iter().zip(&self.seq).any(|(&c, s)| c < s.len()) {
+            assert!(
+                schedule.num_supersteps() <= max_supersteps,
+                "two-stage conversion is not making progress"
+            );
+            // Snapshot of the blue set at the beginning of the superstep: loads in
+            // this superstep may only read values that were already in slow memory
+            // (saves of the same superstep are not relied upon, which keeps the
+            // construction simple and always valid).
+            let blue_snapshot = self.blue.clone();
+            let step = schedule.push_empty_superstep();
+
+            for pi in 0..p {
+                let proc = ProcId::new(pi);
+                let phases = step.proc_mut(proc);
+
+                // ---- 1. Compute phase: maximal segment without new I/O. ----
+                let mut computed_here: Vec<NodeId> = Vec::new();
+                loop {
+                    let pos = self.cursor[pi];
+                    if pos >= self.seq[pi].len() {
+                        break;
+                    }
+                    let v = self.seq[pi][pos];
+                    // All parents must already be cached.
+                    if self.dag.parents(v).iter().any(|&u| !self.cached[pi][u.index()]) {
+                        break;
+                    }
+                    // Make room for the output of v by dropping dead values only
+                    // (no I/O allowed inside a compute phase).
+                    let needed = self.dag.memory_weight(v);
+                    if !self.make_room_with_dead_values(pi, needed, phases, v) {
+                        break;
+                    }
+                    // Execute the compute step.
+                    phases.compute.push(ComputePhaseStep::Compute(v));
+                    self.cached[pi][v.index()] = true;
+                    self.used[pi] += self.dag.memory_weight(v);
+                    self.clock[pi] += 1;
+                    self.last_use[pi][v.index()] = self.clock[pi];
+                    for &u in self.dag.parents(v) {
+                        self.last_use[pi][u.index()] = self.clock[pi];
+                        self.remaining_uses[u.index()] -= 1;
+                    }
+                    self.cursor[pi] += 1;
+                    computed_here.push(v);
+                    executed += 1;
+                }
+
+                // ---- 2. Save phase: persist computed values that need it. ----
+                for &v in &computed_here {
+                    if self.blue[v.index()] {
+                        continue;
+                    }
+                    let has_remote_child = self.dag.children(v).iter().any(|&c| {
+                        // A child computed on a different processor will need to
+                        // load v from slow memory.
+                        !self.dag.is_source(c) && !self.seq[pi].contains(&c)
+                    });
+                    if self.is_required_output[v.index()] || has_remote_child {
+                        phases.save.push(v);
+                        self.blue[v.index()] = true;
+                    }
+                }
+
+                // ---- 3 & 4. Eviction and loads for the next segment. ----
+                self.plan_io(pi, phases, &blue_snapshot);
+                let _ = executed;
+            }
+        }
+        schedule.remove_empty_supersteps();
+        schedule
+    }
+
+    /// Drops dead cached values (not needed by any future compute and not an
+    /// unsaved required output) until `needed` additional space is available.
+    /// Returns false if that is impossible without real evictions.
+    fn make_room_with_dead_values(
+        &mut self,
+        pi: usize,
+        needed: f64,
+        phases: &mut mbsp_model::ProcPhases,
+        about_to_compute: NodeId,
+    ) -> bool {
+        let r = self.arch.cache_size;
+        if self.used[pi] + needed <= r + 1e-9 {
+            return true;
+        }
+        let parents: Vec<NodeId> = self.dag.parents(about_to_compute).to_vec();
+        let dead: Vec<NodeId> = (0..self.dag.num_nodes())
+            .map(NodeId::new)
+            .filter(|&v| {
+                self.cached[pi][v.index()]
+                    && !parents.contains(&v)
+                    && self.remaining_uses[v.index()] == 0
+                    && (!self.is_required_output[v.index()] || self.blue[v.index()])
+            })
+            .collect();
+        for v in dead {
+            if self.used[pi] + needed <= r + 1e-9 {
+                break;
+            }
+            phases.compute.push(ComputePhaseStep::Delete(v));
+            self.cached[pi][v.index()] = false;
+            self.used[pi] -= self.dag.memory_weight(v);
+        }
+        self.used[pi] + needed <= r + 1e-9
+    }
+
+    /// Plans the save/delete/load phases that prepare the next compute segment of
+    /// processor `pi`.
+    fn plan_io(&mut self, pi: usize, phases: &mut mbsp_model::ProcPhases, blue_snapshot: &[bool]) {
+        let pos = self.cursor[pi];
+        if pos >= self.seq[pi].len() {
+            return;
+        }
+        let r = self.arch.cache_size;
+        let next = self.seq[pi][pos];
+        // Inputs of the next compute step that are missing from the cache and
+        // already available in slow memory.
+        let missing: Vec<NodeId> = self
+            .dag
+            .parents(next)
+            .iter()
+            .copied()
+            .filter(|&u| !self.cached[pi][u.index()])
+            .collect();
+        let loadable: Vec<NodeId> = missing
+            .iter()
+            .copied()
+            .filter(|&u| blue_snapshot[u.index()])
+            .collect();
+        if loadable.len() < missing.len() {
+            // Some input is not yet in slow memory (its producer has not caught up);
+            // this processor simply waits for a later superstep.
+            return;
+        }
+        let missing_weight: f64 = loadable.iter().map(|&u| self.dag.memory_weight(u)).sum();
+        let target_free = missing_weight + self.dag.memory_weight(next);
+
+        // Evict until the next compute step fits.
+        if self.used[pi] + target_free > r + 1e-9 {
+            let keep: Vec<NodeId> = self.dag.parents(next).to_vec();
+            let victims: Vec<NodeId> = (0..self.dag.num_nodes())
+                .map(NodeId::new)
+                .filter(|&v| self.cached[pi][v.index()] && !keep.contains(&v) && v != next)
+                .collect();
+            let candidates: Vec<CandidateVictim> = victims
+                .into_iter()
+                .map(|v| CandidateVictim {
+                    node: v,
+                    weight: self.dag.memory_weight(v),
+                    next_use: self.next_use(pi, v),
+                    last_use: self.last_use[pi][v.index()],
+                    has_blue: self.blue[v.index()],
+                    needed_later: self.remaining_uses[v.index()] > 0
+                        || (self.is_required_output[v.index()] && !self.blue[v.index()]),
+                })
+                .collect();
+            let ranked = self.policy.rank(&candidates);
+            let needed_map: std::collections::HashMap<NodeId, bool> =
+                candidates.iter().map(|c| (c.node, c.needed_later)).collect();
+            for v in ranked {
+                if self.used[pi] + target_free <= r + 1e-9 {
+                    break;
+                }
+                // A victim that is still needed and not yet in slow memory must be
+                // saved before it is deleted (save phase precedes delete phase).
+                if needed_map[&v] && !self.blue[v.index()] {
+                    phases.save.push(v);
+                    self.blue[v.index()] = true;
+                }
+                phases.delete.push(v);
+                self.cached[pi][v.index()] = false;
+                self.used[pi] -= self.dag.memory_weight(v);
+            }
+        }
+
+        // Required loads for the next compute step.
+        let mut planned_load_weight = 0.0;
+        for &u in &loadable {
+            if self.used[pi] + planned_load_weight + self.dag.memory_weight(u) > r + 1e-9 {
+                // Should not happen when r >= r0; bail out conservatively.
+                break;
+            }
+            phases.load.push(u);
+            self.cached[pi][u.index()] = true;
+            planned_load_weight += self.dag.memory_weight(u);
+        }
+        self.used[pi] += planned_load_weight;
+
+        // Greedy prefetch: extend the loads with the inputs of further compute steps
+        // while everything (inputs plus the outputs produced in between) still fits.
+        if self.config.prefetch {
+            let mut virtual_used = self.used[pi] + self.dag.memory_weight(next);
+            let mut virtually_cached: Vec<NodeId> = vec![next];
+            let mut look = pos + 1;
+            while look < self.seq[pi].len() {
+                let w = self.seq[pi][look];
+                let extra_inputs: Vec<NodeId> = self
+                    .dag
+                    .parents(w)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !self.cached[pi][u.index()] && !virtually_cached.contains(&u))
+                    .collect();
+                if extra_inputs.iter().any(|&u| !blue_snapshot[u.index()]) {
+                    break;
+                }
+                let extra_weight: f64 =
+                    extra_inputs.iter().map(|&u| self.dag.memory_weight(u)).sum();
+                if virtual_used + extra_weight + self.dag.memory_weight(w) > r + 1e-9 {
+                    break;
+                }
+                for u in extra_inputs {
+                    phases.load.push(u);
+                    self.cached[pi][u.index()] = true;
+                    self.used[pi] += self.dag.memory_weight(u);
+                }
+                virtual_used += extra_weight + self.dag.memory_weight(w);
+                virtually_cached.push(w);
+                look += 1;
+            }
+        }
+    }
+
+    /// Position of the next use of `v` as an input on processor `pi`, if any.
+    fn next_use(&mut self, pi: usize, v: NodeId) -> Option<usize> {
+        let positions = &self.use_positions[pi][v.index()];
+        let ptr = &mut self.use_ptr[pi][v.index()];
+        while *ptr < positions.len() && positions[*ptr] < self.cursor[pi] {
+            *ptr += 1;
+        }
+        positions.get(*ptr).copied()
+    }
+}
+
+/// Helper mirroring `dag.parents(v)` (kept separate so the sequence construction in
+/// `Converter::new` reads naturally).
+fn self_parents<'d>(dag: &'d CompDag, v: NodeId) -> &'d [NodeId] {
+    dag.parents(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{ClairvoyantPolicy, LruPolicy};
+    use mbsp_model::{sync_cost, CostModel, MbspInstance};
+    use mbsp_sched::{BspScheduler, DfsScheduler, GreedyBspScheduler};
+
+    fn instances() -> Vec<MbspInstance> {
+        mbsp_gen::tiny_dataset(42)
+            .into_iter()
+            .map(|inst| {
+                MbspInstance::with_cache_factor(inst.dag, Architecture::paper_default(0.0), 3.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_stage_schedules_are_valid_on_the_tiny_dataset() {
+        let conv = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        let sched = GreedyBspScheduler::new();
+        for inst in instances() {
+            let bsp = sched.schedule(inst.dag(), inst.arch());
+            let mbsp = conv.schedule(inst.dag(), inst.arch(), &bsp, &policy);
+            mbsp.validate(inst.dag(), inst.arch())
+                .unwrap_or_else(|e| panic!("{}: {e}", inst.name()));
+            // Every non-source node is computed exactly once (no recomputation).
+            let stats = mbsp.statistics(inst.dag(), inst.arch());
+            let non_sources = inst.dag().nodes().filter(|&v| !inst.dag().is_source(v)).count();
+            assert_eq!(stats.computes, non_sources, "{}", inst.name());
+            assert_eq!(stats.recomputed_nodes, 0);
+        }
+    }
+
+    #[test]
+    fn lru_policy_also_produces_valid_schedules() {
+        let conv = TwoStageScheduler::new();
+        let policy = LruPolicy::new();
+        let sched = GreedyBspScheduler::new();
+        for inst in instances().into_iter().take(6) {
+            let bsp = sched.schedule(inst.dag(), inst.arch());
+            let mbsp = conv.schedule(inst.dag(), inst.arch(), &bsp, &policy);
+            mbsp.validate(inst.dag(), inst.arch())
+                .unwrap_or_else(|e| panic!("{}: {e}", inst.name()));
+        }
+    }
+
+    #[test]
+    fn single_processor_dfs_baseline_is_valid() {
+        let conv = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        for inst in mbsp_gen::tiny_dataset(42).into_iter().take(5) {
+            let arch = Architecture::single_processor(inst.dag.minimal_cache_size() * 3.0, 1.0);
+            let instance = MbspInstance::new(inst.dag, arch);
+            let bsp = DfsScheduler::new().schedule(instance.dag(), instance.arch());
+            let mbsp = conv.schedule(instance.dag(), instance.arch(), &bsp, &policy);
+            mbsp.validate(instance.dag(), instance.arch()).unwrap();
+        }
+    }
+
+    #[test]
+    fn tight_cache_still_produces_valid_schedules() {
+        // r = r0 is the minimal feasible cache size: the conversion must still work.
+        let conv = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        let sched = GreedyBspScheduler::new();
+        for inst in mbsp_gen::tiny_dataset(7).into_iter().take(6) {
+            let instance =
+                MbspInstance::with_cache_factor(inst.dag, Architecture::paper_default(0.0), 1.0);
+            let bsp = sched.schedule(instance.dag(), instance.arch());
+            let mbsp = conv.schedule(instance.dag(), instance.arch(), &bsp, &policy);
+            mbsp.validate(instance.dag(), instance.arch())
+                .unwrap_or_else(|e| panic!("{}: {e}", instance.name()));
+        }
+    }
+
+    #[test]
+    fn clairvoyant_is_not_worse_than_lru_on_average() {
+        // The clairvoyant policy should produce schedules that are at least as good
+        // as LRU in aggregate (it has strictly more information).
+        let conv = TwoStageScheduler::new();
+        let sched = GreedyBspScheduler::new();
+        let mut clair_total = 0.0;
+        let mut lru_total = 0.0;
+        for inst in instances() {
+            let bsp = sched.schedule(inst.dag(), inst.arch());
+            let a = conv.schedule(inst.dag(), inst.arch(), &bsp, &ClairvoyantPolicy::new());
+            let b = conv.schedule(inst.dag(), inst.arch(), &bsp, &LruPolicy::new());
+            clair_total += sync_cost(&a, inst.dag(), inst.arch()).total;
+            lru_total += sync_cost(&b, inst.dag(), inst.arch()).total;
+        }
+        assert!(
+            clair_total <= lru_total * 1.02,
+            "clairvoyant ({clair_total}) should not be notably worse than LRU ({lru_total})"
+        );
+    }
+
+    #[test]
+    fn prefetching_reduces_supersteps_without_breaking_validity() {
+        let sched = GreedyBspScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        for inst in instances().into_iter().take(4) {
+            let bsp = sched.schedule(inst.dag(), inst.arch());
+            let with = TwoStageScheduler::with_config(TwoStageConfig { prefetch: true })
+                .schedule(inst.dag(), inst.arch(), &bsp, &policy);
+            let without = TwoStageScheduler::with_config(TwoStageConfig { prefetch: false })
+                .schedule(inst.dag(), inst.arch(), &bsp, &policy);
+            with.validate(inst.dag(), inst.arch()).unwrap();
+            without.validate(inst.dag(), inst.arch()).unwrap();
+            assert!(with.num_supersteps() <= without.num_supersteps());
+        }
+    }
+
+    #[test]
+    fn async_cost_is_computable_on_converted_schedules() {
+        let conv = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        let sched = GreedyBspScheduler::new();
+        let inst = &instances()[0];
+        let bsp = sched.schedule(inst.dag(), inst.arch());
+        let mbsp = conv.schedule(inst.dag(), inst.arch(), &bsp, &policy);
+        let sync = CostModel::Synchronous.evaluate(&mbsp, inst.dag(), inst.arch());
+        let arch0 = inst.arch().with_latency(0.0);
+        let asynchronous = CostModel::Asynchronous.evaluate(&mbsp, inst.dag(), &arch0);
+        let sync0 = CostModel::Synchronous.evaluate(&mbsp, inst.dag(), &arch0);
+        assert!(sync > 0.0);
+        assert!(asynchronous <= sync0 + 1e-9);
+    }
+}

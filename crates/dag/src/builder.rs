@@ -1,0 +1,220 @@
+//! Incremental, cycle-checked DAG construction.
+//!
+//! [`DagBuilder`] keeps the partially-built graph acyclic at all times: every
+//! `add_edge` call performs a reachability check from the target back to the source
+//! before committing the edge. This makes generator code simple (it can add edges in
+//! any order) while still guaranteeing that [`DagBuilder::build`] yields a valid DAG.
+
+use crate::error::DagError;
+use crate::graph::{CompDag, NodeId, NodeWeights};
+use crate::Result;
+
+/// Builder for [`CompDag`] with incremental cycle detection.
+#[derive(Debug, Clone)]
+pub struct DagBuilder {
+    dag: CompDag,
+}
+
+impl DagBuilder {
+    /// Starts a new builder for a DAG with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DagBuilder { dag: CompDag::new(name) }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.dag.num_nodes()
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.dag.num_edges()
+    }
+
+    /// Adds a node with explicit compute and memory weights.
+    pub fn add_node(&mut self, compute: f64, memory: f64) -> Result<NodeId> {
+        self.dag.push_node(NodeWeights::new(compute, memory))
+    }
+
+    /// Adds a node with explicit weights and a label.
+    pub fn add_labeled_node(
+        &mut self,
+        compute: f64,
+        memory: f64,
+        label: impl Into<String>,
+    ) -> Result<NodeId> {
+        self.dag
+            .push_node_with_label(NodeWeights::new(compute, memory), label)
+    }
+
+    /// Adds a node with unit weights (`ω = μ = 1`).
+    pub fn add_unit_node(&mut self) -> Result<NodeId> {
+        self.dag.push_node(NodeWeights::unit())
+    }
+
+    /// Adds `count` unit-weight nodes and returns their ids.
+    pub fn add_unit_nodes(&mut self, count: usize) -> Result<Vec<NodeId>> {
+        (0..count).map(|_| self.add_unit_node()).collect()
+    }
+
+    /// Adds an edge `from -> to`, rejecting edges that would create a cycle.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        let n = self.dag.num_nodes();
+        if from.index() >= n {
+            return Err(DagError::InvalidNode { index: from.index(), len: n });
+        }
+        if to.index() >= n {
+            return Err(DagError::InvalidNode { index: to.index(), len: n });
+        }
+        if from == to {
+            return Err(DagError::SelfLoop { node: from.index() });
+        }
+        // Adding from -> to creates a cycle iff `from` is reachable from `to`.
+        if self.reachable(to, from) {
+            return Err(DagError::CycleDetected { from: from.index(), to: to.index() });
+        }
+        self.dag.push_edge(from, to)?;
+        Ok(())
+    }
+
+    /// Adds an edge if it is not already present; silently ignores duplicates.
+    pub fn add_edge_idempotent(&mut self, from: NodeId, to: NodeId) -> Result<()> {
+        if from.index() < self.dag.num_nodes() && self.dag.has_edge(from, to) {
+            return Ok(());
+        }
+        self.add_edge(from, to)
+    }
+
+    /// Adds a chain of edges `nodes[0] -> nodes[1] -> ... -> nodes[k-1]`.
+    pub fn add_chain(&mut self, nodes: &[NodeId]) -> Result<()> {
+        for pair in nodes.windows(2) {
+            self.add_edge(pair[0], pair[1])?;
+        }
+        Ok(())
+    }
+
+    /// Adds edges from every node in `froms` to `to`.
+    pub fn add_fan_in(&mut self, froms: &[NodeId], to: NodeId) -> Result<()> {
+        for &u in froms {
+            self.add_edge(u, to)?;
+        }
+        Ok(())
+    }
+
+    /// Adds edges from `from` to every node in `tos`.
+    pub fn add_fan_out(&mut self, from: NodeId, tos: &[NodeId]) -> Result<()> {
+        for &v in tos {
+            self.add_edge(from, v)?;
+        }
+        Ok(())
+    }
+
+    /// Overrides the label of an already-added node.
+    pub fn set_label(&mut self, v: NodeId, label: impl Into<String>) {
+        self.dag.set_label(v, label);
+    }
+
+    /// Overrides the weights of an already-added node.
+    pub fn set_weights(&mut self, v: NodeId, compute: f64, memory: f64) -> Result<()> {
+        self.dag.set_weights(v, NodeWeights::new(compute, memory))
+    }
+
+    /// Finishes construction and returns the DAG.
+    pub fn build(self) -> CompDag {
+        debug_assert!(self.dag.is_acyclic());
+        self.dag
+    }
+
+    /// DFS reachability query `from ⇝ to` on the partially-built graph.
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let n = self.dag.num_nodes();
+        let mut visited = vec![false; n];
+        let mut stack = vec![from];
+        visited[from.index()] = true;
+        while let Some(u) = stack.pop() {
+            for &c in self.dag.children(u) {
+                if c == to {
+                    return true;
+                }
+                if !visited[c.index()] {
+                    visited[c.index()] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_simple_dag() {
+        let mut b = DagBuilder::new("t");
+        let a = b.add_node(2.0, 1.0).unwrap();
+        let c = b.add_node(3.0, 2.0).unwrap();
+        let d = b.add_labeled_node(1.0, 1.0, "sink").unwrap();
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, d).unwrap();
+        let dag = b.build();
+        assert_eq!(dag.num_nodes(), 3);
+        assert_eq!(dag.num_edges(), 2);
+        assert_eq!(dag.label(d), "sink");
+        assert_eq!(dag.compute_weight(c), 3.0);
+    }
+
+    #[test]
+    fn detects_cycles_incrementally() {
+        let mut b = DagBuilder::new("t");
+        let n = b.add_unit_nodes(3).unwrap();
+        b.add_edge(n[0], n[1]).unwrap();
+        b.add_edge(n[1], n[2]).unwrap();
+        let err = b.add_edge(n[2], n[0]).unwrap_err();
+        assert!(matches!(err, DagError::CycleDetected { .. }));
+        // Builder is still usable and acyclic afterwards.
+        b.add_edge(n[0], n[2]).unwrap();
+        let dag = b.build();
+        assert!(dag.is_acyclic());
+        assert_eq!(dag.num_edges(), 3);
+    }
+
+    #[test]
+    fn rejects_self_loops_and_bad_indices() {
+        let mut b = DagBuilder::new("t");
+        let n = b.add_unit_nodes(2).unwrap();
+        assert!(matches!(b.add_edge(n[0], n[0]), Err(DagError::SelfLoop { .. })));
+        assert!(matches!(
+            b.add_edge(n[0], NodeId::new(9)),
+            Err(DagError::InvalidNode { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_fan_in_fan_out_helpers() {
+        let mut b = DagBuilder::new("t");
+        let ns = b.add_unit_nodes(5).unwrap();
+        b.add_chain(&ns[0..3]).unwrap();
+        b.add_fan_in(&[ns[0], ns[1]], ns[3]).unwrap();
+        b.add_fan_out(ns[3], &[ns[4]]).unwrap();
+        let dag = b.build();
+        assert!(dag.has_edge(ns[0], ns[1]));
+        assert!(dag.has_edge(ns[1], ns[2]));
+        assert!(dag.has_edge(ns[0], ns[3]));
+        assert!(dag.has_edge(ns[1], ns[3]));
+        assert!(dag.has_edge(ns[3], ns[4]));
+    }
+
+    #[test]
+    fn idempotent_edge_insertion() {
+        let mut b = DagBuilder::new("t");
+        let n = b.add_unit_nodes(2).unwrap();
+        b.add_edge_idempotent(n[0], n[1]).unwrap();
+        b.add_edge_idempotent(n[0], n[1]).unwrap();
+        assert_eq!(b.num_edges(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Graphviz DOT export for debugging and visualisation.
+
+use crate::graph::CompDag;
+use crate::partition::AcyclicPartition;
+use std::fmt::Write as _;
+
+/// Renders the DAG in Graphviz DOT syntax, annotating each node with its label and
+/// its `(ω, μ)` weights.
+pub fn to_dot(dag: &CompDag) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(dag.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for v in dag.nodes() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\nω={} μ={}\"];",
+            v.index(),
+            sanitize(dag.label(v)),
+            dag.compute_weight(v),
+            dag.memory_weight(v)
+        );
+    }
+    for (u, v) in dag.edges() {
+        let _ = writeln!(out, "  {} -> {};", u.index(), v.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the DAG in DOT syntax with nodes coloured by their part in `partition`.
+pub fn to_dot_with_partition(dag: &CompDag, partition: &AcyclicPartition) -> String {
+    const PALETTE: [&str; 8] = [
+        "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", sanitize(dag.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for v in dag.nodes() {
+        let color = PALETTE[partition.part_of(v) % PALETTE.len()];
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\npart {}\", style=filled, fillcolor=\"{}\"];",
+            v.index(),
+            sanitize(dag.label(v)),
+            partition.part_of(v),
+            color
+        );
+    }
+    for (u, v) in dag.edges() {
+        let style = if partition.part_of(u) != partition.part_of(v) {
+            " [style=dashed]"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {} -> {}{};", u.index(), v.index(), style);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace('"', "'").replace('\n', " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeWeights;
+
+    fn tiny() -> CompDag {
+        CompDag::from_edges("tiny \"dag\"", vec![NodeWeights::unit(); 3], &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let d = tiny();
+        let dot = to_dot(&d);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("1 -> 2;"));
+        assert!(dot.contains("ω=1"));
+        // Quotes in the name are sanitised.
+        assert!(!dot.contains("\"dag\""));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn partition_dot_marks_cut_edges() {
+        let d = tiny();
+        let p = AcyclicPartition::new(&d, vec![0, 0, 1], 2).unwrap();
+        let dot = to_dot_with_partition(&d, &p);
+        assert!(dot.contains("fillcolor"));
+        assert!(dot.contains("1 -> 2 [style=dashed];"));
+        assert!(!dot.contains("0 -> 1 [style=dashed];"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for DAG construction and manipulation.
+
+use std::fmt;
+
+/// Errors raised while building or transforming computational DAGs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DagError {
+    /// An edge endpoint refers to a node index that does not exist.
+    InvalidNode {
+        /// The offending node index.
+        index: usize,
+        /// Number of nodes currently in the graph.
+        len: usize,
+    },
+    /// Adding the edge would create a cycle.
+    CycleDetected {
+        /// Source of the offending edge.
+        from: usize,
+        /// Target of the offending edge.
+        to: usize,
+    },
+    /// A duplicate edge was added and the builder was configured to reject duplicates.
+    DuplicateEdge {
+        /// Source of the duplicated edge.
+        from: usize,
+        /// Target of the duplicated edge.
+        to: usize,
+    },
+    /// A self-loop `(v, v)` was requested; DAGs cannot contain self-loops.
+    SelfLoop {
+        /// The node on which the self-loop was requested.
+        node: usize,
+    },
+    /// A node weight was negative or not finite.
+    InvalidWeight {
+        /// The offending node index.
+        node: usize,
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+    /// A partition/quotient operation received an assignment of the wrong length or
+    /// with out-of-range part indices.
+    InvalidPartition {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::InvalidNode { index, len } => {
+                write!(f, "node index {index} out of range (graph has {len} nodes)")
+            }
+            DagError::CycleDetected { from, to } => {
+                write!(f, "adding edge {from} -> {to} would create a cycle")
+            }
+            DagError::DuplicateEdge { from, to } => {
+                write!(f, "edge {from} -> {to} already exists")
+            }
+            DagError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
+            DagError::InvalidWeight { node, reason } => {
+                write!(f, "invalid weight on node {node}: {reason}")
+            }
+            DagError::InvalidPartition { reason } => write!(f, "invalid partition: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DagError::InvalidNode { index: 7, len: 3 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('3'));
+
+        let e = DagError::CycleDetected { from: 1, to: 0 };
+        assert!(e.to_string().contains("cycle"));
+
+        let e = DagError::DuplicateEdge { from: 0, to: 1 };
+        assert!(e.to_string().contains("already exists"));
+
+        let e = DagError::SelfLoop { node: 4 };
+        assert!(e.to_string().contains("self-loop"));
+
+        let e = DagError::InvalidWeight { node: 2, reason: "negative" };
+        assert!(e.to_string().contains("negative"));
+
+        let e = DagError::InvalidPartition { reason: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            DagError::SelfLoop { node: 1 },
+            DagError::SelfLoop { node: 1 }
+        );
+        assert_ne!(
+            DagError::SelfLoop { node: 1 },
+            DagError::SelfLoop { node: 2 }
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! Core computational-DAG data structure.
+//!
+//! [`CompDag`] stores a directed acyclic graph with per-node compute weights `ω`
+//! and memory weights `μ`, using dense integer node identifiers and forward/reverse
+//! adjacency lists. Construction normally goes through [`crate::DagBuilder`], which
+//! validates acyclicity incrementally; `CompDag` itself also exposes a checked
+//! [`CompDag::from_edges`] constructor for convenience.
+
+use crate::error::DagError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of a node in a [`CompDag`].
+///
+/// Node identifiers are small integers assigned in insertion order; they are valid
+/// only for the graph that created them (and for [`crate::SubDag`] views via the
+/// mapping the view exposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId::new(value)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Dense identifier of an edge in a [`CompDag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the edge id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The two weights attached to every node of a computational DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeWeights {
+    /// Compute weight `ω(v)`: the time it takes to execute the operation.
+    pub compute: f64,
+    /// Memory weight `μ(v)`: the amount of fast memory the node's output occupies.
+    pub memory: f64,
+}
+
+impl NodeWeights {
+    /// Creates a new weight pair.
+    pub fn new(compute: f64, memory: f64) -> Self {
+        NodeWeights { compute, memory }
+    }
+
+    /// Uniform unit weights (`ω = μ = 1`), the multiprocessor red–blue pebbling case.
+    pub fn unit() -> Self {
+        NodeWeights { compute: 1.0, memory: 1.0 }
+    }
+}
+
+impl Default for NodeWeights {
+    fn default() -> Self {
+        NodeWeights::unit()
+    }
+}
+
+/// A weighted computational DAG.
+///
+/// Nodes carry a compute weight `ω` and a memory weight `μ`; edges are unweighted
+/// precedence/data-dependency arcs. The structure is immutable after construction
+/// apart from weight updates, which cannot invalidate acyclicity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompDag {
+    /// Optional human-readable name (e.g. the benchmark instance name).
+    name: String,
+    /// Per-node compute and memory weights.
+    weights: Vec<NodeWeights>,
+    /// Optional per-node labels (used by the generators / DOT export).
+    labels: Vec<String>,
+    /// Forward adjacency: children of each node.
+    children: Vec<Vec<NodeId>>,
+    /// Reverse adjacency: parents of each node.
+    parents: Vec<Vec<NodeId>>,
+    /// Flat edge list in insertion order.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl CompDag {
+    /// Creates an empty DAG with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        CompDag {
+            name: name.into(),
+            weights: Vec::new(),
+            labels: Vec::new(),
+            children: Vec::new(),
+            parents: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a DAG from a node count, per-node weights and an edge list.
+    ///
+    /// Nodes `0..n` receive the weights from `weights` (which must have length `n`);
+    /// edges must reference valid nodes and must not create cycles or self-loops.
+    pub fn from_edges(
+        name: impl Into<String>,
+        weights: Vec<NodeWeights>,
+        edge_list: &[(usize, usize)],
+    ) -> Result<Self> {
+        let mut dag = CompDag::new(name);
+        for (i, w) in weights.into_iter().enumerate() {
+            dag.push_node_with_label(w, format!("n{i}"))?;
+        }
+        for &(u, v) in edge_list {
+            dag.push_edge(NodeId::new(u), NodeId::new(v))?;
+        }
+        if !dag.is_acyclic() {
+            // Report the first edge as offending; precise localisation is done by the
+            // builder which checks incrementally.
+            let (u, v) = edge_list.first().copied().unwrap_or((0, 0));
+            return Err(DagError::CycleDetected { from: u, to: v });
+        }
+        Ok(dag)
+    }
+
+    /// Name of the DAG.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Overrides the name of the DAG.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of nodes `n = |V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns true if the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Iterator over all node ids in insertion (index) order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::new)
+    }
+
+    /// Iterator over all edges in insertion order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Adds a node with the given weights; returns its id.
+    pub(crate) fn push_node(&mut self, weights: NodeWeights) -> Result<NodeId> {
+        let label = format!("n{}", self.num_nodes());
+        self.push_node_with_label(weights, label)
+    }
+
+    /// Adds a node with the given weights and label; returns its id.
+    pub(crate) fn push_node_with_label(
+        &mut self,
+        weights: NodeWeights,
+        label: impl Into<String>,
+    ) -> Result<NodeId> {
+        let id = NodeId::new(self.num_nodes());
+        if !weights.compute.is_finite() || weights.compute < 0.0 {
+            return Err(DagError::InvalidWeight {
+                node: id.index(),
+                reason: "compute weight must be finite and non-negative",
+            });
+        }
+        if !weights.memory.is_finite() || weights.memory < 0.0 {
+            return Err(DagError::InvalidWeight {
+                node: id.index(),
+                reason: "memory weight must be finite and non-negative",
+            });
+        }
+        self.weights.push(weights);
+        self.labels.push(label.into());
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Adds an edge `from -> to` without cycle checking (used by the builder which
+    /// maintains acyclicity incrementally).
+    pub(crate) fn push_edge(&mut self, from: NodeId, to: NodeId) -> Result<EdgeId> {
+        let n = self.num_nodes();
+        if from.index() >= n {
+            return Err(DagError::InvalidNode { index: from.index(), len: n });
+        }
+        if to.index() >= n {
+            return Err(DagError::InvalidNode { index: to.index(), len: n });
+        }
+        if from == to {
+            return Err(DagError::SelfLoop { node: from.index() });
+        }
+        if self.children[from.index()].contains(&to) {
+            return Err(DagError::DuplicateEdge { from: from.index(), to: to.index() });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.children[from.index()].push(to);
+        self.parents[to.index()].push(from);
+        self.edges.push((from, to));
+        Ok(id)
+    }
+
+    /// Compute weight `ω(v)`.
+    #[inline]
+    pub fn compute_weight(&self, v: NodeId) -> f64 {
+        self.weights[v.index()].compute
+    }
+
+    /// Memory weight `μ(v)`.
+    #[inline]
+    pub fn memory_weight(&self, v: NodeId) -> f64 {
+        self.weights[v.index()].memory
+    }
+
+    /// Both weights of a node.
+    #[inline]
+    pub fn weights(&self, v: NodeId) -> NodeWeights {
+        self.weights[v.index()]
+    }
+
+    /// Updates the weights of a node (cannot affect acyclicity).
+    pub fn set_weights(&mut self, v: NodeId, weights: NodeWeights) -> Result<()> {
+        if v.index() >= self.num_nodes() {
+            return Err(DagError::InvalidNode { index: v.index(), len: self.num_nodes() });
+        }
+        if !weights.compute.is_finite() || weights.compute < 0.0 {
+            return Err(DagError::InvalidWeight {
+                node: v.index(),
+                reason: "compute weight must be finite and non-negative",
+            });
+        }
+        if !weights.memory.is_finite() || weights.memory < 0.0 {
+            return Err(DagError::InvalidWeight {
+                node: v.index(),
+                reason: "memory weight must be finite and non-negative",
+            });
+        }
+        self.weights[v.index()] = weights;
+        Ok(())
+    }
+
+    /// Human-readable label attached to a node.
+    pub fn label(&self, v: NodeId) -> &str {
+        &self.labels[v.index()]
+    }
+
+    /// Overrides the label of a node.
+    pub fn set_label(&mut self, v: NodeId, label: impl Into<String>) {
+        self.labels[v.index()] = label.into();
+    }
+
+    /// Children (direct successors) of a node.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Parents (direct predecessors) of a node.
+    #[inline]
+    pub fn parents(&self, v: NodeId) -> &[NodeId] {
+        &self.parents[v.index()]
+    }
+
+    /// In-degree of a node.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.parents[v.index()].len()
+    }
+
+    /// Out-degree of a node.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.children[v.index()].len()
+    }
+
+    /// Returns true if `v` is a source (no incoming edges). In the MBSP model sources
+    /// are the inputs of the computation: they are never computed, only loaded.
+    #[inline]
+    pub fn is_source(&self, v: NodeId) -> bool {
+        self.parents[v.index()].is_empty()
+    }
+
+    /// Returns true if `v` is a sink (no outgoing edges). Sinks are the outputs of the
+    /// computation and must reside in slow memory at the end of a schedule.
+    #[inline]
+    pub fn is_sink(&self, v: NodeId) -> bool {
+        self.children[v.index()].is_empty()
+    }
+
+    /// All source nodes in index order.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.is_source(v)).collect()
+    }
+
+    /// All sink nodes in index order.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&v| self.is_sink(v)).collect()
+    }
+
+    /// Returns true if the edge `from -> to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.children[from.index()].contains(&to)
+    }
+
+    /// Total compute work `Σ_v ω(v)`.
+    pub fn total_work(&self) -> f64 {
+        self.weights.iter().map(|w| w.compute).sum()
+    }
+
+    /// Total compute work of the non-source nodes only (the nodes that are actually
+    /// computed in the MBSP model).
+    pub fn computable_work(&self) -> f64 {
+        self.nodes()
+            .filter(|&v| !self.is_source(v))
+            .map(|v| self.compute_weight(v))
+            .sum()
+    }
+
+    /// Total memory footprint `Σ_v μ(v)`.
+    pub fn total_memory(&self) -> f64 {
+        self.weights.iter().map(|w| w.memory).sum()
+    }
+
+    /// Checks acyclicity by Kahn's algorithm (used by the checked constructors; the
+    /// builder maintains the invariant incrementally and does not need this).
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.num_nodes();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &c in &self.children[u] {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push(c.index());
+                }
+            }
+        }
+        seen == n
+    }
+
+    /// Memory needed to compute node `v` with all its parents resident:
+    /// `μ(v) + Σ_{u ∈ Par(v)} μ(u)`. Source nodes only need their own output.
+    pub fn compute_footprint(&self, v: NodeId) -> f64 {
+        let own = self.memory_weight(v);
+        let parents: f64 = self.parents(v).iter().map(|&u| self.memory_weight(u)).sum();
+        own + parents
+    }
+
+    /// The minimal fast-memory capacity `r₀` that allows *any* valid MBSP schedule:
+    /// the maximum over all nodes of [`CompDag::compute_footprint`].
+    ///
+    /// With `r ≥ r₀` every individual compute step fits in cache; the paper sets the
+    /// experiment cache sizes as multiples of this quantity (`r = 3·r₀`, `5·r₀`, …).
+    pub fn minimal_cache_size(&self) -> f64 {
+        self.nodes()
+            .map(|v| self.compute_footprint(v))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CompDag {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        CompDag::from_edges(
+            "diamond",
+            vec![NodeWeights::unit(); 4],
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_structure_queries() {
+        let d = diamond();
+        assert_eq!(d.num_nodes(), 4);
+        assert_eq!(d.num_edges(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.sources(), vec![NodeId::new(0)]);
+        assert_eq!(d.sinks(), vec![NodeId::new(3)]);
+        assert_eq!(d.children(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(d.parents(NodeId::new(3)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(d.in_degree(NodeId::new(3)), 2);
+        assert_eq!(d.out_degree(NodeId::new(0)), 2);
+        assert!(d.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!d.has_edge(NodeId::new(1), NodeId::new(0)));
+    }
+
+    #[test]
+    fn weights_and_totals() {
+        let mut d = diamond();
+        assert_eq!(d.total_work(), 4.0);
+        assert_eq!(d.total_memory(), 4.0);
+        // Source node 0 is not computed.
+        assert_eq!(d.computable_work(), 3.0);
+        d.set_weights(NodeId::new(3), NodeWeights::new(5.0, 2.0)).unwrap();
+        assert_eq!(d.compute_weight(NodeId::new(3)), 5.0);
+        assert_eq!(d.memory_weight(NodeId::new(3)), 2.0);
+        assert_eq!(d.total_work(), 8.0);
+    }
+
+    #[test]
+    fn compute_footprint_and_r0() {
+        let d = diamond();
+        // Node 3 has two unit-weight parents plus itself.
+        assert_eq!(d.compute_footprint(NodeId::new(3)), 3.0);
+        assert_eq!(d.minimal_cache_size(), 3.0);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let weights = vec![NodeWeights::unit(); 2];
+        assert!(matches!(
+            CompDag::from_edges("bad", weights.clone(), &[(0, 5)]),
+            Err(DagError::InvalidNode { .. })
+        ));
+        assert!(matches!(
+            CompDag::from_edges("bad", weights.clone(), &[(0, 0)]),
+            Err(DagError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            CompDag::from_edges("bad", weights.clone(), &[(0, 1), (0, 1)]),
+            Err(DagError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            CompDag::from_edges("bad", weights, &[(0, 1), (1, 0)]),
+            Err(DagError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_weights() {
+        let res = CompDag::from_edges("bad", vec![NodeWeights::new(-1.0, 1.0)], &[]);
+        assert!(matches!(res, Err(DagError::InvalidWeight { .. })));
+        let res = CompDag::from_edges("bad", vec![NodeWeights::new(1.0, f64::NAN)], &[]);
+        assert!(matches!(res, Err(DagError::InvalidWeight { .. })));
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut d = diamond();
+        assert_eq!(d.label(NodeId::new(2)), "n2");
+        d.set_label(NodeId::new(2), "spmv_row_2");
+        assert_eq!(d.label(NodeId::new(2)), "spmv_row_2");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = diamond();
+        let json = serde_json::to_string(&d).unwrap();
+        let back: CompDag = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn empty_dag_properties() {
+        let d = CompDag::new("empty");
+        assert!(d.is_empty());
+        assert!(d.is_acyclic());
+        assert_eq!(d.minimal_cache_size(), 0.0);
+        assert_eq!(d.total_work(), 0.0);
+        assert!(d.sources().is_empty());
+        assert!(d.sinks().is_empty());
+    }
+}

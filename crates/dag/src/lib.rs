@@ -1,0 +1,39 @@
+//! # mbsp-dag — weighted computational DAG substrate
+//!
+//! This crate provides the directed acyclic graph (DAG) representation used by every
+//! other crate in the MBSP scheduling workspace. A computational DAG `G = (V, E)`
+//! models a static computation: nodes are operations, edges are data dependencies.
+//! Each node `v` carries
+//!
+//! * a **compute weight** `ω(v)` — the time it takes to execute the operation, and
+//! * a **memory weight** `μ(v)` — the amount of fast memory its output occupies.
+//!
+//! The crate offers construction ([`DagBuilder`]), structural queries (parents,
+//! children, sources, sinks, topological orderings), analysis helpers used by the
+//! schedulers (critical path, total work, the minimal feasible cache size `r₀`),
+//! sub-DAG extraction and acyclic quotient graphs for the divide-and-conquer
+//! scheduler, and DOT export for debugging.
+//!
+//! The representation is index-based and append-only: nodes are identified by the
+//! dense [`NodeId`] handle, edges are stored in forward and reverse adjacency lists.
+//! This keeps the hot scheduling loops allocation-free and cache friendly.
+
+pub mod analysis;
+pub mod builder;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod partition;
+pub mod subgraph;
+pub mod topo;
+
+pub use analysis::DagStatistics;
+pub use builder::DagBuilder;
+pub use error::DagError;
+pub use graph::{CompDag, EdgeId, NodeId, NodeWeights};
+pub use partition::{AcyclicPartition, QuotientGraph};
+pub use subgraph::SubDag;
+pub use topo::TopologicalOrder;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, DagError>;

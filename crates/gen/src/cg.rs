@@ -1,0 +1,199 @@
+//! Fine-grained conjugate-gradient (CG) iteration DAGs.
+//!
+//! The `CG_N{n}_K{k}` instances of the benchmark represent `k` iterations of the
+//! conjugate-gradient method on a sparse system arising from an `n × n` 2D grid
+//! (5-point stencil). Each iteration consists of
+//!
+//! 1. a stencil SpMV `q = A·p` (one node per grid point, reading the point and its
+//!    grid neighbours),
+//! 2. a dot-product reduction `p·q` (binary reduction tree),
+//! 3. an axpy update of the iterate `x` and residual `r` (one node per grid point),
+//! 4. a second dot product `r·r` and the scalar update of the search direction `p`.
+//!
+//! The generator reproduces this structure; scalar nodes get compute weight 1,
+//! per-point nodes get compute weight 1, and reduction nodes weight 1. Memory
+//! weights are assigned later by the dataset layer.
+
+use mbsp_dag::{CompDag, DagBuilder, NodeId};
+
+/// Generates a fine-grained CG DAG on an `n × n` grid for `k` iterations.
+pub fn cg_dag(name: &str, n: usize, k: usize) -> CompDag {
+    assert!(n >= 2, "the grid needs at least 2x2 points");
+    assert!(k >= 1, "at least one CG iteration is required");
+    let points = n * n;
+    let mut b = DagBuilder::new(name);
+
+    // Initial search direction p_0 and residual r_0: source nodes per grid point.
+    let mut p_vec: Vec<NodeId> = (0..points)
+        .map(|i| b.add_labeled_node(0.0, 1.0, format!("p0_{i}")).unwrap())
+        .collect();
+    let mut r_vec: Vec<NodeId> = (0..points)
+        .map(|i| b.add_labeled_node(0.0, 1.0, format!("r0_{i}")).unwrap())
+        .collect();
+
+    for it in 0..k {
+        // 1. Stencil SpMV q = A p : each q_i reads p_i and its grid neighbours.
+        let q_vec: Vec<NodeId> = (0..points)
+            .map(|i| {
+                let q = b
+                    .add_labeled_node(1.0, 1.0, format!("it{it}_q{i}"))
+                    .unwrap();
+                for nb in stencil_neighbours(i, n) {
+                    b.add_edge(p_vec[nb], q).unwrap();
+                }
+                q
+            })
+            .collect();
+
+        // 2. Dot product alpha = (p, q): binary reduction over per-point products.
+        let pq: Vec<NodeId> = (0..points)
+            .map(|i| {
+                let m = b
+                    .add_labeled_node(1.0, 1.0, format!("it{it}_pq{i}"))
+                    .unwrap();
+                b.add_edge(p_vec[i], m).unwrap();
+                b.add_edge(q_vec[i], m).unwrap();
+                m
+            })
+            .collect();
+        let alpha = reduce_binary(&mut b, &pq, &format!("it{it}_alpha"));
+
+        // 3. axpy updates: r_{t+1,i} depends on r_i, q_i and alpha.
+        let new_r: Vec<NodeId> = (0..points)
+            .map(|i| {
+                let node = b
+                    .add_labeled_node(1.0, 1.0, format!("it{it}_r{i}"))
+                    .unwrap();
+                b.add_edge(r_vec[i], node).unwrap();
+                b.add_edge(q_vec[i], node).unwrap();
+                b.add_edge(alpha, node).unwrap();
+                node
+            })
+            .collect();
+
+        // 4. beta = (r_{t+1}, r_{t+1}) and the new search direction p_{t+1}.
+        let rr: Vec<NodeId> = (0..points)
+            .map(|i| {
+                let m = b
+                    .add_labeled_node(1.0, 1.0, format!("it{it}_rr{i}"))
+                    .unwrap();
+                b.add_edge(new_r[i], m).unwrap();
+                m
+            })
+            .collect();
+        let beta = reduce_binary(&mut b, &rr, &format!("it{it}_beta"));
+        let new_p: Vec<NodeId> = (0..points)
+            .map(|i| {
+                let node = b
+                    .add_labeled_node(1.0, 1.0, format!("it{it}_p{i}"))
+                    .unwrap();
+                b.add_edge(p_vec[i], node).unwrap();
+                b.add_edge(new_r[i], node).unwrap();
+                b.add_edge(beta, node).unwrap();
+                node
+            })
+            .collect();
+
+        p_vec = new_p;
+        r_vec = new_r;
+    }
+    b.build()
+}
+
+/// 5-point stencil neighbourhood of grid point `i` on an `n × n` grid (including the
+/// point itself).
+fn stencil_neighbours(i: usize, n: usize) -> Vec<usize> {
+    let (row, col) = (i / n, i % n);
+    let mut out = vec![i];
+    if row > 0 {
+        out.push(i - n);
+    }
+    if row + 1 < n {
+        out.push(i + n);
+    }
+    if col > 0 {
+        out.push(i - 1);
+    }
+    if col + 1 < n {
+        out.push(i + 1);
+    }
+    out
+}
+
+/// Builds a binary reduction tree over `inputs`, returning the root node.
+pub(crate) fn reduce_binary(b: &mut DagBuilder, inputs: &[NodeId], prefix: &str) -> NodeId {
+    assert!(!inputs.is_empty());
+    let mut layer: Vec<NodeId> = inputs.to_vec();
+    let mut depth = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (k, pair) in layer.chunks(2).enumerate() {
+            if pair.len() == 1 {
+                next.push(pair[0]);
+            } else {
+                let node = b
+                    .add_labeled_node(1.0, 1.0, format!("{prefix}_red{depth}_{k}"))
+                    .unwrap();
+                b.add_edge(pair[0], node).unwrap();
+                b.add_edge(pair[1], node).unwrap();
+                next.push(node);
+            }
+        }
+        layer = next;
+        depth += 1;
+    }
+    layer[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_dag::DagStatistics;
+
+    #[test]
+    fn cg_dag_basic_shape() {
+        let d = cg_dag("CG_N2_K2", 2, 2);
+        let stats = DagStatistics::of(&d);
+        assert!(d.is_acyclic());
+        // 2x2 grid: 8 sources (p and r), per iteration 4q + 4pq + reductions + 4r +
+        // 4rr + reductions + 4p.
+        assert_eq!(stats.num_sources, 8);
+        assert!(stats.num_nodes > 40);
+        assert!(stats.num_levels > 6);
+    }
+
+    #[test]
+    fn more_iterations_mean_deeper_dags() {
+        let d1 = cg_dag("cg1", 3, 1);
+        let d2 = cg_dag("cg2", 3, 2);
+        assert!(d2.num_nodes() > d1.num_nodes());
+        assert!(DagStatistics::of(&d2).num_levels > DagStatistics::of(&d1).num_levels);
+    }
+
+    #[test]
+    fn stencil_neighbourhood_sizes() {
+        // Corner has 3 neighbours (incl. itself), edge 4, interior 5.
+        assert_eq!(stencil_neighbours(0, 3).len(), 3);
+        assert_eq!(stencil_neighbours(1, 3).len(), 4);
+        assert_eq!(stencil_neighbours(4, 3).len(), 5);
+    }
+
+    #[test]
+    fn reduction_tree_is_logarithmic() {
+        let mut b = DagBuilder::new("red");
+        let inputs = b.add_unit_nodes(8).unwrap();
+        let root = reduce_binary(&mut b, &inputs, "t");
+        let dag = b.build();
+        // 8 leaves -> 7 internal nodes.
+        assert_eq!(dag.num_nodes(), 15);
+        assert!(dag.is_sink(root));
+        let stats = DagStatistics::of(&dag);
+        assert_eq!(stats.num_levels, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_grid() {
+        cg_dag("bad", 1, 1);
+    }
+}

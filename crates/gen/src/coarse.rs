@@ -1,0 +1,233 @@
+//! Coarse-grained algorithm DAGs: BiCGSTAB, k-means and Pregel.
+//!
+//! The three coarse-grained instances of the benchmark represent whole algorithm
+//! phases as single nodes (a matrix–vector product, a distance computation for a
+//! block of points, a Pregel superstep on a graph partition, ...), with compute
+//! weights reflecting the relative cost of each phase. The generators below
+//! reproduce that granularity: a few tens of nodes, heterogeneous compute weights,
+//! and the characteristic iteration structure of each algorithm.
+
+use mbsp_dag::{CompDag, DagBuilder, NodeId};
+
+/// Coarse-grained BiCGSTAB (biconjugate gradient stabilised) DAG.
+///
+/// Each of the `iterations` contains two SpMV phases, two dot-product phases, two
+/// axpy phases and a residual check, matching the data-flow of the algorithm.
+pub fn bicgstab_dag(iterations: usize) -> CompDag {
+    assert!(iterations >= 1);
+    let mut b = DagBuilder::new("bicgstab");
+    // Inputs: the matrix blocks, the right-hand side and the initial guess.
+    let matrix = b.add_labeled_node(0.0, 4.0, "A").unwrap();
+    let rhs = b.add_labeled_node(0.0, 2.0, "b").unwrap();
+    let mut x = b.add_labeled_node(0.0, 2.0, "x0").unwrap();
+    let mut r = b.add_labeled_node(2.0, 2.0, "r0").unwrap();
+    b.add_edge_idempotent(matrix, r).unwrap();
+    b.add_edge_idempotent(rhs, r).unwrap();
+    b.add_edge_idempotent(x, r).unwrap();
+    let r_hat = r;
+    let mut p = r;
+
+    for it in 0..iterations {
+        // v = A p (heavy SpMV phase).
+        let v = b.add_labeled_node(6.0, 2.0, format!("it{it}_v")).unwrap();
+        b.add_edge_idempotent(matrix, v).unwrap();
+        b.add_edge_idempotent(p, v).unwrap();
+        // alpha = (r, r_hat) / (v, r_hat)
+        let alpha = b.add_labeled_node(2.0, 1.0, format!("it{it}_alpha")).unwrap();
+        b.add_edge_idempotent(r, alpha).unwrap();
+        b.add_edge_idempotent(v, alpha).unwrap();
+        b.add_edge_idempotent(r_hat, alpha).unwrap();
+        // s = r - alpha v
+        let s = b.add_labeled_node(2.0, 2.0, format!("it{it}_s")).unwrap();
+        b.add_edge_idempotent(r, s).unwrap();
+        b.add_edge_idempotent(alpha, s).unwrap();
+        b.add_edge_idempotent(v, s).unwrap();
+        // t = A s (second SpMV phase).
+        let t = b.add_labeled_node(6.0, 2.0, format!("it{it}_t")).unwrap();
+        b.add_edge_idempotent(matrix, t).unwrap();
+        b.add_edge_idempotent(s, t).unwrap();
+        // omega = (t, s) / (t, t)
+        let omega = b.add_labeled_node(2.0, 1.0, format!("it{it}_omega")).unwrap();
+        b.add_edge_idempotent(t, omega).unwrap();
+        b.add_edge_idempotent(s, omega).unwrap();
+        // x_{k+1} = x + alpha p + omega s
+        let new_x = b.add_labeled_node(3.0, 2.0, format!("it{it}_x")).unwrap();
+        b.add_edge_idempotent(x, new_x).unwrap();
+        b.add_edge_idempotent(alpha, new_x).unwrap();
+        b.add_edge_idempotent(p, new_x).unwrap();
+        b.add_edge_idempotent(omega, new_x).unwrap();
+        b.add_edge_idempotent(s, new_x).unwrap();
+        // r_{k+1} = s - omega t
+        let new_r = b.add_labeled_node(2.0, 2.0, format!("it{it}_r")).unwrap();
+        b.add_edge_idempotent(s, new_r).unwrap();
+        b.add_edge_idempotent(omega, new_r).unwrap();
+        b.add_edge_idempotent(t, new_r).unwrap();
+        // beta and the new search direction p_{k+1}.
+        let beta = b.add_labeled_node(1.0, 1.0, format!("it{it}_beta")).unwrap();
+        b.add_edge_idempotent(new_r, beta).unwrap();
+        b.add_edge_idempotent(r, beta).unwrap();
+        b.add_edge_idempotent(alpha, beta).unwrap();
+        b.add_edge_idempotent(omega, beta).unwrap();
+        let new_p = b.add_labeled_node(2.0, 2.0, format!("it{it}_p")).unwrap();
+        b.add_edge_idempotent(new_r, new_p).unwrap();
+        b.add_edge_idempotent(beta, new_p).unwrap();
+        b.add_edge_idempotent(p, new_p).unwrap();
+        b.add_edge_idempotent(omega, new_p).unwrap();
+        b.add_edge_idempotent(v, new_p).unwrap();
+        // Residual-norm check.
+        let check = b.add_labeled_node(1.0, 1.0, format!("it{it}_check")).unwrap();
+        b.add_edge_idempotent(new_r, check).unwrap();
+
+        x = new_x;
+        r = new_r;
+        p = new_p;
+    }
+    b.build()
+}
+
+/// Coarse-grained k-means clustering DAG with `blocks` data blocks, `clusters`
+/// centroid groups and `iterations` Lloyd iterations.
+pub fn kmeans_dag(blocks: usize, clusters: usize, iterations: usize) -> CompDag {
+    assert!(blocks >= 1 && clusters >= 1 && iterations >= 1);
+    let mut b = DagBuilder::new("k-means");
+    let data: Vec<NodeId> = (0..blocks)
+        .map(|i| b.add_labeled_node(0.0, 3.0, format!("data{i}")).unwrap())
+        .collect();
+    let mut centroids: Vec<NodeId> = (0..clusters)
+        .map(|c| b.add_labeled_node(0.0, 1.0, format!("c0_{c}")).unwrap())
+        .collect();
+
+    for it in 0..iterations {
+        // Assignment phase: per data block, distances to all centroids.
+        let assignments: Vec<NodeId> = data
+            .iter()
+            .enumerate()
+            .map(|(i, &blk)| {
+                let a = b
+                    .add_labeled_node(4.0, 2.0, format!("it{it}_assign{i}"))
+                    .unwrap();
+                b.add_edge(blk, a).unwrap();
+                for &c in &centroids {
+                    b.add_edge(c, a).unwrap();
+                }
+                a
+            })
+            .collect();
+        // Partial sums per (cluster), reduced over blocks pairwise.
+        let mut new_centroids = Vec::with_capacity(clusters);
+        for c in 0..clusters {
+            let partials: Vec<NodeId> = assignments
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    let p = b
+                        .add_labeled_node(2.0, 1.0, format!("it{it}_part{c}_{i}"))
+                        .unwrap();
+                    b.add_edge(a, p).unwrap();
+                    p
+                })
+                .collect();
+            let sum = crate::cg::reduce_binary(&mut b, &partials, &format!("it{it}_sum{c}"));
+            let centroid = b
+                .add_labeled_node(1.0, 1.0, format!("it{it}_c{c}"))
+                .unwrap();
+            b.add_edge(sum, centroid).unwrap();
+            new_centroids.push(centroid);
+        }
+        centroids = new_centroids;
+    }
+    b.build()
+}
+
+/// Coarse-grained Pregel (vertex-centric graph processing) DAG with `partitions`
+/// graph partitions and `supersteps` Pregel supersteps.
+pub fn pregel_dag(partitions: usize, supersteps: usize) -> CompDag {
+    assert!(partitions >= 2 && supersteps >= 1);
+    let mut b = DagBuilder::new("pregel");
+    let graph_parts: Vec<NodeId> = (0..partitions)
+        .map(|i| b.add_labeled_node(0.0, 3.0, format!("graph{i}")).unwrap())
+        .collect();
+    let mut state: Vec<NodeId> = (0..partitions)
+        .map(|i| b.add_labeled_node(0.0, 2.0, format!("state0_{i}")).unwrap())
+        .collect();
+
+    for ss in 0..supersteps {
+        // Compute phase per partition.
+        let computed: Vec<NodeId> = (0..partitions)
+            .map(|i| {
+                let c = b
+                    .add_labeled_node(5.0, 2.0, format!("ss{ss}_compute{i}"))
+                    .unwrap();
+                b.add_edge(graph_parts[i], c).unwrap();
+                b.add_edge(state[i], c).unwrap();
+                c
+            })
+            .collect();
+        // Message exchange: each partition combines messages from its ring
+        // neighbours (a sparse communication pattern).
+        let combined: Vec<NodeId> = (0..partitions)
+            .map(|i| {
+                let m = b
+                    .add_labeled_node(2.0, 2.0, format!("ss{ss}_msg{i}"))
+                    .unwrap();
+                b.add_edge(computed[i], m).unwrap();
+                b.add_edge(computed[(i + 1) % partitions], m).unwrap();
+                b.add_edge(computed[(i + partitions - 1) % partitions], m).unwrap();
+                m
+            })
+            .collect();
+        state = combined;
+        // A global aggregator per superstep.
+        let agg = crate::cg::reduce_binary(&mut b, &state, &format!("ss{ss}_agg"));
+        b.set_label(agg, format!("ss{ss}_aggregate"));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_dag::DagStatistics;
+
+    #[test]
+    fn bicgstab_shape() {
+        let d = bicgstab_dag(5);
+        assert!(d.is_acyclic());
+        let s = DagStatistics::of(&d);
+        // 4 input/initial nodes + 10 nodes per iteration.
+        assert_eq!(s.num_nodes, 4 + 5 * 10);
+        // Heavy SpMV nodes exist (weight 6) and light scalar nodes (weight 1).
+        assert!(d.nodes().any(|v| d.compute_weight(v) == 6.0));
+        assert!(d.nodes().any(|v| d.compute_weight(v) == 1.0));
+        // Iterations are sequential, so the DAG is deep.
+        assert!(s.num_levels >= 5 * 4);
+    }
+
+    #[test]
+    fn kmeans_shape() {
+        let d = kmeans_dag(4, 3, 2);
+        assert!(d.is_acyclic());
+        let s = DagStatistics::of(&d);
+        assert_eq!(s.num_sources, 4 + 3);
+        assert!(s.num_nodes > 40);
+        // The assignment nodes fan in from all centroids.
+        assert!(s.max_in_degree >= 4);
+    }
+
+    #[test]
+    fn pregel_shape() {
+        let d = pregel_dag(4, 3);
+        assert!(d.is_acyclic());
+        let s = DagStatistics::of(&d);
+        assert_eq!(s.num_sources, 8);
+        assert!(s.num_nodes > 30);
+        // Ring exchange: message nodes have in-degree 3.
+        assert!(s.max_in_degree >= 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pregel_needs_two_partitions() {
+        pregel_dag(1, 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! Parametric gadget constructions from the paper's theoretical results.
+//!
+//! * [`theorem41_construction`] — the two-group / two-chain DAG of Theorem 4.1 on
+//!   which the two-stage approach is a linear factor away from the optimum.
+//! * [`lemma53_construction`] — the paired-processor construction showing that an
+//!   asynchronous optimum can be a `P/2 − ε` factor worse synchronously.
+//! * [`lemma54_construction`] — the small construction showing a `4/3 − ε` gap in
+//!   the opposite direction.
+//! * [`lemma61_construction`] — the zipper-gadget chain of Lemma 6.1 where empty ILP
+//!   steps do not certify optimality.
+//!
+//! All constructions use uniform weights (`ω = μ = 1`) exactly as in the paper,
+//! except where the lemma explicitly assigns heavy compute weights.
+
+use mbsp_dag::{CompDag, DagBuilder, NodeId};
+
+/// The DAG of Theorem 4.1 (Figure 1): two groups `H₁, H₂` of `d` source nodes each
+/// and two chains of length `m`; chain node `i` additionally reads all of `H₁` (if
+/// `i` is odd for the `u`-chain / even for the `v`-chain) or all of `H₂` otherwise,
+/// in an alternating fashion.
+///
+/// Returns the DAG together with the node groups `(h1, h2, chain_v, chain_u)` so the
+/// analysis harness can reason about assignments.
+pub fn theorem41_construction(d: usize, m: usize) -> (CompDag, Theorem41Groups) {
+    assert!(d >= 1 && m >= 1);
+    let mut b = DagBuilder::new(format!("theorem41_d{d}_m{m}"));
+    let h1: Vec<NodeId> = (0..d)
+        .map(|i| b.add_labeled_node(1.0, 1.0, format!("h1_{i}")).unwrap())
+        .collect();
+    let h2: Vec<NodeId> = (0..d)
+        .map(|i| b.add_labeled_node(1.0, 1.0, format!("h2_{i}")).unwrap())
+        .collect();
+    let chain_v: Vec<NodeId> = (0..m)
+        .map(|i| b.add_labeled_node(1.0, 1.0, format!("v{i}")).unwrap())
+        .collect();
+    let chain_u: Vec<NodeId> = (0..m)
+        .map(|i| b.add_labeled_node(1.0, 1.0, format!("u{i}")).unwrap())
+        .collect();
+    b.add_chain(&chain_v).unwrap();
+    b.add_chain(&chain_u).unwrap();
+    // Alternating group edges: odd i (1-based) reads H1 into u_i and H2 into v_i,
+    // even i reads H2 into u_i and H1 into v_i.
+    for i in 0..m {
+        let odd = (i + 1) % 2 == 1;
+        let (to_u, to_v) = if odd { (&h1, &h2) } else { (&h2, &h1) };
+        b.add_fan_in(to_u, chain_u[i]).unwrap();
+        b.add_fan_in(to_v, chain_v[i]).unwrap();
+    }
+    let groups = Theorem41Groups { h1, h2, chain_v, chain_u };
+    (b.build(), groups)
+}
+
+/// The node groups of the Theorem 4.1 construction.
+#[derive(Debug, Clone)]
+pub struct Theorem41Groups {
+    /// The first group of `d` source nodes.
+    pub h1: Vec<NodeId>,
+    /// The second group of `d` source nodes.
+    pub h2: Vec<NodeId>,
+    /// The first chain (children alternate between `H₂` and `H₁`).
+    pub chain_v: Vec<NodeId>,
+    /// The second chain (children alternate between `H₁` and `H₂`).
+    pub chain_u: Vec<NodeId>,
+}
+
+/// The construction of Lemma 5.3 for an even number of processors `p` and heavy
+/// weight `z`: `p/2` independent "ladders" of length `p/2`; ladder `i` has its heavy
+/// (weight `z`) pair in position `i`, every other pair has weight 1. A common source
+/// node feeds every first pair.
+pub fn lemma53_construction(p: usize, z: f64) -> CompDag {
+    assert!(p >= 2 && p % 2 == 0, "the construction needs an even number of processors");
+    assert!(z >= 1.0);
+    let half = p / 2;
+    let mut b = DagBuilder::new(format!("lemma53_p{p}"));
+    let s = b.add_labeled_node(0.0, 1.0, "s").unwrap();
+    for i in 0..half {
+        let mut prev: Option<(NodeId, NodeId)> = None;
+        for j in 0..half {
+            let w = if i == j { z } else { 1.0 };
+            let u = b.add_labeled_node(w, 1.0, format!("u{i}_{j}")).unwrap();
+            let v = b.add_labeled_node(w, 1.0, format!("v{i}_{j}")).unwrap();
+            match prev {
+                None => {
+                    b.add_edge(s, u).unwrap();
+                    b.add_edge(s, v).unwrap();
+                }
+                Some((pu, pv)) => {
+                    for &from in &[pu, pv] {
+                        b.add_edge(from, u).unwrap();
+                        b.add_edge(from, v).unwrap();
+                    }
+                }
+            }
+            prev = Some((u, v));
+        }
+    }
+    b.build()
+}
+
+/// The construction of Lemma 5.4 with heavy weight `z`: nodes `u₁, u₂` (weight
+/// `z − 1`) feeding `u₃, u₄` (weight `2z`), a node `w₁` (weight `2z`) feeding
+/// `w₂, w₃, w₄` (weight `z − 1`), an isolated node `y` (weight `z − 1`), and an
+/// artificial source feeding the non-dependent nodes.
+pub fn lemma54_construction(z: f64) -> CompDag {
+    assert!(z >= 2.0);
+    let mut b = DagBuilder::new("lemma54");
+    let s = b.add_labeled_node(0.0, 1.0, "s").unwrap();
+    let u1 = b.add_labeled_node(z - 1.0, 1.0, "u1").unwrap();
+    let u2 = b.add_labeled_node(z - 1.0, 1.0, "u2").unwrap();
+    let u3 = b.add_labeled_node(2.0 * z, 1.0, "u3").unwrap();
+    let u4 = b.add_labeled_node(2.0 * z, 1.0, "u4").unwrap();
+    let w1 = b.add_labeled_node(2.0 * z, 1.0, "w1").unwrap();
+    let w2 = b.add_labeled_node(z - 1.0, 1.0, "w2").unwrap();
+    let w3 = b.add_labeled_node(z - 1.0, 1.0, "w3").unwrap();
+    let w4 = b.add_labeled_node(z - 1.0, 1.0, "w4").unwrap();
+    let y = b.add_labeled_node(z - 1.0, 1.0, "y").unwrap();
+    for &t in &[u1, u2, w1, y] {
+        b.add_edge(s, t).unwrap();
+    }
+    for &from in &[u1, u2] {
+        b.add_edge(from, u3).unwrap();
+        b.add_edge(from, u4).unwrap();
+    }
+    for &to in &[w2, w3, w4] {
+        b.add_edge(w1, to).unwrap();
+    }
+    b.build()
+}
+
+/// The zipper-gadget chain of Lemma 6.1: two chains `(u₁..u_d)` and `(u'₁..u'_d)`, a
+/// chain `(v₀..v_m)`, alternating edges from `u_d` / `u'_d` into the `v`-chain, and a
+/// single extra source `w` feeding every other node. All weights are 1 and the
+/// intended cache size is `r = 4`.
+pub fn lemma61_construction(d: usize, m: usize) -> CompDag {
+    assert!(d >= 2 && m >= 1);
+    let mut b = DagBuilder::new(format!("lemma61_d{d}_m{m}"));
+    let w = b.add_labeled_node(0.0, 1.0, "w").unwrap();
+    let u: Vec<NodeId> = (0..d)
+        .map(|i| b.add_labeled_node(1.0, 1.0, format!("u{i}")).unwrap())
+        .collect();
+    let u2: Vec<NodeId> = (0..d)
+        .map(|i| b.add_labeled_node(1.0, 1.0, format!("u'{i}")).unwrap())
+        .collect();
+    let v: Vec<NodeId> = (0..=m)
+        .map(|i| b.add_labeled_node(1.0, 1.0, format!("v{i}")).unwrap())
+        .collect();
+    b.add_chain(&u).unwrap();
+    b.add_chain(&u2).unwrap();
+    b.add_chain(&v).unwrap();
+    b.add_edge(*u.last().unwrap(), v[0]).unwrap();
+    b.add_edge(*u2.last().unwrap(), v[0]).unwrap();
+    for i in 1..=m {
+        let from = if i % 2 == 1 { *u.last().unwrap() } else { *u2.last().unwrap() };
+        b.add_edge(from, v[i]).unwrap();
+    }
+    for node in u.iter().chain(u2.iter()).chain(v.iter()) {
+        b.add_edge(w, *node).unwrap();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_dag::DagStatistics;
+
+    #[test]
+    fn theorem41_shape() {
+        let (dag, groups) = theorem41_construction(4, 6);
+        assert!(dag.is_acyclic());
+        assert_eq!(dag.num_nodes(), 2 * 4 + 2 * 6);
+        // Every group node is a source; every chain node except the last is internal.
+        for &h in groups.h1.iter().chain(groups.h2.iter()) {
+            assert!(dag.is_source(h));
+        }
+        // Chain node u_0 (odd position 1) reads all of H1.
+        for &h in &groups.h1 {
+            assert!(dag.has_edge(h, groups.chain_u[0]));
+        }
+        // Chain node u_1 (even position 2) reads all of H2.
+        for &h in &groups.h2 {
+            assert!(dag.has_edge(h, groups.chain_u[1]));
+        }
+        // r0 = d + 2: a chain node plus its chain parent plus d group parents.
+        assert_eq!(dag.minimal_cache_size(), 4.0 + 2.0);
+    }
+
+    #[test]
+    fn lemma53_shape() {
+        let p = 6;
+        let dag = lemma53_construction(p, 50.0);
+        assert!(dag.is_acyclic());
+        let stats = DagStatistics::of(&dag);
+        // 1 source + (p/2)^2 pairs of nodes.
+        assert_eq!(stats.num_nodes, 1 + 2 * (p / 2) * (p / 2));
+        assert_eq!(stats.num_sources, 1);
+        // Exactly p/2 heavy pairs (one per ladder).
+        let heavy = dag.nodes().filter(|&v| dag.compute_weight(v) == 50.0).count();
+        assert_eq!(heavy, p);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lemma53_rejects_odd_processors() {
+        lemma53_construction(5, 10.0);
+    }
+
+    #[test]
+    fn lemma54_shape() {
+        let dag = lemma54_construction(10.0);
+        assert_eq!(dag.num_nodes(), 10);
+        assert!(dag.is_acyclic());
+        let heavy = dag.nodes().filter(|&v| dag.compute_weight(v) == 20.0).count();
+        assert_eq!(heavy, 3);
+        let light = dag.nodes().filter(|&v| dag.compute_weight(v) == 9.0).count();
+        assert_eq!(light, 6);
+    }
+
+    #[test]
+    fn lemma61_shape() {
+        let dag = lemma61_construction(3, 5);
+        assert!(dag.is_acyclic());
+        // w + 2d + (m+1) nodes.
+        assert_eq!(dag.num_nodes(), 1 + 6 + 6);
+        // w feeds every other node.
+        let w = mbsp_dag::NodeId::new(0);
+        assert_eq!(dag.out_degree(w), 12);
+        // r0 = 4: v_i has parents v_{i-1}, one chain end, and w, plus itself.
+        assert_eq!(dag.minimal_cache_size(), 4.0);
+    }
+}

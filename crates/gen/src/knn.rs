@@ -1,0 +1,93 @@
+//! Fine-grained k-nearest-neighbour (k-NN) computation DAGs.
+//!
+//! The `kNN_N{n}_K{k}` instances model a k-NN classification round: for each of `n`
+//! query points, the distance to each of `n` reference points is computed (one node
+//! per pair, reading the query and the reference), the distances of a query are
+//! reduced by a binary selection tree, and a final voting node per query combines
+//! the selection result over `k` refinement rounds (each round re-uses the reference
+//! points, giving the instances their depth).
+
+use crate::cg::reduce_binary;
+use mbsp_dag::{CompDag, DagBuilder, NodeId};
+
+/// Generates a fine-grained k-NN DAG with `n` query points, `n` reference points and
+/// `k` refinement rounds.
+pub fn knn_dag(name: &str, n: usize, k: usize) -> CompDag {
+    assert!(n >= 2, "need at least two points");
+    assert!(k >= 1, "need at least one round");
+    let mut b = DagBuilder::new(name);
+
+    let refs: Vec<NodeId> = (0..n)
+        .map(|i| b.add_labeled_node(0.0, 1.0, format!("ref{i}")).unwrap())
+        .collect();
+    let mut queries: Vec<NodeId> = (0..n)
+        .map(|i| b.add_labeled_node(0.0, 1.0, format!("q0_{i}")).unwrap())
+        .collect();
+
+    for round in 0..k {
+        let mut new_queries = Vec::with_capacity(n);
+        for (qi, &q) in queries.iter().enumerate() {
+            // Distance of query qi to every reference point.
+            let dists: Vec<NodeId> = refs
+                .iter()
+                .enumerate()
+                .map(|(ri, &r)| {
+                    let d = b
+                        .add_labeled_node(1.0, 1.0, format!("r{round}_d{qi}_{ri}"))
+                        .unwrap();
+                    b.add_edge(q, d).unwrap();
+                    b.add_edge(r, d).unwrap();
+                    d
+                })
+                .collect();
+            // Selection tree over the distances.
+            let selected = reduce_binary(&mut b, &dists, &format!("r{round}_sel{qi}"));
+            // The refined query position for the next round.
+            let refined = b
+                .add_labeled_node(1.0, 1.0, format!("r{round}_q{qi}"))
+                .unwrap();
+            b.add_edge(selected, refined).unwrap();
+            b.add_edge(q, refined).unwrap();
+            new_queries.push(refined);
+        }
+        queries = new_queries;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_dag::DagStatistics;
+
+    #[test]
+    fn knn_dag_shape() {
+        let d = knn_dag("kNN_N4_K1", 4, 1);
+        let stats = DagStatistics::of(&d);
+        assert!(d.is_acyclic());
+        // 4 refs + 4 queries are sources.
+        assert_eq!(stats.num_sources, 8);
+        // Per query: 4 distance nodes + 3 reduction + 1 refined = 8; times 4 queries.
+        assert_eq!(stats.num_nodes, 8 + 32);
+        // One refined node per query is a sink.
+        assert_eq!(stats.num_sinks, 4);
+    }
+
+    #[test]
+    fn rounds_increase_depth() {
+        let d1 = knn_dag("a", 3, 1);
+        let d2 = knn_dag("b", 3, 3);
+        assert!(d2.num_nodes() > d1.num_nodes());
+        assert!(DagStatistics::of(&d2).num_levels > DagStatistics::of(&d1).num_levels);
+        // References are re-used in every round: their out-degree grows.
+        let max_out_1 = DagStatistics::of(&d1).max_out_degree;
+        let max_out_2 = DagStatistics::of(&d2).max_out_degree;
+        assert!(max_out_2 > max_out_1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_point() {
+        knn_dag("bad", 1, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Random layered DAGs for property-based testing and stress tests.
+
+use mbsp_dag::{CompDag, DagBuilder, NodeId};
+use rand::distributions::{Distribution, Uniform};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the random layered DAG generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomDagConfig {
+    /// Number of layers (depth).
+    pub layers: usize,
+    /// Number of nodes per layer.
+    pub width: usize,
+    /// Probability of an edge from a node to a node in the next layer.
+    pub edge_probability: f64,
+    /// Maximum compute weight (weights are uniform integers in `1..=max`).
+    pub max_compute: u32,
+    /// Maximum memory weight (weights are uniform integers in `1..=max`).
+    pub max_memory: u32,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            layers: 4,
+            width: 5,
+            edge_probability: 0.4,
+            max_compute: 3,
+            max_memory: 3,
+        }
+    }
+}
+
+/// Generates a random layered DAG: `layers × width` nodes; every non-first-layer
+/// node has at least one parent in the previous layer, plus additional random edges
+/// with probability `edge_probability`. Deterministic in `seed`.
+pub fn random_layered_dag(config: &RandomDagConfig, seed: u64) -> CompDag {
+    assert!(config.layers >= 1 && config.width >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let compute_dist = Uniform::new_inclusive(1u32, config.max_compute.max(1));
+    let memory_dist = Uniform::new_inclusive(1u32, config.max_memory.max(1));
+    let mut b = DagBuilder::new(format!("random_l{}_w{}_s{}", config.layers, config.width, seed));
+    let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(config.layers);
+    for l in 0..config.layers {
+        let mut layer = Vec::with_capacity(config.width);
+        for i in 0..config.width {
+            let compute = if l == 0 { 0.0 } else { compute_dist.sample(&mut rng) as f64 };
+            let memory = memory_dist.sample(&mut rng) as f64;
+            let v = b
+                .add_labeled_node(compute, memory, format!("l{l}_n{i}"))
+                .unwrap();
+            layer.push(v);
+        }
+        if l > 0 {
+            let prev = &layers[l - 1];
+            for &v in &layer {
+                // Guarantee at least one parent so that no non-first-layer node is a
+                // source (sources are never computed in the MBSP model).
+                let forced = prev[rng.gen_range(0..prev.len())];
+                b.add_edge(forced, v).unwrap();
+                for &u in prev {
+                    if u != forced && rng.gen_bool(config.edge_probability) {
+                        b.add_edge(u, v).unwrap();
+                    }
+                }
+            }
+        }
+        layers.push(layer);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_dag::DagStatistics;
+
+    #[test]
+    fn generated_dag_is_well_formed() {
+        let cfg = RandomDagConfig { layers: 5, width: 6, ..Default::default() };
+        let dag = random_layered_dag(&cfg, 3);
+        assert!(dag.is_acyclic());
+        assert_eq!(dag.num_nodes(), 30);
+        let stats = DagStatistics::of(&dag);
+        // Only first-layer nodes are sources.
+        assert_eq!(stats.num_sources, 6);
+        assert_eq!(stats.num_levels, 5);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = RandomDagConfig::default();
+        let a = random_layered_dag(&cfg, 11);
+        let b = random_layered_dag(&cfg, 11);
+        assert_eq!(a, b);
+        let c = random_layered_dag(&cfg, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_probability_zero_still_connected_to_previous_layer() {
+        let cfg = RandomDagConfig { edge_probability: 0.0, ..Default::default() };
+        let dag = random_layered_dag(&cfg, 5);
+        // Every non-source node has exactly one parent.
+        for v in dag.nodes() {
+            if !dag.is_source(v) {
+                assert_eq!(dag.in_degree(v), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Fine-grained SpMV and iterated SpMV ("exp") DAG generators.
+//!
+//! A sparse matrix–vector multiplication `y = A·x` is modelled at the granularity of
+//! individual scalar operations: every vector entry `x_j` is a source node, every
+//! nonzero `a_{ij}` contributes a multiplication node `a_{ij}·x_j`, and the products
+//! of each row are accumulated by a chain of addition nodes ending in the row result
+//! `y_i`. This reproduces the shape of the `spmv_N*` instances of the benchmark: wide
+//! and shallow with heavy fan-in from the vector entries.
+//!
+//! The iterated SpMV ("exp", for `y = A^k x`) instances chain `k` SpMV layers: the
+//! row results of iteration `t` become the vector entries of iteration `t + 1`.
+
+use mbsp_dag::{CompDag, DagBuilder, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Sparsity pattern of a square matrix: for each row, the sorted column indices of
+/// its nonzeros. Every row and every column is guaranteed to contain at least one
+/// nonzero (so that no vector entry is dead and no row result is trivial).
+#[derive(Debug, Clone)]
+pub struct SparsityPattern {
+    /// `rows[i]` = sorted column indices of the nonzeros of row `i`.
+    pub rows: Vec<Vec<usize>>,
+}
+
+impl SparsityPattern {
+    /// Generates a random pattern for an `n × n` matrix with roughly `avg_nnz_per_row`
+    /// nonzeros per row (minimum 1), deterministically in `seed`.
+    pub fn random(n: usize, avg_nnz_per_row: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rows = vec![Vec::new(); n];
+        // Ensure every column appears at least once by dealing a random permutation
+        // of the columns across the rows first.
+        let mut cols: Vec<usize> = (0..n).collect();
+        cols.shuffle(&mut rng);
+        for (i, &c) in cols.iter().enumerate() {
+            rows[i % n].push(c);
+        }
+        // Then add random extra nonzeros up to the target density.
+        let target_total = n * avg_nnz_per_row.max(1);
+        let mut total: usize = rows.iter().map(|r| r.len()).sum();
+        let mut guard = 0usize;
+        while total < target_total && guard < 20 * target_total {
+            guard += 1;
+            let i = rng.gen_range(0..n);
+            let j = rng.gen_range(0..n);
+            if !rows[i].contains(&j) {
+                rows[i].push(j);
+                total += 1;
+            }
+        }
+        for r in &mut rows {
+            r.sort_unstable();
+        }
+        SparsityPattern { rows }
+    }
+
+    /// Number of rows/columns.
+    pub fn n(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// Generates the fine-grained DAG of a single SpMV `y = A·x` for the given pattern.
+///
+/// Multiplication and addition nodes have compute weight 1; vector sources have
+/// compute weight 0 (they are inputs). Memory weights are left at 1 and are
+/// typically overridden by [`crate::assign_random_memory_weights`].
+pub fn spmv_dag(name: &str, pattern: &SparsityPattern) -> CompDag {
+    let mut b = DagBuilder::new(name);
+    let n = pattern.n();
+    // Vector entries x_j are source nodes.
+    let x: Vec<NodeId> = (0..n)
+        .map(|j| b.add_labeled_node(0.0, 1.0, format!("x{j}")).unwrap())
+        .collect();
+    for (i, cols) in pattern.rows.iter().enumerate() {
+        append_row(&mut b, i, cols, &x, &format!("r{i}"));
+    }
+    b.build()
+}
+
+/// Generates the fine-grained DAG of an iterated SpMV `y = A^k x`.
+///
+/// The same sparsity pattern is applied `k` times; the row results of one iteration
+/// are the vector entries of the next. The instance names in the paper are of the
+/// form `exp_N{n}_K{k}`.
+pub fn iterated_spmv_dag(name: &str, pattern: &SparsityPattern, iterations: usize) -> CompDag {
+    assert!(iterations >= 1);
+    let mut b = DagBuilder::new(name);
+    let n = pattern.n();
+    let mut current: Vec<NodeId> = (0..n)
+        .map(|j| b.add_labeled_node(0.0, 1.0, format!("x{j}")).unwrap())
+        .collect();
+    for it in 0..iterations {
+        let mut next = Vec::with_capacity(n);
+        for (i, cols) in pattern.rows.iter().enumerate() {
+            let y = append_row(&mut b, i, cols, &current, &format!("it{it}_r{i}"));
+            next.push(y);
+        }
+        current = next;
+    }
+    b.build()
+}
+
+/// Adds the multiply/accumulate nodes of one matrix row and returns the row-result
+/// node.
+fn append_row(
+    b: &mut DagBuilder,
+    row: usize,
+    cols: &[usize],
+    x: &[NodeId],
+    prefix: &str,
+) -> NodeId {
+    assert!(!cols.is_empty(), "row {row} has no nonzeros");
+    // One multiplication node per nonzero.
+    let products: Vec<NodeId> = cols
+        .iter()
+        .map(|&j| {
+            let m = b
+                .add_labeled_node(1.0, 1.0, format!("{prefix}_mul{j}"))
+                .unwrap();
+            b.add_edge(x[j], m).unwrap();
+            m
+        })
+        .collect();
+    // Accumulate the products with a chain of additions; a single product is the row
+    // result directly.
+    if products.len() == 1 {
+        return products[0];
+    }
+    let mut acc = products[0];
+    for (k, &m) in products.iter().enumerate().skip(1) {
+        let add = b
+            .add_labeled_node(1.0, 1.0, format!("{prefix}_add{k}"))
+            .unwrap();
+        b.add_edge(acc, add).unwrap();
+        b.add_edge(m, add).unwrap();
+        acc = add;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_dag::DagStatistics;
+
+    #[test]
+    fn pattern_covers_all_rows_and_columns() {
+        let p = SparsityPattern::random(8, 3, 1);
+        assert_eq!(p.n(), 8);
+        assert!(p.nnz() >= 8);
+        let mut col_seen = vec![false; 8];
+        for (i, r) in p.rows.iter().enumerate() {
+            assert!(!r.is_empty(), "row {i} empty");
+            for &c in r {
+                col_seen[c] = true;
+            }
+            // Sorted and unique.
+            let mut sorted = r.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(&sorted, r);
+        }
+        assert!(col_seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn pattern_is_deterministic() {
+        let a = SparsityPattern::random(10, 3, 7);
+        let b = SparsityPattern::random(10, 3, 7);
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn spmv_dag_structure() {
+        let p = SparsityPattern::random(6, 3, 2);
+        let d = spmv_dag("spmv_test", &p);
+        let stats = DagStatistics::of(&d);
+        // n sources, nnz multiplies, and (nnz - n) adds at most.
+        assert_eq!(stats.num_sources, 6);
+        assert!(stats.num_nodes >= 6 + p.nnz());
+        assert!(d.is_acyclic());
+        // All sources have zero compute weight.
+        for v in d.sources() {
+            assert_eq!(d.compute_weight(v), 0.0);
+        }
+        // Every sink is a row result: at least one sink per row with >= 1 nonzero.
+        assert!(stats.num_sinks >= 1);
+    }
+
+    #[test]
+    fn iterated_spmv_layers_are_chained() {
+        let p = SparsityPattern::random(5, 2, 3);
+        let d1 = iterated_spmv_dag("exp1", &p, 1);
+        let d3 = iterated_spmv_dag("exp3", &p, 3);
+        assert!(d3.num_nodes() > 2 * d1.num_nodes());
+        // Depth grows with the number of iterations.
+        let s1 = DagStatistics::of(&d1);
+        let s3 = DagStatistics::of(&d3);
+        assert!(s3.num_levels > s1.num_levels);
+        // Only the original x entries are sources (later layers consume row results).
+        assert_eq!(s3.num_sources, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn iterated_spmv_requires_at_least_one_iteration() {
+        let p = SparsityPattern::random(3, 2, 0);
+        iterated_spmv_dag("bad", &p, 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! The divide-and-conquer MBSP scheduler (Section 6.3 of the paper).
+//!
+//! For DAGs too large for the full holistic optimisation, the problem is split:
+//!
+//! 1. the DAG is recursively bipartitioned (acyclic-partition ILP) until every part
+//!    has at most `max_part_size` nodes;
+//! 2. a high-level plan on the quotient graph decides which processors handle which
+//!    part and in which stage (the adjusted BSPg planner of `mbsp-sched`);
+//! 3. every part is scheduled independently with the holistic scheduler, with the
+//!    boundary conditions of the paper: values produced by earlier parts are treated
+//!    as inputs (they are already in slow memory), and values needed by later parts
+//!    are required outputs that must be saved;
+//! 4. the sub-schedules are concatenated stage by stage (parts in the same stage run
+//!    side by side on disjoint processor groups) and the combined schedule is
+//!    streamlined (superstep merging, removal of empty supersteps).
+//!
+//! Like the paper's divide-and-conquer ILP, the result is a heuristic: every
+//! sub-problem is optimised well, but the concatenation is not globally optimal and
+//! can fall behind the two-stage baseline on DAGs without good partitions.
+
+use crate::improver::{post_optimize, HolisticConfig, HolisticScheduler};
+use crate::partition_ilp::{recursive_partition, BipartitionConfig};
+use mbsp_dag::{CompDag, NodeId};
+use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId, Superstep};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler, QuotientPlanner};
+use std::time::Duration;
+
+/// Configuration of [`DivideAndConquerScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct DivideAndConquerConfig {
+    /// Maximal number of nodes per part (the paper uses 60).
+    pub max_part_size: usize,
+    /// Configuration of the acyclic bipartitioning ILP.
+    pub bipartition: BipartitionConfig,
+    /// Configuration of the per-part holistic scheduler.
+    pub per_part: HolisticConfig,
+    /// Cost model used for the final streamlining pass.
+    pub cost_model: CostModel,
+}
+
+impl Default for DivideAndConquerConfig {
+    fn default() -> Self {
+        DivideAndConquerConfig {
+            max_part_size: 60,
+            bipartition: BipartitionConfig::default(),
+            per_part: HolisticConfig {
+                max_rounds: 20,
+                moves_per_round: 60,
+                time_limit: Duration::from_secs(5),
+                ..Default::default()
+            },
+            cost_model: CostModel::Synchronous,
+        }
+    }
+}
+
+/// Divide-and-conquer MBSP scheduler for larger DAGs.
+#[derive(Debug, Clone, Default)]
+pub struct DivideAndConquerScheduler {
+    config: DivideAndConquerConfig,
+}
+
+impl DivideAndConquerScheduler {
+    /// Creates a scheduler with the default configuration.
+    pub fn new() -> Self {
+        DivideAndConquerScheduler::default()
+    }
+
+    /// Creates a scheduler with an explicit configuration.
+    pub fn with_config(config: DivideAndConquerConfig) -> Self {
+        DivideAndConquerScheduler { config }
+    }
+
+    /// Schedules the instance. Returns a valid MBSP schedule over the instance's
+    /// full processor count.
+    pub fn schedule(&self, instance: &MbspInstance) -> MbspSchedule {
+        let dag = instance.dag();
+        let arch = instance.arch();
+
+        // 1. Recursive acyclic partitioning.
+        let partition = recursive_partition(dag, self.config.max_part_size, &self.config.bipartition);
+        // Build one scheduling sub-problem per part: the part's nodes plus boundary
+        // input nodes for parents living in other parts (those are sources of the
+        // sub-problem — their values are already in slow memory when the part runs).
+        let sub_problems: Vec<SubProblem> = partition
+            .parts()
+            .iter()
+            .enumerate()
+            .map(|(idx, nodes)| SubProblem::build(dag, &partition, idx, nodes))
+            .collect();
+
+        // 2. High-level plan on the quotient graph.
+        let quotient = partition
+            .quotient_graph(dag)
+            .expect("partition quotient is acyclic");
+        let plan = QuotientPlanner::new().plan(quotient.graph(), arch);
+
+        // 3. Schedule every part with its assigned processors.
+        let greedy = GreedyBspScheduler::new();
+        let per_part_scheduler = HolisticScheduler::with_config(HolisticConfig {
+            cost_model: self.config.cost_model,
+            ..self.config.per_part
+        });
+        // Sub-schedules indexed by part.
+        let mut sub_schedules: Vec<Option<(MbspSchedule, Vec<ProcId>)>> =
+            vec![None; partition.num_parts()];
+        for part_plan in &plan.parts {
+            let part = part_plan.part;
+            let sub = &sub_problems[part];
+            let local_arch = Architecture::new(
+                part_plan.processors.len(),
+                arch.cache_size,
+                arch.g,
+                arch.latency,
+            );
+            let sub_instance = MbspInstance::new(sub.dag.clone(), local_arch);
+            let baseline = greedy.schedule(&sub.dag, &local_arch);
+            let schedule = per_part_scheduler.schedule_with_required_outputs(
+                &sub_instance,
+                &baseline,
+                &sub.required_outputs,
+            );
+            sub_schedules[part] = Some((schedule, part_plan.processors.clone()));
+        }
+
+        // 4. Concatenate the sub-schedules stage by stage. Between stages, every
+        //    processor's cache is flushed (free delete operations): each sub-schedule
+        //    assumes it starts with an empty cache, and everything a later part needs
+        //    is already in slow memory.
+        let mut combined = MbspSchedule::new(arch.processors);
+        let mut cached: Vec<std::collections::BTreeSet<NodeId>> =
+            vec![std::collections::BTreeSet::new(); arch.processors];
+        for stage in plan.stages() {
+            let stage_len = stage
+                .iter()
+                .map(|pp| {
+                    sub_schedules[pp.part]
+                        .as_ref()
+                        .map_or(0, |(s, _)| s.num_supersteps())
+                })
+                .max()
+                .unwrap_or(0);
+            let offset = combined.num_supersteps();
+            if stage_len == 0 {
+                continue;
+            }
+            for _ in 0..stage_len {
+                combined.push_superstep(Superstep::empty(arch.processors));
+            }
+            // Flush the caches left over from earlier stages at the beginning of the
+            // first superstep of this stage.
+            {
+                let first = &mut combined.supersteps_mut()[offset];
+                for (pi, leftovers) in cached.iter_mut().enumerate() {
+                    for &v in leftovers.iter() {
+                        first.procs[pi]
+                            .compute
+                            .push(mbsp_model::ComputePhaseStep::Delete(v));
+                    }
+                    leftovers.clear();
+                }
+            }
+            for part_plan in stage {
+                let part = part_plan.part;
+                let (schedule, processors) = sub_schedules[part].as_ref().expect("scheduled");
+                let sub = &sub_problems[part];
+                for (s, step) in schedule.supersteps().iter().enumerate() {
+                    let target = &mut combined.supersteps_mut()[offset + s];
+                    for (local_p, phases) in step.procs.iter().enumerate() {
+                        let global_p = processors[local_p];
+                        let t = &mut target.procs[global_p.index()];
+                        t.compute.extend(phases.compute.iter().map(|c| match c {
+                            mbsp_model::ComputePhaseStep::Compute(v) => {
+                                mbsp_model::ComputePhaseStep::Compute(sub.to_global(*v))
+                            }
+                            mbsp_model::ComputePhaseStep::Delete(v) => {
+                                mbsp_model::ComputePhaseStep::Delete(sub.to_global(*v))
+                            }
+                        }));
+                        t.save.extend(phases.save.iter().map(|&v| sub.to_global(v)));
+                        t.delete.extend(phases.delete.iter().map(|&v| sub.to_global(v)));
+                        t.load.extend(phases.load.iter().map(|&v| sub.to_global(v)));
+                        // Track what remains cached on this processor at stage end.
+                        let cache = &mut cached[global_p.index()];
+                        for c in &phases.compute {
+                            match c {
+                                mbsp_model::ComputePhaseStep::Compute(v) => {
+                                    cache.insert(sub.to_global(*v));
+                                }
+                                mbsp_model::ComputePhaseStep::Delete(v) => {
+                                    cache.remove(&sub.to_global(*v));
+                                }
+                            }
+                        }
+                        // Phase order within a superstep: deletes happen before loads.
+                        for &v in &phases.delete {
+                            cache.remove(&sub.to_global(v));
+                        }
+                        for &v in &phases.load {
+                            cache.insert(sub.to_global(v));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Streamline the combined schedule. Saves of values needed by later parts
+        // have already happened, so no extra required outputs are necessary here.
+        combined.remove_empty_supersteps();
+        post_optimize(&mut combined, dag, arch, self.config.cost_model, &[]);
+        combined
+    }
+
+    /// Convenience accessor used by the experiment harness: the partition the
+    /// scheduler would use for the given DAG.
+    pub fn partition_for(&self, dag: &CompDag) -> mbsp_dag::AcyclicPartition {
+        recursive_partition(dag, self.config.max_part_size, &self.config.bipartition)
+    }
+}
+
+/// A scheduling sub-problem for one part of the acyclic partition: the part's nodes
+/// plus *boundary input* nodes (parents of part nodes that live in other parts).
+/// Boundary inputs are sources of the sub-DAG — their values are already in slow
+/// memory when the part is scheduled — and every actual part node is computed by the
+/// sub-schedule.
+struct SubProblem {
+    /// The sub-DAG handed to the per-part scheduler.
+    dag: CompDag,
+    /// `to_global[local]` = node id in the full DAG.
+    to_global: Vec<NodeId>,
+    /// Local ids of the part nodes whose values are needed by later parts (they must
+    /// be saved by the sub-schedule).
+    required_outputs: Vec<NodeId>,
+}
+
+impl SubProblem {
+    fn build(
+        dag: &CompDag,
+        partition: &mbsp_dag::AcyclicPartition,
+        part_index: usize,
+        part_nodes: &[NodeId],
+    ) -> SubProblem {
+        let mut in_part = vec![false; dag.num_nodes()];
+        for &v in part_nodes {
+            in_part[v.index()] = true;
+        }
+        // Boundary inputs: external parents of part nodes, in index order.
+        let mut boundary: Vec<NodeId> = part_nodes
+            .iter()
+            .flat_map(|&v| dag.parents(v).iter().copied())
+            .filter(|u| !in_part[u.index()])
+            .collect();
+        boundary.sort();
+        boundary.dedup();
+
+        let mut builder = mbsp_dag::DagBuilder::new(format!("{}::part{}", dag.name(), part_index));
+        let mut to_local = vec![None::<NodeId>; dag.num_nodes()];
+        let mut to_global = Vec::new();
+        // Boundary inputs first (pure sources of the sub-DAG), then the part nodes.
+        for &u in boundary.iter().chain(part_nodes.iter()) {
+            let local = builder
+                .add_labeled_node(dag.compute_weight(u), dag.memory_weight(u), dag.label(u))
+                .expect("weights come from a valid DAG");
+            to_local[u.index()] = Some(local);
+            to_global.push(u);
+        }
+        // Edges: into part nodes only (boundary→part and part→part). Edges between
+        // boundary nodes are dropped so that boundary inputs stay sources.
+        for &v in part_nodes {
+            let lv = to_local[v.index()].unwrap();
+            for &u in dag.parents(v) {
+                let lu = to_local[u.index()].expect("parent is in the part or a boundary input");
+                builder
+                    .add_edge_idempotent(lu, lv)
+                    .expect("sub-problem edges follow the original DAG");
+            }
+        }
+        let sub = builder.build();
+        // Required outputs: part nodes with at least one child in another part.
+        let required_outputs: Vec<NodeId> = part_nodes
+            .iter()
+            .filter(|&&v| {
+                dag.children(v)
+                    .iter()
+                    .any(|c| partition.part_of(*c) != partition.part_of(v))
+            })
+            .map(|&v| to_local[v.index()].unwrap())
+            .collect();
+        SubProblem { dag: sub, to_global, required_outputs }
+    }
+
+    fn to_global(&self, local: NodeId) -> NodeId {
+        self.to_global[local.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
+    use mbsp_model::sync_cost;
+
+    fn fast_config() -> DivideAndConquerConfig {
+        DivideAndConquerConfig {
+            max_part_size: 40,
+            per_part: HolisticConfig {
+                max_rounds: 3,
+                moves_per_round: 20,
+                time_limit: Duration::from_secs(2),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn divide_and_conquer_schedules_are_valid() {
+        let dnc = DivideAndConquerScheduler::with_config(fast_config());
+        // Two mid-size instances from the small dataset sample.
+        for inst in mbsp_gen::small_dataset_sample(42).into_iter().take(2) {
+            let instance =
+                MbspInstance::with_cache_factor(inst.dag, Architecture::paper_default(0.0), 5.0);
+            let schedule = dnc.schedule(&instance);
+            schedule
+                .validate(instance.dag(), instance.arch())
+                .unwrap_or_else(|e| panic!("{}: {e}", instance.name()));
+            let stats = schedule.statistics(instance.dag(), instance.arch());
+            let non_sources = instance
+                .dag()
+                .nodes()
+                .filter(|&v| !instance.dag().is_source(v))
+                .count();
+            assert!(stats.computes >= non_sources);
+        }
+    }
+
+    #[test]
+    fn divide_and_conquer_is_reasonable_on_partitionable_dags() {
+        // On a tiny instance the combined schedule should not be wildly worse than
+        // the plain two-stage baseline (the paper observes both wins and losses).
+        let inst = mbsp_gen::tiny_dataset(42).remove(3); // spmv_N6
+        let instance =
+            MbspInstance::with_cache_factor(inst.dag, Architecture::paper_default(0.0), 3.0);
+        let dnc = DivideAndConquerScheduler::with_config(DivideAndConquerConfig {
+            max_part_size: 25,
+            ..fast_config()
+        });
+        let schedule = dnc.schedule(&instance);
+        schedule.validate(instance.dag(), instance.arch()).unwrap();
+        let greedy = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+        let baseline = TwoStageScheduler::new().schedule(
+            instance.dag(),
+            instance.arch(),
+            &greedy,
+            &ClairvoyantPolicy::new(),
+        );
+        let dnc_cost = sync_cost(&schedule, instance.dag(), instance.arch()).total;
+        let base_cost = sync_cost(&baseline, instance.dag(), instance.arch()).total;
+        assert!(dnc_cost <= base_cost * 2.5, "dnc {dnc_cost} vs baseline {base_cost}");
+    }
+
+    #[test]
+    fn partition_accessor_matches_size_limit() {
+        let inst = mbsp_gen::small_dataset_sample(42).remove(2); // spmv_N25
+        let dnc = DivideAndConquerScheduler::with_config(fast_config());
+        let partition = dnc.partition_for(&inst.dag);
+        for size in partition.part_sizes() {
+            assert!(size <= 40);
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! The holistic MBSP scheduler: baseline-seeded local search over the full problem.
+//!
+//! The paper's headline scheduler formulates the whole MBSP problem as an ILP and
+//! lets COPT improve on the two-stage baseline within a time limit. Without a
+//! commercial solver, this module plays the same role (see DESIGN.md,
+//! substitution 1): starting from the baseline's processor assignment it searches
+//! the neighbourhood of assignments — moving single nodes, moving small node groups
+//! that share a parent, and swapping nodes between processors — and evaluates every
+//! candidate *holistically*: the candidate assignment is converted into a valid MBSP
+//! schedule (cache simulation with the clairvoyant policy) and measured with the
+//! true synchronous or asynchronous MBSP cost, so the search directly optimises the
+//! paper's objective rather than a memory-oblivious proxy. A final post-optimisation
+//! pass merges adjacent supersteps and drops redundant I/O whenever that keeps the
+//! schedule valid and lowers the cost.
+
+use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
+use mbsp_dag::{CompDag, NodeId, TopologicalOrder};
+use mbsp_model::{
+    Architecture, BspSchedule, CostModel, MbspInstance, MbspSchedule, ProcId, Superstep,
+};
+use mbsp_sched::BspSchedulingResult;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Configuration of [`HolisticScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct HolisticConfig {
+    /// Cost model to optimise (synchronous by default, as in the paper's main
+    /// experiments).
+    pub cost_model: CostModel,
+    /// Maximum number of local-search rounds.
+    pub max_rounds: usize,
+    /// Number of candidate moves evaluated per round.
+    pub moves_per_round: usize,
+    /// Wall-clock time limit for the search.
+    pub time_limit: Duration,
+    /// RNG seed (the search is fully deterministic for a fixed seed).
+    pub seed: u64,
+}
+
+impl Default for HolisticConfig {
+    fn default() -> Self {
+        HolisticConfig {
+            cost_model: CostModel::Synchronous,
+            max_rounds: 60,
+            moves_per_round: 120,
+            time_limit: Duration::from_secs(20),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Holistic MBSP scheduler (baseline-seeded local search + schedule post-optimiser).
+#[derive(Debug, Clone, Default)]
+pub struct HolisticScheduler {
+    config: HolisticConfig,
+}
+
+impl HolisticScheduler {
+    /// Creates a scheduler with the default configuration.
+    pub fn new() -> Self {
+        HolisticScheduler::default()
+    }
+
+    /// Creates a scheduler with an explicit configuration.
+    pub fn with_config(config: HolisticConfig) -> Self {
+        HolisticScheduler { config }
+    }
+
+    /// Improves on the given baseline scheduling result and returns the best MBSP
+    /// schedule found. The result is always at least as good as the baseline
+    /// conversion (the baseline itself is the starting incumbent).
+    pub fn schedule(&self, instance: &MbspInstance, baseline: &BspSchedulingResult) -> MbspSchedule {
+        self.schedule_with_required_outputs(instance, baseline, &[])
+    }
+
+    /// Like [`HolisticScheduler::schedule`], but additionally guarantees that every
+    /// node in `required_outputs` ends up in slow memory (used when scheduling the
+    /// sub-problems of the divide-and-conquer method).
+    pub fn schedule_with_required_outputs(
+        &self,
+        instance: &MbspInstance,
+        baseline: &BspSchedulingResult,
+        required_outputs: &[NodeId],
+    ) -> MbspSchedule {
+        let dag = instance.dag();
+        let arch = instance.arch();
+        let converter = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        let start = Instant::now();
+
+        // Current search state: per-node processor assignment.
+        let mut procs: Vec<ProcId> = dag
+            .nodes()
+            .map(|v| baseline.schedule.proc_of(v))
+            .collect();
+
+        let evaluate = |procs: &[ProcId]| -> (f64, MbspSchedule) {
+            let bsp = canonical_bsp(dag, arch, procs);
+            let mut mbsp =
+                converter.schedule_with_required_outputs(dag, arch, &bsp, &policy, required_outputs);
+            post_optimize(&mut mbsp, dag, arch, self.config.cost_model, required_outputs);
+            let cost = self.config.cost_model.evaluate(&mbsp, dag, arch);
+            (cost, mbsp)
+        };
+
+        let (mut best_cost, mut best_schedule) = evaluate(&procs);
+        // Also consider the baseline's own superstep structure (not just the
+        // canonical one) as a starting incumbent.
+        {
+            let mut base = converter
+                .schedule_with_required_outputs(dag, arch, baseline, &policy, required_outputs);
+            post_optimize(&mut base, dag, arch, self.config.cost_model, required_outputs);
+            let cost = self.config.cost_model.evaluate(&base, dag, arch);
+            if cost < best_cost {
+                best_cost = cost;
+                best_schedule = base;
+            }
+        }
+
+        let movable: Vec<NodeId> = dag.nodes().filter(|&v| !dag.is_source(v)).collect();
+        if movable.is_empty() || arch.processors == 1 {
+            return best_schedule;
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        for _round in 0..self.config.max_rounds {
+            if start.elapsed() >= self.config.time_limit {
+                break;
+            }
+            let mut improved = false;
+            for _ in 0..self.config.moves_per_round {
+                if start.elapsed() >= self.config.time_limit {
+                    break;
+                }
+                let candidate = self.propose_move(dag, arch, &procs, &movable, &mut rng);
+                let Some(candidate) = candidate else { continue };
+                let (cost, schedule) = evaluate(&candidate);
+                if cost < best_cost - 1e-9 {
+                    best_cost = cost;
+                    best_schedule = schedule;
+                    procs = candidate;
+                    improved = true;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        best_schedule
+    }
+
+    /// Proposes a random neighbour of the current assignment.
+    fn propose_move(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        procs: &[ProcId],
+        movable: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Option<Vec<ProcId>> {
+        let p = arch.processors;
+        let mut candidate = procs.to_vec();
+        match rng.gen_range(0..3u32) {
+            0 => {
+                // Move a single node to a different processor.
+                let v = movable[rng.gen_range(0..movable.len())];
+                let new_proc = ProcId::new(rng.gen_range(0..p));
+                if candidate[v.index()] == new_proc {
+                    return None;
+                }
+                candidate[v.index()] = new_proc;
+            }
+            1 => {
+                // Move all children of a random node to one processor (targets the
+                // "assign all children of H1 to one processor" structure of
+                // Theorem 4.1).
+                let u = NodeId::new(rng.gen_range(0..dag.num_nodes()));
+                let children: Vec<NodeId> = dag
+                    .children(u)
+                    .iter()
+                    .copied()
+                    .filter(|c| !dag.is_source(*c))
+                    .collect();
+                if children.is_empty() {
+                    return None;
+                }
+                let new_proc = ProcId::new(rng.gen_range(0..p));
+                let mut changed = false;
+                for c in children {
+                    if candidate[c.index()] != new_proc {
+                        candidate[c.index()] = new_proc;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    return None;
+                }
+            }
+            _ => {
+                // Swap the processors of two nodes.
+                let a = movable[rng.gen_range(0..movable.len())];
+                let b = movable[rng.gen_range(0..movable.len())];
+                if a == b || candidate[a.index()] == candidate[b.index()] {
+                    return None;
+                }
+                candidate.swap(a.index(), b.index());
+            }
+        }
+        Some(candidate)
+    }
+}
+
+/// Builds a canonical BSP schedule (with recomputed supersteps and a topological
+/// order hint) from a per-node processor assignment: in topological order, a node's
+/// superstep is the smallest one compatible with its parents (same superstep on the
+/// same processor, strictly later across processors).
+pub fn canonical_bsp(dag: &CompDag, arch: &Architecture, procs: &[ProcId]) -> BspSchedulingResult {
+    let topo = TopologicalOrder::of(dag);
+    let n = dag.num_nodes();
+    let mut superstep = vec![0usize; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    for &v in topo.order() {
+        if dag.is_source(v) {
+            superstep[v.index()] = 0;
+        } else {
+            let mut s = 0usize;
+            for &u in dag.parents(v) {
+                let su = superstep[u.index()];
+                let needed = if dag.is_source(u) {
+                    // Sources are loaded from slow memory, not communicated, but the
+                    // BSP representation still requires a later superstep across
+                    // processors; superstep 1 is always enough.
+                    su + 1
+                } else if procs[u.index()] == procs[v.index()] {
+                    su
+                } else {
+                    su + 1
+                };
+                s = s.max(needed);
+            }
+            superstep[v.index()] = s.max(1);
+        }
+        order.push(v);
+    }
+    let assignment: Vec<(ProcId, usize)> = (0..n)
+        .map(|i| (procs[i], superstep[i]))
+        .collect();
+    let mut schedule = BspSchedule::new(arch.processors, assignment);
+    schedule.compact_supersteps();
+    // Re-read the (compacted) supersteps for the order: sort by (superstep, topo pos).
+    let mut order_keyed: Vec<(usize, usize, NodeId)> = order
+        .iter()
+        .map(|&v| (schedule.superstep_of(v), topo.position(v), v))
+        .collect();
+    order_keyed.sort_unstable();
+    let order = order_keyed.into_iter().map(|(_, _, v)| v).collect();
+    BspSchedulingResult { schedule, order }
+}
+
+/// Post-optimises a valid MBSP schedule in place:
+///
+/// 1. repeatedly merges adjacent supersteps when the merged schedule stays valid and
+///    does not increase the cost (this removes synchronisation overhead the
+///    conversion introduced);
+/// 2. drops save operations whose value is never loaded later and is not a sink
+///    (redundant persistence);
+/// 3. removes empty supersteps.
+pub fn post_optimize(
+    schedule: &mut MbspSchedule,
+    dag: &CompDag,
+    arch: &Architecture,
+    cost_model: CostModel,
+    required_outputs: &[NodeId],
+) {
+    remove_redundant_saves(schedule, dag, required_outputs);
+    schedule.remove_empty_supersteps();
+    merge_supersteps(schedule, dag, arch, cost_model);
+}
+
+/// Drops save operations for values that are neither sinks nor ever loaded later in
+/// the schedule.
+fn remove_redundant_saves(schedule: &mut MbspSchedule, dag: &CompDag, required_outputs: &[NodeId]) {
+    let n = dag.num_nodes();
+    let mut required = vec![false; n];
+    for &v in required_outputs {
+        required[v.index()] = true;
+    }
+    // For each node, the last superstep in which it is loaded by anyone.
+    let mut last_load = vec![None::<usize>; n];
+    for (s, step) in schedule.supersteps().iter().enumerate() {
+        for phases in &step.procs {
+            for &v in &phases.load {
+                last_load[v.index()] = Some(s);
+            }
+        }
+    }
+    let num_steps = schedule.num_supersteps();
+    for s in 0..num_steps {
+        let step = &mut schedule.supersteps_mut()[s];
+        for phases in &mut step.procs {
+            phases.save.retain(|&v| {
+                dag.is_sink(v)
+                    || required[v.index()]
+                    || last_load[v.index()].map_or(false, |l| l >= s)
+            });
+        }
+    }
+}
+
+/// Greedily merges adjacent supersteps whenever the merged schedule remains valid
+/// and its cost does not increase.
+fn merge_supersteps(
+    schedule: &mut MbspSchedule,
+    dag: &CompDag,
+    arch: &Architecture,
+    cost_model: CostModel,
+) {
+    let mut current_cost = cost_model.evaluate(schedule, dag, arch);
+    let mut k = 0usize;
+    while k + 1 < schedule.num_supersteps() {
+        let candidate = merged_copy(schedule, k);
+        if candidate.validate(dag, arch).is_ok() {
+            let cost = cost_model.evaluate(&candidate, dag, arch);
+            if cost <= current_cost + 1e-9 {
+                *schedule = candidate;
+                current_cost = cost;
+                // Stay at the same index: further merges may now be possible.
+                continue;
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Returns a copy of the schedule in which superstep `k + 1` is folded into
+/// superstep `k` (phase lists concatenated per processor).
+fn merged_copy(schedule: &MbspSchedule, k: usize) -> MbspSchedule {
+    let mut merged = MbspSchedule::new(schedule.processors());
+    for (s, step) in schedule.supersteps().iter().enumerate() {
+        if s == k + 1 {
+            // Fold into the previously pushed superstep.
+            let target_idx = merged.num_supersteps() - 1;
+            let target = &mut merged.supersteps_mut()[target_idx];
+            for (pi, phases) in step.procs.iter().enumerate() {
+                let t = &mut target.procs[pi];
+                t.compute.extend(phases.compute.iter().copied());
+                t.save.extend(phases.save.iter().copied());
+                t.delete.extend(phases.delete.iter().copied());
+                t.load.extend(phases.load.iter().copied());
+            }
+        } else {
+            let mut copy = Superstep::empty(schedule.processors());
+            copy.procs = step.procs.clone();
+            merged.push_superstep(copy);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
+    use mbsp_model::sync_cost;
+    use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+
+    fn tiny_instances(limit: usize) -> Vec<MbspInstance> {
+        mbsp_gen::tiny_dataset(42)
+            .into_iter()
+            .take(limit)
+            .map(|inst| {
+                MbspInstance::with_cache_factor(inst.dag, Architecture::paper_default(0.0), 3.0)
+            })
+            .collect()
+    }
+
+    fn fast_config() -> HolisticConfig {
+        HolisticConfig {
+            max_rounds: 6,
+            moves_per_round: 30,
+            time_limit: Duration::from_secs(3),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn holistic_schedules_are_valid_and_not_worse_than_baseline() {
+        let greedy = GreedyBspScheduler::new();
+        let converter = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        let holistic = HolisticScheduler::with_config(fast_config());
+        for inst in tiny_instances(5) {
+            let baseline = greedy.schedule(inst.dag(), inst.arch());
+            let base_mbsp = converter.schedule(inst.dag(), inst.arch(), &baseline, &policy);
+            let base_cost = sync_cost(&base_mbsp, inst.dag(), inst.arch()).total;
+            let improved = holistic.schedule(&inst, &baseline);
+            improved.validate(inst.dag(), inst.arch()).unwrap();
+            let improved_cost = sync_cost(&improved, inst.dag(), inst.arch()).total;
+            assert!(
+                improved_cost <= base_cost + 1e-9,
+                "{}: holistic {improved_cost} vs baseline {base_cost}",
+                inst.name()
+            );
+        }
+    }
+
+    #[test]
+    fn holistic_improves_on_at_least_one_instance() {
+        let greedy = GreedyBspScheduler::new();
+        let converter = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        let holistic = HolisticScheduler::with_config(fast_config());
+        let mut improved_any = false;
+        for inst in tiny_instances(6) {
+            let baseline = greedy.schedule(inst.dag(), inst.arch());
+            let base_mbsp = converter.schedule(inst.dag(), inst.arch(), &baseline, &policy);
+            let base_cost = sync_cost(&base_mbsp, inst.dag(), inst.arch()).total;
+            let improved_cost =
+                sync_cost(&holistic.schedule(&inst, &baseline), inst.dag(), inst.arch()).total;
+            if improved_cost < base_cost - 1e-9 {
+                improved_any = true;
+            }
+        }
+        assert!(improved_any, "the holistic scheduler should beat the baseline somewhere");
+    }
+
+    #[test]
+    fn canonical_bsp_is_valid_for_random_assignments() {
+        use rand::Rng;
+        let inst = &tiny_instances(3)[2];
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let procs: Vec<ProcId> = inst
+                .dag()
+                .nodes()
+                .map(|_| ProcId::new(rng.gen_range(0..inst.arch().processors)))
+                .collect();
+            let result = canonical_bsp(inst.dag(), inst.arch(), &procs);
+            result.schedule.validate(inst.dag()).unwrap();
+            // Order hint is topological.
+            let pos: std::collections::HashMap<_, _> =
+                result.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            for (u, v) in inst.dag().edges() {
+                assert!(pos[&u] < pos[&v]);
+            }
+        }
+    }
+
+    #[test]
+    fn post_optimize_preserves_validity_and_does_not_increase_cost() {
+        let greedy = GreedyBspScheduler::new();
+        let converter = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        for inst in tiny_instances(4) {
+            let baseline = greedy.schedule(inst.dag(), inst.arch());
+            let mut schedule = converter.schedule(inst.dag(), inst.arch(), &baseline, &policy);
+            let before = sync_cost(&schedule, inst.dag(), inst.arch()).total;
+            post_optimize(&mut schedule, inst.dag(), inst.arch(), CostModel::Synchronous, &[]);
+            schedule.validate(inst.dag(), inst.arch()).unwrap();
+            let after = sync_cost(&schedule, inst.dag(), inst.arch()).total;
+            assert!(after <= before + 1e-9);
+        }
+    }
+
+    #[test]
+    fn asynchronous_cost_model_is_supported() {
+        let greedy = GreedyBspScheduler::new();
+        let holistic = HolisticScheduler::with_config(HolisticConfig {
+            cost_model: CostModel::Asynchronous,
+            ..fast_config()
+        });
+        let inst = MbspInstance::with_cache_factor(
+            mbsp_gen::tiny_dataset(42).remove(3).dag,
+            Architecture::paper_default(0.0).with_latency(0.0),
+            3.0,
+        );
+        let baseline = greedy.schedule(inst.dag(), inst.arch());
+        let schedule = holistic.schedule(&inst, &baseline);
+        schedule.validate(inst.dag(), inst.arch()).unwrap();
+    }
+}

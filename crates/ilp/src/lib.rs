@@ -1,0 +1,37 @@
+//! # mbsp-ilp — holistic MBSP schedulers
+//!
+//! This crate contains the holistic (memory-aware) schedulers of the reproduction:
+//!
+//! * [`formulation`] — the ILP representation of MBSP scheduling from Section 6.1 of
+//!   the paper (compute/save/load/hasred/hasblue variables per node, processor and
+//!   time step; synchronous and asynchronous objectives; optional no-recomputation
+//!   constraints), together with [`formulation::ExactIlpScheduler`] which solves the
+//!   ILP with the branch-and-bound solver of `lp-solver` and extracts an
+//!   [`mbsp_model::MbspSchedule`]. Exact solving is viable for small DAGs — the same
+//!   regime in which the paper runs its full formulation with COPT.
+//! * [`improver`] — [`improver::HolisticScheduler`], the holistic optimiser used by
+//!   the experiment harness on benchmark-sized instances: starting from the
+//!   two-stage baseline (exactly like the paper warm-starts COPT), it performs a
+//!   seeded local search over processor assignments and superstep structure,
+//!   evaluating every candidate with the *true* MBSP cost (including cache-miss I/O)
+//!   and post-optimising the resulting schedule (superstep merging, redundant-I/O
+//!   removal). See DESIGN.md, substitution 1.
+//! * [`bsp_opt`] — a BSP-cost optimiser used as the stronger "ILP-based BSP
+//!   scheduler" baseline of Table 3.
+//! * [`partition_ilp`] — the ILP formulation of acyclic bipartitioning used by the
+//!   divide-and-conquer method, with a level-based fallback heuristic.
+//! * [`dnc`] — [`dnc::DivideAndConquerScheduler`], the divide-and-conquer scheduler
+//!   of Section 6.3: recursive acyclic bipartition, a quotient-graph plan, per-part
+//!   holistic scheduling, and concatenation of the sub-schedules.
+
+pub mod bsp_opt;
+pub mod dnc;
+pub mod formulation;
+pub mod improver;
+pub mod partition_ilp;
+
+pub use bsp_opt::BspIlpScheduler;
+pub use dnc::{DivideAndConquerConfig, DivideAndConquerScheduler};
+pub use formulation::{ExactIlpScheduler, IlpConfig, MbspIlpBuilder};
+pub use improver::{HolisticConfig, HolisticScheduler};
+pub use partition_ilp::{bipartition, BipartitionConfig};

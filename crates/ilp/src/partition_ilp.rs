@@ -1,0 +1,233 @@
+//! ILP-based acyclic bipartitioning (the first step of divide and conquer).
+//!
+//! The divide-and-conquer scheduler splits the DAG into two parts such that the
+//! quotient graph stays acyclic, the parts are balanced, and as few edges as
+//! possible cross the cut (Section 6.3 / Appendix C.2). The ILP below uses one
+//! binary variable `x_v` per node (`x_v = 1` means "second part"):
+//!
+//! * acyclicity: for every edge `(u, v)`, `x_u ≤ x_v` (all cut edges point from part
+//!   0 to part 1, so the quotient has a single edge `0 → 1`);
+//! * balance: `⌈n/3⌉ ≤ Σ x_v ≤ ⌊2n/3⌋` (each part gets at least a third of the
+//!   nodes, as in the paper's recursive splitting);
+//! * objective: minimise `Σ_{(u,v) ∈ E} y_{uv}` with `y_{uv} ≥ x_v − x_u`, the
+//!   number of cut edges.
+//!
+//! A topological-prefix split warm-starts the solver; if the solver hits its limits
+//! without a solution, the same prefix split is used as a fallback (it is always
+//! acyclic and balanced).
+
+use lp_solver::{BranchBoundSolver, ConstraintSense, LinExpr, LpProblem, MipStatus, SolverLimits};
+use mbsp_dag::{AcyclicPartition, CompDag, NodeId, TopologicalOrder};
+use std::time::Duration;
+
+/// Configuration of the bipartitioning step.
+#[derive(Debug, Clone, Copy)]
+pub struct BipartitionConfig {
+    /// Minimal fraction of the nodes each part must receive.
+    pub min_fraction: f64,
+    /// Limits for the branch-and-bound solver.
+    pub limits: SolverLimits,
+}
+
+impl Default for BipartitionConfig {
+    fn default() -> Self {
+        BipartitionConfig {
+            min_fraction: 1.0 / 3.0,
+            limits: SolverLimits {
+                max_nodes: 2_000,
+                time_limit: Duration::from_secs(5),
+                relative_gap: 1e-6,
+            },
+        }
+    }
+}
+
+/// Computes an acyclic bipartition of `dag` (two parts) minimising the cut.
+///
+/// Falls back to a balanced topological-prefix split when the ILP solver cannot
+/// find a solution within its limits or the DAG is too small to split.
+pub fn bipartition(dag: &CompDag, config: &BipartitionConfig) -> AcyclicPartition {
+    let n = dag.num_nodes();
+    if n < 2 {
+        return AcyclicPartition::trivial(dag);
+    }
+    let fallback = prefix_split(dag);
+
+    // Build the ILP.
+    let mut problem = LpProblem::new();
+    let xs: Vec<_> = (0..n).map(|i| problem.add_binary(format!("x{i}"), 0.0)).collect();
+    for (e, (u, v)) in dag.edges().enumerate() {
+        // Cut indicator y_e >= x_v - x_u (continuous is enough: the objective pushes
+        // it to the lower bound).
+        let y = problem.add_continuous(format!("y{e}"), 0.0, 1.0, 1.0);
+        problem.add_constraint(
+            format!("cut{e}"),
+            LinExpr::term(y, 1.0)
+                .plus(xs[v.index()], -1.0)
+                .plus(xs[u.index()], 1.0),
+            ConstraintSense::GreaterEqual,
+            0.0,
+        );
+        // Acyclicity: x_u <= x_v.
+        problem.add_constraint(
+            format!("acyc{e}"),
+            LinExpr::term(xs[u.index()], 1.0).plus(xs[v.index()], -1.0),
+            ConstraintSense::LessEqual,
+            0.0,
+        );
+    }
+    let min_nodes = ((n as f64) * config.min_fraction).ceil().max(1.0);
+    let max_nodes = (n as f64) - min_nodes;
+    let mut size_expr = LinExpr::new();
+    for &x in &xs {
+        size_expr.add(x, 1.0);
+    }
+    problem.add_constraint("balance_lo", size_expr.clone(), ConstraintSense::GreaterEqual, min_nodes);
+    problem.add_constraint("balance_hi", size_expr, ConstraintSense::LessEqual, max_nodes);
+
+    // Warm start from the fallback split.
+    let mut warm = vec![0.0; problem.num_variables()];
+    for v in dag.nodes() {
+        warm[xs[v.index()].index()] = fallback.part_of(v) as f64;
+    }
+    for (e, (u, v)) in dag.edges().enumerate() {
+        let cut = fallback.part_of(u) != fallback.part_of(v);
+        // The y variables come right after being added per edge; recompute index.
+        warm[xs.len() + e] = if cut { 1.0 } else { 0.0 };
+    }
+
+    let solution = BranchBoundSolver::with_limits(config.limits)
+        .with_warm_start(warm)
+        .solve(&problem);
+    match solution.status {
+        MipStatus::Optimal | MipStatus::Feasible => {
+            let assignment: Vec<usize> = (0..n)
+                .map(|i| solution.values[xs[i].index()].round() as usize)
+                .collect();
+            AcyclicPartition::new(dag, assignment, 2).unwrap_or(fallback)
+        }
+        _ => fallback,
+    }
+}
+
+/// Balanced topological-prefix split: the first half of a topological order forms
+/// part 0. Always acyclic; used as warm start and fallback.
+pub fn prefix_split(dag: &CompDag) -> AcyclicPartition {
+    let n = dag.num_nodes();
+    let topo = TopologicalOrder::of(dag);
+    let half = n / 2;
+    let mut assignment = vec![0usize; n];
+    for (i, &v) in topo.order().iter().enumerate() {
+        assignment[v.index()] = if i < half { 0 } else { 1 };
+    }
+    AcyclicPartition::new(dag, assignment, 2).expect("prefix split is always acyclic")
+}
+
+/// Recursively bipartitions `dag` until every part has at most `max_part_size`
+/// nodes. Returns the final acyclic partition.
+pub fn recursive_partition(
+    dag: &CompDag,
+    max_part_size: usize,
+    config: &BipartitionConfig,
+) -> AcyclicPartition {
+    let mut partition = AcyclicPartition::trivial(dag);
+    loop {
+        // Find the largest part exceeding the size limit.
+        let sizes = partition.part_sizes();
+        let target = sizes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > max_part_size)
+            .max_by_key(|&(_, &s)| s)
+            .map(|(i, _)| i);
+        let Some(target) = target else { break };
+        let nodes = partition.parts()[target].clone();
+        let sub = mbsp_dag::SubDag::induced(dag, &nodes, "part").expect("valid selection");
+        let sub_split = bipartition(sub.dag(), config);
+        // Map the sub-split back to the parent graph and refine the partition.
+        let side_of = |v: NodeId| -> usize {
+            match sub.to_local(v) {
+                Some(local) => sub_split.part_of(local),
+                None => 0,
+            }
+        };
+        match partition.split_part(dag, target, side_of) {
+            Ok(refined) => partition = refined,
+            Err(_) => break, // cannot refine further without breaking acyclicity
+        }
+        // Guard against a degenerate split that made no progress.
+        let new_sizes = partition.part_sizes();
+        if new_sizes.iter().any(|&s| s == 0) || new_sizes == sizes {
+            break;
+        }
+    }
+    partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+
+    #[test]
+    fn bipartition_of_a_layered_dag_is_balanced_and_acyclic() {
+        let dag = random_layered_dag(
+            &RandomDagConfig { layers: 6, width: 8, ..Default::default() },
+            1,
+        );
+        let part = bipartition(&dag, &BipartitionConfig::default());
+        assert_eq!(part.num_parts(), 2);
+        assert!(part.quotient_is_acyclic(&dag));
+        let sizes = part.part_sizes();
+        let n = dag.num_nodes();
+        assert!(sizes[0] >= n / 3 && sizes[1] >= n / 3, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn ilp_cut_is_not_worse_than_the_prefix_split() {
+        let dag = random_layered_dag(
+            &RandomDagConfig { layers: 5, width: 6, edge_probability: 0.3, ..Default::default() },
+            7,
+        );
+        let cfg = BipartitionConfig::default();
+        let ilp = bipartition(&dag, &cfg);
+        let prefix = prefix_split(&dag);
+        assert!(ilp.cut_edges(&dag) <= prefix.cut_edges(&dag));
+    }
+
+    #[test]
+    fn chain_is_cut_once() {
+        // A simple chain: the optimal balanced acyclic bipartition cuts one edge.
+        let mut b = mbsp_dag::DagBuilder::new("chain");
+        let nodes = b.add_unit_nodes(12).unwrap();
+        b.add_chain(&nodes).unwrap();
+        let dag = b.build();
+        let part = bipartition(&dag, &BipartitionConfig::default());
+        assert_eq!(part.cut_edges(&dag), 1);
+    }
+
+    #[test]
+    fn recursive_partition_respects_the_size_limit() {
+        let dag = random_layered_dag(
+            &RandomDagConfig { layers: 8, width: 8, ..Default::default() },
+            3,
+        );
+        let part = recursive_partition(&dag, 20, &BipartitionConfig::default());
+        assert!(part.quotient_is_acyclic(&dag));
+        for size in part.part_sizes() {
+            assert!(size <= 20, "part of size {size} exceeds the limit");
+            assert!(size > 0);
+        }
+        // Every node is assigned.
+        assert_eq!(part.assignment().len(), dag.num_nodes());
+    }
+
+    #[test]
+    fn tiny_dags_are_left_alone() {
+        let mut b = mbsp_dag::DagBuilder::new("one");
+        b.add_unit_node().unwrap();
+        let dag = b.build();
+        let part = bipartition(&dag, &BipartitionConfig::default());
+        assert_eq!(part.num_parts(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # lp-solver — a small LP/MIP solver (the COPT substitute substrate)
+//!
+//! The paper solves its scheduling ILPs with the commercial COPT solver, which is
+//! not available here. This crate provides a self-contained substitute:
+//!
+//! * [`LpProblem`] — a mixed-integer linear-programming model builder (variables
+//!   with bounds and types, linear constraints, minimisation objective);
+//! * [`simplex`] — a dense two-phase primal simplex solver for the LP relaxation;
+//! * [`branch_bound`] — a depth-first branch-and-bound MIP solver with incumbent
+//!   warm starts, node limits and wall-clock time limits.
+//!
+//! It is designed for the moderate problem sizes the ILP-based schedulers generate
+//! (hundreds of variables and constraints), favouring clarity and robustness over
+//! raw speed; the experiment harness uses it for the acyclic-bipartitioning ILPs and
+//! for exact solutions of small MBSP instances, exactly the roles COPT plays in the
+//! paper.
+
+pub mod branch_bound;
+pub mod model;
+pub mod simplex;
+
+pub use branch_bound::{BranchBoundSolver, MipSolution, MipStatus, SolverLimits};
+pub use model::{Constraint, ConstraintSense, LinExpr, LpProblem, VarId, VarType};
+pub use simplex::{solve_lp, LpSolution, LpStatus};

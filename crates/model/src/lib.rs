@@ -1,0 +1,45 @@
+//! # mbsp-model — the MBSP scheduling model
+//!
+//! This crate implements the scheduling model of *"Multiprocessor Scheduling with
+//! Memory Constraints"* (ICPP 2025): a computational DAG executed on `P` processors,
+//! each with a private fast memory (cache) of capacity `r`, sharing a slow memory of
+//! unlimited capacity, with BSP communication parameters `g` (cost per unit of data
+//! moved between the memory levels) and `L` (synchronisation cost per superstep).
+//!
+//! The model is expressed in red–blue pebbling terms:
+//!
+//! * a **red pebble of processor `p`** on node `v` means the value of `v` is in `p`'s cache;
+//! * a **blue pebble** on `v` means the value of `v` is in slow memory;
+//! * the transition rules are `LOAD`, `SAVE`, `COMPUTE` and `DELETE`
+//!   ([`ops::Operation`]);
+//! * a schedule is a sequence of **supersteps**, each consisting of a compute phase
+//!   followed by save / delete / load sub-phases on every processor
+//!   ([`schedule::MbspSchedule`]);
+//! * the cost of a schedule is measured either **synchronously** (BSP-style,
+//!   per-superstep maxima plus `L`) or **asynchronously** (makespan of the induced
+//!   per-processor timelines) — see [`cost`].
+//!
+//! The crate also contains the plain **BSP schedule** representation
+//! ([`bsp::BspSchedule`]) used as the first stage of the paper's two-stage baseline,
+//! together with its cost model.
+
+pub mod arch;
+pub mod bsp;
+pub mod cost;
+pub mod instance;
+pub mod ops;
+pub mod schedule;
+pub mod state;
+
+pub use arch::{Architecture, ProcId};
+pub use bsp::{BspCost, BspSchedule};
+pub use cost::{async_cost, sync_cost, CostBreakdown, CostModel};
+pub use instance::MbspInstance;
+pub use ops::{ComputePhaseStep, Operation};
+pub use schedule::{
+    BoundaryCondition, MbspSchedule, ProcPhases, ScheduleError, ScheduleStatistics, Superstep,
+};
+pub use state::Configuration;
+
+/// Convenience result alias for schedule validation.
+pub type Result<T> = std::result::Result<T, ScheduleError>;

@@ -1,0 +1,352 @@
+//! Pebbling configurations: the memory state of an MBSP execution.
+//!
+//! A configuration `ζ = (R_1, ..., R_P, B)` records which nodes carry a red pebble of
+//! each processor (values resident in that processor's cache) and which nodes carry a
+//! blue pebble (values resident in slow memory). [`Configuration`] tracks the cached
+//! memory usage of every processor incrementally so that the memory bound
+//! `Σ_{v ∈ R_p} μ(v) ≤ r` can be checked in O(1) per operation.
+
+use crate::arch::{Architecture, ProcId};
+use crate::ops::Operation;
+use crate::schedule::ScheduleError;
+use mbsp_dag::{CompDag, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The memory state of an MBSP execution at one point in time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// `red[p][v]` — does node `v` carry a red pebble of processor `p`?
+    red: Vec<Vec<bool>>,
+    /// `blue[v]` — does node `v` carry a blue pebble?
+    blue: Vec<bool>,
+    /// Cached memory use of each processor: `Σ_{v ∈ R_p} μ(v)`.
+    used: Vec<f64>,
+    /// Number of processors.
+    processors: usize,
+    /// Number of DAG nodes.
+    num_nodes: usize,
+}
+
+impl Configuration {
+    /// The initial configuration of a schedule: every cache is empty and slow memory
+    /// holds exactly the source nodes of the DAG.
+    pub fn initial(dag: &CompDag, arch: &Architecture) -> Self {
+        let n = dag.num_nodes();
+        let mut blue = vec![false; n];
+        for v in dag.sources() {
+            blue[v.index()] = true;
+        }
+        Configuration {
+            red: vec![vec![false; n]; arch.processors],
+            blue,
+            used: vec![0.0; arch.processors],
+            processors: arch.processors,
+            num_nodes: n,
+        }
+    }
+
+    /// An entirely empty configuration (no pebbles anywhere). Used by sub-schedule
+    /// construction where the caller places the boundary pebbles explicitly.
+    pub fn empty(dag: &CompDag, arch: &Architecture) -> Self {
+        Configuration {
+            red: vec![vec![false; dag.num_nodes()]; arch.processors],
+            blue: vec![false; dag.num_nodes()],
+            used: vec![0.0; arch.processors],
+            processors: arch.processors,
+            num_nodes: dag.num_nodes(),
+        }
+    }
+
+    /// Number of processors tracked.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Does node `v` carry a red pebble of processor `p`?
+    #[inline]
+    pub fn has_red(&self, p: ProcId, v: NodeId) -> bool {
+        self.red[p.index()][v.index()]
+    }
+
+    /// Does node `v` carry a blue pebble?
+    #[inline]
+    pub fn has_blue(&self, v: NodeId) -> bool {
+        self.blue[v.index()]
+    }
+
+    /// Current fast-memory usage of processor `p`.
+    #[inline]
+    pub fn memory_used(&self, p: ProcId) -> f64 {
+        self.used[p.index()]
+    }
+
+    /// The nodes currently cached by processor `p`, in index order.
+    pub fn cached_nodes(&self, p: ProcId) -> Vec<NodeId> {
+        self.red[p.index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| if r { Some(NodeId::new(i)) } else { None })
+            .collect()
+    }
+
+    /// The nodes currently in slow memory, in index order.
+    pub fn blue_nodes(&self) -> Vec<NodeId> {
+        self.blue
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| if b { Some(NodeId::new(i)) } else { None })
+            .collect()
+    }
+
+    /// Places a red pebble of `p` on `v` without any precondition check (used to set
+    /// up boundary states for sub-schedules). Updates the memory usage.
+    pub fn place_red_unchecked(&mut self, dag: &CompDag, p: ProcId, v: NodeId) {
+        if !self.red[p.index()][v.index()] {
+            self.red[p.index()][v.index()] = true;
+            self.used[p.index()] += dag.memory_weight(v);
+        }
+    }
+
+    /// Places a blue pebble on `v` without any precondition check.
+    pub fn place_blue_unchecked(&mut self, v: NodeId) {
+        self.blue[v.index()] = true;
+    }
+
+    /// Checks whether `op` can be applied in the current configuration and whether
+    /// applying it keeps processor `p` within the memory bound.
+    pub fn check(&self, dag: &CompDag, arch: &Architecture, op: Operation) -> Result<(), ScheduleError> {
+        match op {
+            Operation::Load { proc, node } => {
+                if !self.has_blue(node) {
+                    return Err(ScheduleError::LoadWithoutBlue { proc, node });
+                }
+                if !self.has_red(proc, node)
+                    && self.used[proc.index()] + dag.memory_weight(node)
+                        > arch.cache_size + MEMORY_EPS
+                {
+                    return Err(ScheduleError::MemoryBoundExceeded {
+                        proc,
+                        node,
+                        used: self.used[proc.index()] + dag.memory_weight(node),
+                        bound: arch.cache_size,
+                    });
+                }
+                Ok(())
+            }
+            Operation::Save { proc, node } => {
+                if !self.has_red(proc, node) {
+                    return Err(ScheduleError::SaveWithoutRed { proc, node });
+                }
+                Ok(())
+            }
+            Operation::Compute { proc, node } => {
+                if dag.is_source(node) {
+                    return Err(ScheduleError::ComputeSource { proc, node });
+                }
+                for &parent in dag.parents(node) {
+                    if !self.has_red(proc, parent) {
+                        return Err(ScheduleError::MissingParent { proc, node, parent });
+                    }
+                }
+                if !self.has_red(proc, node)
+                    && self.used[proc.index()] + dag.memory_weight(node)
+                        > arch.cache_size + MEMORY_EPS
+                {
+                    return Err(ScheduleError::MemoryBoundExceeded {
+                        proc,
+                        node,
+                        used: self.used[proc.index()] + dag.memory_weight(node),
+                        bound: arch.cache_size,
+                    });
+                }
+                Ok(())
+            }
+            Operation::Delete { proc, node } => {
+                if !self.has_red(proc, node) {
+                    return Err(ScheduleError::DeleteWithoutRed { proc, node });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies `op` after checking its preconditions and the memory bound.
+    pub fn apply(&mut self, dag: &CompDag, arch: &Architecture, op: Operation) -> Result<(), ScheduleError> {
+        self.check(dag, arch, op)?;
+        self.apply_unchecked(dag, op);
+        Ok(())
+    }
+
+    /// Applies `op` without precondition checks (the caller has already validated).
+    pub fn apply_unchecked(&mut self, dag: &CompDag, op: Operation) {
+        match op {
+            Operation::Load { proc, node } | Operation::Compute { proc, node } => {
+                self.place_red_unchecked(dag, proc, node);
+            }
+            Operation::Save { node, .. } => {
+                self.blue[node.index()] = true;
+            }
+            Operation::Delete { proc, node } => {
+                if self.red[proc.index()][node.index()] {
+                    self.red[proc.index()][node.index()] = false;
+                    self.used[proc.index()] -= dag.memory_weight(node);
+                    if self.used[proc.index()] < 0.0 {
+                        self.used[proc.index()] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns true if every sink of the DAG carries a blue pebble (the terminal
+    /// condition of a schedule).
+    pub fn is_terminal(&self, dag: &CompDag) -> bool {
+        dag.sinks().iter().all(|&v| self.has_blue(v))
+    }
+
+    /// Returns true if every processor satisfies the memory bound.
+    pub fn within_memory_bound(&self, arch: &Architecture) -> bool {
+        self.used.iter().all(|&u| u <= arch.cache_size + MEMORY_EPS)
+    }
+}
+
+/// Numerical slack used when comparing accumulated floating-point memory usage with
+/// the cache capacity.
+pub(crate) const MEMORY_EPS: f64 = 1e-9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_dag::graph::NodeWeights;
+
+    fn path3() -> CompDag {
+        CompDag::from_edges("p", vec![NodeWeights::unit(); 3], &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    fn arch2(cache: f64) -> Architecture {
+        Architecture::new(2, cache, 1.0, 0.0)
+    }
+
+    #[test]
+    fn initial_configuration() {
+        let dag = path3();
+        let arch = arch2(2.0);
+        let cfg = Configuration::initial(&dag, &arch);
+        assert!(cfg.has_blue(NodeId::new(0)));
+        assert!(!cfg.has_blue(NodeId::new(1)));
+        assert!(!cfg.has_red(ProcId::new(0), NodeId::new(0)));
+        assert_eq!(cfg.memory_used(ProcId::new(0)), 0.0);
+        assert!(!cfg.is_terminal(&dag));
+        assert!(cfg.within_memory_bound(&arch));
+    }
+
+    #[test]
+    fn load_compute_save_cycle() {
+        let dag = path3();
+        let arch = arch2(2.0);
+        let p = ProcId::new(0);
+        let mut cfg = Configuration::initial(&dag, &arch);
+        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
+        assert!(cfg.has_red(p, NodeId::new(0)));
+        assert_eq!(cfg.memory_used(p), 1.0);
+        cfg.apply(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(1) }).unwrap();
+        assert_eq!(cfg.memory_used(p), 2.0);
+        cfg.apply(&dag, &arch, Operation::Delete { proc: p, node: NodeId::new(0) }).unwrap();
+        assert_eq!(cfg.memory_used(p), 1.0);
+        cfg.apply(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(2) }).unwrap();
+        cfg.apply(&dag, &arch, Operation::Save { proc: p, node: NodeId::new(2) }).unwrap();
+        assert!(cfg.is_terminal(&dag));
+        assert_eq!(cfg.cached_nodes(p), vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(cfg.blue_nodes(), vec![NodeId::new(0), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn preconditions_are_enforced() {
+        let dag = path3();
+        let arch = arch2(2.0);
+        let p = ProcId::new(0);
+        let mut cfg = Configuration::initial(&dag, &arch);
+        // Loading a node with no blue pebble.
+        assert!(matches!(
+            cfg.check(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(1) }),
+            Err(ScheduleError::LoadWithoutBlue { .. })
+        ));
+        // Computing a source node.
+        assert!(matches!(
+            cfg.check(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(0) }),
+            Err(ScheduleError::ComputeSource { .. })
+        ));
+        // Computing without the parent cached.
+        assert!(matches!(
+            cfg.check(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(1) }),
+            Err(ScheduleError::MissingParent { .. })
+        ));
+        // Saving or deleting a value that is not cached.
+        assert!(matches!(
+            cfg.check(&dag, &arch, Operation::Save { proc: p, node: NodeId::new(0) }),
+            Err(ScheduleError::SaveWithoutRed { .. })
+        ));
+        assert!(matches!(
+            cfg.check(&dag, &arch, Operation::Delete { proc: p, node: NodeId::new(0) }),
+            Err(ScheduleError::DeleteWithoutRed { .. })
+        ));
+        // A valid load still works.
+        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
+    }
+
+    #[test]
+    fn memory_bound_is_enforced() {
+        let dag = path3();
+        let arch = arch2(1.0);
+        let p = ProcId::new(0);
+        let mut cfg = Configuration::initial(&dag, &arch);
+        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
+        // Computing node 1 would need 2 units of cache but the bound is 1.
+        let err = cfg
+            .apply(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(1) })
+            .unwrap_err();
+        assert!(matches!(err, ScheduleError::MemoryBoundExceeded { .. }));
+    }
+
+    #[test]
+    fn caches_are_independent_per_processor() {
+        let dag = path3();
+        let arch = arch2(2.0);
+        let (p0, p1) = (ProcId::new(0), ProcId::new(1));
+        let mut cfg = Configuration::initial(&dag, &arch);
+        cfg.apply(&dag, &arch, Operation::Load { proc: p0, node: NodeId::new(0) }).unwrap();
+        assert!(cfg.has_red(p0, NodeId::new(0)));
+        assert!(!cfg.has_red(p1, NodeId::new(0)));
+        assert_eq!(cfg.memory_used(p1), 0.0);
+        // p1 cannot compute node 1: its own cache does not hold the parent.
+        assert!(cfg
+            .check(&dag, &arch, Operation::Compute { proc: p1, node: NodeId::new(1) })
+            .is_err());
+    }
+
+    #[test]
+    fn repeated_load_does_not_double_count_memory() {
+        let dag = path3();
+        let arch = arch2(5.0);
+        let p = ProcId::new(0);
+        let mut cfg = Configuration::initial(&dag, &arch);
+        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
+        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
+        assert_eq!(cfg.memory_used(p), 1.0);
+    }
+
+    #[test]
+    fn unchecked_setup_helpers() {
+        let dag = path3();
+        let arch = arch2(5.0);
+        let p = ProcId::new(0);
+        let mut cfg = Configuration::empty(&dag, &arch);
+        assert!(!cfg.has_blue(NodeId::new(0)));
+        cfg.place_blue_unchecked(NodeId::new(2));
+        cfg.place_red_unchecked(&dag, p, NodeId::new(1));
+        assert!(cfg.has_blue(NodeId::new(2)));
+        assert!(cfg.has_red(p, NodeId::new(1)));
+        assert_eq!(cfg.memory_used(p), 1.0);
+        assert!(cfg.is_terminal(&dag));
+    }
+}

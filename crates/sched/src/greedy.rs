@@ -1,0 +1,310 @@
+//! The BSPg-style greedy BSP scheduler (the paper's main baseline first stage).
+//!
+//! The scheduler builds the schedule superstep by superstep. Within a superstep it
+//! repeatedly selects, among the *eligible* nodes (every parent either finished in
+//! an earlier superstep, or already assigned to the same processor within the
+//! current superstep), the node with the highest bottom-level priority, and places
+//! it on the processor that minimises a weighted combination of
+//!
+//! * the processor's current compute load in this superstep (work balancing), and
+//! * the communication volume caused by parents that live on other processors.
+//!
+//! A superstep is closed once every processor has accumulated at least the target
+//! amount of work (`work_quantum`, by default proportional to the synchronisation
+//! cost `L` so that barriers are amortised) or no eligible node remains.
+
+use crate::{BspScheduler, BspSchedulingResult};
+use mbsp_dag::topo::bottom_levels;
+use mbsp_dag::{CompDag, NodeId};
+use mbsp_model::{Architecture, BspSchedule, ProcId};
+
+/// Tunable parameters of [`GreedyBspScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyBspConfig {
+    /// Relative weight of the load-balancing term in the placement score.
+    pub balance_weight: f64,
+    /// Relative weight of the communication term in the placement score.
+    pub comm_weight: f64,
+    /// Target compute work per processor per superstep, as a multiple of `L`
+    /// (clamped from below by the heaviest node weight). Larger values create fewer,
+    /// longer supersteps.
+    pub quantum_latency_factor: f64,
+    /// Minimal work quantum used when `L = 0`.
+    pub min_quantum: f64,
+}
+
+impl Default for GreedyBspConfig {
+    fn default() -> Self {
+        GreedyBspConfig {
+            balance_weight: 1.0,
+            comm_weight: 1.0,
+            quantum_latency_factor: 2.0,
+            min_quantum: 4.0,
+        }
+    }
+}
+
+/// Greedy BSP list scheduler with superstep formation (BSPg-style baseline).
+#[derive(Debug, Clone, Default)]
+pub struct GreedyBspScheduler {
+    config: GreedyBspConfig,
+}
+
+impl GreedyBspScheduler {
+    /// Creates a scheduler with the default configuration.
+    pub fn new() -> Self {
+        GreedyBspScheduler { config: GreedyBspConfig::default() }
+    }
+
+    /// Creates a scheduler with an explicit configuration.
+    pub fn with_config(config: GreedyBspConfig) -> Self {
+        GreedyBspScheduler { config }
+    }
+}
+
+impl BspScheduler for GreedyBspScheduler {
+    fn name(&self) -> &'static str {
+        "greedy-bsp"
+    }
+
+    fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
+        let n = dag.num_nodes();
+        let p = arch.processors;
+        let priorities = bottom_levels(dag);
+
+        // Work quantum per processor per superstep.
+        let max_node_weight = dag
+            .nodes()
+            .map(|v| dag.compute_weight(v))
+            .fold(0.0, f64::max);
+        let quantum = (arch.latency * self.config.quantum_latency_factor)
+            .max(self.config.min_quantum)
+            .max(max_node_weight);
+
+        // Scheduling state.
+        let mut assignment: Vec<Option<(ProcId, usize)>> = vec![None; n];
+        let mut order: Vec<NodeId> = Vec::with_capacity(n);
+        let mut remaining_parents: Vec<usize> =
+            (0..n).map(|i| dag.in_degree(NodeId::new(i))).collect();
+        let mut scheduled = 0usize;
+
+        // Sources are "scheduled" implicitly: they are inputs that live in slow
+        // memory. We place them on processor 0, superstep 0 so that the assignment
+        // covers every node, but they carry no compute work.
+        let mut ready: Vec<NodeId> = Vec::new();
+        for v in dag.nodes() {
+            if dag.is_source(v) {
+                assignment[v.index()] = Some((ProcId::new(0), 0));
+                order.push(v);
+                scheduled += 1;
+                for &c in dag.children(v) {
+                    remaining_parents[c.index()] -= 1;
+                    if remaining_parents[c.index()] == 0 {
+                        ready.push(c);
+                    }
+                }
+            } else if dag.in_degree(v) == 0 {
+                ready.push(v);
+            }
+        }
+
+        let mut superstep = 0usize;
+        // `finished_before[v]` is true once v was assigned in a superstep strictly
+        // before the current one (its value can have been communicated).
+        let mut finished_before: Vec<bool> = (0..n)
+            .map(|i| assignment[i].is_some())
+            .collect();
+
+        while scheduled < n {
+            superstep += 1;
+            let mut load = vec![0.0f64; p];
+            // Nodes assigned in *this* superstep, per processor, to allow same-proc
+            // chains within a superstep.
+            let mut assigned_here: Vec<Vec<bool>> = vec![vec![false; n]; p];
+            let mut progressed = true;
+
+            while progressed {
+                progressed = false;
+                // Candidate selection: eligible ready nodes sorted by priority.
+                let mut candidates: Vec<NodeId> = ready
+                    .iter()
+                    .copied()
+                    .filter(|&v| assignment[v.index()].is_none())
+                    .collect();
+                candidates.sort_by(|&a, &b| {
+                    priorities[b.index()]
+                        .partial_cmp(&priorities[a.index()])
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+
+                for v in candidates {
+                    // Determine which processors may execute v in this superstep:
+                    // every parent must be finished before this superstep, or be
+                    // assigned to that same processor within this superstep.
+                    let mut allowed: Vec<ProcId> = Vec::new();
+                    'proc: for pi in 0..p {
+                        for &u in dag.parents(v) {
+                            let ok = finished_before[u.index()] || assigned_here[pi][u.index()];
+                            if !ok {
+                                continue 'proc;
+                            }
+                        }
+                        allowed.push(ProcId::new(pi));
+                    }
+                    if allowed.is_empty() {
+                        continue;
+                    }
+                    // Skip nodes if every allowed processor is already full, unless
+                    // nothing has been placed in this superstep yet (guarantee
+                    // progress).
+                    let someone_below_quantum =
+                        allowed.iter().any(|&q| load[q.index()] < quantum);
+                    let superstep_empty = load.iter().all(|&l| l == 0.0);
+                    if !someone_below_quantum && !superstep_empty {
+                        continue;
+                    }
+
+                    // Placement score: balance + communication.
+                    let mut best: Option<(f64, ProcId)> = None;
+                    for &q in &allowed {
+                        let comm: f64 = dag
+                            .parents(v)
+                            .iter()
+                            .filter(|&&u| {
+                                let (pu, _) = assignment[u.index()].expect("parent scheduled");
+                                pu != q && !dag.is_source(u)
+                            })
+                            .map(|&u| dag.memory_weight(u) * arch.g)
+                            .sum();
+                        let score = self.config.balance_weight * load[q.index()]
+                            + self.config.comm_weight * comm;
+                        if best.map_or(true, |(s, _)| score < s - 1e-12) {
+                            best = Some((score, q));
+                        }
+                    }
+                    let (_, chosen) = best.expect("allowed is non-empty");
+                    if load[chosen.index()] >= quantum && !superstep_empty {
+                        continue;
+                    }
+
+                    // Commit the assignment.
+                    assignment[v.index()] = Some((chosen, superstep));
+                    assigned_here[chosen.index()][v.index()] = true;
+                    load[chosen.index()] += dag.compute_weight(v);
+                    order.push(v);
+                    scheduled += 1;
+                    progressed = true;
+                    for &c in dag.children(v) {
+                        remaining_parents[c.index()] -= 1;
+                        if remaining_parents[c.index()] == 0 {
+                            ready.push(c);
+                        }
+                    }
+                }
+            }
+            // Close the superstep: everything assigned so far is now visible to
+            // other processors.
+            for v in dag.nodes() {
+                if assignment[v.index()].is_some() {
+                    finished_before[v.index()] = true;
+                }
+            }
+        }
+
+        let assignment: Vec<(ProcId, usize)> =
+            assignment.into_iter().map(|a| a.expect("all nodes scheduled")).collect();
+        let mut schedule = BspSchedule::new(p, assignment);
+        schedule.compact_supersteps();
+        BspSchedulingResult { schedule, order }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_dag::DagBuilder;
+    use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+    use mbsp_gen::tiny_dataset;
+
+    fn arch(p: usize, l: f64) -> Architecture {
+        Architecture::new(p, 1e9, 1.0, l)
+    }
+
+    #[test]
+    fn schedules_are_valid_on_the_tiny_dataset() {
+        let sched = GreedyBspScheduler::new();
+        for inst in tiny_dataset(42) {
+            let a = arch(4, 10.0);
+            let result = sched.schedule(&inst.dag, &a);
+            result.schedule.validate(&inst.dag).unwrap_or_else(|e| {
+                panic!("{}: invalid BSP schedule: {e}", inst.name);
+            });
+            assert_eq!(result.order.len(), inst.dag.num_nodes());
+        }
+    }
+
+    #[test]
+    fn order_hint_respects_precedence() {
+        let sched = GreedyBspScheduler::new();
+        let dag = random_layered_dag(&RandomDagConfig::default(), 5);
+        let a = arch(4, 10.0);
+        let result = sched.schedule(&dag, &a);
+        let pos: std::collections::HashMap<_, _> =
+            result.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for (u, v) in dag.edges() {
+            assert!(pos[&u] < pos[&v], "order hint violates edge {u}->{v}");
+        }
+    }
+
+    #[test]
+    fn parallel_chains_are_distributed() {
+        // Two long independent chains and two processors: the scheduler should use
+        // both processors.
+        let mut b = DagBuilder::new("chains");
+        let s = b.add_labeled_node(0.0, 1.0, "src").unwrap();
+        let c1 = b.add_unit_nodes(20).unwrap();
+        let c2 = b.add_unit_nodes(20).unwrap();
+        b.add_edge(s, c1[0]).unwrap();
+        b.add_edge(s, c2[0]).unwrap();
+        b.add_chain(&c1).unwrap();
+        b.add_chain(&c2).unwrap();
+        let dag = b.build();
+        let a = arch(2, 5.0);
+        let result = GreedyBspScheduler::new().schedule(&dag, &a);
+        result.schedule.validate(&dag).unwrap();
+        let work = result.schedule.work_per_processor(&dag);
+        assert!(work[0] > 0.0 && work[1] > 0.0, "both processors should get work: {work:?}");
+        // The chains should not be interleaved across processors: few cross edges.
+        assert!(result.schedule.cross_processor_edges(&dag) <= 4);
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_one_superstep_per_quantum() {
+        let mut b = DagBuilder::new("chain");
+        let s = b.add_labeled_node(0.0, 1.0, "src").unwrap();
+        let c = b.add_unit_nodes(10).unwrap();
+        b.add_edge(s, c[0]).unwrap();
+        b.add_chain(&c).unwrap();
+        let dag = b.build();
+        let a = arch(1, 100.0);
+        let result = GreedyBspScheduler::new().schedule(&dag, &a);
+        result.schedule.validate(&dag).unwrap();
+        // With a huge L the quantum is large and everything fits in few supersteps.
+        assert!(result.schedule.num_supersteps() <= 2);
+    }
+
+    #[test]
+    fn larger_latency_means_fewer_supersteps() {
+        let dag = random_layered_dag(
+            &RandomDagConfig { layers: 6, width: 6, ..Default::default() },
+            9,
+        );
+        let small_l = GreedyBspScheduler::new().schedule(&dag, &arch(4, 1.0));
+        let large_l = GreedyBspScheduler::new().schedule(&dag, &arch(4, 50.0));
+        assert!(
+            large_l.schedule.num_supersteps() <= small_l.schedule.num_supersteps(),
+            "L=50 should not need more supersteps than L=1"
+        );
+    }
+}

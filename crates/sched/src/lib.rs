@@ -1,0 +1,57 @@
+//! # mbsp-sched — BSP baseline schedulers
+//!
+//! The first stage of the paper's two-stage baseline is a multiprocessor BSP
+//! scheduler that ignores the memory bound. This crate provides the schedulers used
+//! in the experiments:
+//!
+//! * [`GreedyBspScheduler`] — a reimplementation of the BSPg-style greedy scheduler
+//!   of Papp et al. (SPAA 2024): list scheduling with bottom-level priorities,
+//!   superstep formation driven by the synchronisation cost `L`, and a placement
+//!   rule that balances per-superstep work against the communication volume caused
+//!   by cross-processor edges.
+//! * [`CilkScheduler`] — a simulation of the Cilk work-stealing scheduler
+//!   (Blumofe & Leiserson) whose execution trace is converted into a BSP schedule;
+//!   together with LRU eviction it forms the paper's "practical" baseline.
+//! * [`DfsScheduler`] — the single-processor depth-first schedule used as the
+//!   baseline for the red–blue pebbling experiments (`P = 1`).
+//! * [`quotient_plan`] — the adjusted BSPg planner used by the divide-and-conquer
+//!   scheduler on the quotient graph, where a part may be assigned several
+//!   processors at once.
+//!
+//! All schedulers implement the [`BspScheduler`] trait and produce a
+//! [`mbsp_model::BspSchedule`], plus an explicit per-node ordering hint used by the
+//! BSP→MBSP conversion in `mbsp-cache`.
+
+pub mod cilk;
+pub mod dfs;
+pub mod greedy;
+pub mod quotient_plan;
+
+pub use cilk::CilkScheduler;
+pub use dfs::DfsScheduler;
+pub use greedy::GreedyBspScheduler;
+pub use quotient_plan::{QuotientPlan, QuotientPlanner};
+
+use mbsp_dag::{CompDag, NodeId};
+use mbsp_model::{Architecture, BspSchedule};
+
+/// The output of a BSP scheduling stage: the assignment of nodes to processors and
+/// supersteps, plus a global order hint describing the intended execution order of
+/// the nodes on each processor (used when converting to an MBSP schedule).
+#[derive(Debug, Clone)]
+pub struct BspSchedulingResult {
+    /// The BSP schedule (processor and superstep per node).
+    pub schedule: BspSchedule,
+    /// A global node order consistent with the schedule; within a processor and
+    /// superstep, nodes are intended to execute in this relative order.
+    pub order: Vec<NodeId>,
+}
+
+/// A scheduler producing BSP schedules (the memory-oblivious first stage).
+pub trait BspScheduler {
+    /// Human-readable name of the scheduler (used in experiment reports).
+    fn name(&self) -> &'static str;
+
+    /// Computes a BSP schedule of `dag` on `arch`, ignoring the memory bound.
+    fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult;
+}

@@ -1,0 +1,49 @@
+//! Divide-and-conquer scheduling of a larger DAG (a few hundred nodes): the DAG is
+//! recursively split with the acyclic-partitioning ILP, each part is scheduled
+//! holistically on its share of the processors, and the sub-schedules are
+//! concatenated. Compare against the plain two-stage baseline.
+//!
+//! Run with `cargo run --release --example divide_and_conquer`.
+
+use mbsp::ilp::{DivideAndConquerConfig, DivideAndConquerScheduler};
+use mbsp::prelude::*;
+
+fn main() {
+    // spmv_N25 from the larger dataset sample (~275 nodes).
+    let named = small_dataset_sample(42).remove(2);
+    let instance =
+        MbspInstance::with_cache_factor(named.dag, Architecture::paper_default(0.0), 5.0);
+    println!(
+        "instance `{}`: {} nodes, {} edges, r0 = {:.0}",
+        instance.name(),
+        instance.dag().num_nodes(),
+        instance.dag().num_edges(),
+        instance.minimal_cache_size()
+    );
+
+    // Two-stage baseline.
+    let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+    let baseline = TwoStageScheduler::new().schedule(
+        instance.dag(),
+        instance.arch(),
+        &bsp,
+        &ClairvoyantPolicy::new(),
+    );
+    let base_cost = sync_cost(&baseline, instance.dag(), instance.arch()).total;
+    println!("two-stage baseline cost: {base_cost:.0}");
+
+    // Divide and conquer.
+    let dnc = DivideAndConquerScheduler::with_config(DivideAndConquerConfig::default());
+    let partition = dnc.partition_for(instance.dag());
+    println!(
+        "acyclic partition: {} parts of sizes {:?}, {} cut edges",
+        partition.num_parts(),
+        partition.part_sizes(),
+        partition.cut_edges(instance.dag())
+    );
+    let schedule = dnc.schedule(&instance);
+    schedule.validate(instance.dag(), instance.arch()).expect("valid combined schedule");
+    let dnc_cost = sync_cost(&schedule, instance.dag(), instance.arch()).total;
+    println!("divide-and-conquer cost: {dnc_cost:.0}");
+    println!("ratio: {:.2}x", dnc_cost / base_cost);
+}

@@ -1,0 +1,101 @@
+//! # mbsp — multiprocessor scheduling with memory constraints
+//!
+//! Facade crate of the MBSP scheduling workspace, a reproduction of
+//! *"Multiprocessor Scheduling with Memory Constraints: Fundamental Properties and
+//! Finding Optimal Solutions"* (ICPP 2025). It re-exports the building blocks a
+//! downstream user needs:
+//!
+//! * [`dag`] — weighted computational DAGs ([`dag::CompDag`], [`dag::DagBuilder`]);
+//! * [`model`] — the MBSP model: architectures, pebbling operations, supersteps,
+//!   schedule validation and the synchronous/asynchronous cost functions;
+//! * [`gen`] — benchmark DAG generators and the paper's gadget constructions;
+//! * [`sched`] — memory-oblivious BSP schedulers (greedy BSPg-style, Cilk-style
+//!   work stealing, DFS);
+//! * [`cache`] — eviction policies and the two-stage BSP→MBSP conversion;
+//! * [`solver`] — the LP/MIP solver substrate;
+//! * [`ilp`] — the holistic schedulers: ILP formulation, exact solver,
+//!   baseline-seeded holistic search and the divide-and-conquer method.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mbsp::prelude::*;
+//!
+//! // A tiny diamond-shaped computation.
+//! let mut builder = DagBuilder::new("diamond");
+//! let a = builder.add_labeled_node(0.0, 1.0, "input").unwrap();
+//! let b = builder.add_node(1.0, 1.0).unwrap();
+//! let c = builder.add_node(1.0, 1.0).unwrap();
+//! let d = builder.add_node(1.0, 1.0).unwrap();
+//! builder.add_edge(a, b).unwrap();
+//! builder.add_edge(a, c).unwrap();
+//! builder.add_edge(b, d).unwrap();
+//! builder.add_edge(c, d).unwrap();
+//! let dag = builder.build();
+//!
+//! // Two processors, cache three times the minimal feasible size, g = 1, L = 2.
+//! let instance = MbspInstance::with_cache_factor(dag, Architecture::new(2, 0.0, 1.0, 2.0), 3.0);
+//!
+//! // Two-stage baseline: greedy BSP schedule + clairvoyant eviction.
+//! let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+//! let baseline = TwoStageScheduler::new().schedule(
+//!     instance.dag(),
+//!     instance.arch(),
+//!     &bsp,
+//!     &ClairvoyantPolicy::new(),
+//! );
+//! baseline.validate(instance.dag(), instance.arch()).unwrap();
+//!
+//! // Holistic scheduler seeded with the baseline.
+//! let holistic = HolisticScheduler::new().schedule(&instance, &bsp);
+//! let base_cost = sync_cost(&baseline, instance.dag(), instance.arch()).total;
+//! let holistic_cost = sync_cost(&holistic, instance.dag(), instance.arch()).total;
+//! assert!(holistic_cost <= base_cost);
+//! ```
+
+pub use lp_solver as solver;
+pub use mbsp_cache as cache;
+pub use mbsp_dag as dag;
+pub use mbsp_gen as gen;
+pub use mbsp_ilp as ilp;
+pub use mbsp_model as model;
+pub use mbsp_sched as sched;
+
+/// Commonly used items, re-exported for convenient glob imports.
+pub mod prelude {
+    pub use crate::cache::{ClairvoyantPolicy, EvictionPolicy, LruPolicy, TwoStageScheduler};
+    pub use crate::dag::{CompDag, DagBuilder, DagStatistics, NodeId};
+    pub use crate::gen::{small_dataset_sample, tiny_dataset};
+    pub use crate::ilp::{
+        DivideAndConquerScheduler, ExactIlpScheduler, HolisticConfig, HolisticScheduler,
+    };
+    pub use crate::model::{
+        async_cost, sync_cost, Architecture, BspSchedule, CostModel, MbspInstance, MbspSchedule,
+        ProcId,
+    };
+    pub use crate::sched::{
+        BspScheduler, BspSchedulingResult, CilkScheduler, DfsScheduler, GreedyBspScheduler,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let dataset = tiny_dataset(1);
+        assert_eq!(dataset.len(), 15);
+        let instance =
+            MbspInstance::with_cache_factor(dataset[0].dag.clone(), Architecture::paper_default(0.0), 3.0);
+        let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+        let schedule = TwoStageScheduler::new().schedule(
+            instance.dag(),
+            instance.arch(),
+            &bsp,
+            &ClairvoyantPolicy::new(),
+        );
+        schedule.validate(instance.dag(), instance.arch()).unwrap();
+        assert!(sync_cost(&schedule, instance.dag(), instance.arch()).total > 0.0);
+    }
+}
