@@ -1,0 +1,18 @@
+# Developer entry points; CI runs the same commands (see .github/workflows/ci.yml).
+# A justfile with identical recipes exists for `just` users.
+
+.PHONY: build test doc bench ci
+
+build:
+	cargo build --release --workspace
+
+test:
+	cargo test -q --workspace
+
+doc:
+	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+bench:
+	cargo bench -p mbsp_bench
+
+ci: build test doc

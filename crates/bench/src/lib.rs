@@ -86,8 +86,11 @@ pub fn default_time_limit() -> Duration {
     let seconds = std::env::var("MBSP_BENCH_SECONDS")
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
+        // "inf" parses as a valid f64 but Duration::from_secs_f64 panics on
+        // non-finite input; treat it like any other unusable value.
+        .filter(|s| s.is_finite())
         .unwrap_or(3.0);
-    Duration::from_secs_f64(seconds.max(0.1))
+    Duration::from_secs_f64(seconds.clamp(0.1, 86_400.0))
 }
 
 /// One row of a comparison table.

@@ -1,6 +1,6 @@
 //! Memory-weight assignment.
 //!
-//! The benchmark DAGs of [36] carry compute weights but no memory weights; the paper
+//! The benchmark DAGs of \[36\] (Papp et al., SPAA 2024) carry compute weights but no memory weights; the paper
 //! assigns every node an independent uniformly random memory weight in `{1,...,5}`.
 //! [`assign_random_memory_weights`] reproduces this with a seeded RNG so that every
 //! run of the experiment harness sees the same instances.

@@ -6,7 +6,7 @@
 //! solution is proven optimal or only the best found within the limits.
 
 use crate::model::{LpProblem, VarType};
-use crate::simplex::{solve_lp_with_bounds, LpStatus};
+use crate::simplex::{solve_lp_with_bounds_deadline, LpStatus};
 use std::time::{Duration, Instant};
 
 /// Termination status of a MIP solve.
@@ -90,6 +90,9 @@ impl BranchBoundSolver {
     /// Solves the MIP.
     pub fn solve(&self, problem: &LpProblem) -> MipSolution {
         let start = Instant::now();
+        // Hard wall-clock deadline, also enforced inside each LP relaxation's
+        // pivot loop — a single large relaxation must not blow the budget.
+        let deadline = start.checked_add(self.limits.time_limit);
         let n = problem.num_variables();
         let tol = 1e-6;
 
@@ -116,7 +119,7 @@ impl BranchBoundSolver {
                 break;
             }
             nodes += 1;
-            let relax = solve_lp_with_bounds(problem, &lower, &upper);
+            let relax = solve_lp_with_bounds_deadline(problem, &lower, &upper, deadline);
             match relax.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::Unbounded => {

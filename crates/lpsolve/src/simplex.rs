@@ -8,6 +8,7 @@
 //! Bland's-rule fallback to guarantee termination.
 
 use crate::model::{ConstraintSense, LpProblem};
+use std::time::Instant;
 
 /// Status of an LP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,13 +47,27 @@ pub fn solve_lp(problem: &LpProblem) -> LpSolution {
 /// Solves the LP relaxation of `problem` with overridden variable bounds (used by
 /// branch and bound). `lower`/`upper` must have one entry per variable.
 pub fn solve_lp_with_bounds(problem: &LpProblem, lower: &[f64], upper: &[f64]) -> LpSolution {
+    solve_lp_with_bounds_deadline(problem, lower, upper, None)
+}
+
+/// Like [`solve_lp_with_bounds`], but aborts with [`LpStatus::IterationLimit`]
+/// once `deadline` passes. A single large LP relaxation can otherwise run far
+/// beyond the wall-clock budget of a caller (the branch-and-bound solver checks
+/// its time limit only *between* node solves), so the deadline is checked
+/// inside the pivot loop.
+pub fn solve_lp_with_bounds_deadline(
+    problem: &LpProblem,
+    lower: &[f64],
+    upper: &[f64],
+    deadline: Option<Instant>,
+) -> LpSolution {
     let n = problem.num_variables();
     assert_eq!(lower.len(), n);
     assert_eq!(upper.len(), n);
     if lower.iter().zip(upper).any(|(&l, &u)| l > u + EPS) {
         return LpSolution { status: LpStatus::Infeasible, objective: f64::INFINITY, values: vec![] };
     }
-    Tableau::build(problem, lower, upper).solve(problem, lower)
+    Tableau::build(problem, lower, upper).solve(problem, lower, deadline)
 }
 
 /// Internal simplex tableau.
@@ -164,7 +179,7 @@ impl Tableau {
     }
 
     /// Runs both simplex phases and extracts the solution.
-    fn solve(mut self, problem: &LpProblem, lower: &[f64]) -> LpSolution {
+    fn solve(mut self, problem: &LpProblem, lower: &[f64], deadline: Option<Instant>) -> LpSolution {
         let max_iter = 200 * (self.ncols + self.rows.len() + 10);
 
         // Phase 1: minimise the sum of artificial variables.
@@ -174,7 +189,7 @@ impl Tableau {
                 obj[a] = 1.0;
             }
             let (mut objrow, mut objval) = self.price_out(&obj);
-            match self.iterate(&mut objrow, &mut objval, max_iter, None) {
+            match self.iterate(&mut objrow, &mut objval, max_iter, None, deadline) {
                 PhaseOutcome::Unbounded => {
                     // Phase 1 objective is bounded below by 0; treat as numerical trouble.
                     return LpSolution {
@@ -217,7 +232,7 @@ impl Tableau {
             obj[i] = v.objective;
         }
         let (mut objrow, mut objval) = self.price_out(&obj);
-        let outcome = self.iterate(&mut objrow, &mut objval, max_iter, Some(&banned));
+        let outcome = self.iterate(&mut objrow, &mut objval, max_iter, Some(&banned), deadline);
         let status = match outcome {
             PhaseOutcome::Optimal => LpStatus::Optimal,
             PhaseOutcome::Unbounded => LpStatus::Unbounded,
@@ -267,9 +282,17 @@ impl Tableau {
         objval: &mut f64,
         max_iter: usize,
         banned: Option<&Vec<bool>>,
+        deadline: Option<Instant>,
     ) -> PhaseOutcome {
         let bland_threshold = max_iter / 2;
         for iter in 0..max_iter {
+            if iter & 31 == 0 {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return PhaseOutcome::IterationLimit;
+                    }
+                }
+            }
             let use_bland = iter > bland_threshold;
             // Entering column.
             let mut entering = None;

@@ -6,7 +6,7 @@
 //! communication phase that ends `u`'s superstep); on the same processor `v` may be
 //! scheduled in the same superstep as `u`.
 //!
-//! The BSP cost model used here follows the paper's description of [36]: per
+//! The BSP cost model used here follows the paper's description of \[36\] (Papp et al., SPAA 2024): per
 //! superstep, the cost is the maximal compute work of any processor plus `g` times
 //! the h-relation (maximal data volume sent or received by any processor) plus `L`.
 //! Source nodes of the DAG are not computed in the MBSP model, so their compute

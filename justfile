@@ -1,0 +1,21 @@
+# Developer entry points; CI runs the same recipes (see .github/workflows/ci.yml).
+
+# Build everything in release mode, including experiment binaries.
+build:
+    cargo build --release --workspace
+
+# Unit tests, integration tests and doc tests for the whole workspace.
+test:
+    cargo test -q --workspace
+
+# API documentation; broken intra-doc links are denied by workspace lints,
+# and any rustdoc warning fails the run.
+doc:
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Criterion-style micro-benchmarks of the hot paths.
+bench:
+    cargo bench -p mbsp_bench
+
+# Everything CI checks, in order.
+ci: build test doc

@@ -53,6 +53,9 @@
 //! assert!(holistic_cost <= base_cost);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(missing_docs)]
+
 pub use lp_solver as solver;
 pub use mbsp_cache as cache;
 pub use mbsp_dag as dag;

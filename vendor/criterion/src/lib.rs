@@ -1,0 +1,171 @@
+//! # criterion (vendored stub) — minimal micro-benchmark harness
+//!
+//! Offline stand-in for `criterion` exposing the subset of the API the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is intentionally simple: each routine is warmed up, then timed
+//! in batches until a fixed measurement budget is spent, and the per-iteration
+//! mean and minimum are printed to stdout. There are no statistical reports,
+//! plots or baselines — enough to compare orders of magnitude and catch gross
+//! regressions while remaining dependency-free. The `CRITERION_QUICK`
+//! environment variable (any value) shrinks the budget for smoke runs.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver handed to every registered bench function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion {
+            warm_up: if quick { Duration::from_millis(5) } else { Duration::from_millis(100) },
+            measure: if quick { Duration::from_millis(20) } else { Duration::from_millis(500) },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { warm_up: self.warm_up, measure: self.measure, report: None };
+        f(&mut b);
+        match b.report {
+            Some(r) => println!(
+                "bench {id:<40} {:>12.1} ns/iter (min {:>12.1} ns, {} iters)",
+                r.mean_ns, r.min_ns, r.iters
+            ),
+            None => println!("bench {id:<40} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+
+    /// Opens a named group of benchmarks; functionally a labelled prefix.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_owned() }
+    }
+}
+
+/// A labelled collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark registered under this group's name.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Finishes the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+/// Times a closure over many iterations.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`, discarding a warm-up period first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, estimating the cost
+        // of one iteration as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Measure in batches of roughly 1/20 of the budget each.
+        let batch = ((self.measure.as_secs_f64() / 20.0 / per_iter.max(1e-9)) as u64).max(1);
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        let mut min_batch_ns = f64::INFINITY;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            total_iters += batch;
+            total_time += dt;
+            min_batch_ns = min_batch_ns.min(dt.as_nanos() as f64 / batch as f64);
+        }
+        self.report = Some(Report {
+            mean_ns: total_time.as_nanos() as f64 / total_iters.max(1) as f64,
+            min_ns: min_batch_ns,
+            iters: total_iters,
+        });
+    }
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`
+/// targets, mirroring criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_routine() {
+        let mut c = Criterion::default();
+        // Tighten the budgets so the unit test stays fast.
+        c.warm_up = Duration::from_millis(1);
+        c.measure = Duration::from_millis(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

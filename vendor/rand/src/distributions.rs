@@ -1,0 +1,73 @@
+//! Sampling distributions ([`Uniform`] and the [`Distribution`] trait).
+
+use crate::{sample_u64_below, unit_f64, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Types that [`Uniform`] can sample (mirrors rand's trait of the same name).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples from `[low, high]` if `inclusive`, else from `[low, high)`.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+/// A uniform distribution over a fixed interval, constructed once and sampled
+/// many times.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform> Uniform<T> {
+    /// Uniform over the half-open interval `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new called with an empty range");
+        Uniform { low, high, inclusive: false }
+    }
+
+    /// Uniform over the closed interval `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive called with an empty range");
+        Uniform { low, high, inclusive: true }
+    }
+}
+
+impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_between(rng, self.low, self.high, self.inclusive)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = ((high - low) as u64).wrapping_add(inclusive as u64);
+                if span == 0 {
+                    // Only reachable for the full inclusive range of a
+                    // 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                low + sample_u64_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+        low + unit_f64(rng.next_u64()) * (high - low)
+    }
+}

@@ -1,0 +1,28 @@
+//! Concrete generators ([`StdRng`]).
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The standard deterministic generator of the vendored `rand` stub.
+///
+/// Implemented as SplitMix64 over a 64-bit state. The real `StdRng` documents
+/// that its algorithm may change between versions, so no caller can rely on a
+/// specific stream; determinism per seed is the only contract, and this type
+/// honours it.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng { state: u64::from_le_bytes(seed) }
+    }
+}

@@ -1,0 +1,411 @@
+//! # serde (vendored stub) — minimal serialization framework
+//!
+//! The build environment for this workspace has **no network access**, so the real
+//! `serde` crate cannot be fetched from a registry. This vendored stand-in provides
+//! the small subset of the API the workspace actually uses:
+//!
+//! * the [`Serialize`] and [`Deserialize`] traits (with a simplified, fully
+//!   self-describing signature built around [`Value`]),
+//! * `#[derive(Serialize, Deserialize)]` for structs (named, tuple, unit) and
+//!   enums (unit, newtype, tuple and struct variants), re-exported from the
+//!   companion `serde_derive` proc-macro crate,
+//! * implementations for the primitive types, strings, `Option`, `Vec`, slices,
+//!   tuples and the standard map types.
+//!
+//! The derived data layout follows the real serde JSON conventions (structs as
+//! maps, newtype structs transparently as their inner value, unit enum variants as
+//! strings, data-carrying variants as single-entry maps), so swapping the real
+//! `serde`/`serde_json` back in later is a manifest-only change.
+
+// Let the `::serde::` paths emitted by the derive macros resolve inside this
+// crate's own tests.
+#[cfg(test)]
+extern crate self as serde;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the entries if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `key` in the entry list of a [`Value::Map`].
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A (de)serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// Error for a value of the wrong kind.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        Error(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// Error for a missing struct field.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Error(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// Error for an unknown enum variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error(format!("unknown variant `{variant}` while deserializing {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self` into the generic value model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes an instance from the generic value model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty => $variant:ident as $wide:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::$variant(*self as $wide)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let range_err =
+                    || Error::custom(format!("integer out of range for {}", stringify!($t)));
+                match *v {
+                    Value::Int(n) => <$t>::try_from(n).map_err(|_| range_err()),
+                    Value::UInt(n) => <$t>::try_from(n).map_err(|_| range_err()),
+                    // Range-check through i128, where every 64-bit boundary is
+                    // exactly representable; a direct `f <= MAX as f64` admits
+                    // the first out-of-range value (MAX rounds up to 2^64 /
+                    // 2^63 in f64).
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => {
+                        let wide = f as i128;
+                        if wide >= <$t>::MIN as i128 && wide <= <$t>::MAX as i128 {
+                            Ok(wide as $t)
+                        } else {
+                            Err(range_err())
+                        }
+                    }
+                    _ => Err(Error::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int! {
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64, i64 => Int as i64,
+    isize => Int as i64,
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64, u64 => UInt as u64,
+    usize => UInt as u64,
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match *v {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::Int(n) => Ok(n as $t),
+                    Value::UInt(n) => Ok(n as $t),
+                    _ => Err(Error::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("sequence", "Vec")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Seq(s) if s.len() == LEN => Ok(($($t::from_value(&s[$idx])?,)+)),
+                    _ => Err(Error::expected("tuple sequence", "tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<_> = self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::expected("map", "HashMap")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::expected("map", "BTreeMap")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Named {
+        a: u32,
+        b: String,
+        cs: Vec<f64>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct NewType(u32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Pair(u32, String);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mixed {
+        Unit,
+        New(u32),
+        Tup(u32, f64),
+        Rec { x: i64, y: Vec<u8> },
+    }
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + fmt::Debug>(x: T) {
+        let v = x.to_value();
+        let back = T::from_value(&v).unwrap();
+        assert_eq!(x, back);
+    }
+
+    #[test]
+    fn named_struct_roundtrip() {
+        roundtrip(Named { a: 7, b: "hi".into(), cs: vec![1.5, -2.0] });
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(NewType(9).to_value(), Value::UInt(9));
+        roundtrip(NewType(9));
+        roundtrip(Pair(1, "x".into()));
+    }
+
+    #[test]
+    fn enum_variants_roundtrip() {
+        assert_eq!(Mixed::Unit.to_value(), Value::Str("Unit".into()));
+        roundtrip(Mixed::Unit);
+        roundtrip(Mixed::New(3));
+        roundtrip(Mixed::Tup(4, 0.25));
+        roundtrip(Mixed::Rec { x: -1, y: vec![1, 2] });
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(Some(5u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip(vec![(1usize, 2.5f64), (3, 4.5)]);
+    }
+}

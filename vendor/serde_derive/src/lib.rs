@@ -1,0 +1,434 @@
+//! # serde_derive (vendored stub) — `#[derive(Serialize, Deserialize)]`
+//!
+//! Offline companion to the vendored `serde` stub. Because the real `syn`/`quote`
+//! crates are unavailable in this environment, the input item is parsed directly
+//! from the [`proc_macro::TokenStream`]: attributes and visibility are skipped, the
+//! struct or enum shape is extracted, and the generated `impl` blocks are emitted
+//! as formatted source strings.
+//!
+//! Supported shapes (everything this workspace derives on):
+//!
+//! * structs with named fields → serialized as a map keyed by field name;
+//! * newtype structs → transparently as the inner value;
+//! * tuple structs with ≥ 2 fields → as a sequence;
+//! * enums with unit variants → as the variant-name string;
+//! * enums with newtype / tuple / struct variants → as a single-entry map
+//!   `{ "Variant": <data> }`.
+//!
+//! Generic type parameters and serde field attributes (`#[serde(...)]`) are not
+//! supported; the workspace does not use them.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// The parsed shape of the item the derive is attached to.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<(String, VariantShape)> },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (the vendored stub's `to_value` form).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    gen_serialize(&parse_shape(input)).parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` (the vendored stub's `from_value` form).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    gen_deserialize(&parse_shape(input)).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = toks[i].to_string();
+    i += 1;
+    skip_generics(&toks, &mut i);
+
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct { name, arity: count_tuple_fields(g) }
+            }
+            _ => Shape::UnitStruct { name },
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g),
+            },
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("#[derive(Serialize/Deserialize)] supports structs and enums, not `{other}`"),
+    }
+}
+
+/// Skips any number of outer attributes (`#[...]`, including expanded doc
+/// comments) and an optional `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips a `<...>` generic parameter list if one starts at `toks[*i]`.
+fn skip_generics(toks: &[TokenTree], i: &mut usize) {
+    if !matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return;
+    }
+    let mut depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        *i += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Advances past one type, stopping after the `,` that terminates it (or at the
+/// end of the token list).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(toks[i].to_string());
+        i += 2; // field name + `:`
+        skip_type(&toks, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        arity += 1;
+        skip_type(&toks, &mut i);
+    }
+    arity
+}
+
+fn parse_variants(g: &Group) -> Vec<(String, VariantShape)> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = toks[i].to_string();
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while let Some(tok) = toks.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (name, format!("::serde::Value::Map(::std::vec![{}])", entries.join(", ")))
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_value(&self.0)".to_string())
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            (name, format!("::serde::Value::Seq(::std::vec![{}])", items.join(", ")))
+        }
+        Shape::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    VariantShape::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            fields.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_get(m, \"{f}\")\
+                         .ok_or_else(|| ::serde::Error::missing_field(\"{f}\", \"{name}\"))?)?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Map(m) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                         _ => ::std::result::Result::Err(::serde::Error::expected(\"map\", \"{name}\")),\n\
+                     }}",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Seq(s) if s.len() == {arity} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                         _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"sequence of length {arity}\", \"{name}\")),\n\
+                     }}",
+                    items.join(", ")
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => {
+            (name, format!("::std::result::Result::Ok({name})"))
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => unit_arms.push(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),"
+                    )),
+                    VariantShape::Tuple(1) => data_arms.push(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{v}\" => match inner {{\n\
+                                 ::serde::Value::Seq(s) if s.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{v}({})),\n\
+                                 _ => ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"sequence of length {n}\", \"{name}\")),\n\
+                             }},",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::map_get(mm, \"{f}\")\
+                                     .ok_or_else(|| ::serde::Error::missing_field(\"{f}\", \"{name}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{v}\" => match inner {{\n\
+                                 ::serde::Value::Map(mm) => \
+                                 ::std::result::Result::Ok({name}::{v} {{ {} }}),\n\
+                                 _ => ::std::result::Result::Err(\
+                                 ::serde::Error::expected(\"map\", \"{name}\")),\n\
+                             }},",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                         ::serde::Value::Str(s) => match s.as_str() {{\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(\
+                             ::serde::Error::unknown_variant(other, \"{name}\")),\n\
+                         }},\n\
+                         ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                             let (k, inner) = &m[0];\n\
+                             match k.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(\
+                                 ::serde::Error::unknown_variant(other, \"{name}\")),\n\
+                             }}\n\
+                         }},\n\
+                         _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"string or single-entry map\", \"{name}\")),\n\
+                     }}",
+                    unit_arms.join("\n"),
+                    data_arms.join("\n")
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,374 @@
+//! # serde_json (vendored stub) — JSON text over the vendored serde value model
+//!
+//! Offline stand-in for `serde_json`, providing the two entry points the
+//! workspace uses: [`to_string`] and [`from_str`]. Serialization renders a
+//! [`serde::Value`] tree as compact JSON; deserialization runs a small
+//! recursive-descent parser and hands the resulting tree to
+//! [`serde::Deserialize::from_value`].
+//!
+//! Floating-point numbers are written with Rust's shortest-roundtrip `Display`
+//! formatting, so `serialize → parse` is lossless for every finite `f64` (the
+//! `CompDag` serde roundtrip test in `mbsp_dag` relies on this). Non-finite
+//! floats are rejected, as in real JSON.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out)?;
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!("trailing characters at offset {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error::custom("JSON cannot represent NaN or infinity"));
+            }
+            // `Display` for f64 is shortest-roundtrip, but renders integral
+            // values without a decimal point; keep the point so the value
+            // parses back as a float.
+            let s = f.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out)?;
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::custom(format!("unexpected character at offset {}", self.pos))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::custom(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid UTF-8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+        }
+    }
+
+    /// Reads the four hex digits of a `\uXXXX` escape; on entry `self.pos` is
+    /// at the `u`, on exit it is at the last digit (the caller's shared
+    /// `self.pos += 1` then steps past it).
+    fn parse_u_escape_digits(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos + 1..self.pos + 5)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.parse_u_escape_digits()?;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: must be followed by `\uDC00`..`\uDFFF`.
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(Error::custom("unpaired surrogate in \\u escape"));
+                                }
+                                self.pos += 2;
+                                let low = self.parse_u_escape_digits()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::custom("invalid low surrogate in \\u escape"));
+                                }
+                                let combined =
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?
+                            };
+                            s.push(c);
+                        }
+                        _ => return Err(Error::custom("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error::custom(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error::custom(format!("expected `,` or `}}` at offset {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        tag: String,
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let p = Point { x: 1.5, y: -0.125, tag: "a \"quoted\" name\n".into() };
+        let s = to_string(&p).unwrap();
+        let back: Point = from_str(&s).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn float_display_roundtrips_exactly() {
+        for f in [0.1, 1.0 / 3.0, 1e300, -2.5e-10, 3.0] {
+            let s = to_string(&f).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(f, back, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parses_nested_containers() {
+        let v: Vec<Vec<u32>> = from_str("[[1,2],[],[3]]").unwrap();
+        assert_eq!(v, vec![vec![1, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<bool>("true false").is_err());
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        let escaped: String = from_str(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(escaped, "\u{1F600}");
+        let raw: String = from_str(r#""😀""#).unwrap();
+        assert_eq!(raw, "\u{1F600}");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+        assert!(from_str::<String>(r#""\ud83dA""#).is_err(), "bad low surrogate");
+        assert!(from_str::<String>(r#""\ude00""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn out_of_range_integers_error_instead_of_wrapping() {
+        assert!(from_str::<usize>("-1").is_err());
+        assert!(from_str::<i64>("18446744073709551615").is_err());
+        assert!(from_str::<u8>("256").is_err());
+        assert!(from_str::<i64>("1e300").is_err());
+        assert_eq!(from_str::<u32>("7.0").unwrap(), 7);
+    }
+}
