@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see .github/workflows/ci.yml).
 # A justfile with identical recipes exists for `just` users.
 
-.PHONY: build test doc bench ci
+.PHONY: build test doc bench bench-json ci
 
 build:
 	cargo build --release --workspace
@@ -14,5 +14,11 @@ doc:
 
 bench:
 	cargo bench -p mbsp_bench
+
+# Records the solver benchmark baseline (sparse warm-started branch-and-bound
+# vs the dense oracle on MBSP ILP instances) into BENCH_solver.json.
+# Set MBSP_BENCH_SOLVER_QUICK=1 for the fast CI smoke variant.
+bench-json:
+	cargo run --release -p mbsp_bench --bin bench_solver
 
 ci: build test doc

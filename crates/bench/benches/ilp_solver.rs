@@ -1,10 +1,18 @@
 //! Criterion micro-benchmarks of the LP/MIP solver substrate and the acyclic
 //! bipartitioning ILP (the pieces that replace COPT).
+//!
+//! The `mbsp_ilp_relaxation` group times the sparse revised simplex against
+//! the retained dense oracle on a real MBSP pebbling-ILP relaxation, and the
+//! warm-started branch and bound on the full MIP — the numbers behind the
+//! recorded `BENCH_solver.json` trajectory (see `make bench-json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lp_solver::{BranchBoundSolver, ConstraintSense, LinExpr, LpProblem, SolverLimits};
+use mbsp_dag::graph::NodeWeights;
+use mbsp_dag::CompDag;
 use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
-use mbsp_ilp::{bipartition, BipartitionConfig};
+use mbsp_ilp::{bipartition, BipartitionConfig, IlpConfig, MbspIlpBuilder};
+use mbsp_model::{Architecture, MbspInstance};
 use std::time::Duration;
 
 fn knapsack(n: usize) -> LpProblem {
@@ -51,5 +59,47 @@ fn bench_bipartition(c: &mut Criterion) {
     c.bench_function("acyclic_bipartition_30_nodes", |b| b.iter(|| bipartition(&dag, &config)));
 }
 
-criterion_group!(benches, bench_lp_solver, bench_bipartition);
+/// The exact pebbling ILP of a 4-node path (`P = 1`, `T = 8`): the
+/// representative instance of the recorded solver baseline.
+fn mbsp_ilp_problem() -> LpProblem {
+    let dag = CompDag::from_edges(
+        "path4",
+        vec![NodeWeights::unit(); 4],
+        &[(0, 1), (1, 2), (2, 3)],
+    )
+    .unwrap();
+    let instance = MbspInstance::new(dag, Architecture::new(1, 3.0, 1.0, 0.0));
+    let config = IlpConfig { time_steps: 8, ..Default::default() };
+    MbspIlpBuilder::build(&instance, &config).problem
+}
+
+fn bench_mbsp_ilp_relaxation(c: &mut Criterion) {
+    let problem = mbsp_ilp_problem();
+    let mut group = c.benchmark_group("mbsp_ilp_relaxation");
+    group.bench_function("sparse_revised", |b| b.iter(|| lp_solver::solve_lp(&problem)));
+    group.bench_function("dense_oracle", |b| {
+        b.iter(|| lp_solver::dense::solve_lp_dense(&problem))
+    });
+    group.finish();
+}
+
+fn bench_mbsp_ilp_branch_bound(c: &mut Criterion) {
+    let problem = mbsp_ilp_problem();
+    let limits = SolverLimits {
+        max_nodes: 20_000,
+        time_limit: Duration::from_secs(60),
+        relative_gap: 1e-6,
+    };
+    c.bench_function("mbsp_ilp_branch_bound/sparse_warm", |b| {
+        b.iter(|| BranchBoundSolver::with_limits(limits).solve(&problem))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_lp_solver,
+    bench_bipartition,
+    bench_mbsp_ilp_relaxation,
+    bench_mbsp_ilp_branch_bound,
+);
 criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Records the solver benchmark baseline: sparse revised simplex (warm-started
+//! branch and bound) vs. the dense tableau oracle on representative MBSP ILP
+//! instances, written to `BENCH_solver.json`.
+//!
+//! This is the benchmark trajectory of the repository: every future solver
+//! change can be compared against the recorded numbers. Two instance families
+//! are measured, matching the two roles the LP solver plays in the holistic
+//! ILP path:
+//!
+//! * **exact MBSP formulations** (`MbspIlpBuilder`): the full pebbling ILP on
+//!   small DAGs, warm-started from the two-stage baseline schedule as the
+//!   paper warm-starts COPT;
+//! * **acyclic bipartition ILPs** (`partition_ilp`-shaped): the cut-minimising
+//!   binary programs the divide-and-conquer scheduler solves on every split,
+//!   warm-started from the topological prefix split.
+//!
+//! Set `MBSP_BENCH_SOLVER_QUICK=1` for the CI smoke run (smaller instances,
+//! one timing repetition, relaxed speedup reporting). The JSON schema is
+//! `{benchmark, quick, instances: [{name, variables, constraints, dense_ms,
+//! sparse_ms, speedup, objectives_match}], geomean_speedup}`.
+
+use lp_solver::{BranchBoundSolver, LpProblem, MipStatus, SolverLimits};
+use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
+use mbsp_dag::CompDag;
+use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+use mbsp_ilp::{IlpConfig, MbspIlpBuilder};
+use mbsp_model::{Architecture, MbspInstance};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Serialize)]
+struct InstanceReport {
+    name: String,
+    variables: usize,
+    constraints: usize,
+    dense_ms: f64,
+    sparse_ms: f64,
+    speedup: f64,
+    objectives_match: bool,
+    sparse_nodes: usize,
+    dense_nodes: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    benchmark: String,
+    quick: bool,
+    instances: Vec<InstanceReport>,
+    geomean_speedup: f64,
+}
+
+/// One measured MIP: the same problem + warm start solved by the warm-started
+/// sparse branch and bound and by the cold dense-relaxation baseline.
+struct Case {
+    name: String,
+    problem: LpProblem,
+    warm_start: Option<Vec<f64>>,
+    limits: SolverLimits,
+}
+
+fn solver_limits(quick: bool) -> SolverLimits {
+    SolverLimits {
+        max_nodes: if quick { 2_000 } else { 20_000 },
+        time_limit: Duration::from_secs(if quick { 20 } else { 120 }),
+        relative_gap: 1e-6,
+    }
+}
+
+/// The exact MBSP pebbling ILP on a small DAG, warm-started from the
+/// two-stage baseline (greedy BSP + clairvoyant eviction), the role COPT plays
+/// in the paper's exact experiments.
+fn mbsp_case(name: &str, dag: CompDag, arch: Architecture, time_steps: usize, quick: bool) -> Case {
+    let instance = MbspInstance::new(dag, arch);
+    let config = IlpConfig { time_steps, allow_recompute: true, limits: solver_limits(quick) };
+    let builder = MbspIlpBuilder::build(&instance, &config);
+    let baseline = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+    let two_stage = TwoStageScheduler::new().schedule(
+        instance.dag(),
+        instance.arch(),
+        &baseline,
+        &ClairvoyantPolicy::new(),
+    );
+    let warm_start =
+        builder.warm_start_from_schedule(instance.dag(), instance.arch(), &two_stage);
+    Case {
+        name: name.to_string(),
+        warm_start,
+        limits: config.limits,
+        problem: builder.problem,
+    }
+}
+
+/// The acyclic-bipartition ILP of the divide-and-conquer path, warm-started
+/// from the topological prefix split. Built by the same
+/// [`mbsp_ilp::bipartition_model`] the production scheduler uses, so the
+/// recorded benchmark cannot drift from the real formulation.
+fn bipartition_case(name: &str, dag: &CompDag, quick: bool) -> Case {
+    let (problem, warm) = mbsp_ilp::bipartition_model(dag, 1.0 / 3.0);
+    Case {
+        name: name.to_string(),
+        problem,
+        warm_start: Some(warm),
+        limits: solver_limits(quick),
+    }
+}
+
+/// Median-of-`reps` wall-clock of a solve.
+fn time_solve(
+    case: &Case,
+    dense: bool,
+    reps: usize,
+) -> (f64, f64, MipStatus, usize) {
+    let mut times = Vec::with_capacity(reps);
+    let mut objective = f64::INFINITY;
+    let mut status = MipStatus::LimitReached;
+    let mut nodes = 0;
+    for _ in 0..reps {
+        let mut solver =
+            BranchBoundSolver::with_limits(case.limits).with_dense_relaxation(dense);
+        if let Some(ws) = &case.warm_start {
+            solver = solver.with_warm_start(ws.clone());
+        }
+        let t0 = Instant::now();
+        let solution = solver.solve(&case.problem);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        objective = solution.objective;
+        status = solution.status;
+        nodes = solution.nodes_explored;
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], objective, status, nodes)
+}
+
+fn main() {
+    // "0", "" and "false" disable quick mode (the documented contract is `=1`).
+    let quick = std::env::var("MBSP_BENCH_SOLVER_QUICK")
+        .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
+        .unwrap_or(false);
+    let reps = if quick { 1 } else { 3 };
+
+    let mut cases = Vec::new();
+    // Exact pebbling ILPs (the paper's exact-solver role).
+    let path = CompDag::from_edges(
+        "path4",
+        vec![mbsp_dag::graph::NodeWeights::unit(); 4],
+        &[(0, 1), (1, 2), (2, 3)],
+    )
+    .unwrap();
+    cases.push(mbsp_case(
+        "mbsp_ilp/path4_p1",
+        path,
+        Architecture::new(1, 3.0, 1.0, 0.0),
+        8,
+        quick,
+    ));
+    if !quick {
+        let diamond = CompDag::from_edges(
+            "diamond",
+            vec![mbsp_dag::graph::NodeWeights::unit(); 4],
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        )
+        .unwrap();
+        cases.push(mbsp_case(
+            "mbsp_ilp/diamond_p2",
+            diamond,
+            Architecture::new(2, 3.0, 1.0, 0.0),
+            6,
+            quick,
+        ));
+    }
+    // Bipartition ILPs (the divide-and-conquer role).
+    let layered = random_layered_dag(
+        &RandomDagConfig {
+            layers: if quick { 4 } else { 5 },
+            width: if quick { 5 } else { 7 },
+            edge_probability: 0.3,
+            ..Default::default()
+        },
+        7,
+    );
+    cases.push(bipartition_case(
+        if quick { "bipartition/layered20" } else { "bipartition/layered35" },
+        &layered,
+        quick,
+    ));
+
+    let mut reports = Vec::new();
+    for case in &cases {
+        let (sparse_ms, sparse_obj, sparse_status, sparse_nodes) = time_solve(case, false, reps);
+        let (dense_ms, dense_obj, dense_status, dense_nodes) = time_solve(case, true, reps);
+        let objectives_match = sparse_status == dense_status
+            && (!matches!(sparse_status, MipStatus::Optimal | MipStatus::Feasible)
+                || (sparse_obj - dense_obj).abs() <= 1e-5 * (1.0 + dense_obj.abs()));
+        let speedup = dense_ms / sparse_ms.max(1e-6);
+        println!(
+            "{:<28} sparse {:>9.2} ms ({} nodes)   dense {:>9.2} ms ({} nodes)   speedup {:>6.1}x   match: {}",
+            case.name, sparse_ms, sparse_nodes, dense_ms, dense_nodes, speedup, objectives_match
+        );
+        reports.push(InstanceReport {
+            name: case.name.clone(),
+            variables: case.problem.num_variables(),
+            constraints: case.problem.num_constraints(),
+            dense_ms,
+            sparse_ms,
+            speedup,
+            objectives_match,
+            sparse_nodes,
+            dense_nodes,
+        });
+    }
+
+    let geomean_speedup = if reports.is_empty() {
+        1.0
+    } else {
+        (reports.iter().map(|r| r.speedup.max(1e-9).ln()).sum::<f64>() / reports.len() as f64)
+            .exp()
+    };
+    let report = Report {
+        benchmark: "lp_solver: warm-started sparse revised simplex vs dense tableau".to_string(),
+        quick,
+        instances: reports,
+        geomean_speedup,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    // Quick (CI smoke) runs must not clobber the recorded full baseline.
+    let path = if quick { "BENCH_solver_quick.json" } else { "BENCH_solver.json" };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} is writable: {e}"));
+    println!("geomean speedup: {geomean_speedup:.1}x -> {path}");
+    assert!(
+        report.instances.iter().all(|r| r.objectives_match),
+        "sparse and dense solvers disagreed — see BENCH_solver.json"
+    );
+}

@@ -19,7 +19,10 @@
 //!
 //! Wall-clock budgets are deliberately small so that the whole suite runs on a
 //! laptop; set the `MBSP_BENCH_SECONDS` environment variable to give the holistic
-//! search more time per instance (the paper gives COPT 30–60 minutes).
+//! search more time per instance (the paper gives COPT 30–60 minutes). Dataset
+//! sweeps over independent instances run on scoped worker threads; set
+//! `MBSP_BENCH_THREADS` to override the thread count (`1` forces serial runs).
+//! Results are ordered by instance regardless of the thread interleaving.
 
 use mbsp_cache::{ClairvoyantPolicy, EvictionPolicy, LruPolicy, TwoStageScheduler};
 use mbsp_gen::NamedInstance;
@@ -155,9 +158,71 @@ pub fn run_tiny_comparison(params: &ExperimentParams) -> Vec<ComparisonRow> {
         .collect()
 }
 
-/// Runs the divide-and-conquer comparison over the small-dataset sample (Table 2).
+/// Number of worker threads for per-instance dataset sweeps: the
+/// `MBSP_BENCH_THREADS` environment variable when set to a positive integer,
+/// otherwise the machine's available parallelism, in both cases clamped to the
+/// number of instances.
+fn bench_threads(instances: usize) -> usize {
+    let requested = std::env::var("MBSP_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1);
+    let default = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    requested.unwrap_or(default).clamp(1, instances.max(1))
+}
+
+/// Maps `f` over `0..count` on `threads` scoped worker threads (atomic
+/// work-stealing, no external dependencies — the vendored environment has no
+/// rayon) and returns the results **in index order**, so parallel sweeps stay
+/// byte-for-byte deterministic. A panic in any worker propagates.
+fn parallel_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= count {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, value) in handle.join().expect("bench worker panicked") {
+                    slots[i] = Some(value);
+                }
+            }
+        });
+    }
+    slots.into_iter().map(|s| s.expect("every index is produced exactly once")).collect()
+}
+
+/// Runs the divide-and-conquer comparison over the small-dataset sample
+/// (Table 2). Instances are independent, so they are scheduled **in parallel**
+/// on scoped worker threads (`MBSP_BENCH_THREADS` overrides the thread count;
+/// set it to 1 for serial runs). Result rows keep the dataset order regardless
+/// of thread interleaving.
 pub fn run_small_dataset_comparison(params: &ExperimentParams) -> Vec<ComparisonRow> {
-    let dnc = DivideAndConquerScheduler::with_config(DivideAndConquerConfig {
+    let instances = mbsp_gen::small_dataset_sample(params.seed);
+    let threads = bench_threads(instances.len());
+    let dnc_config = DivideAndConquerConfig {
         cost_model: params.cost_model,
         per_part: HolisticConfig {
             cost_model: params.cost_model,
@@ -166,22 +231,21 @@ pub fn run_small_dataset_comparison(params: &ExperimentParams) -> Vec<Comparison
             ..Default::default()
         },
         ..Default::default()
-    });
-    mbsp_gen::small_dataset_sample(params.seed)
-        .iter()
-        .map(|named| {
-            let instance = params.instance(named);
-            let base = evaluate(&instance, &baseline_schedule(&instance), params);
-            let schedule = dnc.schedule(&instance);
-            let ilp = evaluate(&instance, &schedule, params);
-            ComparisonRow {
-                instance: named.name.clone(),
-                baseline: base,
-                ilp,
-                ratio: ilp / base,
-            }
-        })
-        .collect()
+    };
+    parallel_indexed(instances.len(), threads, |i| {
+        let named = &instances[i];
+        let dnc = DivideAndConquerScheduler::with_config(dnc_config);
+        let instance = params.instance(named);
+        let base = evaluate(&instance, &baseline_schedule(&instance), params);
+        let schedule = dnc.schedule(&instance);
+        let ilp = evaluate(&instance, &schedule, params);
+        ComparisonRow {
+            instance: named.name.clone(),
+            baseline: base,
+            ilp,
+            ratio: ilp / base,
+        }
+    })
 }
 
 /// The practical baseline of Table 3: Cilk work stealing + LRU eviction.
@@ -254,6 +318,24 @@ mod tests {
         assert!(table.contains("| a | 100 | 50 | 0.50 |"));
         assert!(table.contains("geometric-mean"));
         assert_eq!(geometric_mean_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn parallel_indexed_preserves_order_and_covers_every_index() {
+        for threads in [1, 2, 3, 8] {
+            let got = parallel_indexed(13, threads, |i| i * i);
+            let want: Vec<usize> = (0..13).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+        assert!(parallel_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn bench_threads_clamps_to_instance_count() {
+        // Whatever the env/machine says, the clamp bounds hold.
+        let t = bench_threads(3);
+        assert!((1..=3).contains(&t));
+        assert_eq!(bench_threads(0), 1);
     }
 
     #[test]

@@ -26,9 +26,24 @@ impl NodeId {
     }
 
     /// Creates a node id from a raw index.
+    ///
+    /// Node ids are stored as `u32`; an index above `u32::MAX` would silently
+    /// alias another node under a plain `as` cast, so the range is
+    /// debug-asserted here and *checked unconditionally* on the authoritative
+    /// construction path ([`CompDag`] routes through [`NodeId::try_new`]).
     #[inline]
     pub fn new(index: usize) -> Self {
+        debug_assert!(
+            index <= u32::MAX as usize,
+            "node index {index} exceeds the u32 id range"
+        );
         NodeId(index as u32)
+    }
+
+    /// Checked conversion: `None` when `index` does not fit the `u32` id range.
+    #[inline]
+    pub fn try_new(index: usize) -> Option<Self> {
+        u32::try_from(index).ok().map(NodeId)
     }
 }
 
@@ -53,6 +68,12 @@ impl EdgeId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Checked conversion: `None` when `index` does not fit the `u32` id range.
+    #[inline]
+    pub fn try_new(index: usize) -> Option<Self> {
+        u32::try_from(index).ok().map(EdgeId)
     }
 }
 
@@ -191,7 +212,10 @@ impl CompDag {
         weights: NodeWeights,
         label: impl Into<String>,
     ) -> Result<NodeId> {
-        let id = NodeId::new(self.num_nodes());
+        // Fails loudly (also in release builds) instead of aliasing node ids
+        // once the u32 range is exhausted.
+        let id = NodeId::try_new(self.num_nodes())
+            .expect("CompDag cannot hold more than u32::MAX nodes");
         if !weights.compute.is_finite() || weights.compute < 0.0 {
             return Err(DagError::InvalidWeight {
                 node: id.index(),
@@ -227,7 +251,8 @@ impl CompDag {
         if self.children[from.index()].contains(&to) {
             return Err(DagError::DuplicateEdge { from: from.index(), to: to.index() });
         }
-        let id = EdgeId(self.edges.len() as u32);
+        let id = EdgeId::try_new(self.edges.len())
+            .expect("CompDag cannot hold more than u32::MAX edges");
         self.children[from.index()].push(to);
         self.parents[to.index()].push(from);
         self.edges.push((from, to));
@@ -472,6 +497,22 @@ mod tests {
         assert!(matches!(res, Err(DagError::InvalidWeight { .. })));
         let res = CompDag::from_edges("bad", vec![NodeWeights::new(1.0, f64::NAN)], &[]);
         assert!(matches!(res, Err(DagError::InvalidWeight { .. })));
+    }
+
+    #[test]
+    fn checked_id_conversions() {
+        assert_eq!(NodeId::try_new(7), Some(NodeId(7)));
+        assert_eq!(NodeId::try_new(u32::MAX as usize), Some(NodeId(u32::MAX)));
+        assert_eq!(NodeId::try_new(u32::MAX as usize + 1), None);
+        assert_eq!(EdgeId::try_new(3), Some(EdgeId(3)));
+        assert_eq!(EdgeId::try_new(u32::MAX as usize + 1), None);
+    }
+
+    #[test]
+    #[cfg_attr(not(debug_assertions), ignore = "range check is a debug assertion")]
+    #[should_panic(expected = "u32 id range")]
+    fn node_id_new_rejects_oversized_indices_in_debug() {
+        let _ = NodeId::new(u32::MAX as usize + 1);
     }
 
     #[test]

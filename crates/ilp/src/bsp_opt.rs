@@ -7,6 +7,9 @@
 //! greedy solution — like the paper's BSP ILP it optimises a memory-oblivious
 //! objective, which is exactly what makes it an interesting comparison point: a
 //! better first stage does not necessarily yield a better MBSP schedule.
+//! (Exact-ILP pipelines instead go through [`crate::ExactIlpScheduler`], whose
+//! branch and bound is warm-started from the two-stage baseline schedule via
+//! [`crate::MbspIlpBuilder::warm_start_from_schedule`].)
 
 use crate::improver::canonical_bsp;
 use mbsp_dag::{CompDag, NodeId};

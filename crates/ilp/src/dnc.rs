@@ -2,8 +2,10 @@
 //!
 //! For DAGs too large for the full holistic optimisation, the problem is split:
 //!
-//! 1. the DAG is recursively bipartitioned (acyclic-partition ILP) until every part
-//!    has at most `max_part_size` nodes;
+//! 1. the DAG is recursively bipartitioned (acyclic-partition ILP, solved by the
+//!    warm-started sparse branch-and-bound of `lp_solver` with the prefix split
+//!    as incumbent and crash basis) until every part has at most
+//!    `max_part_size` nodes;
 //! 2. a high-level plan on the quotient graph decides which processors handle which
 //!    part and in which stage (the adjusted BSPg planner of `mbsp-sched`);
 //! 3. every part is scheduled independently with the holistic scheduler, with the

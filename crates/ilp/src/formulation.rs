@@ -63,6 +63,10 @@ pub struct MbspIlpBuilder {
     pub hasred: Vec<Vec<Vec<VarId>>>,
     /// `hasblue[v][t]` (defined for `t` in `0..=T`)
     pub hasblue: Vec<Vec<VarId>>,
+    /// `finishtime[p][t]` (continuous, defined for `t` in `0..=T`)
+    pub finishtime: Vec<Vec<VarId>>,
+    /// `getsblue[v]` (continuous)
+    pub getsblue: Vec<VarId>,
     /// `makespan`
     pub makespan: VarId,
     time_steps: usize,
@@ -306,9 +310,173 @@ impl MbspIlpBuilder {
             load,
             hasred,
             hasblue,
+            finishtime,
+            getsblue,
             makespan,
             time_steps: t_max,
         }
+    }
+
+    /// Encodes a valid [`MbspSchedule`] as a feasible assignment of this
+    /// formulation's variables — the warm start the paper hands to COPT
+    /// (initialising the ILP solver with the two-stage baseline schedule).
+    ///
+    /// Each superstep is serialized into aligned time-step slots (computes,
+    /// then saves, then loads, padded to the per-phase maximum across
+    /// processors) so that cross-processor save→load visibility within a
+    /// superstep is preserved. Pebble variables are filled by cache
+    /// simulation; the continuous finish-time/availability variables by a
+    /// least-fixpoint iteration of their defining inequalities. Returns `None`
+    /// when the schedule needs more than `T` steps or the encoding is not
+    /// feasible for the formulation (e.g. re-saves that would force a load to
+    /// wait on a later save).
+    pub fn warm_start_from_schedule(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        schedule: &MbspSchedule,
+    ) -> Option<Vec<f64>> {
+        #[derive(Debug, Clone, Copy)]
+        enum WarmOp {
+            Compute(usize),
+            Save(usize),
+            Load(usize),
+        }
+        let p = arch.processors;
+        let n = dag.num_nodes();
+        let t_max = self.time_steps;
+        if schedule.processors() != p {
+            return None;
+        }
+        // 1. Serialize: one ILP step per operation, phases aligned across procs.
+        let mut op_at: Vec<Vec<Option<WarmOp>>> = vec![vec![None; t_max]; p];
+        // `(step, node)`: the red pebble of `node` disappears from step on.
+        let mut red_off: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
+        let mut cursor = 0usize;
+        for step in schedule.supersteps() {
+            let c_max = step.procs.iter().map(|ph| ph.num_computes()).max().unwrap_or(0);
+            let s_max = step.procs.iter().map(|ph| ph.save.len()).max().unwrap_or(0);
+            let l_max = step.procs.iter().map(|ph| ph.load.len()).max().unwrap_or(0);
+            if cursor + c_max + s_max + l_max > t_max {
+                return None;
+            }
+            for (pi, phases) in step.procs.iter().enumerate() {
+                let mut tc = cursor;
+                for c in &phases.compute {
+                    match c {
+                        ComputePhaseStep::Compute(v) => {
+                            op_at[pi][tc] = Some(WarmOp::Compute(v.index()));
+                            tc += 1;
+                        }
+                        ComputePhaseStep::Delete(v) => red_off[pi].push((tc, v.index())),
+                    }
+                }
+                for (k, v) in phases.save.iter().enumerate() {
+                    op_at[pi][cursor + c_max + k] = Some(WarmOp::Save(v.index()));
+                }
+                for v in &phases.delete {
+                    red_off[pi].push((cursor + c_max + s_max, v.index()));
+                }
+                for (k, v) in phases.load.iter().enumerate() {
+                    op_at[pi][cursor + c_max + s_max + k] = Some(WarmOp::Load(v.index()));
+                }
+            }
+            cursor += c_max + s_max + l_max;
+        }
+        // 2. Pebble variables by simulation.
+        let mut values = vec![0.0; self.problem.num_variables()];
+        for pi in 0..p {
+            let mut redset = vec![false; n];
+            red_off[pi].sort_unstable();
+            let mut off_iter = red_off[pi].iter().copied().peekable();
+            for t in 0..=t_max {
+                while let Some((_, v)) = off_iter.next_if(|&(ts, _)| ts <= t) {
+                    redset[v] = false;
+                }
+                for (v, &r) in redset.iter().enumerate() {
+                    if r {
+                        values[self.hasred[pi][v][t].index()] = 1.0;
+                    }
+                }
+                if t < t_max {
+                    match op_at[pi][t] {
+                        Some(WarmOp::Compute(v)) => {
+                            values[self.compute[pi][v][t].index()] = 1.0;
+                            redset[v] = true;
+                        }
+                        Some(WarmOp::Load(v)) => {
+                            values[self.load[pi][v][t].index()] = 1.0;
+                            redset[v] = true;
+                        }
+                        Some(WarmOp::Save(v)) => values[self.save[pi][v][t].index()] = 1.0,
+                        None => {}
+                    }
+                }
+            }
+        }
+        let mut blue_from = vec![usize::MAX; n];
+        for v in dag.sources() {
+            blue_from[v.index()] = 0;
+        }
+        for ops in &op_at {
+            for (t, op) in ops.iter().enumerate() {
+                if let Some(WarmOp::Save(v)) = op {
+                    blue_from[*v] = blue_from[*v].min(t + 1);
+                }
+            }
+        }
+        for (v, &from) in blue_from.iter().enumerate() {
+            for t in from..=t_max {
+                values[self.hasblue[v][t].index()] = 1.0;
+            }
+        }
+        // 3. Continuous variables: least fixpoint of the finish-time system.
+        let mut fin = vec![vec![0.0f64; t_max + 1]; p];
+        let mut gets = vec![0.0f64; n];
+        for _round in 0..(t_max + 2) {
+            let mut changed = false;
+            for pi in 0..p {
+                for t in 0..t_max {
+                    let mut f = fin[pi][t];
+                    match op_at[pi][t] {
+                        Some(WarmOp::Compute(v)) => f += dag.compute_weight(NodeId::new(v)),
+                        Some(WarmOp::Save(v)) => f += arch.g * dag.memory_weight(NodeId::new(v)),
+                        Some(WarmOp::Load(v)) => {
+                            f = (f + arch.g * dag.memory_weight(NodeId::new(v)))
+                                .max(gets[v] + arch.g * dag.memory_weight(NodeId::new(v)));
+                        }
+                        None => {}
+                    }
+                    if f > fin[pi][t + 1] + 1e-12 {
+                        fin[pi][t + 1] = f;
+                        changed = true;
+                    }
+                }
+                for (t, op) in op_at[pi].iter().enumerate() {
+                    if let Some(WarmOp::Save(v)) = op {
+                        if fin[pi][t + 1] > gets[*v] + 1e-12 {
+                            gets[*v] = fin[pi][t + 1];
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut makespan = 0.0f64;
+        for pi in 0..p {
+            for t in 0..=t_max {
+                values[self.finishtime[pi][t].index()] = fin[pi][t];
+            }
+            makespan = makespan.max(fin[pi][t_max]);
+        }
+        for v in 0..n {
+            values[self.getsblue[v].index()] = gets[v];
+        }
+        values[self.makespan.index()] = makespan;
+        self.problem.is_feasible(&values, 1e-6).then_some(values)
     }
 
     /// Extracts a valid [`MbspSchedule`] from a MIP solution of this formulation.
@@ -364,8 +532,36 @@ impl ExactIlpScheduler {
     /// Solves the instance. Returns the extracted schedule and the solver status, or
     /// `None` if no feasible schedule was found within the limits.
     pub fn schedule(&self, instance: &MbspInstance) -> Option<(MbspSchedule, MipStatus, f64)> {
+        self.solve(instance, None)
+    }
+
+    /// Like [`ExactIlpScheduler::schedule`], but seeds branch and bound with a
+    /// known-valid schedule (typically the two-stage baseline), exactly as the
+    /// paper warm-starts COPT: the encoded assignment becomes the incumbent
+    /// (pruning from node one) *and* crashes the root simplex basis. A warm
+    /// schedule that does not fit the formulation's `T` steps is silently
+    /// ignored.
+    pub fn schedule_with_warm_start(
+        &self,
+        instance: &MbspInstance,
+        warm: &MbspSchedule,
+    ) -> Option<(MbspSchedule, MipStatus, f64)> {
+        self.solve(instance, Some(warm))
+    }
+
+    fn solve(
+        &self,
+        instance: &MbspInstance,
+        warm: Option<&MbspSchedule>,
+    ) -> Option<(MbspSchedule, MipStatus, f64)> {
         let builder = MbspIlpBuilder::build(instance, &self.config);
-        let solution = BranchBoundSolver::with_limits(self.config.limits).solve(&builder.problem);
+        let mut solver = BranchBoundSolver::with_limits(self.config.limits);
+        if let Some(ws) = warm
+            .and_then(|w| builder.warm_start_from_schedule(instance.dag(), instance.arch(), w))
+        {
+            solver = solver.with_warm_start(ws);
+        }
+        let solution = solver.solve(&builder.problem);
         match solution.status {
             MipStatus::Optimal | MipStatus::Feasible => {
                 let schedule = builder.extract_schedule(instance.dag(), instance.arch(), &solution);
@@ -439,6 +635,60 @@ mod tests {
         let stats = schedule.statistics(instance.dag(), instance.arch());
         assert_eq!(stats.recomputed_nodes, 0);
         assert_eq!(stats.computes, 2);
+    }
+
+    /// A hand-built optimal schedule for [`path2_instance`]: load the source,
+    /// compute the sink, save it.
+    fn path2_schedule() -> MbspSchedule {
+        use mbsp_model::ComputePhaseStep;
+        let mut s = MbspSchedule::new(1);
+        let p = ProcId::new(0);
+        s.push_empty_superstep().proc_mut(p).load.push(mbsp_dag::NodeId::new(0));
+        let step = s.push_empty_superstep();
+        step.proc_mut(p).compute.push(ComputePhaseStep::Compute(mbsp_dag::NodeId::new(1)));
+        step.proc_mut(p).save.push(mbsp_dag::NodeId::new(1));
+        s
+    }
+
+    #[test]
+    fn warm_start_encoding_is_feasible_and_matches_the_schedule_cost() {
+        let instance = path2_instance();
+        let config = IlpConfig { time_steps: 3, allow_recompute: true, limits: small_limits() };
+        let builder = MbspIlpBuilder::build(&instance, &config);
+        let warm = path2_schedule();
+        warm.validate(instance.dag(), instance.arch()).unwrap();
+        let values = builder
+            .warm_start_from_schedule(instance.dag(), instance.arch(), &warm)
+            .expect("the optimal schedule must encode feasibly");
+        assert!(builder.problem.is_feasible(&values, 1e-6));
+        // The encoded makespan equals the schedule's asynchronous cost.
+        let makespan = values[builder.makespan.index()];
+        let measured = async_cost(&warm, instance.dag(), instance.arch());
+        assert!((makespan - measured).abs() < 1e-6, "{makespan} vs {measured}");
+    }
+
+    #[test]
+    fn warm_start_that_needs_too_many_steps_is_rejected() {
+        let instance = path2_instance();
+        let config = IlpConfig { time_steps: 2, allow_recompute: true, limits: small_limits() };
+        let builder = MbspIlpBuilder::build(&instance, &config);
+        assert!(builder
+            .warm_start_from_schedule(instance.dag(), instance.arch(), &path2_schedule())
+            .is_none());
+    }
+
+    #[test]
+    fn warm_started_exact_solve_matches_the_cold_solve() {
+        let instance = path2_instance();
+        let config = IlpConfig { time_steps: 3, allow_recompute: true, limits: small_limits() };
+        let scheduler = ExactIlpScheduler::with_config(config);
+        let (_, cold_status, cold_obj) = scheduler.schedule(&instance).expect("feasible");
+        let (schedule, status, objective) = scheduler
+            .schedule_with_warm_start(&instance, &path2_schedule())
+            .expect("feasible");
+        assert_eq!(status, cold_status);
+        assert!((objective - cold_obj).abs() < 1e-6);
+        schedule.validate(instance.dag(), instance.arch()).unwrap();
     }
 
     #[test]

@@ -311,52 +311,134 @@ fn remove_redundant_saves(schedule: &mut MbspSchedule, dag: &CompDag, required_o
 
 /// Greedily merges adjacent supersteps whenever the merged schedule remains valid
 /// and its cost does not increase.
+///
+/// Candidate merges are *not* evaluated by re-costing the whole schedule: under
+/// the synchronous model the cost is a sum of per-superstep terms, so folding
+/// superstep `k + 1` into `k` only changes those two terms (per-processor phase
+/// costs add up, the per-step maxima are re-taken, and one latency `L` is
+/// saved). The per-superstep, per-processor phase costs are computed once and
+/// patched after every accepted merge, turning each candidate evaluation into
+/// an `O(P)` delta. Candidate *construction* (needed for the validity check,
+/// which genuinely depends on the whole prefix) reuses one scratch schedule
+/// buffer instead of allocating a fresh clone per candidate. The asynchronous
+/// makespan has no per-superstep decomposition, so that model keeps the full
+/// re-evaluation (still through the scratch buffer).
 fn merge_supersteps(
     schedule: &mut MbspSchedule,
     dag: &CompDag,
     arch: &Architecture,
     cost_model: CostModel,
 ) {
-    let mut current_cost = cost_model.evaluate(schedule, dag, arch);
-    let mut k = 0usize;
-    while k + 1 < schedule.num_supersteps() {
-        let candidate = merged_copy(schedule, k);
-        if candidate.validate(dag, arch).is_ok() {
-            let cost = cost_model.evaluate(&candidate, dag, arch);
-            if cost <= current_cost + 1e-9 {
-                *schedule = candidate;
-                current_cost = cost;
-                // Stay at the same index: further merges may now be possible.
-                continue;
+    let p = schedule.processors();
+    let mut scratch = MbspSchedule::new(p);
+    match cost_model {
+        CostModel::Synchronous => {
+            // Per-superstep, per-processor phase costs.
+            let mut comp: Vec<Vec<f64>> = Vec::with_capacity(schedule.num_supersteps());
+            let mut save: Vec<Vec<f64>> = Vec::with_capacity(schedule.num_supersteps());
+            let mut load: Vec<Vec<f64>> = Vec::with_capacity(schedule.num_supersteps());
+            for step in schedule.supersteps() {
+                comp.push(step.procs.iter().map(|ph| ph.compute_cost(dag)).collect());
+                save.push(step.procs.iter().map(|ph| ph.save_cost(dag, arch.g)).collect());
+                load.push(step.procs.iter().map(|ph| ph.load_cost(dag, arch.g)).collect());
+            }
+            let maxima = |row: &[f64]| row.iter().copied().fold(0.0f64, f64::max);
+            let mut k = 0usize;
+            while k + 1 < schedule.num_supersteps() {
+                // Synchronous cost of the two steps separately vs merged; all
+                // other supersteps are untouched by the fold.
+                let separate = maxima(&comp[k])
+                    + maxima(&save[k])
+                    + maxima(&load[k])
+                    + maxima(&comp[k + 1])
+                    + maxima(&save[k + 1])
+                    + maxima(&load[k + 1])
+                    + arch.latency;
+                let merged_comp =
+                    (0..p).map(|pi| comp[k][pi] + comp[k + 1][pi]).fold(0.0f64, f64::max);
+                let merged_save =
+                    (0..p).map(|pi| save[k][pi] + save[k + 1][pi]).fold(0.0f64, f64::max);
+                let merged_load =
+                    (0..p).map(|pi| load[k][pi] + load[k + 1][pi]).fold(0.0f64, f64::max);
+                let merged = merged_comp + merged_save + merged_load;
+                if merged <= separate + 1e-9 {
+                    copy_schedule_into(&mut scratch, schedule);
+                    fold_superstep(&mut scratch, k);
+                    if scratch.validate(dag, arch).is_ok() {
+                        std::mem::swap(schedule, &mut scratch);
+                        for pi in 0..p {
+                            let (c, s, l) = (comp[k + 1][pi], save[k + 1][pi], load[k + 1][pi]);
+                            comp[k][pi] += c;
+                            save[k][pi] += s;
+                            load[k][pi] += l;
+                        }
+                        comp.remove(k + 1);
+                        save.remove(k + 1);
+                        load.remove(k + 1);
+                        // Stay at the same index: further merges may now be possible.
+                        continue;
+                    }
+                }
+                k += 1;
             }
         }
-        k += 1;
+        CostModel::Asynchronous => {
+            let mut current_cost = cost_model.evaluate(schedule, dag, arch);
+            let mut k = 0usize;
+            while k + 1 < schedule.num_supersteps() {
+                copy_schedule_into(&mut scratch, schedule);
+                fold_superstep(&mut scratch, k);
+                if scratch.validate(dag, arch).is_ok() {
+                    let cost = cost_model.evaluate(&scratch, dag, arch);
+                    if cost <= current_cost + 1e-9 {
+                        std::mem::swap(schedule, &mut scratch);
+                        current_cost = cost;
+                        continue;
+                    }
+                }
+                k += 1;
+            }
+        }
     }
 }
 
-/// Returns a copy of the schedule in which superstep `k + 1` is folded into
-/// superstep `k` (phase lists concatenated per processor).
-fn merged_copy(schedule: &MbspSchedule, k: usize) -> MbspSchedule {
-    let mut merged = MbspSchedule::new(schedule.processors());
-    for (s, step) in schedule.supersteps().iter().enumerate() {
-        if s == k + 1 {
-            // Fold into the previously pushed superstep.
-            let target_idx = merged.num_supersteps() - 1;
-            let target = &mut merged.supersteps_mut()[target_idx];
-            for (pi, phases) in step.procs.iter().enumerate() {
-                let t = &mut target.procs[pi];
-                t.compute.extend(phases.compute.iter().copied());
-                t.save.extend(phases.save.iter().copied());
-                t.delete.extend(phases.delete.iter().copied());
-                t.load.extend(phases.load.iter().copied());
-            }
-        } else {
-            let mut copy = Superstep::empty(schedule.processors());
-            copy.procs = step.procs.clone();
-            merged.push_superstep(copy);
+/// Copies `src` into `dst`, reusing `dst`'s superstep and phase allocations.
+/// (`Clone::clone_from` on the schedule would allocate afresh: the derive only
+/// generates `clone`.)
+fn copy_schedule_into(dst: &mut MbspSchedule, src: &MbspSchedule) {
+    debug_assert_eq!(dst.processors(), src.processors());
+    let p = src.processors();
+    let steps = dst.supersteps_mut();
+    steps.truncate(src.num_supersteps());
+    while steps.len() < src.num_supersteps() {
+        steps.push(Superstep::empty(p));
+    }
+    for (d, s) in steps.iter_mut().zip(src.supersteps()) {
+        for (dp, sp) in d.procs.iter_mut().zip(&s.procs) {
+            dp.compute.clear();
+            dp.compute.extend_from_slice(&sp.compute);
+            dp.save.clear();
+            dp.save.extend_from_slice(&sp.save);
+            dp.delete.clear();
+            dp.delete.extend_from_slice(&sp.delete);
+            dp.load.clear();
+            dp.load.extend_from_slice(&sp.load);
         }
     }
-    merged
+}
+
+/// Folds superstep `k + 1` into superstep `k` in place (phase lists
+/// concatenated per processor), removing step `k + 1`.
+fn fold_superstep(schedule: &mut MbspSchedule, k: usize) {
+    let steps = schedule.supersteps_mut();
+    let removed = steps.remove(k + 1);
+    for (pi, phases) in removed.procs.into_iter().enumerate() {
+        let t = &mut steps[k].procs[pi];
+        t.compute.extend(phases.compute);
+        t.save.extend(phases.save);
+        t.delete.extend(phases.delete);
+        t.load.extend(phases.load);
+    }
 }
 
 #[cfg(test)]
@@ -461,6 +543,47 @@ mod tests {
             schedule.validate(inst.dag(), inst.arch()).unwrap();
             let after = sync_cost(&schedule, inst.dag(), inst.arch()).total;
             assert!(after <= before + 1e-9);
+        }
+    }
+
+    #[test]
+    fn incremental_merge_matches_full_reevaluation() {
+        // Reference implementation: greedy merge with a full cost re-evaluation
+        // and a fresh clone per candidate (the pre-incremental behaviour).
+        fn naive_merge(schedule: &mut MbspSchedule, dag: &CompDag, arch: &Architecture) {
+            let mut current = sync_cost(schedule, dag, arch).total;
+            let mut k = 0usize;
+            while k + 1 < schedule.num_supersteps() {
+                let mut cand = schedule.clone();
+                fold_superstep(&mut cand, k);
+                if cand.validate(dag, arch).is_ok() {
+                    let cost = sync_cost(&cand, dag, arch).total;
+                    if cost <= current + 1e-9 {
+                        *schedule = cand;
+                        current = cost;
+                        continue;
+                    }
+                }
+                k += 1;
+            }
+        }
+        let greedy = GreedyBspScheduler::new();
+        let converter = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        for inst in tiny_instances(5) {
+            let baseline = greedy.schedule(inst.dag(), inst.arch());
+            let schedule = converter.schedule(inst.dag(), inst.arch(), &baseline, &policy);
+            let mut reference = schedule.clone();
+            naive_merge(&mut reference, inst.dag(), inst.arch());
+            let mut incremental = schedule.clone();
+            merge_supersteps(&mut incremental, inst.dag(), inst.arch(), CostModel::Synchronous);
+            let ref_cost = sync_cost(&reference, inst.dag(), inst.arch()).total;
+            let inc_cost = sync_cost(&incremental, inst.dag(), inst.arch()).total;
+            assert!(
+                (ref_cost - inc_cost).abs() < 1e-9,
+                "{}: incremental {inc_cost} vs reference {ref_cost}",
+                inst.name()
+            );
         }
     }
 

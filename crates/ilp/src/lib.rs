@@ -34,4 +34,4 @@ pub use bsp_opt::BspIlpScheduler;
 pub use dnc::{DivideAndConquerConfig, DivideAndConquerScheduler};
 pub use formulation::{ExactIlpScheduler, IlpConfig, MbspIlpBuilder};
 pub use improver::{HolisticConfig, HolisticScheduler};
-pub use partition_ilp::{bipartition, BipartitionConfig};
+pub use partition_ilp::{bipartition, bipartition_model, BipartitionConfig};

@@ -12,9 +12,13 @@
 //! * objective: minimise `Σ_{(u,v) ∈ E} y_{uv}` with `y_{uv} ≥ x_v − x_u`, the
 //!   number of cut edges.
 //!
-//! A topological-prefix split warm-starts the solver; if the solver hits its limits
-//! without a solution, the same prefix split is used as a fallback (it is always
-//! acyclic and balanced).
+//! A topological-prefix split warm-starts the solver — since the rework of
+//! `lp_solver` around the sparse revised simplex, the warm assignment both
+//! prunes branch and bound from the first node *and* crashes the root basis
+//! (the prefix split's variables all sit on their bounds, so Phase 1 is
+//! skipped entirely). If the solver hits its limits without a solution, the
+//! same prefix split is used as a fallback (it is always acyclic and
+//! balanced).
 
 use lp_solver::{BranchBoundSolver, ConstraintSense, LinExpr, LpProblem, MipStatus, SolverLimits};
 use mbsp_dag::{AcyclicPartition, CompDag, NodeId, TopologicalOrder};
@@ -42,18 +46,15 @@ impl Default for BipartitionConfig {
     }
 }
 
-/// Computes an acyclic bipartition of `dag` (two parts) minimising the cut.
-///
-/// Falls back to a balanced topological-prefix split when the ILP solver cannot
-/// find a solution within its limits or the DAG is too small to split.
-pub fn bipartition(dag: &CompDag, config: &BipartitionConfig) -> AcyclicPartition {
+/// Builds the bipartition ILP of `dag` together with its prefix-split warm
+/// start. The first `n` variables are the binary node-side indicators `x_v`
+/// (variable `i` belongs to node `i`), followed by one continuous cut
+/// indicator `y_e` per edge. Shared by [`bipartition`] and the recorded
+/// `BENCH_solver.json` benchmark, so both always measure the exact production
+/// formulation.
+pub fn bipartition_model(dag: &CompDag, min_fraction: f64) -> (LpProblem, Vec<f64>) {
     let n = dag.num_nodes();
-    if n < 2 {
-        return AcyclicPartition::trivial(dag);
-    }
     let fallback = prefix_split(dag);
-
-    // Build the ILP.
     let mut problem = LpProblem::new();
     let xs: Vec<_> = (0..n).map(|i| problem.add_binary(format!("x{i}"), 0.0)).collect();
     for (e, (u, v)) in dag.edges().enumerate() {
@@ -76,7 +77,7 @@ pub fn bipartition(dag: &CompDag, config: &BipartitionConfig) -> AcyclicPartitio
             0.0,
         );
     }
-    let min_nodes = ((n as f64) * config.min_fraction).ceil().max(1.0);
+    let min_nodes = ((n as f64) * min_fraction).ceil().max(1.0);
     let max_nodes = (n as f64) - min_nodes;
     let mut size_expr = LinExpr::new();
     for &x in &xs {
@@ -95,14 +96,27 @@ pub fn bipartition(dag: &CompDag, config: &BipartitionConfig) -> AcyclicPartitio
         // The y variables come right after being added per edge; recompute index.
         warm[xs.len() + e] = if cut { 1.0 } else { 0.0 };
     }
+    (problem, warm)
+}
 
+/// Computes an acyclic bipartition of `dag` (two parts) minimising the cut.
+///
+/// Falls back to a balanced topological-prefix split when the ILP solver cannot
+/// find a solution within its limits or the DAG is too small to split.
+pub fn bipartition(dag: &CompDag, config: &BipartitionConfig) -> AcyclicPartition {
+    let n = dag.num_nodes();
+    if n < 2 {
+        return AcyclicPartition::trivial(dag);
+    }
+    let fallback = prefix_split(dag);
+    let (problem, warm) = bipartition_model(dag, config.min_fraction);
     let solution = BranchBoundSolver::with_limits(config.limits)
         .with_warm_start(warm)
         .solve(&problem);
     match solution.status {
         MipStatus::Optimal | MipStatus::Feasible => {
             let assignment: Vec<usize> = (0..n)
-                .map(|i| solution.values[xs[i].index()].round() as usize)
+                .map(|i| solution.values[i].round() as usize)
                 .collect();
             AcyclicPartition::new(dag, assignment, 2).unwrap_or(fallback)
         }

@@ -1,12 +1,25 @@
 //! Depth-first branch-and-bound MIP solver on top of the simplex LP relaxation.
 //!
 //! The solver mirrors how the paper uses COPT: it accepts an **incumbent warm
-//! start** (the two-stage baseline schedule encoded as a feasible assignment), it
-//! respects a **time limit** and a node limit, and it reports whether the returned
-//! solution is proven optimal or only the best found within the limits.
+//! start** (the two-stage baseline schedule encoded as a feasible assignment),
+//! it respects a **time limit** and a node limit, and it reports whether the
+//! returned solution is proven optimal or only the best found within the
+//! limits.
+//!
+//! Node relaxations are solved by the sparse revised simplex with **basis
+//! warm starts**: every child node inherits its parent's optimal basis and,
+//! since branching only tightens one variable bound, re-solves with a handful
+//! of dual-simplex pivots instead of a cold two-phase start. The warm-start
+//! assignment additionally crashes the root basis
+//! ([`crate::revised::RevisedSimplex::solve_from_point`]), so a feasible
+//! incumbent makes even the root Phase-1-free. For differential testing and
+//! benchmarking, [`BranchBoundSolver::with_dense_relaxation`] switches every
+//! node to the dense-tableau oracle solved from scratch (the seed behaviour).
 
+use crate::dense::solve_lp_dense_with_bounds_deadline;
 use crate::model::{LpProblem, VarType};
-use crate::simplex::{solve_lp_with_bounds_deadline, LpStatus};
+use crate::revised::{Basis, LpSolution, LpStatus, RevisedSimplex};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// Termination status of a MIP solve.
@@ -66,6 +79,17 @@ pub struct BranchBoundSolver {
     limits: SolverLimits,
     /// Optional warm-start assignment (must be feasible to be used).
     warm_start: Option<Vec<f64>>,
+    /// Solve node relaxations with the dense-tableau oracle instead of the
+    /// warm-started revised simplex (differential testing / benchmarking).
+    dense_relaxation: bool,
+}
+
+/// One open node of the depth-first search.
+struct Node {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// The parent's optimal basis (shared between both children).
+    basis: Option<Rc<Basis>>,
 }
 
 impl BranchBoundSolver {
@@ -76,14 +100,23 @@ impl BranchBoundSolver {
 
     /// Creates a solver with explicit limits.
     pub fn with_limits(limits: SolverLimits) -> Self {
-        BranchBoundSolver { limits, warm_start: None }
+        BranchBoundSolver { limits, ..Default::default() }
     }
 
-    /// Provides an incumbent warm-start assignment; if it is feasible it is used to
-    /// prune the search from the beginning (mirroring the paper's initialisation of
+    /// Provides an incumbent warm-start assignment; if it is feasible it is
+    /// used to prune the search from the beginning *and* to crash the root
+    /// basis of the revised simplex (mirroring the paper's initialisation of
     /// the ILP solver with the baseline schedule).
     pub fn with_warm_start(mut self, assignment: Vec<f64>) -> Self {
         self.warm_start = Some(assignment);
+        self
+    }
+
+    /// Solves every node relaxation with the dense-tableau oracle from a cold
+    /// start (the pre-revised-simplex behaviour). Only useful for differential
+    /// testing and for the recorded `BENCH_solver.json` baseline.
+    pub fn with_dense_relaxation(mut self, dense: bool) -> Self {
+        self.dense_relaxation = dense;
         self
     }
 
@@ -103,23 +136,53 @@ impl BranchBoundSolver {
             }
         }
 
+        // The shared relaxation solver (sparse path); bounds are swapped in
+        // per node, bases are inherited parent → child.
+        let mut simplex =
+            if self.dense_relaxation { None } else { Some(RevisedSimplex::new(problem)) };
+
         let root_lower: Vec<f64> = problem.variables.iter().map(|v| v.lower).collect();
         let root_upper: Vec<f64> = problem.variables.iter().map(|v| v.upper).collect();
 
-        // Depth-first stack of (lower bounds, upper bounds).
-        let mut stack: Vec<(Vec<f64>, Vec<f64>)> = vec![(root_lower, root_upper)];
+        // Depth-first stack.
+        let mut stack: Vec<Node> =
+            vec![Node { lower: root_lower, upper: root_upper, basis: None }];
         let mut nodes = 0usize;
         let mut best_bound = f64::NEG_INFINITY;
         let mut open_bounds: Vec<f64> = Vec::new();
         let mut proven = true;
 
-        while let Some((lower, upper)) = stack.pop() {
+        while let Some(node) = stack.pop() {
             if nodes >= self.limits.max_nodes || start.elapsed() >= self.limits.time_limit {
                 proven = false;
                 break;
             }
             nodes += 1;
-            let relax = solve_lp_with_bounds_deadline(problem, &lower, &upper, deadline);
+            let (relax, solved_basis): (LpSolution, Option<Rc<Basis>>) = match &mut simplex {
+                Some(solver) => {
+                    solver.set_structural_bounds(&node.lower, &node.upper);
+                    let sol = match (&node.basis, &self.warm_start) {
+                        (Some(basis), _) => solver.solve_with_basis(basis, deadline),
+                        // Root node: crash towards the incumbent when we have one.
+                        (None, Some(ws)) if ws.len() == n => {
+                            solver.solve_from_point(ws, deadline)
+                        }
+                        (None, _) => solver.solve(deadline),
+                    };
+                    let basis = (sol.status == LpStatus::Optimal)
+                        .then(|| Rc::new(solver.basis_snapshot()));
+                    (sol, basis)
+                }
+                None => (
+                    solve_lp_dense_with_bounds_deadline(
+                        problem,
+                        &node.lower,
+                        &node.upper,
+                        deadline,
+                    ),
+                    None,
+                ),
+            };
             match relax.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::Unbounded => {
@@ -174,15 +237,24 @@ impl BranchBoundSolver {
                 Some((i, x)) => {
                     // Branch: x <= floor, x >= ceil. Push the "floor" branch last so
                     // it is explored first (depth-first dive towards 0 for binaries).
-                    let mut up_lower = lower.clone();
+                    // Both children start from this node's optimal basis.
+                    let mut up_lower = node.lower.clone();
                     up_lower[i] = x.ceil();
-                    let mut down_upper = upper.clone();
+                    let mut down_upper = node.upper.clone();
                     down_upper[i] = x.floor();
-                    if up_lower[i] <= upper[i] + tol {
-                        stack.push((up_lower, upper.clone()));
+                    if up_lower[i] <= node.upper[i] + tol {
+                        stack.push(Node {
+                            lower: up_lower,
+                            upper: node.upper.clone(),
+                            basis: solved_basis.clone(),
+                        });
                     }
-                    if lower[i] <= down_upper[i] + tol {
-                        stack.push((lower, down_upper));
+                    if node.lower[i] <= down_upper[i] + tol {
+                        stack.push(Node {
+                            lower: node.lower,
+                            upper: down_upper,
+                            basis: solved_basis,
+                        });
                     }
                 }
             }
@@ -246,8 +318,7 @@ mod tests {
 
     #[test]
     fn integer_variables_round_correctly() {
-        // min x + y  s.t. 2x + 3y >= 12, x,y integer >= 0. Optimum 5 (x=0,y=4 -> 4? )
-        // 2x+3y>=12: y=4 gives 12, objective 4. x=3,y=2 gives 12, objective 5. So 4.
+        // min x + y  s.t. 2x + 3y >= 12, x,y integer >= 0. Optimum 4 (x=0, y=4).
         let mut p = LpProblem::new();
         let x = p.add_integer("x", 0.0, 10.0, 1.0);
         let y = p.add_integer("y", 0.0, 10.0, 1.0);
@@ -390,5 +461,36 @@ mod tests {
         let sol = BranchBoundSolver::with_limits(limits).solve(&p);
         assert!(sol.nodes_explored <= 10);
         assert!(matches!(sol.status, MipStatus::Feasible | MipStatus::LimitReached | MipStatus::Optimal));
+    }
+
+    #[test]
+    fn dense_relaxation_oracle_agrees_on_a_small_mip() {
+        let mut p = LpProblem::new();
+        let x1 = p.add_binary("x1", -10.0);
+        let x2 = p.add_binary("x2", -13.0);
+        let x3 = p.add_binary("x3", -7.0);
+        p.add_constraint(
+            "cap",
+            LinExpr::term(x1, 3.0).plus(x2, 4.0).plus(x3, 2.0),
+            ConstraintSense::LessEqual,
+            6.0,
+        );
+        let sparse = BranchBoundSolver::new().solve(&p);
+        let dense = BranchBoundSolver::new().with_dense_relaxation(true).solve(&p);
+        assert_eq!(sparse.status, dense.status);
+        assert_close(sparse.objective, dense.objective);
+    }
+
+    #[test]
+    fn warm_start_crashes_the_root_basis_and_still_proves_optimality() {
+        // The warm start is optimal here; the solver must both keep it and
+        // prove it optimal via the crashed root basis.
+        let mut p = LpProblem::new();
+        let x = p.add_binary("x", -2.0);
+        let y = p.add_binary("y", -3.0);
+        p.add_constraint("c", LinExpr::term(x, 1.0).plus(y, 1.0), ConstraintSense::LessEqual, 1.0);
+        let sol = BranchBoundSolver::new().with_warm_start(vec![0.0, 1.0]).solve(&p);
+        assert_eq!(sol.status, MipStatus::Optimal);
+        assert_close(sol.objective, -3.0);
     }
 }

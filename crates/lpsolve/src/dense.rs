@@ -1,61 +1,46 @@
-//! Dense two-phase primal simplex solver for LP relaxations.
+//! Dense two-phase primal simplex: the **differential-testing oracle**.
 //!
-//! The solver works on the bounded form
-//! `min c'x  s.t.  A x {≤,≥,=} b,  l ≤ x ≤ u`:
-//! variables are shifted by their lower bounds, finite upper bounds become explicit
-//! rows, slack/surplus variables turn the constraints into equalities and artificial
-//! variables provide the Phase-1 starting basis. Pivoting uses Dantzig's rule with a
-//! Bland's-rule fallback to guarantee termination.
+//! This is the crate's original LP solver, retained verbatim in behaviour: a
+//! dense full-tableau two-phase primal simplex in which variables are shifted
+//! by their lower bounds, every finite upper bound becomes an explicit row,
+//! slack/surplus variables turn the constraints into equalities and artificial
+//! variables provide the Phase-1 starting basis. Pivoting uses Dantzig's rule
+//! with a Bland's-rule fallback to guarantee termination.
+//!
+//! Production solves go through the sparse revised simplex
+//! ([`crate::revised`]); the dense tableau survives as an independent oracle —
+//! the two implementations share no pivoting code, so agreement on random
+//! problems (see `tests/differential.rs`) is strong evidence of correctness.
+//! It is also the measured baseline of the `BENCH_solver.json` benchmark.
 
 use crate::model::{ConstraintSense, LpProblem};
+use crate::revised::{LpSolution, LpStatus};
 use std::time::Instant;
-
-/// Status of an LP solve.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LpStatus {
-    /// An optimal solution was found.
-    Optimal,
-    /// The problem has no feasible solution.
-    Infeasible,
-    /// The objective is unbounded below.
-    Unbounded,
-    /// The iteration limit was reached before convergence.
-    IterationLimit,
-}
-
-/// Result of an LP solve.
-#[derive(Debug, Clone)]
-pub struct LpSolution {
-    /// Solve status.
-    pub status: LpStatus,
-    /// Objective value (meaningful only when `status == Optimal`).
-    pub objective: f64,
-    /// Values of the original problem variables (meaningful only when `Optimal`).
-    pub values: Vec<f64>,
-}
 
 const EPS: f64 = 1e-9;
 const PIVOT_EPS: f64 = 1e-7;
 
-/// Solves the LP relaxation of `problem` (integrality is ignored).
-pub fn solve_lp(problem: &LpProblem) -> LpSolution {
+/// Solves the LP relaxation of `problem` with the dense tableau (integrality is
+/// ignored).
+pub fn solve_lp_dense(problem: &LpProblem) -> LpSolution {
     let lower: Vec<f64> = problem.variables.iter().map(|v| v.lower).collect();
     let upper: Vec<f64> = problem.variables.iter().map(|v| v.upper).collect();
-    solve_lp_with_bounds(problem, &lower, &upper)
+    solve_lp_dense_with_bounds(problem, &lower, &upper)
 }
 
-/// Solves the LP relaxation of `problem` with overridden variable bounds (used by
-/// branch and bound). `lower`/`upper` must have one entry per variable.
-pub fn solve_lp_with_bounds(problem: &LpProblem, lower: &[f64], upper: &[f64]) -> LpSolution {
-    solve_lp_with_bounds_deadline(problem, lower, upper, None)
+/// Solves the LP relaxation of `problem` with overridden variable bounds.
+pub fn solve_lp_dense_with_bounds(
+    problem: &LpProblem,
+    lower: &[f64],
+    upper: &[f64],
+) -> LpSolution {
+    solve_lp_dense_with_bounds_deadline(problem, lower, upper, None)
 }
 
-/// Like [`solve_lp_with_bounds`], but aborts with [`LpStatus::IterationLimit`]
-/// once `deadline` passes. A single large LP relaxation can otherwise run far
-/// beyond the wall-clock budget of a caller (the branch-and-bound solver checks
-/// its time limit only *between* node solves), so the deadline is checked
-/// inside the pivot loop.
-pub fn solve_lp_with_bounds_deadline(
+/// Like [`solve_lp_dense_with_bounds`], but aborts with
+/// [`LpStatus::IterationLimit`] once `deadline` passes (checked inside the
+/// pivot loop).
+pub fn solve_lp_dense_with_bounds_deadline(
     problem: &LpProblem,
     lower: &[f64],
     upper: &[f64],
@@ -428,7 +413,7 @@ mod tests {
         let y = p.add_continuous("y", 0.0, f64::INFINITY, -1.0);
         p.add_constraint("c1", LinExpr::term(x, 1.0).plus(y, 2.0), ConstraintSense::LessEqual, 4.0);
         p.add_constraint("c2", LinExpr::term(x, 3.0).plus(y, 1.0), ConstraintSense::LessEqual, 6.0);
-        let sol = solve_lp(&p);
+        let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, -14.0 / 5.0);
         assert_close(sol.values[x.index()], 8.0 / 5.0);
@@ -444,7 +429,7 @@ mod tests {
         p.add_constraint("sum", LinExpr::term(x, 1.0).plus(y, 1.0), ConstraintSense::Equal, 10.0);
         p.add_constraint("xmin", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, 4.0);
         p.add_constraint("ymin", LinExpr::term(y, 1.0), ConstraintSense::GreaterEqual, 2.0);
-        let sol = solve_lp(&p);
+        let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         // Cheapest: maximise x (cost 2), so x = 8, y = 2.
         assert_close(sol.values[x.index()], 8.0);
@@ -457,14 +442,14 @@ mod tests {
         // min -x with 1 <= x <= 5.
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 1.0, 5.0, -1.0);
-        let sol = solve_lp(&p);
+        let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.values[x.index()], 5.0);
         assert_close(sol.objective, -5.0);
         // And the lower bound matters for minimisation of +x.
         let mut p2 = LpProblem::new();
         let x2 = p2.add_continuous("x", 1.0, 5.0, 1.0);
-        let sol2 = solve_lp(&p2);
+        let sol2 = solve_lp_dense(&p2);
         assert_close(sol2.values[x2.index()], 1.0);
     }
 
@@ -474,7 +459,7 @@ mod tests {
         let x = p.add_continuous("x", 0.0, 10.0, 1.0);
         p.add_constraint("lo", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, 5.0);
         p.add_constraint("hi", LinExpr::term(x, 1.0), ConstraintSense::LessEqual, 3.0);
-        let sol = solve_lp(&p);
+        let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Infeasible);
     }
 
@@ -483,7 +468,7 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, f64::INFINITY, -1.0);
         p.add_constraint("c", LinExpr::term(x, -1.0), ConstraintSense::LessEqual, 1.0);
-        let sol = solve_lp(&p);
+        let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Unbounded);
     }
 
@@ -493,7 +478,7 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", -5.0, 5.0, 1.0);
         p.add_constraint("c", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, -3.0);
-        let sol = solve_lp(&p);
+        let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.values[x.index()], -3.0);
     }
@@ -502,11 +487,11 @@ mod tests {
     fn solve_with_overridden_bounds() {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, 10.0, -1.0);
-        let sol = solve_lp_with_bounds(&p, &[0.0], &[4.0]);
+        let sol = solve_lp_dense_with_bounds(&p, &[0.0], &[4.0]);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.values[x.index()], 4.0);
         // Crossing bounds are reported infeasible immediately.
-        let bad = solve_lp_with_bounds(&p, &[5.0], &[4.0]);
+        let bad = solve_lp_dense_with_bounds(&p, &[5.0], &[4.0]);
         assert_eq!(bad.status, LpStatus::Infeasible);
     }
 
@@ -525,7 +510,7 @@ mod tests {
             );
         }
         p.add_constraint("cap", LinExpr::term(x, 1.0), ConstraintSense::LessEqual, 2.0);
-        let sol = solve_lp(&p);
+        let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, -2.0);
     }
@@ -537,7 +522,7 @@ mod tests {
         let x = p.add_binary("x", -3.0);
         let y = p.add_binary("y", -2.0);
         p.add_constraint("c", LinExpr::term(x, 2.0).plus(y, 2.0), ConstraintSense::LessEqual, 3.0);
-        let sol = solve_lp(&p);
+        let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         // LP optimum: x = 1, y = 0.5 -> objective -4.
         assert_close(sol.objective, -4.0);

@@ -218,6 +218,36 @@ impl LpProblem {
             .sum()
     }
 
+    /// Builds the constraint matrix in compressed-sparse-column form: one
+    /// column per variable, one row per constraint, duplicate terms merged.
+    /// This is the structural block of the revised simplex's standard form
+    /// ([`crate::sparse::SparseForm`] appends the slack and artificial blocks).
+    pub fn structural_csc(&self) -> crate::sparse::CscMatrix {
+        let n = self.num_variables();
+        let m = self.num_constraints();
+        let mut by_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (i, c) in self.constraints.iter().enumerate() {
+            for &(v, a) in &c.expr.terms {
+                by_col[v.index()].push((i, a));
+            }
+        }
+        let mut csc = crate::sparse::CscMatrix::new(m);
+        for col in &mut by_col {
+            // Merge duplicate rows (hand-built constraints may repeat a term).
+            col.sort_unstable_by_key(|&(r, _)| r);
+            col.dedup_by(|next, prev| {
+                if next.0 == prev.0 {
+                    prev.1 += next.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            csc.push_col(col);
+        }
+        csc
+    }
+
     /// Checks whether an assignment is feasible (bounds, constraints and
     /// integrality) up to `tol`.
     pub fn is_feasible(&self, assignment: &[f64], tol: f64) -> bool {
@@ -289,6 +319,26 @@ mod tests {
         assert!(!ge.is_satisfied(&[1.0], 1e-9));
         assert!(eq.is_satisfied(&[2.0], 1e-9));
         assert!(!eq.is_satisfied(&[1.5], 1e-9));
+    }
+
+    #[test]
+    fn structural_csc_merges_duplicates_and_keeps_row_order() {
+        let mut p = LpProblem::new();
+        let x = p.add_continuous("x", 0.0, 1.0, 0.0);
+        let y = p.add_continuous("y", 0.0, 1.0, 0.0);
+        p.add_constraint("c0", LinExpr::term(x, 2.0).plus(y, 1.0), ConstraintSense::LessEqual, 1.0);
+        // Hand-built constraint with a duplicated term bypassing simplification.
+        p.constraints.push(Constraint {
+            name: "c1".into(),
+            expr: LinExpr::term(x, 1.0).plus(x, 3.0),
+            sense: ConstraintSense::Equal,
+            rhs: 2.0,
+        });
+        let csc = p.structural_csc();
+        assert_eq!(csc.nrows(), 2);
+        assert_eq!(csc.ncols(), 2);
+        assert_eq!(csc.col(0).collect::<Vec<_>>(), vec![(0, 2.0), (1, 4.0)]);
+        assert_eq!(csc.col(1).collect::<Vec<_>>(), vec![(0, 1.0)]);
     }
 
     #[test]

@@ -17,5 +17,10 @@ doc:
 bench:
     cargo bench -p mbsp_bench
 
+# Records the solver benchmark baseline (sparse warm-started branch-and-bound
+# vs the dense oracle on MBSP ILP instances) into BENCH_solver.json.
+bench-json:
+    cargo run --release -p mbsp_bench --bin bench_solver
+
 # Everything CI checks, in order.
 ci: build test doc

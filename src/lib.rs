@@ -12,7 +12,8 @@
 //! * [`sched`] — memory-oblivious BSP schedulers (greedy BSPg-style, Cilk-style
 //!   work stealing, DFS);
 //! * [`cache`] — eviction policies and the two-stage BSP→MBSP conversion;
-//! * [`solver`] — the LP/MIP solver substrate;
+//! * [`solver`] — the LP/MIP solver substrate (sparse revised simplex with
+//!   warm-started branch and bound, plus the dense differential oracle);
 //! * [`ilp`] — the holistic schedulers: ILP formulation, exact solver,
 //!   baseline-seeded holistic search and the divide-and-conquer method.
 //!
