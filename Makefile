@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see .github/workflows/ci.yml).
 # A justfile with identical recipes exists for `just` users.
 
-.PHONY: build test doc bench bench-json ci
+.PHONY: build test doc fmt lint bench bench-json ci
 
 build:
 	cargo build --release --workspace
@@ -12,13 +12,22 @@ test:
 doc:
 	RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+fmt:
+	cargo fmt --all --check
+
+lint:
+	cargo clippy --workspace --all-targets -- -D warnings
+
 bench:
 	cargo bench -p mbsp_bench
 
-# Records the solver benchmark baseline (sparse warm-started branch-and-bound
-# vs the dense oracle on MBSP ILP instances) into BENCH_solver.json.
-# Set MBSP_BENCH_SOLVER_QUICK=1 for the fast CI smoke variant.
+# Records the benchmark baselines: the solver comparison (sparse warm-started
+# branch-and-bound vs the dense oracle) into BENCH_solver.json, and the
+# improver comparison (incremental evaluation engine vs clone-and-recost)
+# into BENCH_improver.json. Set MBSP_BENCH_SOLVER_QUICK=1 /
+# MBSP_BENCH_IMPROVER_QUICK=1 for the fast CI smoke variants.
 bench-json:
 	cargo run --release -p mbsp_bench --bin bench_solver
+	cargo run --release -p mbsp_bench --bin bench_improver
 
-ci: build test doc
+ci: build test doc fmt lint

@@ -8,7 +8,8 @@ use mbsp_sched::{BspScheduler, GreedyBspScheduler};
 
 fn bench_cost_eval(c: &mut Criterion) {
     let named = mbsp_gen::tiny_dataset(42).remove(8); // CG_N4_K1, the largest tiny DAG
-    let instance = MbspInstance::with_cache_factor(named.dag, Architecture::paper_default(0.0), 3.0);
+    let instance =
+        MbspInstance::with_cache_factor(named.dag, Architecture::paper_default(0.0), 3.0);
     let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
     let schedule = TwoStageScheduler::new().schedule(
         instance.dag(),

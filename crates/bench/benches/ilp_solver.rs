@@ -29,7 +29,9 @@ fn knapsack(n: usize) -> LpProblem {
 fn bench_lp_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_solver");
     let problem = knapsack(14);
-    group.bench_function("lp_relaxation", |b| b.iter(|| lp_solver::solve_lp(&problem)));
+    group.bench_function("lp_relaxation", |b| {
+        b.iter(|| lp_solver::solve_lp(&problem))
+    });
     group.bench_function("branch_and_bound_knapsack14", |b| {
         b.iter(|| {
             BranchBoundSolver::with_limits(SolverLimits {
@@ -45,7 +47,11 @@ fn bench_lp_solver(c: &mut Criterion) {
 
 fn bench_bipartition(c: &mut Criterion) {
     let dag = random_layered_dag(
-        &RandomDagConfig { layers: 5, width: 6, ..Default::default() },
+        &RandomDagConfig {
+            layers: 5,
+            width: 6,
+            ..Default::default()
+        },
         11,
     );
     let config = BipartitionConfig {
@@ -56,7 +62,9 @@ fn bench_bipartition(c: &mut Criterion) {
         },
         ..Default::default()
     };
-    c.bench_function("acyclic_bipartition_30_nodes", |b| b.iter(|| bipartition(&dag, &config)));
+    c.bench_function("acyclic_bipartition_30_nodes", |b| {
+        b.iter(|| bipartition(&dag, &config))
+    });
 }
 
 /// The exact pebbling ILP of a 4-node path (`P = 1`, `T = 8`): the
@@ -69,14 +77,19 @@ fn mbsp_ilp_problem() -> LpProblem {
     )
     .unwrap();
     let instance = MbspInstance::new(dag, Architecture::new(1, 3.0, 1.0, 0.0));
-    let config = IlpConfig { time_steps: 8, ..Default::default() };
+    let config = IlpConfig {
+        time_steps: 8,
+        ..Default::default()
+    };
     MbspIlpBuilder::build(&instance, &config).problem
 }
 
 fn bench_mbsp_ilp_relaxation(c: &mut Criterion) {
     let problem = mbsp_ilp_problem();
     let mut group = c.benchmark_group("mbsp_ilp_relaxation");
-    group.bench_function("sparse_revised", |b| b.iter(|| lp_solver::solve_lp(&problem)));
+    group.bench_function("sparse_revised", |b| {
+        b.iter(|| lp_solver::solve_lp(&problem))
+    });
     group.bench_function("dense_oracle", |b| {
         b.iter(|| lp_solver::dense::solve_lp_dense(&problem))
     });

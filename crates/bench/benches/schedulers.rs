@@ -31,7 +31,14 @@ fn bench_two_stage(c: &mut Criterion) {
     let converter = TwoStageScheduler::new();
     let mut group = c.benchmark_group("two_stage_conversion");
     group.bench_function("clairvoyant", |b| {
-        b.iter(|| converter.schedule(instance.dag(), instance.arch(), &bsp, &ClairvoyantPolicy::new()))
+        b.iter(|| {
+            converter.schedule(
+                instance.dag(),
+                instance.arch(),
+                &bsp,
+                &ClairvoyantPolicy::new(),
+            )
+        })
     });
     group.bench_function("lru", |b| {
         b.iter(|| converter.schedule(instance.dag(), instance.arch(), &bsp, &LruPolicy::new()))
@@ -60,12 +67,23 @@ fn bench_holistic_components(c: &mut Criterion) {
     group.bench_function("post_optimize", |b| {
         b.iter(|| {
             let mut s = schedule.clone();
-            post_optimize(&mut s, instance.dag(), instance.arch(), CostModel::Synchronous, &[]);
+            post_optimize(
+                &mut s,
+                instance.dag(),
+                instance.arch(),
+                CostModel::Synchronous,
+                &[],
+            );
             s
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_two_stage, bench_holistic_components);
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_two_stage,
+    bench_holistic_components
+);
 criterion_main!(benches);

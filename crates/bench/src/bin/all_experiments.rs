@@ -19,28 +19,68 @@ fn main() {
 
     // Table 1.
     let rows = run_tiny_comparison(&base);
-    println!("{}", render_table("Table 1 — base setting (P=4, r=3·r0, L=10)", &rows));
+    println!(
+        "{}",
+        render_table("Table 1 — base setting (P=4, r=3·r0, L=10)", &rows)
+    );
 
     // Table 4 / Figure 4 settings.
     let settings: Vec<(&str, ExperimentParams)> = vec![
-        ("r = 5·r0", ExperimentParams { cache_factor: 5.0, ..base }),
-        ("r = r0", ExperimentParams { cache_factor: 1.0, ..base }),
-        ("P = 8", ExperimentParams { processors: 8, ..base }),
-        ("L = 0", ExperimentParams { latency: 0.0, ..base }),
+        (
+            "r = 5·r0",
+            ExperimentParams {
+                cache_factor: 5.0,
+                ..base
+            },
+        ),
+        (
+            "r = r0",
+            ExperimentParams {
+                cache_factor: 1.0,
+                ..base
+            },
+        ),
+        (
+            "P = 8",
+            ExperimentParams {
+                processors: 8,
+                ..base
+            },
+        ),
+        (
+            "L = 0",
+            ExperimentParams {
+                latency: 0.0,
+                ..base
+            },
+        ),
         (
             "async",
-            ExperimentParams { latency: 0.0, cost_model: CostModel::Asynchronous, ..base },
+            ExperimentParams {
+                latency: 0.0,
+                cost_model: CostModel::Asynchronous,
+                ..base
+            },
         ),
     ];
     for (name, params) in &settings {
         let rows = run_tiny_comparison(params);
-        println!("{}", render_table(&format!("Table 4 / Figure 4 — {name}"), &rows));
+        println!(
+            "{}",
+            render_table(&format!("Table 4 / Figure 4 — {name}"), &rows)
+        );
     }
 
     // Table 2 (divide and conquer on the larger sample).
-    let params2 = ExperimentParams { cache_factor: 5.0, ..base };
+    let params2 = ExperimentParams {
+        cache_factor: 5.0,
+        ..base
+    };
     let rows2 = run_small_dataset_comparison(&params2);
-    println!("{}", render_table("Table 2 — divide-and-conquer on the larger dataset", &rows2));
+    println!(
+        "{}",
+        render_table("Table 2 — divide-and-conquer on the larger dataset", &rows2)
+    );
     println!(
         "overall divide-and-conquer geo-mean ratio: {:.2}x",
         geometric_mean_ratio(&rows2)

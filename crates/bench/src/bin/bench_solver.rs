@@ -72,7 +72,11 @@ fn solver_limits(quick: bool) -> SolverLimits {
 /// in the paper's exact experiments.
 fn mbsp_case(name: &str, dag: CompDag, arch: Architecture, time_steps: usize, quick: bool) -> Case {
     let instance = MbspInstance::new(dag, arch);
-    let config = IlpConfig { time_steps, allow_recompute: true, limits: solver_limits(quick) };
+    let config = IlpConfig {
+        time_steps,
+        allow_recompute: true,
+        limits: solver_limits(quick),
+    };
     let builder = MbspIlpBuilder::build(&instance, &config);
     let baseline = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
     let two_stage = TwoStageScheduler::new().schedule(
@@ -81,8 +85,7 @@ fn mbsp_case(name: &str, dag: CompDag, arch: Architecture, time_steps: usize, qu
         &baseline,
         &ClairvoyantPolicy::new(),
     );
-    let warm_start =
-        builder.warm_start_from_schedule(instance.dag(), instance.arch(), &two_stage);
+    let warm_start = builder.warm_start_from_schedule(instance.dag(), instance.arch(), &two_stage);
     Case {
         name: name.to_string(),
         warm_start,
@@ -106,18 +109,13 @@ fn bipartition_case(name: &str, dag: &CompDag, quick: bool) -> Case {
 }
 
 /// Median-of-`reps` wall-clock of a solve.
-fn time_solve(
-    case: &Case,
-    dense: bool,
-    reps: usize,
-) -> (f64, f64, MipStatus, usize) {
+fn time_solve(case: &Case, dense: bool, reps: usize) -> (f64, f64, MipStatus, usize) {
     let mut times = Vec::with_capacity(reps);
     let mut objective = f64::INFINITY;
     let mut status = MipStatus::LimitReached;
     let mut nodes = 0;
     for _ in 0..reps {
-        let mut solver =
-            BranchBoundSolver::with_limits(case.limits).with_dense_relaxation(dense);
+        let mut solver = BranchBoundSolver::with_limits(case.limits).with_dense_relaxation(dense);
         if let Some(ws) = &case.warm_start {
             solver = solver.with_warm_start(ws.clone());
         }
@@ -180,7 +178,11 @@ fn main() {
         7,
     );
     cases.push(bipartition_case(
-        if quick { "bipartition/layered20" } else { "bipartition/layered35" },
+        if quick {
+            "bipartition/layered20"
+        } else {
+            "bipartition/layered35"
+        },
         &layered,
         quick,
     ));
@@ -213,7 +215,11 @@ fn main() {
     let geomean_speedup = if reports.is_empty() {
         1.0
     } else {
-        (reports.iter().map(|r| r.speedup.max(1e-9).ln()).sum::<f64>() / reports.len() as f64)
+        (reports
+            .iter()
+            .map(|r| r.speedup.max(1e-9).ln())
+            .sum::<f64>()
+            / reports.len() as f64)
             .exp()
     };
     let report = Report {
@@ -224,7 +230,11 @@ fn main() {
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     // Quick (CI smoke) runs must not clobber the recorded full baseline.
-    let path = if quick { "BENCH_solver_quick.json" } else { "BENCH_solver.json" };
+    let path = if quick {
+        "BENCH_solver_quick.json"
+    } else {
+        "BENCH_solver.json"
+    };
     std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} is writable: {e}"));
     println!("geomean speedup: {geomean_speedup:.1}x -> {path}");
     assert!(

@@ -21,12 +21,34 @@ fn main() {
     let base = ExperimentParams::base();
     let settings: Vec<(&str, ExperimentParams)> = vec![
         ("base", base),
-        ("r = 5·r0", ExperimentParams { cache_factor: 5.0, ..base }),
-        ("P = 8", ExperimentParams { processors: 8, ..base }),
-        ("L = 0", ExperimentParams { latency: 0.0, ..base }),
+        (
+            "r = 5·r0",
+            ExperimentParams {
+                cache_factor: 5.0,
+                ..base
+            },
+        ),
+        (
+            "P = 8",
+            ExperimentParams {
+                processors: 8,
+                ..base
+            },
+        ),
+        (
+            "L = 0",
+            ExperimentParams {
+                latency: 0.0,
+                ..base
+            },
+        ),
         (
             "async",
-            ExperimentParams { latency: 0.0, cost_model: CostModel::Asynchronous, ..base },
+            ExperimentParams {
+                latency: 0.0,
+                cost_model: CostModel::Asynchronous,
+                ..base
+            },
         ),
     ];
     println!("## Figure 4 — distribution of cost-reduction ratios per setting\n");

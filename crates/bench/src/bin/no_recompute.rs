@@ -39,7 +39,10 @@ fn main() {
         .schedule(&instance);
         match (with, without) {
             (Some((_, _, cw)), Some((_, _, cwo))) => {
-                println!("| {d} | {m} | {g} | {cw:.0} | {cwo:.0} | {:.2}x |", cwo / cw);
+                println!(
+                    "| {d} | {m} | {g} | {cw:.0} | {cwo:.0} | {:.2}x |",
+                    cwo / cw
+                );
             }
             _ => println!("| {d} | {m} | {g} | (no solution within limits) | | |"),
         }

@@ -10,7 +10,10 @@ use mbsp_ilp::HolisticScheduler;
 use mbsp_sched::{BspScheduler, DfsScheduler};
 
 fn main() {
-    let params = ExperimentParams { processors: 1, ..ExperimentParams::base() };
+    let params = ExperimentParams {
+        processors: 1,
+        ..ExperimentParams::base()
+    };
     let holistic = HolisticScheduler::with_config(params.holistic_config());
     println!("## P = 1 (red–blue pebbling with compute costs), r = 3·r0\n");
     println!("| Instance | DFS + clairvoyant | holistic | improved? |");

@@ -3,9 +3,9 @@
 //! sync-optimal placement) under both cost models and prints the resulting factors,
 //! which approach `P/2` (Lemma 5.3) and `4/3` (Lemma 5.4) as the heavy weight grows.
 
+use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
 use mbsp_gen::constructions::{lemma53_construction, lemma54_construction};
 use mbsp_ilp::improver::canonical_bsp;
-use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
 use mbsp_model::{async_cost, sync_cost, Architecture, ProcId};
 
 fn main() {
@@ -38,7 +38,11 @@ fn main() {
         schedule.validate(&dag, &arch).unwrap();
         let sync = sync_cost(&schedule, &dag, &arch).total;
         let asynchronous = async_cost(&schedule, &dag, &arch);
-        println!("| {p} | {z} | {:.2} | {:.1} |", sync / asynchronous, p as f64 / 2.0);
+        println!(
+            "| {p} | {z} | {:.2} | {:.1} |",
+            sync / asynchronous,
+            p as f64 / 2.0
+        );
     }
 
     println!("\n## Lemma 5.4 — sync-optimal schedule measured asynchronously\n");

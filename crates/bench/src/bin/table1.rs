@@ -9,6 +9,9 @@ fn main() {
     let rows = run_tiny_comparison(&params);
     println!(
         "{}",
-        render_table("Table 1 — baseline vs holistic scheduler (P=4, r=3·r0, g=1, L=10)", &rows)
+        render_table(
+            "Table 1 — baseline vs holistic scheduler (P=4, r=3·r0, g=1, L=10)",
+            &rows
+        )
     );
 }

@@ -4,10 +4,16 @@
 use mbsp_bench::{render_table, run_small_dataset_comparison, ExperimentParams};
 
 fn main() {
-    let params = ExperimentParams { cache_factor: 5.0, ..ExperimentParams::base() };
+    let params = ExperimentParams {
+        cache_factor: 5.0,
+        ..ExperimentParams::base()
+    };
     let rows = run_small_dataset_comparison(&params);
     println!(
         "{}",
-        render_table("Table 2 — baseline vs divide-and-conquer (larger DAGs, r=5·r0)", &rows)
+        render_table(
+            "Table 2 — baseline vs divide-and-conquer (larger DAGs, r=5·r0)",
+            &rows
+        )
     );
 }

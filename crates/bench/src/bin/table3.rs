@@ -23,7 +23,11 @@ fn main() {
         let base = evaluate(&instance, &baseline_schedule(&instance), &params);
 
         let greedy_bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
-        let ours = evaluate(&instance, &holistic.schedule(&instance, &greedy_bsp), &params);
+        let ours = evaluate(
+            &instance,
+            &holistic.schedule(&instance, &greedy_bsp),
+            &params,
+        );
 
         let cilk = evaluate(&instance, &cilk_lru_schedule(&instance), &params);
 
@@ -39,14 +43,32 @@ fn main() {
             "| {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} |",
             named.name, base, ours, cilk, bsp_ilp_base, bsp_ilp_ours
         );
-        ratios.push((ours / base, ours / cilk, bsp_ilp_ours / bsp_ilp_base, bsp_ilp_base / base));
+        ratios.push((
+            ours / base,
+            ours / cilk,
+            bsp_ilp_ours / bsp_ilp_base,
+            bsp_ilp_base / base,
+        ));
     }
-    let geo = |select: &dyn Fn(&(f64, f64, f64, f64)) -> f64| -> f64 {
+    type Ratios = (f64, f64, f64, f64);
+    let geo = |select: &dyn Fn(&Ratios) -> f64| -> f64 {
         (ratios.iter().map(|r| select(r).ln()).sum::<f64>() / ratios.len() as f64).exp()
     };
     println!();
-    println!("geo-mean our-ILP / baseline:          {:.2}x", geo(&|r| r.0));
-    println!("geo-mean our-ILP / (Cilk+LRU):        {:.2}x", geo(&|r| r.1));
-    println!("geo-mean (BSP-ILP + ILP) / BSP-ILP:   {:.2}x", geo(&|r| r.2));
-    println!("geo-mean BSP-ILP base / baseline:     {:.2}x", geo(&|r| r.3));
+    println!(
+        "geo-mean our-ILP / baseline:          {:.2}x",
+        geo(&|r| r.0)
+    );
+    println!(
+        "geo-mean our-ILP / (Cilk+LRU):        {:.2}x",
+        geo(&|r| r.1)
+    );
+    println!(
+        "geo-mean (BSP-ILP + ILP) / BSP-ILP:   {:.2}x",
+        geo(&|r| r.2)
+    );
+    println!(
+        "geo-mean BSP-ILP base / baseline:     {:.2}x",
+        geo(&|r| r.3)
+    );
 }

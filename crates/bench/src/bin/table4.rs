@@ -7,10 +7,34 @@ use mbsp_model::CostModel;
 fn main() {
     let base = ExperimentParams::base();
     let settings: Vec<(&str, ExperimentParams)> = vec![
-        ("r = 5·r0", ExperimentParams { cache_factor: 5.0, ..base }),
-        ("r = r0", ExperimentParams { cache_factor: 1.0, ..base }),
-        ("P = 8", ExperimentParams { processors: 8, ..base }),
-        ("L = 0", ExperimentParams { latency: 0.0, ..base }),
+        (
+            "r = 5·r0",
+            ExperimentParams {
+                cache_factor: 5.0,
+                ..base
+            },
+        ),
+        (
+            "r = r0",
+            ExperimentParams {
+                cache_factor: 1.0,
+                ..base
+            },
+        ),
+        (
+            "P = 8",
+            ExperimentParams {
+                processors: 8,
+                ..base
+            },
+        ),
+        (
+            "L = 0",
+            ExperimentParams {
+                latency: 0.0,
+                ..base
+            },
+        ),
         (
             "async",
             ExperimentParams {
@@ -45,6 +69,9 @@ fn main() {
     }
     println!();
     for (name, rows) in &tables {
-        println!("{name}: geometric-mean cost reduction {:.2}x", geometric_mean_ratio(rows));
+        println!(
+            "{name}: geometric-mean cost reduction {:.2}x",
+            geometric_mean_ratio(rows)
+        );
     }
 }

@@ -26,7 +26,9 @@
 
 use mbsp_cache::{ClairvoyantPolicy, EvictionPolicy, LruPolicy, TwoStageScheduler};
 use mbsp_gen::NamedInstance;
-use mbsp_ilp::{DivideAndConquerConfig, DivideAndConquerScheduler, HolisticConfig, HolisticScheduler};
+use mbsp_ilp::{
+    DivideAndConquerConfig, DivideAndConquerScheduler, HolisticConfig, HolisticScheduler,
+};
 use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule};
 use mbsp_sched::{BspScheduler, CilkScheduler, DfsScheduler, GreedyBspScheduler};
 use serde::Serialize;
@@ -112,7 +114,11 @@ pub struct ComparisonRow {
 /// Schedules an instance with the main two-stage baseline (greedy BSP +
 /// clairvoyant eviction) and returns the schedule.
 pub fn baseline_schedule(instance: &MbspInstance) -> MbspSchedule {
-    two_stage_schedule(instance, &GreedyBspScheduler::new(), &ClairvoyantPolicy::new())
+    two_stage_schedule(
+        instance,
+        &GreedyBspScheduler::new(),
+        &ClairvoyantPolicy::new(),
+    )
 }
 
 /// Schedules an instance with an arbitrary two-stage pipeline.
@@ -132,11 +138,17 @@ pub fn holistic_schedule(instance: &MbspInstance, params: &ExperimentParams) -> 
 }
 
 /// Evaluates a schedule under the experiment's cost model, checking validity first.
-pub fn evaluate(instance: &MbspInstance, schedule: &MbspSchedule, params: &ExperimentParams) -> f64 {
+pub fn evaluate(
+    instance: &MbspInstance,
+    schedule: &MbspSchedule,
+    params: &ExperimentParams,
+) -> f64 {
     schedule
         .validate(instance.dag(), instance.arch())
         .unwrap_or_else(|e| panic!("{}: invalid schedule: {e}", instance.name()));
-    params.cost_model.evaluate(schedule, instance.dag(), instance.arch())
+    params
+        .cost_model
+        .evaluate(schedule, instance.dag(), instance.arch())
 }
 
 /// Runs the baseline-vs-holistic comparison over the tiny dataset with the given
@@ -163,12 +175,9 @@ pub fn run_tiny_comparison(params: &ExperimentParams) -> Vec<ComparisonRow> {
 /// otherwise the machine's available parallelism, in both cases clamped to the
 /// number of instances.
 fn bench_threads(instances: usize) -> usize {
-    let requested = std::env::var("MBSP_BENCH_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&t| t >= 1);
-    let default = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    requested.unwrap_or(default).clamp(1, instances.max(1))
+    // One env contract for the whole workspace: the engine's resolver owns the
+    // MBSP_BENCH_THREADS parsing and the available-parallelism fallback.
+    mbsp_ilp::engine::resolve_workers(0).clamp(1, instances.max(1))
 }
 
 /// Maps `f` over `0..count` on `threads` scoped worker threads (atomic
@@ -211,7 +220,10 @@ where
             }
         });
     }
-    slots.into_iter().map(|s| s.expect("every index is produced exactly once")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is produced exactly once"))
+        .collect()
 }
 
 /// Runs the divide-and-conquer comparison over the small-dataset sample
@@ -228,6 +240,9 @@ pub fn run_small_dataset_comparison(params: &ExperimentParams) -> Vec<Comparison
             cost_model: params.cost_model,
             time_limit: params.time_limit,
             seed: params.seed,
+            // The sweep already parallelises across instances; keep every
+            // per-part holistic search serial to avoid oversubscription.
+            workers: 1,
             ..Default::default()
         },
         ..Default::default()
@@ -281,7 +296,11 @@ pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
             row.instance, row.baseline, row.ilp, row.ratio
         );
     }
-    let _ = writeln!(out, "\ngeometric-mean cost reduction: {:.2}x", geometric_mean_ratio(rows));
+    let _ = writeln!(
+        out,
+        "\ngeometric-mean cost reduction: {:.2}x",
+        geometric_mean_ratio(rows)
+    );
     out
 }
 
@@ -310,8 +329,18 @@ mod tests {
     #[test]
     fn geometric_mean_and_table_rendering() {
         let rows = vec![
-            ComparisonRow { instance: "a".into(), baseline: 100.0, ilp: 50.0, ratio: 0.5 },
-            ComparisonRow { instance: "b".into(), baseline: 100.0, ilp: 200.0, ratio: 2.0 },
+            ComparisonRow {
+                instance: "a".into(),
+                baseline: 100.0,
+                ilp: 50.0,
+                ratio: 0.5,
+            },
+            ComparisonRow {
+                instance: "b".into(),
+                baseline: 100.0,
+                ilp: 200.0,
+                ratio: 2.0,
+            },
         ];
         assert!((geometric_mean_ratio(&rows) - 1.0).abs() < 1e-9);
         let table = render_table("Test", &rows);
@@ -345,7 +374,10 @@ mod tests {
         let instance = params.instance(named);
         let cilk = cilk_lru_schedule(&instance);
         cilk.validate(instance.dag(), instance.arch()).unwrap();
-        let single = ExperimentParams { processors: 1, ..params };
+        let single = ExperimentParams {
+            processors: 1,
+            ..params
+        };
         let instance1 = single.instance(named);
         let dfs = dfs_schedule(&instance1);
         dfs.validate(instance1.dag(), instance1.arch()).unwrap();

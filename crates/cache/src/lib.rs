@@ -15,9 +15,16 @@
 //!   processor) are saved, victims chosen by the eviction policy are deleted, and
 //!   the inputs of the next segment are loaded (with greedy prefetching of further
 //!   inputs while cache space remains).
+//! * [`ConversionArena`] — the same conversion split into a long-lived arena
+//!   (topological order, `use_positions`, per-processor buffers — built once per
+//!   instance) plus a cheap per-candidate reset. The holistic search of `mbsp-ilp`
+//!   converts thousands of neighbouring assignments through one arena without
+//!   re-allocating; [`two_stage::reference`] keeps the original single-shot
+//!   converter as the differential oracle the arena is tested against (the same
+//!   oracle pattern as `lp_solver`'s `dense::` module).
 
 pub mod policy;
 pub mod two_stage;
 
 pub use policy::{CandidateVictim, ClairvoyantPolicy, EvictionPolicy, LruPolicy};
-pub use two_stage::{TwoStageConfig, TwoStageScheduler};
+pub use two_stage::{ConversionArena, TwoStageConfig, TwoStageScheduler};

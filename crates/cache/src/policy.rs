@@ -32,9 +32,22 @@ pub trait EvictionPolicy {
     /// Human-readable name of the policy (used in experiment reports).
     fn name(&self) -> &'static str;
 
+    /// Compares two candidates by eviction preference: `Less` means `a` should be
+    /// evicted before `b`. The order must be **total** (policies break remaining
+    /// ties by node id), so any selection strategy — a full sort or a repeated
+    /// minimum — produces the same eviction sequence.
+    fn order(&self, a: &CandidateVictim, b: &CandidateVictim) -> std::cmp::Ordering;
+
     /// Orders the candidates by eviction preference (most evictable first). The
-    /// converter walks this order and evicts until enough space is free.
-    fn rank(&self, candidates: &[CandidateVictim]) -> Vec<NodeId>;
+    /// reference converter walks this order and evicts until enough space is
+    /// free; the arena-based converter instead selects victims one at a time via
+    /// [`EvictionPolicy::order`], which avoids sorting candidates that are never
+    /// evicted.
+    fn rank(&self, candidates: &[CandidateVictim]) -> Vec<NodeId> {
+        let mut order: Vec<&CandidateVictim> = candidates.iter().collect();
+        order.sort_by(|a, b| self.order(a, b));
+        order.into_iter().map(|c| c.node).collect()
+    }
 }
 
 /// Bélády's clairvoyant policy: evict the value whose next use on this processor is
@@ -56,19 +69,19 @@ impl EvictionPolicy for ClairvoyantPolicy {
         "clairvoyant"
     }
 
-    fn rank(&self, candidates: &[CandidateVictim]) -> Vec<NodeId> {
-        let mut order: Vec<&CandidateVictim> = candidates.iter().collect();
-        order.sort_by(|a, b| {
-            let key_a = a.next_use.unwrap_or(usize::MAX);
-            let key_b = b.next_use.unwrap_or(usize::MAX);
-            // Larger next use (further in the future) first.
-            key_b
-                .cmp(&key_a)
-                .then_with(|| b.has_blue.cmp(&a.has_blue))
-                .then_with(|| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal))
-                .then_with(|| a.node.cmp(&b.node))
-        });
-        order.into_iter().map(|c| c.node).collect()
+    fn order(&self, a: &CandidateVictim, b: &CandidateVictim) -> std::cmp::Ordering {
+        let key_a = a.next_use.unwrap_or(usize::MAX);
+        let key_b = b.next_use.unwrap_or(usize::MAX);
+        // Larger next use (further in the future) first.
+        key_b
+            .cmp(&key_a)
+            .then_with(|| b.has_blue.cmp(&a.has_blue))
+            .then_with(|| {
+                b.weight
+                    .partial_cmp(&a.weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.node.cmp(&b.node))
     }
 }
 
@@ -90,16 +103,16 @@ impl EvictionPolicy for LruPolicy {
         "lru"
     }
 
-    fn rank(&self, candidates: &[CandidateVictim]) -> Vec<NodeId> {
-        let mut order: Vec<&CandidateVictim> = candidates.iter().collect();
-        order.sort_by(|a, b| {
-            a.last_use
-                .cmp(&b.last_use)
-                .then_with(|| b.has_blue.cmp(&a.has_blue))
-                .then_with(|| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal))
-                .then_with(|| a.node.cmp(&b.node))
-        });
-        order.into_iter().map(|c| c.node).collect()
+    fn order(&self, a: &CandidateVictim, b: &CandidateVictim) -> std::cmp::Ordering {
+        a.last_use
+            .cmp(&b.last_use)
+            .then_with(|| b.has_blue.cmp(&a.has_blue))
+            .then_with(|| {
+                b.weight
+                    .partial_cmp(&a.weight)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .then_with(|| a.node.cmp(&b.node))
     }
 }
 

@@ -17,10 +17,29 @@
 //! Steps 1–4 form one MBSP superstep; the loop repeats until every processor has
 //! executed its whole sequence. The conversion never recomputes a node (the BSP
 //! stage assigns each node exactly once), exactly like the baseline in the paper.
+//!
+//! ## The conversion arena
+//!
+//! The holistic local search of `mbsp-ilp` converts thousands of neighbouring
+//! processor assignments per instance, so the conversion state is split in two:
+//!
+//! * [`ConversionArena`] holds everything that outlives one candidate — the
+//!   topological order, the per-processor compute sequences, the `use_positions`
+//!   index, the cache-simulation buffers — allocated **once per instance**;
+//! * each conversion is then a cheap *reset* of that state. Converting a
+//!   neighbouring assignment via [`ConversionArena::convert_assignment`] reuses all
+//!   allocations and rebuilds the compute sequences only for the processors the
+//!   move actually touched.
+//!
+//! The arena is **operation-identical** to a from-scratch conversion: the
+//! [`mod@reference`] module keeps the original single-shot converter as a
+//! differential oracle (mirroring the `dense::` oracle of `lp_solver`), and the
+//! tests in `mbsp-ilp` replay random move sequences asserting that arena output
+//! and oracle output are equal schedules.
 
 use crate::policy::{CandidateVictim, EvictionPolicy};
-use mbsp_dag::{CompDag, NodeId};
-use mbsp_model::{Architecture, ComputePhaseStep, MbspSchedule, ProcId};
+use mbsp_dag::{CompDag, NodeId, TopologicalOrder};
+use mbsp_model::{Architecture, ComputePhaseStep, MbspSchedule, ProcId, Superstep};
 use mbsp_sched::BspSchedulingResult;
 
 /// Configuration of the two-stage converter.
@@ -47,7 +66,9 @@ pub struct TwoStageScheduler {
 impl TwoStageScheduler {
     /// Creates a converter with the default configuration.
     pub fn new() -> Self {
-        TwoStageScheduler { config: TwoStageConfig::default() }
+        TwoStageScheduler {
+            config: TwoStageConfig::default(),
+        }
     }
 
     /// Creates a converter with an explicit configuration.
@@ -78,28 +99,79 @@ impl TwoStageScheduler {
         policy: &dyn EvictionPolicy,
         required_outputs: &[NodeId],
     ) -> MbspSchedule {
-        Converter::new(dag, arch, bsp, policy, self.config, required_outputs).run()
+        let mut arena = ConversionArena::new(dag, arch);
+        let mut out = MbspSchedule::new(arch.processors);
+        arena.convert(
+            dag,
+            arch,
+            bsp,
+            policy,
+            self.config,
+            required_outputs,
+            &mut out,
+        );
+        out
     }
 }
 
-/// Internal cache-simulation state of the converter.
-struct Converter<'a> {
-    dag: &'a CompDag,
-    arch: &'a Architecture,
-    policy: &'a dyn EvictionPolicy,
-    config: TwoStageConfig,
+/// Long-lived conversion state for one `(dag, arch)` instance.
+///
+/// All buffers are allocated once and reused across conversions; see the module
+/// docs for the split between per-instance and per-candidate state. An arena must
+/// only be used with the instance it was built for (node counts are asserted).
+#[derive(Debug)]
+pub struct ConversionArena {
+    n: usize,
+    p: usize,
+    // ---- Per-instance immutable data. ----
+    /// Topological order of the DAG (computed once).
+    topo_order: Vec<NodeId>,
+    /// Position of every node within `topo_order`.
+    topo_pos: Vec<usize>,
+    /// Per node: number of compute steps (over the whole run, any processor) that
+    /// read it — assignment-independent, copied into `remaining_uses` per run.
+    base_uses: Vec<usize>,
+    /// Per node: is it a sink of the DAG (always a required output)?
+    sink_mask: Vec<bool>,
+    /// Per node: is it a source of the DAG (never computed)?
+    source_mask: Vec<bool>,
+    // ---- Sequence state (rebuilt per candidate, incrementally when possible). ----
     /// Per processor: the full ordered sequence of nodes it computes.
     seq: Vec<Vec<NodeId>>,
-    /// Per processor: current position in `seq`.
-    cursor: Vec<usize>,
+    /// Per node: index of the processor whose sequence contains it
+    /// (`u32::MAX` for sources, which are never computed).
+    node_proc: Vec<u32>,
     /// Per processor and node: sorted positions in `seq[p]` where the node is used
     /// as an input of a compute step.
     use_positions: Vec<Vec<Vec<usize>>>,
+    /// Canonical superstep of every node for the current assignment.
+    superstep: Vec<usize>,
+    /// Assignment and supersteps of the previous `convert_assignment` call, used to
+    /// detect which processors' sequences can be reused verbatim.
+    prev_procs: Vec<ProcId>,
+    prev_superstep: Vec<usize>,
+    /// Whether `prev_procs`/`prev_superstep` describe the current `seq` state.
+    have_prev: bool,
+    /// Scratch: which processors need their sequence rebuilt.
+    seq_dirty: Vec<bool>,
+    /// Scratch for the generic (explicit BSP result) path.
+    order_pos: Vec<usize>,
+    keyed: Vec<(usize, usize, usize, NodeId)>,
+    // ---- Per-run cache-simulation state. ----
+    /// Per processor: current position in `seq`.
+    cursor: Vec<usize>,
     /// Per processor and node: index of the first entry of `use_positions` that has
     /// not been passed yet.
     use_ptr: Vec<Vec<usize>>,
     /// Per processor: which nodes are currently cached.
     cached: Vec<Vec<bool>>,
+    /// Per processor: the cached nodes as a dense list (arbitrary order), kept
+    /// exactly in sync with `cached` so eviction scans cost O(cached) instead of
+    /// O(V).
+    cached_list: Vec<Vec<NodeId>>,
+    /// Per processor and node: position of the node within `cached_list` (only
+    /// meaningful while the node is cached).
+    list_pos: Vec<Vec<u32>>,
     /// Per processor: current cache usage.
     used: Vec<f64>,
     /// Per processor and node: logical time of the last access (for LRU).
@@ -108,116 +180,339 @@ struct Converter<'a> {
     clock: Vec<usize>,
     /// Which nodes currently have a blue pebble.
     blue: Vec<bool>,
+    /// Snapshot of `blue` at the beginning of the current superstep.
+    blue_snapshot: Vec<bool>,
     /// Number of not-yet-executed compute steps (on any processor) that read a node.
     remaining_uses: Vec<usize>,
-    /// Whether the node must eventually reside in slow memory (sink of the DAG).
+    /// Whether the node must eventually reside in slow memory.
     is_required_output: Vec<bool>,
+    // ---- Reusable scratch buffers. ----
+    scratch_nodes: Vec<NodeId>,
+    scratch_nodes2: Vec<NodeId>,
+    scratch_nodes3: Vec<NodeId>,
+    scratch_candidates: Vec<CandidateVictim>,
 }
 
-impl<'a> Converter<'a> {
-    fn new(
-        dag: &'a CompDag,
-        arch: &'a Architecture,
-        bsp: &'a BspSchedulingResult,
-        policy: &'a dyn EvictionPolicy,
-        config: TwoStageConfig,
-        required_outputs: &[NodeId],
-    ) -> Self {
+impl ConversionArena {
+    /// Builds the arena for one instance: computes the topological order and the
+    /// assignment-independent use counts, and allocates every buffer a conversion
+    /// needs. O(P·V + E) space, built once.
+    pub fn new(dag: &CompDag, arch: &Architecture) -> Self {
         let n = dag.num_nodes();
         let p = arch.processors;
-        // Global order position of every node (from the scheduler's order hint).
-        let mut order_pos = vec![usize::MAX; n];
-        for (i, &v) in bsp.order.iter().enumerate() {
-            order_pos[v.index()] = i;
-        }
-        // Build the per-processor compute sequences: nodes grouped by BSP superstep,
-        // ordered by the order hint; source nodes are not computed.
-        let mut seq: Vec<Vec<NodeId>> = vec![Vec::new(); p];
-        let mut keyed: Vec<(usize, usize, ProcId, NodeId)> = dag
-            .nodes()
-            .filter(|&v| !dag.is_source(v))
-            .map(|v| {
-                let proc = bsp.schedule.proc_of(v);
-                let step = bsp.schedule.superstep_of(v);
-                (step, order_pos[v.index()], proc, v)
-            })
-            .collect();
-        keyed.sort_unstable();
-        for (_, _, proc, v) in keyed {
-            seq[proc.index()].push(v);
-        }
-        // Input-use positions per processor.
-        let mut use_positions = vec![vec![Vec::new(); n]; p];
-        for (pi, s) in seq.iter().enumerate() {
-            for (pos, &v) in s.iter().enumerate() {
-                for &u in self_parents(dag, v) {
-                    use_positions[pi][u.index()].push(pos);
-                }
+        let topo = TopologicalOrder::of(dag);
+        let topo_pos: Vec<usize> = (0..n).map(|i| topo.position(NodeId::new(i))).collect();
+        let mut base_uses = vec![0usize; n];
+        for v in dag.nodes().filter(|&v| !dag.is_source(v)) {
+            for &u in dag.parents(v) {
+                base_uses[u.index()] += 1;
             }
         }
-        // Remaining global use counts.
-        let mut remaining_uses = vec![0usize; n];
-        for s in &seq {
-            for &v in s {
-                for &u in dag.parents(v) {
-                    remaining_uses[u.index()] += 1;
-                }
-            }
-        }
-        let mut blue = vec![false; n];
-        for v in dag.sources() {
-            blue[v.index()] = true;
-        }
-        let mut is_required_output: Vec<bool> = dag.nodes().map(|v| dag.is_sink(v)).collect();
-        for &v in required_outputs {
-            is_required_output[v.index()] = true;
-        }
-        Converter {
-            dag,
-            arch,
-            policy,
-            config,
-            seq,
+        let sink_mask: Vec<bool> = dag.nodes().map(|v| dag.is_sink(v)).collect();
+        let source_mask: Vec<bool> = dag.nodes().map(|v| dag.is_source(v)).collect();
+        ConversionArena {
+            n,
+            p,
+            topo_order: topo.order().to_vec(),
+            topo_pos,
+            base_uses,
+            sink_mask,
+            source_mask,
+            seq: vec![Vec::new(); p],
+            node_proc: vec![u32::MAX; n],
+            use_positions: vec![vec![Vec::new(); n]; p],
+            superstep: vec![0; n],
+            prev_procs: vec![ProcId::new(0); n],
+            prev_superstep: vec![0; n],
+            have_prev: false,
+            seq_dirty: vec![false; p],
+            order_pos: vec![usize::MAX; n],
+            keyed: Vec::new(),
             cursor: vec![0; p],
-            use_positions,
             use_ptr: vec![vec![0; n]; p],
             cached: vec![vec![false; n]; p],
+            cached_list: vec![Vec::new(); p],
+            list_pos: vec![vec![0; n]; p],
             used: vec![0.0; p],
             last_use: vec![vec![0; n]; p],
             clock: vec![0; p],
-            blue,
-            remaining_uses,
-            is_required_output,
+            blue: vec![false; n],
+            blue_snapshot: vec![false; n],
+            remaining_uses: vec![0; n],
+            is_required_output: vec![false; n],
+            scratch_nodes: Vec::new(),
+            scratch_nodes2: Vec::new(),
+            scratch_nodes3: Vec::new(),
+            scratch_candidates: Vec::new(),
         }
     }
 
-    fn run(mut self) -> MbspSchedule {
-        let p = self.arch.processors;
-        let mut schedule = MbspSchedule::new(p);
+    /// Converts an explicit BSP scheduling result (assignment, supersteps and order
+    /// hint) into `out`. This is the general path used for schedules produced by the
+    /// BSP baselines; the per-processor sequences are rebuilt from scratch, but all
+    /// allocations are reused.
+    #[allow(clippy::too_many_arguments)]
+    pub fn convert<P: EvictionPolicy + ?Sized>(
+        &mut self,
+        dag: &CompDag,
+        arch: &Architecture,
+        bsp: &BspSchedulingResult,
+        policy: &P,
+        config: TwoStageConfig,
+        required_outputs: &[NodeId],
+        out: &mut MbspSchedule,
+    ) {
+        assert_eq!(dag.num_nodes(), self.n, "arena used with a different DAG");
+        // Sequences no longer correspond to a canonical assignment.
+        self.have_prev = false;
+        self.order_pos.fill(usize::MAX);
+        for (i, &v) in bsp.order.iter().enumerate() {
+            self.order_pos[v.index()] = i;
+        }
+        self.keyed.clear();
+        for v in dag.nodes().filter(|&v| !dag.is_source(v)) {
+            self.keyed.push((
+                bsp.schedule.superstep_of(v),
+                self.order_pos[v.index()],
+                bsp.schedule.proc_of(v).index(),
+                v,
+            ));
+        }
+        self.keyed.sort_unstable();
+        for pi in 0..self.p {
+            self.clear_use_positions(dag, pi);
+            self.seq[pi].clear();
+        }
+        self.node_proc.fill(u32::MAX);
+        for i in 0..self.keyed.len() {
+            let (_, _, pi, v) = self.keyed[i];
+            self.seq[pi].push(v);
+            self.node_proc[v.index()] = pi as u32;
+        }
+        for pi in 0..self.p {
+            self.fill_use_positions(dag, pi);
+        }
+        self.reset_run_state(required_outputs);
+        self.run(dag, arch, policy, config, out);
+    }
+
+    /// Converts a bare per-node processor assignment into `out`, deriving the
+    /// superstep structure canonically (each node in the earliest superstep
+    /// compatible with its parents, exactly as `mbsp_ilp::improver::canonical_bsp`).
+    ///
+    /// This is the hot path of the holistic search: consecutive calls reuse the
+    /// per-processor sequences of every processor whose node set and superstep keys
+    /// did not change, so a single-node move typically rebuilds one or two
+    /// sequences instead of all `P`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn convert_assignment<P: EvictionPolicy + ?Sized>(
+        &mut self,
+        dag: &CompDag,
+        arch: &Architecture,
+        procs: &[ProcId],
+        policy: &P,
+        config: TwoStageConfig,
+        required_outputs: &[NodeId],
+        out: &mut MbspSchedule,
+    ) {
+        assert_eq!(procs.len(), self.n, "assignment length mismatch");
+        self.compute_canonical_supersteps(dag, procs);
+
+        // Which processors need their sequence rebuilt?
+        let all_dirty = !self.have_prev;
+        self.seq_dirty.fill(false);
+        if !all_dirty {
+            for i in 0..self.n {
+                if self.source_mask[i] {
+                    continue;
+                }
+                if self.prev_procs[i] != procs[i] {
+                    self.seq_dirty[self.prev_procs[i].index()] = true;
+                    self.seq_dirty[procs[i].index()] = true;
+                } else if self.prev_superstep[i] != self.superstep[i] {
+                    // The node stays put but its sort key moved: its sequence may
+                    // reorder.
+                    self.seq_dirty[procs[i].index()] = true;
+                }
+            }
+        }
+        for pi in 0..self.p {
+            if all_dirty || self.seq_dirty[pi] {
+                self.clear_use_positions(dag, pi);
+                self.rebuild_seq_for_assignment(pi, procs);
+                self.fill_use_positions(dag, pi);
+            }
+        }
+        for i in 0..self.n {
+            self.node_proc[i] = if self.source_mask[i] {
+                u32::MAX
+            } else {
+                procs[i].index() as u32
+            };
+        }
+        self.prev_procs.copy_from_slice(procs);
+        self.prev_superstep.copy_from_slice(&self.superstep);
+        self.have_prev = true;
+
+        self.reset_run_state(required_outputs);
+        self.run(dag, arch, policy, config, out);
+    }
+
+    /// Canonical superstep of every node for `procs`: in topological order, a
+    /// node's superstep is the smallest one compatible with its parents (same
+    /// superstep on the same processor, strictly later across processors; sources
+    /// force at least superstep 1).
+    fn compute_canonical_supersteps(&mut self, dag: &CompDag, procs: &[ProcId]) {
+        for idx in 0..self.topo_order.len() {
+            let v = self.topo_order[idx];
+            if self.source_mask[v.index()] {
+                self.superstep[v.index()] = 0;
+                continue;
+            }
+            let mut s = 0usize;
+            for &u in dag.parents(v) {
+                let su = self.superstep[u.index()];
+                let needed = if self.source_mask[u.index()] {
+                    su + 1
+                } else if procs[u.index()] == procs[v.index()] {
+                    su
+                } else {
+                    su + 1
+                };
+                s = s.max(needed);
+            }
+            self.superstep[v.index()] = s.max(1);
+        }
+    }
+
+    /// Rebuilds `seq[pi]` for the canonical-assignment path: the non-source nodes
+    /// assigned to `pi`, sorted by `(superstep, topological position)` — the same
+    /// order the explicit-BSP path derives from the canonical schedule.
+    fn rebuild_seq_for_assignment(&mut self, pi: usize, procs: &[ProcId]) {
+        let ConversionArena {
+            seq,
+            superstep,
+            topo_pos,
+            source_mask,
+            ..
+        } = self;
+        let s = &mut seq[pi];
+        s.clear();
+        for (i, &proc) in procs.iter().enumerate() {
+            if proc.index() == pi && !source_mask[i] {
+                s.push(NodeId::new(i));
+            }
+        }
+        s.sort_unstable_by_key(|v| (superstep[v.index()], topo_pos[v.index()]));
+    }
+
+    /// Clears the input-use positions referenced by `pi`'s *current* sequence.
+    /// Only entries for parents of sequence nodes can be non-empty (the fill
+    /// below maintains that invariant), so this costs O(edges of the processor)
+    /// rather than O(V).
+    fn clear_use_positions(&mut self, dag: &CompDag, pi: usize) {
+        for idx in 0..self.seq[pi].len() {
+            let v = self.seq[pi][idx];
+            for &u in dag.parents(v) {
+                self.use_positions[pi][u.index()].clear();
+            }
+        }
+    }
+
+    /// Fills the input-use positions of processor `pi` from its (fresh) sequence;
+    /// [`ConversionArena::clear_use_positions`] must have run against the old
+    /// sequence first.
+    fn fill_use_positions(&mut self, dag: &CompDag, pi: usize) {
+        for pos in 0..self.seq[pi].len() {
+            let v = self.seq[pi][pos];
+            for &u in dag.parents(v) {
+                self.use_positions[pi][u.index()].push(pos);
+            }
+        }
+    }
+
+    /// Resets the cache-simulation state for a fresh run (no allocations).
+    fn reset_run_state(&mut self, required_outputs: &[NodeId]) {
+        self.cursor.fill(0);
+        self.used.fill(0.0);
+        self.clock.fill(0);
+        // Clear exactly the red pebbles the previous run left behind (the dense
+        // list knows them), instead of an O(P·V) sweep.
+        for pi in 0..self.p {
+            for idx in 0..self.cached_list[pi].len() {
+                let v = self.cached_list[pi][idx];
+                self.cached[pi][v.index()] = false;
+            }
+            self.cached_list[pi].clear();
+        }
+        for last in &mut self.last_use {
+            last.fill(0);
+        }
+        for ptr in &mut self.use_ptr {
+            ptr.fill(0);
+        }
+        // The initial blue set is exactly the sources.
+        self.blue.copy_from_slice(&self.source_mask);
+        self.remaining_uses.copy_from_slice(&self.base_uses);
+        self.is_required_output.copy_from_slice(&self.sink_mask);
+        for &v in required_outputs {
+            self.is_required_output[v.index()] = true;
+        }
+    }
+
+    /// The cache simulation itself: identical transition rules to
+    /// [`reference::convert`], writing into `out` (whose superstep and phase
+    /// allocations are reused).
+    fn run<P: EvictionPolicy + ?Sized>(
+        &mut self,
+        dag: &CompDag,
+        arch: &Architecture,
+        policy: &P,
+        config: TwoStageConfig,
+        out: &mut MbspSchedule,
+    ) {
+        assert_eq!(
+            out.processors(),
+            self.p,
+            "output schedule has the wrong processor count"
+        );
+        // Clear any previous contents while keeping the phase-vector allocations.
+        for step in out.supersteps_mut().iter_mut() {
+            if step.procs.len() != self.p {
+                *step = Superstep::empty(self.p);
+            }
+            for phases in &mut step.procs {
+                phases.compute.clear();
+                phases.save.clear();
+                phases.delete.clear();
+                phases.load.clear();
+            }
+        }
+
         let total: usize = self.seq.iter().map(|s| s.len()).sum();
-        let mut executed = 0usize;
         // Each superstep makes progress (a compute or a load); the bound below is a
         // generous safety net against construction bugs.
-        let max_supersteps = 4 * total + 4 * self.dag.num_nodes() + 8;
+        let max_supersteps = 4 * total + 4 * self.n + 8;
+        let mut step_idx = 0usize;
 
         while self.cursor.iter().zip(&self.seq).any(|(&c, s)| c < s.len()) {
             assert!(
-                schedule.num_supersteps() <= max_supersteps,
+                step_idx <= max_supersteps,
                 "two-stage conversion is not making progress"
             );
             // Snapshot of the blue set at the beginning of the superstep: loads in
             // this superstep may only read values that were already in slow memory
             // (saves of the same superstep are not relied upon, which keeps the
             // construction simple and always valid).
-            let blue_snapshot = self.blue.clone();
-            let step = schedule.push_empty_superstep();
+            self.blue_snapshot.copy_from_slice(&self.blue);
+            if step_idx >= out.num_supersteps() {
+                out.push_empty_superstep();
+            }
 
-            for pi in 0..p {
-                let proc = ProcId::new(pi);
-                let phases = step.proc_mut(proc);
+            for pi in 0..self.p {
+                let phases = &mut out.supersteps_mut()[step_idx].procs[pi];
 
                 // ---- 1. Compute phase: maximal segment without new I/O. ----
-                let mut computed_here: Vec<NodeId> = Vec::new();
                 loop {
                     let pos = self.cursor[pi];
                     if pos >= self.seq[pi].len() {
@@ -225,39 +520,40 @@ impl<'a> Converter<'a> {
                     }
                     let v = self.seq[pi][pos];
                     // All parents must already be cached.
-                    if self.dag.parents(v).iter().any(|&u| !self.cached[pi][u.index()]) {
+                    if dag.parents(v).iter().any(|&u| !self.cached[pi][u.index()]) {
                         break;
                     }
                     // Make room for the output of v by dropping dead values only
                     // (no I/O allowed inside a compute phase).
-                    let needed = self.dag.memory_weight(v);
-                    if !self.make_room_with_dead_values(pi, needed, phases, v) {
+                    let needed = dag.memory_weight(v);
+                    if !self.make_room_with_dead_values(dag, arch, pi, needed, phases, v) {
                         break;
                     }
                     // Execute the compute step.
                     phases.compute.push(ComputePhaseStep::Compute(v));
-                    self.cached[pi][v.index()] = true;
-                    self.used[pi] += self.dag.memory_weight(v);
+                    self.cache_insert(pi, v);
+                    self.used[pi] += dag.memory_weight(v);
                     self.clock[pi] += 1;
                     self.last_use[pi][v.index()] = self.clock[pi];
-                    for &u in self.dag.parents(v) {
+                    for &u in dag.parents(v) {
                         self.last_use[pi][u.index()] = self.clock[pi];
                         self.remaining_uses[u.index()] -= 1;
                     }
                     self.cursor[pi] += 1;
-                    computed_here.push(v);
-                    executed += 1;
                 }
 
                 // ---- 2. Save phase: persist computed values that need it. ----
-                for &v in &computed_here {
+                for idx in 0..phases.compute.len() {
+                    let ComputePhaseStep::Compute(v) = phases.compute[idx] else {
+                        continue;
+                    };
                     if self.blue[v.index()] {
                         continue;
                     }
-                    let has_remote_child = self.dag.children(v).iter().any(|&c| {
+                    let has_remote_child = dag.children(v).iter().any(|&c| {
                         // A child computed on a different processor will need to
                         // load v from slow memory.
-                        !self.dag.is_source(c) && !self.seq[pi].contains(&c)
+                        !self.source_mask[c.index()] && self.node_proc[c.index()] != pi as u32
                     });
                     if self.is_required_output[v.index()] || has_remote_child {
                         phases.save.push(v);
@@ -266,12 +562,12 @@ impl<'a> Converter<'a> {
                 }
 
                 // ---- 3 & 4. Eviction and loads for the next segment. ----
-                self.plan_io(pi, phases, &blue_snapshot);
-                let _ = executed;
+                self.plan_io(dag, arch, policy, config, pi, phases);
             }
+            step_idx += 1;
         }
-        schedule.remove_empty_supersteps();
-        schedule
+        out.supersteps_mut().truncate(step_idx);
+        out.remove_empty_supersteps();
     }
 
     /// Drops dead cached values (not needed by any future compute and not an
@@ -279,150 +575,184 @@ impl<'a> Converter<'a> {
     /// Returns false if that is impossible without real evictions.
     fn make_room_with_dead_values(
         &mut self,
+        dag: &CompDag,
+        arch: &Architecture,
         pi: usize,
         needed: f64,
         phases: &mut mbsp_model::ProcPhases,
         about_to_compute: NodeId,
     ) -> bool {
-        let r = self.arch.cache_size;
+        let r = arch.cache_size;
         if self.used[pi] + needed <= r + 1e-9 {
             return true;
         }
-        let parents: Vec<NodeId> = self.dag.parents(about_to_compute).to_vec();
-        let dead: Vec<NodeId> = (0..self.dag.num_nodes())
-            .map(NodeId::new)
-            .filter(|&v| {
-                self.cached[pi][v.index()]
-                    && !parents.contains(&v)
-                    && self.remaining_uses[v.index()] == 0
-                    && (!self.is_required_output[v.index()] || self.blue[v.index()])
-            })
-            .collect();
-        for v in dead {
+        let parents = dag.parents(about_to_compute);
+        // Collect the dead cached values and evict them in node-index order (the
+        // order the reference converter walks them in) until the output fits.
+        let mut dead = std::mem::take(&mut self.scratch_nodes);
+        dead.clear();
+        for idx in 0..self.cached_list[pi].len() {
+            let v = self.cached_list[pi][idx];
+            if !parents.contains(&v)
+                && self.remaining_uses[v.index()] == 0
+                && (!self.is_required_output[v.index()] || self.blue[v.index()])
+            {
+                dead.push(v);
+            }
+        }
+        dead.sort_unstable();
+        for &v in &dead {
             if self.used[pi] + needed <= r + 1e-9 {
                 break;
             }
             phases.compute.push(ComputePhaseStep::Delete(v));
-            self.cached[pi][v.index()] = false;
-            self.used[pi] -= self.dag.memory_weight(v);
+            self.cache_remove(pi, v);
+            self.used[pi] -= dag.memory_weight(v);
         }
+        self.scratch_nodes = dead;
         self.used[pi] + needed <= r + 1e-9
     }
 
     /// Plans the save/delete/load phases that prepare the next compute segment of
     /// processor `pi`.
-    fn plan_io(&mut self, pi: usize, phases: &mut mbsp_model::ProcPhases, blue_snapshot: &[bool]) {
+    fn plan_io<P: EvictionPolicy + ?Sized>(
+        &mut self,
+        dag: &CompDag,
+        arch: &Architecture,
+        policy: &P,
+        config: TwoStageConfig,
+        pi: usize,
+        phases: &mut mbsp_model::ProcPhases,
+    ) {
         let pos = self.cursor[pi];
         if pos >= self.seq[pi].len() {
             return;
         }
-        let r = self.arch.cache_size;
+        let r = arch.cache_size;
         let next = self.seq[pi][pos];
         // Inputs of the next compute step that are missing from the cache and
         // already available in slow memory.
-        let missing: Vec<NodeId> = self
-            .dag
+        let missing = dag
             .parents(next)
             .iter()
-            .copied()
-            .filter(|&u| !self.cached[pi][u.index()])
-            .collect();
-        let loadable: Vec<NodeId> = missing
-            .iter()
-            .copied()
-            .filter(|&u| blue_snapshot[u.index()])
-            .collect();
-        if loadable.len() < missing.len() {
+            .filter(|&&u| !self.cached[pi][u.index()])
+            .count();
+        let mut loadable = std::mem::take(&mut self.scratch_nodes);
+        loadable.clear();
+        loadable.extend(
+            dag.parents(next)
+                .iter()
+                .copied()
+                .filter(|&u| !self.cached[pi][u.index()] && self.blue_snapshot[u.index()]),
+        );
+        if loadable.len() < missing {
             // Some input is not yet in slow memory (its producer has not caught up);
             // this processor simply waits for a later superstep.
+            self.scratch_nodes = loadable;
             return;
         }
-        let missing_weight: f64 = loadable.iter().map(|&u| self.dag.memory_weight(u)).sum();
-        let target_free = missing_weight + self.dag.memory_weight(next);
+        let missing_weight: f64 = loadable.iter().map(|&u| dag.memory_weight(u)).sum();
+        let target_free = missing_weight + dag.memory_weight(next);
 
-        // Evict until the next compute step fits.
+        // Evict until the next compute step fits. The reference converter ranks
+        // the full candidate set through `policy.rank`; since the policy order is
+        // total, repeatedly extracting the minimum yields the identical eviction
+        // sequence without sorting candidates that are never evicted.
         if self.used[pi] + target_free > r + 1e-9 {
-            let keep: Vec<NodeId> = self.dag.parents(next).to_vec();
-            let victims: Vec<NodeId> = (0..self.dag.num_nodes())
-                .map(NodeId::new)
-                .filter(|&v| self.cached[pi][v.index()] && !keep.contains(&v) && v != next)
-                .collect();
-            let candidates: Vec<CandidateVictim> = victims
-                .into_iter()
-                .map(|v| CandidateVictim {
+            let keep = dag.parents(next);
+            let mut candidates = std::mem::take(&mut self.scratch_candidates);
+            candidates.clear();
+            for idx in 0..self.cached_list[pi].len() {
+                let v = self.cached_list[pi][idx];
+                if keep.contains(&v) || v == next {
+                    continue;
+                }
+                let candidate = CandidateVictim {
                     node: v,
-                    weight: self.dag.memory_weight(v),
+                    weight: dag.memory_weight(v),
                     next_use: self.next_use(pi, v),
                     last_use: self.last_use[pi][v.index()],
                     has_blue: self.blue[v.index()],
                     needed_later: self.remaining_uses[v.index()] > 0
                         || (self.is_required_output[v.index()] && !self.blue[v.index()]),
-                })
-                .collect();
-            let ranked = self.policy.rank(&candidates);
-            let needed_map: std::collections::HashMap<NodeId, bool> =
-                candidates.iter().map(|c| (c.node, c.needed_later)).collect();
-            for v in ranked {
-                if self.used[pi] + target_free <= r + 1e-9 {
-                    break;
+                };
+                candidates.push(candidate);
+            }
+            let mut remaining = candidates.len();
+            while self.used[pi] + target_free > r + 1e-9 && remaining > 0 {
+                let mut best = 0usize;
+                for i in 1..remaining {
+                    if policy.order(&candidates[i], &candidates[best]).is_lt() {
+                        best = i;
+                    }
                 }
+                let c = candidates[best];
+                candidates.swap(best, remaining - 1);
+                remaining -= 1;
+                let v = c.node;
                 // A victim that is still needed and not yet in slow memory must be
                 // saved before it is deleted (save phase precedes delete phase).
-                if needed_map[&v] && !self.blue[v.index()] {
+                if c.needed_later && !self.blue[v.index()] {
                     phases.save.push(v);
                     self.blue[v.index()] = true;
                 }
                 phases.delete.push(v);
-                self.cached[pi][v.index()] = false;
-                self.used[pi] -= self.dag.memory_weight(v);
+                self.cache_remove(pi, v);
+                self.used[pi] -= dag.memory_weight(v);
             }
+            self.scratch_candidates = candidates;
         }
 
         // Required loads for the next compute step.
         let mut planned_load_weight = 0.0;
         for &u in &loadable {
-            if self.used[pi] + planned_load_weight + self.dag.memory_weight(u) > r + 1e-9 {
+            if self.used[pi] + planned_load_weight + dag.memory_weight(u) > r + 1e-9 {
                 // Should not happen when r >= r0; bail out conservatively.
                 break;
             }
             phases.load.push(u);
-            self.cached[pi][u.index()] = true;
-            planned_load_weight += self.dag.memory_weight(u);
+            self.cache_insert(pi, u);
+            planned_load_weight += dag.memory_weight(u);
         }
         self.used[pi] += planned_load_weight;
+        self.scratch_nodes = loadable;
 
         // Greedy prefetch: extend the loads with the inputs of further compute steps
         // while everything (inputs plus the outputs produced in between) still fits.
-        if self.config.prefetch {
-            let mut virtual_used = self.used[pi] + self.dag.memory_weight(next);
-            let mut virtually_cached: Vec<NodeId> = vec![next];
+        if config.prefetch {
+            let mut virtually_cached = std::mem::take(&mut self.scratch_nodes2);
+            virtually_cached.clear();
+            virtually_cached.push(next);
+            let mut extras = std::mem::take(&mut self.scratch_nodes3);
+            let mut virtual_used = self.used[pi] + dag.memory_weight(next);
             let mut look = pos + 1;
             while look < self.seq[pi].len() {
                 let w = self.seq[pi][look];
-                let extra_inputs: Vec<NodeId> = self
-                    .dag
-                    .parents(w)
-                    .iter()
-                    .copied()
-                    .filter(|&u| !self.cached[pi][u.index()] && !virtually_cached.contains(&u))
-                    .collect();
-                if extra_inputs.iter().any(|&u| !blue_snapshot[u.index()]) {
+                extras.clear();
+                extras.extend(
+                    dag.parents(w)
+                        .iter()
+                        .copied()
+                        .filter(|&u| !self.cached[pi][u.index()] && !virtually_cached.contains(&u)),
+                );
+                if extras.iter().any(|&u| !self.blue_snapshot[u.index()]) {
                     break;
                 }
-                let extra_weight: f64 =
-                    extra_inputs.iter().map(|&u| self.dag.memory_weight(u)).sum();
-                if virtual_used + extra_weight + self.dag.memory_weight(w) > r + 1e-9 {
+                let extra_weight: f64 = extras.iter().map(|&u| dag.memory_weight(u)).sum();
+                if virtual_used + extra_weight + dag.memory_weight(w) > r + 1e-9 {
                     break;
                 }
-                for u in extra_inputs {
+                for &u in &extras {
                     phases.load.push(u);
-                    self.cached[pi][u.index()] = true;
-                    self.used[pi] += self.dag.memory_weight(u);
+                    self.cache_insert(pi, u);
+                    self.used[pi] += dag.memory_weight(u);
                 }
-                virtual_used += extra_weight + self.dag.memory_weight(w);
+                virtual_used += extra_weight + dag.memory_weight(w);
                 virtually_cached.push(w);
                 look += 1;
             }
+            self.scratch_nodes2 = virtually_cached;
+            self.scratch_nodes3 = extras;
         }
     }
 
@@ -435,12 +765,416 @@ impl<'a> Converter<'a> {
         }
         positions.get(*ptr).copied()
     }
+
+    /// Marks `v` as cached on `pi` (must not be cached already — the converter
+    /// only caches on a miss) and tracks it in the dense cached list.
+    #[inline]
+    fn cache_insert(&mut self, pi: usize, v: NodeId) {
+        debug_assert!(!self.cached[pi][v.index()]);
+        self.cached[pi][v.index()] = true;
+        self.list_pos[pi][v.index()] = self.cached_list[pi].len() as u32;
+        self.cached_list[pi].push(v);
+    }
+
+    /// Removes `v` from `pi`'s cache and its dense cached list (O(1) swap-remove).
+    #[inline]
+    fn cache_remove(&mut self, pi: usize, v: NodeId) {
+        debug_assert!(self.cached[pi][v.index()]);
+        self.cached[pi][v.index()] = false;
+        let pos = self.list_pos[pi][v.index()] as usize;
+        let last = self.cached_list[pi]
+            .pop()
+            .expect("cached list is non-empty");
+        if last != v {
+            self.cached_list[pi][pos] = last;
+            self.list_pos[pi][last.index()] = pos as u32;
+        }
+    }
 }
 
-/// Helper mirroring `dag.parents(v)` (kept separate so the sequence construction in
-/// `Converter::new` reads naturally).
-fn self_parents<'d>(dag: &'d CompDag, v: NodeId) -> &'d [NodeId] {
-    dag.parents(v)
+/// The original single-shot converter, kept verbatim as the differential oracle
+/// for [`ConversionArena`] (the `dense::` pattern of `lp_solver`): every
+/// conversion the arena performs must be operation-identical to
+/// [`reference::convert`] on the same inputs. It allocates its entire state per
+/// call, which is exactly the cost the arena exists to avoid — use it in tests
+/// and benchmarks only.
+pub mod reference {
+    use super::*;
+
+    /// Converts `bsp` with a freshly allocated converter (the pre-arena code path).
+    pub fn convert(
+        dag: &CompDag,
+        arch: &Architecture,
+        bsp: &BspSchedulingResult,
+        policy: &dyn EvictionPolicy,
+        config: TwoStageConfig,
+        required_outputs: &[NodeId],
+    ) -> MbspSchedule {
+        Converter::new(dag, arch, bsp, policy, config, required_outputs).run()
+    }
+
+    /// Internal cache-simulation state of the reference converter.
+    pub(super) struct Converter<'a> {
+        dag: &'a CompDag,
+        arch: &'a Architecture,
+        policy: &'a dyn EvictionPolicy,
+        config: TwoStageConfig,
+        /// Per processor: the full ordered sequence of nodes it computes.
+        seq: Vec<Vec<NodeId>>,
+        /// Per processor: current position in `seq`.
+        cursor: Vec<usize>,
+        /// Per processor and node: sorted positions in `seq[p]` where the node is
+        /// used as an input of a compute step.
+        use_positions: Vec<Vec<Vec<usize>>>,
+        /// Per processor and node: index of the first entry of `use_positions` that
+        /// has not been passed yet.
+        use_ptr: Vec<Vec<usize>>,
+        /// Per processor: which nodes are currently cached.
+        cached: Vec<Vec<bool>>,
+        /// Per processor: current cache usage.
+        used: Vec<f64>,
+        /// Per processor and node: logical time of the last access (for LRU).
+        last_use: Vec<Vec<usize>>,
+        /// Per processor: logical clock incremented on every compute step.
+        clock: Vec<usize>,
+        /// Which nodes currently have a blue pebble.
+        blue: Vec<bool>,
+        /// Number of not-yet-executed compute steps (on any processor) that read a
+        /// node.
+        remaining_uses: Vec<usize>,
+        /// Whether the node must eventually reside in slow memory.
+        is_required_output: Vec<bool>,
+    }
+
+    impl<'a> Converter<'a> {
+        pub(super) fn new(
+            dag: &'a CompDag,
+            arch: &'a Architecture,
+            bsp: &'a BspSchedulingResult,
+            policy: &'a dyn EvictionPolicy,
+            config: TwoStageConfig,
+            required_outputs: &[NodeId],
+        ) -> Self {
+            let n = dag.num_nodes();
+            let p = arch.processors;
+            // Global order position of every node (from the scheduler's order hint).
+            let mut order_pos = vec![usize::MAX; n];
+            for (i, &v) in bsp.order.iter().enumerate() {
+                order_pos[v.index()] = i;
+            }
+            // Build the per-processor compute sequences: nodes grouped by BSP
+            // superstep, ordered by the order hint; source nodes are not computed.
+            let mut seq: Vec<Vec<NodeId>> = vec![Vec::new(); p];
+            let mut keyed: Vec<(usize, usize, ProcId, NodeId)> = dag
+                .nodes()
+                .filter(|&v| !dag.is_source(v))
+                .map(|v| {
+                    let proc = bsp.schedule.proc_of(v);
+                    let step = bsp.schedule.superstep_of(v);
+                    (step, order_pos[v.index()], proc, v)
+                })
+                .collect();
+            keyed.sort_unstable();
+            for (_, _, proc, v) in keyed {
+                seq[proc.index()].push(v);
+            }
+            // Input-use positions per processor.
+            let mut use_positions = vec![vec![Vec::new(); n]; p];
+            for (pi, s) in seq.iter().enumerate() {
+                for (pos, &v) in s.iter().enumerate() {
+                    for &u in dag.parents(v) {
+                        use_positions[pi][u.index()].push(pos);
+                    }
+                }
+            }
+            // Remaining global use counts.
+            let mut remaining_uses = vec![0usize; n];
+            for s in &seq {
+                for &v in s {
+                    for &u in dag.parents(v) {
+                        remaining_uses[u.index()] += 1;
+                    }
+                }
+            }
+            let mut blue = vec![false; n];
+            for v in dag.sources() {
+                blue[v.index()] = true;
+            }
+            let mut is_required_output: Vec<bool> = dag.nodes().map(|v| dag.is_sink(v)).collect();
+            for &v in required_outputs {
+                is_required_output[v.index()] = true;
+            }
+            Converter {
+                dag,
+                arch,
+                policy,
+                config,
+                seq,
+                cursor: vec![0; p],
+                use_positions,
+                use_ptr: vec![vec![0; n]; p],
+                cached: vec![vec![false; n]; p],
+                used: vec![0.0; p],
+                last_use: vec![vec![0; n]; p],
+                clock: vec![0; p],
+                blue,
+                remaining_uses,
+                is_required_output,
+            }
+        }
+
+        pub(super) fn run(mut self) -> MbspSchedule {
+            let p = self.arch.processors;
+            let mut schedule = MbspSchedule::new(p);
+            let total: usize = self.seq.iter().map(|s| s.len()).sum();
+            // Each superstep makes progress (a compute or a load); the bound below
+            // is a generous safety net against construction bugs.
+            let max_supersteps = 4 * total + 4 * self.dag.num_nodes() + 8;
+
+            while self.cursor.iter().zip(&self.seq).any(|(&c, s)| c < s.len()) {
+                assert!(
+                    schedule.num_supersteps() <= max_supersteps,
+                    "two-stage conversion is not making progress"
+                );
+                // Snapshot of the blue set at the beginning of the superstep: loads
+                // in this superstep may only read values that were already in slow
+                // memory.
+                let blue_snapshot = self.blue.clone();
+                let step = schedule.push_empty_superstep();
+
+                for pi in 0..p {
+                    let proc = ProcId::new(pi);
+                    let phases = step.proc_mut(proc);
+
+                    // ---- 1. Compute phase: maximal segment without new I/O. ----
+                    let mut computed_here: Vec<NodeId> = Vec::new();
+                    loop {
+                        let pos = self.cursor[pi];
+                        if pos >= self.seq[pi].len() {
+                            break;
+                        }
+                        let v = self.seq[pi][pos];
+                        // All parents must already be cached.
+                        if self
+                            .dag
+                            .parents(v)
+                            .iter()
+                            .any(|&u| !self.cached[pi][u.index()])
+                        {
+                            break;
+                        }
+                        // Make room for the output of v by dropping dead values only
+                        // (no I/O allowed inside a compute phase).
+                        let needed = self.dag.memory_weight(v);
+                        if !self.make_room_with_dead_values(pi, needed, phases, v) {
+                            break;
+                        }
+                        // Execute the compute step.
+                        phases.compute.push(ComputePhaseStep::Compute(v));
+                        self.cached[pi][v.index()] = true;
+                        self.used[pi] += self.dag.memory_weight(v);
+                        self.clock[pi] += 1;
+                        self.last_use[pi][v.index()] = self.clock[pi];
+                        for &u in self.dag.parents(v) {
+                            self.last_use[pi][u.index()] = self.clock[pi];
+                            self.remaining_uses[u.index()] -= 1;
+                        }
+                        self.cursor[pi] += 1;
+                        computed_here.push(v);
+                    }
+
+                    // ---- 2. Save phase: persist computed values that need it. ----
+                    for &v in &computed_here {
+                        if self.blue[v.index()] {
+                            continue;
+                        }
+                        let has_remote_child = self.dag.children(v).iter().any(|&c| {
+                            // A child computed on a different processor will need to
+                            // load v from slow memory.
+                            !self.dag.is_source(c) && !self.seq[pi].contains(&c)
+                        });
+                        if self.is_required_output[v.index()] || has_remote_child {
+                            phases.save.push(v);
+                            self.blue[v.index()] = true;
+                        }
+                    }
+
+                    // ---- 3 & 4. Eviction and loads for the next segment. ----
+                    self.plan_io(pi, phases, &blue_snapshot);
+                }
+            }
+            schedule.remove_empty_supersteps();
+            schedule
+        }
+
+        /// Drops dead cached values until `needed` additional space is available.
+        fn make_room_with_dead_values(
+            &mut self,
+            pi: usize,
+            needed: f64,
+            phases: &mut mbsp_model::ProcPhases,
+            about_to_compute: NodeId,
+        ) -> bool {
+            let r = self.arch.cache_size;
+            if self.used[pi] + needed <= r + 1e-9 {
+                return true;
+            }
+            let parents: Vec<NodeId> = self.dag.parents(about_to_compute).to_vec();
+            let dead: Vec<NodeId> = (0..self.dag.num_nodes())
+                .map(NodeId::new)
+                .filter(|&v| {
+                    self.cached[pi][v.index()]
+                        && !parents.contains(&v)
+                        && self.remaining_uses[v.index()] == 0
+                        && (!self.is_required_output[v.index()] || self.blue[v.index()])
+                })
+                .collect();
+            for v in dead {
+                if self.used[pi] + needed <= r + 1e-9 {
+                    break;
+                }
+                phases.compute.push(ComputePhaseStep::Delete(v));
+                self.cached[pi][v.index()] = false;
+                self.used[pi] -= self.dag.memory_weight(v);
+            }
+            self.used[pi] + needed <= r + 1e-9
+        }
+
+        /// Plans the save/delete/load phases that prepare the next compute segment
+        /// of processor `pi`.
+        fn plan_io(
+            &mut self,
+            pi: usize,
+            phases: &mut mbsp_model::ProcPhases,
+            blue_snapshot: &[bool],
+        ) {
+            let pos = self.cursor[pi];
+            if pos >= self.seq[pi].len() {
+                return;
+            }
+            let r = self.arch.cache_size;
+            let next = self.seq[pi][pos];
+            // Inputs of the next compute step that are missing from the cache and
+            // already available in slow memory.
+            let missing: Vec<NodeId> = self
+                .dag
+                .parents(next)
+                .iter()
+                .copied()
+                .filter(|&u| !self.cached[pi][u.index()])
+                .collect();
+            let loadable: Vec<NodeId> = missing
+                .iter()
+                .copied()
+                .filter(|&u| blue_snapshot[u.index()])
+                .collect();
+            if loadable.len() < missing.len() {
+                // Some input is not yet in slow memory; wait for a later superstep.
+                return;
+            }
+            let missing_weight: f64 = loadable.iter().map(|&u| self.dag.memory_weight(u)).sum();
+            let target_free = missing_weight + self.dag.memory_weight(next);
+
+            // Evict until the next compute step fits.
+            if self.used[pi] + target_free > r + 1e-9 {
+                let keep: Vec<NodeId> = self.dag.parents(next).to_vec();
+                let victims: Vec<NodeId> = (0..self.dag.num_nodes())
+                    .map(NodeId::new)
+                    .filter(|&v| self.cached[pi][v.index()] && !keep.contains(&v) && v != next)
+                    .collect();
+                let candidates: Vec<CandidateVictim> = victims
+                    .into_iter()
+                    .map(|v| CandidateVictim {
+                        node: v,
+                        weight: self.dag.memory_weight(v),
+                        next_use: self.next_use(pi, v),
+                        last_use: self.last_use[pi][v.index()],
+                        has_blue: self.blue[v.index()],
+                        needed_later: self.remaining_uses[v.index()] > 0
+                            || (self.is_required_output[v.index()] && !self.blue[v.index()]),
+                    })
+                    .collect();
+                let ranked = self.policy.rank(&candidates);
+                let needed_map: std::collections::HashMap<NodeId, bool> = candidates
+                    .iter()
+                    .map(|c| (c.node, c.needed_later))
+                    .collect();
+                for v in ranked {
+                    if self.used[pi] + target_free <= r + 1e-9 {
+                        break;
+                    }
+                    // A victim that is still needed and not yet in slow memory must
+                    // be saved before it is deleted.
+                    if needed_map[&v] && !self.blue[v.index()] {
+                        phases.save.push(v);
+                        self.blue[v.index()] = true;
+                    }
+                    phases.delete.push(v);
+                    self.cached[pi][v.index()] = false;
+                    self.used[pi] -= self.dag.memory_weight(v);
+                }
+            }
+
+            // Required loads for the next compute step.
+            let mut planned_load_weight = 0.0;
+            for &u in &loadable {
+                if self.used[pi] + planned_load_weight + self.dag.memory_weight(u) > r + 1e-9 {
+                    // Should not happen when r >= r0; bail out conservatively.
+                    break;
+                }
+                phases.load.push(u);
+                self.cached[pi][u.index()] = true;
+                planned_load_weight += self.dag.memory_weight(u);
+            }
+            self.used[pi] += planned_load_weight;
+
+            // Greedy prefetch: extend the loads with the inputs of further compute
+            // steps while everything still fits.
+            if self.config.prefetch {
+                let mut virtual_used = self.used[pi] + self.dag.memory_weight(next);
+                let mut virtually_cached: Vec<NodeId> = vec![next];
+                let mut look = pos + 1;
+                while look < self.seq[pi].len() {
+                    let w = self.seq[pi][look];
+                    let extra_inputs: Vec<NodeId> = self
+                        .dag
+                        .parents(w)
+                        .iter()
+                        .copied()
+                        .filter(|&u| !self.cached[pi][u.index()] && !virtually_cached.contains(&u))
+                        .collect();
+                    if extra_inputs.iter().any(|&u| !blue_snapshot[u.index()]) {
+                        break;
+                    }
+                    let extra_weight: f64 = extra_inputs
+                        .iter()
+                        .map(|&u| self.dag.memory_weight(u))
+                        .sum();
+                    if virtual_used + extra_weight + self.dag.memory_weight(w) > r + 1e-9 {
+                        break;
+                    }
+                    for u in extra_inputs {
+                        phases.load.push(u);
+                        self.cached[pi][u.index()] = true;
+                        self.used[pi] += self.dag.memory_weight(u);
+                    }
+                    virtual_used += extra_weight + self.dag.memory_weight(w);
+                    virtually_cached.push(w);
+                    look += 1;
+                }
+            }
+        }
+
+        /// Position of the next use of `v` as an input on processor `pi`, if any.
+        fn next_use(&mut self, pi: usize, v: NodeId) -> Option<usize> {
+            let positions = &self.use_positions[pi][v.index()];
+            let ptr = &mut self.use_ptr[pi][v.index()];
+            while *ptr < positions.len() && positions[*ptr] < self.cursor[pi] {
+                *ptr += 1;
+            }
+            positions.get(*ptr).copied()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -471,9 +1205,47 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", inst.name()));
             // Every non-source node is computed exactly once (no recomputation).
             let stats = mbsp.statistics(inst.dag(), inst.arch());
-            let non_sources = inst.dag().nodes().filter(|&v| !inst.dag().is_source(v)).count();
+            let non_sources = inst
+                .dag()
+                .nodes()
+                .filter(|&v| !inst.dag().is_source(v))
+                .count();
             assert_eq!(stats.computes, non_sources, "{}", inst.name());
             assert_eq!(stats.recomputed_nodes, 0);
+        }
+    }
+
+    #[test]
+    fn arena_conversion_matches_the_reference_converter() {
+        let policy = ClairvoyantPolicy::new();
+        let config = TwoStageConfig::default();
+        let sched = GreedyBspScheduler::new();
+        for inst in instances() {
+            let bsp = sched.schedule(inst.dag(), inst.arch());
+            let oracle = reference::convert(inst.dag(), inst.arch(), &bsp, &policy, config, &[]);
+            let mut arena = ConversionArena::new(inst.dag(), inst.arch());
+            let mut out = MbspSchedule::new(inst.arch().processors);
+            arena.convert(
+                inst.dag(),
+                inst.arch(),
+                &bsp,
+                &policy,
+                config,
+                &[],
+                &mut out,
+            );
+            assert_eq!(out, oracle, "{}", inst.name());
+            // A second conversion through the same arena is identical as well.
+            arena.convert(
+                inst.dag(),
+                inst.arch(),
+                &bsp,
+                &policy,
+                config,
+                &[],
+                &mut out,
+            );
+            assert_eq!(out, oracle, "{}: arena reuse drifted", inst.name());
         }
     }
 
@@ -546,13 +1318,43 @@ mod tests {
         let policy = ClairvoyantPolicy::new();
         for inst in instances().into_iter().take(4) {
             let bsp = sched.schedule(inst.dag(), inst.arch());
-            let with = TwoStageScheduler::with_config(TwoStageConfig { prefetch: true })
-                .schedule(inst.dag(), inst.arch(), &bsp, &policy);
+            let with = TwoStageScheduler::with_config(TwoStageConfig { prefetch: true }).schedule(
+                inst.dag(),
+                inst.arch(),
+                &bsp,
+                &policy,
+            );
             let without = TwoStageScheduler::with_config(TwoStageConfig { prefetch: false })
                 .schedule(inst.dag(), inst.arch(), &bsp, &policy);
             with.validate(inst.dag(), inst.arch()).unwrap();
             without.validate(inst.dag(), inst.arch()).unwrap();
             assert!(with.num_supersteps() <= without.num_supersteps());
+        }
+    }
+
+    #[test]
+    fn arena_matches_reference_without_prefetch_and_with_lru() {
+        let sched = GreedyBspScheduler::new();
+        for inst in instances().into_iter().take(5) {
+            for prefetch in [false, true] {
+                let config = TwoStageConfig { prefetch };
+                let bsp = sched.schedule(inst.dag(), inst.arch());
+                let policy = LruPolicy::new();
+                let oracle =
+                    reference::convert(inst.dag(), inst.arch(), &bsp, &policy, config, &[]);
+                let mut arena = ConversionArena::new(inst.dag(), inst.arch());
+                let mut out = MbspSchedule::new(inst.arch().processors);
+                arena.convert(
+                    inst.dag(),
+                    inst.arch(),
+                    &bsp,
+                    &policy,
+                    config,
+                    &[],
+                    &mut out,
+                );
+                assert_eq!(out, oracle, "{} prefetch={prefetch}", inst.name());
+            }
         }
     }
 

@@ -59,9 +59,17 @@ impl DagStatistics {
             num_levels: topo.num_levels(),
             max_in_degree: dag.nodes().map(|v| dag.in_degree(v)).max().unwrap_or(0),
             max_out_degree: dag.nodes().map(|v| dag.out_degree(v)).max().unwrap_or(0),
-            avg_degree: if n == 0 { 0.0 } else { dag.num_edges() as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                dag.num_edges() as f64 / n as f64
+            },
             minimal_cache_size: dag.minimal_cache_size(),
-            avg_parallelism: if critical_path > 0.0 { total_work / critical_path } else { 0.0 },
+            avg_parallelism: if critical_path > 0.0 {
+                total_work / critical_path
+            } else {
+                0.0
+            },
         }
     }
 }
@@ -136,9 +144,15 @@ mod tests {
     #[test]
     fn ancestors_and_descendants() {
         let d = diamond();
-        assert_eq!(ancestors(&d, NodeId::new(3)), vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            ancestors(&d, NodeId::new(3)),
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+        );
         assert_eq!(ancestors(&d, NodeId::new(0)), Vec::<NodeId>::new());
-        assert_eq!(descendants(&d, NodeId::new(0)), vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(
+            descendants(&d, NodeId::new(0)),
+            vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+        );
         assert_eq!(descendants(&d, NodeId::new(3)), Vec::<NodeId>::new());
     }
 

@@ -18,7 +18,9 @@ pub struct DagBuilder {
 impl DagBuilder {
     /// Starts a new builder for a DAG with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        DagBuilder { dag: CompDag::new(name) }
+        DagBuilder {
+            dag: CompDag::new(name),
+        }
     }
 
     /// Number of nodes added so far.
@@ -61,17 +63,26 @@ impl DagBuilder {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
         let n = self.dag.num_nodes();
         if from.index() >= n {
-            return Err(DagError::InvalidNode { index: from.index(), len: n });
+            return Err(DagError::InvalidNode {
+                index: from.index(),
+                len: n,
+            });
         }
         if to.index() >= n {
-            return Err(DagError::InvalidNode { index: to.index(), len: n });
+            return Err(DagError::InvalidNode {
+                index: to.index(),
+                len: n,
+            });
         }
         if from == to {
             return Err(DagError::SelfLoop { node: from.index() });
         }
         // Adding from -> to creates a cycle iff `from` is reachable from `to`.
         if self.reachable(to, from) {
-            return Err(DagError::CycleDetected { from: from.index(), to: to.index() });
+            return Err(DagError::CycleDetected {
+                from: from.index(),
+                to: to.index(),
+            });
         }
         self.dag.push_edge(from, to)?;
         Ok(())
@@ -187,7 +198,10 @@ mod tests {
     fn rejects_self_loops_and_bad_indices() {
         let mut b = DagBuilder::new("t");
         let n = b.add_unit_nodes(2).unwrap();
-        assert!(matches!(b.add_edge(n[0], n[0]), Err(DagError::SelfLoop { .. })));
+        assert!(matches!(
+            b.add_edge(n[0], n[0]),
+            Err(DagError::SelfLoop { .. })
+        ));
         assert!(matches!(
             b.add_edge(n[0], NodeId::new(9)),
             Err(DagError::InvalidNode { .. })

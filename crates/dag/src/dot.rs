@@ -68,7 +68,12 @@ mod tests {
     use crate::graph::NodeWeights;
 
     fn tiny() -> CompDag {
-        CompDag::from_edges("tiny \"dag\"", vec![NodeWeights::unit(); 3], &[(0, 1), (1, 2)]).unwrap()
+        CompDag::from_edges(
+            "tiny \"dag\"",
+            vec![NodeWeights::unit(); 3],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap()
     }
 
     #[test]

@@ -88,10 +88,15 @@ mod tests {
         let e = DagError::SelfLoop { node: 4 };
         assert!(e.to_string().contains("self-loop"));
 
-        let e = DagError::InvalidWeight { node: 2, reason: "negative" };
+        let e = DagError::InvalidWeight {
+            node: 2,
+            reason: "negative",
+        };
         assert!(e.to_string().contains("negative"));
 
-        let e = DagError::InvalidPartition { reason: "bad".into() };
+        let e = DagError::InvalidPartition {
+            reason: "bad".into(),
+        };
         assert!(e.to_string().contains("bad"));
     }
 

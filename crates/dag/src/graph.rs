@@ -94,7 +94,10 @@ impl NodeWeights {
 
     /// Uniform unit weights (`ω = μ = 1`), the multiprocessor red–blue pebbling case.
     pub fn unit() -> Self {
-        NodeWeights { compute: 1.0, memory: 1.0 }
+        NodeWeights {
+            compute: 1.0,
+            memory: 1.0,
+        }
     }
 }
 
@@ -240,16 +243,25 @@ impl CompDag {
     pub(crate) fn push_edge(&mut self, from: NodeId, to: NodeId) -> Result<EdgeId> {
         let n = self.num_nodes();
         if from.index() >= n {
-            return Err(DagError::InvalidNode { index: from.index(), len: n });
+            return Err(DagError::InvalidNode {
+                index: from.index(),
+                len: n,
+            });
         }
         if to.index() >= n {
-            return Err(DagError::InvalidNode { index: to.index(), len: n });
+            return Err(DagError::InvalidNode {
+                index: to.index(),
+                len: n,
+            });
         }
         if from == to {
             return Err(DagError::SelfLoop { node: from.index() });
         }
         if self.children[from.index()].contains(&to) {
-            return Err(DagError::DuplicateEdge { from: from.index(), to: to.index() });
+            return Err(DagError::DuplicateEdge {
+                from: from.index(),
+                to: to.index(),
+            });
         }
         let id = EdgeId::try_new(self.edges.len())
             .expect("CompDag cannot hold more than u32::MAX edges");
@@ -280,7 +292,10 @@ impl CompDag {
     /// Updates the weights of a node (cannot affect acyclicity).
     pub fn set_weights(&mut self, v: NodeId, weights: NodeWeights) -> Result<()> {
         if v.index() >= self.num_nodes() {
-            return Err(DagError::InvalidNode { index: v.index(), len: self.num_nodes() });
+            return Err(DagError::InvalidNode {
+                index: v.index(),
+                len: self.num_nodes(),
+            });
         }
         if !weights.compute.is_finite() || weights.compute < 0.0 {
             return Err(DagError::InvalidWeight {
@@ -441,7 +456,10 @@ mod tests {
         assert!(!d.is_empty());
         assert_eq!(d.sources(), vec![NodeId::new(0)]);
         assert_eq!(d.sinks(), vec![NodeId::new(3)]);
-        assert_eq!(d.children(NodeId::new(0)), &[NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(
+            d.children(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
         assert_eq!(d.parents(NodeId::new(3)), &[NodeId::new(1), NodeId::new(2)]);
         assert_eq!(d.in_degree(NodeId::new(3)), 2);
         assert_eq!(d.out_degree(NodeId::new(0)), 2);
@@ -456,7 +474,8 @@ mod tests {
         assert_eq!(d.total_memory(), 4.0);
         // Source node 0 is not computed.
         assert_eq!(d.computable_work(), 3.0);
-        d.set_weights(NodeId::new(3), NodeWeights::new(5.0, 2.0)).unwrap();
+        d.set_weights(NodeId::new(3), NodeWeights::new(5.0, 2.0))
+            .unwrap();
         assert_eq!(d.compute_weight(NodeId::new(3)), 5.0);
         assert_eq!(d.memory_weight(NodeId::new(3)), 2.0);
         assert_eq!(d.total_work(), 8.0);

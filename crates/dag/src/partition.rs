@@ -53,7 +53,10 @@ impl AcyclicPartition {
 
     /// The trivial partition that puts every node into a single part.
     pub fn trivial(dag: &CompDag) -> Self {
-        AcyclicPartition { part: vec![0; dag.num_nodes()], num_parts: 1 }
+        AcyclicPartition {
+            part: vec![0; dag.num_nodes()],
+            num_parts: 1,
+        }
     }
 
     /// Number of parts.
@@ -108,7 +111,7 @@ impl AcyclicPartition {
             }
         }
         let mut indeg = vec![0usize; k];
-        for (_, outs) in adj.iter().enumerate() {
+        for outs in adj.iter() {
             for &t in outs {
                 indeg[t] += 1;
             }
@@ -158,7 +161,10 @@ impl AcyclicPartition {
                 reason: "quotient graph contains a cycle".to_string(),
             });
         }
-        Ok(QuotientGraph { graph: q, cross_edges })
+        Ok(QuotientGraph {
+            graph: q,
+            cross_edges,
+        })
     }
 
     /// Extracts the induced [`SubDag`] of every part, in part-index order.

@@ -34,7 +34,11 @@ impl SubDag {
     /// Edges with exactly one endpoint in the selection are dropped from the
     /// subgraph but recorded via [`SubDag::external_inputs`] /
     /// [`SubDag::external_outputs`].
-    pub fn induced(parent: &CompDag, selection: &[NodeId], name: impl Into<String>) -> Result<Self> {
+    pub fn induced(
+        parent: &CompDag,
+        selection: &[NodeId],
+        name: impl Into<String>,
+    ) -> Result<Self> {
         let mut included = vec![false; parent.num_nodes()];
         for &v in selection {
             included[v.index()] = true;
@@ -68,7 +72,13 @@ impl SubDag {
                 external_outputs.push(local);
             }
         }
-        Ok(SubDag { dag, to_global, to_local, external_inputs, external_outputs })
+        Ok(SubDag {
+            dag,
+            to_global,
+            to_local,
+            external_inputs,
+            external_outputs,
+        })
     }
 
     /// The induced subgraph.
@@ -154,7 +164,8 @@ mod tests {
     #[test]
     fn weights_and_labels_are_copied() {
         let mut d = path5();
-        d.set_weights(NodeId::new(2), NodeWeights::new(7.0, 3.0)).unwrap();
+        d.set_weights(NodeId::new(2), NodeWeights::new(7.0, 3.0))
+            .unwrap();
         d.set_label(NodeId::new(2), "heavy");
         let sub = SubDag::induced(&d, &[NodeId::new(2)], "one").unwrap();
         let local = sub.to_local(NodeId::new(2)).unwrap();

@@ -48,7 +48,11 @@ impl TopologicalOrder {
         for (i, &v) in order.iter().enumerate() {
             position[v.index()] = i;
         }
-        TopologicalOrder { order, position, level }
+        TopologicalOrder {
+            order,
+            position,
+            level,
+        }
     }
 
     /// The nodes in topological order.
@@ -234,7 +238,8 @@ mod tests {
     #[test]
     fn bottom_and_top_levels() {
         let mut d = diamond();
-        d.set_weights(NodeId::new(1), NodeWeights::new(5.0, 1.0)).unwrap();
+        d.set_weights(NodeId::new(1), NodeWeights::new(5.0, 1.0))
+            .unwrap();
         let bl = bottom_levels(&d);
         let tl = top_levels(&d);
         // bottom level of node 0: 1 + max(5+1, 1+1) = 7

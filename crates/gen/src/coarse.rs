@@ -33,7 +33,9 @@ pub fn bicgstab_dag(iterations: usize) -> CompDag {
         b.add_edge_idempotent(matrix, v).unwrap();
         b.add_edge_idempotent(p, v).unwrap();
         // alpha = (r, r_hat) / (v, r_hat)
-        let alpha = b.add_labeled_node(2.0, 1.0, format!("it{it}_alpha")).unwrap();
+        let alpha = b
+            .add_labeled_node(2.0, 1.0, format!("it{it}_alpha"))
+            .unwrap();
         b.add_edge_idempotent(r, alpha).unwrap();
         b.add_edge_idempotent(v, alpha).unwrap();
         b.add_edge_idempotent(r_hat, alpha).unwrap();
@@ -47,7 +49,9 @@ pub fn bicgstab_dag(iterations: usize) -> CompDag {
         b.add_edge_idempotent(matrix, t).unwrap();
         b.add_edge_idempotent(s, t).unwrap();
         // omega = (t, s) / (t, t)
-        let omega = b.add_labeled_node(2.0, 1.0, format!("it{it}_omega")).unwrap();
+        let omega = b
+            .add_labeled_node(2.0, 1.0, format!("it{it}_omega"))
+            .unwrap();
         b.add_edge_idempotent(t, omega).unwrap();
         b.add_edge_idempotent(s, omega).unwrap();
         // x_{k+1} = x + alpha p + omega s
@@ -63,7 +67,9 @@ pub fn bicgstab_dag(iterations: usize) -> CompDag {
         b.add_edge_idempotent(omega, new_r).unwrap();
         b.add_edge_idempotent(t, new_r).unwrap();
         // beta and the new search direction p_{k+1}.
-        let beta = b.add_labeled_node(1.0, 1.0, format!("it{it}_beta")).unwrap();
+        let beta = b
+            .add_labeled_node(1.0, 1.0, format!("it{it}_beta"))
+            .unwrap();
         b.add_edge_idempotent(new_r, beta).unwrap();
         b.add_edge_idempotent(r, beta).unwrap();
         b.add_edge_idempotent(alpha, beta).unwrap();
@@ -75,7 +81,9 @@ pub fn bicgstab_dag(iterations: usize) -> CompDag {
         b.add_edge_idempotent(omega, new_p).unwrap();
         b.add_edge_idempotent(v, new_p).unwrap();
         // Residual-norm check.
-        let check = b.add_labeled_node(1.0, 1.0, format!("it{it}_check")).unwrap();
+        let check = b
+            .add_labeled_node(1.0, 1.0, format!("it{it}_check"))
+            .unwrap();
         b.add_edge_idempotent(new_r, check).unwrap();
 
         x = new_x;
@@ -172,7 +180,8 @@ pub fn pregel_dag(partitions: usize, supersteps: usize) -> CompDag {
                     .unwrap();
                 b.add_edge(computed[i], m).unwrap();
                 b.add_edge(computed[(i + 1) % partitions], m).unwrap();
-                b.add_edge(computed[(i + partitions - 1) % partitions], m).unwrap();
+                b.add_edge(computed[(i + partitions - 1) % partitions], m)
+                    .unwrap();
                 m
             })
             .collect();

@@ -46,7 +46,12 @@ pub fn theorem41_construction(d: usize, m: usize) -> (CompDag, Theorem41Groups) 
         b.add_fan_in(to_u, chain_u[i]).unwrap();
         b.add_fan_in(to_v, chain_v[i]).unwrap();
     }
-    let groups = Theorem41Groups { h1, h2, chain_v, chain_u };
+    let groups = Theorem41Groups {
+        h1,
+        h2,
+        chain_v,
+        chain_u,
+    };
     (b.build(), groups)
 }
 
@@ -68,7 +73,10 @@ pub struct Theorem41Groups {
 /// (weight `z`) pair in position `i`, every other pair has weight 1. A common source
 /// node feeds every first pair.
 pub fn lemma53_construction(p: usize, z: f64) -> CompDag {
-    assert!(p >= 2 && p % 2 == 0, "the construction needs an even number of processors");
+    assert!(
+        p >= 2 && p % 2 == 0,
+        "the construction needs an even number of processors"
+    );
     assert!(z >= 1.0);
     let half = p / 2;
     let mut b = DagBuilder::new(format!("lemma53_p{p}"));
@@ -150,7 +158,11 @@ pub fn lemma61_construction(d: usize, m: usize) -> CompDag {
     b.add_edge(*u.last().unwrap(), v[0]).unwrap();
     b.add_edge(*u2.last().unwrap(), v[0]).unwrap();
     for i in 1..=m {
-        let from = if i % 2 == 1 { *u.last().unwrap() } else { *u2.last().unwrap() };
+        let from = if i % 2 == 1 {
+            *u.last().unwrap()
+        } else {
+            *u2.last().unwrap()
+        };
         b.add_edge(from, v[i]).unwrap();
     }
     for node in u.iter().chain(u2.iter()).chain(v.iter()) {
@@ -195,7 +207,10 @@ mod tests {
         assert_eq!(stats.num_nodes, 1 + 2 * (p / 2) * (p / 2));
         assert_eq!(stats.num_sources, 1);
         // Exactly p/2 heavy pairs (one per ladder).
-        let heavy = dag.nodes().filter(|&v| dag.compute_weight(v) == 50.0).count();
+        let heavy = dag
+            .nodes()
+            .filter(|&v| dag.compute_weight(v) == 50.0)
+            .count();
         assert_eq!(heavy, p);
     }
 
@@ -210,9 +225,15 @@ mod tests {
         let dag = lemma54_construction(10.0);
         assert_eq!(dag.num_nodes(), 10);
         assert!(dag.is_acyclic());
-        let heavy = dag.nodes().filter(|&v| dag.compute_weight(v) == 20.0).count();
+        let heavy = dag
+            .nodes()
+            .filter(|&v| dag.compute_weight(v) == 20.0)
+            .count();
         assert_eq!(heavy, 3);
-        let light = dag.nodes().filter(|&v| dag.compute_weight(v) == 9.0).count();
+        let light = dag
+            .nodes()
+            .filter(|&v| dag.compute_weight(v) == 9.0)
+            .count();
         assert_eq!(light, 6);
     }
 

@@ -29,7 +29,11 @@ impl NamedInstance {
         dag.set_name(name);
         // Random memory weights in {1..5}, deterministic per instance.
         assign_random_memory_weights(&mut dag, 5, seed ^ hash_name(name));
-        NamedInstance { name: name.to_string(), family, dag }
+        NamedInstance {
+            name: name.to_string(),
+            family,
+            dag,
+        }
     }
 }
 
@@ -120,13 +124,21 @@ pub fn small_dataset_sample(seed: u64) -> Vec<NamedInstance> {
         NamedInstance::new(
             "exp_N10_K8",
             "exp",
-            iterated_spmv_dag("exp_N10_K8", &SparsityPattern::random(10, 2, seed ^ 0x73), 8),
+            iterated_spmv_dag(
+                "exp_N10_K8",
+                &SparsityPattern::random(10, 2, seed ^ 0x73),
+                8,
+            ),
             seed,
         ),
         NamedInstance::new(
             "exp_N15_K4",
             "exp",
-            iterated_spmv_dag("exp_N15_K4", &SparsityPattern::random(15, 2, seed ^ 0x74), 4),
+            iterated_spmv_dag(
+                "exp_N15_K4",
+                &SparsityPattern::random(15, 2, seed ^ 0x74),
+                4,
+            ),
             seed,
         ),
         NamedInstance::new("kNN_N10_K8", "knn", knn_dag("kNN_N10_K8", 10, 2), seed),

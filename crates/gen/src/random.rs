@@ -40,12 +40,19 @@ pub fn random_layered_dag(config: &RandomDagConfig, seed: u64) -> CompDag {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let compute_dist = Uniform::new_inclusive(1u32, config.max_compute.max(1));
     let memory_dist = Uniform::new_inclusive(1u32, config.max_memory.max(1));
-    let mut b = DagBuilder::new(format!("random_l{}_w{}_s{}", config.layers, config.width, seed));
+    let mut b = DagBuilder::new(format!(
+        "random_l{}_w{}_s{}",
+        config.layers, config.width, seed
+    ));
     let mut layers: Vec<Vec<NodeId>> = Vec::with_capacity(config.layers);
     for l in 0..config.layers {
         let mut layer = Vec::with_capacity(config.width);
         for i in 0..config.width {
-            let compute = if l == 0 { 0.0 } else { compute_dist.sample(&mut rng) as f64 };
+            let compute = if l == 0 {
+                0.0
+            } else {
+                compute_dist.sample(&mut rng) as f64
+            };
             let memory = memory_dist.sample(&mut rng) as f64;
             let v = b
                 .add_labeled_node(compute, memory, format!("l{l}_n{i}"))
@@ -78,7 +85,11 @@ mod tests {
 
     #[test]
     fn generated_dag_is_well_formed() {
-        let cfg = RandomDagConfig { layers: 5, width: 6, ..Default::default() };
+        let cfg = RandomDagConfig {
+            layers: 5,
+            width: 6,
+            ..Default::default()
+        };
         let dag = random_layered_dag(&cfg, 3);
         assert!(dag.is_acyclic());
         assert_eq!(dag.num_nodes(), 30);
@@ -100,7 +111,10 @@ mod tests {
 
     #[test]
     fn edge_probability_zero_still_connected_to_previous_layer() {
-        let cfg = RandomDagConfig { edge_probability: 0.0, ..Default::default() };
+        let cfg = RandomDagConfig {
+            edge_probability: 0.0,
+            ..Default::default()
+        };
         let dag = random_layered_dag(&cfg, 5);
         // Every non-source node has exactly one parent.
         for v in dag.nodes() {

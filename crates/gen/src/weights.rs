@@ -28,7 +28,8 @@ pub fn assign_random_memory_weights(dag: &mut CompDag, max_weight: u32, seed: u6
 pub fn assign_unit_memory_weights(dag: &mut CompDag) {
     for v in dag.nodes().collect::<Vec<_>>() {
         let compute = dag.compute_weight(v);
-        dag.set_weights(v, NodeWeights::new(compute, 1.0)).expect("unit weight is valid");
+        dag.set_weights(v, NodeWeights::new(compute, 1.0))
+            .expect("unit weight is valid");
     }
 }
 

@@ -129,7 +129,11 @@ mod tests {
             let result = opt.schedule(&inst.dag, &a);
             result.schedule.validate(&inst.dag).unwrap();
             let cost = result.schedule.cost(&inst.dag, &a).total;
-            assert!(cost <= greedy_cost + 1e-9, "{}: {cost} vs greedy {greedy_cost}", inst.name);
+            assert!(
+                cost <= greedy_cost + 1e-9,
+                "{}: {cost} vs greedy {greedy_cost}",
+                inst.name
+            );
         }
     }
 

@@ -49,6 +49,9 @@ impl Default for DivideAndConquerConfig {
                 max_rounds: 20,
                 moves_per_round: 60,
                 time_limit: Duration::from_secs(5),
+                // Parts are small and dataset sweeps already parallelise across
+                // instances; serial per-part evaluation avoids oversubscription.
+                workers: 1,
                 ..Default::default()
             },
             cost_model: CostModel::Synchronous,
@@ -80,7 +83,8 @@ impl DivideAndConquerScheduler {
         let arch = instance.arch();
 
         // 1. Recursive acyclic partitioning.
-        let partition = recursive_partition(dag, self.config.max_part_size, &self.config.bipartition);
+        let partition =
+            recursive_partition(dag, self.config.max_part_size, &self.config.bipartition);
         // Build one scheduling sub-problem per part: the part's nodes plus boundary
         // input nodes for parents living in other parts (those are sources of the
         // sub-problem — their values are already in slow memory when the part runs).
@@ -180,7 +184,8 @@ impl DivideAndConquerScheduler {
                             }
                         }));
                         t.save.extend(phases.save.iter().map(|&v| sub.to_global(v)));
-                        t.delete.extend(phases.delete.iter().map(|&v| sub.to_global(v)));
+                        t.delete
+                            .extend(phases.delete.iter().map(|&v| sub.to_global(v)));
                         t.load.extend(phases.load.iter().map(|&v| sub.to_global(v)));
                         // Track what remains cached on this processor at stage end.
                         let cache = &mut cached[global_p.index()];
@@ -288,7 +293,11 @@ impl SubProblem {
             })
             .map(|&v| to_local[v.index()].unwrap())
             .collect();
-        SubProblem { dag: sub, to_global, required_outputs }
+        SubProblem {
+            dag: sub,
+            to_global,
+            required_outputs,
+        }
     }
 
     fn to_global(&self, local: NodeId) -> NodeId {
@@ -322,6 +331,7 @@ mod tests {
                 max_rounds: 3,
                 moves_per_round: 20,
                 time_limit: Duration::from_millis(250),
+                workers: 1,
                 ..Default::default()
             },
             ..Default::default()
@@ -367,6 +377,7 @@ mod tests {
                 max_rounds: 3,
                 moves_per_round: 20,
                 time_limit: Duration::from_secs(2),
+                workers: 1,
                 ..Default::default()
             },
             ..fast_config()
@@ -382,7 +393,10 @@ mod tests {
         );
         let dnc_cost = sync_cost(&schedule, instance.dag(), instance.arch()).total;
         let base_cost = sync_cost(&baseline, instance.dag(), instance.arch()).total;
-        assert!(dnc_cost <= base_cost * 2.5, "dnc {dnc_cost} vs baseline {base_cost}");
+        assert!(
+            dnc_cost <= base_cost * 2.5,
+            "dnc {dnc_cost} vs baseline {base_cost}"
+        );
     }
 
     #[test]

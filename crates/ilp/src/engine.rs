@@ -1,0 +1,560 @@
+//! The candidate-evaluation engine of the holistic search.
+//!
+//! The holistic scheduler's quality is bounded by how many candidate schedules it
+//! can evaluate inside its time limit (the paper gives COPT a fixed wall-clock
+//! budget; we give the local search one). This module packages evaluation as a
+//! reusable engine:
+//!
+//! * [`Move`] — first-class candidate moves over a per-node processor assignment
+//!   (relocate one node, relocate a sibling group, swap two nodes);
+//! * [`EvaluationEngine`] — per-worker evaluation state: a
+//!   [`mbsp_cache::ConversionArena`] (allocated once, reused for every candidate),
+//!   a scratch schedule, and a [`mbsp_model::ScheduleEvaluator`] for the
+//!   post-optimiser's incremental cost deltas;
+//! * [`EvalPath`] — selects the incremental engine or the *reference* path (a
+//!   freshly allocated converter plus a full re-cost per candidate, the
+//!   pre-engine behaviour). Both paths are operation-identical, which the
+//!   differential tests assert; the reference path exists as the oracle and as
+//!   the baseline of `bench_improver`;
+//! * [`evaluate_moves`] — evaluates one round's batch of moves, in parallel via
+//!   `std::thread::scope` with one engine per worker. Candidates are generated up
+//!   front and the winner is chosen by the fixed tie-break order (lowest cost,
+//!   then lowest candidate index), so a fixed seed yields the same search
+//!   trajectory for any worker count.
+
+use crate::improver::{canonical_bsp, reference_post_optimize, PostOptimizer};
+use mbsp_cache::{two_stage, ClairvoyantPolicy, ConversionArena, TwoStageConfig};
+use mbsp_dag::{CompDag, NodeId};
+use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId};
+use mbsp_sched::BspSchedulingResult;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// A candidate move of the holistic local search, applied to a per-node processor
+/// assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Move a single node to a different processor.
+    Relocate {
+        /// The node to move.
+        node: NodeId,
+        /// Its new processor.
+        to: ProcId,
+    },
+    /// Move all (non-source) children of `parent` to one processor — targets the
+    /// "assign all children of H1 to one processor" structure of Theorem 4.1.
+    RelocateSiblings {
+        /// The common parent whose children move.
+        parent: NodeId,
+        /// The processor that receives every child.
+        to: ProcId,
+    },
+    /// Swap the processors of two nodes.
+    Swap {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+}
+
+impl Move {
+    /// Proposes a random move that changes the assignment, or `None` if the draw
+    /// was a no-op (the caller counts it against the round's move budget either
+    /// way, exactly like the pre-engine search loop).
+    pub fn propose(
+        dag: &CompDag,
+        arch: &Architecture,
+        procs: &[ProcId],
+        movable: &[NodeId],
+        rng: &mut StdRng,
+    ) -> Option<Move> {
+        let p = arch.processors;
+        match rng.gen_range(0..3u32) {
+            0 => {
+                let node = movable[rng.gen_range(0..movable.len())];
+                let to = ProcId::new(rng.gen_range(0..p));
+                if procs[node.index()] == to {
+                    return None;
+                }
+                Some(Move::Relocate { node, to })
+            }
+            1 => {
+                let parent = NodeId::new(rng.gen_range(0..dag.num_nodes()));
+                let mut has_children = false;
+                let mut changes = false;
+                let to = ProcId::new(rng.gen_range(0..p));
+                for &c in dag.children(parent) {
+                    if dag.is_source(c) {
+                        continue;
+                    }
+                    has_children = true;
+                    if procs[c.index()] != to {
+                        changes = true;
+                    }
+                }
+                if !has_children || !changes {
+                    return None;
+                }
+                Some(Move::RelocateSiblings { parent, to })
+            }
+            _ => {
+                let a = movable[rng.gen_range(0..movable.len())];
+                let b = movable[rng.gen_range(0..movable.len())];
+                if a == b || procs[a.index()] == procs[b.index()] {
+                    return None;
+                }
+                Some(Move::Swap { a, b })
+            }
+        }
+    }
+
+    /// Applies the move to `procs` in place.
+    pub fn apply(&self, dag: &CompDag, procs: &mut [ProcId]) {
+        match *self {
+            Move::Relocate { node, to } => procs[node.index()] = to,
+            Move::RelocateSiblings { parent, to } => {
+                for &c in dag.children(parent) {
+                    if !dag.is_source(c) {
+                        procs[c.index()] = to;
+                    }
+                }
+            }
+            Move::Swap { a, b } => procs.swap(a.index(), b.index()),
+        }
+    }
+}
+
+/// Which evaluation machinery a search run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalPath {
+    /// The incremental engine: arena-backed conversion plus incremental cost
+    /// deltas in the post-optimiser. The production path.
+    Incremental,
+    /// The pre-engine behaviour: a freshly allocated converter and a full
+    /// `sync_cost`/`async_cost` re-cost per candidate. Kept as the differential
+    /// oracle and the `bench_improver` baseline.
+    Reference,
+}
+
+/// Per-worker candidate-evaluation state. One engine per evaluation worker; every
+/// candidate evaluated through the same engine reuses its arena and scratch
+/// allocations.
+#[derive(Debug)]
+pub struct EvaluationEngine {
+    path: EvalPath,
+    policy: ClairvoyantPolicy,
+    config: TwoStageConfig,
+    arena: ConversionArena,
+    schedule: MbspSchedule,
+    post: PostOptimizer,
+    procs_buf: Vec<ProcId>,
+    /// Number of candidate evaluations performed through this engine.
+    pub evaluations: u64,
+}
+
+impl EvaluationEngine {
+    /// Creates an engine (and its arena) for one instance.
+    pub fn new(instance: &MbspInstance, path: EvalPath) -> Self {
+        EvaluationEngine {
+            path,
+            policy: ClairvoyantPolicy::new(),
+            config: TwoStageConfig::default(),
+            arena: ConversionArena::new(instance.dag(), instance.arch()),
+            schedule: MbspSchedule::new(instance.arch().processors),
+            post: PostOptimizer::new(instance.dag(), instance.arch()),
+            procs_buf: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Evaluates a per-node processor assignment: canonical superstep structure,
+    /// BSP→MBSP conversion, post-optimisation, and the true MBSP cost. The
+    /// resulting schedule stays available through [`EvaluationEngine::schedule`].
+    pub fn evaluate_assignment(
+        &mut self,
+        instance: &MbspInstance,
+        procs: &[ProcId],
+        cost_model: CostModel,
+        required_outputs: &[NodeId],
+    ) -> f64 {
+        let (dag, arch) = (instance.dag(), instance.arch());
+        self.evaluations += 1;
+        match self.path {
+            EvalPath::Incremental => {
+                self.arena.convert_assignment(
+                    dag,
+                    arch,
+                    procs,
+                    &self.policy,
+                    self.config,
+                    required_outputs,
+                    &mut self.schedule,
+                );
+                self.post
+                    .optimize(&mut self.schedule, dag, arch, cost_model, required_outputs)
+            }
+            EvalPath::Reference => {
+                let bsp = canonical_bsp(dag, arch, procs);
+                self.schedule = two_stage::reference::convert(
+                    dag,
+                    arch,
+                    &bsp,
+                    &self.policy,
+                    self.config,
+                    required_outputs,
+                );
+                reference_post_optimize(
+                    &mut self.schedule,
+                    dag,
+                    arch,
+                    cost_model,
+                    required_outputs,
+                );
+                cost_model.evaluate(&self.schedule, dag, arch)
+            }
+        }
+    }
+
+    /// Evaluates an explicit BSP scheduling result (used for the baseline's own
+    /// superstep structure, which the canonical reconstruction may not reproduce).
+    pub fn evaluate_bsp(
+        &mut self,
+        instance: &MbspInstance,
+        bsp: &BspSchedulingResult,
+        cost_model: CostModel,
+        required_outputs: &[NodeId],
+    ) -> f64 {
+        let (dag, arch) = (instance.dag(), instance.arch());
+        self.evaluations += 1;
+        match self.path {
+            EvalPath::Incremental => {
+                self.arena.convert(
+                    dag,
+                    arch,
+                    bsp,
+                    &self.policy,
+                    self.config,
+                    required_outputs,
+                    &mut self.schedule,
+                );
+                self.post
+                    .optimize(&mut self.schedule, dag, arch, cost_model, required_outputs)
+            }
+            EvalPath::Reference => {
+                self.schedule = two_stage::reference::convert(
+                    dag,
+                    arch,
+                    bsp,
+                    &self.policy,
+                    self.config,
+                    required_outputs,
+                );
+                reference_post_optimize(
+                    &mut self.schedule,
+                    dag,
+                    arch,
+                    cost_model,
+                    required_outputs,
+                );
+                cost_model.evaluate(&self.schedule, dag, arch)
+            }
+        }
+    }
+
+    /// The schedule produced by the most recent evaluation.
+    pub fn schedule(&self) -> &MbspSchedule {
+        &self.schedule
+    }
+}
+
+/// Statistics of one holistic search run, reported by
+/// [`crate::improver::HolisticScheduler::schedule_with_stats`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchStats {
+    /// Total candidate evaluations (incumbents, batch candidates and winner
+    /// re-evaluations).
+    pub evaluations: u64,
+    /// Number of completed search rounds.
+    pub rounds: usize,
+    /// Wall-clock time of the whole search.
+    pub elapsed: Duration,
+    /// Cost of the returned schedule under the configured cost model.
+    pub final_cost: f64,
+}
+
+/// Outcome of one round's batch evaluation: the winning candidate (if any
+/// candidate was evaluated before the deadline) and the number of evaluations.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOutcome {
+    /// `(cost, candidate index)` of the best candidate by the fixed tie-break
+    /// order (lowest cost first, then lowest index).
+    pub winner: Option<(f64, usize)>,
+    /// Candidate evaluations performed across all workers.
+    pub evaluations: u64,
+}
+
+/// Resolves the number of evaluation workers: an explicit positive `configured`
+/// wins; otherwise the `MBSP_BENCH_THREADS` environment variable; otherwise the
+/// machine's available parallelism. Always at least 1.
+pub fn resolve_workers(configured: usize) -> usize {
+    if configured >= 1 {
+        return configured;
+    }
+    let env = std::env::var("MBSP_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t >= 1);
+    env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Evaluates one round's batch of candidate moves against the base assignment,
+/// splitting the batch across the given engines on scoped worker threads (one
+/// engine per worker). Returns the winner by the fixed `(cost, index)` tie-break
+/// order, which makes the result independent of the worker count.
+///
+/// Workers stop evaluating once `deadline` has passed; candidates they skip are
+/// simply not considered (the same truncation the serial loop performed).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_moves(
+    engines: &mut [EvaluationEngine],
+    instance: &MbspInstance,
+    base_procs: &[ProcId],
+    moves: &[Move],
+    cost_model: CostModel,
+    required_outputs: &[NodeId],
+    deadline: Instant,
+) -> BatchOutcome {
+    if moves.is_empty() || engines.is_empty() {
+        return BatchOutcome {
+            winner: None,
+            evaluations: 0,
+        };
+    }
+    let workers = engines.len().min(moves.len());
+    let chunk_size = moves.len().div_ceil(workers);
+    if workers == 1 {
+        let (winner, evaluations) = evaluate_chunk(
+            &mut engines[0],
+            instance,
+            base_procs,
+            moves,
+            0,
+            cost_model,
+            required_outputs,
+            deadline,
+        );
+        return BatchOutcome {
+            winner,
+            evaluations,
+        };
+    }
+    let results: Vec<(Option<(f64, usize)>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = engines[..workers]
+            .iter_mut()
+            .zip(moves.chunks(chunk_size))
+            .enumerate()
+            .map(|(w, (engine, chunk))| {
+                let offset = w * chunk_size;
+                scope.spawn(move || {
+                    evaluate_chunk(
+                        engine,
+                        instance,
+                        base_procs,
+                        chunk,
+                        offset,
+                        cost_model,
+                        required_outputs,
+                        deadline,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    });
+    let mut winner: Option<(f64, usize)> = None;
+    let mut evaluations = 0u64;
+    for (local, evals) in results {
+        evaluations += evals;
+        if let Some((cost, idx)) = local {
+            winner = match winner {
+                None => Some((cost, idx)),
+                Some((bc, bi)) => {
+                    if cost.total_cmp(&bc).then(idx.cmp(&bi)).is_lt() {
+                        Some((cost, idx))
+                    } else {
+                        Some((bc, bi))
+                    }
+                }
+            };
+        }
+    }
+    BatchOutcome {
+        winner,
+        evaluations,
+    }
+}
+
+/// Evaluates a contiguous chunk of the round's candidates through one engine.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_chunk(
+    engine: &mut EvaluationEngine,
+    instance: &MbspInstance,
+    base_procs: &[ProcId],
+    moves: &[Move],
+    index_offset: usize,
+    cost_model: CostModel,
+    required_outputs: &[NodeId],
+    deadline: Instant,
+) -> (Option<(f64, usize)>, u64) {
+    let dag = instance.dag();
+    let mut best: Option<(f64, usize)> = None;
+    let mut evaluations = 0u64;
+    for (i, mv) in moves.iter().enumerate() {
+        if Instant::now() >= deadline {
+            break;
+        }
+        engine.procs_buf.clear();
+        engine.procs_buf.extend_from_slice(base_procs);
+        let mut procs = std::mem::take(&mut engine.procs_buf);
+        mv.apply(dag, &mut procs);
+        let cost = engine.evaluate_assignment(instance, &procs, cost_model, required_outputs);
+        engine.procs_buf = procs;
+        evaluations += 1;
+        let idx = index_offset + i;
+        best = match best {
+            None => Some((cost, idx)),
+            Some((bc, bi)) => {
+                if cost.total_cmp(&bc).then(idx.cmp(&bi)).is_lt() {
+                    Some((cost, idx))
+                } else {
+                    Some((bc, bi))
+                }
+            }
+        };
+    }
+    (best, evaluations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_model::Architecture;
+    use rand::SeedableRng;
+
+    fn instance() -> MbspInstance {
+        let named = mbsp_gen::tiny_dataset(42).remove(3);
+        MbspInstance::with_cache_factor(named.dag, Architecture::paper_default(0.0), 3.0)
+    }
+
+    #[test]
+    fn moves_apply_and_propose() {
+        let inst = instance();
+        let dag = inst.dag();
+        let n = dag.num_nodes();
+        let movable: Vec<NodeId> = dag.nodes().filter(|&v| !dag.is_source(v)).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut procs = vec![ProcId::new(0); n];
+        for i in 0..n {
+            procs[i] = ProcId::new(i % inst.arch().processors);
+        }
+        let mut proposed = 0;
+        for _ in 0..200 {
+            if let Some(mv) = Move::propose(dag, inst.arch(), &procs, &movable, &mut rng) {
+                proposed += 1;
+                let before = procs.clone();
+                mv.apply(dag, &mut procs);
+                assert_ne!(before, procs, "{mv:?} must change the assignment");
+            }
+        }
+        assert!(proposed > 50, "most draws should produce a real move");
+    }
+
+    #[test]
+    fn engine_and_reference_path_agree() {
+        let inst = instance();
+        let dag = inst.dag();
+        let n = dag.num_nodes();
+        let movable: Vec<NodeId> = dag.nodes().filter(|&v| !dag.is_source(v)).collect();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut incremental = EvaluationEngine::new(&inst, EvalPath::Incremental);
+        let mut reference = EvaluationEngine::new(&inst, EvalPath::Reference);
+        let mut procs: Vec<ProcId> = (0..n)
+            .map(|i| ProcId::new(i % inst.arch().processors))
+            .collect();
+        for _ in 0..12 {
+            if let Some(mv) = Move::propose(dag, inst.arch(), &procs, &movable, &mut rng) {
+                mv.apply(dag, &mut procs);
+            }
+            let a = incremental.evaluate_assignment(&inst, &procs, CostModel::Synchronous, &[]);
+            let b = reference.evaluate_assignment(&inst, &procs, CostModel::Synchronous, &[]);
+            assert!((a - b).abs() < 1e-9, "incremental {a} vs reference {b}");
+            assert_eq!(incremental.schedule(), reference.schedule());
+        }
+    }
+
+    #[test]
+    fn batch_winner_is_worker_count_independent() {
+        let inst = instance();
+        let dag = inst.dag();
+        let n = dag.num_nodes();
+        let movable: Vec<NodeId> = dag.nodes().filter(|&v| !dag.is_source(v)).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let procs: Vec<ProcId> = (0..n)
+            .map(|i| ProcId::new(i % inst.arch().processors))
+            .collect();
+        let mut moves = Vec::new();
+        while moves.len() < 24 {
+            if let Some(mv) = Move::propose(dag, inst.arch(), &procs, &movable, &mut rng) {
+                moves.push(mv);
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut winners = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let mut engines: Vec<EvaluationEngine> = (0..workers)
+                .map(|_| EvaluationEngine::new(&inst, EvalPath::Incremental))
+                .collect();
+            let outcome = evaluate_moves(
+                &mut engines,
+                &inst,
+                &procs,
+                &moves,
+                CostModel::Synchronous,
+                &[],
+                deadline,
+            );
+            assert_eq!(outcome.evaluations, moves.len() as u64);
+            winners.push(outcome.winner.expect("every candidate evaluated"));
+        }
+        assert_eq!(winners[0], winners[1]);
+        assert_eq!(winners[0], winners[2]);
+    }
+
+    #[test]
+    fn resolve_workers_is_at_least_one() {
+        assert_eq!(resolve_workers(3), 3);
+        assert!(resolve_workers(0) >= 1);
+    }
+
+    #[test]
+    fn resolve_workers_reads_the_bench_threads_env() {
+        // An explicit worker count always wins; `0` falls back to
+        // MBSP_BENCH_THREADS. Setting the variable is process-global, but every
+        // search in this test binary is deterministic for any worker count, so
+        // concurrently running tests are unaffected by the brief override.
+        std::env::set_var("MBSP_BENCH_THREADS", "2");
+        assert_eq!(resolve_workers(0), 2);
+        assert_eq!(resolve_workers(5), 5);
+        std::env::remove_var("MBSP_BENCH_THREADS");
+        assert!(resolve_workers(0) >= 1);
+    }
+}

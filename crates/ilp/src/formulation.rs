@@ -190,7 +190,12 @@ impl MbspIlpBuilder {
                     expr.add(save[pi][v_idx][t], 1.0);
                     expr.add(load[pi][v_idx][t], 1.0);
                 }
-                lp.add_constraint(format!("oneop_{pi}_{t}"), expr, ConstraintSense::LessEqual, 1.0);
+                lp.add_constraint(
+                    format!("oneop_{pi}_{t}"),
+                    expr,
+                    ConstraintSense::LessEqual,
+                    1.0,
+                );
             }
             // (7) memory bound at every step.
             for t in 0..=t_max {
@@ -210,7 +215,8 @@ impl MbspIlpBuilder {
             let v = NodeId::new(v_idx);
             // (5) hasblue_{t+1} <= hasblue_t + Σ_p save_t
             for t in 0..t_max {
-                let mut expr = LinExpr::term(hasblue[v_idx][t + 1], 1.0).plus(hasblue[v_idx][t], -1.0);
+                let mut expr =
+                    LinExpr::term(hasblue[v_idx][t + 1], 1.0).plus(hasblue[v_idx][t], -1.0);
                 for pi in 0..p {
                     expr.add(save[pi][v_idx][t], -1.0);
                 }
@@ -258,7 +264,8 @@ impl MbspIlpBuilder {
         for pi in 0..p {
             for t in 0..t_max {
                 // finishtime_{t+1} >= finishtime_t + cost of the operation at step t.
-                let mut expr = LinExpr::term(finishtime[pi][t + 1], 1.0).plus(finishtime[pi][t], -1.0);
+                let mut expr =
+                    LinExpr::term(finishtime[pi][t + 1], 1.0).plus(finishtime[pi][t], -1.0);
                 for v_idx in 0..n {
                     let v = NodeId::new(v_idx);
                     expr.add(compute[pi][v_idx][t], -dag.compute_weight(v));
@@ -354,7 +361,12 @@ impl MbspIlpBuilder {
         let mut red_off: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
         let mut cursor = 0usize;
         for step in schedule.supersteps() {
-            let c_max = step.procs.iter().map(|ph| ph.num_computes()).max().unwrap_or(0);
+            let c_max = step
+                .procs
+                .iter()
+                .map(|ph| ph.num_computes())
+                .max()
+                .unwrap_or(0);
             let s_max = step.procs.iter().map(|ph| ph.save.len()).max().unwrap_or(0);
             let l_max = step.procs.iter().map(|ph| ph.load.len()).max().unwrap_or(0);
             if cursor + c_max + s_max + l_max > t_max {
@@ -482,7 +494,12 @@ impl MbspIlpBuilder {
     /// Extracts a valid [`MbspSchedule`] from a MIP solution of this formulation.
     /// Every ILP time step becomes one superstep; implicit deletions are placed in
     /// the delete phase of the step where the red pebble disappears.
-    pub fn extract_schedule(&self, dag: &CompDag, arch: &Architecture, solution: &MipSolution) -> MbspSchedule {
+    pub fn extract_schedule(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        solution: &MipSolution,
+    ) -> MbspSchedule {
         let p = arch.processors;
         let n = dag.num_nodes();
         let values = &solution.values;
@@ -556,8 +573,8 @@ impl ExactIlpScheduler {
     ) -> Option<(MbspSchedule, MipStatus, f64)> {
         let builder = MbspIlpBuilder::build(instance, &self.config);
         let mut solver = BranchBoundSolver::with_limits(self.config.limits);
-        if let Some(ws) = warm
-            .and_then(|w| builder.warm_start_from_schedule(instance.dag(), instance.arch(), w))
+        if let Some(ws) =
+            warm.and_then(|w| builder.warm_start_from_schedule(instance.dag(), instance.arch(), w))
         {
             solver = solver.with_warm_start(ws);
         }
@@ -596,7 +613,11 @@ mod tests {
     #[test]
     fn exact_ilp_solves_a_two_node_instance_optimally() {
         let instance = path2_instance();
-        let config = IlpConfig { time_steps: 3, allow_recompute: true, limits: small_limits() };
+        let config = IlpConfig {
+            time_steps: 3,
+            allow_recompute: true,
+            limits: small_limits(),
+        };
         let (schedule, status, objective) = ExactIlpScheduler::with_config(config)
             .schedule(&instance)
             .expect("feasible");
@@ -612,22 +633,28 @@ mod tests {
     fn infeasible_when_too_few_time_steps() {
         let instance = path2_instance();
         // Two steps cannot hold load + compute + save.
-        let config = IlpConfig { time_steps: 2, allow_recompute: true, limits: small_limits() };
-        assert!(ExactIlpScheduler::with_config(config).schedule(&instance).is_none());
+        let config = IlpConfig {
+            time_steps: 2,
+            allow_recompute: true,
+            limits: small_limits(),
+        };
+        assert!(ExactIlpScheduler::with_config(config)
+            .schedule(&instance)
+            .is_none());
     }
 
     #[test]
     fn no_recompute_constraint_is_respected() {
         // A diamond where recomputation is possible but not necessary; with the
         // constraint enabled, every node is computed at most once.
-        let dag = CompDag::from_edges(
-            "d",
-            vec![NodeWeights::unit(); 3],
-            &[(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let dag =
+            CompDag::from_edges("d", vec![NodeWeights::unit(); 3], &[(0, 1), (1, 2)]).unwrap();
         let instance = MbspInstance::new(dag, Architecture::new(1, 3.0, 1.0, 0.0));
-        let config = IlpConfig { time_steps: 5, allow_recompute: false, limits: small_limits() };
+        let config = IlpConfig {
+            time_steps: 5,
+            allow_recompute: false,
+            limits: small_limits(),
+        };
         let (schedule, _, _) = ExactIlpScheduler::with_config(config)
             .schedule(&instance)
             .expect("feasible");
@@ -643,9 +670,14 @@ mod tests {
         use mbsp_model::ComputePhaseStep;
         let mut s = MbspSchedule::new(1);
         let p = ProcId::new(0);
-        s.push_empty_superstep().proc_mut(p).load.push(mbsp_dag::NodeId::new(0));
+        s.push_empty_superstep()
+            .proc_mut(p)
+            .load
+            .push(mbsp_dag::NodeId::new(0));
         let step = s.push_empty_superstep();
-        step.proc_mut(p).compute.push(ComputePhaseStep::Compute(mbsp_dag::NodeId::new(1)));
+        step.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Compute(mbsp_dag::NodeId::new(1)));
         step.proc_mut(p).save.push(mbsp_dag::NodeId::new(1));
         s
     }
@@ -653,7 +685,11 @@ mod tests {
     #[test]
     fn warm_start_encoding_is_feasible_and_matches_the_schedule_cost() {
         let instance = path2_instance();
-        let config = IlpConfig { time_steps: 3, allow_recompute: true, limits: small_limits() };
+        let config = IlpConfig {
+            time_steps: 3,
+            allow_recompute: true,
+            limits: small_limits(),
+        };
         let builder = MbspIlpBuilder::build(&instance, &config);
         let warm = path2_schedule();
         warm.validate(instance.dag(), instance.arch()).unwrap();
@@ -664,13 +700,20 @@ mod tests {
         // The encoded makespan equals the schedule's asynchronous cost.
         let makespan = values[builder.makespan.index()];
         let measured = async_cost(&warm, instance.dag(), instance.arch());
-        assert!((makespan - measured).abs() < 1e-6, "{makespan} vs {measured}");
+        assert!(
+            (makespan - measured).abs() < 1e-6,
+            "{makespan} vs {measured}"
+        );
     }
 
     #[test]
     fn warm_start_that_needs_too_many_steps_is_rejected() {
         let instance = path2_instance();
-        let config = IlpConfig { time_steps: 2, allow_recompute: true, limits: small_limits() };
+        let config = IlpConfig {
+            time_steps: 2,
+            allow_recompute: true,
+            limits: small_limits(),
+        };
         let builder = MbspIlpBuilder::build(&instance, &config);
         assert!(builder
             .warm_start_from_schedule(instance.dag(), instance.arch(), &path2_schedule())
@@ -680,7 +723,11 @@ mod tests {
     #[test]
     fn warm_started_exact_solve_matches_the_cold_solve() {
         let instance = path2_instance();
-        let config = IlpConfig { time_steps: 3, allow_recompute: true, limits: small_limits() };
+        let config = IlpConfig {
+            time_steps: 3,
+            allow_recompute: true,
+            limits: small_limits(),
+        };
         let scheduler = ExactIlpScheduler::with_config(config);
         let (_, cold_status, cold_obj) = scheduler.schedule(&instance).expect("feasible");
         let (schedule, status, objective) = scheduler
@@ -694,7 +741,10 @@ mod tests {
     #[test]
     fn formulation_size_scales_as_expected() {
         let instance = path2_instance();
-        let config = IlpConfig { time_steps: 4, ..Default::default() };
+        let config = IlpConfig {
+            time_steps: 4,
+            ..Default::default()
+        };
         let builder = MbspIlpBuilder::build(&instance, &config);
         // 2 nodes, 1 processor, 4 steps: 3·2·4 binary op vars + 2·5 red + 2·5 blue
         // + continuous finish/getsblue/makespan.

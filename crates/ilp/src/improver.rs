@@ -12,15 +12,25 @@
 //! paper's objective rather than a memory-oblivious proxy. A final post-optimisation
 //! pass merges adjacent supersteps and drops redundant I/O whenever that keeps the
 //! schedule valid and lowers the cost.
+//!
+//! Candidate evaluation goes through the [`crate::engine`] module: each round's
+//! batch of [`crate::engine::Move`]s is generated up front from the seeded RNG and
+//! evaluated in parallel (one [`crate::engine::EvaluationEngine`] — arena plus
+//! scratch buffers — per worker), with the round winner chosen by the fixed
+//! `(cost, candidate index)` tie-break so a fixed seed produces the same schedule
+//! for any worker count.
 
-use mbsp_cache::{ClairvoyantPolicy, TwoStageScheduler};
+use crate::engine::{
+    evaluate_moves, resolve_workers, EvalPath, EvaluationEngine, Move, SearchStats,
+};
 use mbsp_dag::{CompDag, NodeId, TopologicalOrder};
 use mbsp_model::{
-    Architecture, BspSchedule, CostModel, MbspInstance, MbspSchedule, ProcId, Superstep,
+    Architecture, BspSchedule, Configuration, CostModel, MbspInstance, MbspSchedule, ProcId,
+    ScheduleEvaluator, Superstep,
 };
 use mbsp_sched::BspSchedulingResult;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// Configuration of [`HolisticScheduler`].
@@ -35,8 +45,13 @@ pub struct HolisticConfig {
     pub moves_per_round: usize,
     /// Wall-clock time limit for the search.
     pub time_limit: Duration,
-    /// RNG seed (the search is fully deterministic for a fixed seed).
+    /// RNG seed (the search is fully deterministic for a fixed seed, for any
+    /// worker count, as long as the time limit does not truncate it).
     pub seed: u64,
+    /// Number of parallel evaluation workers. `0` (the default) resolves to the
+    /// `MBSP_BENCH_THREADS` environment variable, falling back to the machine's
+    /// available parallelism.
+    pub workers: usize,
 }
 
 impl Default for HolisticConfig {
@@ -47,6 +62,7 @@ impl Default for HolisticConfig {
             moves_per_round: 120,
             time_limit: Duration::from_secs(20),
             seed: 0x5EED,
+            workers: 0,
         }
     }
 }
@@ -71,7 +87,11 @@ impl HolisticScheduler {
     /// Improves on the given baseline scheduling result and returns the best MBSP
     /// schedule found. The result is always at least as good as the baseline
     /// conversion (the baseline itself is the starting incumbent).
-    pub fn schedule(&self, instance: &MbspInstance, baseline: &BspSchedulingResult) -> MbspSchedule {
+    pub fn schedule(
+        &self,
+        instance: &MbspInstance,
+        baseline: &BspSchedulingResult,
+    ) -> MbspSchedule {
         self.schedule_with_required_outputs(instance, baseline, &[])
     }
 
@@ -84,131 +104,103 @@ impl HolisticScheduler {
         baseline: &BspSchedulingResult,
         required_outputs: &[NodeId],
     ) -> MbspSchedule {
+        self.schedule_with_stats(instance, baseline, required_outputs, EvalPath::Incremental)
+            .0
+    }
+
+    /// Runs the search with an explicit evaluation path and reports statistics
+    /// (candidate evaluations, rounds, wall-clock). `EvalPath::Reference` selects
+    /// the pre-engine clone-and-recost machinery — the two paths are
+    /// operation-identical and exist side by side for differential testing and the
+    /// `bench_improver` throughput comparison.
+    pub fn schedule_with_stats(
+        &self,
+        instance: &MbspInstance,
+        baseline: &BspSchedulingResult,
+        required_outputs: &[NodeId],
+        path: EvalPath,
+    ) -> (MbspSchedule, SearchStats) {
         let dag = instance.dag();
         let arch = instance.arch();
-        let converter = TwoStageScheduler::new();
-        let policy = ClairvoyantPolicy::new();
+        let cost_model = self.config.cost_model;
         let start = Instant::now();
-
-        // Current search state: per-node processor assignment.
-        let mut procs: Vec<ProcId> = dag
-            .nodes()
-            .map(|v| baseline.schedule.proc_of(v))
+        let deadline = start + self.config.time_limit;
+        let workers = resolve_workers(self.config.workers);
+        let mut engines: Vec<EvaluationEngine> = (0..workers)
+            .map(|_| EvaluationEngine::new(instance, path))
             .collect();
 
-        let evaluate = |procs: &[ProcId]| -> (f64, MbspSchedule) {
-            let bsp = canonical_bsp(dag, arch, procs);
-            let mut mbsp =
-                converter.schedule_with_required_outputs(dag, arch, &bsp, &policy, required_outputs);
-            post_optimize(&mut mbsp, dag, arch, self.config.cost_model, required_outputs);
-            let cost = self.config.cost_model.evaluate(&mbsp, dag, arch);
-            (cost, mbsp)
-        };
+        // Current search state: per-node processor assignment.
+        let mut procs: Vec<ProcId> = dag.nodes().map(|v| baseline.schedule.proc_of(v)).collect();
 
-        let (mut best_cost, mut best_schedule) = evaluate(&procs);
+        let mut best_cost =
+            engines[0].evaluate_assignment(instance, &procs, cost_model, required_outputs);
+        let mut best_schedule = engines[0].schedule().clone();
         // Also consider the baseline's own superstep structure (not just the
         // canonical one) as a starting incumbent.
         {
-            let mut base = converter
-                .schedule_with_required_outputs(dag, arch, baseline, &policy, required_outputs);
-            post_optimize(&mut base, dag, arch, self.config.cost_model, required_outputs);
-            let cost = self.config.cost_model.evaluate(&base, dag, arch);
+            let cost = engines[0].evaluate_bsp(instance, baseline, cost_model, required_outputs);
             if cost < best_cost {
                 best_cost = cost;
-                best_schedule = base;
+                best_schedule = engines[0].schedule().clone();
             }
         }
 
         let movable: Vec<NodeId> = dag.nodes().filter(|&v| !dag.is_source(v)).collect();
-        if movable.is_empty() || arch.processors == 1 {
-            return best_schedule;
-        }
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut rounds = 0usize;
+        if !movable.is_empty() && arch.processors > 1 {
+            let mut rng = StdRng::seed_from_u64(self.config.seed);
+            let mut moves: Vec<Move> = Vec::with_capacity(self.config.moves_per_round);
 
-        for _round in 0..self.config.max_rounds {
-            if start.elapsed() >= self.config.time_limit {
-                break;
-            }
-            let mut improved = false;
-            for _ in 0..self.config.moves_per_round {
-                if start.elapsed() >= self.config.time_limit {
+            for _round in 0..self.config.max_rounds {
+                if Instant::now() >= deadline {
                     break;
                 }
-                let candidate = self.propose_move(dag, arch, &procs, &movable, &mut rng);
-                let Some(candidate) = candidate else { continue };
-                let (cost, schedule) = evaluate(&candidate);
-                if cost < best_cost - 1e-9 {
-                    best_cost = cost;
-                    best_schedule = schedule;
-                    procs = candidate;
-                    improved = true;
-                }
-            }
-            if !improved {
-                break;
-            }
-        }
-        best_schedule
-    }
-
-    /// Proposes a random neighbour of the current assignment.
-    fn propose_move(
-        &self,
-        dag: &CompDag,
-        arch: &Architecture,
-        procs: &[ProcId],
-        movable: &[NodeId],
-        rng: &mut StdRng,
-    ) -> Option<Vec<ProcId>> {
-        let p = arch.processors;
-        let mut candidate = procs.to_vec();
-        match rng.gen_range(0..3u32) {
-            0 => {
-                // Move a single node to a different processor.
-                let v = movable[rng.gen_range(0..movable.len())];
-                let new_proc = ProcId::new(rng.gen_range(0..p));
-                if candidate[v.index()] == new_proc {
-                    return None;
-                }
-                candidate[v.index()] = new_proc;
-            }
-            1 => {
-                // Move all children of a random node to one processor (targets the
-                // "assign all children of H1 to one processor" structure of
-                // Theorem 4.1).
-                let u = NodeId::new(rng.gen_range(0..dag.num_nodes()));
-                let children: Vec<NodeId> = dag
-                    .children(u)
-                    .iter()
-                    .copied()
-                    .filter(|c| !dag.is_source(*c))
-                    .collect();
-                if children.is_empty() {
-                    return None;
-                }
-                let new_proc = ProcId::new(rng.gen_range(0..p));
-                let mut changed = false;
-                for c in children {
-                    if candidate[c.index()] != new_proc {
-                        candidate[c.index()] = new_proc;
-                        changed = true;
+                // Candidates are generated up front from the seeded RNG, so the
+                // batch is identical for any worker count.
+                moves.clear();
+                for _ in 0..self.config.moves_per_round {
+                    if let Some(mv) = Move::propose(dag, arch, &procs, &movable, &mut rng) {
+                        moves.push(mv);
                     }
                 }
-                if !changed {
-                    return None;
+                let outcome = evaluate_moves(
+                    &mut engines,
+                    instance,
+                    &procs,
+                    &moves,
+                    cost_model,
+                    required_outputs,
+                    deadline,
+                );
+                rounds += 1;
+                let Some((cost, idx)) = outcome.winner else {
+                    break;
+                };
+                if cost < best_cost - 1e-9 {
+                    moves[idx].apply(dag, &mut procs);
+                    // Re-evaluate the winner through worker 0 to materialise its
+                    // schedule (workers only report costs).
+                    best_cost = engines[0].evaluate_assignment(
+                        instance,
+                        &procs,
+                        cost_model,
+                        required_outputs,
+                    );
+                    best_schedule = engines[0].schedule().clone();
+                } else {
+                    break;
                 }
-            }
-            _ => {
-                // Swap the processors of two nodes.
-                let a = movable[rng.gen_range(0..movable.len())];
-                let b = movable[rng.gen_range(0..movable.len())];
-                if a == b || candidate[a.index()] == candidate[b.index()] {
-                    return None;
-                }
-                candidate.swap(a.index(), b.index());
             }
         }
-        Some(candidate)
+
+        let stats = SearchStats {
+            evaluations: engines.iter().map(|e| e.evaluations).sum(),
+            rounds,
+            elapsed: start.elapsed(),
+            final_cost: best_cost,
+        };
+        (best_schedule, stats)
     }
 }
 
@@ -216,6 +208,10 @@ impl HolisticScheduler {
 /// order hint) from a per-node processor assignment: in topological order, a node's
 /// superstep is the smallest one compatible with its parents (same superstep on the
 /// same processor, strictly later across processors).
+///
+/// The arena path (`mbsp_cache::ConversionArena::convert_assignment`) derives the
+/// same structure without materialising the schedule; this function remains the
+/// reference construction and is used by the explicit-BSP paths.
 pub fn canonical_bsp(dag: &CompDag, arch: &Architecture, procs: &[ProcId]) -> BspSchedulingResult {
     let topo = TopologicalOrder::of(dag);
     let n = dag.num_nodes();
@@ -244,9 +240,7 @@ pub fn canonical_bsp(dag: &CompDag, arch: &Architecture, procs: &[ProcId]) -> Bs
         }
         order.push(v);
     }
-    let assignment: Vec<(ProcId, usize)> = (0..n)
-        .map(|i| (procs[i], superstep[i]))
-        .collect();
+    let assignment: Vec<(ProcId, usize)> = (0..n).map(|i| (procs[i], superstep[i])).collect();
     let mut schedule = BspSchedule::new(arch.processors, assignment);
     schedule.compact_supersteps();
     // Re-read the (compacted) supersteps for the order: sort by (superstep, topo pos).
@@ -267,7 +261,25 @@ pub fn canonical_bsp(dag: &CompDag, arch: &Architecture, procs: &[ProcId]) -> Bs
 /// 2. drops save operations whose value is never loaded later and is not a sink
 ///    (redundant persistence);
 /// 3. removes empty supersteps.
+///
+/// This convenience wrapper allocates its scratch state per call; evaluation loops
+/// should hold an [`crate::engine::EvaluationEngine`], whose [`PostOptimizer`]
+/// reuses every buffer across candidates.
 pub fn post_optimize(
+    schedule: &mut MbspSchedule,
+    dag: &CompDag,
+    arch: &Architecture,
+    cost_model: CostModel,
+    required_outputs: &[NodeId],
+) {
+    PostOptimizer::new(dag, arch).optimize(schedule, dag, arch, cost_model, required_outputs);
+}
+
+/// The pre-engine post-optimisation pass, kept verbatim as the differential
+/// oracle and the `bench_improver` baseline: every merge candidate materialises a
+/// folded copy of the whole schedule and validates it from scratch, and the final
+/// cost requires a separate full re-cost by the caller.
+pub(crate) fn reference_post_optimize(
     schedule: &mut MbspSchedule,
     dag: &CompDag,
     arch: &Architecture,
@@ -276,19 +288,327 @@ pub fn post_optimize(
 ) {
     remove_redundant_saves(schedule, dag, required_outputs);
     schedule.remove_empty_supersteps();
-    merge_supersteps(schedule, dag, arch, cost_model);
+    reference_merge_supersteps(schedule, dag, arch, cost_model);
+}
+
+/// Reusable scratch state for [`PostOptimizer::optimize`]: a scratch schedule, the
+/// incremental cost evaluator, three pebbling configurations for the incremental
+/// merge-validity check, and the redundant-save buffers. One instance serves an
+/// entire candidate-evaluation loop without allocating.
+#[derive(Debug)]
+pub struct PostOptimizer {
+    scratch: MbspSchedule,
+    evaluator: ScheduleEvaluator,
+    /// Configuration after supersteps `0..k` of the current schedule (the merge
+    /// loop's cursor state).
+    prefix: Configuration,
+    /// Trial configuration for simulating a candidate fold.
+    trial: Configuration,
+    /// Configuration after supersteps `0..k + 2` of the *unfolded* schedule, used
+    /// for the exact fast-accept check.
+    unfolded: Configuration,
+    required: Vec<bool>,
+    last_load: Vec<Option<usize>>,
+}
+
+impl PostOptimizer {
+    /// Allocates the scratch state for one `(dag, arch)` instance.
+    pub fn new(dag: &CompDag, arch: &Architecture) -> Self {
+        PostOptimizer {
+            scratch: MbspSchedule::new(arch.processors),
+            evaluator: ScheduleEvaluator::new(arch),
+            prefix: Configuration::initial(dag, arch),
+            trial: Configuration::initial(dag, arch),
+            unfolded: Configuration::initial(dag, arch),
+            required: vec![false; dag.num_nodes()],
+            last_load: vec![None; dag.num_nodes()],
+        }
+    }
+
+    /// Runs the full post-optimisation pass (redundant-save removal, empty-step
+    /// removal, greedy superstep merging) and returns the cost of the optimised
+    /// schedule under `cost_model` — for the synchronous model it falls out of the
+    /// incremental evaluator for free, so callers need no extra re-cost pass.
+    pub fn optimize(
+        &mut self,
+        schedule: &mut MbspSchedule,
+        dag: &CompDag,
+        arch: &Architecture,
+        cost_model: CostModel,
+        required_outputs: &[NodeId],
+    ) -> f64 {
+        self.required.fill(false);
+        self.last_load.fill(None);
+        remove_redundant_saves_into(
+            schedule,
+            dag,
+            required_outputs,
+            &mut self.required,
+            &mut self.last_load,
+        );
+        schedule.remove_empty_supersteps();
+        self.merge_supersteps(schedule, dag, arch, cost_model)
+    }
+
+    /// Greedily merges adjacent supersteps whenever the merged schedule remains
+    /// valid and its cost does not increase; returns the final cost.
+    ///
+    /// Under the synchronous model neither side of the decision re-costs the
+    /// whole schedule: the cost side is an `O(P)` delta from the
+    /// [`ScheduleEvaluator`] (per-superstep phase costs add up, maxima are
+    /// re-taken, one latency `L` is saved), and the validity side simulates only
+    /// the two folded supersteps on top of a cached prefix configuration. When
+    /// the configuration after the merged step is identical to the configuration
+    /// after the original pair — the common case, checked exactly — the suffix of
+    /// the schedule cannot be affected and is not re-simulated at all; otherwise
+    /// the check falls back to simulating the suffix, which is still
+    /// allocation-free. The asynchronous makespan has no per-superstep
+    /// decomposition, so that model keeps the full re-evaluation through the
+    /// scratch schedule.
+    fn merge_supersteps(
+        &mut self,
+        schedule: &mut MbspSchedule,
+        dag: &CompDag,
+        arch: &Architecture,
+        cost_model: CostModel,
+    ) -> f64 {
+        match cost_model {
+            CostModel::Synchronous => {
+                self.evaluator.rebuild(schedule, dag);
+                self.prefix.reset_initial(dag);
+                let mut k = 0usize;
+                while k + 1 < schedule.num_supersteps() {
+                    // Cost of the two steps separately vs merged; all other
+                    // supersteps are untouched by the fold.
+                    if self.evaluator.merged_cost(k) <= self.evaluator.separate_cost(k) + 1e-9
+                        && self.try_fold(schedule, dag, arch, k)
+                    {
+                        fold_superstep(schedule, k);
+                        self.evaluator.apply_merge(k);
+                        // Stay at the same index: further merges may now be possible.
+                        continue;
+                    }
+                    apply_step_unchecked(&mut self.prefix, &schedule.supersteps()[k], dag);
+                    k += 1;
+                }
+                self.evaluator.total()
+            }
+            CostModel::Asynchronous => {
+                let mut current_cost = cost_model.evaluate(schedule, dag, arch);
+                let mut k = 0usize;
+                while k + 1 < schedule.num_supersteps() {
+                    copy_schedule_into(&mut self.scratch, schedule);
+                    fold_superstep(&mut self.scratch, k);
+                    if self.scratch.validate(dag, arch).is_ok() {
+                        let cost = cost_model.evaluate(&self.scratch, dag, arch);
+                        if cost <= current_cost + 1e-9 {
+                            std::mem::swap(schedule, &mut self.scratch);
+                            current_cost = cost;
+                            continue;
+                        }
+                    }
+                    k += 1;
+                }
+                current_cost
+            }
+        }
+    }
+
+    /// Decides whether folding superstep `k + 1` into `k` keeps the schedule
+    /// valid, with exactly the same outcome as validating the folded schedule
+    /// from scratch (the supersteps before `k` are untouched by the fold, so
+    /// their simulation is the cached `prefix`).
+    fn try_fold(
+        &mut self,
+        schedule: &MbspSchedule,
+        dag: &CompDag,
+        arch: &Architecture,
+        k: usize,
+    ) -> bool {
+        let steps = schedule.supersteps();
+        let p = schedule.processors();
+        self.trial.copy_from(&self.prefix);
+        // Simulate the merged superstep with full precondition checks, in
+        // validation order: the compute phases of every processor, then the save,
+        // delete and load phases (each processor's folded phase list is the
+        // concatenation of its step-k and step-k+1 lists).
+        for pi in 0..p {
+            let proc = ProcId::new(pi);
+            for phases in [&steps[k].procs[pi], &steps[k + 1].procs[pi]] {
+                for &c in &phases.compute {
+                    let ok = match c {
+                        mbsp_model::ComputePhaseStep::Compute(v) => {
+                            self.trial.try_compute(dag, arch, proc, v)
+                        }
+                        mbsp_model::ComputePhaseStep::Delete(v) => {
+                            self.trial.try_delete(dag, proc, v)
+                        }
+                    };
+                    if !ok {
+                        return false;
+                    }
+                }
+            }
+        }
+        for pi in 0..p {
+            let proc = ProcId::new(pi);
+            for phases in [&steps[k].procs[pi], &steps[k + 1].procs[pi]] {
+                for &v in &phases.save {
+                    if !self.trial.try_save(proc, v) {
+                        return false;
+                    }
+                }
+            }
+        }
+        for pi in 0..p {
+            let proc = ProcId::new(pi);
+            for phases in [&steps[k].procs[pi], &steps[k + 1].procs[pi]] {
+                for &v in &phases.delete {
+                    if !self.trial.try_delete(dag, proc, v) {
+                        return false;
+                    }
+                }
+            }
+        }
+        for pi in 0..p {
+            let proc = ProcId::new(pi);
+            for phases in [&steps[k].procs[pi], &steps[k + 1].procs[pi]] {
+                for &v in &phases.load {
+                    if !self.trial.try_load(dag, arch, proc, v) {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Fast accept: if the configuration after the merged step equals the
+        // configuration after the original pair (compared exactly, floats
+        // included), the remaining supersteps see an identical state and stay
+        // valid because the current schedule is valid.
+        self.unfolded.copy_from(&self.prefix);
+        apply_step_unchecked(&mut self.unfolded, &steps[k], dag);
+        apply_step_unchecked(&mut self.unfolded, &steps[k + 1], dag);
+        if self.trial == self.unfolded {
+            return true;
+        }
+        // Rare slow path: the fold reordered a delete/load pair and changed the
+        // state, so re-simulate the suffix (still allocation-free) and re-check
+        // the terminal condition.
+        for step in &steps[k + 2..] {
+            if !apply_step_checked(&mut self.trial, step, dag, arch) {
+                return false;
+            }
+        }
+        dag.sinks().iter().all(|&v| self.trial.has_blue(v))
+    }
+}
+
+/// Applies every operation of `step` to `cfg` without precondition checks (the
+/// step is known to be valid from this state).
+fn apply_step_unchecked(cfg: &mut Configuration, step: &Superstep, dag: &CompDag) {
+    for (pi, phases) in step.procs.iter().enumerate() {
+        let proc = ProcId::new(pi);
+        for &c in &phases.compute {
+            match c {
+                mbsp_model::ComputePhaseStep::Compute(v) => cfg.place_red_unchecked(dag, proc, v),
+                mbsp_model::ComputePhaseStep::Delete(v) => cfg.remove_red_unchecked(dag, proc, v),
+            }
+        }
+    }
+    for phases in &step.procs {
+        for &v in &phases.save {
+            cfg.place_blue_unchecked(v);
+        }
+    }
+    for (pi, phases) in step.procs.iter().enumerate() {
+        let proc = ProcId::new(pi);
+        for &v in &phases.delete {
+            cfg.remove_red_unchecked(dag, proc, v);
+        }
+    }
+    for (pi, phases) in step.procs.iter().enumerate() {
+        let proc = ProcId::new(pi);
+        for &v in &phases.load {
+            cfg.place_red_unchecked(dag, proc, v);
+        }
+    }
+}
+
+/// Applies every operation of `step` to `cfg` with full precondition checks;
+/// returns false on the first violation (mirroring schedule validation).
+fn apply_step_checked(
+    cfg: &mut Configuration,
+    step: &Superstep,
+    dag: &CompDag,
+    arch: &Architecture,
+) -> bool {
+    for (pi, phases) in step.procs.iter().enumerate() {
+        let proc = ProcId::new(pi);
+        for &c in &phases.compute {
+            let ok = match c {
+                mbsp_model::ComputePhaseStep::Compute(v) => cfg.try_compute(dag, arch, proc, v),
+                mbsp_model::ComputePhaseStep::Delete(v) => cfg.try_delete(dag, proc, v),
+            };
+            if !ok {
+                return false;
+            }
+        }
+    }
+    for (pi, phases) in step.procs.iter().enumerate() {
+        let proc = ProcId::new(pi);
+        for &v in &phases.save {
+            if !cfg.try_save(proc, v) {
+                return false;
+            }
+        }
+    }
+    for (pi, phases) in step.procs.iter().enumerate() {
+        let proc = ProcId::new(pi);
+        for &v in &phases.delete {
+            if !cfg.try_delete(dag, proc, v) {
+                return false;
+            }
+        }
+    }
+    for (pi, phases) in step.procs.iter().enumerate() {
+        let proc = ProcId::new(pi);
+        for &v in &phases.load {
+            if !cfg.try_load(dag, arch, proc, v) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Drops save operations for values that are neither sinks nor ever loaded later in
-/// the schedule.
+/// the schedule (allocating variant used by the reference path).
 fn remove_redundant_saves(schedule: &mut MbspSchedule, dag: &CompDag, required_outputs: &[NodeId]) {
     let n = dag.num_nodes();
     let mut required = vec![false; n];
+    let mut last_load = vec![None::<usize>; n];
+    remove_redundant_saves_into(
+        schedule,
+        dag,
+        required_outputs,
+        &mut required,
+        &mut last_load,
+    );
+}
+
+/// Drops save operations for values that are neither sinks nor ever loaded later
+/// in the schedule, using caller-provided buffers (`required` all-false,
+/// `last_load` all-`None` on entry).
+fn remove_redundant_saves_into(
+    schedule: &mut MbspSchedule,
+    dag: &CompDag,
+    required_outputs: &[NodeId],
+    required: &mut [bool],
+    last_load: &mut [Option<usize>],
+) {
     for &v in required_outputs {
         required[v.index()] = true;
     }
     // For each node, the last superstep in which it is loaded by anyone.
-    let mut last_load = vec![None::<usize>; n];
     for (s, step) in schedule.supersteps().iter().enumerate() {
         for phases in &step.procs {
             for &v in &phases.load {
@@ -303,27 +623,17 @@ fn remove_redundant_saves(schedule: &mut MbspSchedule, dag: &CompDag, required_o
             phases.save.retain(|&v| {
                 dag.is_sink(v)
                     || required[v.index()]
-                    || last_load[v.index()].map_or(false, |l| l >= s)
+                    || last_load[v.index()].is_some_and(|l| l >= s)
             });
         }
     }
 }
 
-/// Greedily merges adjacent supersteps whenever the merged schedule remains valid
-/// and its cost does not increase.
-///
-/// Candidate merges are *not* evaluated by re-costing the whole schedule: under
-/// the synchronous model the cost is a sum of per-superstep terms, so folding
-/// superstep `k + 1` into `k` only changes those two terms (per-processor phase
-/// costs add up, the per-step maxima are re-taken, and one latency `L` is
-/// saved). The per-superstep, per-processor phase costs are computed once and
-/// patched after every accepted merge, turning each candidate evaluation into
-/// an `O(P)` delta. Candidate *construction* (needed for the validity check,
-/// which genuinely depends on the whole prefix) reuses one scratch schedule
-/// buffer instead of allocating a fresh clone per candidate. The asynchronous
-/// makespan has no per-superstep decomposition, so that model keeps the full
-/// re-evaluation (still through the scratch buffer).
-fn merge_supersteps(
+/// The pre-engine greedy superstep merging (PR 2 behaviour), kept verbatim as the
+/// reference path: per-superstep phase costs are built afresh per call, every
+/// accepted candidate is validated by simulating the whole folded schedule, and
+/// candidate construction goes through a scratch clone.
+fn reference_merge_supersteps(
     schedule: &mut MbspSchedule,
     dag: &CompDag,
     arch: &Architecture,
@@ -339,8 +649,18 @@ fn merge_supersteps(
             let mut load: Vec<Vec<f64>> = Vec::with_capacity(schedule.num_supersteps());
             for step in schedule.supersteps() {
                 comp.push(step.procs.iter().map(|ph| ph.compute_cost(dag)).collect());
-                save.push(step.procs.iter().map(|ph| ph.save_cost(dag, arch.g)).collect());
-                load.push(step.procs.iter().map(|ph| ph.load_cost(dag, arch.g)).collect());
+                save.push(
+                    step.procs
+                        .iter()
+                        .map(|ph| ph.save_cost(dag, arch.g))
+                        .collect(),
+                );
+                load.push(
+                    step.procs
+                        .iter()
+                        .map(|ph| ph.load_cost(dag, arch.g))
+                        .collect(),
+                );
             }
             let maxima = |row: &[f64]| row.iter().copied().fold(0.0f64, f64::max);
             let mut k = 0usize;
@@ -354,12 +674,15 @@ fn merge_supersteps(
                     + maxima(&save[k + 1])
                     + maxima(&load[k + 1])
                     + arch.latency;
-                let merged_comp =
-                    (0..p).map(|pi| comp[k][pi] + comp[k + 1][pi]).fold(0.0f64, f64::max);
-                let merged_save =
-                    (0..p).map(|pi| save[k][pi] + save[k + 1][pi]).fold(0.0f64, f64::max);
-                let merged_load =
-                    (0..p).map(|pi| load[k][pi] + load[k + 1][pi]).fold(0.0f64, f64::max);
+                let merged_comp = (0..p)
+                    .map(|pi| comp[k][pi] + comp[k + 1][pi])
+                    .fold(0.0f64, f64::max);
+                let merged_save = (0..p)
+                    .map(|pi| save[k][pi] + save[k + 1][pi])
+                    .fold(0.0f64, f64::max);
+                let merged_load = (0..p)
+                    .map(|pi| load[k][pi] + load[k + 1][pi])
+                    .fold(0.0f64, f64::max);
                 let merged = merged_comp + merged_save + merged_load;
                 if merged <= separate + 1e-9 {
                     copy_schedule_into(&mut scratch, schedule);
@@ -499,13 +822,69 @@ mod tests {
             let baseline = greedy.schedule(inst.dag(), inst.arch());
             let base_mbsp = converter.schedule(inst.dag(), inst.arch(), &baseline, &policy);
             let base_cost = sync_cost(&base_mbsp, inst.dag(), inst.arch()).total;
-            let improved_cost =
-                sync_cost(&holistic.schedule(&inst, &baseline), inst.dag(), inst.arch()).total;
+            let improved_cost = sync_cost(
+                &holistic.schedule(&inst, &baseline),
+                inst.dag(),
+                inst.arch(),
+            )
+            .total;
             if improved_cost < base_cost - 1e-9 {
                 improved_any = true;
             }
         }
-        assert!(improved_any, "the holistic scheduler should beat the baseline somewhere");
+        assert!(
+            improved_any,
+            "the holistic scheduler should beat the baseline somewhere"
+        );
+    }
+
+    #[test]
+    fn holistic_search_is_deterministic_across_worker_counts() {
+        // Same seed ⇒ identical schedule, whether candidates are evaluated by one
+        // worker or by several (the time limit is generous enough not to truncate).
+        let greedy = GreedyBspScheduler::new();
+        for inst in tiny_instances(3) {
+            let baseline = greedy.schedule(inst.dag(), inst.arch());
+            let mut schedules = Vec::new();
+            for workers in [1usize, 4] {
+                let holistic = HolisticScheduler::with_config(HolisticConfig {
+                    max_rounds: 4,
+                    moves_per_round: 24,
+                    time_limit: Duration::from_secs(60),
+                    workers,
+                    ..Default::default()
+                });
+                schedules.push(holistic.schedule(&inst, &baseline));
+            }
+            assert_eq!(
+                schedules[0],
+                schedules[1],
+                "{}: 1-worker and 4-worker searches diverged",
+                inst.name()
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_and_reference_paths_agree_end_to_end() {
+        let greedy = GreedyBspScheduler::new();
+        let config = HolisticConfig {
+            max_rounds: 3,
+            moves_per_round: 16,
+            time_limit: Duration::from_secs(60),
+            workers: 1,
+            ..Default::default()
+        };
+        let holistic = HolisticScheduler::with_config(config);
+        for inst in tiny_instances(3) {
+            let baseline = greedy.schedule(inst.dag(), inst.arch());
+            let (fast, fast_stats) =
+                holistic.schedule_with_stats(&inst, &baseline, &[], EvalPath::Incremental);
+            let (slow, slow_stats) =
+                holistic.schedule_with_stats(&inst, &baseline, &[], EvalPath::Reference);
+            assert_eq!(fast, slow, "{}: evaluation paths diverged", inst.name());
+            assert_eq!(fast_stats.evaluations, slow_stats.evaluations);
+        }
     }
 
     #[test]
@@ -522,8 +901,12 @@ mod tests {
             let result = canonical_bsp(inst.dag(), inst.arch(), &procs);
             result.schedule.validate(inst.dag()).unwrap();
             // Order hint is topological.
-            let pos: std::collections::HashMap<_, _> =
-                result.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            let pos: std::collections::HashMap<_, _> = result
+                .order
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i))
+                .collect();
             for (u, v) in inst.dag().edges() {
                 assert!(pos[&u] < pos[&v]);
             }
@@ -539,10 +922,59 @@ mod tests {
             let baseline = greedy.schedule(inst.dag(), inst.arch());
             let mut schedule = converter.schedule(inst.dag(), inst.arch(), &baseline, &policy);
             let before = sync_cost(&schedule, inst.dag(), inst.arch()).total;
-            post_optimize(&mut schedule, inst.dag(), inst.arch(), CostModel::Synchronous, &[]);
+            post_optimize(
+                &mut schedule,
+                inst.dag(),
+                inst.arch(),
+                CostModel::Synchronous,
+                &[],
+            );
             schedule.validate(inst.dag(), inst.arch()).unwrap();
             let after = sync_cost(&schedule, inst.dag(), inst.arch()).total;
             assert!(after <= before + 1e-9);
+        }
+    }
+
+    #[test]
+    fn post_optimizer_reports_the_final_cost() {
+        let greedy = GreedyBspScheduler::new();
+        let converter = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        for inst in tiny_instances(4) {
+            let mut post = PostOptimizer::new(inst.dag(), inst.arch());
+            for cost_model in [CostModel::Synchronous, CostModel::Asynchronous] {
+                let baseline = greedy.schedule(inst.dag(), inst.arch());
+                let mut schedule = converter.schedule(inst.dag(), inst.arch(), &baseline, &policy);
+                let reported =
+                    post.optimize(&mut schedule, inst.dag(), inst.arch(), cost_model, &[]);
+                let full = cost_model.evaluate(&schedule, inst.dag(), inst.arch());
+                assert!(
+                    (reported - full).abs() < 1e-9,
+                    "{} {cost_model}: reported {reported} vs full {full}",
+                    inst.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fast_post_optimize_matches_the_reference_pass() {
+        // The incremental merge (prefix-cached validity, evaluator cost deltas)
+        // must take exactly the same accept/reject decisions as the reference
+        // pass, so the optimised schedules are equal — not just equal in cost.
+        let greedy = GreedyBspScheduler::new();
+        let converter = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        for inst in tiny_instances(6) {
+            for cost_model in [CostModel::Synchronous, CostModel::Asynchronous] {
+                let baseline = greedy.schedule(inst.dag(), inst.arch());
+                let schedule = converter.schedule(inst.dag(), inst.arch(), &baseline, &policy);
+                let mut fast = schedule.clone();
+                post_optimize(&mut fast, inst.dag(), inst.arch(), cost_model, &[]);
+                let mut reference = schedule;
+                reference_post_optimize(&mut reference, inst.dag(), inst.arch(), cost_model, &[]);
+                assert_eq!(fast, reference, "{} {cost_model}", inst.name());
+            }
         }
     }
 
@@ -576,7 +1008,12 @@ mod tests {
             let mut reference = schedule.clone();
             naive_merge(&mut reference, inst.dag(), inst.arch());
             let mut incremental = schedule.clone();
-            merge_supersteps(&mut incremental, inst.dag(), inst.arch(), CostModel::Synchronous);
+            PostOptimizer::new(inst.dag(), inst.arch()).merge_supersteps(
+                &mut incremental,
+                inst.dag(),
+                inst.arch(),
+                CostModel::Synchronous,
+            );
             let ref_cost = sync_cost(&reference, inst.dag(), inst.arch()).total;
             let inc_cost = sync_cost(&incremental, inst.dag(), inst.arch()).total;
             assert!(

@@ -16,6 +16,13 @@
 //!   evaluating every candidate with the *true* MBSP cost (including cache-miss I/O)
 //!   and post-optimising the resulting schedule (superstep merging, redundant-I/O
 //!   removal). See DESIGN.md, substitution 1.
+//! * [`engine`] — the candidate-evaluation engine behind the holistic search:
+//!   first-class [`engine::Move`]s, per-worker [`engine::EvaluationEngine`]s
+//!   (arena-backed conversion via `mbsp_cache::ConversionArena` plus incremental
+//!   cost deltas via `mbsp_model::ScheduleEvaluator`), and deterministic parallel
+//!   batch evaluation. The pre-engine clone-and-recost machinery survives as
+//!   [`engine::EvalPath::Reference`], the differential oracle mirroring
+//!   `lp_solver`'s `dense::` pattern.
 //! * [`bsp_opt`] — a BSP-cost optimiser used as the stronger "ILP-based BSP
 //!   scheduler" baseline of Table 3.
 //! * [`partition_ilp`] — the ILP formulation of acyclic bipartitioning used by the
@@ -26,12 +33,14 @@
 
 pub mod bsp_opt;
 pub mod dnc;
+pub mod engine;
 pub mod formulation;
 pub mod improver;
 pub mod partition_ilp;
 
 pub use bsp_opt::BspIlpScheduler;
 pub use dnc::{DivideAndConquerConfig, DivideAndConquerScheduler};
+pub use engine::{EvalPath, EvaluationEngine, Move, SearchStats};
 pub use formulation::{ExactIlpScheduler, IlpConfig, MbspIlpBuilder};
 pub use improver::{HolisticConfig, HolisticScheduler};
 pub use partition_ilp::{bipartition, bipartition_model, BipartitionConfig};

@@ -56,7 +56,9 @@ pub fn bipartition_model(dag: &CompDag, min_fraction: f64) -> (LpProblem, Vec<f6
     let n = dag.num_nodes();
     let fallback = prefix_split(dag);
     let mut problem = LpProblem::new();
-    let xs: Vec<_> = (0..n).map(|i| problem.add_binary(format!("x{i}"), 0.0)).collect();
+    let xs: Vec<_> = (0..n)
+        .map(|i| problem.add_binary(format!("x{i}"), 0.0))
+        .collect();
     for (e, (u, v)) in dag.edges().enumerate() {
         // Cut indicator y_e >= x_v - x_u (continuous is enough: the objective pushes
         // it to the lower bound).
@@ -83,8 +85,18 @@ pub fn bipartition_model(dag: &CompDag, min_fraction: f64) -> (LpProblem, Vec<f6
     for &x in &xs {
         size_expr.add(x, 1.0);
     }
-    problem.add_constraint("balance_lo", size_expr.clone(), ConstraintSense::GreaterEqual, min_nodes);
-    problem.add_constraint("balance_hi", size_expr, ConstraintSense::LessEqual, max_nodes);
+    problem.add_constraint(
+        "balance_lo",
+        size_expr.clone(),
+        ConstraintSense::GreaterEqual,
+        min_nodes,
+    );
+    problem.add_constraint(
+        "balance_hi",
+        size_expr,
+        ConstraintSense::LessEqual,
+        max_nodes,
+    );
 
     // Warm start from the fallback split.
     let mut warm = vec![0.0; problem.num_variables()];
@@ -171,7 +183,7 @@ pub fn recursive_partition(
         }
         // Guard against a degenerate split that made no progress.
         let new_sizes = partition.part_sizes();
-        if new_sizes.iter().any(|&s| s == 0) || new_sizes == sizes {
+        if new_sizes.contains(&0) || new_sizes == sizes {
             break;
         }
     }
@@ -186,7 +198,11 @@ mod tests {
     #[test]
     fn bipartition_of_a_layered_dag_is_balanced_and_acyclic() {
         let dag = random_layered_dag(
-            &RandomDagConfig { layers: 6, width: 8, ..Default::default() },
+            &RandomDagConfig {
+                layers: 6,
+                width: 8,
+                ..Default::default()
+            },
             1,
         );
         let part = bipartition(&dag, &BipartitionConfig::default());
@@ -200,7 +216,12 @@ mod tests {
     #[test]
     fn ilp_cut_is_not_worse_than_the_prefix_split() {
         let dag = random_layered_dag(
-            &RandomDagConfig { layers: 5, width: 6, edge_probability: 0.3, ..Default::default() },
+            &RandomDagConfig {
+                layers: 5,
+                width: 6,
+                edge_probability: 0.3,
+                ..Default::default()
+            },
             7,
         );
         let cfg = BipartitionConfig::default();
@@ -223,7 +244,11 @@ mod tests {
     #[test]
     fn recursive_partition_respects_the_size_limit() {
         let dag = random_layered_dag(
-            &RandomDagConfig { layers: 8, width: 8, ..Default::default() },
+            &RandomDagConfig {
+                layers: 8,
+                width: 8,
+                ..Default::default()
+            },
             3,
         );
         let part = recursive_partition(&dag, 20, &BipartitionConfig::default());

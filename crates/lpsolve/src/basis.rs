@@ -117,8 +117,12 @@ impl Factorization {
                     continue;
                 }
                 // Split borrows: lcols[kk] is only read, work/mark/touched written.
-                let (lcol, work, mark, touched) =
-                    (&self.lcols[kk], &mut self.work, &mut self.mark, &mut self.touched);
+                let (lcol, work, mark, touched) = (
+                    &self.lcols[kk],
+                    &mut self.work,
+                    &mut self.mark,
+                    &mut self.touched,
+                );
                 for &(r, lv) in lcol {
                     if !mark[r] {
                         mark[r] = true;
@@ -137,9 +141,7 @@ impl Factorization {
                     if v.abs() > DROP_TOL {
                         ucol.push((kk, v));
                     }
-                } else if v.abs() > PIVOT_TOL
-                    && pivot.map_or(true, |(_, pv)| v.abs() > pv.abs())
-                {
+                } else if v.abs() > PIVOT_TOL && pivot.map_or(true, |(_, pv)| v.abs() > pv.abs()) {
                     pivot = Some((r, v));
                 }
             }
@@ -264,7 +266,11 @@ impl Factorization {
             }
         }
         self.eta_nnz += entries.len();
-        self.etas.push(Eta { pos, entries, pivot });
+        self.etas.push(Eta {
+            pos,
+            entries,
+            pivot,
+        });
         true
     }
 }
@@ -335,9 +341,9 @@ mod tests {
         // Bᵀ y = c with y chosen, via round trip.
         let y0 = [1.0, -2.0, 0.5];
         let bc: Vec<f64> = vec![
-            y0[0],                                 // e0 · y0
+            y0[0],                                      // e0 · y0
             a[0] * y0[0] + a[1] * y0[1] + a[2] * y0[2], // a · y0
-            y0[2],                                 // e2 · y0
+            y0[2],                                      // e2 · y0
         ];
         let mut c = bc;
         f.btran(&mut c);

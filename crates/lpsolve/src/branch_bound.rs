@@ -100,7 +100,10 @@ impl BranchBoundSolver {
 
     /// Creates a solver with explicit limits.
     pub fn with_limits(limits: SolverLimits) -> Self {
-        BranchBoundSolver { limits, ..Default::default() }
+        BranchBoundSolver {
+            limits,
+            ..Default::default()
+        }
     }
 
     /// Provides an incumbent warm-start assignment; if it is feasible it is
@@ -138,15 +141,21 @@ impl BranchBoundSolver {
 
         // The shared relaxation solver (sparse path); bounds are swapped in
         // per node, bases are inherited parent → child.
-        let mut simplex =
-            if self.dense_relaxation { None } else { Some(RevisedSimplex::new(problem)) };
+        let mut simplex = if self.dense_relaxation {
+            None
+        } else {
+            Some(RevisedSimplex::new(problem))
+        };
 
         let root_lower: Vec<f64> = problem.variables.iter().map(|v| v.lower).collect();
         let root_upper: Vec<f64> = problem.variables.iter().map(|v| v.upper).collect();
 
         // Depth-first stack.
-        let mut stack: Vec<Node> =
-            vec![Node { lower: root_lower, upper: root_upper, basis: None }];
+        let mut stack: Vec<Node> = vec![Node {
+            lower: root_lower,
+            upper: root_upper,
+            basis: None,
+        }];
         let mut nodes = 0usize;
         let mut best_bound = f64::NEG_INFINITY;
         let mut open_bounds: Vec<f64> = Vec::new();
@@ -164,13 +173,11 @@ impl BranchBoundSolver {
                     let sol = match (&node.basis, &self.warm_start) {
                         (Some(basis), _) => solver.solve_with_basis(basis, deadline),
                         // Root node: crash towards the incumbent when we have one.
-                        (None, Some(ws)) if ws.len() == n => {
-                            solver.solve_from_point(ws, deadline)
-                        }
+                        (None, Some(ws)) if ws.len() == n => solver.solve_from_point(ws, deadline),
                         (None, _) => solver.solve(deadline),
                     };
-                    let basis = (sol.status == LpStatus::Optimal)
-                        .then(|| Rc::new(solver.basis_snapshot()));
+                    let basis =
+                        (sol.status == LpStatus::Optimal).then(|| Rc::new(solver.basis_snapshot()));
                     (sol, basis)
                 }
                 None => (
@@ -268,14 +275,22 @@ impl BranchBoundSolver {
 
         match incumbent {
             Some((objective, values)) => MipSolution {
-                status: if proven { MipStatus::Optimal } else { MipStatus::Feasible },
+                status: if proven {
+                    MipStatus::Optimal
+                } else {
+                    MipStatus::Feasible
+                },
                 objective,
                 values,
                 nodes_explored: nodes,
                 best_bound: if proven { objective } else { best_bound },
             },
             None => MipSolution {
-                status: if proven { MipStatus::Infeasible } else { MipStatus::LimitReached },
+                status: if proven {
+                    MipStatus::Infeasible
+                } else {
+                    MipStatus::LimitReached
+                },
                 objective: f64::INFINITY,
                 values: vec![],
                 nodes_explored: nodes,
@@ -361,7 +376,10 @@ mod tests {
         );
         // With a node limit of 0 the solver cannot explore at all; the warm start is
         // still returned as the best known solution.
-        let limits = SolverLimits { max_nodes: 0, ..Default::default() };
+        let limits = SolverLimits {
+            max_nodes: 0,
+            ..Default::default()
+        };
         let sol = BranchBoundSolver::with_limits(limits)
             .with_warm_start(vec![1.0, 0.0])
             .solve(&p);
@@ -381,7 +399,12 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, 0.8, -0.5);
         let y = p.add_binary("y", -1.0);
-        p.add_constraint("link", LinExpr::term(y, 1.0).plus(x, -1.0), ConstraintSense::LessEqual, 0.0);
+        p.add_constraint(
+            "link",
+            LinExpr::term(y, 1.0).plus(x, -1.0),
+            ConstraintSense::LessEqual,
+            0.0,
+        );
         let sol = BranchBoundSolver::new().solve(&p);
         assert_eq!(sol.status, MipStatus::Optimal);
         assert_close(sol.objective, -0.4);
@@ -460,7 +483,10 @@ mod tests {
         };
         let sol = BranchBoundSolver::with_limits(limits).solve(&p);
         assert!(sol.nodes_explored <= 10);
-        assert!(matches!(sol.status, MipStatus::Feasible | MipStatus::LimitReached | MipStatus::Optimal));
+        assert!(matches!(
+            sol.status,
+            MipStatus::Feasible | MipStatus::LimitReached | MipStatus::Optimal
+        ));
     }
 
     #[test]
@@ -476,7 +502,9 @@ mod tests {
             6.0,
         );
         let sparse = BranchBoundSolver::new().solve(&p);
-        let dense = BranchBoundSolver::new().with_dense_relaxation(true).solve(&p);
+        let dense = BranchBoundSolver::new()
+            .with_dense_relaxation(true)
+            .solve(&p);
         assert_eq!(sparse.status, dense.status);
         assert_close(sparse.objective, dense.objective);
     }
@@ -488,8 +516,15 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_binary("x", -2.0);
         let y = p.add_binary("y", -3.0);
-        p.add_constraint("c", LinExpr::term(x, 1.0).plus(y, 1.0), ConstraintSense::LessEqual, 1.0);
-        let sol = BranchBoundSolver::new().with_warm_start(vec![0.0, 1.0]).solve(&p);
+        p.add_constraint(
+            "c",
+            LinExpr::term(x, 1.0).plus(y, 1.0),
+            ConstraintSense::LessEqual,
+            1.0,
+        );
+        let sol = BranchBoundSolver::new()
+            .with_warm_start(vec![0.0, 1.0])
+            .solve(&p);
         assert_eq!(sol.status, MipStatus::Optimal);
         assert_close(sol.objective, -3.0);
     }

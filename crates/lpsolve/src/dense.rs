@@ -29,11 +29,7 @@ pub fn solve_lp_dense(problem: &LpProblem) -> LpSolution {
 }
 
 /// Solves the LP relaxation of `problem` with overridden variable bounds.
-pub fn solve_lp_dense_with_bounds(
-    problem: &LpProblem,
-    lower: &[f64],
-    upper: &[f64],
-) -> LpSolution {
+pub fn solve_lp_dense_with_bounds(problem: &LpProblem, lower: &[f64], upper: &[f64]) -> LpSolution {
     solve_lp_dense_with_bounds_deadline(problem, lower, upper, None)
 }
 
@@ -50,7 +46,11 @@ pub fn solve_lp_dense_with_bounds_deadline(
     assert_eq!(lower.len(), n);
     assert_eq!(upper.len(), n);
     if lower.iter().zip(upper).any(|(&l, &u)| l > u + EPS) {
-        return LpSolution { status: LpStatus::Infeasible, objective: f64::INFINITY, values: vec![] };
+        return LpSolution {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            values: vec![],
+        };
     }
     Tableau::build(problem, lower, upper).solve(problem, lower, deadline)
 }
@@ -160,11 +160,22 @@ impl Tableau {
             row.truncate(ncols);
             row.push(rhs);
         }
-        Tableau { rows, basis, ncols, nstruct: n, artificials }
+        Tableau {
+            rows,
+            basis,
+            ncols,
+            nstruct: n,
+            artificials,
+        }
     }
 
     /// Runs both simplex phases and extracts the solution.
-    fn solve(mut self, problem: &LpProblem, lower: &[f64], deadline: Option<Instant>) -> LpSolution {
+    fn solve(
+        mut self,
+        problem: &LpProblem,
+        lower: &[f64],
+        deadline: Option<Instant>,
+    ) -> LpSolution {
         let max_iter = 200 * (self.ncols + self.rows.len() + 10);
 
         // Phase 1: minimise the sum of artificial variables.
@@ -224,7 +235,11 @@ impl Tableau {
             PhaseOutcome::IterationLimit => LpStatus::IterationLimit,
         };
         if status != LpStatus::Optimal {
-            return LpSolution { status, objective: f64::NEG_INFINITY, values: vec![] };
+            return LpSolution {
+                status,
+                objective: f64::NEG_INFINITY,
+                values: vec![],
+            };
         }
         // Extract structural values (shifted back by the lower bounds).
         let mut values = vec![0.0; problem.num_variables()];
@@ -238,7 +253,11 @@ impl Tableau {
             *v += lower[i];
         }
         let objective = problem.objective_value(&values);
-        LpSolution { status: LpStatus::Optimal, objective, values }
+        LpSolution {
+            status: LpStatus::Optimal,
+            objective,
+            values,
+        }
     }
 
     /// Builds the reduced-cost row for `obj` by pricing out the basic columns.
@@ -263,10 +282,10 @@ impl Tableau {
     /// row. `banned` columns may never enter the basis.
     fn iterate(
         &mut self,
-        objrow: &mut Vec<f64>,
+        objrow: &mut [f64],
         objval: &mut f64,
         max_iter: usize,
-        banned: Option<&Vec<bool>>,
+        banned: Option<&[bool]>,
         deadline: Option<Instant>,
     ) -> PhaseOutcome {
         let bland_threshold = max_iter / 2;
@@ -283,7 +302,7 @@ impl Tableau {
             let mut entering = None;
             if use_bland {
                 for j in 0..self.ncols {
-                    if banned.map_or(false, |b| b[j]) {
+                    if banned.is_some_and(|b| b[j]) {
                         continue;
                     }
                     if objrow[j] < -PIVOT_EPS {
@@ -294,7 +313,7 @@ impl Tableau {
             } else {
                 let mut best = -PIVOT_EPS;
                 for j in 0..self.ncols {
-                    if banned.map_or(false, |b| b[j]) {
+                    if banned.is_some_and(|b| b[j]) {
                         continue;
                     }
                     if objrow[j] < best {
@@ -375,8 +394,9 @@ impl Tableau {
             let b = self.basis[row_index];
             if artificial_set.contains(&b) {
                 // Find a non-artificial column with a nonzero coefficient.
-                let replacement = (0..self.ncols)
-                    .find(|j| !artificial_set.contains(j) && self.rows[row_index][*j].abs() > PIVOT_EPS);
+                let replacement = (0..self.ncols).find(|j| {
+                    !artificial_set.contains(j) && self.rows[row_index][*j].abs() > PIVOT_EPS
+                });
                 match replacement {
                     Some(col) => {
                         self.pivot(row_index, col, &mut dummy_obj, &mut dummy_val);
@@ -411,8 +431,18 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, f64::INFINITY, -1.0);
         let y = p.add_continuous("y", 0.0, f64::INFINITY, -1.0);
-        p.add_constraint("c1", LinExpr::term(x, 1.0).plus(y, 2.0), ConstraintSense::LessEqual, 4.0);
-        p.add_constraint("c2", LinExpr::term(x, 3.0).plus(y, 1.0), ConstraintSense::LessEqual, 6.0);
+        p.add_constraint(
+            "c1",
+            LinExpr::term(x, 1.0).plus(y, 2.0),
+            ConstraintSense::LessEqual,
+            4.0,
+        );
+        p.add_constraint(
+            "c2",
+            LinExpr::term(x, 3.0).plus(y, 1.0),
+            ConstraintSense::LessEqual,
+            6.0,
+        );
         let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, -14.0 / 5.0);
@@ -426,9 +456,24 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, f64::INFINITY, 2.0);
         let y = p.add_continuous("y", 0.0, f64::INFINITY, 3.0);
-        p.add_constraint("sum", LinExpr::term(x, 1.0).plus(y, 1.0), ConstraintSense::Equal, 10.0);
-        p.add_constraint("xmin", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, 4.0);
-        p.add_constraint("ymin", LinExpr::term(y, 1.0), ConstraintSense::GreaterEqual, 2.0);
+        p.add_constraint(
+            "sum",
+            LinExpr::term(x, 1.0).plus(y, 1.0),
+            ConstraintSense::Equal,
+            10.0,
+        );
+        p.add_constraint(
+            "xmin",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::GreaterEqual,
+            4.0,
+        );
+        p.add_constraint(
+            "ymin",
+            LinExpr::term(y, 1.0),
+            ConstraintSense::GreaterEqual,
+            2.0,
+        );
         let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         // Cheapest: maximise x (cost 2), so x = 8, y = 2.
@@ -457,7 +502,12 @@ mod tests {
     fn infeasible_problem_is_detected() {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, 10.0, 1.0);
-        p.add_constraint("lo", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, 5.0);
+        p.add_constraint(
+            "lo",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::GreaterEqual,
+            5.0,
+        );
         p.add_constraint("hi", LinExpr::term(x, 1.0), ConstraintSense::LessEqual, 3.0);
         let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Infeasible);
@@ -477,7 +527,12 @@ mod tests {
         // min x with -5 <= x <= 5 and x >= -3.
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", -5.0, 5.0, 1.0);
-        p.add_constraint("c", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, -3.0);
+        p.add_constraint(
+            "c",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::GreaterEqual,
+            -3.0,
+        );
         let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.values[x.index()], -3.0);
@@ -509,7 +564,12 @@ mod tests {
                 2.0,
             );
         }
-        p.add_constraint("cap", LinExpr::term(x, 1.0), ConstraintSense::LessEqual, 2.0);
+        p.add_constraint(
+            "cap",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::LessEqual,
+            2.0,
+        );
         let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, -2.0);
@@ -521,7 +581,12 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_binary("x", -3.0);
         let y = p.add_binary("y", -2.0);
-        p.add_constraint("c", LinExpr::term(x, 2.0).plus(y, 2.0), ConstraintSense::LessEqual, 3.0);
+        p.add_constraint(
+            "c",
+            LinExpr::term(x, 2.0).plus(y, 2.0),
+            ConstraintSense::LessEqual,
+            3.0,
+        );
         let sol = solve_lp_dense(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         // LP optimum: x = 1, y = 0.5 -> objective -4.

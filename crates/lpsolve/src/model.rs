@@ -55,7 +55,9 @@ impl LinExpr {
 
     /// A single-term expression.
     pub fn term(var: VarId, coeff: f64) -> Self {
-        LinExpr { terms: vec![(var, coeff)] }
+        LinExpr {
+            terms: vec![(var, coeff)],
+        }
     }
 
     /// Adds `coeff · var` to the expression (builder style).
@@ -71,7 +73,10 @@ impl LinExpr {
 
     /// Evaluates the expression under an assignment (indexed by variable).
     pub fn eval(&self, assignment: &[f64]) -> f64 {
-        self.terms.iter().map(|&(v, c)| c * assignment[v.index()]).sum()
+        self.terms
+            .iter()
+            .map(|&(v, c)| c * assignment[v.index()])
+            .sum()
     }
 
     /// Returns the expression with duplicate variables merged and zero coefficients
@@ -143,7 +148,13 @@ impl LpProblem {
     }
 
     /// Adds a continuous variable with the given bounds and objective coefficient.
-    pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+    pub fn add_continuous(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
         self.add_variable(name, lower, upper, objective, VarType::Continuous)
     }
 
@@ -153,7 +164,13 @@ impl LpProblem {
     }
 
     /// Adds an integer variable with the given bounds and objective coefficient.
-    pub fn add_integer(&mut self, name: impl Into<String>, lower: f64, upper: f64, objective: f64) -> VarId {
+    pub fn add_integer(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
         self.add_variable(name, lower, upper, objective, VarType::Integer)
     }
 
@@ -166,7 +183,10 @@ impl LpProblem {
         objective: f64,
         var_type: VarType,
     ) -> VarId {
-        assert!(lower <= upper, "variable bounds must satisfy lower <= upper");
+        assert!(
+            lower <= upper,
+            "variable bounds must satisfy lower <= upper"
+        );
         let id = VarId(self.variables.len());
         self.variables.push(Variable {
             name: name.into(),
@@ -186,7 +206,12 @@ impl LpProblem {
         sense: ConstraintSense,
         rhs: f64,
     ) {
-        self.constraints.push(Constraint { name: name.into(), expr: expr.simplified(), sense, rhs });
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr: expr.simplified(),
+            sense,
+            rhs,
+        });
     }
 
     /// Number of variables.
@@ -265,7 +290,9 @@ impl LpProblem {
                 return false;
             }
         }
-        self.constraints.iter().all(|c| c.is_satisfied(assignment, tol))
+        self.constraints
+            .iter()
+            .all(|c| c.is_satisfied(assignment, tol))
     }
 }
 
@@ -279,8 +306,18 @@ mod tests {
         let x = p.add_continuous("x", 0.0, 10.0, 1.0);
         let y = p.add_binary("y", 2.0);
         let z = p.add_integer("z", 0.0, 5.0, 0.0);
-        p.add_constraint("c1", LinExpr::term(x, 1.0).plus(y, 3.0), ConstraintSense::LessEqual, 7.0);
-        p.add_constraint("c2", LinExpr::term(z, 1.0), ConstraintSense::GreaterEqual, 2.0);
+        p.add_constraint(
+            "c1",
+            LinExpr::term(x, 1.0).plus(y, 3.0),
+            ConstraintSense::LessEqual,
+            7.0,
+        );
+        p.add_constraint(
+            "c2",
+            LinExpr::term(z, 1.0),
+            ConstraintSense::GreaterEqual,
+            2.0,
+        );
         assert_eq!(p.num_variables(), 3);
         assert_eq!(p.num_constraints(), 2);
         assert_eq!(p.integer_variables(), vec![y, z]);
@@ -296,7 +333,10 @@ mod tests {
     fn expression_evaluation_and_simplification() {
         let x = VarId(0);
         let y = VarId(1);
-        let e = LinExpr::term(x, 2.0).plus(y, 1.0).plus(x, 3.0).plus(y, -1.0);
+        let e = LinExpr::term(x, 2.0)
+            .plus(y, 1.0)
+            .plus(x, 3.0)
+            .plus(y, -1.0);
         assert_eq!(e.eval(&[1.0, 10.0]), 5.0 + 0.0);
         let s = e.simplified();
         assert_eq!(s.terms, vec![(x, 5.0)]);
@@ -311,8 +351,14 @@ mod tests {
             sense: ConstraintSense::LessEqual,
             rhs: 2.0,
         };
-        let ge = Constraint { sense: ConstraintSense::GreaterEqual, ..le.clone() };
-        let eq = Constraint { sense: ConstraintSense::Equal, ..le.clone() };
+        let ge = Constraint {
+            sense: ConstraintSense::GreaterEqual,
+            ..le.clone()
+        };
+        let eq = Constraint {
+            sense: ConstraintSense::Equal,
+            ..le.clone()
+        };
         assert!(le.is_satisfied(&[1.0], 1e-9));
         assert!(!le.is_satisfied(&[3.0], 1e-9));
         assert!(ge.is_satisfied(&[3.0], 1e-9));
@@ -326,7 +372,12 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, 1.0, 0.0);
         let y = p.add_continuous("y", 0.0, 1.0, 0.0);
-        p.add_constraint("c0", LinExpr::term(x, 2.0).plus(y, 1.0), ConstraintSense::LessEqual, 1.0);
+        p.add_constraint(
+            "c0",
+            LinExpr::term(x, 2.0).plus(y, 1.0),
+            ConstraintSense::LessEqual,
+            1.0,
+        );
         // Hand-built constraint with a duplicated term bypassing simplification.
         p.constraints.push(Constraint {
             name: "c1".into(),

@@ -22,7 +22,10 @@ pub struct Pricing {
 impl Pricing {
     /// Creates pricing state for a problem with `ncols` columns.
     pub fn new(ncols: usize) -> Self {
-        Pricing { start: 0, block: (ncols / 8).clamp(32, 1024) }
+        Pricing {
+            start: 0,
+            block: (ncols / 8).clamp(32, 1024),
+        }
     }
 
     /// Selects an entering column. `eligible(j)` returns `Some(violation)` (a
@@ -96,7 +99,10 @@ mod tests {
             None
         });
         assert_eq!(got, None);
-        assert_eq!(calls, 7, "every column must be inspected before reporting optimal");
+        assert_eq!(
+            calls, 7,
+            "every column must be inspected before reporting optimal"
+        );
     }
 
     #[test]

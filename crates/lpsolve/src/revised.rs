@@ -59,15 +59,27 @@ pub struct LpSolution {
 
 impl LpSolution {
     fn infeasible() -> Self {
-        LpSolution { status: LpStatus::Infeasible, objective: f64::INFINITY, values: vec![] }
+        LpSolution {
+            status: LpStatus::Infeasible,
+            objective: f64::INFINITY,
+            values: vec![],
+        }
     }
 
     fn unbounded() -> Self {
-        LpSolution { status: LpStatus::Unbounded, objective: f64::NEG_INFINITY, values: vec![] }
+        LpSolution {
+            status: LpStatus::Unbounded,
+            objective: f64::NEG_INFINITY,
+            values: vec![],
+        }
     }
 
     fn limit() -> Self {
-        LpSolution { status: LpStatus::IterationLimit, objective: f64::INFINITY, values: vec![] }
+        LpSolution {
+            status: LpStatus::IterationLimit,
+            objective: f64::INFINITY,
+            values: vec![],
+        }
     }
 }
 
@@ -185,7 +197,10 @@ impl RevisedSimplex {
 
     /// Returns a cheap snapshot of the current basis (valid after any solve).
     pub fn basis_snapshot(&self) -> Basis {
-        Basis { basic: self.basic.clone(), status: self.status.clone() }
+        Basis {
+            basic: self.basic.clone(),
+            status: self.status.clone(),
+        }
     }
 
     /// Solves from scratch (crash basis + Phase 1 + Phase 2).
@@ -342,9 +357,16 @@ impl RevisedSimplex {
                 self.basic.push(sl);
             } else {
                 // Slack nonbasic at its nearest bound; artificial takes the rest.
-                let sb = if s < form.lower[sl] { form.lower[sl] } else { form.upper[sl] };
-                self.status[sl] =
-                    if sb == form.lower[sl] { VarStatus::AtLower } else { VarStatus::AtUpper };
+                let sb = if s < form.lower[sl] {
+                    form.lower[sl]
+                } else {
+                    form.upper[sl]
+                };
+                self.status[sl] = if sb == form.lower[sl] {
+                    VarStatus::AtLower
+                } else {
+                    VarStatus::AtUpper
+                };
                 self.x[sl] = sb;
                 let resid = s - sb;
                 if resid >= 0.0 {
@@ -409,7 +431,12 @@ impl RevisedSimplex {
                 VarStatus::Free => {}
             }
         }
-        if basic_count != m || self.basic.iter().any(|&j| self.status[j] != VarStatus::Basic) {
+        if basic_count != m
+            || self
+                .basic
+                .iter()
+                .any(|&j| self.status[j] != VarStatus::Basic)
+        {
             return false;
         }
         if !self.factor.refactorize(&self.form.cols, &self.basic) {
@@ -431,7 +458,11 @@ impl RevisedSimplex {
     fn primal_infeasibility(&self) -> f64 {
         self.basic
             .iter()
-            .map(|&j| (self.form.lower[j] - self.x[j]).max(self.x[j] - self.form.upper[j]).max(0.0))
+            .map(|&j| {
+                (self.form.lower[j] - self.x[j])
+                    .max(self.x[j] - self.form.upper[j])
+                    .max(0.0)
+            })
             .fold(0.0, f64::max)
     }
 
@@ -480,7 +511,11 @@ impl RevisedSimplex {
             // Duals for the current cost vector.
             for i in 0..m {
                 let bj = self.basic[i];
-                self.ybuf[i] = if phase1 { self.p1cost[bj] } else { self.form.cost[bj] };
+                self.ybuf[i] = if phase1 {
+                    self.p1cost[bj]
+                } else {
+                    self.form.cost[bj]
+                };
             }
             self.factor.btran(&mut self.ybuf);
             // Pricing.
@@ -515,7 +550,11 @@ impl RevisedSimplex {
             let Some(q) = q else {
                 return PhaseOutcome::Optimal;
             };
-            let cq = if phase1 { self.p1cost[q] } else { self.form.cost[q] };
+            let cq = if phase1 {
+                self.p1cost[q]
+            } else {
+                self.form.cost[q]
+            };
             let dq = cq - self.form.cols.dot_col(q, &self.ybuf);
             let dir: f64 = match self.status[q] {
                 VarStatus::AtLower => 1.0,
@@ -585,7 +624,11 @@ impl RevisedSimplex {
                         VarStatus::AtLower
                     }
                 };
-                degenerate_run = if t <= DEGENERATE_STEP { degenerate_run + 1 } else { 0 };
+                degenerate_run = if t <= DEGENERATE_STEP {
+                    degenerate_run + 1
+                } else {
+                    0
+                };
                 continue;
             }
             let Some((r, to_upper)) = leave else {
@@ -600,15 +643,27 @@ impl RevisedSimplex {
             }
             self.x[q] += dir * t;
             let bi = self.basic[r];
-            self.x[bi] = if to_upper { self.form.upper[bi] } else { self.form.lower[bi] };
-            self.status[bi] = if to_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
+            self.x[bi] = if to_upper {
+                self.form.upper[bi]
+            } else {
+                self.form.lower[bi]
+            };
+            self.status[bi] = if to_upper {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::AtLower
+            };
             self.status[q] = VarStatus::Basic;
             self.basic[r] = q;
-            degenerate_run = if t <= DEGENERATE_STEP { degenerate_run + 1 } else { 0 };
-            if !self.factor.update(&self.wbuf, r) || self.factor.should_refactorize() {
-                if !self.refactor_and_sync() {
-                    return PhaseOutcome::NumericalTrouble;
-                }
+            degenerate_run = if t <= DEGENERATE_STEP {
+                degenerate_run + 1
+            } else {
+                0
+            };
+            if (!self.factor.update(&self.wbuf, r) || self.factor.should_refactorize())
+                && !self.refactor_and_sync()
+            {
+                return PhaseOutcome::NumericalTrouble;
             }
         }
         PhaseOutcome::IterationLimit
@@ -645,7 +700,11 @@ impl RevisedSimplex {
             }
             let bi = self.basic[r];
             let below = self.x[bi] < self.form.lower[bi];
-            let target = if below { self.form.lower[bi] } else { self.form.upper[bi] };
+            let target = if below {
+                self.form.lower[bi]
+            } else {
+                self.form.upper[bi]
+            };
             // Row r of B⁻¹ (for the alphas) and the duals (for the ratios).
             self.rbuf.iter_mut().for_each(|v| *v = 0.0);
             self.rbuf[r] = 1.0;
@@ -745,13 +804,17 @@ impl RevisedSimplex {
             }
             self.x[bi] = target;
             self.x[q] += dxq;
-            self.status[bi] = if below { VarStatus::AtLower } else { VarStatus::AtUpper };
+            self.status[bi] = if below {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            };
             self.status[q] = VarStatus::Basic;
             self.basic[r] = q;
-            if !self.factor.update(&self.wbuf, r) || self.factor.should_refactorize() {
-                if !self.refactor_and_sync() {
-                    return DualOutcome::GiveUp;
-                }
+            if (!self.factor.update(&self.wbuf, r) || self.factor.should_refactorize())
+                && !self.refactor_and_sync()
+            {
+                return DualOutcome::GiveUp;
             }
         }
         DualOutcome::GiveUp
@@ -762,8 +825,7 @@ impl RevisedSimplex {
     // ------------------------------------------------------------------
 
     fn bounds_crossed(&self) -> bool {
-        (0..self.form.ncols())
-            .any(|j| self.form.lower[j] > self.form.upper[j] + PRIMAL_TOL)
+        (0..self.form.ncols()).any(|j| self.form.lower[j] > self.form.upper[j] + PRIMAL_TOL)
     }
 
     fn refactor_and_sync(&mut self) -> bool {
@@ -803,7 +865,11 @@ impl RevisedSimplex {
             .enumerate()
             .map(|(j, &v)| self.form.cost[j] * v)
             .sum();
-        LpSolution { status: LpStatus::Optimal, objective, values }
+        LpSolution {
+            status: LpStatus::Optimal,
+            objective,
+            values,
+        }
     }
 }
 
@@ -853,8 +919,18 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, f64::INFINITY, -1.0);
         let y = p.add_continuous("y", 0.0, f64::INFINITY, -1.0);
-        p.add_constraint("c1", LinExpr::term(x, 1.0).plus(y, 2.0), ConstraintSense::LessEqual, 4.0);
-        p.add_constraint("c2", LinExpr::term(x, 3.0).plus(y, 1.0), ConstraintSense::LessEqual, 6.0);
+        p.add_constraint(
+            "c1",
+            LinExpr::term(x, 1.0).plus(y, 2.0),
+            ConstraintSense::LessEqual,
+            4.0,
+        );
+        p.add_constraint(
+            "c2",
+            LinExpr::term(x, 3.0).plus(y, 1.0),
+            ConstraintSense::LessEqual,
+            6.0,
+        );
         let sol = solve_lp(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, -14.0 / 5.0);
@@ -868,9 +944,24 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, f64::INFINITY, 2.0);
         let y = p.add_continuous("y", 0.0, f64::INFINITY, 3.0);
-        p.add_constraint("sum", LinExpr::term(x, 1.0).plus(y, 1.0), ConstraintSense::Equal, 10.0);
-        p.add_constraint("xmin", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, 4.0);
-        p.add_constraint("ymin", LinExpr::term(y, 1.0), ConstraintSense::GreaterEqual, 2.0);
+        p.add_constraint(
+            "sum",
+            LinExpr::term(x, 1.0).plus(y, 1.0),
+            ConstraintSense::Equal,
+            10.0,
+        );
+        p.add_constraint(
+            "xmin",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::GreaterEqual,
+            4.0,
+        );
+        p.add_constraint(
+            "ymin",
+            LinExpr::term(y, 1.0),
+            ConstraintSense::GreaterEqual,
+            2.0,
+        );
         let sol = solve_lp(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.values[x.index()], 8.0);
@@ -897,7 +988,12 @@ mod tests {
     fn infeasible_problem_is_detected() {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, 10.0, 1.0);
-        p.add_constraint("lo", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, 5.0);
+        p.add_constraint(
+            "lo",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::GreaterEqual,
+            5.0,
+        );
         p.add_constraint("hi", LinExpr::term(x, 1.0), ConstraintSense::LessEqual, 3.0);
         assert_eq!(solve_lp(&p).status, LpStatus::Infeasible);
     }
@@ -914,7 +1010,12 @@ mod tests {
     fn negative_lower_bounds_are_handled() {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", -5.0, 5.0, 1.0);
-        p.add_constraint("c", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, -3.0);
+        p.add_constraint(
+            "c",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::GreaterEqual,
+            -3.0,
+        );
         let sol = solve_lp(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.values[x.index()], -3.0);
@@ -925,7 +1026,12 @@ mod tests {
         // min x with x free and x >= -7: optimum -7.
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
-        p.add_constraint("c", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, -7.0);
+        p.add_constraint(
+            "c",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::GreaterEqual,
+            -7.0,
+        );
         let sol = solve_lp(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.values[x.index()], -7.0);
@@ -955,7 +1061,12 @@ mod tests {
                 2.0,
             );
         }
-        p.add_constraint("cap", LinExpr::term(x, 1.0), ConstraintSense::LessEqual, 2.0);
+        p.add_constraint(
+            "cap",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::LessEqual,
+            2.0,
+        );
         let sol = solve_lp(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, -2.0);
@@ -966,7 +1077,12 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_binary("x", -3.0);
         let y = p.add_binary("y", -2.0);
-        p.add_constraint("c", LinExpr::term(x, 2.0).plus(y, 2.0), ConstraintSense::LessEqual, 3.0);
+        p.add_constraint(
+            "c",
+            LinExpr::term(x, 2.0).plus(y, 2.0),
+            ConstraintSense::LessEqual,
+            3.0,
+        );
         let sol = solve_lp(&p);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, -4.0);
@@ -979,7 +1095,10 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 5.0, 6.0, 1.0);
         let sol = solve_lp_with_bounds(&p, &[5.0 + 1e-10], &[5.0]);
-        assert!(matches!(sol.status, LpStatus::Optimal | LpStatus::Infeasible));
+        assert!(matches!(
+            sol.status,
+            LpStatus::Optimal | LpStatus::Infeasible
+        ));
         if sol.status == LpStatus::Optimal {
             assert!((sol.values[x.index()] - 5.0).abs() < 1e-6);
         }
@@ -991,8 +1110,18 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, f64::INFINITY, -1.0);
         let y = p.add_continuous("y", 0.0, f64::INFINITY, -1.0);
-        p.add_constraint("c1", LinExpr::term(x, 1.0).plus(y, 2.0), ConstraintSense::LessEqual, 4.0);
-        p.add_constraint("c2", LinExpr::term(x, 3.0).plus(y, 1.0), ConstraintSense::LessEqual, 6.0);
+        p.add_constraint(
+            "c1",
+            LinExpr::term(x, 1.0).plus(y, 2.0),
+            ConstraintSense::LessEqual,
+            4.0,
+        );
+        p.add_constraint(
+            "c2",
+            LinExpr::term(x, 3.0).plus(y, 1.0),
+            ConstraintSense::LessEqual,
+            6.0,
+        );
         let mut solver = RevisedSimplex::new(&p);
         let root = solver.solve(None);
         assert_eq!(root.status, LpStatus::Optimal);
@@ -1013,7 +1142,12 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, 3.0, 1.0);
         let y = p.add_continuous("y", 0.0, 3.0, 1.0);
-        p.add_constraint("c", LinExpr::term(x, 1.0).plus(y, 1.0), ConstraintSense::GreaterEqual, 4.0);
+        p.add_constraint(
+            "c",
+            LinExpr::term(x, 1.0).plus(y, 1.0),
+            ConstraintSense::GreaterEqual,
+            4.0,
+        );
         let mut solver = RevisedSimplex::new(&p);
         let root = solver.solve(None);
         assert_eq!(root.status, LpStatus::Optimal);
@@ -1050,7 +1184,9 @@ mod tests {
         // verify against a cold solve every time.
         let mut p = LpProblem::new();
         let n = 12;
-        let vars: Vec<_> = (0..n).map(|i| p.add_binary(format!("x{i}"), -((i % 5 + 1) as f64))).collect();
+        let vars: Vec<_> = (0..n)
+            .map(|i| p.add_binary(format!("x{i}"), -((i % 5 + 1) as f64)))
+            .collect();
         let mut cap = LinExpr::new();
         for (i, &v) in vars.iter().enumerate() {
             cap.add(v, ((i % 3) + 1) as f64);

@@ -28,7 +28,12 @@ pub struct CscMatrix {
 impl CscMatrix {
     /// An empty matrix with `nrows` rows and no columns.
     pub fn new(nrows: usize) -> Self {
-        CscMatrix { nrows, col_ptr: vec![0], row_idx: Vec::new(), values: Vec::new() }
+        CscMatrix {
+            nrows,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -53,7 +58,11 @@ impl CscMatrix {
     /// Entries with duplicate rows are allowed (they act additively).
     pub fn push_col(&mut self, entries: &[(usize, f64)]) -> usize {
         for &(r, v) in entries {
-            assert!(r < self.nrows, "row {r} out of range for {} rows", self.nrows);
+            assert!(
+                r < self.nrows,
+                "row {r} out of range for {} rows",
+                self.nrows
+            );
             if v != 0.0 {
                 self.row_idx.push(r);
                 self.values.push(v);
@@ -68,7 +77,10 @@ impl CscMatrix {
     pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.col_ptr[j];
         let hi = self.col_ptr[j + 1];
-        self.row_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.row_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// `y += alpha · A[:, j]` (dense scatter of one column).
@@ -142,7 +154,15 @@ impl SparseForm {
             let j = cols.push_col(&[(i, 1.0)]);
             debug_assert_eq!(j, n + m + i);
         }
-        SparseForm { nstruct: n, nrows: m, cols, cost, rhs, lower: lo, upper: up }
+        SparseForm {
+            nstruct: n,
+            nrows: m,
+            cols,
+            cost,
+            rhs,
+            lower: lo,
+            upper: up,
+        }
     }
 
     /// Total number of columns (structural + slack + artificial).
@@ -216,8 +236,18 @@ mod tests {
         let mut p = LpProblem::new();
         let x = p.add_continuous("x", 0.0, 5.0, 1.0);
         let y = p.add_continuous("y", -1.0, 1.0, -2.0);
-        p.add_constraint("le", LinExpr::term(x, 1.0).plus(y, 2.0), ConstraintSense::LessEqual, 4.0);
-        p.add_constraint("ge", LinExpr::term(x, 1.0), ConstraintSense::GreaterEqual, 1.0);
+        p.add_constraint(
+            "le",
+            LinExpr::term(x, 1.0).plus(y, 2.0),
+            ConstraintSense::LessEqual,
+            4.0,
+        );
+        p.add_constraint(
+            "ge",
+            LinExpr::term(x, 1.0),
+            ConstraintSense::GreaterEqual,
+            1.0,
+        );
         p.add_constraint("eq", LinExpr::term(y, 1.0), ConstraintSense::Equal, 0.5);
         let lower: Vec<f64> = p.variables.iter().map(|v| v.lower).collect();
         let upper: Vec<f64> = p.variables.iter().map(|v| v.upper).collect();
@@ -229,11 +259,20 @@ mod tests {
         assert_eq!(f.cost[..2], [1.0, -2.0]);
         assert_eq!(f.rhs, vec![4.0, 1.0, 0.5]);
         // Slack bounds encode the senses.
-        assert_eq!((f.lower[f.slack(0)], f.upper[f.slack(0)]), (0.0, f64::INFINITY));
-        assert_eq!((f.lower[f.slack(1)], f.upper[f.slack(1)]), (f64::NEG_INFINITY, 0.0));
+        assert_eq!(
+            (f.lower[f.slack(0)], f.upper[f.slack(0)]),
+            (0.0, f64::INFINITY)
+        );
+        assert_eq!(
+            (f.lower[f.slack(1)], f.upper[f.slack(1)]),
+            (f64::NEG_INFINITY, 0.0)
+        );
         assert_eq!((f.lower[f.slack(2)], f.upper[f.slack(2)]), (0.0, 0.0));
         // Artificials are pinned at zero.
-        assert_eq!((f.lower[f.artificial(0)], f.upper[f.artificial(0)]), (0.0, 0.0));
+        assert_eq!(
+            (f.lower[f.artificial(0)], f.upper[f.artificial(0)]),
+            (0.0, 0.0)
+        );
         assert!(f.is_artificial(f.artificial(2)));
         assert!(!f.is_artificial(f.slack(2)));
     }

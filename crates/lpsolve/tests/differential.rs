@@ -35,7 +35,11 @@ fn random_lp(rng: &mut ChaCha8Rng) -> LpProblem {
     let mut p = LpProblem::new();
     let mut vars = Vec::with_capacity(n);
     for j in 0..n {
-        let lower = if rng.gen_bool(0.3) { rng.gen_range(-5.0..0.0) } else { 0.0 };
+        let lower = if rng.gen_bool(0.3) {
+            rng.gen_range(-5.0..0.0)
+        } else {
+            0.0
+        };
         let upper = if rng.gen_bool(0.3) {
             f64::INFINITY
         } else {
@@ -82,7 +86,11 @@ fn assert_primal_feasible(p: &LpProblem, values: &[f64], tag: &str) {
         );
     }
     for c in &p.constraints {
-        assert!(c.is_satisfied(values, 1e-5), "{tag}: constraint {} violated", c.name);
+        assert!(
+            c.is_satisfied(values, 1e-5),
+            "{tag}: constraint {} violated",
+            c.name
+        );
     }
 }
 
@@ -191,7 +199,12 @@ fn random_mbsp_ilp(rng: &mut ChaCha8Rng) -> LpProblem {
                 for t2 in 0..t {
                     expr.add(x[v - 1][t2], -1.0);
                 }
-                p.add_constraint(format!("prec{v}_{t}"), expr, ConstraintSense::LessEqual, 0.0);
+                p.add_constraint(
+                    format!("prec{v}_{t}"),
+                    expr,
+                    ConstraintSense::LessEqual,
+                    0.0,
+                );
             }
         }
     }
@@ -218,7 +231,9 @@ fn mbsp_shaped_ilps_match_the_dense_oracle_through_branch_and_bound() {
     for k in 0..NUM_ILPS {
         let p = random_mbsp_ilp(&mut r);
         let sparse = BranchBoundSolver::with_limits(limits).solve(&p);
-        let dense = BranchBoundSolver::with_limits(limits).with_dense_relaxation(true).solve(&p);
+        let dense = BranchBoundSolver::with_limits(limits)
+            .with_dense_relaxation(true)
+            .solve(&p);
         assert_eq!(sparse.status, dense.status, "ilp[{k}]: status mismatch");
         if sparse.status == MipStatus::Optimal {
             assert!(
@@ -227,7 +242,10 @@ fn mbsp_shaped_ilps_match_the_dense_oracle_through_branch_and_bound() {
                 sparse.objective,
                 dense.objective
             );
-            assert!(p.is_feasible(&sparse.values, 1e-5), "ilp[{k}]: infeasible incumbent");
+            assert!(
+                p.is_feasible(&sparse.values, 1e-5),
+                "ilp[{k}]: infeasible incumbent"
+            );
         }
     }
 }
@@ -248,10 +266,20 @@ fn degenerate_lps_with_duplicated_rows_agree() {
             base.add(v, 1.0);
         }
         for c in 0..6 {
-            p.add_constraint(format!("dup{c}"), base.clone(), ConstraintSense::LessEqual, 6.0);
+            p.add_constraint(
+                format!("dup{c}"),
+                base.clone(),
+                ConstraintSense::LessEqual,
+                6.0,
+            );
         }
         for (j, &v) in vars.iter().enumerate() {
-            p.add_constraint(format!("cap{j}"), LinExpr::term(v, 1.0), ConstraintSense::LessEqual, 3.0);
+            p.add_constraint(
+                format!("cap{j}"),
+                LinExpr::term(v, 1.0),
+                ConstraintSense::LessEqual,
+                3.0,
+            );
         }
         assert_lp_agreement(&p, &format!("degenerate[{k}]"));
     }
@@ -335,6 +363,9 @@ fn the_random_ilp_family_contains_both_feasible_and_infeasible_instances() {
             _ => {}
         }
     }
-    assert!(optimal >= 10, "only {optimal} optimal instances — family too degenerate");
+    assert!(
+        optimal >= 10,
+        "only {optimal} optimal instances — family too degenerate"
+    );
     assert!(infeasible >= 3, "only {infeasible} infeasible instances");
 }

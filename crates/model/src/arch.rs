@@ -51,11 +51,25 @@ impl Architecture {
     /// # Panics
     /// Panics if `processors == 0` or any parameter is negative / not finite.
     pub fn new(processors: usize, cache_size: f64, g: f64, latency: f64) -> Self {
-        assert!(processors >= 1, "an architecture needs at least one processor");
-        assert!(cache_size.is_finite() && cache_size >= 0.0, "cache size must be finite and >= 0");
+        assert!(
+            processors >= 1,
+            "an architecture needs at least one processor"
+        );
+        assert!(
+            cache_size.is_finite() && cache_size >= 0.0,
+            "cache size must be finite and >= 0"
+        );
         assert!(g.is_finite() && g >= 0.0, "g must be finite and >= 0");
-        assert!(latency.is_finite() && latency >= 0.0, "L must be finite and >= 0");
-        Architecture { processors, cache_size, g, latency }
+        assert!(
+            latency.is_finite() && latency >= 0.0,
+            "L must be finite and >= 0"
+        );
+        Architecture {
+            processors,
+            cache_size,
+            g,
+            latency,
+        }
     }
 
     /// The architecture used in the paper's main experiments: `P = 4`, `g = 1`,

@@ -82,7 +82,10 @@ pub struct BspSchedule {
 impl BspSchedule {
     /// Creates a BSP schedule from an explicit assignment (one entry per node).
     pub fn new(processors: usize, assignment: Vec<(ProcId, usize)>) -> Self {
-        BspSchedule { processors, assignment }
+        BspSchedule {
+            processors,
+            assignment,
+        }
     }
 
     /// Number of processors.
@@ -112,7 +115,11 @@ impl BspSchedule {
 
     /// Number of supersteps (1 + maximal superstep index used, 0 if empty).
     pub fn num_supersteps(&self) -> usize {
-        self.assignment.iter().map(|&(_, s)| s + 1).max().unwrap_or(0)
+        self.assignment
+            .iter()
+            .map(|&(_, s)| s + 1)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Validates the schedule against the DAG: full coverage, valid processor
@@ -169,7 +176,8 @@ impl BspSchedule {
         // Each value that a different processor needs is sent once per (value,
         // receiving processor) pair, during the communication phase of the producer's
         // superstep.
-        let mut pairs: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+        let mut pairs: std::collections::BTreeSet<(usize, usize)> =
+            std::collections::BTreeSet::new();
         for (u, v) in dag.edges() {
             let (pu, su) = self.assignment[u.index()];
             let (pv, _) = self.assignment[v.index()];
@@ -193,7 +201,13 @@ impl BspSchedule {
             comm += arch.g * h;
         }
         let latency = arch.latency * steps as f64;
-        BspCost { total: compute + comm + latency, compute, communication: comm, latency, supersteps: steps }
+        BspCost {
+            total: compute + comm + latency,
+            compute,
+            communication: comm,
+            latency,
+            supersteps: steps,
+        }
     }
 
     /// Returns, for each superstep and processor, the nodes computed there in a
@@ -308,7 +322,10 @@ mod tests {
                 (ProcId::new(1), 1),
             ],
         );
-        assert!(matches!(bad.validate(&dag), Err(BspError::PrecedenceViolation { .. })));
+        assert!(matches!(
+            bad.validate(&dag),
+            Err(BspError::PrecedenceViolation { .. })
+        ));
         // Same processor, child in an earlier superstep.
         let bad2 = BspSchedule::new(
             1,
@@ -319,7 +336,10 @@ mod tests {
                 (ProcId::new(0), 1),
             ],
         );
-        assert!(matches!(bad2.validate(&dag), Err(BspError::PrecedenceViolation { .. })));
+        assert!(matches!(
+            bad2.validate(&dag),
+            Err(BspError::PrecedenceViolation { .. })
+        ));
         // Same processor, same superstep is fine.
         let ok = BspSchedule::new(
             1,
@@ -337,7 +357,10 @@ mod tests {
     fn wrong_length_and_bad_processor() {
         let dag = diamond();
         let bad = BspSchedule::new(1, vec![(ProcId::new(0), 0)]);
-        assert!(matches!(bad.validate(&dag), Err(BspError::WrongLength { .. })));
+        assert!(matches!(
+            bad.validate(&dag),
+            Err(BspError::WrongLength { .. })
+        ));
         let bad2 = BspSchedule::new(
             1,
             vec![
@@ -347,7 +370,10 @@ mod tests {
                 (ProcId::new(0), 2),
             ],
         );
-        assert!(matches!(bad2.validate(&dag), Err(BspError::InvalidProcessor { .. })));
+        assert!(matches!(
+            bad2.validate(&dag),
+            Err(BspError::InvalidProcessor { .. })
+        ));
     }
 
     #[test]

@@ -183,8 +183,12 @@ mod tests {
         let s = sched.push_empty_superstep();
         s.proc_mut(p).load.push(NodeId::new(0));
         let s2 = sched.push_empty_superstep();
-        s2.proc_mut(p).compute.push(ComputePhaseStep::Compute(NodeId::new(1)));
-        s2.proc_mut(p).compute.push(ComputePhaseStep::Compute(NodeId::new(2)));
+        s2.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(1)));
+        s2.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(2)));
         s2.proc_mut(p).save.push(NodeId::new(2));
         sched
     }
@@ -228,12 +232,8 @@ mod tests {
     fn sync_cost_takes_maxima_across_processors() {
         // Two processors work in parallel in the same superstep: sync cost counts the
         // max, not the sum.
-        let dag = CompDag::from_edges(
-            "two",
-            vec![NodeWeights::unit(); 4],
-            &[(0, 1), (2, 3)],
-        )
-        .unwrap();
+        let dag =
+            CompDag::from_edges("two", vec![NodeWeights::unit(); 4], &[(0, 1), (2, 3)]).unwrap();
         let arch = Architecture::new(2, 2.0, 1.0, 0.0);
         let (p0, p1) = (ProcId::new(0), ProcId::new(1));
         let mut sched = MbspSchedule::new(2);
@@ -241,9 +241,13 @@ mod tests {
         s.proc_mut(p0).load.push(NodeId::new(0));
         s.proc_mut(p1).load.push(NodeId::new(2));
         let s1 = sched.push_empty_superstep();
-        s1.proc_mut(p0).compute.push(ComputePhaseStep::Compute(NodeId::new(1)));
+        s1.proc_mut(p0)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(1)));
         s1.proc_mut(p0).save.push(NodeId::new(1));
-        s1.proc_mut(p1).compute.push(ComputePhaseStep::Compute(NodeId::new(3)));
+        s1.proc_mut(p1)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(3)));
         s1.proc_mut(p1).save.push(NodeId::new(3));
         sched.validate(&dag, &arch).unwrap();
         let cost = sync_cost(&sched, &dag, &arch);
@@ -268,11 +272,15 @@ mod tests {
         let s = sched.push_empty_superstep();
         s.proc_mut(p0).load.push(NodeId::new(0));
         let s1 = sched.push_empty_superstep();
-        s1.proc_mut(p0).compute.push(ComputePhaseStep::Compute(NodeId::new(1)));
+        s1.proc_mut(p0)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(1)));
         s1.proc_mut(p0).save.push(NodeId::new(1));
         s1.proc_mut(p1).load.push(NodeId::new(1));
         let s2 = sched.push_empty_superstep();
-        s2.proc_mut(p1).compute.push(ComputePhaseStep::Compute(NodeId::new(2)));
+        s2.proc_mut(p1)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(2)));
         s2.proc_mut(p1).save.push(NodeId::new(2));
         sched.validate(&dag, &arch).unwrap();
         // p0 timeline: load(1) + compute(10) + save(1) = 12.

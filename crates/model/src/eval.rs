@@ -1,0 +1,345 @@
+//! Incremental evaluation of synchronous schedule costs.
+//!
+//! The holistic local search evaluates thousands of candidate schedules, and the
+//! post-optimiser considers every adjacent superstep pair for merging. Re-costing a
+//! whole schedule for each of those decisions is wasteful: under the synchronous
+//! model the cost decomposes into a sum of per-superstep terms
+//! `max_p comp + max_p save + max_p load + L`, so any local edit only invalidates
+//! the terms of the touched supersteps.
+//!
+//! [`ScheduleEvaluator`] caches the per-superstep, per-processor phase costs of a
+//! schedule together with the per-superstep maxima, and exposes O(changed
+//! supersteps) updates: refreshing a single superstep, removing one, or folding
+//! superstep `k + 1` into `k` (the post-optimiser's merge move). The slow reference
+//! path remains [`crate::cost::sync_cost`] / [`crate::cost::async_cost`]; the
+//! differential tests in `mbsp-ilp` replay random edit sequences and assert that the
+//! evaluator never drifts from a full re-cost.
+//!
+//! The asynchronous makespan has no per-superstep decomposition (a load may wait on
+//! a save arbitrarily far in the past), so asynchronous evaluation intentionally
+//! stays on the reference path.
+
+use crate::arch::Architecture;
+use crate::schedule::{MbspSchedule, Superstep};
+use mbsp_dag::CompDag;
+
+/// Cached per-superstep, per-processor phase costs of a schedule under the
+/// synchronous cost model, supporting O(changed supersteps) re-evaluation.
+///
+/// The evaluator is a plain cache: it does not hold a reference to the schedule it
+/// mirrors, so the caller is responsible for keeping it in sync (every structural
+/// schedule edit must be paired with the corresponding evaluator update). All
+/// buffers are reused across [`ScheduleEvaluator::rebuild`] calls, so one evaluator
+/// can serve an entire candidate-evaluation loop without allocating.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleEvaluator {
+    procs: usize,
+    g: f64,
+    latency: f64,
+    /// Per-superstep, per-processor phase costs, flattened as `step * procs + p`.
+    comp: Vec<f64>,
+    save: Vec<f64>,
+    load: Vec<f64>,
+    /// Per-superstep maxima over processors.
+    max_comp: Vec<f64>,
+    max_save: Vec<f64>,
+    max_load: Vec<f64>,
+}
+
+impl ScheduleEvaluator {
+    /// Creates an empty evaluator for `arch` (no supersteps cached yet).
+    pub fn new(arch: &Architecture) -> Self {
+        ScheduleEvaluator {
+            procs: arch.processors,
+            g: arch.g,
+            latency: arch.latency,
+            ..Default::default()
+        }
+    }
+
+    /// Builds the cache for `schedule` in one pass.
+    pub fn of(schedule: &MbspSchedule, dag: &CompDag, arch: &Architecture) -> Self {
+        let mut eval = ScheduleEvaluator::new(arch);
+        eval.rebuild(schedule, dag);
+        eval
+    }
+
+    /// Rebuilds the cache for `schedule`, reusing all allocations.
+    pub fn rebuild(&mut self, schedule: &MbspSchedule, dag: &CompDag) {
+        debug_assert_eq!(schedule.processors(), self.procs);
+        self.comp.clear();
+        self.save.clear();
+        self.load.clear();
+        self.max_comp.clear();
+        self.max_save.clear();
+        self.max_load.clear();
+        for step in schedule.supersteps() {
+            self.push_superstep(step, dag);
+        }
+    }
+
+    /// Number of supersteps currently cached.
+    pub fn num_supersteps(&self) -> usize {
+        self.max_comp.len()
+    }
+
+    /// Appends the costs of one superstep to the cache.
+    pub fn push_superstep(&mut self, step: &Superstep, dag: &CompDag) {
+        debug_assert_eq!(step.procs.len(), self.procs);
+        let mut max_c: f64 = 0.0;
+        let mut max_s: f64 = 0.0;
+        let mut max_l: f64 = 0.0;
+        for phases in &step.procs {
+            let c = phases.compute_cost(dag);
+            let s = phases.save_cost(dag, self.g);
+            let l = phases.load_cost(dag, self.g);
+            self.comp.push(c);
+            self.save.push(s);
+            self.load.push(l);
+            max_c = max_c.max(c);
+            max_s = max_s.max(s);
+            max_l = max_l.max(l);
+        }
+        self.max_comp.push(max_c);
+        self.max_save.push(max_s);
+        self.max_load.push(max_l);
+    }
+
+    /// Recomputes the cached costs of superstep `k` from `step` (after the caller
+    /// edited that superstep in place).
+    pub fn refresh_superstep(&mut self, k: usize, step: &Superstep, dag: &CompDag) {
+        debug_assert_eq!(step.procs.len(), self.procs);
+        let base = k * self.procs;
+        let mut max_c: f64 = 0.0;
+        let mut max_s: f64 = 0.0;
+        let mut max_l: f64 = 0.0;
+        for (pi, phases) in step.procs.iter().enumerate() {
+            let c = phases.compute_cost(dag);
+            let s = phases.save_cost(dag, self.g);
+            let l = phases.load_cost(dag, self.g);
+            self.comp[base + pi] = c;
+            self.save[base + pi] = s;
+            self.load[base + pi] = l;
+            max_c = max_c.max(c);
+            max_s = max_s.max(s);
+            max_l = max_l.max(l);
+        }
+        self.max_comp[k] = max_c;
+        self.max_save[k] = max_s;
+        self.max_load[k] = max_l;
+    }
+
+    /// Drops the cached costs of superstep `k` (after the caller removed that
+    /// superstep from the schedule).
+    pub fn remove_superstep(&mut self, k: usize) {
+        let base = k * self.procs;
+        self.comp.drain(base..base + self.procs);
+        self.save.drain(base..base + self.procs);
+        self.load.drain(base..base + self.procs);
+        self.max_comp.remove(k);
+        self.max_save.remove(k);
+        self.max_load.remove(k);
+    }
+
+    /// Synchronous cost of superstep `k` (its three phase maxima plus `L`).
+    pub fn step_cost(&self, k: usize) -> f64 {
+        self.max_comp[k] + self.max_save[k] + self.max_load[k] + self.latency
+    }
+
+    /// Combined synchronous cost of supersteps `k` and `k + 1` kept separate —
+    /// the quantity a fold of `k + 1` into `k` competes against. Exactly one of
+    /// the two latency charges survives a merge, so only one `L` is included.
+    pub fn separate_cost(&self, k: usize) -> f64 {
+        self.max_comp[k]
+            + self.max_save[k]
+            + self.max_load[k]
+            + self.max_comp[k + 1]
+            + self.max_save[k + 1]
+            + self.max_load[k + 1]
+            + self.latency
+    }
+
+    /// Synchronous cost of the superstep that would result from folding `k + 1`
+    /// into `k` (per-processor phase costs add up, the maxima are re-taken).
+    pub fn merged_cost(&self, k: usize) -> f64 {
+        let a = k * self.procs;
+        let b = (k + 1) * self.procs;
+        let mut max_c: f64 = 0.0;
+        let mut max_s: f64 = 0.0;
+        let mut max_l: f64 = 0.0;
+        for pi in 0..self.procs {
+            max_c = max_c.max(self.comp[a + pi] + self.comp[b + pi]);
+            max_s = max_s.max(self.save[a + pi] + self.save[b + pi]);
+            max_l = max_l.max(self.load[a + pi] + self.load[b + pi]);
+        }
+        max_c + max_s + max_l
+    }
+
+    /// Folds the cached costs of superstep `k + 1` into `k` (mirroring the same
+    /// fold applied to the schedule) and removes row `k + 1`. O(P).
+    pub fn apply_merge(&mut self, k: usize) {
+        let mut max_c: f64 = 0.0;
+        let mut max_s: f64 = 0.0;
+        let mut max_l: f64 = 0.0;
+        for pi in 0..self.procs {
+            let a = k * self.procs + pi;
+            let b = (k + 1) * self.procs + pi;
+            self.comp[a] += self.comp[b];
+            self.save[a] += self.save[b];
+            self.load[a] += self.load[b];
+            max_c = max_c.max(self.comp[a]);
+            max_s = max_s.max(self.save[a]);
+            max_l = max_l.max(self.load[a]);
+        }
+        self.max_comp[k] = max_c;
+        self.max_save[k] = max_s;
+        self.max_load[k] = max_l;
+        self.remove_superstep(k + 1);
+    }
+
+    /// Total synchronous cost of the cached schedule. Accumulates the per-phase
+    /// sums in the same order as [`crate::cost::sync_cost`], so a freshly rebuilt
+    /// evaluator reproduces the reference total bit for bit.
+    pub fn total(&self) -> f64 {
+        let mut compute = 0.0;
+        let mut save = 0.0;
+        let mut load = 0.0;
+        for k in 0..self.num_supersteps() {
+            compute += self.max_comp[k];
+            save += self.max_save[k];
+            load += self.max_load[k];
+        }
+        compute + save + load + self.latency * self.num_supersteps() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ProcId;
+    use crate::cost::sync_cost;
+    use crate::ops::ComputePhaseStep;
+    use mbsp_dag::graph::NodeWeights;
+    use mbsp_dag::NodeId;
+
+    fn diamond() -> CompDag {
+        let mut weights = vec![NodeWeights::unit(); 4];
+        weights[1] = NodeWeights::new(3.0, 2.0);
+        CompDag::from_edges("d", weights, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    /// A two-processor schedule of the diamond with non-trivial phases.
+    fn schedule() -> MbspSchedule {
+        let (p0, p1) = (ProcId::new(0), ProcId::new(1));
+        let mut sched = MbspSchedule::new(2);
+        let s0 = sched.push_empty_superstep();
+        s0.proc_mut(p0).load.push(NodeId::new(0));
+        s0.proc_mut(p1).load.push(NodeId::new(0));
+        let s1 = sched.push_empty_superstep();
+        s1.proc_mut(p0)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(1)));
+        s1.proc_mut(p0).save.push(NodeId::new(1));
+        s1.proc_mut(p1)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(2)));
+        s1.proc_mut(p1).save.push(NodeId::new(2));
+        s1.proc_mut(p1).load.push(NodeId::new(1));
+        let s2 = sched.push_empty_superstep();
+        s2.proc_mut(p1)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(3)));
+        s2.proc_mut(p1).save.push(NodeId::new(3));
+        sched
+    }
+
+    fn arch() -> Architecture {
+        Architecture::new(2, 8.0, 1.5, 7.0)
+    }
+
+    #[test]
+    fn total_matches_reference_cost() {
+        let dag = diamond();
+        let arch = arch();
+        let sched = schedule();
+        let eval = ScheduleEvaluator::of(&sched, &dag, &arch);
+        assert_eq!(eval.num_supersteps(), 3);
+        assert_eq!(eval.total(), sync_cost(&sched, &dag, &arch).total);
+    }
+
+    #[test]
+    fn step_costs_sum_to_total() {
+        let dag = diamond();
+        let arch = arch();
+        let eval = ScheduleEvaluator::of(&schedule(), &dag, &arch);
+        let sum: f64 = (0..eval.num_supersteps()).map(|k| eval.step_cost(k)).sum();
+        assert!((sum - eval.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_bookkeeping_matches_folded_schedule() {
+        let dag = diamond();
+        let arch = arch();
+        let mut sched = schedule();
+        let mut eval = ScheduleEvaluator::of(&sched, &dag, &arch);
+        // Predicted merged cost of folding step 2 into step 1.
+        let predicted = eval.merged_cost(1);
+        // Fold the schedule by hand (phase lists concatenated per processor).
+        let removed = sched.supersteps_mut().remove(2);
+        for (pi, phases) in removed.procs.into_iter().enumerate() {
+            let t = &mut sched.supersteps_mut()[1].procs[pi];
+            t.compute.extend(phases.compute);
+            t.save.extend(phases.save);
+            t.delete.extend(phases.delete);
+            t.load.extend(phases.load);
+        }
+        eval.apply_merge(1);
+        assert_eq!(eval.num_supersteps(), 2);
+        assert!((eval.total() - sync_cost(&sched, &dag, &arch).total).abs() < 1e-12);
+        assert!((eval.step_cost(1) - (predicted + arch.latency)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refresh_and_remove_track_schedule_edits() {
+        let dag = diamond();
+        let arch = arch();
+        let mut sched = schedule();
+        let mut eval = ScheduleEvaluator::of(&sched, &dag, &arch);
+        // Drop p1's save of node 2 in superstep 1 and refresh only that row.
+        sched.supersteps_mut()[1].procs[1].save.clear();
+        eval.refresh_superstep(1, &sched.supersteps()[1], &dag);
+        assert_eq!(eval.total(), sync_cost(&sched, &dag, &arch).total);
+        // Remove superstep 0 entirely.
+        sched.supersteps_mut().remove(0);
+        eval.remove_superstep(0);
+        assert_eq!(eval.total(), sync_cost(&sched, &dag, &arch).total);
+    }
+
+    #[test]
+    fn rebuild_reuses_the_evaluator() {
+        let dag = diamond();
+        let arch = arch();
+        let sched = schedule();
+        let mut eval = ScheduleEvaluator::new(&arch);
+        assert_eq!(eval.num_supersteps(), 0);
+        assert_eq!(eval.total(), 0.0);
+        for _ in 0..3 {
+            eval.rebuild(&sched, &dag);
+            assert_eq!(eval.total(), sync_cost(&sched, &dag, &arch).total);
+        }
+    }
+
+    #[test]
+    fn separate_vs_merged_reflects_latency_saving() {
+        // Two supersteps whose phases do not overlap merge at no extra phase cost,
+        // so the merged cost undercuts the separate cost by exactly L.
+        let dag = diamond();
+        let arch = arch();
+        let eval = ScheduleEvaluator::of(&schedule(), &dag, &arch);
+        // Steps 1 and 2: p1 works in both, so merging adds its phase costs.
+        let separate = eval.separate_cost(1);
+        let merged = eval.merged_cost(1);
+        // merged excludes the latency of the folded step; separate includes one L.
+        assert!(merged <= separate);
+    }
+}

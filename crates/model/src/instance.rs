@@ -58,7 +58,10 @@ impl MbspInstance {
 
     /// Returns a copy of the instance with a modified architecture.
     pub fn with_arch(&self, arch: Architecture) -> Self {
-        MbspInstance { dag: self.dag.clone(), arch }
+        MbspInstance {
+            dag: self.dag.clone(),
+            arch,
+        }
     }
 
     /// Decomposes the instance into its parts.

@@ -17,7 +17,11 @@
 //!   ([`schedule::MbspSchedule`]);
 //! * the cost of a schedule is measured either **synchronously** (BSP-style,
 //!   per-superstep maxima plus `L`) or **asynchronously** (makespan of the induced
-//!   per-processor timelines) — see [`cost`].
+//!   per-processor timelines) — see [`cost`];
+//! * search loops that evaluate many locally-edited schedules use
+//!   [`eval::ScheduleEvaluator`], which caches the per-superstep phase costs and
+//!   re-evaluates edits in O(changed supersteps), with [`cost`] as the slow
+//!   reference path.
 //!
 //! The crate also contains the plain **BSP schedule** representation
 //! ([`bsp::BspSchedule`]) used as the first stage of the paper's two-stage baseline,
@@ -26,6 +30,7 @@
 pub mod arch;
 pub mod bsp;
 pub mod cost;
+pub mod eval;
 pub mod instance;
 pub mod ops;
 pub mod schedule;
@@ -34,6 +39,7 @@ pub mod state;
 pub use arch::{Architecture, ProcId};
 pub use bsp::{BspCost, BspSchedule};
 pub use cost::{async_cost, sync_cost, CostBreakdown, CostModel};
+pub use eval::ScheduleEvaluator;
 pub use instance::MbspInstance;
 pub use ops::{ComputePhaseStep, Operation};
 pub use schedule::{

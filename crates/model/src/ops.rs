@@ -171,13 +171,19 @@ mod tests {
         assert_eq!(s.node(), NodeId::new(1));
         assert_eq!(
             s.to_operation(p),
-            Operation::Compute { proc: p, node: NodeId::new(1) }
+            Operation::Compute {
+                proc: p,
+                node: NodeId::new(1)
+            }
         );
         let d = ComputePhaseStep::Delete(NodeId::new(1));
         assert!(!d.is_compute());
         assert_eq!(
             d.to_operation(p),
-            Operation::Delete { proc: p, node: NodeId::new(1) }
+            Operation::Delete {
+                proc: p,
+                node: NodeId::new(1)
+            }
         );
     }
 }

@@ -118,19 +118,37 @@ impl fmt::Display for ScheduleError {
                 write!(f, "{proc} computes source node {node}")
             }
             ScheduleError::MissingParent { proc, node, parent } => {
-                write!(f, "{proc} computes {node} but parent {parent} is not in its cache")
+                write!(
+                    f,
+                    "{proc} computes {node} but parent {parent} is not in its cache"
+                )
             }
-            ScheduleError::MemoryBoundExceeded { proc, node, used, bound } => write!(
+            ScheduleError::MemoryBoundExceeded {
+                proc,
+                node,
+                used,
+                bound,
+            } => write!(
                 f,
                 "{proc} exceeds the memory bound when placing {node}: {used} > {bound}"
             ),
             ScheduleError::MissingSink { node } => {
-                write!(f, "sink {node} is not in slow memory at the end of the schedule")
+                write!(
+                    f,
+                    "sink {node} is not in slow memory at the end of the schedule"
+                )
             }
             ScheduleError::MissingRequiredOutput { node } => {
-                write!(f, "required output {node} is not in slow memory at the end of the schedule")
+                write!(
+                    f,
+                    "required output {node} is not in slow memory at the end of the schedule"
+                )
             }
-            ScheduleError::ProcessorCountMismatch { superstep, found, expected } => write!(
+            ScheduleError::ProcessorCountMismatch {
+                superstep,
+                found,
+                expected,
+            } => write!(
                 f,
                 "superstep {superstep} has {found} processor entries, expected {expected}"
             ),
@@ -164,7 +182,10 @@ impl ProcPhases {
 
     /// True if the processor performs no operation in this superstep.
     pub fn is_empty(&self) -> bool {
-        self.compute.is_empty() && self.save.is_empty() && self.delete.is_empty() && self.load.is_empty()
+        self.compute.is_empty()
+            && self.save.is_empty()
+            && self.delete.is_empty()
+            && self.load.is_empty()
     }
 
     /// Total compute cost of the compute phase: `Σ ω(v)` over its compute steps.
@@ -217,7 +238,9 @@ pub struct Superstep {
 impl Superstep {
     /// An empty superstep for `processors` processors.
     pub fn empty(processors: usize) -> Self {
-        Superstep { procs: vec![ProcPhases::empty(); processors] }
+        Superstep {
+            procs: vec![ProcPhases::empty(); processors],
+        }
     }
 
     /// The phases of processor `p`.
@@ -275,7 +298,10 @@ impl MbspSchedule {
     /// Creates an empty schedule for `processors` processors.
     pub fn new(processors: usize) -> Self {
         assert!(processors >= 1);
-        MbspSchedule { processors, supersteps: Vec::new() }
+        MbspSchedule {
+            processors,
+            supersteps: Vec::new(),
+        }
     }
 
     /// Number of processors the schedule targets.
@@ -368,7 +394,10 @@ impl MbspSchedule {
         let n = dag.num_nodes();
         let check_node = |v: NodeId| -> Result<(), ScheduleError> {
             if v.index() >= n {
-                Err(ScheduleError::NodeOutOfRange { node: v, num_nodes: n })
+                Err(ScheduleError::NodeOutOfRange {
+                    node: v,
+                    num_nodes: n,
+                })
             } else {
                 Ok(())
             }
@@ -388,7 +417,7 @@ impl MbspSchedule {
             // first red node of the first overloaded processor.
             for p in arch.procs() {
                 if cfg.memory_used(p) > arch.cache_size {
-                    let node = cfg.cached_nodes(p).first().copied().unwrap_or(NodeId::new(0));
+                    let node = cfg.cached_nodes(p).next().unwrap_or(NodeId::new(0));
                     return Err(ScheduleError::MemoryBoundExceeded {
                         proc: p,
                         node,
@@ -541,8 +570,12 @@ mod tests {
         let s = sched.push_empty_superstep();
         s.proc_mut(p).load.push(NodeId::new(0));
         let s2 = sched.push_empty_superstep();
-        s2.proc_mut(p).compute.push(ComputePhaseStep::Compute(NodeId::new(1)));
-        s2.proc_mut(p).compute.push(ComputePhaseStep::Compute(NodeId::new(2)));
+        s2.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(1)));
+        s2.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(2)));
         s2.proc_mut(p).save.push(NodeId::new(2));
         sched
     }
@@ -599,11 +632,15 @@ mod tests {
         let s0 = sched.push_empty_superstep();
         s0.proc_mut(p0).load.push(NodeId::new(0));
         let s1 = sched.push_empty_superstep();
-        s1.proc_mut(p0).compute.push(ComputePhaseStep::Compute(NodeId::new(1)));
+        s1.proc_mut(p0)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(1)));
         s1.proc_mut(p0).save.push(NodeId::new(1));
         s1.proc_mut(p1).load.push(NodeId::new(1));
         let s2 = sched.push_empty_superstep();
-        s2.proc_mut(p1).compute.push(ComputePhaseStep::Compute(NodeId::new(2)));
+        s2.proc_mut(p1)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(2)));
         s2.proc_mut(p1).save.push(NodeId::new(2));
         sched.validate(&dag, &a).unwrap();
     }
@@ -619,7 +656,9 @@ mod tests {
         s0.proc_mut(p0).load.push(NodeId::new(0));
         s0.proc_mut(p1).load.push(NodeId::new(1));
         let s1 = sched.push_empty_superstep();
-        s1.proc_mut(p0).compute.push(ComputePhaseStep::Compute(NodeId::new(1)));
+        s1.proc_mut(p0)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(1)));
         s1.proc_mut(p0).save.push(NodeId::new(1));
         assert!(matches!(
             sched.validate(&dag, &a),
@@ -637,7 +676,9 @@ mod tests {
         let s = sched.push_empty_superstep();
         s.proc_mut(p).load.push(NodeId::new(1));
         let s2 = sched.push_empty_superstep();
-        s2.proc_mut(p).compute.push(ComputePhaseStep::Compute(NodeId::new(2)));
+        s2.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(2)));
         s2.proc_mut(p).save.push(NodeId::new(2));
         // Standard validation fails (node 1 is not blue initially).
         assert!(sched.validate(&dag, &a).is_err());
@@ -711,10 +752,18 @@ mod tests {
         let s = sched.push_empty_superstep();
         s.proc_mut(p).load.push(NodeId::new(0));
         let s1 = sched.push_empty_superstep();
-        s1.proc_mut(p).compute.push(ComputePhaseStep::Compute(NodeId::new(1)));
-        s1.proc_mut(p).compute.push(ComputePhaseStep::Delete(NodeId::new(1)));
-        s1.proc_mut(p).compute.push(ComputePhaseStep::Compute(NodeId::new(1)));
-        s1.proc_mut(p).compute.push(ComputePhaseStep::Compute(NodeId::new(2)));
+        s1.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(1)));
+        s1.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Delete(NodeId::new(1)));
+        s1.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(1)));
+        s1.proc_mut(p)
+            .compute
+            .push(ComputePhaseStep::Compute(NodeId::new(2)));
         s1.proc_mut(p).save.push(NodeId::new(2));
         sched.validate(&dag, &a).unwrap();
         let stats = sched.statistics(&dag, &a);

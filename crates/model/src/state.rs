@@ -62,6 +62,33 @@ impl Configuration {
         self.processors
     }
 
+    /// Resets this configuration to the initial state of a schedule (empty caches,
+    /// sources in slow memory) without allocating — the in-place counterpart of
+    /// [`Configuration::initial`] for simulation loops that reuse one buffer.
+    pub fn reset_initial(&mut self, dag: &CompDag) {
+        debug_assert_eq!(self.num_nodes, dag.num_nodes());
+        for red in &mut self.red {
+            red.fill(false);
+        }
+        self.blue.fill(false);
+        for v in dag.sources() {
+            self.blue[v.index()] = true;
+        }
+        self.used.fill(0.0);
+    }
+
+    /// Copies `other` into `self`, reusing allocations (the derived `Clone` only
+    /// generates an allocating `clone`).
+    pub fn copy_from(&mut self, other: &Configuration) {
+        debug_assert_eq!(self.processors, other.processors);
+        debug_assert_eq!(self.num_nodes, other.num_nodes);
+        for (dst, src) in self.red.iter_mut().zip(&other.red) {
+            dst.copy_from_slice(src);
+        }
+        self.blue.copy_from_slice(&other.blue);
+        self.used.copy_from_slice(&other.used);
+    }
+
     /// Does node `v` carry a red pebble of processor `p`?
     #[inline]
     pub fn has_red(&self, p: ProcId, v: NodeId) -> bool {
@@ -81,21 +108,25 @@ impl Configuration {
     }
 
     /// The nodes currently cached by processor `p`, in index order.
-    pub fn cached_nodes(&self, p: ProcId) -> Vec<NodeId> {
+    ///
+    /// Returns a lazy iterator over the red-pebble bitmap; collect it only when a
+    /// materialised list is genuinely needed.
+    pub fn cached_nodes(&self, p: ProcId) -> impl Iterator<Item = NodeId> + '_ {
         self.red[p.index()]
             .iter()
             .enumerate()
             .filter_map(|(i, &r)| if r { Some(NodeId::new(i)) } else { None })
-            .collect()
     }
 
     /// The nodes currently in slow memory, in index order.
-    pub fn blue_nodes(&self) -> Vec<NodeId> {
+    ///
+    /// Returns a lazy iterator over the blue-pebble bitmap; collect it only when a
+    /// materialised list is genuinely needed.
+    pub fn blue_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.blue
             .iter()
             .enumerate()
             .filter_map(|(i, &b)| if b { Some(NodeId::new(i)) } else { None })
-            .collect()
     }
 
     /// Places a red pebble of `p` on `v` without any precondition check (used to set
@@ -112,9 +143,26 @@ impl Configuration {
         self.blue[v.index()] = true;
     }
 
+    /// Removes a red pebble of `p` from `v` without any precondition check (the
+    /// unchecked counterpart of a delete). Updates the memory usage.
+    pub fn remove_red_unchecked(&mut self, dag: &CompDag, p: ProcId, v: NodeId) {
+        if self.red[p.index()][v.index()] {
+            self.red[p.index()][v.index()] = false;
+            self.used[p.index()] -= dag.memory_weight(v);
+            if self.used[p.index()] < 0.0 {
+                self.used[p.index()] = 0.0;
+            }
+        }
+    }
+
     /// Checks whether `op` can be applied in the current configuration and whether
     /// applying it keeps processor `p` within the memory bound.
-    pub fn check(&self, dag: &CompDag, arch: &Architecture, op: Operation) -> Result<(), ScheduleError> {
+    pub fn check(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        op: Operation,
+    ) -> Result<(), ScheduleError> {
         match op {
             Operation::Load { proc, node } => {
                 if !self.has_blue(node) {
@@ -171,7 +219,12 @@ impl Configuration {
     }
 
     /// Applies `op` after checking its preconditions and the memory bound.
-    pub fn apply(&mut self, dag: &CompDag, arch: &Architecture, op: Operation) -> Result<(), ScheduleError> {
+    pub fn apply(
+        &mut self,
+        dag: &CompDag,
+        arch: &Architecture,
+        op: Operation,
+    ) -> Result<(), ScheduleError> {
         self.check(dag, arch, op)?;
         self.apply_unchecked(dag, op);
         Ok(())
@@ -196,6 +249,77 @@ impl Configuration {
                 }
             }
         }
+    }
+
+    /// Fused check-and-apply of a load: returns false if the node has no blue
+    /// pebble or would exceed the memory bound. Equivalent to
+    /// [`Configuration::apply`] with [`Operation::Load`], without constructing the
+    /// operation value (the post-optimiser's merge-validity simulation is a hot
+    /// loop).
+    #[inline]
+    pub fn try_load(&mut self, dag: &CompDag, arch: &Architecture, p: ProcId, v: NodeId) -> bool {
+        if !self.blue[v.index()] {
+            return false;
+        }
+        if !self.red[p.index()][v.index()] {
+            if self.used[p.index()] + dag.memory_weight(v) > arch.cache_size + MEMORY_EPS {
+                return false;
+            }
+            self.red[p.index()][v.index()] = true;
+            self.used[p.index()] += dag.memory_weight(v);
+        }
+        true
+    }
+
+    /// Fused check-and-apply of a compute step; see [`Configuration::try_load`].
+    #[inline]
+    pub fn try_compute(
+        &mut self,
+        dag: &CompDag,
+        arch: &Architecture,
+        p: ProcId,
+        v: NodeId,
+    ) -> bool {
+        if dag.is_source(v) {
+            return false;
+        }
+        for &parent in dag.parents(v) {
+            if !self.red[p.index()][parent.index()] {
+                return false;
+            }
+        }
+        if !self.red[p.index()][v.index()] {
+            if self.used[p.index()] + dag.memory_weight(v) > arch.cache_size + MEMORY_EPS {
+                return false;
+            }
+            self.red[p.index()][v.index()] = true;
+            self.used[p.index()] += dag.memory_weight(v);
+        }
+        true
+    }
+
+    /// Fused check-and-apply of a save; see [`Configuration::try_load`].
+    #[inline]
+    pub fn try_save(&mut self, p: ProcId, v: NodeId) -> bool {
+        if !self.red[p.index()][v.index()] {
+            return false;
+        }
+        self.blue[v.index()] = true;
+        true
+    }
+
+    /// Fused check-and-apply of a delete; see [`Configuration::try_load`].
+    #[inline]
+    pub fn try_delete(&mut self, dag: &CompDag, p: ProcId, v: NodeId) -> bool {
+        if !self.red[p.index()][v.index()] {
+            return false;
+        }
+        self.red[p.index()][v.index()] = false;
+        self.used[p.index()] -= dag.memory_weight(v);
+        if self.used[p.index()] < 0.0 {
+            self.used[p.index()] = 0.0;
+        }
+        true
     }
 
     /// Returns true if every sink of the DAG carries a blue pebble (the terminal
@@ -246,18 +370,58 @@ mod tests {
         let arch = arch2(2.0);
         let p = ProcId::new(0);
         let mut cfg = Configuration::initial(&dag, &arch);
-        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Load {
+                proc: p,
+                node: NodeId::new(0),
+            },
+        )
+        .unwrap();
         assert!(cfg.has_red(p, NodeId::new(0)));
         assert_eq!(cfg.memory_used(p), 1.0);
-        cfg.apply(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(1) }).unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Compute {
+                proc: p,
+                node: NodeId::new(1),
+            },
+        )
+        .unwrap();
         assert_eq!(cfg.memory_used(p), 2.0);
-        cfg.apply(&dag, &arch, Operation::Delete { proc: p, node: NodeId::new(0) }).unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Delete {
+                proc: p,
+                node: NodeId::new(0),
+            },
+        )
+        .unwrap();
         assert_eq!(cfg.memory_used(p), 1.0);
-        cfg.apply(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(2) }).unwrap();
-        cfg.apply(&dag, &arch, Operation::Save { proc: p, node: NodeId::new(2) }).unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Compute {
+                proc: p,
+                node: NodeId::new(2),
+            },
+        )
+        .unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Save {
+                proc: p,
+                node: NodeId::new(2),
+            },
+        )
+        .unwrap();
         assert!(cfg.is_terminal(&dag));
-        assert_eq!(cfg.cached_nodes(p), vec![NodeId::new(1), NodeId::new(2)]);
-        assert_eq!(cfg.blue_nodes(), vec![NodeId::new(0), NodeId::new(2)]);
+        assert!(cfg.cached_nodes(p).eq([NodeId::new(1), NodeId::new(2)]));
+        assert!(cfg.blue_nodes().eq([NodeId::new(0), NodeId::new(2)]));
     }
 
     #[test]
@@ -268,30 +432,73 @@ mod tests {
         let mut cfg = Configuration::initial(&dag, &arch);
         // Loading a node with no blue pebble.
         assert!(matches!(
-            cfg.check(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(1) }),
+            cfg.check(
+                &dag,
+                &arch,
+                Operation::Load {
+                    proc: p,
+                    node: NodeId::new(1)
+                }
+            ),
             Err(ScheduleError::LoadWithoutBlue { .. })
         ));
         // Computing a source node.
         assert!(matches!(
-            cfg.check(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(0) }),
+            cfg.check(
+                &dag,
+                &arch,
+                Operation::Compute {
+                    proc: p,
+                    node: NodeId::new(0)
+                }
+            ),
             Err(ScheduleError::ComputeSource { .. })
         ));
         // Computing without the parent cached.
         assert!(matches!(
-            cfg.check(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(1) }),
+            cfg.check(
+                &dag,
+                &arch,
+                Operation::Compute {
+                    proc: p,
+                    node: NodeId::new(1)
+                }
+            ),
             Err(ScheduleError::MissingParent { .. })
         ));
         // Saving or deleting a value that is not cached.
         assert!(matches!(
-            cfg.check(&dag, &arch, Operation::Save { proc: p, node: NodeId::new(0) }),
+            cfg.check(
+                &dag,
+                &arch,
+                Operation::Save {
+                    proc: p,
+                    node: NodeId::new(0)
+                }
+            ),
             Err(ScheduleError::SaveWithoutRed { .. })
         ));
         assert!(matches!(
-            cfg.check(&dag, &arch, Operation::Delete { proc: p, node: NodeId::new(0) }),
+            cfg.check(
+                &dag,
+                &arch,
+                Operation::Delete {
+                    proc: p,
+                    node: NodeId::new(0)
+                }
+            ),
             Err(ScheduleError::DeleteWithoutRed { .. })
         ));
         // A valid load still works.
-        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Load {
+                proc: p,
+                node: NodeId::new(0),
+            },
+        )
+        .unwrap();
     }
 
     #[test]
@@ -300,10 +507,25 @@ mod tests {
         let arch = arch2(1.0);
         let p = ProcId::new(0);
         let mut cfg = Configuration::initial(&dag, &arch);
-        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Load {
+                proc: p,
+                node: NodeId::new(0),
+            },
+        )
+        .unwrap();
         // Computing node 1 would need 2 units of cache but the bound is 1.
         let err = cfg
-            .apply(&dag, &arch, Operation::Compute { proc: p, node: NodeId::new(1) })
+            .apply(
+                &dag,
+                &arch,
+                Operation::Compute {
+                    proc: p,
+                    node: NodeId::new(1),
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, ScheduleError::MemoryBoundExceeded { .. }));
     }
@@ -314,13 +536,28 @@ mod tests {
         let arch = arch2(2.0);
         let (p0, p1) = (ProcId::new(0), ProcId::new(1));
         let mut cfg = Configuration::initial(&dag, &arch);
-        cfg.apply(&dag, &arch, Operation::Load { proc: p0, node: NodeId::new(0) }).unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Load {
+                proc: p0,
+                node: NodeId::new(0),
+            },
+        )
+        .unwrap();
         assert!(cfg.has_red(p0, NodeId::new(0)));
         assert!(!cfg.has_red(p1, NodeId::new(0)));
         assert_eq!(cfg.memory_used(p1), 0.0);
         // p1 cannot compute node 1: its own cache does not hold the parent.
         assert!(cfg
-            .check(&dag, &arch, Operation::Compute { proc: p1, node: NodeId::new(1) })
+            .check(
+                &dag,
+                &arch,
+                Operation::Compute {
+                    proc: p1,
+                    node: NodeId::new(1)
+                }
+            )
             .is_err());
     }
 
@@ -330,8 +567,24 @@ mod tests {
         let arch = arch2(5.0);
         let p = ProcId::new(0);
         let mut cfg = Configuration::initial(&dag, &arch);
-        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
-        cfg.apply(&dag, &arch, Operation::Load { proc: p, node: NodeId::new(0) }).unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Load {
+                proc: p,
+                node: NodeId::new(0),
+            },
+        )
+        .unwrap();
+        cfg.apply(
+            &dag,
+            &arch,
+            Operation::Load {
+                proc: p,
+                node: NodeId::new(0),
+            },
+        )
+        .unwrap();
         assert_eq!(cfg.memory_used(p), 1.0);
     }
 

@@ -232,13 +232,20 @@ mod tests {
     #[test]
     fn all_workers_receive_work_on_wide_dags() {
         let dag = random_layered_dag(
-            &RandomDagConfig { layers: 6, width: 16, ..Default::default() },
+            &RandomDagConfig {
+                layers: 6,
+                width: 16,
+                ..Default::default()
+            },
             3,
         );
         let result = CilkScheduler::new().schedule(&dag, &arch(4));
         result.schedule.validate(&dag).unwrap();
         let work = result.schedule.work_per_processor(&dag);
-        assert!(work.iter().all(|&w| w > 0.0), "all workers should execute something: {work:?}");
+        assert!(
+            work.iter().all(|&w| w > 0.0),
+            "all workers should execute something: {work:?}"
+        );
     }
 
     #[test]
@@ -264,8 +271,12 @@ mod tests {
     fn order_hint_is_a_valid_topological_order() {
         let dag = random_layered_dag(&RandomDagConfig::default(), 4);
         let result = CilkScheduler::new().schedule(&dag, &arch(4));
-        let pos: std::collections::HashMap<_, _> =
-            result.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let pos: std::collections::HashMap<_, _> = result
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
         for (u, v) in dag.edges() {
             assert!(pos[&u] < pos[&v]);
         }

@@ -51,8 +51,12 @@ mod tests {
             assert_eq!(result.schedule.num_supersteps(), 1);
             assert_eq!(result.order.len(), inst.dag.num_nodes());
             // The order hint is a topological order.
-            let pos: std::collections::HashMap<_, _> =
-                result.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            let pos: std::collections::HashMap<_, _> = result
+                .order
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i))
+                .collect();
             for (u, v) in inst.dag.edges() {
                 assert!(pos[&u] < pos[&v]);
             }

@@ -53,7 +53,9 @@ pub struct GreedyBspScheduler {
 impl GreedyBspScheduler {
     /// Creates a scheduler with the default configuration.
     pub fn new() -> Self {
-        GreedyBspScheduler { config: GreedyBspConfig::default() }
+        GreedyBspScheduler {
+            config: GreedyBspConfig::default(),
+        }
     }
 
     /// Creates a scheduler with an explicit configuration.
@@ -111,9 +113,7 @@ impl BspScheduler for GreedyBspScheduler {
         let mut superstep = 0usize;
         // `finished_before[v]` is true once v was assigned in a superstep strictly
         // before the current one (its value can have been communicated).
-        let mut finished_before: Vec<bool> = (0..n)
-            .map(|i| assignment[i].is_some())
-            .collect();
+        let mut finished_before: Vec<bool> = (0..n).map(|i| assignment[i].is_some()).collect();
 
         while scheduled < n {
             superstep += 1;
@@ -158,8 +158,7 @@ impl BspScheduler for GreedyBspScheduler {
                     // Skip nodes if every allowed processor is already full, unless
                     // nothing has been placed in this superstep yet (guarantee
                     // progress).
-                    let someone_below_quantum =
-                        allowed.iter().any(|&q| load[q.index()] < quantum);
+                    let someone_below_quantum = allowed.iter().any(|&q| load[q.index()] < quantum);
                     let superstep_empty = load.iter().all(|&l| l == 0.0);
                     if !someone_below_quantum && !superstep_empty {
                         continue;
@@ -212,8 +211,10 @@ impl BspScheduler for GreedyBspScheduler {
             }
         }
 
-        let assignment: Vec<(ProcId, usize)> =
-            assignment.into_iter().map(|a| a.expect("all nodes scheduled")).collect();
+        let assignment: Vec<(ProcId, usize)> = assignment
+            .into_iter()
+            .map(|a| a.expect("all nodes scheduled"))
+            .collect();
         let mut schedule = BspSchedule::new(p, assignment);
         schedule.compact_supersteps();
         BspSchedulingResult { schedule, order }
@@ -250,8 +251,12 @@ mod tests {
         let dag = random_layered_dag(&RandomDagConfig::default(), 5);
         let a = arch(4, 10.0);
         let result = sched.schedule(&dag, &a);
-        let pos: std::collections::HashMap<_, _> =
-            result.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let pos: std::collections::HashMap<_, _> = result
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
         for (u, v) in dag.edges() {
             assert!(pos[&u] < pos[&v], "order hint violates edge {u}->{v}");
         }
@@ -274,7 +279,10 @@ mod tests {
         let result = GreedyBspScheduler::new().schedule(&dag, &a);
         result.schedule.validate(&dag).unwrap();
         let work = result.schedule.work_per_processor(&dag);
-        assert!(work[0] > 0.0 && work[1] > 0.0, "both processors should get work: {work:?}");
+        assert!(
+            work[0] > 0.0 && work[1] > 0.0,
+            "both processors should get work: {work:?}"
+        );
         // The chains should not be interleaved across processors: few cross edges.
         assert!(result.schedule.cross_processor_edges(&dag) <= 4);
     }
@@ -297,7 +305,11 @@ mod tests {
     #[test]
     fn larger_latency_means_fewer_supersteps() {
         let dag = random_layered_dag(
-            &RandomDagConfig { layers: 6, width: 6, ..Default::default() },
+            &RandomDagConfig {
+                layers: 6,
+                width: 6,
+                ..Default::default()
+            },
             9,
         );
         let small_l = GreedyBspScheduler::new().schedule(&dag, &arch(4, 1.0));

@@ -38,7 +38,12 @@ pub struct QuotientPlan {
 impl QuotientPlan {
     /// The plan entries grouped by stage, in stage order.
     pub fn stages(&self) -> Vec<Vec<&PartPlan>> {
-        let max_stage = self.parts.iter().map(|p| p.stage).max().map_or(0, |m| m + 1);
+        let max_stage = self
+            .parts
+            .iter()
+            .map(|p| p.stage)
+            .max()
+            .map_or(0, |m| m + 1);
         let mut out = vec![Vec::new(); max_stage];
         for p in &self.parts {
             out[p.stage].push(p);
@@ -48,13 +53,17 @@ impl QuotientPlan {
 
     /// The plan entry of a given part.
     pub fn part(&self, part: usize) -> &PartPlan {
-        self.parts.iter().find(|p| p.part == part).expect("part exists in plan")
+        self.parts
+            .iter()
+            .find(|p| p.part == part)
+            .expect("part exists in plan")
     }
 
     /// The order in which parts should be scheduled (stage by stage, parts within a
     /// stage in index order). This is a topological order of the quotient graph.
     pub fn part_order(&self) -> Vec<usize> {
-        let mut entries: Vec<(usize, usize)> = self.parts.iter().map(|p| (p.stage, p.part)).collect();
+        let mut entries: Vec<(usize, usize)> =
+            self.parts.iter().map(|p| (p.stage, p.part)).collect();
         entries.sort_unstable();
         entries.into_iter().map(|(_, part)| part).collect()
     }
@@ -106,7 +115,10 @@ impl QuotientPlanner {
             ready.truncate(p);
 
             // Proportional processor allocation by compute weight.
-            let total_work: f64 = ready.iter().map(|&v| quotient.compute_weight(v).max(1e-9)).sum();
+            let total_work: f64 = ready
+                .iter()
+                .map(|&v| quotient.compute_weight(v).max(1e-9))
+                .sum();
             let mut alloc: Vec<usize> = ready
                 .iter()
                 .map(|&v| {
@@ -118,7 +130,10 @@ impl QuotientPlanner {
             let mut total_alloc: usize = alloc.iter().sum();
             while total_alloc > p {
                 // Shrink the largest allocation above 1.
-                if let Some(i) = (0..alloc.len()).filter(|&i| alloc[i] > 1).max_by_key(|&i| alloc[i]) {
+                if let Some(i) = (0..alloc.len())
+                    .filter(|&i| alloc[i] > 1)
+                    .max_by_key(|&i| alloc[i])
+                {
                     alloc[i] -= 1;
                     total_alloc -= 1;
                 } else {
@@ -139,9 +154,14 @@ impl QuotientPlanner {
             let mut next_proc = 0usize;
             for (i, &part) in ready.iter().enumerate() {
                 let count = alloc[i].min(p - next_proc).max(1);
-                let processors: Vec<ProcId> = (next_proc..next_proc + count).map(ProcId::new).collect();
+                let processors: Vec<ProcId> =
+                    (next_proc..next_proc + count).map(ProcId::new).collect();
                 next_proc = (next_proc + count).min(p);
-                plans.push(PartPlan { part: part.index(), processors, stage });
+                plans.push(PartPlan {
+                    part: part.index(),
+                    processors,
+                    stage,
+                });
                 scheduled[part.index()] = true;
                 num_done += 1;
             }
@@ -170,12 +190,8 @@ mod tests {
     #[test]
     fn sequential_quotient_gets_all_processors_per_part() {
         // A path of three parts: each stage has one part which should get all procs.
-        let q = CompDag::from_edges(
-            "q",
-            vec![NodeWeights::new(10.0, 5.0); 3],
-            &[(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let q = CompDag::from_edges("q", vec![NodeWeights::new(10.0, 5.0); 3], &[(0, 1), (1, 2)])
+            .unwrap();
         let plan = QuotientPlanner::new().plan(&q, &arch(4));
         assert_eq!(plan.parts.len(), 3);
         for part in &plan.parts {
@@ -207,7 +223,11 @@ mod tests {
         assert_eq!(p2.stage, 1);
         // The two parallel parts split the 4 processors evenly and disjointly.
         assert_eq!(p0.processors.len() + p1.processors.len(), 4);
-        let overlap = p0.processors.iter().filter(|p| p1.processors.contains(p)).count();
+        let overlap = p0
+            .processors
+            .iter()
+            .filter(|p| p1.processors.contains(p))
+            .count();
         assert_eq!(overlap, 0);
         // The join part gets the whole machine.
         assert_eq!(p2.processors.len(), 4);

@@ -42,7 +42,9 @@ fn main() {
         partition.cut_edges(instance.dag())
     );
     let schedule = dnc.schedule(&instance);
-    schedule.validate(instance.dag(), instance.arch()).expect("valid combined schedule");
+    schedule
+        .validate(instance.dag(), instance.arch())
+        .expect("valid combined schedule");
     let dnc_cost = sync_cost(&schedule, instance.dag(), instance.arch()).total;
     println!("divide-and-conquer cost: {dnc_cost:.0}");
     println!("ratio: {:.2}x", dnc_cost / base_cost);

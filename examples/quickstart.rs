@@ -41,12 +41,19 @@ fn main() {
         level += 1;
     }
     let dag = b.build();
-    println!("DAG `{}`: {} nodes, {} edges", dag.name(), dag.num_nodes(), dag.num_edges());
-    println!("minimal feasible cache size r0 = {}", dag.minimal_cache_size());
+    println!(
+        "DAG `{}`: {} nodes, {} edges",
+        dag.name(),
+        dag.num_nodes(),
+        dag.num_edges()
+    );
+    println!(
+        "minimal feasible cache size r0 = {}",
+        dag.minimal_cache_size()
+    );
 
     // Architecture: 2 processors, cache 3·r0, g = 1, L = 5.
-    let instance =
-        MbspInstance::with_cache_factor(dag, Architecture::new(2, 0.0, 1.0, 5.0), 3.0);
+    let instance = MbspInstance::with_cache_factor(dag, Architecture::new(2, 0.0, 1.0, 5.0), 3.0);
 
     // Stage 1: a memory-oblivious BSP schedule.
     let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
@@ -63,7 +70,9 @@ fn main() {
         &bsp,
         &ClairvoyantPolicy::new(),
     );
-    baseline.validate(instance.dag(), instance.arch()).expect("baseline is valid");
+    baseline
+        .validate(instance.dag(), instance.arch())
+        .expect("baseline is valid");
     let base_cost = sync_cost(&baseline, instance.dag(), instance.arch());
     println!(
         "two-stage baseline:  cost {:>6.1} ({} supersteps, compute {:.0}, I/O {:.0}, sync {:.0})",
@@ -76,7 +85,9 @@ fn main() {
 
     // Holistic scheduler seeded with the same baseline.
     let holistic = HolisticScheduler::new().schedule(&instance, &bsp);
-    holistic.validate(instance.dag(), instance.arch()).expect("holistic schedule is valid");
+    holistic
+        .validate(instance.dag(), instance.arch())
+        .expect("holistic schedule is valid");
     let holistic_cost = sync_cost(&holistic, instance.dag(), instance.arch());
     println!(
         "holistic scheduler:  cost {:>6.1} ({} supersteps, compute {:.0}, I/O {:.0}, sync {:.0})",

@@ -74,8 +74,12 @@ fn main() {
     .schedule(&tiny_instance);
     match exact {
         Some((sched, status, objective)) => {
-            sched.validate(tiny_instance.dag(), tiny_instance.arch()).unwrap();
-            println!("\nexact ILP on the 3-node chain: status {status:?}, optimal cost {objective:.0}");
+            sched
+                .validate(tiny_instance.dag(), tiny_instance.arch())
+                .unwrap();
+            println!(
+                "\nexact ILP on the 3-node chain: status {status:?}, optimal cost {objective:.0}"
+            );
         }
         None => println!("\nexact ILP found no solution within its limits"),
     }

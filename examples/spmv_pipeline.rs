@@ -22,11 +22,8 @@ fn main() {
     println!("| cache factor | baseline | holistic | ratio |");
     println!("|---|---|---|---|");
     for factor in [1.0, 2.0, 3.0, 5.0] {
-        let instance = MbspInstance::with_cache_factor(
-            dag.clone(),
-            Architecture::paper_default(0.0),
-            factor,
-        );
+        let instance =
+            MbspInstance::with_cache_factor(dag.clone(), Architecture::paper_default(0.0), factor);
         let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
         let baseline = TwoStageScheduler::new().schedule(
             instance.dag(),
@@ -37,7 +34,10 @@ fn main() {
         let holistic = HolisticScheduler::new().schedule(&instance, &bsp);
         let base = sync_cost(&baseline, instance.dag(), instance.arch()).total;
         let ours = sync_cost(&holistic, instance.dag(), instance.arch()).total;
-        println!("| {factor}·r0 | {base:.0} | {ours:.0} | {:.2} |", ours / base);
+        println!(
+            "| {factor}·r0 | {base:.0} | {ours:.0} | {:.2} |",
+            ours / base
+        );
     }
     println!();
     println!(

@@ -13,14 +13,23 @@ test:
 doc:
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# Formatting check (rustfmt defaults, whole workspace).
+fmt:
+    cargo fmt --all --check
+
+# Clippy over every target, warnings denied.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
 # Criterion-style micro-benchmarks of the hot paths.
 bench:
     cargo bench -p mbsp_bench
 
-# Records the solver benchmark baseline (sparse warm-started branch-and-bound
-# vs the dense oracle on MBSP ILP instances) into BENCH_solver.json.
+# Records the benchmark baselines: the solver comparison into
+# BENCH_solver.json and the improver comparison into BENCH_improver.json.
 bench-json:
     cargo run --release -p mbsp_bench --bin bench_solver
+    cargo run --release -p mbsp_bench --bin bench_improver
 
 # Everything CI checks, in order.
-ci: build test doc
+ci: build test doc fmt lint

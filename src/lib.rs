@@ -90,8 +90,11 @@ mod tests {
     fn facade_reexports_are_usable() {
         let dataset = tiny_dataset(1);
         assert_eq!(dataset.len(), 15);
-        let instance =
-            MbspInstance::with_cache_factor(dataset[0].dag.clone(), Architecture::paper_default(0.0), 3.0);
+        let instance = MbspInstance::with_cache_factor(
+            dataset[0].dag.clone(),
+            Architecture::paper_default(0.0),
+            3.0,
+        );
         let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
         let schedule = TwoStageScheduler::new().schedule(
             instance.dag(),

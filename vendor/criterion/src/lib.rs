@@ -31,8 +31,16 @@ impl Default for Criterion {
     fn default() -> Self {
         let quick = std::env::var_os("CRITERION_QUICK").is_some();
         Criterion {
-            warm_up: if quick { Duration::from_millis(5) } else { Duration::from_millis(100) },
-            measure: if quick { Duration::from_millis(20) } else { Duration::from_millis(500) },
+            warm_up: if quick {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_millis(100)
+            },
+            measure: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(500)
+            },
         }
     }
 }
@@ -43,7 +51,11 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { warm_up: self.warm_up, measure: self.measure, report: None };
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measure: self.measure,
+            report: None,
+        };
         f(&mut b);
         match b.report {
             Some(r) => println!(
@@ -57,7 +69,10 @@ impl Criterion {
 
     /// Opens a named group of benchmarks; functionally a labelled prefix.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { parent: self, name: name.to_owned() }
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_owned(),
+        }
     }
 }
 
@@ -160,10 +175,11 @@ mod tests {
 
     #[test]
     fn measures_a_trivial_routine() {
-        let mut c = Criterion::default();
         // Tighten the budgets so the unit test stays fast.
-        c.warm_up = Duration::from_millis(1);
-        c.measure = Duration::from_millis(2);
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(2),
+        };
         let mut group = c.benchmark_group("g");
         group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         group.finish();

@@ -11,7 +11,12 @@ pub trait Distribution<T> {
 /// Types that [`Uniform`] can sample (mirrors rand's trait of the same name).
 pub trait SampleUniform: Copy + PartialOrd {
     /// Samples from `[low, high]` if `inclusive`, else from `[low, high)`.
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 /// A uniform distribution over a fixed interval, constructed once and sampled
@@ -27,13 +32,24 @@ impl<T: SampleUniform> Uniform<T> {
     /// Uniform over the half-open interval `[low, high)`.
     pub fn new(low: T, high: T) -> Self {
         assert!(low < high, "Uniform::new called with an empty range");
-        Uniform { low, high, inclusive: false }
+        Uniform {
+            low,
+            high,
+            inclusive: false,
+        }
     }
 
     /// Uniform over the closed interval `[low, high]`.
     pub fn new_inclusive(low: T, high: T) -> Self {
-        assert!(low <= high, "Uniform::new_inclusive called with an empty range");
-        Uniform { low, high, inclusive: true }
+        assert!(
+            low <= high,
+            "Uniform::new_inclusive called with an empty range"
+        );
+        Uniform {
+            low,
+            high,
+            inclusive: true,
+        }
     }
 }
 
@@ -67,7 +83,12 @@ macro_rules! impl_sample_uniform_int {
 impl_sample_uniform_int!(u8, u16, u32, u64, usize);
 
 impl SampleUniform for f64 {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, _inclusive: bool) -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
         low + unit_f64(rng.next_u64()) * (high - low)
     }
 }

@@ -23,6 +23,8 @@ impl SeedableRng for StdRng {
     type Seed = [u8; 8];
 
     fn from_seed(seed: Self::Seed) -> Self {
-        StdRng { state: u64::from_le_bytes(seed) }
+        StdRng {
+            state: u64::from_le_bytes(seed),
+        }
     }
 }

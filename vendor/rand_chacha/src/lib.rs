@@ -98,7 +98,13 @@ impl SeedableRng for ChaCha8Rng {
         for (i, word) in key.iter_mut().enumerate() {
             *word = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
         }
-        ChaCha8Rng { key, nonce: [0, 0], counter: 0, buf: [0; 16], idx: 16 }
+        ChaCha8Rng {
+            key,
+            nonce: [0, 0],
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
     }
 }
 

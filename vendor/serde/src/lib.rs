@@ -101,7 +101,9 @@ impl Error {
 
     /// Error for an unknown enum variant.
     pub fn unknown_variant(variant: &str, ty: &str) -> Self {
-        Error(format!("unknown variant `{variant}` while deserializing {ty}"))
+        Error(format!(
+            "unknown variant `{variant}` while deserializing {ty}"
+        ))
     }
 }
 
@@ -314,7 +316,10 @@ impl_tuple! {
 
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
-        let mut entries: Vec<_> = self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut entries: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Map(entries)
     }
@@ -334,7 +339,11 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -383,7 +392,11 @@ mod tests {
 
     #[test]
     fn named_struct_roundtrip() {
-        roundtrip(Named { a: 7, b: "hi".into(), cs: vec![1.5, -2.0] });
+        roundtrip(Named {
+            a: 7,
+            b: "hi".into(),
+            cs: vec![1.5, -2.0],
+        });
     }
 
     #[test]
@@ -399,7 +412,10 @@ mod tests {
         roundtrip(Mixed::Unit);
         roundtrip(Mixed::New(3));
         roundtrip(Mixed::Tup(4, 0.25));
-        roundtrip(Mixed::Rec { x: -1, y: vec![1, 2] });
+        roundtrip(Mixed::Rec {
+            x: -1,
+            y: vec![1, 2],
+        });
     }
 
     #[test]

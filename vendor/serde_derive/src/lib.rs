@@ -22,10 +22,21 @@ use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
 
 /// The parsed shape of the item the derive is attached to.
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<(String, VariantShape)> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantShape)>,
+    },
 }
 
 enum VariantShape {
@@ -71,7 +82,10 @@ fn parse_shape(input: TokenStream) -> Shape {
                 fields: parse_named_fields(g),
             },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Shape::TupleStruct { name, arity: count_tuple_fields(g) }
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g),
+                }
             }
             _ => Shape::UnitStruct { name },
         },
@@ -82,7 +96,9 @@ fn parse_shape(input: TokenStream) -> Shape {
             },
             other => panic!("expected enum body, found {other:?}"),
         },
-        other => panic!("#[derive(Serialize/Deserialize)] supports structs and enums, not `{other}`"),
+        other => {
+            panic!("#[derive(Serialize/Deserialize)] supports structs and enums, not `{other}`")
+        }
     }
 }
 
@@ -230,7 +246,10 @@ fn gen_serialize(shape: &Shape) -> String {
                     )
                 })
                 .collect();
-            (name, format!("::serde::Value::Map(::std::vec![{}])", entries.join(", ")))
+            (
+                name,
+                format!("::serde::Value::Map(::std::vec![{}])", entries.join(", ")),
+            )
         }
         Shape::TupleStruct { name, arity: 1 } => {
             (name, "::serde::Serialize::to_value(&self.0)".to_string())
@@ -239,7 +258,10 @@ fn gen_serialize(shape: &Shape) -> String {
             let items: Vec<String> = (0..*arity)
                 .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                 .collect();
-            (name, format!("::serde::Value::Seq(::std::vec![{}])", items.join(", ")))
+            (
+                name,
+                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", ")),
+            )
         }
         Shape::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
         Shape::Enum { name, variants } => {
@@ -345,9 +367,7 @@ fn gen_deserialize(shape: &Shape) -> String {
                 ),
             )
         }
-        Shape::UnitStruct { name } => {
-            (name, format!("::std::result::Result::Ok({name})"))
-        }
+        Shape::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
         Shape::Enum { name, variants } => {
             let mut unit_arms = Vec::new();
             let mut data_arms = Vec::new();

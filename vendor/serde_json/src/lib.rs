@@ -22,12 +22,18 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 
 /// Deserializes a `T` from JSON text.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::custom(format!("trailing characters at offset {}", p.pos)));
+        return Err(Error::custom(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
     }
     T::from_value(&v)
 }
@@ -139,7 +145,10 @@ impl Parser<'_> {
             Some(b'[') => self.parse_seq(),
             Some(b'{') => self.parse_map(),
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
-            _ => Err(Error::custom(format!("unexpected character at offset {}", self.pos))),
+            _ => Err(Error::custom(format!(
+                "unexpected character at offset {}",
+                self.pos
+            ))),
         }
     }
 
@@ -148,7 +157,10 @@ impl Parser<'_> {
             self.pos += kw.len();
             Ok(v)
         } else {
-            Err(Error::custom(format!("invalid literal at offset {}", self.pos)))
+            Err(Error::custom(format!(
+                "invalid literal at offset {}",
+                self.pos
+            )))
         }
     }
 
@@ -194,8 +206,7 @@ impl Parser<'_> {
             .get(self.pos + 1..self.pos + 5)
             .and_then(|h| std::str::from_utf8(h).ok())
             .ok_or_else(|| Error::custom("truncated \\u escape"))?;
-        let code = u32::from_str_radix(hex, 16)
-            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
         self.pos += 4;
         Ok(code)
     }
@@ -233,10 +244,11 @@ impl Parser<'_> {
                                 self.pos += 2;
                                 let low = self.parse_u_escape_digits()?;
                                 if !(0xDC00..0xE000).contains(&low) {
-                                    return Err(Error::custom("invalid low surrogate in \\u escape"));
+                                    return Err(Error::custom(
+                                        "invalid low surrogate in \\u escape",
+                                    ));
                                 }
-                                let combined =
-                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                 char::from_u32(combined)
                                     .ok_or_else(|| Error::custom("invalid \\u code point"))?
                             } else {
@@ -279,7 +291,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Seq(items));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `]` at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -307,7 +324,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error::custom(format!("expected `,` or `}}` at offset {}", self.pos))),
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -326,7 +348,11 @@ mod tests {
 
     #[test]
     fn json_roundtrip() {
-        let p = Point { x: 1.5, y: -0.125, tag: "a \"quoted\" name\n".into() };
+        let p = Point {
+            x: 1.5,
+            y: -0.125,
+            tag: "a \"quoted\" name\n".into(),
+        };
         let s = to_string(&p).unwrap();
         let back: Point = from_str(&s).unwrap();
         assert_eq!(p, back);
@@ -358,9 +384,18 @@ mod tests {
         assert_eq!(escaped, "\u{1F600}");
         let raw: String = from_str(r#""😀""#).unwrap();
         assert_eq!(raw, "\u{1F600}");
-        assert!(from_str::<String>(r#""\ud83d""#).is_err(), "unpaired high surrogate");
-        assert!(from_str::<String>(r#""\ud83dA""#).is_err(), "bad low surrogate");
-        assert!(from_str::<String>(r#""\ude00""#).is_err(), "lone low surrogate");
+        assert!(
+            from_str::<String>(r#""\ud83d""#).is_err(),
+            "unpaired high surrogate"
+        );
+        assert!(
+            from_str::<String>(r#""\ud83dA""#).is_err(),
+            "bad low surrogate"
+        );
+        assert!(
+            from_str::<String>(r#""\ude00""#).is_err(),
+            "lone low surrogate"
+        );
     }
 
     #[test]
