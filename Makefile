@@ -22,12 +22,15 @@ bench:
 	cargo bench -p mbsp_bench
 
 # Records the benchmark baselines: the solver comparison (sparse warm-started
-# branch-and-bound vs the dense oracle) into BENCH_solver.json, and the
-# improver comparison (incremental evaluation engine vs clone-and-recost)
-# into BENCH_improver.json. Set MBSP_BENCH_SOLVER_QUICK=1 /
-# MBSP_BENCH_IMPROVER_QUICK=1 for the fast CI smoke variants.
+# branch-and-bound vs the dense oracle) into BENCH_solver.json, the improver
+# comparison (incremental evaluation engine vs clone-and-recost) into
+# BENCH_improver.json, and the DAG-substrate comparison (CSR/bitset/scratch
+# pipeline vs nested-Vec reference paths on 10k-100k-node instances) into
+# BENCH_dag.json. Set MBSP_BENCH_SOLVER_QUICK=1 / MBSP_BENCH_IMPROVER_QUICK=1 /
+# MBSP_BENCH_DAG_QUICK=1 for the fast CI smoke variants.
 bench-json:
 	cargo run --release -p mbsp_bench --bin bench_solver
 	cargo run --release -p mbsp_bench --bin bench_improver
+	cargo run --release -p mbsp_bench --bin bench_dag
 
 ci: build test doc fmt lint

@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks of the flattened DAG and pebble-state substrate:
+//! CSR traversal vs. the nested-Vec adjacency oracle, bitset configuration
+//! operations vs. the nested-`Vec<bool>` reference, and the scratch-based
+//! schedulers vs. their pre-scratch reference implementations, on a
+//! mid-sized layered-random instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbsp_dag::reference::AdjacencyOracle;
+use mbsp_dag::{CompDag, NodeId, TopologicalOrder};
+use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+use mbsp_model::reference::ReferenceConfiguration;
+use mbsp_model::{Architecture, Configuration, ProcId};
+use mbsp_sched::{
+    greedy::GreedyBspConfig, reference, BspScheduler, GreedyBspScheduler, SchedulerScratch,
+};
+
+fn setup() -> CompDag {
+    random_layered_dag(
+        &RandomDagConfig {
+            layers: 40,
+            width: 50,
+            edge_probability: 0.08,
+            ..Default::default()
+        },
+        11,
+    )
+}
+
+fn bench_adjacency(c: &mut Criterion) {
+    let dag = setup();
+    let edges: Vec<(NodeId, NodeId)> = dag.edges().collect();
+    let oracle = AdjacencyOracle::new(dag.num_nodes(), &edges);
+    let mut group = c.benchmark_group("adjacency_traversal");
+    group.bench_function("csr_children_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in dag.nodes() {
+                for &ch in dag.children(v) {
+                    acc = acc.wrapping_add(ch.index());
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("nested_vec_children_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for v in dag.nodes() {
+                for &ch in oracle.children(v) {
+                    acc = acc.wrapping_add(ch.index());
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("topological_order", |b| {
+        let mut topo = TopologicalOrder::default();
+        b.iter(|| {
+            topo.rebuild(&dag);
+            topo.order().len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_configuration(c: &mut Criterion) {
+    let dag = setup();
+    let arch = Architecture::new(4, 1e9, 1.0, 10.0);
+    let nodes: Vec<NodeId> = dag.nodes().collect();
+    let mut group = c.benchmark_group("pebble_state");
+    group.bench_function("bitset_place_query_reset", |b| {
+        let mut cfg = Configuration::initial(&dag, &arch);
+        b.iter(|| {
+            for (i, &v) in nodes.iter().enumerate() {
+                let p = ProcId::new(i % 4);
+                cfg.place_red_unchecked(&dag, p, v);
+            }
+            let cached = cfg.cached_nodes(ProcId::new(0)).count();
+            cfg.reset_initial(&dag);
+            cached
+        })
+    });
+    group.bench_function("nested_vec_place_query_reset", |b| {
+        let mut cfg = ReferenceConfiguration::initial(&dag, &arch);
+        b.iter(|| {
+            for (i, &v) in nodes.iter().enumerate() {
+                let p = ProcId::new(i % 4);
+                cfg.place_red_unchecked(&dag, p, v);
+            }
+            let cached = cfg.cached_nodes(ProcId::new(0)).len();
+            cfg.reset_initial(&dag);
+            cached
+        })
+    });
+    group.finish();
+}
+
+fn bench_greedy_scratch(c: &mut Criterion) {
+    let dag = setup();
+    let arch = Architecture::new(4, 1e9, 1.0, 10.0);
+    let mut group = c.benchmark_group("greedy_scheduler");
+    group.bench_function("scratch_reuse", |b| {
+        let sched = GreedyBspScheduler::new();
+        let mut scratch = SchedulerScratch::new();
+        b.iter(|| sched.schedule_with_scratch(&dag, &arch, &mut scratch))
+    });
+    group.bench_function("reference", |b| {
+        let config = GreedyBspConfig::default();
+        b.iter(|| reference::greedy_reference(&config, &dag, &arch))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_adjacency,
+    bench_configuration,
+    bench_greedy_scratch
+);
+criterion_main!(benches);

@@ -141,9 +141,9 @@ pub struct ConversionArena {
     /// Per node: index of the processor whose sequence contains it
     /// (`u32::MAX` for sources, which are never computed).
     node_proc: Vec<u32>,
-    /// Per processor and node: sorted positions in `seq[p]` where the node is used
-    /// as an input of a compute step.
-    use_positions: Vec<Vec<Vec<usize>>>,
+    /// Per processor and node, flattened as `p * n + v`: sorted positions in
+    /// `seq[p]` where the node is used as an input of a compute step.
+    use_positions: Vec<Vec<usize>>,
     /// Canonical superstep of every node for the current assignment.
     superstep: Vec<usize>,
     /// Assignment and supersteps of the previous `convert_assignment` call, used to
@@ -160,22 +160,24 @@ pub struct ConversionArena {
     // ---- Per-run cache-simulation state. ----
     /// Per processor: current position in `seq`.
     cursor: Vec<usize>,
-    /// Per processor and node: index of the first entry of `use_positions` that has
-    /// not been passed yet.
-    use_ptr: Vec<Vec<usize>>,
-    /// Per processor: which nodes are currently cached.
-    cached: Vec<Vec<bool>>,
+    /// Per processor and node (flat `p * n + v`): index of the first entry of
+    /// `use_positions` that has not been passed yet.
+    use_ptr: Vec<usize>,
+    /// Per processor and node (flat `p * n + v`): is the node currently cached?
+    /// One flat allocation instead of one heap vector per processor.
+    cached: Vec<bool>,
     /// Per processor: the cached nodes as a dense list (arbitrary order), kept
     /// exactly in sync with `cached` so eviction scans cost O(cached) instead of
     /// O(V).
     cached_list: Vec<Vec<NodeId>>,
-    /// Per processor and node: position of the node within `cached_list` (only
-    /// meaningful while the node is cached).
-    list_pos: Vec<Vec<u32>>,
+    /// Per processor and node (flat `p * n + v`): position of the node within
+    /// `cached_list` (only meaningful while the node is cached).
+    list_pos: Vec<u32>,
     /// Per processor: current cache usage.
     used: Vec<f64>,
-    /// Per processor and node: logical time of the last access (for LRU).
-    last_use: Vec<Vec<usize>>,
+    /// Per processor and node (flat `p * n + v`): logical time of the last
+    /// access (for LRU).
+    last_use: Vec<usize>,
     /// Per processor: logical clock incremented on every compute step.
     clock: Vec<usize>,
     /// Which nodes currently have a blue pebble.
@@ -220,7 +222,7 @@ impl ConversionArena {
             source_mask,
             seq: vec![Vec::new(); p],
             node_proc: vec![u32::MAX; n],
-            use_positions: vec![vec![Vec::new(); n]; p],
+            use_positions: vec![Vec::new(); p * n],
             superstep: vec![0; n],
             prev_procs: vec![ProcId::new(0); n],
             prev_superstep: vec![0; n],
@@ -229,12 +231,12 @@ impl ConversionArena {
             order_pos: vec![usize::MAX; n],
             keyed: Vec::new(),
             cursor: vec![0; p],
-            use_ptr: vec![vec![0; n]; p],
-            cached: vec![vec![false; n]; p],
+            use_ptr: vec![0; p * n],
+            cached: vec![false; p * n],
             cached_list: vec![Vec::new(); p],
-            list_pos: vec![vec![0; n]; p],
+            list_pos: vec![0; p * n],
             used: vec![0.0; p],
-            last_use: vec![vec![0; n]; p],
+            last_use: vec![0; p * n],
             clock: vec![0; p],
             blue: vec![false; n],
             blue_snapshot: vec![false; n],
@@ -411,10 +413,11 @@ impl ConversionArena {
     /// below maintains that invariant), so this costs O(edges of the processor)
     /// rather than O(V).
     fn clear_use_positions(&mut self, dag: &CompDag, pi: usize) {
+        let base = pi * self.n;
         for idx in 0..self.seq[pi].len() {
             let v = self.seq[pi][idx];
             for &u in dag.parents(v) {
-                self.use_positions[pi][u.index()].clear();
+                self.use_positions[base + u.index()].clear();
             }
         }
     }
@@ -423,10 +426,11 @@ impl ConversionArena {
     /// [`ConversionArena::clear_use_positions`] must have run against the old
     /// sequence first.
     fn fill_use_positions(&mut self, dag: &CompDag, pi: usize) {
+        let base = pi * self.n;
         for pos in 0..self.seq[pi].len() {
             let v = self.seq[pi][pos];
             for &u in dag.parents(v) {
-                self.use_positions[pi][u.index()].push(pos);
+                self.use_positions[base + u.index()].push(pos);
             }
         }
     }
@@ -439,18 +443,15 @@ impl ConversionArena {
         // Clear exactly the red pebbles the previous run left behind (the dense
         // list knows them), instead of an O(P·V) sweep.
         for pi in 0..self.p {
+            let base = pi * self.n;
             for idx in 0..self.cached_list[pi].len() {
                 let v = self.cached_list[pi][idx];
-                self.cached[pi][v.index()] = false;
+                self.cached[base + v.index()] = false;
             }
             self.cached_list[pi].clear();
         }
-        for last in &mut self.last_use {
-            last.fill(0);
-        }
-        for ptr in &mut self.use_ptr {
-            ptr.fill(0);
-        }
+        self.last_use.fill(0);
+        self.use_ptr.fill(0);
         // The initial blue set is exactly the sources.
         self.blue.copy_from_slice(&self.source_mask);
         self.remaining_uses.copy_from_slice(&self.base_uses);
@@ -511,6 +512,7 @@ impl ConversionArena {
 
             for pi in 0..self.p {
                 let phases = &mut out.supersteps_mut()[step_idx].procs[pi];
+                let base = pi * self.n;
 
                 // ---- 1. Compute phase: maximal segment without new I/O. ----
                 loop {
@@ -520,7 +522,11 @@ impl ConversionArena {
                     }
                     let v = self.seq[pi][pos];
                     // All parents must already be cached.
-                    if dag.parents(v).iter().any(|&u| !self.cached[pi][u.index()]) {
+                    if dag
+                        .parents(v)
+                        .iter()
+                        .any(|&u| !self.cached[base + u.index()])
+                    {
                         break;
                     }
                     // Make room for the output of v by dropping dead values only
@@ -534,9 +540,9 @@ impl ConversionArena {
                     self.cache_insert(pi, v);
                     self.used[pi] += dag.memory_weight(v);
                     self.clock[pi] += 1;
-                    self.last_use[pi][v.index()] = self.clock[pi];
+                    self.last_use[base + v.index()] = self.clock[pi];
                     for &u in dag.parents(v) {
-                        self.last_use[pi][u.index()] = self.clock[pi];
+                        self.last_use[base + u.index()] = self.clock[pi];
                         self.remaining_uses[u.index()] -= 1;
                     }
                     self.cursor[pi] += 1;
@@ -629,13 +635,14 @@ impl ConversionArena {
             return;
         }
         let r = arch.cache_size;
+        let base = pi * self.n;
         let next = self.seq[pi][pos];
         // Inputs of the next compute step that are missing from the cache and
         // already available in slow memory.
         let missing = dag
             .parents(next)
             .iter()
-            .filter(|&&u| !self.cached[pi][u.index()])
+            .filter(|&&u| !self.cached[base + u.index()])
             .count();
         let mut loadable = std::mem::take(&mut self.scratch_nodes);
         loadable.clear();
@@ -643,7 +650,7 @@ impl ConversionArena {
             dag.parents(next)
                 .iter()
                 .copied()
-                .filter(|&u| !self.cached[pi][u.index()] && self.blue_snapshot[u.index()]),
+                .filter(|&u| !self.cached[base + u.index()] && self.blue_snapshot[u.index()]),
         );
         if loadable.len() < missing {
             // Some input is not yet in slow memory (its producer has not caught up);
@@ -671,7 +678,7 @@ impl ConversionArena {
                     node: v,
                     weight: dag.memory_weight(v),
                     next_use: self.next_use(pi, v),
-                    last_use: self.last_use[pi][v.index()],
+                    last_use: self.last_use[base + v.index()],
                     has_blue: self.blue[v.index()],
                     needed_later: self.remaining_uses[v.index()] > 0
                         || (self.is_required_output[v.index()] && !self.blue[v.index()]),
@@ -730,10 +737,9 @@ impl ConversionArena {
                 let w = self.seq[pi][look];
                 extras.clear();
                 extras.extend(
-                    dag.parents(w)
-                        .iter()
-                        .copied()
-                        .filter(|&u| !self.cached[pi][u.index()] && !virtually_cached.contains(&u)),
+                    dag.parents(w).iter().copied().filter(|&u| {
+                        !self.cached[base + u.index()] && !virtually_cached.contains(&u)
+                    }),
                 );
                 if extras.iter().any(|&u| !self.blue_snapshot[u.index()]) {
                     break;
@@ -758,8 +764,9 @@ impl ConversionArena {
 
     /// Position of the next use of `v` as an input on processor `pi`, if any.
     fn next_use(&mut self, pi: usize, v: NodeId) -> Option<usize> {
-        let positions = &self.use_positions[pi][v.index()];
-        let ptr = &mut self.use_ptr[pi][v.index()];
+        let slot = pi * self.n + v.index();
+        let positions = &self.use_positions[slot];
+        let ptr = &mut self.use_ptr[slot];
         while *ptr < positions.len() && positions[*ptr] < self.cursor[pi] {
             *ptr += 1;
         }
@@ -770,24 +777,26 @@ impl ConversionArena {
     /// only caches on a miss) and tracks it in the dense cached list.
     #[inline]
     fn cache_insert(&mut self, pi: usize, v: NodeId) {
-        debug_assert!(!self.cached[pi][v.index()]);
-        self.cached[pi][v.index()] = true;
-        self.list_pos[pi][v.index()] = self.cached_list[pi].len() as u32;
+        let slot = pi * self.n + v.index();
+        debug_assert!(!self.cached[slot]);
+        self.cached[slot] = true;
+        self.list_pos[slot] = self.cached_list[pi].len() as u32;
         self.cached_list[pi].push(v);
     }
 
     /// Removes `v` from `pi`'s cache and its dense cached list (O(1) swap-remove).
     #[inline]
     fn cache_remove(&mut self, pi: usize, v: NodeId) {
-        debug_assert!(self.cached[pi][v.index()]);
-        self.cached[pi][v.index()] = false;
-        let pos = self.list_pos[pi][v.index()] as usize;
+        let slot = pi * self.n + v.index();
+        debug_assert!(self.cached[slot]);
+        self.cached[slot] = false;
+        let pos = self.list_pos[slot] as usize;
         let last = self.cached_list[pi]
             .pop()
             .expect("cached list is non-empty");
         if last != v {
             self.cached_list[pi][pos] = last;
-            self.list_pos[pi][last.index()] = pos as u32;
+            self.list_pos[pi * self.n + last.index()] = pos as u32;
         }
     }
 }

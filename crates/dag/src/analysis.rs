@@ -50,8 +50,8 @@ impl DagStatistics {
             name: dag.name().to_string(),
             num_nodes: n,
             num_edges: dag.num_edges(),
-            num_sources: dag.sources().len(),
-            num_sinks: dag.sinks().len(),
+            num_sources: dag.source_nodes().count(),
+            num_sinks: dag.sink_nodes().count(),
             total_work,
             computable_work: dag.computable_work(),
             total_memory: dag.total_memory(),
@@ -74,40 +74,68 @@ impl DagStatistics {
     }
 }
 
+/// Reusable scratch for the reachability sweeps: version-stamped visited marks
+/// plus a DFS stack, so repeated [`ancestors_into`] / [`descendants_into`] calls
+/// on large DAGs allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ReachScratch {
+    marks: crate::scratch::VisitMarks,
+    stack: Vec<NodeId>,
+}
+
 /// Returns the set of ancestors of `v` (excluding `v` itself).
 pub fn ancestors(dag: &CompDag, v: NodeId) -> Vec<NodeId> {
-    let mut visited = vec![false; dag.num_nodes()];
-    let mut stack = vec![v];
     let mut out = Vec::new();
-    while let Some(u) = stack.pop() {
+    ancestors_into(dag, v, &mut ReachScratch::default(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`ancestors`]: writes the sorted ancestor set into
+/// `out`, reusing `scratch` across calls.
+pub fn ancestors_into(dag: &CompDag, v: NodeId, scratch: &mut ReachScratch, out: &mut Vec<NodeId>) {
+    scratch.marks.begin(dag.num_nodes());
+    scratch.stack.clear();
+    scratch.stack.push(v);
+    out.clear();
+    while let Some(u) = scratch.stack.pop() {
         for &p in dag.parents(u) {
-            if !visited[p.index()] {
-                visited[p.index()] = true;
+            if scratch.marks.visit(p.index()) {
                 out.push(p);
-                stack.push(p);
+                scratch.stack.push(p);
             }
         }
     }
-    out.sort();
-    out
+    out.sort_unstable();
 }
 
 /// Returns the set of descendants of `v` (excluding `v` itself).
 pub fn descendants(dag: &CompDag, v: NodeId) -> Vec<NodeId> {
-    let mut visited = vec![false; dag.num_nodes()];
-    let mut stack = vec![v];
     let mut out = Vec::new();
-    while let Some(u) = stack.pop() {
+    descendants_into(dag, v, &mut ReachScratch::default(), &mut out);
+    out
+}
+
+/// Allocation-free variant of [`descendants`]: writes the sorted descendant set
+/// into `out`, reusing `scratch` across calls.
+pub fn descendants_into(
+    dag: &CompDag,
+    v: NodeId,
+    scratch: &mut ReachScratch,
+    out: &mut Vec<NodeId>,
+) {
+    scratch.marks.begin(dag.num_nodes());
+    scratch.stack.clear();
+    scratch.stack.push(v);
+    out.clear();
+    while let Some(u) = scratch.stack.pop() {
         for &c in dag.children(u) {
-            if !visited[c.index()] {
-                visited[c.index()] = true;
+            if scratch.marks.visit(c.index()) {
                 out.push(c);
-                stack.push(c);
+                scratch.stack.push(c);
             }
         }
     }
-    out.sort();
-    out
+    out.sort_unstable();
 }
 
 #[cfg(test)]

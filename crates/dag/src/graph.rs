@@ -1,10 +1,15 @@
 //! Core computational-DAG data structure.
 //!
 //! [`CompDag`] stores a directed acyclic graph with per-node compute weights `ω`
-//! and memory weights `μ`, using dense integer node identifiers and forward/reverse
-//! adjacency lists. Construction normally goes through [`crate::DagBuilder`], which
-//! validates acyclicity incrementally; `CompDag` itself also exposes a checked
-//! [`CompDag::from_edges`] constructor for convenience.
+//! and memory weights `μ`, using dense integer node identifiers and **CSR
+//! (compressed sparse row) adjacency**: the children of every node live in one
+//! flat `Vec<NodeId>` addressed through an offset array, and likewise for the
+//! parents. `children(v)` / `parents(v)` are contiguous slices, so the hot
+//! scheduling and pebbling loops walk cache-resident memory instead of chasing
+//! one heap allocation per node. Construction normally goes through
+//! [`crate::DagBuilder`], which validates acyclicity incrementally; `CompDag`
+//! itself also exposes a checked [`CompDag::from_edges`] constructor that
+//! pre-sizes the CSR arrays from a degree-counting pass.
 
 use crate::error::DagError;
 use crate::Result;
@@ -107,11 +112,20 @@ impl Default for NodeWeights {
     }
 }
 
-/// A weighted computational DAG.
+/// A weighted computational DAG in CSR form.
 ///
 /// Nodes carry a compute weight `ω` and a memory weight `μ`; edges are unweighted
 /// precedence/data-dependency arcs. The structure is immutable after construction
-/// apart from weight updates, which cannot invalidate acyclicity.
+/// apart from weight and label updates, which cannot invalidate acyclicity.
+///
+/// ## Memory layout
+///
+/// Forward adjacency is stored as `child_adj[child_off[v] .. child_off[v + 1]]`
+/// (one flat target array plus an `n + 1` offset array), reverse adjacency
+/// likewise. Within each node's slice, neighbours appear in edge-insertion
+/// order — identical to the order the former nested `Vec<Vec<NodeId>>`
+/// representation produced, which the differential oracle in
+/// [`crate::reference`] asserts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompDag {
     /// Optional human-readable name (e.g. the benchmark instance name).
@@ -120,10 +134,14 @@ pub struct CompDag {
     weights: Vec<NodeWeights>,
     /// Optional per-node labels (used by the generators / DOT export).
     labels: Vec<String>,
-    /// Forward adjacency: children of each node.
-    children: Vec<Vec<NodeId>>,
-    /// Reverse adjacency: parents of each node.
-    parents: Vec<Vec<NodeId>>,
+    /// CSR offsets into `child_adj`; length `n + 1`.
+    child_off: Vec<u32>,
+    /// Flat forward-adjacency targets (children), grouped by source node.
+    child_adj: Vec<NodeId>,
+    /// CSR offsets into `parent_adj`; length `n + 1`.
+    parent_off: Vec<u32>,
+    /// Flat reverse-adjacency targets (parents), grouped by target node.
+    parent_adj: Vec<NodeId>,
     /// Flat edge list in insertion order.
     edges: Vec<(NodeId, NodeId)>,
 }
@@ -135,8 +153,10 @@ impl CompDag {
             name: name.into(),
             weights: Vec::new(),
             labels: Vec::new(),
-            children: Vec::new(),
-            parents: Vec::new(),
+            child_off: vec![0],
+            child_adj: Vec::new(),
+            parent_off: vec![0],
+            parent_adj: Vec::new(),
             edges: Vec::new(),
         }
     }
@@ -144,19 +164,22 @@ impl CompDag {
     /// Builds a DAG from a node count, per-node weights and an edge list.
     ///
     /// Nodes `0..n` receive the weights from `weights` (which must have length `n`);
-    /// edges must reference valid nodes and must not create cycles or self-loops.
+    /// edges must reference valid nodes and must not create cycles, self-loops or
+    /// duplicates (a duplicate edge is rejected with [`DagError::DuplicateEdge`]).
+    /// The CSR arrays are pre-sized exactly by a degree-counting pass — no
+    /// incremental growth, no reallocation.
     pub fn from_edges(
         name: impl Into<String>,
         weights: Vec<NodeWeights>,
         edge_list: &[(usize, usize)],
     ) -> Result<Self> {
-        let mut dag = CompDag::new(name);
-        for (i, w) in weights.into_iter().enumerate() {
-            dag.push_node_with_label(w, format!("n{i}"))?;
-        }
-        for &(u, v) in edge_list {
-            dag.push_edge(NodeId::new(u), NodeId::new(v))?;
-        }
+        let n = weights.len();
+        let labels = (0..n).map(|i| format!("n{i}")).collect();
+        let edges = edge_list
+            .iter()
+            .map(|&(u, v)| (NodeId::new(u), NodeId::new(v)))
+            .collect();
+        let dag = CompDag::from_parts(name, weights, labels, edges)?;
         if !dag.is_acyclic() {
             // Report the first edge as offending; precise localisation is done by the
             // builder which checks incrementally.
@@ -164,6 +187,91 @@ impl CompDag {
             return Err(DagError::CycleDetected { from: u, to: v });
         }
         Ok(dag)
+    }
+
+    /// Builds the CSR representation from fully collected parts in `O(V + E)`:
+    /// one degree-counting pass sizes the adjacency arrays exactly, a second
+    /// pass fills them in edge-insertion order. Validates weights, endpoints,
+    /// self-loops and duplicate edges but **not** acyclicity (callers that did
+    /// not maintain it incrementally must check [`CompDag::is_acyclic`]).
+    pub(crate) fn from_parts(
+        name: impl Into<String>,
+        weights: Vec<NodeWeights>,
+        labels: Vec<String>,
+        edges: Vec<(NodeId, NodeId)>,
+    ) -> Result<Self> {
+        let n = weights.len();
+        debug_assert_eq!(labels.len(), n);
+        assert!(
+            NodeId::try_new(n).is_some() || n == 0,
+            "CompDag cannot hold more than u32::MAX nodes"
+        );
+        for (i, w) in weights.iter().enumerate() {
+            validate_weights(i, w)?;
+        }
+        let _ = EdgeId::try_new(edges.len()).expect("CompDag cannot hold more than u32::MAX edges");
+        // Degree-counting pass: exact capacities, no incremental growth.
+        let mut child_off = vec![0u32; n + 1];
+        let mut parent_off = vec![0u32; n + 1];
+        for &(u, v) in &edges {
+            if u.index() >= n {
+                return Err(DagError::InvalidNode {
+                    index: u.index(),
+                    len: n,
+                });
+            }
+            if v.index() >= n {
+                return Err(DagError::InvalidNode {
+                    index: v.index(),
+                    len: n,
+                });
+            }
+            if u == v {
+                return Err(DagError::SelfLoop { node: u.index() });
+            }
+            child_off[u.index() + 1] += 1;
+            parent_off[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            child_off[i + 1] += child_off[i];
+            parent_off[i + 1] += parent_off[i];
+        }
+        // Fill pass, preserving edge-insertion order within each node's slice.
+        let mut child_adj = vec![NodeId(0); edges.len()];
+        let mut parent_adj = vec![NodeId(0); edges.len()];
+        let mut child_cursor: Vec<u32> = child_off[..n].to_vec();
+        let mut parent_cursor: Vec<u32> = parent_off[..n].to_vec();
+        for &(u, v) in &edges {
+            child_adj[child_cursor[u.index()] as usize] = v;
+            child_cursor[u.index()] += 1;
+            parent_adj[parent_cursor[v.index()] as usize] = u;
+            parent_cursor[v.index()] += 1;
+        }
+        // Duplicate detection with version-stamped marks: O(V + E) overall.
+        let mut mark = vec![0u64; n];
+        for u in 0..n {
+            let stamp = u as u64 + 1;
+            let (a, b) = (child_off[u] as usize, child_off[u + 1] as usize);
+            for &c in &child_adj[a..b] {
+                if mark[c.index()] == stamp {
+                    return Err(DagError::DuplicateEdge {
+                        from: u,
+                        to: c.index(),
+                    });
+                }
+                mark[c.index()] = stamp;
+            }
+        }
+        Ok(CompDag {
+            name: name.into(),
+            weights,
+            labels,
+            child_off,
+            child_adj,
+            parent_off,
+            parent_adj,
+            edges,
+        })
     }
 
     /// Name of the DAG.
@@ -203,74 +311,6 @@ impl CompDag {
         self.edges.iter().copied()
     }
 
-    /// Adds a node with the given weights; returns its id.
-    pub(crate) fn push_node(&mut self, weights: NodeWeights) -> Result<NodeId> {
-        let label = format!("n{}", self.num_nodes());
-        self.push_node_with_label(weights, label)
-    }
-
-    /// Adds a node with the given weights and label; returns its id.
-    pub(crate) fn push_node_with_label(
-        &mut self,
-        weights: NodeWeights,
-        label: impl Into<String>,
-    ) -> Result<NodeId> {
-        // Fails loudly (also in release builds) instead of aliasing node ids
-        // once the u32 range is exhausted.
-        let id = NodeId::try_new(self.num_nodes())
-            .expect("CompDag cannot hold more than u32::MAX nodes");
-        if !weights.compute.is_finite() || weights.compute < 0.0 {
-            return Err(DagError::InvalidWeight {
-                node: id.index(),
-                reason: "compute weight must be finite and non-negative",
-            });
-        }
-        if !weights.memory.is_finite() || weights.memory < 0.0 {
-            return Err(DagError::InvalidWeight {
-                node: id.index(),
-                reason: "memory weight must be finite and non-negative",
-            });
-        }
-        self.weights.push(weights);
-        self.labels.push(label.into());
-        self.children.push(Vec::new());
-        self.parents.push(Vec::new());
-        Ok(id)
-    }
-
-    /// Adds an edge `from -> to` without cycle checking (used by the builder which
-    /// maintains acyclicity incrementally).
-    pub(crate) fn push_edge(&mut self, from: NodeId, to: NodeId) -> Result<EdgeId> {
-        let n = self.num_nodes();
-        if from.index() >= n {
-            return Err(DagError::InvalidNode {
-                index: from.index(),
-                len: n,
-            });
-        }
-        if to.index() >= n {
-            return Err(DagError::InvalidNode {
-                index: to.index(),
-                len: n,
-            });
-        }
-        if from == to {
-            return Err(DagError::SelfLoop { node: from.index() });
-        }
-        if self.children[from.index()].contains(&to) {
-            return Err(DagError::DuplicateEdge {
-                from: from.index(),
-                to: to.index(),
-            });
-        }
-        let id = EdgeId::try_new(self.edges.len())
-            .expect("CompDag cannot hold more than u32::MAX edges");
-        self.children[from.index()].push(to);
-        self.parents[to.index()].push(from);
-        self.edges.push((from, to));
-        Ok(id)
-    }
-
     /// Compute weight `ω(v)`.
     #[inline]
     pub fn compute_weight(&self, v: NodeId) -> f64 {
@@ -297,18 +337,7 @@ impl CompDag {
                 len: self.num_nodes(),
             });
         }
-        if !weights.compute.is_finite() || weights.compute < 0.0 {
-            return Err(DagError::InvalidWeight {
-                node: v.index(),
-                reason: "compute weight must be finite and non-negative",
-            });
-        }
-        if !weights.memory.is_finite() || weights.memory < 0.0 {
-            return Err(DagError::InvalidWeight {
-                node: v.index(),
-                reason: "memory weight must be finite and non-negative",
-            });
-        }
+        validate_weights(v.index(), &weights)?;
         self.weights[v.index()] = weights;
         Ok(())
     }
@@ -323,57 +352,73 @@ impl CompDag {
         self.labels[v.index()] = label.into();
     }
 
-    /// Children (direct successors) of a node.
+    /// Children (direct successors) of a node, as a contiguous CSR slice.
     #[inline]
     pub fn children(&self, v: NodeId) -> &[NodeId] {
-        &self.children[v.index()]
+        let i = v.index();
+        &self.child_adj[self.child_off[i] as usize..self.child_off[i + 1] as usize]
     }
 
-    /// Parents (direct predecessors) of a node.
+    /// Parents (direct predecessors) of a node, as a contiguous CSR slice.
     #[inline]
     pub fn parents(&self, v: NodeId) -> &[NodeId] {
-        &self.parents[v.index()]
+        let i = v.index();
+        &self.parent_adj[self.parent_off[i] as usize..self.parent_off[i + 1] as usize]
     }
 
-    /// In-degree of a node.
+    /// In-degree of a node (O(1) from the CSR offsets).
     #[inline]
     pub fn in_degree(&self, v: NodeId) -> usize {
-        self.parents[v.index()].len()
+        let i = v.index();
+        (self.parent_off[i + 1] - self.parent_off[i]) as usize
     }
 
-    /// Out-degree of a node.
+    /// Out-degree of a node (O(1) from the CSR offsets).
     #[inline]
     pub fn out_degree(&self, v: NodeId) -> usize {
-        self.children[v.index()].len()
+        let i = v.index();
+        (self.child_off[i + 1] - self.child_off[i]) as usize
     }
 
     /// Returns true if `v` is a source (no incoming edges). In the MBSP model sources
     /// are the inputs of the computation: they are never computed, only loaded.
     #[inline]
     pub fn is_source(&self, v: NodeId) -> bool {
-        self.parents[v.index()].is_empty()
+        self.in_degree(v) == 0
     }
 
     /// Returns true if `v` is a sink (no outgoing edges). Sinks are the outputs of the
     /// computation and must reside in slow memory at the end of a schedule.
     #[inline]
     pub fn is_sink(&self, v: NodeId) -> bool {
-        self.children[v.index()].is_empty()
+        self.out_degree(v) == 0
     }
 
-    /// All source nodes in index order.
+    /// Iterator over the source nodes in index order (allocation-free; prefer this
+    /// over [`CompDag::sources`] in loops).
+    pub fn source_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&v| self.is_source(v))
+    }
+
+    /// Iterator over the sink nodes in index order (allocation-free; prefer this
+    /// over [`CompDag::sinks`] in loops).
+    pub fn sink_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&v| self.is_sink(v))
+    }
+
+    /// All source nodes in index order, materialised.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.nodes().filter(|&v| self.is_source(v)).collect()
+        self.source_nodes().collect()
     }
 
-    /// All sink nodes in index order.
+    /// All sink nodes in index order, materialised.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.nodes().filter(|&v| self.is_sink(v)).collect()
+        self.sink_nodes().collect()
     }
 
     /// Returns true if the edge `from -> to` exists.
     pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
-        self.children[from.index()].contains(&to)
+        self.children(from).contains(&to)
     }
 
     /// Total compute work `Σ_v ω(v)`.
@@ -395,16 +440,19 @@ impl CompDag {
         self.weights.iter().map(|w| w.memory).sum()
     }
 
-    /// Checks acyclicity by Kahn's algorithm (used by the checked constructors; the
-    /// builder maintains the invariant incrementally and does not need this).
+    /// Checks acyclicity by Kahn's algorithm over the CSR arrays (used by the
+    /// checked constructors; the builder maintains the invariant incrementally and
+    /// does not need this).
     pub fn is_acyclic(&self) -> bool {
         let n = self.num_nodes();
-        let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|i| self.parent_off[i + 1] - self.parent_off[i])
+            .collect();
         let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut seen = 0usize;
         while let Some(u) = queue.pop() {
             seen += 1;
-            for &c in &self.children[u] {
+            for &c in self.children(NodeId::new(u)) {
                 indeg[c.index()] -= 1;
                 if indeg[c.index()] == 0 {
                     queue.push(c.index());
@@ -432,6 +480,24 @@ impl CompDag {
             .map(|v| self.compute_footprint(v))
             .fold(0.0, f64::max)
     }
+}
+
+/// Validates one node's weight pair (shared by every construction path,
+/// including [`crate::DagBuilder`]).
+pub(crate) fn validate_weights(node: usize, weights: &NodeWeights) -> Result<()> {
+    if !weights.compute.is_finite() || weights.compute < 0.0 {
+        return Err(DagError::InvalidWeight {
+            node,
+            reason: "compute weight must be finite and non-negative",
+        });
+    }
+    if !weights.memory.is_finite() || weights.memory < 0.0 {
+        return Err(DagError::InvalidWeight {
+            node,
+            reason: "memory weight must be finite and non-negative",
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -511,6 +577,17 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_edges_are_rejected_with_the_offending_pair() {
+        // Regression test for the degree-counting constructor: the duplicate is
+        // detected after the CSR fill and reports the exact (from, to) pair, even
+        // when the copies are not adjacent in the input list.
+        let weights = vec![NodeWeights::unit(); 4];
+        let err =
+            CompDag::from_edges("dup", weights, &[(0, 1), (0, 2), (2, 3), (0, 1)]).unwrap_err();
+        assert_eq!(err, DagError::DuplicateEdge { from: 0, to: 1 });
+    }
+
+    #[test]
     fn rejects_invalid_weights() {
         let res = CompDag::from_edges("bad", vec![NodeWeights::new(-1.0, 1.0)], &[]);
         assert!(matches!(res, Err(DagError::InvalidWeight { .. })));
@@ -559,5 +636,21 @@ mod tests {
         assert_eq!(d.total_work(), 0.0);
         assert!(d.sources().is_empty());
         assert!(d.sinks().is_empty());
+    }
+
+    #[test]
+    fn csr_slices_follow_edge_insertion_order() {
+        // Children of 0 were inserted as 2 then 1: the CSR slice preserves that.
+        let d = CompDag::from_edges(
+            "order",
+            vec![NodeWeights::unit(); 3],
+            &[(0, 2), (0, 1), (1, 2)],
+        )
+        .unwrap();
+        assert_eq!(
+            d.children(NodeId::new(0)),
+            &[NodeId::new(2), NodeId::new(1)]
+        );
+        assert_eq!(d.parents(NodeId::new(2)), &[NodeId::new(0), NodeId::new(1)]);
     }
 }

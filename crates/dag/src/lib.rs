@@ -14,9 +14,26 @@
 //! sub-DAG extraction and acyclic quotient graphs for the divide-and-conquer
 //! scheduler, and DOT export for debugging.
 //!
-//! The representation is index-based and append-only: nodes are identified by the
-//! dense [`NodeId`] handle, edges are stored in forward and reverse adjacency lists.
-//! This keeps the hot scheduling loops allocation-free and cache friendly.
+//! ## Representation
+//!
+//! The representation is index-based: nodes are identified by the dense
+//! [`NodeId`] handle and adjacency is stored in **CSR (compressed sparse row)
+//! form** — one flat target array plus an `n + 1` offset array per direction, so
+//! `children(v)` / `parents(v)` are contiguous slices and degree queries are
+//! O(1) offset subtractions. Incremental construction lives in [`DagBuilder`],
+//! which keeps nested append-friendly lists plus an incremental Pearce–Kelly
+//! topological order (O(1) cycle checks for order-respecting edges) and compacts
+//! into CSR once at `build`. Traversal helpers run on reusable flat scratch
+//! buffers with version-stamped visited marks ([`scratch::VisitMarks`]) instead
+//! of per-call hash sets.
+//!
+//! ## Oracle convention
+//!
+//! The pre-CSR nested-`Vec` adjacency lives on as [`reference::AdjacencyOracle`],
+//! a deliberately thin differential oracle: the property tests build both
+//! representations from the same random edge lists and assert every structural
+//! query agrees (mirroring `lp_solver::dense` and
+//! `mbsp_cache::two_stage::reference`).
 
 pub mod analysis;
 pub mod builder;
@@ -24,6 +41,8 @@ pub mod dot;
 pub mod error;
 pub mod graph;
 pub mod partition;
+pub mod reference;
+pub mod scratch;
 pub mod subgraph;
 pub mod topo;
 

@@ -101,20 +101,15 @@ impl AcyclicPartition {
 
     /// Checks that the quotient graph is acyclic.
     pub fn quotient_is_acyclic(&self, dag: &CompDag) -> bool {
-        // Build quotient adjacency and run Kahn's algorithm.
+        // Build the deduplicated quotient adjacency on flat buffers and run
+        // Kahn's algorithm.
         let k = self.num_parts;
-        let mut adj = vec![std::collections::BTreeSet::new(); k];
-        for (u, v) in dag.edges() {
-            let (pu, pv) = (self.part_of(u), self.part_of(v));
-            if pu != pv {
-                adj[pu].insert(pv);
-            }
-        }
+        let quotient_edges = self.dedup_quotient_edges(dag);
+        let mut adj = vec![Vec::new(); k];
         let mut indeg = vec![0usize; k];
-        for outs in adj.iter() {
-            for &t in outs {
-                indeg[t] += 1;
-            }
+        for &(pu, pv) in &quotient_edges {
+            adj[pu].push(pv);
+            indeg[pv] += 1;
         }
         let mut queue: Vec<usize> = (0..k).filter(|&i| indeg[i] == 0).collect();
         let mut seen = 0;
@@ -130,6 +125,47 @@ impl AcyclicPartition {
         seen == k
     }
 
+    /// The distinct cross-part edges `(pu, pv)` of the quotient, deduplicated
+    /// with a version-stamped mark array (one stamp per source part) instead of
+    /// a `BTreeSet`: O(|E| + k). The pairs come out grouped by source part in
+    /// ascending part order, and per source part in first-encounter order.
+    fn dedup_quotient_edges(&self, dag: &CompDag) -> Vec<(usize, usize)> {
+        let k = self.num_parts;
+        // Bucket the cross edges by source part (counting sort keeps this flat).
+        let mut counts = vec![0usize; k + 1];
+        for (u, v) in dag.edges() {
+            let (pu, pv) = (self.part_of(u), self.part_of(v));
+            if pu != pv {
+                counts[pu + 1] += 1;
+            }
+        }
+        for i in 0..k {
+            counts[i + 1] += counts[i];
+        }
+        let total = counts[k];
+        let mut targets = vec![0usize; total];
+        let mut cursor = counts[..k].to_vec();
+        for (u, v) in dag.edges() {
+            let (pu, pv) = (self.part_of(u), self.part_of(v));
+            if pu != pv {
+                targets[cursor[pu]] = pv;
+                cursor[pu] += 1;
+            }
+        }
+        // Per source part, keep the first occurrence of each target part.
+        let mut mark = vec![usize::MAX; k];
+        let mut out = Vec::new();
+        for pu in 0..k {
+            for &pv in &targets[counts[pu]..counts[pu + 1]] {
+                if mark[pv] != pu {
+                    mark[pv] = pu;
+                    out.push((pu, pv));
+                }
+            }
+        }
+        out
+    }
+
     /// Builds the contracted quotient graph. Each part becomes one node whose compute
     /// and memory weights are the sums over the part's nodes (as the paper's
     /// divide-and-conquer planner does).
@@ -141,21 +177,28 @@ impl AcyclicPartition {
             compute[self.part_of(v)] += dag.compute_weight(v);
             memory[self.part_of(v)] += dag.memory_weight(v);
         }
-        let mut q = CompDag::new(format!("{}::quotient", dag.name()));
-        for p in 0..k {
-            q.push_node_with_label(NodeWeights::new(compute[p], memory[p]), format!("part{p}"))?;
-        }
-        let mut seen = std::collections::BTreeSet::new();
+        let weights: Vec<NodeWeights> = (0..k)
+            .map(|p| NodeWeights::new(compute[p], memory[p]))
+            .collect();
+        let labels: Vec<String> = (0..k).map(|p| format!("part{p}")).collect();
+        let quotient_edges: Vec<(NodeId, NodeId)> = self
+            .dedup_quotient_edges(dag)
+            .into_iter()
+            .map(|(pu, pv)| (NodeId::new(pu), NodeId::new(pv)))
+            .collect();
         let mut cross_edges = vec![Vec::new(); k];
         for (u, v) in dag.edges() {
             let (pu, pv) = (self.part_of(u), self.part_of(v));
             if pu != pv {
                 cross_edges[pu].push((u, v));
-                if seen.insert((pu, pv)) {
-                    q.push_edge(NodeId::new(pu), NodeId::new(pv))?;
-                }
             }
         }
+        let q = CompDag::from_parts(
+            format!("{}::quotient", dag.name()),
+            weights,
+            labels,
+            quotient_edges,
+        )?;
         if !q.is_acyclic() {
             return Err(DagError::InvalidPartition {
                 reason: "quotient graph contains a cycle".to_string(),

@@ -1,0 +1,112 @@
+//! Thin nested-`Vec` adjacency oracle for differential testing.
+//!
+//! The workspace convention (established by `lp_solver::dense` and
+//! `mbsp_cache::two_stage::reference`) keeps a deliberately simple reference
+//! implementation next to every optimised data structure. [`AdjacencyOracle`]
+//! is the pre-CSR representation of a DAG — one heap-allocated `Vec<NodeId>`
+//! per node and direction — built straight from an edge list. The property
+//! tests in `tests/csr_differential.rs` assert that every structural query of
+//! the CSR [`crate::CompDag`] is operation-identical to this oracle on
+//! hundreds of random DAGs.
+
+use crate::graph::NodeId;
+
+/// Nested-`Vec` forward/reverse adjacency lists (the pre-CSR layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyOracle {
+    children: Vec<Vec<NodeId>>,
+    parents: Vec<Vec<NodeId>>,
+}
+
+impl AdjacencyOracle {
+    /// Builds the oracle for `n` nodes from an edge list, in insertion order
+    /// (the same order the CSR fill preserves).
+    pub fn new(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut children = vec![Vec::new(); n];
+        let mut parents = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            children[u.index()].push(v);
+            parents[v.index()].push(u);
+        }
+        AdjacencyOracle { children, parents }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Children of `v` in edge-insertion order.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Parents of `v` in edge-insertion order.
+    pub fn parents(&self, v: NodeId) -> &[NodeId] {
+        &self.parents[v.index()]
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.parents[v.index()].len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.children[v.index()].len()
+    }
+
+    /// Returns true if `v` has no parents.
+    pub fn is_source(&self, v: NodeId) -> bool {
+        self.parents[v.index()].is_empty()
+    }
+
+    /// Returns true if `v` has no children.
+    pub fn is_sink(&self, v: NodeId) -> bool {
+        self.children[v.index()].is_empty()
+    }
+
+    /// Returns true if the edge `from -> to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.children[from.index()].contains(&to)
+    }
+
+    /// Kahn's algorithm on the nested lists (the pre-CSR acyclicity check).
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.num_nodes();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.parents[i].len()).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &c in &self.children[u] {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    queue.push(c.index());
+                }
+            }
+        }
+        seen == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_matches_a_hand_built_diamond() {
+        let e = |a: usize, b: usize| (NodeId::new(a), NodeId::new(b));
+        let o = AdjacencyOracle::new(4, &[e(0, 1), e(0, 2), e(1, 3), e(2, 3)]);
+        assert_eq!(
+            o.children(NodeId::new(0)),
+            &[NodeId::new(1), NodeId::new(2)]
+        );
+        assert_eq!(o.parents(NodeId::new(3)), &[NodeId::new(1), NodeId::new(2)]);
+        assert!(o.is_source(NodeId::new(0)));
+        assert!(o.is_sink(NodeId::new(3)));
+        assert!(o.is_acyclic());
+        assert!(o.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!o.has_edge(NodeId::new(3), NodeId::new(0)));
+    }
+}

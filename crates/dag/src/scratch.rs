@@ -1,0 +1,117 @@
+//! Reusable flat scratch buffers for graph traversals.
+//!
+//! Every hot path that walks a DAG needs a "have I visited this node yet?"
+//! predicate. Allocating a fresh `Vec<bool>` (or worse, a `HashSet`) per call
+//! makes traversal cost dominated by allocator traffic on large instances, and
+//! clearing the buffer between calls costs O(V) even when the traversal touched
+//! three nodes. [`VisitMarks`] solves both with the classic *version-stamp*
+//! trick: the buffer stores the stamp of the traversal that last visited each
+//! node, and starting a new traversal is a single counter increment.
+
+/// Version-stamped visited marks over dense `usize` keys.
+///
+/// A mark array the size of the key space is allocated once (and grown on
+/// demand); [`VisitMarks::begin`] starts a new traversal in O(1) by bumping the
+/// stamp. On the (astronomically rare) stamp overflow the buffer is cleared
+/// and the stamp restarts, preserving correctness.
+#[derive(Debug, Clone, Default)]
+pub struct VisitMarks {
+    stamp: u32,
+    marks: Vec<u32>,
+}
+
+impl VisitMarks {
+    /// Creates marks for a key space of `len` keys.
+    pub fn new(len: usize) -> Self {
+        VisitMarks {
+            stamp: 0,
+            marks: vec![0; len],
+        }
+    }
+
+    /// Number of keys currently covered.
+    pub fn len(&self) -> usize {
+        self.marks.len()
+    }
+
+    /// Returns true if no keys are covered.
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty()
+    }
+
+    /// Starts a new traversal over a key space of `len` keys: O(1) amortised
+    /// (grows or clears the buffer only when the key space changed or the
+    /// stamp wrapped).
+    pub fn begin(&mut self, len: usize) {
+        if self.marks.len() != len {
+            self.marks.clear();
+            self.marks.resize(len, 0);
+            self.stamp = 0;
+        }
+        if self.stamp == u32::MAX {
+            self.marks.fill(0);
+            self.stamp = 0;
+        }
+        self.stamp += 1;
+    }
+
+    /// Marks `key` visited; returns true if it was *not* visited before in the
+    /// current traversal (i.e. the caller should process it).
+    #[inline]
+    pub fn visit(&mut self, key: usize) -> bool {
+        if self.marks[key] == self.stamp {
+            false
+        } else {
+            self.marks[key] = self.stamp;
+            true
+        }
+    }
+
+    /// Returns true if `key` has been visited in the current traversal.
+    #[inline]
+    pub fn is_visited(&self, key: usize) -> bool {
+        self.marks[key] == self.stamp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visit_marks_and_queries() {
+        let mut m = VisitMarks::new(4);
+        m.begin(4);
+        assert!(m.visit(1));
+        assert!(!m.visit(1));
+        assert!(m.is_visited(1));
+        assert!(!m.is_visited(0));
+        // A new traversal forgets everything in O(1).
+        m.begin(4);
+        assert!(!m.is_visited(1));
+        assert!(m.visit(1));
+    }
+
+    #[test]
+    fn begin_resizes_the_key_space() {
+        let mut m = VisitMarks::default();
+        assert!(m.is_empty());
+        m.begin(3);
+        assert_eq!(m.len(), 3);
+        assert!(m.visit(2));
+        m.begin(8);
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_visited(2));
+    }
+
+    #[test]
+    fn stamp_overflow_is_handled() {
+        let mut m = VisitMarks::new(2);
+        m.stamp = u32::MAX - 1;
+        m.begin(2);
+        assert!(m.visit(0));
+        m.begin(2); // wraps internally
+        assert!(!m.is_visited(0));
+        assert!(m.visit(0));
+    }
+}

@@ -43,24 +43,30 @@ impl SubDag {
         for &v in selection {
             included[v.index()] = true;
         }
-        let mut dag = CompDag::new(name);
+        // Collect the parts first, then build the CSR graph in one pass. Nodes are
+        // inserted in parent index order so that local ids are stable and
+        // deterministic regardless of selection order.
+        let mut weights = Vec::with_capacity(selection.len());
+        let mut labels = Vec::with_capacity(selection.len());
         let mut to_global = Vec::with_capacity(selection.len());
         let mut to_local = vec![None; parent.num_nodes()];
-        // Insert nodes in parent topological index order so that local ids are stable
-        // and deterministic regardless of selection order.
         for v in parent.nodes().filter(|v| included[v.index()]) {
-            let local = dag.push_node_with_label(
-                NodeWeights::new(parent.compute_weight(v), parent.memory_weight(v)),
-                parent.label(v).to_string(),
-            )?;
+            let local = NodeId::new(to_global.len());
+            weights.push(NodeWeights::new(
+                parent.compute_weight(v),
+                parent.memory_weight(v),
+            ));
+            labels.push(parent.label(v).to_string());
             to_global.push(v);
             to_local[v.index()] = Some(local);
         }
+        let mut local_edges = Vec::new();
         for (u, v) in parent.edges() {
             if included[u.index()] && included[v.index()] {
-                dag.push_edge(to_local[u.index()].unwrap(), to_local[v.index()].unwrap())?;
+                local_edges.push((to_local[u.index()].unwrap(), to_local[v.index()].unwrap()));
             }
         }
+        let dag = CompDag::from_parts(name, weights, labels, local_edges)?;
         let mut external_inputs = Vec::new();
         let mut external_outputs = Vec::new();
         for (local_idx, &g) in to_global.iter().enumerate() {

@@ -1,0 +1,116 @@
+//! Differential property tests: the CSR `CompDag` against the nested-`Vec`
+//! adjacency oracle, over hundreds of random DAGs.
+//!
+//! Every structural query the schedulers rely on — children, parents, degrees,
+//! source/sink predicates, edge membership, acyclicity — must be
+//! operation-identical between the optimised CSR layout and the thin
+//! [`mbsp_dag::reference::AdjacencyOracle`]. The random DAGs are generated
+//! directly from seeded edge lists (always `u < v`, so they are acyclic by
+//! construction) plus a sprinkle of rejected duplicates.
+
+use mbsp_dag::reference::AdjacencyOracle;
+use mbsp_dag::{CompDag, DagBuilder, NodeId, NodeWeights, TopologicalOrder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random acyclic edge list over `n` nodes (edges go from lower to
+/// higher index; duplicates are filtered).
+fn random_edges(n: usize, target_edges: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    let mut seen = vec![false; n * n];
+    let mut edges = Vec::new();
+    for _ in 0..target_edges * 3 {
+        if edges.len() >= target_edges {
+            break;
+        }
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        if !seen[u * n + v] {
+            seen[u * n + v] = true;
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+#[test]
+fn csr_queries_match_the_nested_vec_oracle_on_random_dags() {
+    let mut rng = StdRng::seed_from_u64(0xC5A1);
+    let mut cases = 0usize;
+    for round in 0..120 {
+        let n = 2 + (round % 29);
+        let m = (n * (n - 1) / 2).min(1 + round % 60);
+        let edge_list = random_edges(n, m, &mut rng);
+        let dag = CompDag::from_edges("case", vec![NodeWeights::unit(); n], &edge_list)
+            .expect("forward edge lists are acyclic");
+        let typed: Vec<(NodeId, NodeId)> = edge_list
+            .iter()
+            .map(|&(u, v)| (NodeId::new(u), NodeId::new(v)))
+            .collect();
+        let oracle = AdjacencyOracle::new(n, &typed);
+
+        assert_eq!(dag.num_nodes(), oracle.num_nodes());
+        assert_eq!(dag.num_edges(), typed.len());
+        for v in dag.nodes() {
+            assert_eq!(dag.children(v), oracle.children(v), "children of {v}");
+            assert_eq!(dag.parents(v), oracle.parents(v), "parents of {v}");
+            assert_eq!(dag.in_degree(v), oracle.in_degree(v));
+            assert_eq!(dag.out_degree(v), oracle.out_degree(v));
+            assert_eq!(dag.is_source(v), oracle.is_source(v));
+            assert_eq!(dag.is_sink(v), oracle.is_sink(v));
+        }
+        // Edge membership on both present and absent pairs.
+        for _ in 0..16 {
+            let a = NodeId::new(rng.gen_range(0..n));
+            let b = NodeId::new(rng.gen_range(0..n));
+            assert_eq!(dag.has_edge(a, b), oracle.has_edge(a, b));
+        }
+        assert_eq!(dag.is_acyclic(), oracle.is_acyclic());
+        assert!(dag.is_acyclic());
+        // Iterator-based source/sink enumeration agrees with the materialised one.
+        assert!(dag.source_nodes().eq(dag.sources()));
+        assert!(dag.sink_nodes().eq(dag.sinks()));
+        cases += 1;
+    }
+    assert!(
+        cases >= 100,
+        "the sweep must cover at least 100 random DAGs"
+    );
+}
+
+#[test]
+fn builder_and_from_edges_agree_on_random_dags() {
+    let mut rng = StdRng::seed_from_u64(0xB11D);
+    for round in 0..100 {
+        let n = 2 + (round % 23);
+        let m = (n * (n - 1) / 2).min(1 + round % 40);
+        let edge_list = random_edges(n, m, &mut rng);
+        let direct = CompDag::from_edges("case", vec![NodeWeights::unit(); n], &edge_list).unwrap();
+        let mut b = DagBuilder::new("case");
+        let ids = b.add_unit_nodes(n).unwrap();
+        for &(u, v) in &edge_list {
+            b.add_edge(ids[u], ids[v]).unwrap();
+        }
+        let built = b.build();
+        assert_eq!(direct, built);
+    }
+}
+
+#[test]
+fn topological_order_is_valid_on_random_dags() {
+    let mut rng = StdRng::seed_from_u64(0x7090);
+    for round in 0..50 {
+        let n = 2 + (round % 31);
+        let edge_list = random_edges(n, 2 * n, &mut rng);
+        let dag = CompDag::from_edges("case", vec![NodeWeights::unit(); n], &edge_list).unwrap();
+        let topo = TopologicalOrder::of(&dag);
+        assert_eq!(topo.order().len(), n);
+        for (u, v) in dag.edges() {
+            assert!(topo.position(u) < topo.position(v));
+            assert!(topo.level(u) < topo.level(v));
+        }
+    }
+}

@@ -146,6 +146,67 @@ pub fn small_dataset_sample(seed: u64) -> Vec<NamedInstance> {
     ]
 }
 
+/// The large-instance scaling dataset (10k–100k nodes): layered-random DAGs plus
+/// SpMV, iterated-SpMV and CG instances scaled far beyond the paper's benchmark
+/// sizes. Deterministic in `seed`.
+///
+/// These are the instances `bench_dag` uses to exercise the CSR DAG substrate,
+/// the bitset pebbling state and the scratch-based schedulers at production
+/// scale; construction is near-linear thanks to the builder's incremental
+/// Pearce–Kelly cycle check (every generator emits order-respecting edges).
+/// Memory weights stay at the paper's random `{1..5}` distribution.
+pub fn large_dataset(seed: u64) -> Vec<NamedInstance> {
+    use crate::random::{random_layered_dag, RandomDagConfig};
+    let layered = |layers: usize, width: usize, s: u64| {
+        random_layered_dag(
+            &RandomDagConfig {
+                layers,
+                width,
+                edge_probability: 3.0 / width as f64,
+                ..Default::default()
+            },
+            s,
+        )
+    };
+    vec![
+        NamedInstance::new(
+            "rand_L50_W200",
+            "random",
+            layered(50, 200, seed ^ 0x81),
+            seed,
+        ),
+        NamedInstance::new(
+            "rand_L100_W250",
+            "random",
+            layered(100, 250, seed ^ 0x82),
+            seed,
+        ),
+        NamedInstance::new(
+            "rand_L200_W500",
+            "random",
+            layered(200, 500, seed ^ 0x83),
+            seed,
+        ),
+        NamedInstance::new(
+            "spmv_N2000",
+            "spmv",
+            spmv_dag("spmv_N2000", &SparsityPattern::random(2000, 4, seed ^ 0x84)),
+            seed,
+        ),
+        NamedInstance::new(
+            "exp_N1000_K4",
+            "exp",
+            iterated_spmv_dag(
+                "exp_N1000_K4",
+                &SparsityPattern::random(1000, 3, seed ^ 0x85),
+                4,
+            ),
+            seed,
+        ),
+        NamedInstance::new("CG_N40_K4", "cg", cg_dag("CG_N40_K4", 40, 4), seed),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +270,34 @@ mod tests {
         }
         let c = tiny_dataset(8);
         assert!(a.iter().zip(&c).any(|(x, y)| x.dag != y.dag));
+    }
+
+    #[test]
+    fn large_dataset_reaches_production_scale() {
+        let set = large_dataset(42);
+        assert_eq!(set.len(), 6);
+        for inst in &set {
+            assert!(
+                inst.dag.num_nodes() >= 10_000,
+                "{} has only {} nodes",
+                inst.name,
+                inst.dag.num_nodes()
+            );
+            // Memory weights follow the paper's {1..5} distribution.
+            let v = inst.dag.nodes().next().unwrap();
+            let m = inst.dag.memory_weight(v);
+            assert!((1.0..=5.0).contains(&m));
+        }
+        // At least one instance crosses the 100k-node mark (well beyond 50k).
+        assert!(set.iter().any(|i| i.dag.num_nodes() >= 100_000));
+        // Determinism in the seed.
+        let names: Vec<_> = set.iter().map(|i| i.name.clone()).collect();
+        let again = large_dataset(42);
+        assert!(names
+            .iter()
+            .zip(&again)
+            .all(|(n, i)| *n == i.name && i.dag.num_nodes() >= 10_000));
+        assert_eq!(set[0].dag, again[0].dag);
     }
 
     #[test]

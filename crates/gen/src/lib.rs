@@ -26,5 +26,5 @@ pub mod random;
 pub mod spmv;
 pub mod weights;
 
-pub use datasets::{small_dataset_sample, tiny_dataset, NamedInstance};
+pub use datasets::{large_dataset, small_dataset_sample, tiny_dataset, NamedInstance};
 pub use weights::assign_random_memory_weights;

@@ -498,7 +498,7 @@ impl PostOptimizer {
                 return false;
             }
         }
-        dag.sinks().iter().all(|&v| self.trial.has_blue(v))
+        dag.sink_nodes().all(|v| self.trial.has_blue(v))
     }
 }
 
@@ -901,15 +901,7 @@ mod tests {
             let result = canonical_bsp(inst.dag(), inst.arch(), &procs);
             result.schedule.validate(inst.dag()).unwrap();
             // Order hint is topological.
-            let pos: std::collections::HashMap<_, _> = result
-                .order
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, i))
-                .collect();
-            for (u, v) in inst.dag().edges() {
-                assert!(pos[&u] < pos[&v]);
-            }
+            mbsp_sched::assert_order_respects_precedence(inst.dag(), &result.order);
         }
     }
 

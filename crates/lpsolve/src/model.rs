@@ -80,19 +80,22 @@ impl LinExpr {
     }
 
     /// Returns the expression with duplicate variables merged and zero coefficients
-    /// dropped.
+    /// dropped (terms come out sorted by variable index).
     pub fn simplified(&self) -> LinExpr {
-        let mut acc: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
-        for &(v, c) in &self.terms {
-            *acc.entry(v.index()).or_insert(0.0) += c;
+        // Sort-and-merge on a flat vector: same output order as the former
+        // `BTreeMap` accumulation (ascending variable index), no tree allocation
+        // per term.
+        let mut sorted = self.terms.clone();
+        sorted.sort_by_key(|&(v, _)| v.index());
+        let mut terms: Vec<(VarId, f64)> = Vec::with_capacity(sorted.len());
+        for &(v, c) in &sorted {
+            match terms.last_mut() {
+                Some(&mut (last, ref mut acc)) if last == v => *acc += c,
+                _ => terms.push((v, c)),
+            }
         }
-        LinExpr {
-            terms: acc
-                .into_iter()
-                .filter(|&(_, c)| c.abs() > 1e-12)
-                .map(|(i, c)| (VarId(i), c))
-                .collect(),
-        }
+        terms.retain(|&(_, c)| c.abs() > 1e-12);
+        LinExpr { terms }
     }
 }
 

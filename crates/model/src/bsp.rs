@@ -175,16 +175,20 @@ impl BspSchedule {
         }
         // Each value that a different processor needs is sent once per (value,
         // receiving processor) pair, during the communication phase of the producer's
-        // superstep.
-        let mut pairs: std::collections::BTreeSet<(usize, usize)> =
-            std::collections::BTreeSet::new();
-        for (u, v) in dag.edges() {
+        // superstep. Walking the CSR children per producer lets the (value, receiver)
+        // dedup run on a flat stamp array instead of a `BTreeSet` of pairs.
+        let mut receiver_stamp = vec![u32::MAX; p];
+        for u in dag.nodes() {
             let (pu, su) = self.assignment[u.index()];
-            let (pv, _) = self.assignment[v.index()];
-            if pu != pv && pairs.insert((u.index(), pv.index())) {
-                let volume = dag.memory_weight(u);
-                sent[su][pu.index()] += volume;
-                received[su][pv.index()] += volume;
+            let stamp = u.0;
+            for &v in dag.children(u) {
+                let (pv, _) = self.assignment[v.index()];
+                if pu != pv && receiver_stamp[pv.index()] != stamp {
+                    receiver_stamp[pv.index()] = stamp;
+                    let volume = dag.memory_weight(u);
+                    sent[su][pu.index()] += volume;
+                    received[su][pv.index()] += volume;
+                }
             }
         }
 
@@ -248,10 +252,10 @@ impl BspSchedule {
         let mut used: Vec<usize> = self.assignment.iter().map(|&(_, s)| s).collect();
         used.sort_unstable();
         used.dedup();
-        let remap: std::collections::BTreeMap<usize, usize> =
-            used.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        // `used` is sorted and deduplicated, so the new index of a superstep is
+        // its rank — a binary search instead of a `BTreeMap` lookup.
         for a in &mut self.assignment {
-            a.1 = remap[&a.1];
+            a.1 = used.binary_search(&a.1).expect("superstep is present");
         }
         used.len()
     }

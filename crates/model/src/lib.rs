@@ -15,6 +15,13 @@
 //! * a schedule is a sequence of **supersteps**, each consisting of a compute phase
 //!   followed by save / delete / load sub-phases on every processor
 //!   ([`schedule::MbspSchedule`]);
+//! * the pebble state itself ([`state::Configuration`]) packs the per-processor
+//!   red sets and the blue set into `u64`-word bitsets with incrementally
+//!   maintained memory usage, so simulation, validation and the post-optimiser's
+//!   merge checks run on flat cache-resident words; the pre-bitset
+//!   nested-`Vec<bool>` implementation is retained as
+//!   [`reference::ReferenceConfiguration`], the differential oracle of the
+//!   seeded property tests (the workspace's oracle convention);
 //! * the cost of a schedule is measured either **synchronously** (BSP-style,
 //!   per-superstep maxima plus `L`) or **asynchronously** (makespan of the induced
 //!   per-processor timelines) — see [`cost`];
@@ -33,6 +40,7 @@ pub mod cost;
 pub mod eval;
 pub mod instance;
 pub mod ops;
+pub mod reference;
 pub mod schedule;
 pub mod state;
 

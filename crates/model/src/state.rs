@@ -5,6 +5,21 @@
 //! blue pebble (values resident in slow memory). [`Configuration`] tracks the cached
 //! memory usage of every processor incrementally so that the memory bound
 //! `Σ_{v ∈ R_p} μ(v) ≤ r` can be checked in O(1) per operation.
+//!
+//! ## Memory layout
+//!
+//! Red pebbles are packed into `u64`-word **bitsets**: one flat word array of
+//! `P · ⌈n / 64⌉` words (processor-major), and one word array for the blue
+//! pebbles. A pebble test is a shift-and-mask, [`Configuration::reset_initial`]
+//! and [`Configuration::copy_from`] are word-level `fill`/`copy_from_slice`
+//! operations, equality (used by the post-optimiser's exact fast-accept) compares
+//! 64 nodes per word, and [`Configuration::cached_nodes`] /
+//! [`Configuration::blue_nodes`] walk set bits with `trailing_zeros`. Bits at
+//! index `≥ n` are kept zero at all times so word-level comparisons are exact.
+//!
+//! The pre-bitset nested-`Vec<bool>` implementation is retained verbatim as
+//! [`crate::reference::ReferenceConfiguration`], the differential oracle of the
+//! seeded property tests in `tests/state_differential.rs`.
 
 use crate::arch::{Architecture, ProcId};
 use crate::ops::Operation;
@@ -15,45 +30,45 @@ use serde::{Deserialize, Serialize};
 /// The memory state of an MBSP execution at one point in time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Configuration {
-    /// `red[p][v]` — does node `v` carry a red pebble of processor `p`?
-    red: Vec<Vec<bool>>,
-    /// `blue[v]` — does node `v` carry a blue pebble?
-    blue: Vec<bool>,
-    /// Cached memory use of each processor: `Σ_{v ∈ R_p} μ(v)`.
+    /// Packed red pebbles, processor-major: bit `v` of processor `p` lives in
+    /// word `p * words + v / 64`.
+    red: Vec<u64>,
+    /// Packed blue pebbles.
+    blue: Vec<u64>,
+    /// Cached memory use of each processor: `Σ_{v ∈ R_p} μ(v)`, maintained
+    /// incrementally on every place/remove.
     used: Vec<f64>,
     /// Number of processors.
     processors: usize,
     /// Number of DAG nodes.
     num_nodes: usize,
+    /// Words per processor bitset: `⌈num_nodes / 64⌉`.
+    words: usize,
 }
 
 impl Configuration {
     /// The initial configuration of a schedule: every cache is empty and slow memory
     /// holds exactly the source nodes of the DAG.
     pub fn initial(dag: &CompDag, arch: &Architecture) -> Self {
-        let n = dag.num_nodes();
-        let mut blue = vec![false; n];
-        for v in dag.sources() {
-            blue[v.index()] = true;
+        let mut cfg = Configuration::empty(dag, arch);
+        for v in dag.source_nodes() {
+            cfg.place_blue_unchecked(v);
         }
-        Configuration {
-            red: vec![vec![false; n]; arch.processors],
-            blue,
-            used: vec![0.0; arch.processors],
-            processors: arch.processors,
-            num_nodes: n,
-        }
+        cfg
     }
 
     /// An entirely empty configuration (no pebbles anywhere). Used by sub-schedule
     /// construction where the caller places the boundary pebbles explicitly.
     pub fn empty(dag: &CompDag, arch: &Architecture) -> Self {
+        let n = dag.num_nodes();
+        let words = n.div_ceil(64);
         Configuration {
-            red: vec![vec![false; dag.num_nodes()]; arch.processors],
-            blue: vec![false; dag.num_nodes()],
+            red: vec![0; arch.processors * words],
+            blue: vec![0; words],
             used: vec![0.0; arch.processors],
             processors: arch.processors,
-            num_nodes: dag.num_nodes(),
+            num_nodes: n,
+            words,
         }
     }
 
@@ -65,26 +80,23 @@ impl Configuration {
     /// Resets this configuration to the initial state of a schedule (empty caches,
     /// sources in slow memory) without allocating — the in-place counterpart of
     /// [`Configuration::initial`] for simulation loops that reuse one buffer.
+    /// Word-level: two `fill`s plus one pass over the sources.
     pub fn reset_initial(&mut self, dag: &CompDag) {
         debug_assert_eq!(self.num_nodes, dag.num_nodes());
-        for red in &mut self.red {
-            red.fill(false);
-        }
-        self.blue.fill(false);
-        for v in dag.sources() {
-            self.blue[v.index()] = true;
+        self.red.fill(0);
+        self.blue.fill(0);
+        for v in dag.source_nodes() {
+            self.place_blue_unchecked(v);
         }
         self.used.fill(0.0);
     }
 
     /// Copies `other` into `self`, reusing allocations (the derived `Clone` only
-    /// generates an allocating `clone`).
+    /// generates an allocating `clone`). Word-level `copy_from_slice`.
     pub fn copy_from(&mut self, other: &Configuration) {
         debug_assert_eq!(self.processors, other.processors);
         debug_assert_eq!(self.num_nodes, other.num_nodes);
-        for (dst, src) in self.red.iter_mut().zip(&other.red) {
-            dst.copy_from_slice(src);
-        }
+        self.red.copy_from_slice(&other.red);
         self.blue.copy_from_slice(&other.blue);
         self.used.copy_from_slice(&other.used);
     }
@@ -92,13 +104,15 @@ impl Configuration {
     /// Does node `v` carry a red pebble of processor `p`?
     #[inline]
     pub fn has_red(&self, p: ProcId, v: NodeId) -> bool {
-        self.red[p.index()][v.index()]
+        let i = v.index();
+        self.red[p.index() * self.words + (i >> 6)] & (1u64 << (i & 63)) != 0
     }
 
     /// Does node `v` carry a blue pebble?
     #[inline]
     pub fn has_blue(&self, v: NodeId) -> bool {
-        self.blue[v.index()]
+        let i = v.index();
+        self.blue[i >> 6] & (1u64 << (i & 63)) != 0
     }
 
     /// Current fast-memory usage of processor `p`.
@@ -109,45 +123,47 @@ impl Configuration {
 
     /// The nodes currently cached by processor `p`, in index order.
     ///
-    /// Returns a lazy iterator over the red-pebble bitmap; collect it only when a
-    /// materialised list is genuinely needed.
+    /// Returns a lazy iterator over the set bits of the processor's red bitset;
+    /// collect it only when a materialised list is genuinely needed.
     pub fn cached_nodes(&self, p: ProcId) -> impl Iterator<Item = NodeId> + '_ {
-        self.red[p.index()]
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &r)| if r { Some(NodeId::new(i)) } else { None })
+        let base = p.index() * self.words;
+        SetBits::new(&self.red[base..base + self.words])
     }
 
     /// The nodes currently in slow memory, in index order.
     ///
-    /// Returns a lazy iterator over the blue-pebble bitmap; collect it only when a
-    /// materialised list is genuinely needed.
+    /// Returns a lazy iterator over the set bits of the blue bitset; collect it
+    /// only when a materialised list is genuinely needed.
     pub fn blue_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.blue
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| if b { Some(NodeId::new(i)) } else { None })
+        SetBits::new(&self.blue)
     }
 
     /// Places a red pebble of `p` on `v` without any precondition check (used to set
     /// up boundary states for sub-schedules). Updates the memory usage.
     pub fn place_red_unchecked(&mut self, dag: &CompDag, p: ProcId, v: NodeId) {
-        if !self.red[p.index()][v.index()] {
-            self.red[p.index()][v.index()] = true;
+        let i = v.index();
+        let word = &mut self.red[p.index() * self.words + (i >> 6)];
+        let bit = 1u64 << (i & 63);
+        if *word & bit == 0 {
+            *word |= bit;
             self.used[p.index()] += dag.memory_weight(v);
         }
     }
 
     /// Places a blue pebble on `v` without any precondition check.
     pub fn place_blue_unchecked(&mut self, v: NodeId) {
-        self.blue[v.index()] = true;
+        let i = v.index();
+        self.blue[i >> 6] |= 1u64 << (i & 63);
     }
 
     /// Removes a red pebble of `p` from `v` without any precondition check (the
     /// unchecked counterpart of a delete). Updates the memory usage.
     pub fn remove_red_unchecked(&mut self, dag: &CompDag, p: ProcId, v: NodeId) {
-        if self.red[p.index()][v.index()] {
-            self.red[p.index()][v.index()] = false;
+        let i = v.index();
+        let word = &mut self.red[p.index() * self.words + (i >> 6)];
+        let bit = 1u64 << (i & 63);
+        if *word & bit != 0 {
+            *word &= !bit;
             self.used[p.index()] -= dag.memory_weight(v);
             if self.used[p.index()] < 0.0 {
                 self.used[p.index()] = 0.0;
@@ -237,16 +253,10 @@ impl Configuration {
                 self.place_red_unchecked(dag, proc, node);
             }
             Operation::Save { node, .. } => {
-                self.blue[node.index()] = true;
+                self.place_blue_unchecked(node);
             }
             Operation::Delete { proc, node } => {
-                if self.red[proc.index()][node.index()] {
-                    self.red[proc.index()][node.index()] = false;
-                    self.used[proc.index()] -= dag.memory_weight(node);
-                    if self.used[proc.index()] < 0.0 {
-                        self.used[proc.index()] = 0.0;
-                    }
-                }
+                self.remove_red_unchecked(dag, proc, node);
             }
         }
     }
@@ -258,14 +268,17 @@ impl Configuration {
     /// loop).
     #[inline]
     pub fn try_load(&mut self, dag: &CompDag, arch: &Architecture, p: ProcId, v: NodeId) -> bool {
-        if !self.blue[v.index()] {
+        if !self.has_blue(v) {
             return false;
         }
-        if !self.red[p.index()][v.index()] {
+        let i = v.index();
+        let bit = 1u64 << (i & 63);
+        let slot = p.index() * self.words + (i >> 6);
+        if self.red[slot] & bit == 0 {
             if self.used[p.index()] + dag.memory_weight(v) > arch.cache_size + MEMORY_EPS {
                 return false;
             }
-            self.red[p.index()][v.index()] = true;
+            self.red[slot] |= bit;
             self.used[p.index()] += dag.memory_weight(v);
         }
         true
@@ -284,15 +297,18 @@ impl Configuration {
             return false;
         }
         for &parent in dag.parents(v) {
-            if !self.red[p.index()][parent.index()] {
+            if !self.has_red(p, parent) {
                 return false;
             }
         }
-        if !self.red[p.index()][v.index()] {
+        let i = v.index();
+        let bit = 1u64 << (i & 63);
+        let slot = p.index() * self.words + (i >> 6);
+        if self.red[slot] & bit == 0 {
             if self.used[p.index()] + dag.memory_weight(v) > arch.cache_size + MEMORY_EPS {
                 return false;
             }
-            self.red[p.index()][v.index()] = true;
+            self.red[slot] |= bit;
             self.used[p.index()] += dag.memory_weight(v);
         }
         true
@@ -301,20 +317,23 @@ impl Configuration {
     /// Fused check-and-apply of a save; see [`Configuration::try_load`].
     #[inline]
     pub fn try_save(&mut self, p: ProcId, v: NodeId) -> bool {
-        if !self.red[p.index()][v.index()] {
+        if !self.has_red(p, v) {
             return false;
         }
-        self.blue[v.index()] = true;
+        self.place_blue_unchecked(v);
         true
     }
 
     /// Fused check-and-apply of a delete; see [`Configuration::try_load`].
     #[inline]
     pub fn try_delete(&mut self, dag: &CompDag, p: ProcId, v: NodeId) -> bool {
-        if !self.red[p.index()][v.index()] {
+        let i = v.index();
+        let bit = 1u64 << (i & 63);
+        let slot = p.index() * self.words + (i >> 6);
+        if self.red[slot] & bit == 0 {
             return false;
         }
-        self.red[p.index()][v.index()] = false;
+        self.red[slot] &= !bit;
         self.used[p.index()] -= dag.memory_weight(v);
         if self.used[p.index()] < 0.0 {
             self.used[p.index()] = 0.0;
@@ -325,12 +344,49 @@ impl Configuration {
     /// Returns true if every sink of the DAG carries a blue pebble (the terminal
     /// condition of a schedule).
     pub fn is_terminal(&self, dag: &CompDag) -> bool {
-        dag.sinks().iter().all(|&v| self.has_blue(v))
+        dag.sink_nodes().all(|v| self.has_blue(v))
     }
 
     /// Returns true if every processor satisfies the memory bound.
     pub fn within_memory_bound(&self, arch: &Architecture) -> bool {
         self.used.iter().all(|&u| u <= arch.cache_size + MEMORY_EPS)
+    }
+}
+
+/// Iterator over the set-bit indices of a word slice, in increasing order.
+struct SetBits<'a> {
+    words: &'a [u64],
+    /// Index of the word `current` was taken from.
+    word_idx: usize,
+    /// Remaining bits of the current word.
+    current: u64,
+}
+
+impl<'a> SetBits<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        SetBits {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(NodeId::new(self.word_idx * 64 + bit))
     }
 }
 
@@ -601,5 +657,44 @@ mod tests {
         assert!(cfg.has_red(p, NodeId::new(1)));
         assert_eq!(cfg.memory_used(p), 1.0);
         assert!(cfg.is_terminal(&dag));
+    }
+
+    #[test]
+    fn bitset_iterators_cross_word_boundaries() {
+        // 130 nodes span three 64-bit words; pebbles at 0, 63, 64, 129 hit every
+        // word edge.
+        let n = 130;
+        let dag = CompDag::from_edges("wide", vec![NodeWeights::unit(); n], &[]).unwrap();
+        let arch = arch2(1e9);
+        let p = ProcId::new(1);
+        let mut cfg = Configuration::empty(&dag, &arch);
+        for i in [0usize, 63, 64, 129] {
+            cfg.place_red_unchecked(&dag, p, NodeId::new(i));
+            cfg.place_blue_unchecked(NodeId::new(i));
+        }
+        let cached: Vec<usize> = cfg.cached_nodes(p).map(|v| v.index()).collect();
+        assert_eq!(cached, vec![0, 63, 64, 129]);
+        let blue: Vec<usize> = cfg.blue_nodes().map(|v| v.index()).collect();
+        assert_eq!(blue, vec![0, 63, 64, 129]);
+        // Processor 0's bitset is untouched.
+        assert_eq!(cfg.cached_nodes(ProcId::new(0)).count(), 0);
+        assert_eq!(cfg.memory_used(p), 4.0);
+        cfg.remove_red_unchecked(&dag, p, NodeId::new(64));
+        assert!(cfg.cached_nodes(p).map(|v| v.index()).eq([0, 63, 129]));
+    }
+
+    #[test]
+    fn word_level_copy_and_reset_roundtrip() {
+        let dag = path3();
+        let arch = arch2(5.0);
+        let p = ProcId::new(0);
+        let mut a = Configuration::initial(&dag, &arch);
+        a.place_red_unchecked(&dag, p, NodeId::new(1));
+        a.place_blue_unchecked(NodeId::new(2));
+        let mut b = Configuration::empty(&dag, &arch);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        b.reset_initial(&dag);
+        assert_eq!(b, Configuration::initial(&dag, &arch));
     }
 }

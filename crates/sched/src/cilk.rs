@@ -8,13 +8,16 @@
 //! trace (which worker executed which node, and in which order) is then folded into
 //! a BSP schedule: a node starts a new superstep whenever it consumes a value
 //! produced on another processor in the current superstep.
+//!
+//! The simulation and the fold run entirely on [`SchedulerScratch`] buffers (the
+//! RNG draw sequence is untouched, so results are bit-identical to the
+//! pre-scratch implementation retained as [`crate::reference::cilk_reference`]).
 
-use crate::{BspScheduler, BspSchedulingResult};
+use crate::{BspScheduler, BspSchedulingResult, SchedulerScratch};
 use mbsp_dag::{CompDag, NodeId};
 use mbsp_model::{Architecture, BspSchedule, ProcId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
 
 /// Work-stealing scheduler simulation (Cilk-style baseline).
 #[derive(Debug, Clone)]
@@ -39,51 +42,62 @@ impl CilkScheduler {
         CilkScheduler { seed }
     }
 
-    /// Simulates the work-stealing execution and returns, per node, the worker that
-    /// executed it and the execution order (a permutation of the non-source nodes,
-    /// in completion order).
-    fn simulate(&self, dag: &CompDag, processors: usize) -> (Vec<ProcId>, Vec<NodeId>) {
+    /// Simulates the work-stealing execution into the scratch buffers: per node,
+    /// the worker that executed it (`scratch.owner`) and the execution order
+    /// (`scratch.completion_order`, a permutation of the non-source nodes in
+    /// completion order).
+    fn simulate(&self, dag: &CompDag, processors: usize, scratch: &mut SchedulerScratch) {
         let n = dag.num_nodes();
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut remaining_parents: Vec<usize> =
-            (0..n).map(|i| dag.in_degree(NodeId::new(i))).collect();
-        let mut owner: Vec<ProcId> = vec![ProcId::new(0); n];
-        let mut deques: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); processors];
+        scratch.remaining_parents.clear();
+        scratch
+            .remaining_parents
+            .extend((0..n).map(|i| dag.in_degree(NodeId::new(i)) as u32));
+        scratch.owner.clear();
+        scratch.owner.resize(n, ProcId::new(0));
+        scratch.deques.resize(processors, Default::default());
+        for d in &mut scratch.deques {
+            d.clear();
+        }
 
         // Seed the deques with the children of the sources that become ready, spread
         // round-robin over the workers (sources themselves are inputs).
-        let mut initially_ready: Vec<NodeId> = Vec::new();
-        for v in dag.nodes() {
-            if dag.is_source(v) {
-                for &c in dag.children(v) {
-                    remaining_parents[c.index()] -= 1;
-                    if remaining_parents[c.index()] == 0 {
-                        initially_ready.push(c);
-                    }
+        scratch.ready.clear();
+        for v in dag.source_nodes() {
+            for &c in dag.children(v) {
+                scratch.remaining_parents[c.index()] -= 1;
+                if scratch.remaining_parents[c.index()] == 0 {
+                    scratch.ready.push(c);
                 }
             }
         }
-        initially_ready.sort();
-        initially_ready.dedup();
-        for (i, v) in initially_ready.into_iter().enumerate() {
-            deques[i % processors].push_back(v);
+        scratch.ready.sort_unstable();
+        scratch.ready.dedup();
+        for (i, &v) in scratch.ready.iter().enumerate() {
+            scratch.deques[i % processors].push_back(v);
         }
 
         // Event-driven simulation in virtual time: each worker has a time at which
         // it becomes idle; the earliest idle worker acts next.
-        let mut worker_time = vec![0.0f64; processors];
-        let mut completion_order: Vec<NodeId> = Vec::new();
-        let mut executed = vec![false; n];
+        scratch.worker_time.clear();
+        scratch.worker_time.resize(processors, 0.0);
+        scratch.completion_order.clear();
+        scratch.executed.clear();
+        scratch.executed.resize(n, false);
         let non_source_count = dag.nodes().filter(|&v| !dag.is_source(v)).count();
 
-        while completion_order.len() < non_source_count {
+        while scratch.completion_order.len() < non_source_count {
             // Pick the worker with the smallest current time (ties: lowest index).
             let w = (0..processors)
-                .min_by(|&a, &b| worker_time[a].partial_cmp(&worker_time[b]).unwrap())
+                .min_by(|&a, &b| {
+                    scratch.worker_time[a]
+                        .partial_cmp(&scratch.worker_time[b])
+                        .unwrap()
+                })
                 .unwrap();
             // Take own work from the bottom of the deque, or steal from the top of a
             // random victim.
-            let task = if let Some(t) = deques[w].pop_back() {
+            let task = if let Some(t) = scratch.deques[w].pop_back() {
                 Some(t)
             } else {
                 let mut stolen = None;
@@ -91,7 +105,7 @@ impl CilkScheduler {
                 for _ in 0..processors {
                     let victim = rng.gen_range(0..processors);
                     if victim != w {
-                        if let Some(t) = deques[victim].pop_front() {
+                        if let Some(t) = scratch.deques[victim].pop_front() {
                             stolen = Some(t);
                             break;
                         }
@@ -100,7 +114,7 @@ impl CilkScheduler {
                 if stolen.is_none() {
                     for victim in 0..processors {
                         if victim != w {
-                            if let Some(t) = deques[victim].pop_front() {
+                            if let Some(t) = scratch.deques[victim].pop_front() {
                                 stolen = Some(t);
                                 break;
                             }
@@ -111,37 +125,37 @@ impl CilkScheduler {
             };
             match task {
                 Some(v) => {
-                    debug_assert!(!executed[v.index()]);
-                    executed[v.index()] = true;
-                    owner[v.index()] = ProcId::new(w);
-                    worker_time[w] += dag.compute_weight(v).max(f64::MIN_POSITIVE);
-                    completion_order.push(v);
+                    debug_assert!(!scratch.executed[v.index()]);
+                    scratch.executed[v.index()] = true;
+                    scratch.owner[v.index()] = ProcId::new(w);
+                    scratch.worker_time[w] += dag.compute_weight(v).max(f64::MIN_POSITIVE);
+                    scratch.completion_order.push(v);
                     // Newly ready children go to this worker's deque (depth-first).
                     for &c in dag.children(v) {
-                        remaining_parents[c.index()] -= 1;
-                        if remaining_parents[c.index()] == 0 {
-                            deques[w].push_back(c);
+                        scratch.remaining_parents[c.index()] -= 1;
+                        if scratch.remaining_parents[c.index()] == 0 {
+                            scratch.deques[w].push_back(c);
                         }
                     }
                 }
                 None => {
                     // Nothing to steal right now: advance this worker's clock past
                     // the next busy worker so someone else can produce work.
-                    let next_busy = worker_time
+                    let next_busy = scratch
+                        .worker_time
                         .iter()
                         .enumerate()
                         .filter(|&(i, _)| i != w)
                         .map(|(_, &t)| t)
                         .fold(f64::INFINITY, f64::min);
-                    worker_time[w] = if next_busy.is_finite() {
+                    scratch.worker_time[w] = if next_busy.is_finite() {
                         next_busy + 1e-6
                     } else {
-                        worker_time[w] + 1.0
+                        scratch.worker_time[w] + 1.0
                     };
                 }
             }
         }
-        (owner, completion_order)
     }
 }
 
@@ -151,8 +165,17 @@ impl BspScheduler for CilkScheduler {
     }
 
     fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
+        self.schedule_with_scratch(dag, arch, &mut SchedulerScratch::default())
+    }
+
+    fn schedule_with_scratch(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        scratch: &mut SchedulerScratch,
+    ) -> BspSchedulingResult {
         let p = arch.processors;
-        let (owner, completion_order) = self.simulate(dag, p);
+        self.simulate(dag, p, scratch);
         let n = dag.num_nodes();
 
         // Fold the trace into supersteps: a node's superstep is at least one more
@@ -160,31 +183,36 @@ impl BspScheduler for CilkScheduler {
         // superstep of any parent on the same processor, and at least the superstep
         // of the previous node executed by the same worker (the trace order must
         // stay realisable).
-        let mut superstep = vec![0usize; n];
-        let mut last_step_of_worker = vec![0usize; p];
+        scratch.superstep_of.clear();
+        scratch.superstep_of.resize(n, 0);
+        scratch.last_step_of_worker.clear();
+        scratch.last_step_of_worker.resize(p, 0);
         let mut assignment: Vec<(ProcId, usize)> = vec![(ProcId::new(0), 0); n];
         let mut order: Vec<NodeId> = Vec::with_capacity(n);
 
         // Sources first: processor 0, superstep 0.
-        for v in dag.nodes() {
-            if dag.is_source(v) {
-                assignment[v.index()] = (ProcId::new(0), 0);
-                order.push(v);
-            }
+        for v in dag.source_nodes() {
+            assignment[v.index()] = (ProcId::new(0), 0);
+            order.push(v);
         }
-        for &v in &completion_order {
-            let w = owner[v.index()];
-            let mut s = last_step_of_worker[w.index()];
+        for i in 0..scratch.completion_order.len() {
+            let v = scratch.completion_order[i];
+            let w = scratch.owner[v.index()];
+            let mut s = scratch.last_step_of_worker[w.index()];
             for &u in dag.parents(v) {
                 if dag.is_source(u) {
                     continue;
                 }
-                let su = superstep[u.index()];
-                let needed = if owner[u.index()] == w { su } else { su + 1 };
+                let su = scratch.superstep_of[u.index()];
+                let needed = if scratch.owner[u.index()] == w {
+                    su
+                } else {
+                    su + 1
+                };
                 s = s.max(needed);
             }
-            superstep[v.index()] = s;
-            last_step_of_worker[w.index()] = s;
+            scratch.superstep_of[v.index()] = s;
+            scratch.last_step_of_worker[w.index()] = s;
             assignment[v.index()] = (w, s);
             order.push(v);
         }
@@ -209,6 +237,7 @@ impl BspScheduler for CilkScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::assert_order_respects_precedence;
     use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
     use mbsp_gen::tiny_dataset;
 
@@ -258,6 +287,20 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let a = arch(3);
+        let mut scratch = SchedulerScratch::new();
+        for seed in 0..5 {
+            let dag = random_layered_dag(&RandomDagConfig::default(), seed);
+            let sched = CilkScheduler::with_seed(seed ^ 0xA5);
+            let reused = sched.schedule_with_scratch(&dag, &a, &mut scratch);
+            let fresh = sched.schedule(&dag, &a);
+            assert_eq!(reused.schedule, fresh.schedule, "seed {seed}");
+            assert_eq!(reused.order, fresh.order, "seed {seed}");
+        }
+    }
+
+    #[test]
     fn single_worker_executes_everything() {
         let dag = random_layered_dag(&RandomDagConfig::default(), 2);
         let result = CilkScheduler::new().schedule(&dag, &arch(1));
@@ -271,14 +314,6 @@ mod tests {
     fn order_hint_is_a_valid_topological_order() {
         let dag = random_layered_dag(&RandomDagConfig::default(), 4);
         let result = CilkScheduler::new().schedule(&dag, &arch(4));
-        let pos: std::collections::HashMap<_, _> = result
-            .order
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect();
-        for (u, v) in dag.edges() {
-            assert!(pos[&u] < pos[&v]);
-        }
+        assert_order_respects_precedence(&dag, &result.order);
     }
 }

@@ -4,10 +4,12 @@
 //! as the first stage of the two-stage baseline, combined with the clairvoyant cache
 //! eviction policy. This scheduler assigns every node to processor 0 in a single
 //! superstep and provides the depth-first topological order as the ordering hint
-//! (which the BSP→MBSP conversion uses as the compute order).
+//! (which the BSP→MBSP conversion uses as the compute order). The order is computed
+//! on the reusable [`SchedulerScratch`] buffers; the pre-scratch implementation is
+//! retained as [`crate::reference::dfs_reference`].
 
-use crate::{BspScheduler, BspSchedulingResult};
-use mbsp_dag::topo::dfs_topological_order;
+use crate::{BspScheduler, BspSchedulingResult, SchedulerScratch};
+use mbsp_dag::topo::dfs_topological_order_into;
 use mbsp_dag::CompDag;
 use mbsp_model::{Architecture, BspSchedule, ProcId};
 
@@ -27,8 +29,18 @@ impl BspScheduler for DfsScheduler {
         "dfs"
     }
 
-    fn schedule(&self, dag: &CompDag, _arch: &Architecture) -> BspSchedulingResult {
-        let order = dfs_topological_order(dag);
+    fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
+        self.schedule_with_scratch(dag, arch, &mut SchedulerScratch::default())
+    }
+
+    fn schedule_with_scratch(
+        &self,
+        dag: &CompDag,
+        _arch: &Architecture,
+        scratch: &mut SchedulerScratch,
+    ) -> BspSchedulingResult {
+        let mut order = Vec::new();
+        dfs_topological_order_into(dag, &mut order, &mut scratch.dfs);
         let assignment = vec![(ProcId::new(0), 0usize); dag.num_nodes()];
         BspSchedulingResult {
             schedule: BspSchedule::new(1, assignment),
@@ -40,6 +52,7 @@ impl BspScheduler for DfsScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::assert_order_respects_precedence;
     use mbsp_gen::tiny_dataset;
 
     #[test]
@@ -51,15 +64,7 @@ mod tests {
             assert_eq!(result.schedule.num_supersteps(), 1);
             assert_eq!(result.order.len(), inst.dag.num_nodes());
             // The order hint is a topological order.
-            let pos: std::collections::HashMap<_, _> = result
-                .order
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (v, i))
-                .collect();
-            for (u, v) in inst.dag.edges() {
-                assert!(pos[&u] < pos[&v]);
-            }
+            assert_order_respects_precedence(&inst.dag, &result.order);
         }
     }
 }

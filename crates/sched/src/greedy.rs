@@ -12,9 +12,19 @@
 //! A superstep is closed once every processor has accumulated at least the target
 //! amount of work (`work_quantum`, by default proportional to the synchronisation
 //! cost `L` so that barriers are amortised) or no eligible node remains.
+//!
+//! ## Scratch reuse
+//!
+//! The inner loop runs on [`SchedulerScratch`]: the ready list is pruned in
+//! place, candidate/allowed buffers are reused across passes, the per-superstep
+//! "assigned here" test reads the assignment array directly (no `Vec<Vec<bool>>`
+//! per superstep), and the superstep close touches only the nodes assigned in
+//! that superstep instead of sweeping all `V`. The pre-scratch implementation is
+//! retained verbatim as [`crate::reference::greedy_reference`]; the differential
+//! tests assert both produce byte-identical schedules.
 
-use crate::{BspScheduler, BspSchedulingResult};
-use mbsp_dag::topo::bottom_levels;
+use crate::{BspScheduler, BspSchedulingResult, SchedulerScratch};
+use mbsp_dag::topo::bottom_levels_into;
 use mbsp_dag::{CompDag, NodeId};
 use mbsp_model::{Architecture, BspSchedule, ProcId};
 
@@ -70,9 +80,20 @@ impl BspScheduler for GreedyBspScheduler {
     }
 
     fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
+        self.schedule_with_scratch(dag, arch, &mut SchedulerScratch::default())
+    }
+
+    fn schedule_with_scratch(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        scratch: &mut SchedulerScratch,
+    ) -> BspSchedulingResult {
         let n = dag.num_nodes();
         let p = arch.processors;
-        let priorities = bottom_levels(dag);
+        scratch.topo.rebuild(dag);
+        bottom_levels_into(dag, &scratch.topo, &mut scratch.priorities);
+        let priorities = &scratch.priorities;
 
         // Work quantum per processor per superstep.
         let max_node_weight = dag
@@ -83,90 +104,105 @@ impl BspScheduler for GreedyBspScheduler {
             .max(self.config.min_quantum)
             .max(max_node_weight);
 
-        // Scheduling state.
+        // Scheduling state. The assignment array doubles as the per-superstep
+        // "assigned here" test: `assignment[u] == Some((q, current_superstep))`
+        // is exactly the predicate the former `Vec<Vec<bool>>` scratch answered.
         let mut assignment: Vec<Option<(ProcId, usize)>> = vec![None; n];
         let mut order: Vec<NodeId> = Vec::with_capacity(n);
-        let mut remaining_parents: Vec<usize> =
-            (0..n).map(|i| dag.in_degree(NodeId::new(i))).collect();
+        scratch.remaining_parents.clear();
+        scratch
+            .remaining_parents
+            .extend((0..n).map(|i| dag.in_degree(NodeId::new(i)) as u32));
         let mut scheduled = 0usize;
 
         // Sources are "scheduled" implicitly: they are inputs that live in slow
         // memory. We place them on processor 0, superstep 0 so that the assignment
         // covers every node, but they carry no compute work.
-        let mut ready: Vec<NodeId> = Vec::new();
+        scratch.ready.clear();
         for v in dag.nodes() {
             if dag.is_source(v) {
                 assignment[v.index()] = Some((ProcId::new(0), 0));
                 order.push(v);
                 scheduled += 1;
                 for &c in dag.children(v) {
-                    remaining_parents[c.index()] -= 1;
-                    if remaining_parents[c.index()] == 0 {
-                        ready.push(c);
+                    scratch.remaining_parents[c.index()] -= 1;
+                    if scratch.remaining_parents[c.index()] == 0 {
+                        scratch.ready.push(c);
                     }
                 }
             } else if dag.in_degree(v) == 0 {
-                ready.push(v);
+                scratch.ready.push(v);
             }
         }
 
         let mut superstep = 0usize;
         // `finished_before[v]` is true once v was assigned in a superstep strictly
         // before the current one (its value can have been communicated).
-        let mut finished_before: Vec<bool> = (0..n).map(|i| assignment[i].is_some()).collect();
+        scratch.finished_before.clear();
+        scratch
+            .finished_before
+            .extend((0..n).map(|i| assignment[i].is_some()));
+        scratch.load.clear();
+        scratch.load.resize(p, 0.0);
 
         while scheduled < n {
             superstep += 1;
-            let mut load = vec![0.0f64; p];
-            // Nodes assigned in *this* superstep, per processor, to allow same-proc
-            // chains within a superstep.
-            let mut assigned_here: Vec<Vec<bool>> = vec![vec![false; n]; p];
+            scratch.load.fill(0.0);
+            scratch.newly_assigned.clear();
             let mut progressed = true;
 
             while progressed {
                 progressed = false;
                 // Candidate selection: eligible ready nodes sorted by priority.
-                let mut candidates: Vec<NodeId> = ready
-                    .iter()
-                    .copied()
-                    .filter(|&v| assignment[v.index()].is_none())
-                    .collect();
-                candidates.sort_by(|&a, &b| {
+                // Assigned nodes are compacted out of the ready list first, so
+                // the list never accumulates stale entries.
+                {
+                    let assignment = &assignment;
+                    scratch.ready.retain(|&v| assignment[v.index()].is_none());
+                }
+                scratch.candidates.clear();
+                scratch.candidates.extend_from_slice(&scratch.ready);
+                scratch.candidates.sort_by(|&a, &b| {
                     priorities[b.index()]
                         .partial_cmp(&priorities[a.index()])
                         .unwrap()
                         .then(a.cmp(&b))
                 });
 
-                for v in candidates {
+                for ci in 0..scratch.candidates.len() {
+                    let v = scratch.candidates[ci];
                     // Determine which processors may execute v in this superstep:
                     // every parent must be finished before this superstep, or be
                     // assigned to that same processor within this superstep.
-                    let mut allowed: Vec<ProcId> = Vec::new();
+                    scratch.allowed.clear();
                     'proc: for pi in 0..p {
                         for &u in dag.parents(v) {
-                            let ok = finished_before[u.index()] || assigned_here[pi][u.index()];
+                            let ok = scratch.finished_before[u.index()]
+                                || assignment[u.index()] == Some((ProcId::new(pi), superstep));
                             if !ok {
                                 continue 'proc;
                             }
                         }
-                        allowed.push(ProcId::new(pi));
+                        scratch.allowed.push(ProcId::new(pi));
                     }
-                    if allowed.is_empty() {
+                    if scratch.allowed.is_empty() {
                         continue;
                     }
                     // Skip nodes if every allowed processor is already full, unless
                     // nothing has been placed in this superstep yet (guarantee
                     // progress).
-                    let someone_below_quantum = allowed.iter().any(|&q| load[q.index()] < quantum);
-                    let superstep_empty = load.iter().all(|&l| l == 0.0);
+                    let someone_below_quantum = scratch
+                        .allowed
+                        .iter()
+                        .any(|&q| scratch.load[q.index()] < quantum);
+                    let superstep_empty = scratch.load.iter().all(|&l| l == 0.0);
                     if !someone_below_quantum && !superstep_empty {
                         continue;
                     }
 
                     // Placement score: balance + communication.
                     let mut best: Option<(f64, ProcId)> = None;
-                    for &q in &allowed {
+                    for &q in &scratch.allowed {
                         let comm: f64 = dag
                             .parents(v)
                             .iter()
@@ -176,38 +212,36 @@ impl BspScheduler for GreedyBspScheduler {
                             })
                             .map(|&u| dag.memory_weight(u) * arch.g)
                             .sum();
-                        let score = self.config.balance_weight * load[q.index()]
+                        let score = self.config.balance_weight * scratch.load[q.index()]
                             + self.config.comm_weight * comm;
                         if best.map_or(true, |(s, _)| score < s - 1e-12) {
                             best = Some((score, q));
                         }
                     }
                     let (_, chosen) = best.expect("allowed is non-empty");
-                    if load[chosen.index()] >= quantum && !superstep_empty {
+                    if scratch.load[chosen.index()] >= quantum && !superstep_empty {
                         continue;
                     }
 
                     // Commit the assignment.
                     assignment[v.index()] = Some((chosen, superstep));
-                    assigned_here[chosen.index()][v.index()] = true;
-                    load[chosen.index()] += dag.compute_weight(v);
+                    scratch.load[chosen.index()] += dag.compute_weight(v);
+                    scratch.newly_assigned.push(v);
                     order.push(v);
                     scheduled += 1;
                     progressed = true;
                     for &c in dag.children(v) {
-                        remaining_parents[c.index()] -= 1;
-                        if remaining_parents[c.index()] == 0 {
-                            ready.push(c);
+                        scratch.remaining_parents[c.index()] -= 1;
+                        if scratch.remaining_parents[c.index()] == 0 {
+                            scratch.ready.push(c);
                         }
                     }
                 }
             }
-            // Close the superstep: everything assigned so far is now visible to
-            // other processors.
-            for v in dag.nodes() {
-                if assignment[v.index()].is_some() {
-                    finished_before[v.index()] = true;
-                }
+            // Close the superstep: everything assigned in it is now visible to
+            // other processors (O(assigned) instead of an O(V) sweep).
+            for i in 0..scratch.newly_assigned.len() {
+                scratch.finished_before[scratch.newly_assigned[i].index()] = true;
             }
         }
 
@@ -224,6 +258,7 @@ impl BspScheduler for GreedyBspScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::assert_order_respects_precedence;
     use mbsp_dag::DagBuilder;
     use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
     use mbsp_gen::tiny_dataset;
@@ -251,14 +286,20 @@ mod tests {
         let dag = random_layered_dag(&RandomDagConfig::default(), 5);
         let a = arch(4, 10.0);
         let result = sched.schedule(&dag, &a);
-        let pos: std::collections::HashMap<_, _> = result
-            .order
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect();
-        for (u, v) in dag.edges() {
-            assert!(pos[&u] < pos[&v], "order hint violates edge {u}->{v}");
+        assert_order_respects_precedence(&dag, &result.order);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let sched = GreedyBspScheduler::new();
+        let a = arch(4, 10.0);
+        let mut scratch = SchedulerScratch::new();
+        for seed in 0..6 {
+            let dag = random_layered_dag(&RandomDagConfig::default(), seed);
+            let reused = sched.schedule_with_scratch(&dag, &a, &mut scratch);
+            let fresh = sched.schedule(&dag, &a);
+            assert_eq!(reused.schedule, fresh.schedule, "seed {seed}");
+            assert_eq!(reused.order, fresh.order, "seed {seed}");
         }
     }
 

@@ -26,10 +26,12 @@ bench:
     cargo bench -p mbsp_bench
 
 # Records the benchmark baselines: the solver comparison into
-# BENCH_solver.json and the improver comparison into BENCH_improver.json.
+# BENCH_solver.json, the improver comparison into BENCH_improver.json and
+# the DAG-substrate comparison into BENCH_dag.json.
 bench-json:
     cargo run --release -p mbsp_bench --bin bench_solver
     cargo run --release -p mbsp_bench --bin bench_improver
+    cargo run --release -p mbsp_bench --bin bench_dag
 
 # Everything CI checks, in order.
 ci: build test doc fmt lint

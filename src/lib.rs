@@ -69,7 +69,7 @@ pub use mbsp_sched as sched;
 pub mod prelude {
     pub use crate::cache::{ClairvoyantPolicy, EvictionPolicy, LruPolicy, TwoStageScheduler};
     pub use crate::dag::{CompDag, DagBuilder, DagStatistics, NodeId};
-    pub use crate::gen::{small_dataset_sample, tiny_dataset};
+    pub use crate::gen::{large_dataset, small_dataset_sample, tiny_dataset};
     pub use crate::ilp::{
         DivideAndConquerScheduler, ExactIlpScheduler, HolisticConfig, HolisticScheduler,
     };
@@ -79,6 +79,7 @@ pub mod prelude {
     };
     pub use crate::sched::{
         BspScheduler, BspSchedulingResult, CilkScheduler, DfsScheduler, GreedyBspScheduler,
+        SchedulerScratch,
     };
 }
 
