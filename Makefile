@@ -1,10 +1,10 @@
 # Developer entry points; CI runs the same commands (see .github/workflows/ci.yml).
 # A justfile with identical recipes exists for `just` users.
 
-.PHONY: build test doc fmt lint bench bench-json ci
+.PHONY: build test doc fmt lint bench bench-compile bench-json smokes bench-check ci
 
 build:
-	cargo build --release --workspace
+	cargo build --release --workspace --all-targets
 
 test:
 	cargo test -q --workspace
@@ -21,16 +21,40 @@ lint:
 bench:
 	cargo bench -p mbsp_bench
 
+# CI's criterion compile gate: benches must keep building even when not run.
+bench-compile:
+	cargo bench --workspace --no-run
+
 # Records the benchmark baselines: the solver comparison (sparse warm-started
 # branch-and-bound vs the dense oracle) into BENCH_solver.json, the improver
 # comparison (incremental evaluation engine vs clone-and-recost) into
-# BENCH_improver.json, and the DAG-substrate comparison (CSR/bitset/scratch
+# BENCH_improver.json, the DAG-substrate comparison (CSR/bitset/scratch
 # pipeline vs nested-Vec reference paths on 10k-100k-node instances) into
-# BENCH_dag.json. Set MBSP_BENCH_SOLVER_QUICK=1 / MBSP_BENCH_IMPROVER_QUICK=1 /
-# MBSP_BENCH_DAG_QUICK=1 for the fast CI smoke variants.
+# BENCH_dag.json, and the sharded-search comparison (sharded holistic search
+# over zero-copy sub-DAG views vs the single-incumbent search at equal move
+# budget) into BENCH_shard.json. Set MBSP_BENCH_SOLVER_QUICK=1 /
+# MBSP_BENCH_IMPROVER_QUICK=1 / MBSP_BENCH_DAG_QUICK=1 /
+# MBSP_BENCH_SHARD_QUICK=1 for the fast CI smoke variants.
 bench-json:
 	cargo run --release -p mbsp_bench --bin bench_solver
 	cargo run --release -p mbsp_bench --bin bench_improver
 	cargo run --release -p mbsp_bench --bin bench_dag
+	cargo run --release -p mbsp_bench --bin bench_shard
 
-ci: build test doc fmt lint
+# The four CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
+smokes:
+	MBSP_BENCH_SOLVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_solver
+	MBSP_BENCH_IMPROVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_improver
+	MBSP_BENCH_DAG_QUICK=1 cargo run --release -p mbsp_bench --bin bench_dag
+	MBSP_BENCH_SHARD_QUICK=1 cargo run --release -p mbsp_bench --bin bench_shard
+
+# The bench-regression gate: parses the BENCH_*_quick.json smoke outputs and
+# fails on any sub-1.0 speedup or fast/reference divergence.
+bench-check:
+	cargo run --release -p mbsp_bench --bin bench_check
+
+# Everything CI checks, in CI's order: build, test, doc, formatting, clippy,
+# the four benchmark smokes, the criterion compile gate and the
+# bench-regression gate. Contributors can reproduce a red CI run locally with
+# this single target.
+ci: build test doc fmt lint smokes bench-compile bench-check

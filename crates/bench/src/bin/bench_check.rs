@@ -1,0 +1,217 @@
+//! The CI bench-regression gate: parses the quick-mode `BENCH_*_quick.json`
+//! files that the four benchmark smokes (`bench_solver`, `bench_improver`,
+//! `bench_dag`, `bench_shard` with their `MBSP_BENCH_*_QUICK=1` contracts)
+//! wrote earlier in the run, and **fails** if any fast-vs-reference speedup
+//! dropped below 1.0 or any agreement flag shows the compared paths diverged.
+//!
+//! This is the last CI step (`cargo run -p mbsp_bench --bin bench_check`), so a
+//! performance regression that makes an optimised path slower than its
+//! reference oracle — or a silent behavioural divergence that slips past the
+//! in-binary assertions — turns the build red instead of rotting quietly.
+//! Locally it runs as part of `make ci` / `just ci` after the smokes.
+
+use serde::Deserialize;
+use std::process::ExitCode;
+
+/// The per-instance subset shared by every benchmark report: a fast-vs-reference
+/// speedup plus the benchmark-specific agreement flags (deserialization reads
+/// fields by name, so each report's extra fields are simply ignored).
+#[derive(Debug, Deserialize)]
+struct SolverInstance {
+    name: String,
+    speedup: f64,
+    objectives_match: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct ImproverInstance {
+    name: String,
+    speedup: f64,
+    costs_match: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct DagInstance {
+    name: String,
+    speedup: f64,
+    costs_match: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct ShardInstance {
+    name: String,
+    speedup: f64,
+    not_worse_than_baseline: bool,
+    identical_across_workers: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct SolverReport {
+    quick: bool,
+    instances: Vec<SolverInstance>,
+    geomean_speedup: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct ImproverReport {
+    quick: bool,
+    instances: Vec<ImproverInstance>,
+    geomean_speedup: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct DagReport {
+    quick: bool,
+    instances: Vec<DagInstance>,
+    geomean_speedup: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct ShardReport {
+    quick: bool,
+    instances: Vec<ShardInstance>,
+    geomean_speedup: f64,
+}
+
+/// Collected gate violations; empty means the gate is green.
+#[derive(Default)]
+struct Gate {
+    problems: Vec<String>,
+    checked: usize,
+}
+
+impl Gate {
+    fn parse<T: Deserialize>(&mut self, path: &str) -> Option<T> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                self.problems.push(format!(
+                    "{path}: missing or unreadable ({e}) — run the bench smokes first"
+                ));
+                return None;
+            }
+        };
+        match serde_json::from_str::<T>(&text) {
+            Ok(report) => Some(report),
+            Err(e) => {
+                self.problems.push(format!("{path}: failed to parse: {e}"));
+                None
+            }
+        }
+    }
+
+    fn require(&mut self, path: &str, name: &str, what: &str, ok: bool) {
+        self.checked += 1;
+        if !ok {
+            self.problems.push(format!("{path}: {name}: {what}"));
+        }
+    }
+
+    fn check_common(&mut self, path: &str, quick: bool, name: &str, speedup: f64) {
+        self.require(
+            path,
+            name,
+            "quick flag is false — the smoke must run with the quick-mode env var",
+            quick,
+        );
+        self.require(
+            path,
+            name,
+            &format!("fast-vs-reference speedup {speedup:.3}x dropped below 1.0"),
+            speedup >= 1.0,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut gate = Gate::default();
+
+    if let Some(r) = gate.parse::<SolverReport>("BENCH_solver_quick.json") {
+        let path = "BENCH_solver_quick.json";
+        for i in &r.instances {
+            gate.check_common(path, r.quick, &i.name, i.speedup);
+            gate.require(
+                path,
+                &i.name,
+                "dense and sparse objectives diverged",
+                i.objectives_match,
+            );
+        }
+        println!(
+            "solver   geomean {:>7.2}x over {} instances",
+            r.geomean_speedup,
+            r.instances.len()
+        );
+    }
+    if let Some(r) = gate.parse::<ImproverReport>("BENCH_improver_quick.json") {
+        let path = "BENCH_improver_quick.json";
+        for i in &r.instances {
+            gate.check_common(path, r.quick, &i.name, i.speedup);
+            gate.require(
+                path,
+                &i.name,
+                "engine and reference costs diverged",
+                i.costs_match,
+            );
+        }
+        println!(
+            "improver geomean {:>7.2}x over {} instances",
+            r.geomean_speedup,
+            r.instances.len()
+        );
+    }
+    if let Some(r) = gate.parse::<DagReport>("BENCH_dag_quick.json") {
+        let path = "BENCH_dag_quick.json";
+        for i in &r.instances {
+            gate.check_common(path, r.quick, &i.name, i.speedup);
+            gate.require(
+                path,
+                &i.name,
+                "fast and reference pipelines diverged",
+                i.costs_match,
+            );
+        }
+        println!(
+            "dag      geomean {:>7.2}x over {} instances",
+            r.geomean_speedup,
+            r.instances.len()
+        );
+    }
+    if let Some(r) = gate.parse::<ShardReport>("BENCH_shard_quick.json") {
+        let path = "BENCH_shard_quick.json";
+        for i in &r.instances {
+            gate.check_common(path, r.quick, &i.name, i.speedup);
+            gate.require(
+                path,
+                &i.name,
+                "sharded final cost fell behind the shared baseline incumbent",
+                i.not_worse_than_baseline,
+            );
+            gate.require(
+                path,
+                &i.name,
+                "sharded search diverged across worker counts",
+                i.identical_across_workers,
+            );
+        }
+        println!(
+            "shard    geomean {:>7.2}x over {} instances",
+            r.geomean_speedup,
+            r.instances.len()
+        );
+    }
+
+    if gate.problems.is_empty() {
+        println!(
+            "bench_check: {} checks passed across 4 quick reports",
+            gate.checked
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_check: {} violation(s):", gate.problems.len());
+        for p in &gate.problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,310 @@
+//! Records the sharded-search benchmark baseline: the sharded holistic search
+//! (topological shards → zero-copy `SubDagView` sub-problems → per-shard
+//! `EvaluationEngine` local searches → deterministic boundary-repaired merge)
+//! against the single-incumbent holistic search, at the **same total move
+//! budget**, on the `large_dataset` instances — written to `BENCH_shard.json`.
+//!
+//! Both searches start from the same greedy BSP baseline and may spend up to
+//! `rounds · total_moves_per_round` candidate evaluations: the single-incumbent
+//! search evaluates every candidate against the whole graph (`O(V)` per
+//! conversion), the sharded search splits the same per-round budget over `k`
+//! shards whose evaluations touch only `O(V/k)` nodes. The recorded speedup is
+//! therefore algorithmic — it holds even on a single core — and the sharded
+//! final cost must be equal-or-better on the 100k-node instances while staying
+//! byte-identical for any worker count (both asserted at the end).
+//!
+//! Both searches spend the same `TOTAL_MOVES` candidate budget, in the shape
+//! that suits them: the single-incumbent search as wide best-of-N rounds (its
+//! expensive global evaluations only pay off when each one is selective), the
+//! sharded search as deep one-candidate-per-round hill climbs per shard (its
+//! cheap local evaluations make many small accepted steps the better spend).
+//!
+//! Set `MBSP_BENCH_SHARD_QUICK=1` for the CI smoke run (small instances,
+//! separate output file). The JSON schema is `{benchmark, quick, shards,
+//! total_move_budget, single_shape, sharded_shape, instances: [{name, nodes,
+//! edges, baseline_cost, single_cost, sharded_cost, single_seconds,
+//! sharded_seconds_1w, sharded_seconds, speedup, single_evaluations,
+//! sharded_evaluations, equal_or_better, not_worse_than_baseline,
+//! identical_across_workers}], geomean_speedup}`.
+
+use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+use mbsp_gen::NamedInstance;
+use mbsp_ilp::{
+    EvalPath, EvaluationEngine, HolisticConfig, HolisticScheduler, ShardedHolisticScheduler,
+    ShardedSearchConfig,
+};
+use mbsp_model::{Architecture, CostModel, MbspInstance};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+/// Shared candidate budget: both searches may evaluate at most this many moves.
+const TOTAL_MOVES: usize = 144;
+/// Single-incumbent shape: few rounds, wide best-of-24 batches.
+const SINGLE_ROUNDS: usize = 2;
+const SINGLE_MOVES_PER_ROUND: usize = TOTAL_MOVES / SINGLE_ROUNDS;
+/// Sharded shape: the same total budget spent as deep per-shard hill climbs
+/// (one candidate per round) — cheap `O(V/k)` evaluations make many small
+/// accepted steps the winning use of the budget.
+const SHARD_ROUNDS: usize = TOTAL_MOVES / SHARDS;
+const SHARD_MOVES_PER_ROUND: usize = 1;
+
+#[derive(Debug, Serialize)]
+struct InstanceReport {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    baseline_cost: f64,
+    single_cost: f64,
+    sharded_cost: f64,
+    single_seconds: f64,
+    sharded_seconds_1w: f64,
+    sharded_seconds: f64,
+    speedup: f64,
+    single_evaluations: u64,
+    sharded_evaluations: u64,
+    equal_or_better: bool,
+    not_worse_than_baseline: bool,
+    identical_across_workers: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    benchmark: String,
+    quick: bool,
+    shards: usize,
+    total_move_budget: usize,
+    single_shape: String,
+    sharded_shape: String,
+    instances: Vec<InstanceReport>,
+    geomean_speedup: f64,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v.max(1e-9).ln();
+        count += 1;
+    }
+    if count == 0 {
+        1.0
+    } else {
+        (sum / count as f64).exp()
+    }
+}
+
+fn main() {
+    // "0", "" and "false" disable quick mode (the documented contract is `=1`).
+    let quick = std::env::var("MBSP_BENCH_SHARD_QUICK")
+        .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
+        .unwrap_or(false);
+
+    let named: Vec<NamedInstance> = if quick {
+        vec![
+            NamedInstance {
+                name: "rand_L10_W40_quick".to_string(),
+                family: "random",
+                dag: random_layered_dag(
+                    &RandomDagConfig {
+                        layers: 10,
+                        width: 40,
+                        edge_probability: 0.1,
+                        ..Default::default()
+                    },
+                    7,
+                ),
+            },
+            NamedInstance {
+                name: "rand_L20_W50_quick".to_string(),
+                family: "random",
+                dag: random_layered_dag(
+                    &RandomDagConfig {
+                        layers: 20,
+                        width: 50,
+                        edge_probability: 0.08,
+                        ..Default::default()
+                    },
+                    8,
+                ),
+            },
+        ]
+    } else {
+        mbsp_gen::large_dataset(42)
+    };
+
+    let single_config = HolisticConfig {
+        cost_model: CostModel::Synchronous,
+        max_rounds: SINGLE_ROUNDS,
+        moves_per_round: SINGLE_MOVES_PER_ROUND,
+        time_limit: Duration::from_secs(3600),
+        workers: 1,
+        ..Default::default()
+    };
+    let sharded_config = |workers: usize| ShardedSearchConfig {
+        cost_model: CostModel::Synchronous,
+        num_shards: SHARDS,
+        workers,
+        max_rounds: SHARD_ROUNDS,
+        moves_per_round: SHARD_MOVES_PER_ROUND,
+        time_limit: Duration::from_secs(3600),
+        // Deep one-candidate rounds: one unlucky draw must not forfeit the
+        // shard's remaining budget.
+        stale_round_limit: 0,
+        ..Default::default()
+    };
+
+    // Iteration helper: run only the instances whose name contains the filter.
+    let only = std::env::var("MBSP_BENCH_SHARD_ONLY").unwrap_or_default();
+
+    let mut reports = Vec::new();
+    for inst in named
+        .iter()
+        .filter(|i| only.is_empty() || i.name.contains(&only))
+    {
+        eprintln!(
+            "== {} ({} nodes, {} edges)",
+            inst.name,
+            inst.dag.num_nodes(),
+            inst.dag.num_edges()
+        );
+        let instance = MbspInstance::with_cache_factor(
+            inst.dag.clone(),
+            Architecture::paper_default(0.0),
+            3.0,
+        );
+        let baseline = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+        // The shared starting incumbent both searches improve on.
+        let baseline_cost = {
+            let mut engine = EvaluationEngine::new(&instance, EvalPath::Incremental);
+            let procs: Vec<_> = instance
+                .dag()
+                .nodes()
+                .map(|v| baseline.schedule.proc_of(v))
+                .collect();
+            let a = engine.evaluate_assignment(&instance, &procs, CostModel::Synchronous, &[]);
+            let b = engine.evaluate_bsp(&instance, &baseline, CostModel::Synchronous, &[]);
+            a.min(b)
+        };
+        eprintln!("    baseline incumbent cost: {baseline_cost:.1}");
+
+        let single = HolisticScheduler::with_config(single_config);
+        let start = Instant::now();
+        let (single_schedule, single_stats) =
+            single.schedule_with_stats(&instance, &baseline, &[], EvalPath::Incremental);
+        let single_seconds = start.elapsed().as_secs_f64();
+        let single_cost = single_stats.final_cost;
+        drop(single_schedule);
+        eprintln!(
+            "    single-incumbent: cost {single_cost:.1}, {single_seconds:.2}s, {} evals",
+            single_stats.evaluations
+        );
+
+        let start = Instant::now();
+        let (sharded_w1, _) = ShardedHolisticScheduler::with_config(sharded_config(1))
+            .schedule_with_stats(&instance, &baseline);
+        let sharded_seconds_1w = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let (sharded_w4, sharded_stats) = ShardedHolisticScheduler::with_config(sharded_config(4))
+            .schedule_with_stats(&instance, &baseline);
+        let sharded_seconds = start.elapsed().as_secs_f64();
+        let sharded_cost = sharded_stats.final_cost;
+        let identical_across_workers = sharded_w1 == sharded_w4;
+        sharded_w4
+            .validate(instance.dag(), instance.arch())
+            .unwrap_or_else(|e| panic!("{}: sharded schedule invalid: {e}", inst.name));
+        let equal_or_better = sharded_cost <= single_cost + 1e-9 * (1.0 + single_cost.abs());
+        let not_worse_than_baseline =
+            sharded_cost <= baseline_cost + 1e-9 * (1.0 + baseline_cost.abs());
+        let speedup = single_seconds / sharded_seconds.max(1e-9);
+        eprintln!(
+            "    sharded ({SHARDS} shards): cost {sharded_cost:.1}, {sharded_seconds:.2}s \
+             (1 worker: {sharded_seconds_1w:.2}s), {} evals, {} improved / {} accepted shards, \
+             speedup {speedup:.2}x",
+            sharded_stats.evaluations, sharded_stats.improved_shards, sharded_stats.accepted_shards,
+        );
+
+        println!(
+            "{:<18} {:>7} nodes   single {:>9.1} in {:>7.2}s   sharded {:>9.1} in {:>7.2}s   ({:>5.2}x)   <=: {}   ==workers: {}",
+            inst.name,
+            instance.dag().num_nodes(),
+            single_cost,
+            single_seconds,
+            sharded_cost,
+            sharded_seconds,
+            speedup,
+            equal_or_better,
+            identical_across_workers,
+        );
+        reports.push(InstanceReport {
+            name: inst.name.clone(),
+            nodes: instance.dag().num_nodes(),
+            edges: instance.dag().num_edges(),
+            baseline_cost,
+            single_cost,
+            sharded_cost,
+            single_seconds,
+            sharded_seconds_1w,
+            sharded_seconds,
+            speedup,
+            single_evaluations: single_stats.evaluations,
+            sharded_evaluations: sharded_stats.evaluations,
+            equal_or_better,
+            not_worse_than_baseline,
+            identical_across_workers,
+        });
+    }
+
+    let geomean_speedup = geomean(reports.iter().map(|r| r.speedup));
+    let report = Report {
+        benchmark: "sharded holistic search over zero-copy sub-DAG views vs single-incumbent \
+                    search at equal move budget"
+            .to_string(),
+        quick,
+        shards: SHARDS,
+        total_move_budget: TOTAL_MOVES,
+        single_shape: format!("{SINGLE_ROUNDS} rounds x {SINGLE_MOVES_PER_ROUND} moves"),
+        sharded_shape: format!(
+            "{SHARDS} shards x {SHARD_ROUNDS} rounds x {SHARD_MOVES_PER_ROUND} moves"
+        ),
+        instances: reports,
+        geomean_speedup,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    // Quick (CI smoke) runs must not clobber the recorded full baseline.
+    let path = if quick {
+        "BENCH_shard_quick.json"
+    } else {
+        "BENCH_shard.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} is writable: {e}"));
+    println!("geomean speedup: {geomean_speedup:.2}x -> {path}");
+    assert!(
+        report.instances.iter().all(|r| r.identical_across_workers),
+        "sharded search diverged across worker counts — see {path}"
+    );
+    assert!(
+        report.instances.iter().all(|r| r.not_worse_than_baseline),
+        "sharded search fell behind the shared baseline incumbent — see {path}"
+    );
+    // The headline acceptance bar applies to the production-scale (100k-node)
+    // instances of the full run: equal-or-better final cost than the
+    // single-incumbent search at the same move budget, with at least a 2x
+    // wall-clock win at 4 workers.
+    if !quick {
+        for r in report.instances.iter().filter(|r| r.nodes >= 100_000) {
+            assert!(
+                r.equal_or_better,
+                "{}: sharded cost {:.1} fell behind the single-incumbent {:.1} — see {path}",
+                r.name, r.sharded_cost, r.single_cost
+            );
+            assert!(
+                r.speedup >= 2.0,
+                "{}: sharded speedup {:.2}x below the 2x bar at 4 workers — see {path}",
+                r.name,
+                r.speedup
+            );
+        }
+    }
+}

@@ -38,7 +38,7 @@
 //! and oracle output are equal schedules.
 
 use crate::policy::{CandidateVictim, EvictionPolicy};
-use mbsp_dag::{CompDag, NodeId, TopologicalOrder};
+use mbsp_dag::{DagLike, NodeId, TopologicalOrder};
 use mbsp_model::{Architecture, ComputePhaseStep, MbspSchedule, ProcId, Superstep};
 use mbsp_sched::BspSchedulingResult;
 
@@ -78,9 +78,9 @@ impl TwoStageScheduler {
 
     /// Converts a BSP scheduling result into a valid MBSP schedule using `policy`
     /// for cache eviction.
-    pub fn schedule(
+    pub fn schedule<D: DagLike + ?Sized>(
         &self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         bsp: &BspSchedulingResult,
         policy: &dyn EvictionPolicy,
@@ -91,9 +91,9 @@ impl TwoStageScheduler {
     /// Like [`TwoStageScheduler::schedule`], but additionally guarantees that every
     /// node in `required_outputs` is saved to slow memory (used by the
     /// divide-and-conquer scheduler for values needed by later sub-problems).
-    pub fn schedule_with_required_outputs(
+    pub fn schedule_with_required_outputs<D: DagLike + ?Sized>(
         &self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         bsp: &BspSchedulingResult,
         policy: &dyn EvictionPolicy,
@@ -192,6 +192,7 @@ pub struct ConversionArena {
     scratch_nodes: Vec<NodeId>,
     scratch_nodes2: Vec<NodeId>,
     scratch_nodes3: Vec<NodeId>,
+    scratch_parents: Vec<NodeId>,
     scratch_candidates: Vec<CandidateVictim>,
 }
 
@@ -199,14 +200,14 @@ impl ConversionArena {
     /// Builds the arena for one instance: computes the topological order and the
     /// assignment-independent use counts, and allocates every buffer a conversion
     /// needs. O(P·V + E) space, built once.
-    pub fn new(dag: &CompDag, arch: &Architecture) -> Self {
+    pub fn new<D: DagLike + ?Sized>(dag: &D, arch: &Architecture) -> Self {
         let n = dag.num_nodes();
         let p = arch.processors;
         let topo = TopologicalOrder::of(dag);
         let topo_pos: Vec<usize> = (0..n).map(|i| topo.position(NodeId::new(i))).collect();
         let mut base_uses = vec![0usize; n];
         for v in dag.nodes().filter(|&v| !dag.is_source(v)) {
-            for &u in dag.parents(v) {
+            for u in dag.parents(v) {
                 base_uses[u.index()] += 1;
             }
         }
@@ -245,6 +246,7 @@ impl ConversionArena {
             scratch_nodes: Vec::new(),
             scratch_nodes2: Vec::new(),
             scratch_nodes3: Vec::new(),
+            scratch_parents: Vec::new(),
             scratch_candidates: Vec::new(),
         }
     }
@@ -254,9 +256,9 @@ impl ConversionArena {
     /// BSP baselines; the per-processor sequences are rebuilt from scratch, but all
     /// allocations are reused.
     #[allow(clippy::too_many_arguments)]
-    pub fn convert<P: EvictionPolicy + ?Sized>(
+    pub fn convert<D: DagLike + ?Sized, P: EvictionPolicy + ?Sized>(
         &mut self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         bsp: &BspSchedulingResult,
         policy: &P,
@@ -307,9 +309,9 @@ impl ConversionArena {
     /// did not change, so a single-node move typically rebuilds one or two
     /// sequences instead of all `P`.
     #[allow(clippy::too_many_arguments)]
-    pub fn convert_assignment<P: EvictionPolicy + ?Sized>(
+    pub fn convert_assignment<D: DagLike + ?Sized, P: EvictionPolicy + ?Sized>(
         &mut self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         procs: &[ProcId],
         policy: &P,
@@ -364,7 +366,7 @@ impl ConversionArena {
     /// node's superstep is the smallest one compatible with its parents (same
     /// superstep on the same processor, strictly later across processors; sources
     /// force at least superstep 1).
-    fn compute_canonical_supersteps(&mut self, dag: &CompDag, procs: &[ProcId]) {
+    fn compute_canonical_supersteps<D: DagLike + ?Sized>(&mut self, dag: &D, procs: &[ProcId]) {
         for idx in 0..self.topo_order.len() {
             let v = self.topo_order[idx];
             if self.source_mask[v.index()] {
@@ -372,7 +374,7 @@ impl ConversionArena {
                 continue;
             }
             let mut s = 0usize;
-            for &u in dag.parents(v) {
+            for u in dag.parents(v) {
                 let su = self.superstep[u.index()];
                 let needed = if self.source_mask[u.index()] {
                     su + 1
@@ -412,11 +414,11 @@ impl ConversionArena {
     /// Only entries for parents of sequence nodes can be non-empty (the fill
     /// below maintains that invariant), so this costs O(edges of the processor)
     /// rather than O(V).
-    fn clear_use_positions(&mut self, dag: &CompDag, pi: usize) {
+    fn clear_use_positions<D: DagLike + ?Sized>(&mut self, dag: &D, pi: usize) {
         let base = pi * self.n;
         for idx in 0..self.seq[pi].len() {
             let v = self.seq[pi][idx];
-            for &u in dag.parents(v) {
+            for u in dag.parents(v) {
                 self.use_positions[base + u.index()].clear();
             }
         }
@@ -425,11 +427,11 @@ impl ConversionArena {
     /// Fills the input-use positions of processor `pi` from its (fresh) sequence;
     /// [`ConversionArena::clear_use_positions`] must have run against the old
     /// sequence first.
-    fn fill_use_positions(&mut self, dag: &CompDag, pi: usize) {
+    fn fill_use_positions<D: DagLike + ?Sized>(&mut self, dag: &D, pi: usize) {
         let base = pi * self.n;
         for pos in 0..self.seq[pi].len() {
             let v = self.seq[pi][pos];
-            for &u in dag.parents(v) {
+            for u in dag.parents(v) {
                 self.use_positions[base + u.index()].push(pos);
             }
         }
@@ -464,9 +466,9 @@ impl ConversionArena {
     /// The cache simulation itself: identical transition rules to
     /// [`reference::convert`], writing into `out` (whose superstep and phase
     /// allocations are reused).
-    fn run<P: EvictionPolicy + ?Sized>(
+    fn run<D: DagLike + ?Sized, P: EvictionPolicy + ?Sized>(
         &mut self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         policy: &P,
         config: TwoStageConfig,
@@ -522,11 +524,7 @@ impl ConversionArena {
                     }
                     let v = self.seq[pi][pos];
                     // All parents must already be cached.
-                    if dag
-                        .parents(v)
-                        .iter()
-                        .any(|&u| !self.cached[base + u.index()])
-                    {
+                    if dag.parents(v).any(|u| !self.cached[base + u.index()]) {
                         break;
                     }
                     // Make room for the output of v by dropping dead values only
@@ -541,7 +539,7 @@ impl ConversionArena {
                     self.used[pi] += dag.memory_weight(v);
                     self.clock[pi] += 1;
                     self.last_use[base + v.index()] = self.clock[pi];
-                    for &u in dag.parents(v) {
+                    for u in dag.parents(v) {
                         self.last_use[base + u.index()] = self.clock[pi];
                         self.remaining_uses[u.index()] -= 1;
                     }
@@ -556,7 +554,7 @@ impl ConversionArena {
                     if self.blue[v.index()] {
                         continue;
                     }
-                    let has_remote_child = dag.children(v).iter().any(|&c| {
+                    let has_remote_child = dag.children(v).any(|c| {
                         // A child computed on a different processor will need to
                         // load v from slow memory.
                         !self.source_mask[c.index()] && self.node_proc[c.index()] != pi as u32
@@ -579,9 +577,9 @@ impl ConversionArena {
     /// Drops dead cached values (not needed by any future compute and not an
     /// unsaved required output) until `needed` additional space is available.
     /// Returns false if that is impossible without real evictions.
-    fn make_room_with_dead_values(
+    fn make_room_with_dead_values<D: DagLike + ?Sized>(
         &mut self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         pi: usize,
         needed: f64,
@@ -592,7 +590,9 @@ impl ConversionArena {
         if self.used[pi] + needed <= r + 1e-9 {
             return true;
         }
-        let parents = dag.parents(about_to_compute);
+        let mut parents = std::mem::take(&mut self.scratch_parents);
+        parents.clear();
+        parents.extend(dag.parents(about_to_compute));
         // Collect the dead cached values and evict them in node-index order (the
         // order the reference converter walks them in) until the output fits.
         let mut dead = std::mem::take(&mut self.scratch_nodes);
@@ -616,14 +616,15 @@ impl ConversionArena {
             self.used[pi] -= dag.memory_weight(v);
         }
         self.scratch_nodes = dead;
+        self.scratch_parents = parents;
         self.used[pi] + needed <= r + 1e-9
     }
 
     /// Plans the save/delete/load phases that prepare the next compute segment of
     /// processor `pi`.
-    fn plan_io<P: EvictionPolicy + ?Sized>(
+    fn plan_io<D: DagLike + ?Sized, P: EvictionPolicy + ?Sized>(
         &mut self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         policy: &P,
         config: TwoStageConfig,
@@ -641,15 +642,12 @@ impl ConversionArena {
         // already available in slow memory.
         let missing = dag
             .parents(next)
-            .iter()
-            .filter(|&&u| !self.cached[base + u.index()])
+            .filter(|&u| !self.cached[base + u.index()])
             .count();
         let mut loadable = std::mem::take(&mut self.scratch_nodes);
         loadable.clear();
         loadable.extend(
             dag.parents(next)
-                .iter()
-                .copied()
                 .filter(|&u| !self.cached[base + u.index()] && self.blue_snapshot[u.index()]),
         );
         if loadable.len() < missing {
@@ -666,7 +664,9 @@ impl ConversionArena {
         // total, repeatedly extracting the minimum yields the identical eviction
         // sequence without sorting candidates that are never evicted.
         if self.used[pi] + target_free > r + 1e-9 {
-            let keep = dag.parents(next);
+            let mut keep = std::mem::take(&mut self.scratch_parents);
+            keep.clear();
+            keep.extend(dag.parents(next));
             let mut candidates = std::mem::take(&mut self.scratch_candidates);
             candidates.clear();
             for idx in 0..self.cached_list[pi].len() {
@@ -708,6 +708,7 @@ impl ConversionArena {
                 self.used[pi] -= dag.memory_weight(v);
             }
             self.scratch_candidates = candidates;
+            self.scratch_parents = keep;
         }
 
         // Required loads for the next compute step.
@@ -737,7 +738,7 @@ impl ConversionArena {
                 let w = self.seq[pi][look];
                 extras.clear();
                 extras.extend(
-                    dag.parents(w).iter().copied().filter(|&u| {
+                    dag.parents(w).filter(|&u| {
                         !self.cached[base + u.index()] && !virtually_cached.contains(&u)
                     }),
                 );
@@ -811,8 +812,8 @@ pub mod reference {
     use super::*;
 
     /// Converts `bsp` with a freshly allocated converter (the pre-arena code path).
-    pub fn convert(
-        dag: &CompDag,
+    pub fn convert<D: DagLike + ?Sized>(
+        dag: &D,
         arch: &Architecture,
         bsp: &BspSchedulingResult,
         policy: &dyn EvictionPolicy,
@@ -823,8 +824,8 @@ pub mod reference {
     }
 
     /// Internal cache-simulation state of the reference converter.
-    pub(super) struct Converter<'a> {
-        dag: &'a CompDag,
+    pub(super) struct Converter<'a, D: DagLike + ?Sized> {
+        dag: &'a D,
         arch: &'a Architecture,
         policy: &'a dyn EvictionPolicy,
         config: TwoStageConfig,
@@ -855,9 +856,9 @@ pub mod reference {
         is_required_output: Vec<bool>,
     }
 
-    impl<'a> Converter<'a> {
+    impl<'a, D: DagLike + ?Sized> Converter<'a, D> {
         pub(super) fn new(
-            dag: &'a CompDag,
+            dag: &'a D,
             arch: &'a Architecture,
             bsp: &'a BspSchedulingResult,
             policy: &'a dyn EvictionPolicy,
@@ -891,7 +892,7 @@ pub mod reference {
             let mut use_positions = vec![vec![Vec::new(); n]; p];
             for (pi, s) in seq.iter().enumerate() {
                 for (pos, &v) in s.iter().enumerate() {
-                    for &u in dag.parents(v) {
+                    for u in dag.parents(v) {
                         use_positions[pi][u.index()].push(pos);
                     }
                 }
@@ -900,13 +901,13 @@ pub mod reference {
             let mut remaining_uses = vec![0usize; n];
             for s in &seq {
                 for &v in s {
-                    for &u in dag.parents(v) {
+                    for u in dag.parents(v) {
                         remaining_uses[u.index()] += 1;
                     }
                 }
             }
             let mut blue = vec![false; n];
-            for v in dag.sources() {
+            for v in dag.source_nodes() {
                 blue[v.index()] = true;
             }
             let mut is_required_output: Vec<bool> = dag.nodes().map(|v| dag.is_sink(v)).collect();
@@ -964,12 +965,7 @@ pub mod reference {
                         }
                         let v = self.seq[pi][pos];
                         // All parents must already be cached.
-                        if self
-                            .dag
-                            .parents(v)
-                            .iter()
-                            .any(|&u| !self.cached[pi][u.index()])
-                        {
+                        if self.dag.parents(v).any(|u| !self.cached[pi][u.index()]) {
                             break;
                         }
                         // Make room for the output of v by dropping dead values only
@@ -984,7 +980,7 @@ pub mod reference {
                         self.used[pi] += self.dag.memory_weight(v);
                         self.clock[pi] += 1;
                         self.last_use[pi][v.index()] = self.clock[pi];
-                        for &u in self.dag.parents(v) {
+                        for u in self.dag.parents(v) {
                             self.last_use[pi][u.index()] = self.clock[pi];
                             self.remaining_uses[u.index()] -= 1;
                         }
@@ -997,7 +993,7 @@ pub mod reference {
                         if self.blue[v.index()] {
                             continue;
                         }
-                        let has_remote_child = self.dag.children(v).iter().any(|&c| {
+                        let has_remote_child = self.dag.children(v).any(|c| {
                             // A child computed on a different processor will need to
                             // load v from slow memory.
                             !self.dag.is_source(c) && !self.seq[pi].contains(&c)
@@ -1028,7 +1024,7 @@ pub mod reference {
             if self.used[pi] + needed <= r + 1e-9 {
                 return true;
             }
-            let parents: Vec<NodeId> = self.dag.parents(about_to_compute).to_vec();
+            let parents: Vec<NodeId> = self.dag.parents(about_to_compute).collect();
             let dead: Vec<NodeId> = (0..self.dag.num_nodes())
                 .map(NodeId::new)
                 .filter(|&v| {
@@ -1068,8 +1064,6 @@ pub mod reference {
             let missing: Vec<NodeId> = self
                 .dag
                 .parents(next)
-                .iter()
-                .copied()
                 .filter(|&u| !self.cached[pi][u.index()])
                 .collect();
             let loadable: Vec<NodeId> = missing
@@ -1086,7 +1080,7 @@ pub mod reference {
 
             // Evict until the next compute step fits.
             if self.used[pi] + target_free > r + 1e-9 {
-                let keep: Vec<NodeId> = self.dag.parents(next).to_vec();
+                let keep: Vec<NodeId> = self.dag.parents(next).collect();
                 let victims: Vec<NodeId> = (0..self.dag.num_nodes())
                     .map(NodeId::new)
                     .filter(|&v| self.cached[pi][v.index()] && !keep.contains(&v) && v != next)
@@ -1148,8 +1142,6 @@ pub mod reference {
                     let extra_inputs: Vec<NodeId> = self
                         .dag
                         .parents(w)
-                        .iter()
-                        .copied()
                         .filter(|&u| !self.cached[pi][u.index()] && !virtually_cached.contains(&u))
                         .collect();
                     if extra_inputs.iter().any(|&u| !blue_snapshot[u.index()]) {

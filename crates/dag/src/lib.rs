@@ -12,7 +12,9 @@
 //! children, sources, sinks, topological orderings), analysis helpers used by the
 //! schedulers (critical path, total work, the minimal feasible cache size `r₀`),
 //! sub-DAG extraction and acyclic quotient graphs for the divide-and-conquer
-//! scheduler, and DOT export for debugging.
+//! scheduler, zero-copy sub-DAG views behind the [`DagLike`] accessor trait
+//! (the generic surface the scheduling stacks of the downstream crates are
+//! written against), and DOT export for debugging.
 //!
 //! ## Representation
 //!
@@ -25,7 +27,11 @@
 //! topological order (O(1) cycle checks for order-respecting edges) and compacts
 //! into CSR once at `build`. Traversal helpers run on reusable flat scratch
 //! buffers with version-stamped visited marks ([`scratch::VisitMarks`]) instead
-//! of per-call hash sets.
+//! of per-call hash sets. [`SubDagView`] borrows a parent graph and serves an
+//! induced subgraph by remapping the parent's CSR slices through a
+//! local↔global offset table — no adjacency/weight/label copies — which is how
+//! the sharded holistic search of `mbsp-ilp` builds per-shard sub-problems at
+//! 100k-node scale.
 //!
 //! ## Oracle convention
 //!
@@ -45,6 +51,7 @@ pub mod reference;
 pub mod scratch;
 pub mod subgraph;
 pub mod topo;
+pub mod view;
 
 pub use analysis::DagStatistics;
 pub use builder::DagBuilder;
@@ -53,6 +60,7 @@ pub use graph::{CompDag, EdgeId, NodeId, NodeWeights};
 pub use partition::{AcyclicPartition, QuotientGraph};
 pub use subgraph::SubDag;
 pub use topo::TopologicalOrder;
+pub use view::{DagLike, SubDagView};
 
 /// Convenience result alias used across the crate.
 pub type Result<T> = std::result::Result<T, DagError>;

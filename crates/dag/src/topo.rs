@@ -8,6 +8,7 @@
 //! or `rebuild` variant that reuses the caller's allocations across instances.
 
 use crate::graph::{CompDag, NodeId};
+use crate::view::DagLike;
 
 /// A topological ordering of a [`CompDag`] together with derived level information.
 ///
@@ -32,8 +33,9 @@ impl TopologicalOrder {
     /// yields a breadth-first-like, level-respecting order.
     ///
     /// Panics if the graph contains a cycle; `CompDag` construction guarantees it
-    /// does not.
-    pub fn of(dag: &CompDag) -> Self {
+    /// does not. Accepts any [`DagLike`] graph, including the zero-copy
+    /// [`crate::SubDagView`].
+    pub fn of<D: DagLike + ?Sized>(dag: &D) -> Self {
         let mut topo = TopologicalOrder {
             order: Vec::new(),
             position: Vec::new(),
@@ -46,7 +48,7 @@ impl TopologicalOrder {
 
     /// Recomputes the ordering for `dag`, reusing every buffer — the in-place
     /// counterpart of [`TopologicalOrder::of`] for loops that process many DAGs.
-    pub fn rebuild(&mut self, dag: &CompDag) {
+    pub fn rebuild<D: DagLike + ?Sized>(&mut self, dag: &D) {
         let n = dag.num_nodes();
         self.indeg.clear();
         self.indeg
@@ -68,7 +70,7 @@ impl TopologicalOrder {
             let u = self.order[head];
             head += 1;
             let lu = self.level[u.index()];
-            for &c in dag.children(u) {
+            for c in dag.children(u) {
                 let lc = &mut self.level[c.index()];
                 *lc = (*lc).max(lu + 1);
                 self.indeg[c.index()] -= 1;

@@ -1,0 +1,181 @@
+//! Differential property tests: the zero-copy [`SubDagView`] against the
+//! materialising [`SubDag::induced`] oracle, over 100+ seeded random cases.
+//!
+//! Every structural query the generic scheduling paths rely on — node count,
+//! children, parents, degrees, source/sink predicates, weights, id mappings,
+//! external inputs/outputs and the topological order — must be
+//! operation-identical between the borrowed view and the induced `CompDag`
+//! (mirroring the repo's `AdjacencyOracle` / `two_stage::reference` oracle
+//! convention).
+
+use mbsp_dag::view::DagLike;
+use mbsp_dag::{CompDag, NodeId, NodeWeights, SubDag, SubDagView, TopologicalOrder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random acyclic edge list (edges go from lower to higher index).
+fn random_edges(n: usize, target_edges: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    let mut seen = vec![false; n * n];
+    let mut edges = Vec::new();
+    for _ in 0..target_edges * 3 {
+        if edges.len() >= target_edges {
+            break;
+        }
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        if !seen[u * n + v] {
+            seen[u * n + v] = true;
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+fn random_dag(n: usize, m: usize, rng: &mut StdRng) -> CompDag {
+    let weights: Vec<NodeWeights> = (0..n)
+        .map(|_| NodeWeights::new(rng.gen_range(1..=4) as f64, rng.gen_range(1..=5) as f64))
+        .collect();
+    CompDag::from_edges("case", weights, &random_edges(n, m, rng))
+        .expect("forward edge lists are acyclic")
+}
+
+#[test]
+fn view_is_operation_identical_to_induced_subdag() {
+    let mut rng = StdRng::seed_from_u64(0x51ED);
+    let mut cases = 0usize;
+    for round in 0..130 {
+        let n = 3 + (round % 28);
+        let m = (n * (n - 1) / 2).min(2 + round % 50);
+        let dag = random_dag(n, m, &mut rng);
+        // Random non-empty selection.
+        let selection: Vec<NodeId> = dag.nodes().filter(|_| rng.gen_bool(0.55)).collect();
+        if selection.is_empty() {
+            continue;
+        }
+        cases += 1;
+
+        let sub = SubDag::induced(&dag, &selection, "oracle").expect("selection is valid");
+        let view = SubDagView::induced(&dag, &selection, "view");
+
+        assert_eq!(view.num_nodes(), sub.num_nodes());
+        let idag = sub.dag();
+        let topo_view = TopologicalOrder::of(&view);
+        let topo_sub = TopologicalOrder::of(idag);
+        assert_eq!(
+            topo_view.order(),
+            topo_sub.order(),
+            "round {round}: topological orders diverged"
+        );
+        for local in idag.nodes() {
+            // Id mappings agree in both directions.
+            assert_eq!(view.to_global(local), sub.to_global(local));
+            assert_eq!(view.to_local(sub.to_global(local)), Some(local));
+            // Adjacency, degrees and predicates agree, element for element.
+            let vc: Vec<NodeId> = view.children(local).collect();
+            let vp: Vec<NodeId> = view.parents(local).collect();
+            assert_eq!(vc, idag.children(local), "children of {local}");
+            assert_eq!(vp, idag.parents(local), "parents of {local}");
+            assert_eq!(DagLike::in_degree(&view, local), idag.in_degree(local));
+            assert_eq!(DagLike::out_degree(&view, local), idag.out_degree(local));
+            assert_eq!(DagLike::is_source(&view, local), idag.is_source(local));
+            assert_eq!(DagLike::is_sink(&view, local), idag.is_sink(local));
+            // Weights come from the parent graph unchanged.
+            assert_eq!(
+                DagLike::compute_weight(&view, local),
+                idag.compute_weight(local)
+            );
+            assert_eq!(
+                DagLike::memory_weight(&view, local),
+                idag.memory_weight(local)
+            );
+            assert_eq!(
+                DagLike::compute_footprint(&view, local),
+                idag.compute_footprint(local)
+            );
+            // Nodes excluded from the selection are unmapped.
+        }
+        for v in dag.nodes() {
+            let included = selection.contains(&v);
+            assert_eq!(view.to_local(v).is_some(), included);
+        }
+        // Derived aggregates.
+        assert!(view.source_nodes().eq(idag.source_nodes()));
+        assert!(view.sink_nodes().eq(idag.sink_nodes()));
+        assert_eq!(view.minimal_cache_size(), idag.minimal_cache_size());
+        assert_eq!(view.external_inputs(), sub.external_inputs());
+        assert_eq!(view.external_outputs(), sub.external_outputs());
+    }
+    assert!(
+        cases >= 100,
+        "only {cases} non-trivial cases were generated"
+    );
+}
+
+#[test]
+fn with_inputs_view_keeps_boundary_edges_and_makes_inputs_sources() {
+    let mut rng = StdRng::seed_from_u64(0xB0DA);
+    for round in 0..60 {
+        let n = 4 + (round % 24);
+        let m = (n * (n - 1) / 2).min(3 + round % 40);
+        let dag = random_dag(n, m, &mut rng);
+        let core: Vec<NodeId> = dag.nodes().filter(|_| rng.gen_bool(0.4)).collect();
+        if core.is_empty() {
+            continue;
+        }
+        let mut in_core = vec![false; dag.num_nodes()];
+        for &v in &core {
+            in_core[v.index()] = true;
+        }
+        let view = SubDagView::with_inputs(&dag, &core, "part");
+        // Every external parent of a core node is present exactly once, as an
+        // input; inputs are pure sources.
+        let mut expected_inputs = 0usize;
+        let mut seen = vec![false; dag.num_nodes()];
+        for &v in &core {
+            for &u in dag.parents(v) {
+                if !in_core[u.index()] && !seen[u.index()] {
+                    seen[u.index()] = true;
+                    expected_inputs += 1;
+                }
+            }
+        }
+        assert_eq!(view.num_inputs(), expected_inputs);
+        assert_eq!(view.num_nodes(), core.len() + expected_inputs);
+        for local in view.nodes() {
+            let g = view.to_global(local);
+            if view.is_input(local) {
+                assert!(!in_core[g.index()]);
+                assert!(DagLike::is_source(&view, local));
+                assert_eq!(view.parents(local).count(), 0);
+                // An input's children are exactly its core children.
+                let expect: Vec<NodeId> = dag
+                    .children(g)
+                    .iter()
+                    .filter(|c| in_core[c.index()])
+                    .map(|&c| view.to_local(c).unwrap())
+                    .collect();
+                let got: Vec<NodeId> = view.children(local).collect();
+                assert_eq!(got, expect);
+            } else {
+                // A core node keeps its full parent list (all parents are
+                // selected by construction).
+                assert_eq!(DagLike::in_degree(&view, local), dag.in_degree(g));
+                let expect: Vec<NodeId> = dag
+                    .parents(g)
+                    .iter()
+                    .map(|&u| view.to_local(u).unwrap())
+                    .collect();
+                let got: Vec<NodeId> = view.parents(local).collect();
+                assert_eq!(got, expect);
+            }
+        }
+        // The view is acyclic and topologically orderable (TopologicalOrder
+        // panics otherwise).
+        let topo = TopologicalOrder::of(&view);
+        assert_eq!(topo.order().len(), view.num_nodes());
+    }
+}

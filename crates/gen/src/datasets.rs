@@ -152,9 +152,12 @@ pub fn small_dataset_sample(seed: u64) -> Vec<NamedInstance> {
 ///
 /// These are the instances `bench_dag` uses to exercise the CSR DAG substrate,
 /// the bitset pebbling state and the scratch-based schedulers at production
-/// scale; construction is near-linear thanks to the builder's incremental
-/// Pearce–Kelly cycle check (every generator emits order-respecting edges).
-/// Memory weights stay at the paper's random `{1..5}` distribution.
+/// scale, and `bench_shard` uses to compare the sharded holistic search
+/// against the single-incumbent search at equal move budget (the 100k-node
+/// `rand_L200_W500` instance is the headline case); construction is
+/// near-linear thanks to the builder's incremental Pearce–Kelly cycle check
+/// (every generator emits order-respecting edges). Memory weights stay at the
+/// paper's random `{1..5}` distribution.
 pub fn large_dataset(seed: u64) -> Vec<NamedInstance> {
     use crate::random::{random_layered_dag, RandomDagConfig};
     let layered = |layers: usize, width: usize, s: u64| {

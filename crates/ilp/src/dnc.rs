@@ -20,12 +20,13 @@
 //! sub-problem is optimised well, but the concatenation is not globally optimal and
 //! can fall behind the two-stage baseline on DAGs without good partitions.
 
-use crate::improver::{post_optimize, HolisticConfig, HolisticScheduler};
+use crate::improver::{post_optimize, HolisticConfig};
 use crate::partition_ilp::{recursive_partition, BipartitionConfig};
-use mbsp_dag::{CompDag, NodeId};
+use crate::shard::{part_view, search_view, LocalSearchParams};
+use mbsp_dag::{CompDag, DagLike, NodeId};
 use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId, Superstep};
 use mbsp_sched::{BspScheduler, GreedyBspScheduler, QuotientPlanner};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of [`DivideAndConquerScheduler`].
 #[derive(Debug, Clone, Copy)]
@@ -34,10 +35,16 @@ pub struct DivideAndConquerConfig {
     pub max_part_size: usize,
     /// Configuration of the acyclic bipartitioning ILP.
     pub bipartition: BipartitionConfig,
-    /// Configuration of the per-part holistic scheduler.
+    /// Budget of the per-part local search (`max_rounds`, `moves_per_round`,
+    /// `time_limit` and `seed` are used; the time limit applies per part).
     pub per_part: HolisticConfig,
-    /// Cost model used for the final streamlining pass.
+    /// Cost model used for the per-part searches and the final streamlining
+    /// pass.
     pub cost_model: CostModel,
+    /// Number of worker threads scheduling parts concurrently. `0` resolves via
+    /// `MBSP_BENCH_THREADS` / available parallelism. Parts are independent
+    /// sub-problems, so the worker count never changes the result.
+    pub workers: usize,
 }
 
 impl Default for DivideAndConquerConfig {
@@ -49,12 +56,11 @@ impl Default for DivideAndConquerConfig {
                 max_rounds: 20,
                 moves_per_round: 60,
                 time_limit: Duration::from_secs(5),
-                // Parts are small and dataset sweeps already parallelise across
-                // instances; serial per-part evaluation avoids oversubscription.
                 workers: 1,
                 ..Default::default()
             },
             cost_model: CostModel::Synchronous,
+            workers: 0,
         }
     }
 }
@@ -85,15 +91,7 @@ impl DivideAndConquerScheduler {
         // 1. Recursive acyclic partitioning.
         let partition =
             recursive_partition(dag, self.config.max_part_size, &self.config.bipartition);
-        // Build one scheduling sub-problem per part: the part's nodes plus boundary
-        // input nodes for parents living in other parts (those are sources of the
-        // sub-problem — their values are already in slow memory when the part runs).
-        let sub_problems: Vec<SubProblem> = partition
-            .parts()
-            .iter()
-            .enumerate()
-            .map(|(idx, nodes)| SubProblem::build(dag, &partition, idx, nodes))
-            .collect();
+        let parts = partition.parts();
 
         // 2. High-level plan on the quotient graph.
         let quotient = partition
@@ -101,32 +99,102 @@ impl DivideAndConquerScheduler {
             .expect("partition quotient is acyclic");
         let plan = QuotientPlanner::new().plan(quotient.graph(), arch);
 
-        // 3. Schedule every part with its assigned processors.
-        let greedy = GreedyBspScheduler::new();
-        let per_part_scheduler = HolisticScheduler::with_config(HolisticConfig {
-            cost_model: self.config.cost_model,
-            ..self.config.per_part
+        // 3. Schedule every part with its assigned processors: one zero-copy
+        //    [`SubDagView`] per part (external parents join as pure sources —
+        //    their values are in slow memory when the part runs) and one
+        //    engine-backed local search, seeded by restricting a single global
+        //    greedy baseline to the part. Parts are independent, so they run
+        //    concurrently on scoped worker threads; results are deterministic
+        //    regardless of the worker count.
+        let global_baseline = GreedyBspScheduler::new().schedule(dag, arch);
+        let global_procs: Vec<ProcId> = dag
+            .nodes()
+            .map(|v| global_baseline.schedule.proc_of(v))
+            .collect();
+        let workers =
+            crate::engine::resolve_workers(self.config.workers).min(plan.parts.len().max(1));
+        let config = self.config;
+        // Each entry keeps only the part's schedule, processor set and the
+        // O(part-size) local→global id map; the parent-sized view is dropped
+        // as soon as its search finishes.
+        struct ScheduledPart {
+            schedule: MbspSchedule,
+            processors: Vec<ProcId>,
+            to_global: Vec<NodeId>,
+        }
+        let mut sub_schedules: Vec<Option<ScheduledPart>> =
+            (0..partition.num_parts()).map(|_| None).collect();
+        let scheduled: Vec<(usize, ScheduledPart)> = std::thread::scope(|scope| {
+            let plan_parts = &plan.parts;
+            let parts_ref = &parts;
+            let partition_ref = &partition;
+            let global_procs_ref: &[ProcId] = &global_procs;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < plan_parts.len() {
+                            let part_plan = &plan_parts[i];
+                            let part = part_plan.part;
+                            let local_arch = Architecture::new(
+                                part_plan.processors.len(),
+                                arch.cache_size,
+                                arch.g,
+                                arch.latency,
+                            );
+                            let (view, required) =
+                                part_view(dag, partition_ref, &parts_ref[part], part, "part");
+                            let seed_procs: Vec<ProcId> = (0..view.num_nodes())
+                                .map(|l| {
+                                    let g = view.to_global(NodeId::new(l));
+                                    ProcId::new(
+                                        global_procs_ref[g.index()].index() % local_arch.processors,
+                                    )
+                                })
+                                .collect();
+                            let params = LocalSearchParams {
+                                cost_model: config.cost_model,
+                                max_rounds: config.per_part.max_rounds,
+                                moves_per_round: config.per_part.moves_per_round,
+                                seed: config.per_part.seed.wrapping_add(part as u64),
+                                // Mirror the single-incumbent search: a
+                                // stale best-of-batch round ends the part.
+                                stale_round_limit: 1,
+                            };
+                            let deadline = Instant::now() + config.per_part.time_limit;
+                            let outcome = search_view(
+                                &view,
+                                &local_arch,
+                                &params,
+                                &seed_procs,
+                                &required,
+                                deadline,
+                            );
+                            let to_global: Vec<NodeId> = (0..view.num_nodes())
+                                .map(|l| view.to_global(NodeId::new(l)))
+                                .collect();
+                            out.push((
+                                part,
+                                ScheduledPart {
+                                    schedule: outcome.schedule,
+                                    processors: part_plan.processors.clone(),
+                                    to_global,
+                                },
+                            ));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("part scheduling worker panicked"))
+                .collect()
         });
-        // Sub-schedules indexed by part.
-        let mut sub_schedules: Vec<Option<(MbspSchedule, Vec<ProcId>)>> =
-            vec![None; partition.num_parts()];
-        for part_plan in &plan.parts {
-            let part = part_plan.part;
-            let sub = &sub_problems[part];
-            let local_arch = Architecture::new(
-                part_plan.processors.len(),
-                arch.cache_size,
-                arch.g,
-                arch.latency,
-            );
-            let sub_instance = MbspInstance::new(sub.dag.clone(), local_arch);
-            let baseline = greedy.schedule(&sub.dag, &local_arch);
-            let schedule = per_part_scheduler.schedule_with_required_outputs(
-                &sub_instance,
-                &baseline,
-                &sub.required_outputs,
-            );
-            sub_schedules[part] = Some((schedule, part_plan.processors.clone()));
+        for (part, scheduled_part) in scheduled {
+            sub_schedules[part] = Some(scheduled_part);
         }
 
         // 4. Concatenate the sub-schedules stage by stage. Between stages, every
@@ -142,7 +210,7 @@ impl DivideAndConquerScheduler {
                 .map(|pp| {
                     sub_schedules[pp.part]
                         .as_ref()
-                        .map_or(0, |(s, _)| s.num_supersteps())
+                        .map_or(0, |p| p.schedule.num_supersteps())
                 })
                 .max()
                 .unwrap_or(0);
@@ -168,8 +236,9 @@ impl DivideAndConquerScheduler {
             }
             for part_plan in stage {
                 let part = part_plan.part;
-                let (schedule, processors) = sub_schedules[part].as_ref().expect("scheduled");
-                let sub = &sub_problems[part];
+                let sub = sub_schedules[part].as_ref().expect("scheduled");
+                let (schedule, processors) = (&sub.schedule, &sub.processors);
+                let to_global = |v: NodeId| sub.to_global[v.index()];
                 for (s, step) in schedule.supersteps().iter().enumerate() {
                     let target = &mut combined.supersteps_mut()[offset + s];
                     for (local_p, phases) in step.procs.iter().enumerate() {
@@ -177,34 +246,33 @@ impl DivideAndConquerScheduler {
                         let t = &mut target.procs[global_p.index()];
                         t.compute.extend(phases.compute.iter().map(|c| match c {
                             mbsp_model::ComputePhaseStep::Compute(v) => {
-                                mbsp_model::ComputePhaseStep::Compute(sub.to_global(*v))
+                                mbsp_model::ComputePhaseStep::Compute(to_global(*v))
                             }
                             mbsp_model::ComputePhaseStep::Delete(v) => {
-                                mbsp_model::ComputePhaseStep::Delete(sub.to_global(*v))
+                                mbsp_model::ComputePhaseStep::Delete(to_global(*v))
                             }
                         }));
-                        t.save.extend(phases.save.iter().map(|&v| sub.to_global(v)));
-                        t.delete
-                            .extend(phases.delete.iter().map(|&v| sub.to_global(v)));
-                        t.load.extend(phases.load.iter().map(|&v| sub.to_global(v)));
+                        t.save.extend(phases.save.iter().map(|&v| to_global(v)));
+                        t.delete.extend(phases.delete.iter().map(|&v| to_global(v)));
+                        t.load.extend(phases.load.iter().map(|&v| to_global(v)));
                         // Track what remains cached on this processor at stage end.
                         let cache = &mut cached[global_p.index()];
                         for c in &phases.compute {
                             match c {
                                 mbsp_model::ComputePhaseStep::Compute(v) => {
-                                    cache.insert(sub.to_global(*v));
+                                    cache.insert(to_global(*v));
                                 }
                                 mbsp_model::ComputePhaseStep::Delete(v) => {
-                                    cache.remove(&sub.to_global(*v));
+                                    cache.remove(&to_global(*v));
                                 }
                             }
                         }
                         // Phase order within a superstep: deletes happen before loads.
                         for &v in &phases.delete {
-                            cache.remove(&sub.to_global(v));
+                            cache.remove(&to_global(v));
                         }
                         for &v in &phases.load {
-                            cache.insert(sub.to_global(v));
+                            cache.insert(to_global(v));
                         }
                     }
                 }
@@ -222,86 +290,6 @@ impl DivideAndConquerScheduler {
     /// scheduler would use for the given DAG.
     pub fn partition_for(&self, dag: &CompDag) -> mbsp_dag::AcyclicPartition {
         recursive_partition(dag, self.config.max_part_size, &self.config.bipartition)
-    }
-}
-
-/// A scheduling sub-problem for one part of the acyclic partition: the part's nodes
-/// plus *boundary input* nodes (parents of part nodes that live in other parts).
-/// Boundary inputs are sources of the sub-DAG — their values are already in slow
-/// memory when the part is scheduled — and every actual part node is computed by the
-/// sub-schedule.
-struct SubProblem {
-    /// The sub-DAG handed to the per-part scheduler.
-    dag: CompDag,
-    /// `to_global[local]` = node id in the full DAG.
-    to_global: Vec<NodeId>,
-    /// Local ids of the part nodes whose values are needed by later parts (they must
-    /// be saved by the sub-schedule).
-    required_outputs: Vec<NodeId>,
-}
-
-impl SubProblem {
-    fn build(
-        dag: &CompDag,
-        partition: &mbsp_dag::AcyclicPartition,
-        part_index: usize,
-        part_nodes: &[NodeId],
-    ) -> SubProblem {
-        let mut in_part = vec![false; dag.num_nodes()];
-        for &v in part_nodes {
-            in_part[v.index()] = true;
-        }
-        // Boundary inputs: external parents of part nodes, in index order.
-        let mut boundary: Vec<NodeId> = part_nodes
-            .iter()
-            .flat_map(|&v| dag.parents(v).iter().copied())
-            .filter(|u| !in_part[u.index()])
-            .collect();
-        boundary.sort();
-        boundary.dedup();
-
-        let mut builder = mbsp_dag::DagBuilder::new(format!("{}::part{}", dag.name(), part_index));
-        let mut to_local = vec![None::<NodeId>; dag.num_nodes()];
-        let mut to_global = Vec::new();
-        // Boundary inputs first (pure sources of the sub-DAG), then the part nodes.
-        for &u in boundary.iter().chain(part_nodes.iter()) {
-            let local = builder
-                .add_labeled_node(dag.compute_weight(u), dag.memory_weight(u), dag.label(u))
-                .expect("weights come from a valid DAG");
-            to_local[u.index()] = Some(local);
-            to_global.push(u);
-        }
-        // Edges: into part nodes only (boundary→part and part→part). Edges between
-        // boundary nodes are dropped so that boundary inputs stay sources.
-        for &v in part_nodes {
-            let lv = to_local[v.index()].unwrap();
-            for &u in dag.parents(v) {
-                let lu = to_local[u.index()].expect("parent is in the part or a boundary input");
-                builder
-                    .add_edge_idempotent(lu, lv)
-                    .expect("sub-problem edges follow the original DAG");
-            }
-        }
-        let sub = builder.build();
-        // Required outputs: part nodes with at least one child in another part.
-        let required_outputs: Vec<NodeId> = part_nodes
-            .iter()
-            .filter(|&&v| {
-                dag.children(v)
-                    .iter()
-                    .any(|c| partition.part_of(*c) != partition.part_of(v))
-            })
-            .map(|&v| to_local[v.index()].unwrap())
-            .collect();
-        SubProblem {
-            dag: sub,
-            to_global,
-            required_outputs,
-        }
-    }
-
-    fn to_global(&self, local: NodeId) -> NodeId {
-        self.to_global[local.index()]
     }
 }
 

@@ -24,7 +24,7 @@
 
 use crate::improver::{canonical_bsp, reference_post_optimize, PostOptimizer};
 use mbsp_cache::{two_stage, ClairvoyantPolicy, ConversionArena, TwoStageConfig};
-use mbsp_dag::{CompDag, NodeId};
+use mbsp_dag::{DagLike, NodeId};
 use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId};
 use mbsp_sched::BspSchedulingResult;
 use rand::rngs::StdRng;
@@ -63,8 +63,8 @@ impl Move {
     /// Proposes a random move that changes the assignment, or `None` if the draw
     /// was a no-op (the caller counts it against the round's move budget either
     /// way, exactly like the pre-engine search loop).
-    pub fn propose(
-        dag: &CompDag,
+    pub fn propose<D: DagLike + ?Sized>(
+        dag: &D,
         arch: &Architecture,
         procs: &[ProcId],
         movable: &[NodeId],
@@ -85,7 +85,7 @@ impl Move {
                 let mut has_children = false;
                 let mut changes = false;
                 let to = ProcId::new(rng.gen_range(0..p));
-                for &c in dag.children(parent) {
+                for c in dag.children(parent) {
                     if dag.is_source(c) {
                         continue;
                     }
@@ -111,11 +111,11 @@ impl Move {
     }
 
     /// Applies the move to `procs` in place.
-    pub fn apply(&self, dag: &CompDag, procs: &mut [ProcId]) {
+    pub fn apply<D: DagLike + ?Sized>(&self, dag: &D, procs: &mut [ProcId]) {
         match *self {
             Move::Relocate { node, to } => procs[node.index()] = to,
             Move::RelocateSiblings { parent, to } => {
-                for &c in dag.children(parent) {
+                for c in dag.children(parent) {
                     if !dag.is_source(c) {
                         procs[c.index()] = to;
                     }
@@ -157,13 +157,20 @@ pub struct EvaluationEngine {
 impl EvaluationEngine {
     /// Creates an engine (and its arena) for one instance.
     pub fn new(instance: &MbspInstance, path: EvalPath) -> Self {
+        EvaluationEngine::for_dag(instance.dag(), instance.arch(), path)
+    }
+
+    /// Creates an engine for any [`DagLike`] graph — including a zero-copy
+    /// [`mbsp_dag::SubDagView`], which is how the sharded search builds one
+    /// engine per shard without materialising per-shard `CompDag`s.
+    pub fn for_dag<D: DagLike + ?Sized>(dag: &D, arch: &Architecture, path: EvalPath) -> Self {
         EvaluationEngine {
             path,
             policy: ClairvoyantPolicy::new(),
             config: TwoStageConfig::default(),
-            arena: ConversionArena::new(instance.dag(), instance.arch()),
-            schedule: MbspSchedule::new(instance.arch().processors),
-            post: PostOptimizer::new(instance.dag(), instance.arch()),
+            arena: ConversionArena::new(dag, arch),
+            schedule: MbspSchedule::new(arch.processors),
+            post: PostOptimizer::new(dag, arch),
             procs_buf: Vec::new(),
             evaluations: 0,
         }
@@ -179,7 +186,25 @@ impl EvaluationEngine {
         cost_model: CostModel,
         required_outputs: &[NodeId],
     ) -> f64 {
-        let (dag, arch) = (instance.dag(), instance.arch());
+        self.evaluate_assignment_on(
+            instance.dag(),
+            instance.arch(),
+            procs,
+            cost_model,
+            required_outputs,
+        )
+    }
+
+    /// [`EvaluationEngine::evaluate_assignment`] over any [`DagLike`] graph (the
+    /// engine must have been built for the same graph and architecture).
+    pub fn evaluate_assignment_on<D: DagLike + ?Sized>(
+        &mut self,
+        dag: &D,
+        arch: &Architecture,
+        procs: &[ProcId],
+        cost_model: CostModel,
+        required_outputs: &[NodeId],
+    ) -> f64 {
         self.evaluations += 1;
         match self.path {
             EvalPath::Incremental => {
@@ -226,7 +251,24 @@ impl EvaluationEngine {
         cost_model: CostModel,
         required_outputs: &[NodeId],
     ) -> f64 {
-        let (dag, arch) = (instance.dag(), instance.arch());
+        self.evaluate_bsp_on(
+            instance.dag(),
+            instance.arch(),
+            bsp,
+            cost_model,
+            required_outputs,
+        )
+    }
+
+    /// [`EvaluationEngine::evaluate_bsp`] over any [`DagLike`] graph.
+    pub fn evaluate_bsp_on<D: DagLike + ?Sized>(
+        &mut self,
+        dag: &D,
+        arch: &Architecture,
+        bsp: &BspSchedulingResult,
+        cost_model: CostModel,
+        required_outputs: &[NodeId],
+    ) -> f64 {
         self.evaluations += 1;
         match self.path {
             EvalPath::Incremental => {
@@ -330,6 +372,31 @@ pub fn evaluate_moves(
     required_outputs: &[NodeId],
     deadline: Instant,
 ) -> BatchOutcome {
+    evaluate_moves_on(
+        engines,
+        instance.dag(),
+        instance.arch(),
+        base_procs,
+        moves,
+        cost_model,
+        required_outputs,
+        deadline,
+    )
+}
+
+/// [`evaluate_moves`] over any [`DagLike`] graph (`Sync` so worker threads can
+/// share the borrow; both `CompDag` and `SubDagView` qualify).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_moves_on<D: DagLike + Sync + ?Sized>(
+    engines: &mut [EvaluationEngine],
+    dag: &D,
+    arch: &Architecture,
+    base_procs: &[ProcId],
+    moves: &[Move],
+    cost_model: CostModel,
+    required_outputs: &[NodeId],
+    deadline: Instant,
+) -> BatchOutcome {
     if moves.is_empty() || engines.is_empty() {
         return BatchOutcome {
             winner: None,
@@ -341,7 +408,8 @@ pub fn evaluate_moves(
     if workers == 1 {
         let (winner, evaluations) = evaluate_chunk(
             &mut engines[0],
-            instance,
+            dag,
+            arch,
             base_procs,
             moves,
             0,
@@ -364,7 +432,8 @@ pub fn evaluate_moves(
                 scope.spawn(move || {
                     evaluate_chunk(
                         engine,
-                        instance,
+                        dag,
+                        arch,
                         base_procs,
                         chunk,
                         offset,
@@ -405,9 +474,10 @@ pub fn evaluate_moves(
 
 /// Evaluates a contiguous chunk of the round's candidates through one engine.
 #[allow(clippy::too_many_arguments)]
-fn evaluate_chunk(
+fn evaluate_chunk<D: DagLike + ?Sized>(
     engine: &mut EvaluationEngine,
-    instance: &MbspInstance,
+    dag: &D,
+    arch: &Architecture,
     base_procs: &[ProcId],
     moves: &[Move],
     index_offset: usize,
@@ -415,7 +485,6 @@ fn evaluate_chunk(
     required_outputs: &[NodeId],
     deadline: Instant,
 ) -> (Option<(f64, usize)>, u64) {
-    let dag = instance.dag();
     let mut best: Option<(f64, usize)> = None;
     let mut evaluations = 0u64;
     for (i, mv) in moves.iter().enumerate() {
@@ -426,7 +495,7 @@ fn evaluate_chunk(
         engine.procs_buf.extend_from_slice(base_procs);
         let mut procs = std::mem::take(&mut engine.procs_buf);
         mv.apply(dag, &mut procs);
-        let cost = engine.evaluate_assignment(instance, &procs, cost_model, required_outputs);
+        let cost = engine.evaluate_assignment_on(dag, arch, &procs, cost_model, required_outputs);
         engine.procs_buf = procs;
         evaluations += 1;
         let idx = index_offset + i;

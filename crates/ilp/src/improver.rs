@@ -23,10 +23,10 @@
 use crate::engine::{
     evaluate_moves, resolve_workers, EvalPath, EvaluationEngine, Move, SearchStats,
 };
-use mbsp_dag::{CompDag, NodeId, TopologicalOrder};
+use mbsp_dag::{DagLike, NodeId, TopologicalOrder};
 use mbsp_model::{
-    Architecture, BspSchedule, Configuration, CostModel, MbspInstance, MbspSchedule, ProcId,
-    ScheduleEvaluator, Superstep,
+    Architecture, BspSchedule, Configuration, CostModel, MbspInstance, MbspSchedule, ParentMasks,
+    ProcId, ScheduleEvaluator, Superstep,
 };
 use mbsp_sched::BspSchedulingResult;
 use rand::rngs::StdRng;
@@ -212,7 +212,11 @@ impl HolisticScheduler {
 /// The arena path (`mbsp_cache::ConversionArena::convert_assignment`) derives the
 /// same structure without materialising the schedule; this function remains the
 /// reference construction and is used by the explicit-BSP paths.
-pub fn canonical_bsp(dag: &CompDag, arch: &Architecture, procs: &[ProcId]) -> BspSchedulingResult {
+pub fn canonical_bsp<D: DagLike + ?Sized>(
+    dag: &D,
+    arch: &Architecture,
+    procs: &[ProcId],
+) -> BspSchedulingResult {
     let topo = TopologicalOrder::of(dag);
     let n = dag.num_nodes();
     let mut superstep = vec![0usize; n];
@@ -222,7 +226,7 @@ pub fn canonical_bsp(dag: &CompDag, arch: &Architecture, procs: &[ProcId]) -> Bs
             superstep[v.index()] = 0;
         } else {
             let mut s = 0usize;
-            for &u in dag.parents(v) {
+            for u in dag.parents(v) {
                 let su = superstep[u.index()];
                 let needed = if dag.is_source(u) {
                     // Sources are loaded from slow memory, not communicated, but the
@@ -265,9 +269,9 @@ pub fn canonical_bsp(dag: &CompDag, arch: &Architecture, procs: &[ProcId]) -> Bs
 /// This convenience wrapper allocates its scratch state per call; evaluation loops
 /// should hold an [`crate::engine::EvaluationEngine`], whose [`PostOptimizer`]
 /// reuses every buffer across candidates.
-pub fn post_optimize(
+pub fn post_optimize<D: DagLike + ?Sized>(
     schedule: &mut MbspSchedule,
-    dag: &CompDag,
+    dag: &D,
     arch: &Architecture,
     cost_model: CostModel,
     required_outputs: &[NodeId],
@@ -279,9 +283,9 @@ pub fn post_optimize(
 /// oracle and the `bench_improver` baseline: every merge candidate materialises a
 /// folded copy of the whole schedule and validates it from scratch, and the final
 /// cost requires a separate full re-cost by the caller.
-pub(crate) fn reference_post_optimize(
+pub(crate) fn reference_post_optimize<D: DagLike + ?Sized>(
     schedule: &mut MbspSchedule,
-    dag: &CompDag,
+    dag: &D,
     arch: &Architecture,
     cost_model: CostModel,
     required_outputs: &[NodeId],
@@ -299,6 +303,9 @@ pub(crate) fn reference_post_optimize(
 pub struct PostOptimizer {
     scratch: MbspSchedule,
     evaluator: ScheduleEvaluator,
+    /// Sparse per-node parent bitsets for word-level `parents ⊆ R_p` checks in
+    /// the merge-validity simulation (built once per instance).
+    masks: ParentMasks,
     /// Configuration after supersteps `0..k` of the current schedule (the merge
     /// loop's cursor state).
     prefix: Configuration,
@@ -313,10 +320,11 @@ pub struct PostOptimizer {
 
 impl PostOptimizer {
     /// Allocates the scratch state for one `(dag, arch)` instance.
-    pub fn new(dag: &CompDag, arch: &Architecture) -> Self {
+    pub fn new<D: DagLike + ?Sized>(dag: &D, arch: &Architecture) -> Self {
         PostOptimizer {
             scratch: MbspSchedule::new(arch.processors),
             evaluator: ScheduleEvaluator::new(arch),
+            masks: ParentMasks::of(dag),
             prefix: Configuration::initial(dag, arch),
             trial: Configuration::initial(dag, arch),
             unfolded: Configuration::initial(dag, arch),
@@ -329,10 +337,10 @@ impl PostOptimizer {
     /// removal, greedy superstep merging) and returns the cost of the optimised
     /// schedule under `cost_model` — for the synchronous model it falls out of the
     /// incremental evaluator for free, so callers need no extra re-cost pass.
-    pub fn optimize(
+    pub fn optimize<D: DagLike + ?Sized>(
         &mut self,
         schedule: &mut MbspSchedule,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         cost_model: CostModel,
         required_outputs: &[NodeId],
@@ -365,10 +373,10 @@ impl PostOptimizer {
     /// allocation-free. The asynchronous makespan has no per-superstep
     /// decomposition, so that model keeps the full re-evaluation through the
     /// scratch schedule.
-    fn merge_supersteps(
+    fn merge_supersteps<D: DagLike + ?Sized>(
         &mut self,
         schedule: &mut MbspSchedule,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         cost_model: CostModel,
     ) -> f64 {
@@ -418,10 +426,10 @@ impl PostOptimizer {
     /// valid, with exactly the same outcome as validating the folded schedule
     /// from scratch (the supersteps before `k` are untouched by the fold, so
     /// their simulation is the cached `prefix`).
-    fn try_fold(
+    fn try_fold<D: DagLike + ?Sized>(
         &mut self,
         schedule: &MbspSchedule,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         k: usize,
     ) -> bool {
@@ -438,7 +446,8 @@ impl PostOptimizer {
                 for &c in &phases.compute {
                     let ok = match c {
                         mbsp_model::ComputePhaseStep::Compute(v) => {
-                            self.trial.try_compute(dag, arch, proc, v)
+                            self.trial
+                                .try_compute_masked(dag, arch, &self.masks, proc, v)
                         }
                         mbsp_model::ComputePhaseStep::Delete(v) => {
                             self.trial.try_delete(dag, proc, v)
@@ -494,7 +503,7 @@ impl PostOptimizer {
         // state, so re-simulate the suffix (still allocation-free) and re-check
         // the terminal condition.
         for step in &steps[k + 2..] {
-            if !apply_step_checked(&mut self.trial, step, dag, arch) {
+            if !apply_step_checked(&mut self.trial, step, dag, arch, &self.masks) {
                 return false;
             }
         }
@@ -504,7 +513,7 @@ impl PostOptimizer {
 
 /// Applies every operation of `step` to `cfg` without precondition checks (the
 /// step is known to be valid from this state).
-fn apply_step_unchecked(cfg: &mut Configuration, step: &Superstep, dag: &CompDag) {
+fn apply_step_unchecked<D: DagLike + ?Sized>(cfg: &mut Configuration, step: &Superstep, dag: &D) {
     for (pi, phases) in step.procs.iter().enumerate() {
         let proc = ProcId::new(pi);
         for &c in &phases.compute {
@@ -534,18 +543,22 @@ fn apply_step_unchecked(cfg: &mut Configuration, step: &Superstep, dag: &CompDag
 }
 
 /// Applies every operation of `step` to `cfg` with full precondition checks;
-/// returns false on the first violation (mirroring schedule validation).
-fn apply_step_checked(
+/// returns false on the first violation (mirroring schedule validation). The
+/// compute precondition goes through the word-level [`ParentMasks`] path.
+fn apply_step_checked<D: DagLike + ?Sized>(
     cfg: &mut Configuration,
     step: &Superstep,
-    dag: &CompDag,
+    dag: &D,
     arch: &Architecture,
+    masks: &ParentMasks,
 ) -> bool {
     for (pi, phases) in step.procs.iter().enumerate() {
         let proc = ProcId::new(pi);
         for &c in &phases.compute {
             let ok = match c {
-                mbsp_model::ComputePhaseStep::Compute(v) => cfg.try_compute(dag, arch, proc, v),
+                mbsp_model::ComputePhaseStep::Compute(v) => {
+                    cfg.try_compute_masked(dag, arch, masks, proc, v)
+                }
                 mbsp_model::ComputePhaseStep::Delete(v) => cfg.try_delete(dag, proc, v),
             };
             if !ok {
@@ -582,7 +595,11 @@ fn apply_step_checked(
 
 /// Drops save operations for values that are neither sinks nor ever loaded later in
 /// the schedule (allocating variant used by the reference path).
-fn remove_redundant_saves(schedule: &mut MbspSchedule, dag: &CompDag, required_outputs: &[NodeId]) {
+fn remove_redundant_saves<D: DagLike + ?Sized>(
+    schedule: &mut MbspSchedule,
+    dag: &D,
+    required_outputs: &[NodeId],
+) {
     let n = dag.num_nodes();
     let mut required = vec![false; n];
     let mut last_load = vec![None::<usize>; n];
@@ -598,9 +615,9 @@ fn remove_redundant_saves(schedule: &mut MbspSchedule, dag: &CompDag, required_o
 /// Drops save operations for values that are neither sinks nor ever loaded later
 /// in the schedule, using caller-provided buffers (`required` all-false,
 /// `last_load` all-`None` on entry).
-fn remove_redundant_saves_into(
+fn remove_redundant_saves_into<D: DagLike + ?Sized>(
     schedule: &mut MbspSchedule,
-    dag: &CompDag,
+    dag: &D,
     required_outputs: &[NodeId],
     required: &mut [bool],
     last_load: &mut [Option<usize>],
@@ -633,9 +650,9 @@ fn remove_redundant_saves_into(
 /// reference path: per-superstep phase costs are built afresh per call, every
 /// accepted candidate is validated by simulating the whole folded schedule, and
 /// candidate construction goes through a scratch clone.
-fn reference_merge_supersteps(
+fn reference_merge_supersteps<D: DagLike + ?Sized>(
     schedule: &mut MbspSchedule,
-    dag: &CompDag,
+    dag: &D,
     arch: &Architecture,
     cost_model: CostModel,
 ) {
@@ -974,7 +991,7 @@ mod tests {
     fn incremental_merge_matches_full_reevaluation() {
         // Reference implementation: greedy merge with a full cost re-evaluation
         // and a fresh clone per candidate (the pre-incremental behaviour).
-        fn naive_merge(schedule: &mut MbspSchedule, dag: &CompDag, arch: &Architecture) {
+        fn naive_merge(schedule: &mut MbspSchedule, dag: &mbsp_dag::CompDag, arch: &Architecture) {
             let mut current = sync_cost(schedule, dag, arch).total;
             let mut k = 0usize;
             while k + 1 < schedule.num_supersteps() {

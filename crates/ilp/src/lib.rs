@@ -29,7 +29,14 @@
 //!   divide-and-conquer method, with a level-based fallback heuristic.
 //! * [`dnc`] — [`dnc::DivideAndConquerScheduler`], the divide-and-conquer scheduler
 //!   of Section 6.3: recursive acyclic bipartition, a quotient-graph plan, per-part
-//!   holistic scheduling, and concatenation of the sub-schedules.
+//!   engine-backed scheduling over zero-copy `SubDagView`s on concurrent workers,
+//!   and concatenation of the sub-schedules.
+//! * [`shard`] — [`shard::ShardedHolisticScheduler`], the sharded evaluation
+//!   service that scales the holistic search to the 100k-node instances:
+//!   topological shards, one `EvaluationEngine`-backed local search per shard on
+//!   its own worker thread, and a deterministic `(cost, shard index)`-ordered
+//!   merge whose boundary-repair pass re-evaluates cross-shard supersteps through
+//!   the incremental evaluator.
 
 pub mod bsp_opt;
 pub mod dnc;
@@ -37,6 +44,7 @@ pub mod engine;
 pub mod formulation;
 pub mod improver;
 pub mod partition_ilp;
+pub mod shard;
 
 pub use bsp_opt::BspIlpScheduler;
 pub use dnc::{DivideAndConquerConfig, DivideAndConquerScheduler};
@@ -44,3 +52,4 @@ pub use engine::{EvalPath, EvaluationEngine, Move, SearchStats};
 pub use formulation::{ExactIlpScheduler, IlpConfig, MbspIlpBuilder};
 pub use improver::{HolisticConfig, HolisticScheduler};
 pub use partition_ilp::{bipartition, bipartition_model, BipartitionConfig};
+pub use shard::{ShardedHolisticScheduler, ShardedSearchConfig, ShardedSearchStats};

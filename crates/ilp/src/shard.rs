@@ -1,0 +1,652 @@
+//! Sharded holistic search over zero-copy sub-DAG views.
+//!
+//! On the 100k-node `large_dataset` instances a single-incumbent holistic
+//! search barely moves: every candidate evaluation converts and re-costs the
+//! *whole* schedule (`O(V)` per candidate), so a fixed move budget explores a
+//! vanishing neighbourhood. This module turns the search into a sharded
+//! evaluation service:
+//!
+//! 1. **Partition** — [`topo_shards`] cuts a topological order of the DAG into
+//!    contiguous blocks, giving an [`AcyclicPartition`] whose quotient is acyclic
+//!    by construction (every edge points from a block to the same or a later
+//!    block). Keeping shard boundaries aligned with the precedence order is the
+//!    BSP-bridging-model discipline: merged schedules stay superstep-valid.
+//! 2. **Search** — every shard becomes a zero-copy [`SubDagView`]
+//!    ([`SubDagView::with_inputs`]: external parents join as pure sources whose
+//!    values are already in slow memory) and gets its own
+//!    [`EvaluationEngine`]-backed local search ([`search_view`]) on a scoped
+//!    worker thread. Per-shard candidate evaluations cost `O(V/k)` instead of
+//!    `O(V)`, which is where the wall-clock win comes from even on one core.
+//! 3. **Merge** — per-shard winning assignments are folded back into the global
+//!    assignment one shard at a time, ordered by `(local cost delta, shard
+//!    index)` — a total order, so the result is identical for any worker count.
+//!    Each fold is accepted only if the **global** cost improves, re-evaluated
+//!    through the shared incremental machinery (arena conversion + superstep
+//!    merging through [`mbsp_model::ScheduleEvaluator`]): this boundary-repair
+//!    pass re-derives and re-costs the cross-shard supersteps, so local wins
+//!    that break the boundary are rejected rather than merged blindly.
+//!
+//! The final schedule is therefore never worse than the baseline incumbent,
+//! and for a fixed seed and shard count the whole pipeline is deterministic
+//! regardless of the worker count, **provided the time limit does not truncate
+//! a shard's search** (truncation depends on wall-clock timing — the same
+//! caveat as the single-incumbent search); `tests/shard_determinism.rs`
+//! asserts the worker-count invariance under a generous limit.
+
+use crate::engine::{evaluate_moves_on, resolve_workers, EvalPath, EvaluationEngine, Move};
+use mbsp_dag::{AcyclicPartition, CompDag, DagLike, NodeId, SubDagView, TopologicalOrder};
+use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId};
+use mbsp_sched::BspSchedulingResult;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// When a shard's whole winning block is rejected by the global
+/// boundary-repair evaluation, at most this many of its accepted deltas are
+/// replayed individually to salvage an improving prefix (each replay is one
+/// global evaluation, so the cap bounds the merge cost).
+const MERGE_REPLAY_CAP: usize = 4;
+
+/// Configuration of [`ShardedHolisticScheduler`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedSearchConfig {
+    /// Cost model to optimise.
+    pub cost_model: CostModel,
+    /// Number of shards `k`. `0` resolves like the worker count (so one shard
+    /// per worker by default). The shard count shapes the partition and the
+    /// per-shard seeds, so it *does* affect the result — reproducible runs
+    /// across machines/environments must set an explicit value (the `0`
+    /// default resolves from `MBSP_BENCH_THREADS` / available parallelism).
+    pub num_shards: usize,
+    /// Number of worker threads running shard searches. `0` resolves via
+    /// `MBSP_BENCH_THREADS`, falling back to the machine's parallelism. The
+    /// worker count never affects the result, only the wall-clock — as long as
+    /// [`ShardedSearchConfig::time_limit`] does not truncate any shard search.
+    pub workers: usize,
+    /// Maximum local-search rounds per shard.
+    pub max_rounds: usize,
+    /// Candidate moves evaluated per round *per shard* (so `k` shards spend at
+    /// most `k · max_rounds · moves_per_round` candidate evaluations, the same
+    /// budget shape as a single-incumbent search with `k ·  moves_per_round`
+    /// moves per round).
+    pub moves_per_round: usize,
+    /// Wall-clock limit for the whole sharded search.
+    pub time_limit: Duration,
+    /// RNG seed; shard `s` searches with seed `seed ⊕ f(s)`.
+    pub seed: u64,
+    /// Stop a shard's search after this many *consecutive* rounds without an
+    /// improvement; `0` disables early stopping, so the shard spends its whole
+    /// round budget. The single-incumbent search effectively uses `1` (it
+    /// breaks on the first stale batch); deep per-shard hill climbs with small
+    /// rounds want `0`, since one unlucky candidate should not forfeit the
+    /// remaining budget.
+    pub stale_round_limit: usize,
+}
+
+impl Default for ShardedSearchConfig {
+    fn default() -> Self {
+        ShardedSearchConfig {
+            cost_model: CostModel::Synchronous,
+            num_shards: 0,
+            workers: 0,
+            max_rounds: 60,
+            moves_per_round: 30,
+            time_limit: Duration::from_secs(20),
+            seed: 0x5EED,
+            stale_round_limit: 1,
+        }
+    }
+}
+
+/// Statistics of one sharded search run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedSearchStats {
+    /// Number of shards searched.
+    pub shards: usize,
+    /// Shards whose local search improved on its local baseline.
+    pub improved_shards: usize,
+    /// Shard merges accepted by the global boundary-repair evaluation.
+    pub accepted_shards: usize,
+    /// Total candidate evaluations (local and global).
+    pub evaluations: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Cost of the returned schedule under the configured cost model.
+    pub final_cost: f64,
+}
+
+/// Partitions `dag` into `num_shards` acyclic shards by cutting a topological
+/// order into contiguous, near-equal blocks.
+///
+/// Every edge goes from a node to one of equal or higher topological position,
+/// so the quotient graph only has forward edges and is acyclic for *any* block
+/// count — no partitioning ILP needed at 100k-node scale. Deterministic.
+pub fn topo_shards(dag: &CompDag, num_shards: usize) -> AcyclicPartition {
+    let n = dag.num_nodes();
+    let k = num_shards.clamp(1, n.max(1));
+    let topo = TopologicalOrder::of(dag);
+    let mut part = vec![0usize; n];
+    for (pos, &v) in topo.order().iter().enumerate() {
+        // Block of this position: floor(pos * k / n) is monotone in pos and
+        // yields blocks of size within one of each other.
+        part[v.index()] = (pos * k) / n.max(1);
+    }
+    AcyclicPartition::new(dag, part, k).expect("topological blocks form an acyclic partition")
+}
+
+/// Builds the boundary sub-problem of one part: the zero-copy
+/// [`SubDagView::with_inputs`] view of its core nodes plus the local ids of
+/// the required outputs (core nodes whose value is needed in another part).
+/// Shared by the sharded search and the divide-and-conquer scheduler.
+pub fn part_view<'a>(
+    dag: &'a CompDag,
+    partition: &AcyclicPartition,
+    core: &[NodeId],
+    index: usize,
+    kind: &str,
+) -> (SubDagView<'a>, Vec<NodeId>) {
+    let view = SubDagView::with_inputs(dag, core, format!("{}::{kind}{index}", dag.name()));
+    let required = cross_part_outputs(dag, partition, index, &view);
+    (view, required)
+}
+
+/// Local ids of the core nodes of `view` whose value is needed outside part
+/// `part_index` of `partition` (they must be saved by the part's schedule).
+pub fn cross_part_outputs(
+    dag: &CompDag,
+    partition: &AcyclicPartition,
+    part_index: usize,
+    view: &SubDagView<'_>,
+) -> Vec<NodeId> {
+    view.core_nodes()
+        .filter(|&local| {
+            let g = view.to_global(local);
+            dag.children(g)
+                .iter()
+                .any(|c| partition.part_of(*c) != part_index)
+        })
+        .collect()
+}
+
+/// Tuning knobs of one [`search_view`] run (the per-shard slice of a
+/// [`ShardedSearchConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LocalSearchParams {
+    /// Cost model to optimise.
+    pub cost_model: CostModel,
+    /// Maximum local-search rounds.
+    pub max_rounds: usize,
+    /// Candidate moves per round.
+    pub moves_per_round: usize,
+    /// RNG seed of this search.
+    pub seed: u64,
+    /// Consecutive stale rounds tolerated before stopping (`0` = spend the
+    /// whole round budget regardless).
+    pub stale_round_limit: usize,
+}
+
+/// Outcome of one per-shard local search.
+#[derive(Debug, Clone)]
+pub struct LocalSearchOutcome {
+    /// Cost of the seed assignment on the shard's sub-problem.
+    pub base_cost: f64,
+    /// Best cost found (equals `base_cost` when nothing improved).
+    pub best_cost: f64,
+    /// The winning per-node assignment (local ids of the view).
+    pub procs: Vec<ProcId>,
+    /// The assignment delta of every accepted move, in acceptance order: the
+    /// `(local node, new processor)` pairs the move changed. Lets the merge
+    /// replay an improving prefix when a shard's whole block is rejected.
+    pub accepted_deltas: Vec<Vec<(NodeId, ProcId)>>,
+    /// The materialised schedule of the winning assignment (local ids).
+    pub schedule: MbspSchedule,
+    /// Candidate evaluations performed.
+    pub evaluations: u64,
+    /// Completed search rounds.
+    pub rounds: usize,
+}
+
+/// Runs an [`EvaluationEngine`]-backed local search over one zero-copy view:
+/// the same seeded hill-climb as the single-incumbent holistic search, but the
+/// candidate conversions and re-costs touch only the shard.
+///
+/// `seed_procs` is the starting assignment (local ids; entries of input nodes
+/// are ignored — inputs are sources and never computed), `required_outputs`
+/// the local ids that must end in slow memory. Deterministic in `params.seed`
+/// as long as `deadline` does not truncate the search.
+pub fn search_view(
+    view: &SubDagView<'_>,
+    arch: &Architecture,
+    params: &LocalSearchParams,
+    seed_procs: &[ProcId],
+    required_outputs: &[NodeId],
+    deadline: Instant,
+) -> LocalSearchOutcome {
+    let mut engine = EvaluationEngine::for_dag(view, arch, EvalPath::Incremental);
+    let mut procs = seed_procs.to_vec();
+    let base_cost =
+        engine.evaluate_assignment_on(view, arch, &procs, params.cost_model, required_outputs);
+    let mut best_cost = base_cost;
+    let mut best_schedule = engine.schedule().clone();
+    let mut accepted_deltas: Vec<Vec<(NodeId, ProcId)>> = Vec::new();
+
+    let movable: Vec<NodeId> = view.nodes().filter(|&v| !view.is_source(v)).collect();
+    let mut rounds = 0usize;
+    if !movable.is_empty() && arch.processors > 1 {
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut moves: Vec<Move> = Vec::with_capacity(params.moves_per_round);
+        let mut engines = [engine];
+        let mut stale_rounds = 0usize;
+        for _round in 0..params.max_rounds {
+            if Instant::now() >= deadline {
+                break;
+            }
+            moves.clear();
+            for _ in 0..params.moves_per_round {
+                if let Some(mv) = Move::propose(view, arch, &procs, &movable, &mut rng) {
+                    moves.push(mv);
+                }
+            }
+            let outcome = evaluate_moves_on(
+                &mut engines,
+                view,
+                arch,
+                &procs,
+                &moves,
+                params.cost_model,
+                required_outputs,
+                deadline,
+            );
+            rounds += 1;
+            let Some((cost, idx)) = outcome.winner else {
+                if moves.is_empty() {
+                    // Every draw of this round was a no-op proposal; the round
+                    // consumed its budget (exactly like the single-incumbent
+                    // loop, which counts no-op draws against the batch), but
+                    // nothing was evaluated, so it says nothing about
+                    // staleness — keep going.
+                    continue;
+                }
+                // Candidates existed but none was evaluated: the deadline has
+                // passed, so further rounds cannot make progress either.
+                break;
+            };
+            if cost < best_cost - 1e-9 {
+                stale_rounds = 0;
+                let before = procs.clone();
+                moves[idx].apply(view, &mut procs);
+                accepted_deltas.push(
+                    (0..procs.len())
+                        .filter(|&i| procs[i] != before[i])
+                        .map(|i| (NodeId::new(i), procs[i]))
+                        .collect(),
+                );
+                // Re-evaluate the winner to materialise its schedule.
+                best_cost = engines[0].evaluate_assignment_on(
+                    view,
+                    arch,
+                    &procs,
+                    params.cost_model,
+                    required_outputs,
+                );
+                best_schedule = engines[0].schedule().clone();
+            } else {
+                stale_rounds += 1;
+                if params.stale_round_limit > 0 && stale_rounds >= params.stale_round_limit {
+                    break;
+                }
+            }
+        }
+        engine = engines.into_iter().next().expect("one engine");
+    }
+
+    LocalSearchOutcome {
+        base_cost,
+        best_cost,
+        procs,
+        accepted_deltas,
+        schedule: best_schedule,
+        evaluations: engine.evaluations,
+        rounds,
+    }
+}
+
+/// One shard's contribution to the merge: the global-id assignment delta of
+/// every locally accepted move (in acceptance order) plus the local costs that
+/// order the merge.
+#[derive(Debug, Clone)]
+struct ShardOutcome {
+    index: usize,
+    base_cost: f64,
+    best_cost: f64,
+    deltas: Vec<Vec<(NodeId, ProcId)>>,
+    evaluations: u64,
+}
+
+/// The sharded holistic scheduler: partition, per-shard engine-backed search on
+/// scoped worker threads, deterministic boundary-repaired merge.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedHolisticScheduler {
+    config: ShardedSearchConfig,
+}
+
+impl ShardedHolisticScheduler {
+    /// Creates a scheduler with the default configuration.
+    pub fn new() -> Self {
+        ShardedHolisticScheduler::default()
+    }
+
+    /// Creates a scheduler with an explicit configuration.
+    pub fn with_config(config: ShardedSearchConfig) -> Self {
+        ShardedHolisticScheduler { config }
+    }
+
+    /// Improves on the given baseline and returns the best schedule found. The
+    /// result is always at least as good as the baseline conversion.
+    pub fn schedule(
+        &self,
+        instance: &MbspInstance,
+        baseline: &BspSchedulingResult,
+    ) -> MbspSchedule {
+        self.schedule_with_stats(instance, baseline).0
+    }
+
+    /// Runs the sharded search and reports statistics.
+    pub fn schedule_with_stats(
+        &self,
+        instance: &MbspInstance,
+        baseline: &BspSchedulingResult,
+    ) -> (MbspSchedule, ShardedSearchStats) {
+        let dag = instance.dag();
+        let arch = instance.arch();
+        let cost_model = self.config.cost_model;
+        let start = Instant::now();
+        let deadline = start + self.config.time_limit;
+        let k = if self.config.num_shards >= 1 {
+            self.config.num_shards
+        } else {
+            resolve_workers(0)
+        }
+        .clamp(1, dag.num_nodes().max(1));
+        let workers = resolve_workers(self.config.workers).min(k).max(1);
+
+        // Global incumbent: the baseline assignment (canonical structure) and
+        // the baseline's own superstep structure, exactly like the
+        // single-incumbent search.
+        let mut global_engine = EvaluationEngine::new(instance, EvalPath::Incremental);
+        let mut procs: Vec<ProcId> = dag.nodes().map(|v| baseline.schedule.proc_of(v)).collect();
+        let mut best_cost = global_engine.evaluate_assignment(instance, &procs, cost_model, &[]);
+        let mut best_schedule = global_engine.schedule().clone();
+        {
+            let cost = global_engine.evaluate_bsp(instance, baseline, cost_model, &[]);
+            if cost < best_cost {
+                best_cost = cost;
+                best_schedule = global_engine.schedule().clone();
+            }
+        }
+
+        let movable_any = dag.nodes().any(|v| !dag.is_source(v));
+        let mut outcomes: Vec<ShardOutcome> = Vec::new();
+        if movable_any && arch.processors > 1 && dag.num_nodes() > 0 {
+            let partition = topo_shards(dag, k);
+            let parts = partition.parts();
+            let config = self.config;
+            let procs_ref: &[ProcId] = &procs;
+            let partition_ref = &partition;
+            let parts_ref = &parts;
+            // Shards are distributed round-robin over the workers; each shard's
+            // search is self-contained and seeded by its own index, so the
+            // distribution (and therefore the worker count) cannot change any
+            // result, only the wall-clock.
+            let mut collected: Vec<ShardOutcome> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            let mut s = w;
+                            while s < k {
+                                local.push(run_shard(
+                                    dag,
+                                    arch,
+                                    partition_ref,
+                                    &parts_ref[s],
+                                    s,
+                                    procs_ref,
+                                    &config,
+                                    deadline,
+                                ));
+                                s += workers;
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            collected.sort_by_key(|o| o.index);
+            outcomes = collected;
+        }
+
+        // Deterministic merge: most locally-improving shard first, shard index
+        // as the tie-break; each fold must survive the global boundary-repair
+        // re-evaluation (conversion + post-optimisation of the whole
+        // assignment) to be kept.
+        let mut order: Vec<usize> = (0..outcomes.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da = outcomes[a].best_cost - outcomes[a].base_cost;
+            let db = outcomes[b].best_cost - outcomes[b].base_cost;
+            da.total_cmp(&db)
+                .then(outcomes[a].index.cmp(&outcomes[b].index))
+        });
+        let mut trial = procs.clone();
+        let mut improved_shards = 0usize;
+        let mut accepted_shards = 0usize;
+        for &i in &order {
+            let o = &outcomes[i];
+            if o.best_cost >= o.base_cost - 1e-9 || o.deltas.is_empty() {
+                continue;
+            }
+            improved_shards += 1;
+            for delta in &o.deltas {
+                for &(g, p) in delta {
+                    trial[g.index()] = p;
+                }
+            }
+            let cost = global_engine.evaluate_assignment(instance, &trial, cost_model, &[]);
+            if cost < best_cost - 1e-9 {
+                best_cost = cost;
+                best_schedule = global_engine.schedule().clone();
+                accepted_shards += 1;
+                procs.copy_from_slice(&trial);
+                continue;
+            }
+            trial.copy_from_slice(&procs);
+            // The whole block regressed globally (a later local move overfit
+            // the shard's boundary conditions) — salvage the improving prefix:
+            // replay the accepted deltas in order, keeping each one only while
+            // the global cost keeps improving, and stop at the first failure
+            // (bounded extra global evaluations per rejected shard).
+            let mut salvaged = false;
+            for delta in o.deltas.iter().take(MERGE_REPLAY_CAP) {
+                for &(g, p) in delta {
+                    trial[g.index()] = p;
+                }
+                let cost = global_engine.evaluate_assignment(instance, &trial, cost_model, &[]);
+                if cost < best_cost - 1e-9 {
+                    best_cost = cost;
+                    best_schedule = global_engine.schedule().clone();
+                    procs.copy_from_slice(&trial);
+                    salvaged = true;
+                } else {
+                    trial.copy_from_slice(&procs);
+                    break;
+                }
+            }
+            if salvaged {
+                accepted_shards += 1;
+            }
+        }
+
+        let stats = ShardedSearchStats {
+            shards: outcomes.len(),
+            improved_shards,
+            accepted_shards,
+            evaluations: global_engine.evaluations
+                + outcomes.iter().map(|o| o.evaluations).sum::<u64>(),
+            elapsed: start.elapsed(),
+            final_cost: best_cost,
+        };
+        (best_schedule, stats)
+    }
+}
+
+/// Builds the view of one shard, runs its local search and maps the winning
+/// assignment back to global ids.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    dag: &CompDag,
+    arch: &Architecture,
+    partition: &AcyclicPartition,
+    core: &[NodeId],
+    index: usize,
+    global_procs: &[ProcId],
+    config: &ShardedSearchConfig,
+    deadline: Instant,
+) -> ShardOutcome {
+    let (view, required) = part_view(dag, partition, core, index, "shard");
+    let seed_procs: Vec<ProcId> = (0..view.num_nodes())
+        .map(|i| global_procs[view.to_global(NodeId::new(i)).index()])
+        .collect();
+    let params = LocalSearchParams {
+        cost_model: config.cost_model,
+        max_rounds: config.max_rounds,
+        moves_per_round: config.moves_per_round,
+        // Golden-ratio stride decorrelates the shard streams from each other
+        // and from the single-incumbent search at the same base seed.
+        seed: config
+            .seed
+            .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        stale_round_limit: config.stale_round_limit,
+    };
+    let outcome = search_view(&view, arch, &params, &seed_procs, &required, deadline);
+    let deltas: Vec<Vec<(NodeId, ProcId)>> = outcome
+        .accepted_deltas
+        .iter()
+        .map(|delta| {
+            delta
+                .iter()
+                .map(|&(local, p)| (view.to_global(local), p))
+                .collect()
+        })
+        .collect();
+    ShardOutcome {
+        index,
+        base_cost: outcome.base_cost,
+        best_cost: outcome.best_cost,
+        deltas,
+        evaluations: outcome.evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_model::sync_cost;
+    use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+
+    fn instances(limit: usize) -> Vec<MbspInstance> {
+        mbsp_gen::tiny_dataset(42)
+            .into_iter()
+            .take(limit)
+            .map(|inst| {
+                MbspInstance::with_cache_factor(inst.dag, Architecture::paper_default(0.0), 3.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn topo_shards_are_acyclic_and_balanced() {
+        for inst in instances(4) {
+            let dag = inst.dag();
+            for k in [1usize, 2, 4, 7] {
+                let p = topo_shards(dag, k);
+                assert_eq!(p.num_parts(), k.min(dag.num_nodes()));
+                assert!(p.quotient_is_acyclic(dag));
+                let sizes = p.part_sizes();
+                let (lo, hi) = (
+                    sizes.iter().copied().min().unwrap(),
+                    sizes.iter().copied().max().unwrap(),
+                );
+                assert!(hi - lo <= 1, "{}: sizes {sizes:?}", inst.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_schedules_are_valid_and_not_worse_than_baseline() {
+        let greedy = GreedyBspScheduler::new();
+        let sharded = ShardedHolisticScheduler::with_config(ShardedSearchConfig {
+            num_shards: 3,
+            workers: 1,
+            max_rounds: 4,
+            moves_per_round: 16,
+            time_limit: Duration::from_secs(10),
+            ..Default::default()
+        });
+        for inst in instances(5) {
+            let baseline = greedy.schedule(inst.dag(), inst.arch());
+            let base_mbsp = mbsp_cache::TwoStageScheduler::new().schedule(
+                inst.dag(),
+                inst.arch(),
+                &baseline,
+                &mbsp_cache::ClairvoyantPolicy::new(),
+            );
+            let base_cost = sync_cost(&base_mbsp, inst.dag(), inst.arch()).total;
+            let (schedule, stats) = sharded.schedule_with_stats(&inst, &baseline);
+            schedule
+                .validate(inst.dag(), inst.arch())
+                .unwrap_or_else(|e| panic!("{}: {e}", inst.name()));
+            let cost = sync_cost(&schedule, inst.dag(), inst.arch()).total;
+            assert!(
+                cost <= base_cost + 1e-9,
+                "{}: sharded {cost} vs baseline {base_cost}",
+                inst.name()
+            );
+            assert!((stats.final_cost - cost).abs() < 1e-9);
+            assert_eq!(stats.shards, 3);
+        }
+    }
+
+    #[test]
+    fn search_view_improves_or_keeps_the_seed() {
+        let inst = &instances(4)[3];
+        let dag = inst.dag();
+        let partition = topo_shards(dag, 2);
+        let parts = partition.parts();
+        let view = SubDagView::with_inputs(dag, &parts[1], "part1");
+        let required = cross_part_outputs(dag, &partition, 1, &view);
+        let seed: Vec<ProcId> = (0..view.num_nodes())
+            .map(|i| ProcId::new(i % inst.arch().processors))
+            .collect();
+        let params = LocalSearchParams {
+            cost_model: CostModel::Synchronous,
+            max_rounds: 4,
+            moves_per_round: 16,
+            seed: 7,
+            stale_round_limit: 1,
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let out = search_view(&view, inst.arch(), &params, &seed, &required, deadline);
+        assert!(out.best_cost <= out.base_cost + 1e-9);
+        assert!(out.evaluations >= 1);
+        assert_eq!(out.procs.len(), view.num_nodes());
+        // The materialised schedule matches the reported cost.
+        let recost = params
+            .cost_model
+            .evaluate(&out.schedule, &view, inst.arch());
+        assert!((recost - out.best_cost).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,82 @@
+//! The sharded holistic search must be byte-identical for any worker count:
+//! shard searches are seeded per shard and the merge order is the total
+//! `(local cost delta, shard index)` order, so the worker pool only changes
+//! wall-clock, never results.
+
+use mbsp_ilp::{ShardedHolisticScheduler, ShardedSearchConfig};
+use mbsp_model::{Architecture, MbspInstance};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+use std::time::Duration;
+
+fn instances(limit: usize) -> Vec<MbspInstance> {
+    mbsp_gen::tiny_dataset(42)
+        .into_iter()
+        .take(limit)
+        .map(|inst| {
+            MbspInstance::with_cache_factor(inst.dag, Architecture::paper_default(0.0), 3.0)
+        })
+        .collect()
+}
+
+#[test]
+fn sharded_search_is_byte_identical_across_worker_counts() {
+    let greedy = GreedyBspScheduler::new();
+    for inst in instances(4) {
+        let baseline = greedy.schedule(inst.dag(), inst.arch());
+        let mut schedules = Vec::new();
+        let mut costs = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let sharded = ShardedHolisticScheduler::with_config(ShardedSearchConfig {
+                num_shards: 4,
+                workers,
+                max_rounds: 4,
+                moves_per_round: 12,
+                // Generous enough that the deadline never truncates a shard.
+                time_limit: Duration::from_secs(60),
+                ..Default::default()
+            });
+            let (schedule, stats) = sharded.schedule_with_stats(&inst, &baseline);
+            schedule.validate(inst.dag(), inst.arch()).unwrap();
+            schedules.push(schedule);
+            costs.push(stats.final_cost);
+        }
+        assert_eq!(
+            schedules[0],
+            schedules[1],
+            "{}: 1-worker and 2-worker sharded searches diverged",
+            inst.name()
+        );
+        assert_eq!(
+            schedules[0],
+            schedules[2],
+            "{}: 1-worker and 4-worker sharded searches diverged",
+            inst.name()
+        );
+        assert!((costs[0] - costs[1]).abs() < 1e-12);
+        assert!((costs[0] - costs[2]).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn sharded_search_stats_are_consistent() {
+    let greedy = GreedyBspScheduler::new();
+    let inst = &instances(4)[3];
+    let baseline = greedy.schedule(inst.dag(), inst.arch());
+    let sharded = ShardedHolisticScheduler::with_config(ShardedSearchConfig {
+        num_shards: 3,
+        workers: 2,
+        max_rounds: 3,
+        moves_per_round: 10,
+        time_limit: Duration::from_secs(60),
+        ..Default::default()
+    });
+    let (schedule, stats) = sharded.schedule_with_stats(&inst.clone(), &baseline);
+    assert_eq!(stats.shards, 3);
+    assert!(stats.accepted_shards <= stats.improved_shards);
+    assert!(stats.improved_shards <= stats.shards);
+    // Global incumbent evaluations (assignment + baseline BSP) plus at least
+    // one evaluation per shard.
+    assert!(stats.evaluations >= 2 + stats.shards as u64);
+    let cost = mbsp_model::sync_cost(&schedule, inst.dag(), inst.arch()).total;
+    assert!((cost - stats.final_cost).abs() < 1e-9);
+}

@@ -14,7 +14,7 @@
 use crate::arch::Architecture;
 use crate::ops::ComputePhaseStep;
 use crate::schedule::MbspSchedule;
-use mbsp_dag::CompDag;
+use mbsp_dag::DagLike;
 use serde::{Deserialize, Serialize};
 
 /// Which cost function to use when evaluating a schedule.
@@ -28,7 +28,12 @@ pub enum CostModel {
 
 impl CostModel {
     /// Evaluates the schedule under this cost model.
-    pub fn evaluate(&self, schedule: &MbspSchedule, dag: &CompDag, arch: &Architecture) -> f64 {
+    pub fn evaluate<D: DagLike + ?Sized>(
+        &self,
+        schedule: &MbspSchedule,
+        dag: &D,
+        arch: &Architecture,
+    ) -> f64 {
         match self {
             CostModel::Synchronous => sync_cost(schedule, dag, arch).total,
             CostModel::Asynchronous => async_cost(schedule, dag, arch),
@@ -73,7 +78,11 @@ impl CostBreakdown {
 ///
 /// Every superstep is charged `L` (the synchronisation cost), so callers should strip
 /// empty supersteps (e.g. via [`MbspSchedule::remove_empty_supersteps`]) first.
-pub fn sync_cost(schedule: &MbspSchedule, dag: &CompDag, arch: &Architecture) -> CostBreakdown {
+pub fn sync_cost<D: DagLike + ?Sized>(
+    schedule: &MbspSchedule,
+    dag: &D,
+    arch: &Architecture,
+) -> CostBreakdown {
     let mut compute = 0.0;
     let mut save = 0.0;
     let mut load = 0.0;
@@ -108,7 +117,11 @@ pub fn sync_cost(schedule: &MbspSchedule, dag: &CompDag, arch: &Architecture) ->
 /// back-to-back on their processor; a load of node `v` additionally waits until
 /// `Γ(v)`, the finishing time of the earliest save of `v` within the first superstep
 /// that saves `v`.
-pub fn async_cost(schedule: &MbspSchedule, dag: &CompDag, arch: &Architecture) -> f64 {
+pub fn async_cost<D: DagLike + ?Sized>(
+    schedule: &MbspSchedule,
+    dag: &D,
+    arch: &Architecture,
+) -> f64 {
     let p = schedule.processors();
     let n = dag.num_nodes();
     // Finishing time of the last transition of every processor so far.
@@ -116,7 +129,7 @@ pub fn async_cost(schedule: &MbspSchedule, dag: &CompDag, arch: &Architecture) -
     // Γ(v): time at which node v first becomes available in slow memory. Source
     // nodes are available from the start.
     let mut gets_blue = vec![f64::INFINITY; n];
-    for v in dag.sources() {
+    for v in dag.source_nodes() {
         gets_blue[v.index()] = 0.0;
     }
 
@@ -171,7 +184,7 @@ mod tests {
     use crate::arch::ProcId;
     use crate::ops::ComputePhaseStep;
     use mbsp_dag::graph::NodeWeights;
-    use mbsp_dag::NodeId;
+    use mbsp_dag::{CompDag, NodeId};
 
     fn path3() -> CompDag {
         CompDag::from_edges("p", vec![NodeWeights::unit(); 3], &[(0, 1), (1, 2)]).unwrap()

@@ -21,7 +21,7 @@
 
 use crate::arch::Architecture;
 use crate::schedule::{MbspSchedule, Superstep};
-use mbsp_dag::CompDag;
+use mbsp_dag::DagLike;
 
 /// Cached per-superstep, per-processor phase costs of a schedule under the
 /// synchronous cost model, supporting O(changed supersteps) re-evaluation.
@@ -58,14 +58,14 @@ impl ScheduleEvaluator {
     }
 
     /// Builds the cache for `schedule` in one pass.
-    pub fn of(schedule: &MbspSchedule, dag: &CompDag, arch: &Architecture) -> Self {
+    pub fn of<D: DagLike + ?Sized>(schedule: &MbspSchedule, dag: &D, arch: &Architecture) -> Self {
         let mut eval = ScheduleEvaluator::new(arch);
         eval.rebuild(schedule, dag);
         eval
     }
 
     /// Rebuilds the cache for `schedule`, reusing all allocations.
-    pub fn rebuild(&mut self, schedule: &MbspSchedule, dag: &CompDag) {
+    pub fn rebuild<D: DagLike + ?Sized>(&mut self, schedule: &MbspSchedule, dag: &D) {
         debug_assert_eq!(schedule.processors(), self.procs);
         self.comp.clear();
         self.save.clear();
@@ -84,7 +84,7 @@ impl ScheduleEvaluator {
     }
 
     /// Appends the costs of one superstep to the cache.
-    pub fn push_superstep(&mut self, step: &Superstep, dag: &CompDag) {
+    pub fn push_superstep<D: DagLike + ?Sized>(&mut self, step: &Superstep, dag: &D) {
         debug_assert_eq!(step.procs.len(), self.procs);
         let mut max_c: f64 = 0.0;
         let mut max_s: f64 = 0.0;
@@ -107,7 +107,7 @@ impl ScheduleEvaluator {
 
     /// Recomputes the cached costs of superstep `k` from `step` (after the caller
     /// edited that superstep in place).
-    pub fn refresh_superstep(&mut self, k: usize, step: &Superstep, dag: &CompDag) {
+    pub fn refresh_superstep<D: DagLike + ?Sized>(&mut self, k: usize, step: &Superstep, dag: &D) {
         debug_assert_eq!(step.procs.len(), self.procs);
         let base = k * self.procs;
         let mut max_c: f64 = 0.0;
@@ -220,7 +220,7 @@ mod tests {
     use crate::cost::sync_cost;
     use crate::ops::ComputePhaseStep;
     use mbsp_dag::graph::NodeWeights;
-    use mbsp_dag::NodeId;
+    use mbsp_dag::{CompDag, NodeId};
 
     fn diamond() -> CompDag {
         let mut weights = vec![NodeWeights::unit(); 4];

@@ -53,7 +53,7 @@ pub use ops::{ComputePhaseStep, Operation};
 pub use schedule::{
     BoundaryCondition, MbspSchedule, ProcPhases, ScheduleError, ScheduleStatistics, Superstep,
 };
-pub use state::Configuration;
+pub use state::{Configuration, ParentMasks};
 
 /// Convenience result alias for schedule validation.
 pub type Result<T> = std::result::Result<T, ScheduleError>;

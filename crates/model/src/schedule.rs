@@ -18,7 +18,7 @@
 use crate::arch::{Architecture, ProcId};
 use crate::ops::{ComputePhaseStep, Operation};
 use crate::state::Configuration;
-use mbsp_dag::{CompDag, NodeId};
+use mbsp_dag::{DagLike, NodeId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -189,7 +189,7 @@ impl ProcPhases {
     }
 
     /// Total compute cost of the compute phase: `Σ ω(v)` over its compute steps.
-    pub fn compute_cost(&self, dag: &CompDag) -> f64 {
+    pub fn compute_cost<D: DagLike + ?Sized>(&self, dag: &D) -> f64 {
         self.compute
             .iter()
             .filter_map(|s| match s {
@@ -200,17 +200,17 @@ impl ProcPhases {
     }
 
     /// Total cost of the save phase: `g · Σ μ(v)`.
-    pub fn save_cost(&self, dag: &CompDag, g: f64) -> f64 {
+    pub fn save_cost<D: DagLike + ?Sized>(&self, dag: &D, g: f64) -> f64 {
         g * self.save.iter().map(|&v| dag.memory_weight(v)).sum::<f64>()
     }
 
     /// Total cost of the load phase: `g · Σ μ(v)`.
-    pub fn load_cost(&self, dag: &CompDag, g: f64) -> f64 {
+    pub fn load_cost<D: DagLike + ?Sized>(&self, dag: &D, g: f64) -> f64 {
         g * self.load.iter().map(|&v| dag.memory_weight(v)).sum::<f64>()
     }
 
     /// Total I/O cost (saves plus loads).
-    pub fn io_cost(&self, dag: &CompDag, g: f64) -> f64 {
+    pub fn io_cost<D: DagLike + ?Sized>(&self, dag: &D, g: f64) -> f64 {
         self.save_cost(dag, g) + self.load_cost(dag, g)
     }
 
@@ -379,15 +379,19 @@ impl MbspSchedule {
     /// Validates the schedule against the DAG and architecture with the standard
     /// boundary conditions (empty caches, sources in slow memory, all sinks required
     /// to be in slow memory at the end).
-    pub fn validate(&self, dag: &CompDag, arch: &Architecture) -> Result<(), ScheduleError> {
+    pub fn validate<D: DagLike + ?Sized>(
+        &self,
+        dag: &D,
+        arch: &Architecture,
+    ) -> Result<(), ScheduleError> {
         self.validate_with_boundary(dag, arch, &BoundaryCondition::standard())
     }
 
     /// Validates the schedule with custom boundary conditions (used by the
     /// divide-and-conquer scheduler for sub-problems).
-    pub fn validate_with_boundary(
+    pub fn validate_with_boundary<D: DagLike + ?Sized>(
         &self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         boundary: &BoundaryCondition,
     ) -> Result<(), ScheduleError> {
@@ -472,7 +476,7 @@ impl MbspSchedule {
         }
 
         if boundary.require_sinks {
-            for v in dag.sinks() {
+            for v in dag.sink_nodes() {
                 if !cfg.has_blue(v) {
                     return Err(ScheduleError::MissingSink { node: v });
                 }
@@ -489,7 +493,11 @@ impl MbspSchedule {
 
     /// Computes summary statistics of the schedule (operation counts, recomputation
     /// count, total compute and I/O volume).
-    pub fn statistics(&self, dag: &CompDag, arch: &Architecture) -> ScheduleStatistics {
+    pub fn statistics<D: DagLike + ?Sized>(
+        &self,
+        dag: &D,
+        arch: &Architecture,
+    ) -> ScheduleStatistics {
         let mut computes = 0usize;
         let mut loads = 0usize;
         let mut saves = 0usize;
@@ -554,6 +562,7 @@ pub struct ScheduleStatistics {
 mod tests {
     use super::*;
     use mbsp_dag::graph::NodeWeights;
+    use mbsp_dag::CompDag;
 
     fn path3() -> CompDag {
         CompDag::from_edges("p", vec![NodeWeights::unit(); 3], &[(0, 1), (1, 2)]).unwrap()

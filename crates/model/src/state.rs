@@ -24,7 +24,7 @@
 use crate::arch::{Architecture, ProcId};
 use crate::ops::Operation;
 use crate::schedule::ScheduleError;
-use mbsp_dag::{CompDag, NodeId};
+use mbsp_dag::{DagLike, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// The memory state of an MBSP execution at one point in time.
@@ -49,7 +49,7 @@ pub struct Configuration {
 impl Configuration {
     /// The initial configuration of a schedule: every cache is empty and slow memory
     /// holds exactly the source nodes of the DAG.
-    pub fn initial(dag: &CompDag, arch: &Architecture) -> Self {
+    pub fn initial<D: DagLike + ?Sized>(dag: &D, arch: &Architecture) -> Self {
         let mut cfg = Configuration::empty(dag, arch);
         for v in dag.source_nodes() {
             cfg.place_blue_unchecked(v);
@@ -59,7 +59,7 @@ impl Configuration {
 
     /// An entirely empty configuration (no pebbles anywhere). Used by sub-schedule
     /// construction where the caller places the boundary pebbles explicitly.
-    pub fn empty(dag: &CompDag, arch: &Architecture) -> Self {
+    pub fn empty<D: DagLike + ?Sized>(dag: &D, arch: &Architecture) -> Self {
         let n = dag.num_nodes();
         let words = n.div_ceil(64);
         Configuration {
@@ -81,7 +81,7 @@ impl Configuration {
     /// sources in slow memory) without allocating — the in-place counterpart of
     /// [`Configuration::initial`] for simulation loops that reuse one buffer.
     /// Word-level: two `fill`s plus one pass over the sources.
-    pub fn reset_initial(&mut self, dag: &CompDag) {
+    pub fn reset_initial<D: DagLike + ?Sized>(&mut self, dag: &D) {
         debug_assert_eq!(self.num_nodes, dag.num_nodes());
         self.red.fill(0);
         self.blue.fill(0);
@@ -140,7 +140,7 @@ impl Configuration {
 
     /// Places a red pebble of `p` on `v` without any precondition check (used to set
     /// up boundary states for sub-schedules). Updates the memory usage.
-    pub fn place_red_unchecked(&mut self, dag: &CompDag, p: ProcId, v: NodeId) {
+    pub fn place_red_unchecked<D: DagLike + ?Sized>(&mut self, dag: &D, p: ProcId, v: NodeId) {
         let i = v.index();
         let word = &mut self.red[p.index() * self.words + (i >> 6)];
         let bit = 1u64 << (i & 63);
@@ -158,7 +158,7 @@ impl Configuration {
 
     /// Removes a red pebble of `p` from `v` without any precondition check (the
     /// unchecked counterpart of a delete). Updates the memory usage.
-    pub fn remove_red_unchecked(&mut self, dag: &CompDag, p: ProcId, v: NodeId) {
+    pub fn remove_red_unchecked<D: DagLike + ?Sized>(&mut self, dag: &D, p: ProcId, v: NodeId) {
         let i = v.index();
         let word = &mut self.red[p.index() * self.words + (i >> 6)];
         let bit = 1u64 << (i & 63);
@@ -173,9 +173,9 @@ impl Configuration {
 
     /// Checks whether `op` can be applied in the current configuration and whether
     /// applying it keeps processor `p` within the memory bound.
-    pub fn check(
+    pub fn check<D: DagLike + ?Sized>(
         &self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         op: Operation,
     ) -> Result<(), ScheduleError> {
@@ -207,7 +207,7 @@ impl Configuration {
                 if dag.is_source(node) {
                     return Err(ScheduleError::ComputeSource { proc, node });
                 }
-                for &parent in dag.parents(node) {
+                for parent in dag.parents(node) {
                     if !self.has_red(proc, parent) {
                         return Err(ScheduleError::MissingParent { proc, node, parent });
                     }
@@ -235,9 +235,9 @@ impl Configuration {
     }
 
     /// Applies `op` after checking its preconditions and the memory bound.
-    pub fn apply(
+    pub fn apply<D: DagLike + ?Sized>(
         &mut self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         op: Operation,
     ) -> Result<(), ScheduleError> {
@@ -247,7 +247,7 @@ impl Configuration {
     }
 
     /// Applies `op` without precondition checks (the caller has already validated).
-    pub fn apply_unchecked(&mut self, dag: &CompDag, op: Operation) {
+    pub fn apply_unchecked<D: DagLike + ?Sized>(&mut self, dag: &D, op: Operation) {
         match op {
             Operation::Load { proc, node } | Operation::Compute { proc, node } => {
                 self.place_red_unchecked(dag, proc, node);
@@ -267,7 +267,13 @@ impl Configuration {
     /// operation value (the post-optimiser's merge-validity simulation is a hot
     /// loop).
     #[inline]
-    pub fn try_load(&mut self, dag: &CompDag, arch: &Architecture, p: ProcId, v: NodeId) -> bool {
+    pub fn try_load<D: DagLike + ?Sized>(
+        &mut self,
+        dag: &D,
+        arch: &Architecture,
+        p: ProcId,
+        v: NodeId,
+    ) -> bool {
         if !self.has_blue(v) {
             return false;
         }
@@ -286,9 +292,9 @@ impl Configuration {
 
     /// Fused check-and-apply of a compute step; see [`Configuration::try_load`].
     #[inline]
-    pub fn try_compute(
+    pub fn try_compute<D: DagLike + ?Sized>(
         &mut self,
-        dag: &CompDag,
+        dag: &D,
         arch: &Architecture,
         p: ProcId,
         v: NodeId,
@@ -296,7 +302,7 @@ impl Configuration {
         if dag.is_source(v) {
             return false;
         }
-        for &parent in dag.parents(v) {
+        for parent in dag.parents(v) {
             if !self.has_red(p, parent) {
                 return false;
             }
@@ -326,7 +332,7 @@ impl Configuration {
 
     /// Fused check-and-apply of a delete; see [`Configuration::try_load`].
     #[inline]
-    pub fn try_delete(&mut self, dag: &CompDag, p: ProcId, v: NodeId) -> bool {
+    pub fn try_delete<D: DagLike + ?Sized>(&mut self, dag: &D, p: ProcId, v: NodeId) -> bool {
         let i = v.index();
         let bit = 1u64 << (i & 63);
         let slot = p.index() * self.words + (i >> 6);
@@ -343,13 +349,131 @@ impl Configuration {
 
     /// Returns true if every sink of the DAG carries a blue pebble (the terminal
     /// condition of a schedule).
-    pub fn is_terminal(&self, dag: &CompDag) -> bool {
+    pub fn is_terminal<D: DagLike + ?Sized>(&self, dag: &D) -> bool {
         dag.sink_nodes().all(|v| self.has_blue(v))
+    }
+
+    /// Fused check-and-apply of a compute step that tests the `parents ⊆ R_p`
+    /// precondition word by word through precomputed [`ParentMasks`] instead of
+    /// walking the parent list bit by bit. Exactly equivalent to
+    /// [`Configuration::try_compute`] (the differential test in
+    /// `tests/state_differential.rs` replays random operation sequences through
+    /// both); the masked path wins on high-fan-in nodes whose parents cluster
+    /// into few 64-node words.
+    ///
+    /// `masks` must have been built for the same DAG (`debug_assert`ed).
+    #[inline]
+    pub fn try_compute_masked<D: DagLike + ?Sized>(
+        &mut self,
+        dag: &D,
+        arch: &Architecture,
+        masks: &ParentMasks,
+        p: ProcId,
+        v: NodeId,
+    ) -> bool {
+        debug_assert_eq!(masks.num_nodes(), self.num_nodes);
+        if dag.is_source(v) {
+            return false;
+        }
+        let base = p.index() * self.words;
+        let (a, b) = masks.range(v);
+        for k in a..b {
+            let m = masks.masks[k];
+            if self.red[base + masks.words[k] as usize] & m != m {
+                return false;
+            }
+        }
+        let i = v.index();
+        let bit = 1u64 << (i & 63);
+        let slot = p.index() * self.words + (i >> 6);
+        if self.red[slot] & bit == 0 {
+            if self.used[p.index()] + dag.memory_weight(v) > arch.cache_size + MEMORY_EPS {
+                return false;
+            }
+            self.red[slot] |= bit;
+            self.used[p.index()] += dag.memory_weight(v);
+        }
+        true
     }
 
     /// Returns true if every processor satisfies the memory bound.
     pub fn within_memory_bound(&self, arch: &Architecture) -> bool {
         self.used.iter().all(|&u| u <= arch.cache_size + MEMORY_EPS)
+    }
+}
+
+/// Precomputed per-node parent bitsets in sparse `(word, mask)` form, enabling
+/// word-level `parents ⊆ R_p` checks in [`Configuration::try_compute_masked`].
+///
+/// For every node the parents are grouped by 64-bit word of the red bitset: one
+/// `(word index, bit mask)` entry per word that contains at least one parent,
+/// stored flat in CSR style. Total size is `O(|E|)` in the worst case and far
+/// smaller when node ids of parents cluster (as they do for the generators'
+/// layered and stencil DAGs), so a compute-precondition check costs at most one
+/// word test per *occupied word* instead of one bit test per parent.
+///
+/// Built once per `(dag)` and shared by every configuration simulated against
+/// that DAG (the [`ParentMasks`] are read-only; `mbsp_ilp`'s post-optimiser owns
+/// one per evaluation engine).
+#[derive(Debug, Clone, Default)]
+pub struct ParentMasks {
+    /// CSR offsets into `words`/`masks`; length `n + 1`.
+    off: Vec<u32>,
+    /// Word index within a processor's red bitset.
+    words: Vec<u32>,
+    /// Bits of the parents that fall into that word.
+    masks: Vec<u64>,
+}
+
+impl ParentMasks {
+    /// Builds the parent masks of every node of `dag`.
+    pub fn of<D: DagLike + ?Sized>(dag: &D) -> Self {
+        let n = dag.num_nodes();
+        let mut off = Vec::with_capacity(n + 1);
+        off.push(0u32);
+        let mut words = Vec::new();
+        let mut masks = Vec::new();
+        let mut scratch: Vec<(u32, u64)> = Vec::new();
+        for v in dag.nodes() {
+            scratch.clear();
+            for u in dag.parents(v) {
+                let i = u.index();
+                scratch.push(((i >> 6) as u32, 1u64 << (i & 63)));
+            }
+            scratch.sort_unstable_by_key(|&(w, _)| w);
+            let mut k = 0;
+            while k < scratch.len() {
+                let w = scratch[k].0;
+                let mut m = 0u64;
+                while k < scratch.len() && scratch[k].0 == w {
+                    m |= scratch[k].1;
+                    k += 1;
+                }
+                words.push(w);
+                masks.push(m);
+            }
+            off.push(u32::try_from(words.len()).expect("mask table fits u32 offsets"));
+        }
+        ParentMasks { off, words, masks }
+    }
+
+    /// Number of nodes the table covers.
+    pub fn num_nodes(&self) -> usize {
+        self.off.len().saturating_sub(1)
+    }
+
+    /// Number of `(word, mask)` entries of node `v`.
+    pub fn num_entries(&self, v: NodeId) -> usize {
+        let (a, b) = self.range(v);
+        b - a
+    }
+
+    #[inline]
+    fn range(&self, v: NodeId) -> (usize, usize) {
+        (
+            self.off[v.index()] as usize,
+            self.off[v.index() + 1] as usize,
+        )
     }
 }
 
@@ -398,6 +522,7 @@ pub(crate) const MEMORY_EPS: f64 = 1e-9;
 mod tests {
     use super::*;
     use mbsp_dag::graph::NodeWeights;
+    use mbsp_dag::CompDag;
 
     fn path3() -> CompDag {
         CompDag::from_edges("p", vec![NodeWeights::unit(); 3], &[(0, 1), (1, 2)]).unwrap()
@@ -681,6 +806,36 @@ mod tests {
         assert_eq!(cfg.memory_used(p), 4.0);
         cfg.remove_red_unchecked(&dag, p, NodeId::new(64));
         assert!(cfg.cached_nodes(p).map(|v| v.index()).eq([0, 63, 129]));
+    }
+
+    #[test]
+    fn masked_compute_check_matches_walking_path() {
+        // High-fan-in node whose parents span three bitset words.
+        let n = 140;
+        let mut edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, n - 1)).collect();
+        edges.push((0, 1));
+        let dag = CompDag::from_edges("fanin", vec![NodeWeights::unit(); n], &edges).unwrap();
+        let arch = Architecture::new(2, 1e9, 1.0, 0.0);
+        let masks = ParentMasks::of(&dag);
+        assert_eq!(masks.num_nodes(), n);
+        assert_eq!(masks.num_entries(NodeId::new(n - 1)), 3);
+        let p = ProcId::new(1);
+        let mut walk = Configuration::initial(&dag, &arch);
+        let mut masked = Configuration::initial(&dag, &arch);
+        // Missing parents: both reject, neither mutates.
+        assert!(!walk.try_compute(&dag, &arch, p, NodeId::new(n - 1)));
+        assert!(!masked.try_compute_masked(&dag, &arch, &masks, p, NodeId::new(n - 1)));
+        assert_eq!(walk, masked);
+        for i in 0..n - 1 {
+            walk.place_red_unchecked(&dag, p, NodeId::new(i));
+            masked.place_red_unchecked(&dag, p, NodeId::new(i));
+        }
+        assert!(walk.try_compute(&dag, &arch, p, NodeId::new(n - 1)));
+        assert!(masked.try_compute_masked(&dag, &arch, &masks, p, NodeId::new(n - 1)));
+        assert_eq!(walk, masked);
+        // Sources are rejected by both paths.
+        assert!(!walk.try_compute(&dag, &arch, p, NodeId::new(0)));
+        assert!(!masked.try_compute_masked(&dag, &arch, &masks, p, NodeId::new(0)));
     }
 
     #[test]

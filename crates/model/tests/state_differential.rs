@@ -187,3 +187,56 @@ fn reset_and_copy_agree_after_random_save_delete_load_sequences() {
         assert_eq!(fast, Configuration::initial(&dag, &arch));
     }
 }
+
+/// The word-level masked compute path (`try_compute_masked` over precomputed
+/// [`ParentMasks`]) must take exactly the same accept/reject decisions — and
+/// leave exactly the same state — as the parent-walking `try_compute`, across
+/// random DAGs, cache pressures and interleaved unchecked mutations.
+#[test]
+fn masked_compute_path_matches_the_walking_path() {
+    use mbsp_model::ParentMasks;
+    let mut rng = StdRng::seed_from_u64(0x3A5C);
+    for case in 0..120 {
+        let dag = random_layered_dag(
+            &RandomDagConfig {
+                layers: 2 + case % 5,
+                width: 2 + case % 7,
+                edge_probability: 0.5,
+                ..Default::default()
+            },
+            9_000 + case as u64,
+        );
+        let n = dag.num_nodes();
+        let arch = Architecture::new(1 + (case % 3), 2.0 + (case % 9) as f64, 1.0, 0.0);
+        let masks = ParentMasks::of(&dag);
+        assert_eq!(masks.num_nodes(), n);
+        let mut walk = Configuration::initial(&dag, &arch);
+        let mut masked = Configuration::initial(&dag, &arch);
+        for _ in 0..200 {
+            let node = NodeId::new(rng.gen_range(0..n));
+            let proc = ProcId::new(rng.gen_range(0..arch.processors));
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    let a = walk.try_compute(&dag, &arch, proc, node);
+                    let b = masked.try_compute_masked(&dag, &arch, &masks, proc, node);
+                    assert_eq!(a, b, "case {case}: compute outcome diverged on {node}");
+                }
+                1 => {
+                    walk.place_red_unchecked(&dag, proc, node);
+                    masked.place_red_unchecked(&dag, proc, node);
+                }
+                2 => {
+                    let a = walk.try_delete(&dag, proc, node);
+                    let b = masked.try_delete(&dag, proc, node);
+                    assert_eq!(a, b);
+                }
+                _ => {
+                    let a = walk.try_load(&dag, &arch, proc, node);
+                    let b = masked.try_load(&dag, &arch, proc, node);
+                    assert_eq!(a, b);
+                }
+            }
+            assert_eq!(walk, masked, "case {case}: states diverged");
+        }
+    }
+}

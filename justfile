@@ -2,7 +2,7 @@
 
 # Build everything in release mode, including experiment binaries.
 build:
-    cargo build --release --workspace
+    cargo build --release --workspace --all-targets
 
 # Unit tests, integration tests and doc tests for the whole workspace.
 test:
@@ -25,13 +25,31 @@ lint:
 bench:
     cargo bench -p mbsp_bench
 
+# CI's criterion compile gate: benches must keep building even when not run.
+bench-compile:
+    cargo bench --workspace --no-run
+
 # Records the benchmark baselines: the solver comparison into
-# BENCH_solver.json, the improver comparison into BENCH_improver.json and
-# the DAG-substrate comparison into BENCH_dag.json.
+# BENCH_solver.json, the improver comparison into BENCH_improver.json, the
+# DAG-substrate comparison into BENCH_dag.json and the sharded-search
+# comparison into BENCH_shard.json.
 bench-json:
     cargo run --release -p mbsp_bench --bin bench_solver
     cargo run --release -p mbsp_bench --bin bench_improver
     cargo run --release -p mbsp_bench --bin bench_dag
+    cargo run --release -p mbsp_bench --bin bench_shard
 
-# Everything CI checks, in order.
-ci: build test doc fmt lint
+# The four CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
+smokes:
+    MBSP_BENCH_SOLVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_solver
+    MBSP_BENCH_IMPROVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_improver
+    MBSP_BENCH_DAG_QUICK=1 cargo run --release -p mbsp_bench --bin bench_dag
+    MBSP_BENCH_SHARD_QUICK=1 cargo run --release -p mbsp_bench --bin bench_shard
+
+# The bench-regression gate over the BENCH_*_quick.json smoke outputs.
+bench-check:
+    cargo run --release -p mbsp_bench --bin bench_check
+
+# Everything CI checks, in CI's order (build, test, doc, fmt, clippy, the four
+# bench smokes, the criterion compile gate, the bench-regression gate).
+ci: build test doc fmt lint smokes bench-compile bench-check

@@ -15,7 +15,9 @@
 //! * [`solver`] — the LP/MIP solver substrate (sparse revised simplex with
 //!   warm-started branch and bound, plus the dense differential oracle);
 //! * [`ilp`] — the holistic schedulers: ILP formulation, exact solver,
-//!   baseline-seeded holistic search and the divide-and-conquer method.
+//!   baseline-seeded holistic search, the divide-and-conquer method, and the
+//!   sharded holistic search over zero-copy sub-DAG views
+//!   ([`ilp::shard::ShardedHolisticScheduler`]).
 //!
 //! ## Quick start
 //!
@@ -68,10 +70,11 @@ pub use mbsp_sched as sched;
 /// Commonly used items, re-exported for convenient glob imports.
 pub mod prelude {
     pub use crate::cache::{ClairvoyantPolicy, EvictionPolicy, LruPolicy, TwoStageScheduler};
-    pub use crate::dag::{CompDag, DagBuilder, DagStatistics, NodeId};
+    pub use crate::dag::{CompDag, DagBuilder, DagLike, DagStatistics, NodeId, SubDagView};
     pub use crate::gen::{large_dataset, small_dataset_sample, tiny_dataset};
     pub use crate::ilp::{
         DivideAndConquerScheduler, ExactIlpScheduler, HolisticConfig, HolisticScheduler,
+        ShardedHolisticScheduler, ShardedSearchConfig,
     };
     pub use crate::model::{
         async_cost, sync_cost, Architecture, BspSchedule, CostModel, MbspInstance, MbspSchedule,
