@@ -30,23 +30,28 @@ bench-compile:
 # comparison (incremental evaluation engine vs clone-and-recost) into
 # BENCH_improver.json, the DAG-substrate comparison (CSR/bitset/scratch
 # pipeline vs nested-Vec reference paths on 10k-100k-node instances) into
-# BENCH_dag.json, and the sharded-search comparison (sharded holistic search
+# BENCH_dag.json, the sharded-search comparison (sharded holistic search
 # over zero-copy sub-DAG views vs the single-incumbent search at equal move
-# budget) into BENCH_shard.json. Set MBSP_BENCH_SOLVER_QUICK=1 /
+# budget) into BENCH_shard.json, and the incremental-repair comparison
+# (dirty-cone repair vs from-scratch re-schedule after localized DAG mutation)
+# into BENCH_delta.json. Set MBSP_BENCH_SOLVER_QUICK=1 /
 # MBSP_BENCH_IMPROVER_QUICK=1 / MBSP_BENCH_DAG_QUICK=1 /
-# MBSP_BENCH_SHARD_QUICK=1 for the fast CI smoke variants.
+# MBSP_BENCH_SHARD_QUICK=1 / MBSP_BENCH_DELTA_QUICK=1 for the fast CI smoke
+# variants.
 bench-json:
 	cargo run --release -p mbsp_bench --bin bench_solver
 	cargo run --release -p mbsp_bench --bin bench_improver
 	cargo run --release -p mbsp_bench --bin bench_dag
 	cargo run --release -p mbsp_bench --bin bench_shard
+	cargo run --release -p mbsp_bench --bin bench_delta
 
-# The four CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
+# The five CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
 smokes:
 	MBSP_BENCH_SOLVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_solver
 	MBSP_BENCH_IMPROVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_improver
 	MBSP_BENCH_DAG_QUICK=1 cargo run --release -p mbsp_bench --bin bench_dag
 	MBSP_BENCH_SHARD_QUICK=1 cargo run --release -p mbsp_bench --bin bench_shard
+	MBSP_BENCH_DELTA_QUICK=1 cargo run --release -p mbsp_bench --bin bench_delta
 
 # The bench-regression gate: parses the BENCH_*_quick.json smoke outputs and
 # fails on any sub-1.0 speedup or fast/reference divergence.

@@ -1,6 +1,7 @@
 //! The CI bench-regression gate: parses the quick-mode `BENCH_*_quick.json`
-//! files that the four benchmark smokes (`bench_solver`, `bench_improver`,
-//! `bench_dag`, `bench_shard` with their `MBSP_BENCH_*_QUICK=1` contracts)
+//! files that the five benchmark smokes (`bench_solver`, `bench_improver`,
+//! `bench_dag`, `bench_shard`, `bench_delta` with their
+//! `MBSP_BENCH_*_QUICK=1` contracts)
 //! wrote earlier in the run, and **fails** if any fast-vs-reference speedup
 //! dropped below 1.0 or any agreement flag shows the compared paths diverged.
 //!
@@ -46,6 +47,14 @@ struct ShardInstance {
 }
 
 #[derive(Debug, Deserialize)]
+struct DeltaInstance {
+    name: String,
+    speedup: f64,
+    not_worse_than_incumbent: bool,
+    identical_across_workers: bool,
+}
+
+#[derive(Debug, Deserialize)]
 struct SolverReport {
     quick: bool,
     instances: Vec<SolverInstance>,
@@ -70,6 +79,13 @@ struct DagReport {
 struct ShardReport {
     quick: bool,
     instances: Vec<ShardInstance>,
+    geomean_speedup: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct DeltaReport {
+    quick: bool,
+    instances: Vec<DeltaInstance>,
     geomean_speedup: f64,
 }
 
@@ -200,10 +216,33 @@ fn main() -> ExitCode {
             r.instances.len()
         );
     }
+    if let Some(r) = gate.parse::<DeltaReport>("BENCH_delta_quick.json") {
+        let path = "BENCH_delta_quick.json";
+        for i in &r.instances {
+            gate.check_common(path, r.quick, &i.name, i.speedup);
+            gate.require(
+                path,
+                &i.name,
+                "dirty-cone repair regressed past its stale incumbent",
+                i.not_worse_than_incumbent,
+            );
+            gate.require(
+                path,
+                &i.name,
+                "dirty-cone repair diverged across worker counts",
+                i.identical_across_workers,
+            );
+        }
+        println!(
+            "delta    geomean {:>7.2}x over {} instances",
+            r.geomean_speedup,
+            r.instances.len()
+        );
+    }
 
     if gate.problems.is_empty() {
         println!(
-            "bench_check: {} checks passed across 4 quick reports",
+            "bench_check: {} checks passed across 5 quick reports",
             gate.checked
         );
         ExitCode::SUCCESS

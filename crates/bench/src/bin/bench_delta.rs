@@ -1,0 +1,380 @@
+//! Records the incremental re-scheduling baseline: dirty-cone repair
+//! (`mbsp_ilp::IncrementalScheduler`) against a full re-schedule after a small
+//! localized `DagDelta` stream lands on an already-scheduled instance —
+//! written to `BENCH_delta.json`.
+//!
+//! Per instance the harness warms an incremental scheduler to a steady state
+//! (greedy + full sharded search, iterated under constant seed streams until a
+//! pass accepts nothing — a fixed point of the search operator; untimed, since
+//! a deployment amortizes it over its lifetime), streams a
+//! seeded batch of reweight deltas touching well under 1%
+//! of the nodes (`mbsp_gen::mutation_stream` with a tight locality window;
+//! reweights keep node ids stable, so the dirty cone stays as local as the
+//! mutation — structural deltas are exercised by the mutation-replay and
+//! repair-determinism suites instead), then forks twins off the identical
+//! post-mutation state and measures (a) `repair`, which re-searches only the
+//! shards intersecting the mutation cone, and (b) the full re-schedule
+//! (`full_repair`), which re-searches every shard with the same per-shard
+//! budget and seed streams. Scope is the only variable between the two, so the
+//! comparison isolates exactly what the dirty cone buys. The repair must reach
+//! the full re-schedule's final cost on every measured instance — equal or
+//! better up to `COST_TOLERANCE` (0.1%): from a converged incumbent the two
+//! fold the same dirty-shard improvements, and the residual is the occasional
+//! clean-shard proposal that flips from rejected to accepted under the
+//! superstep-max coupling of the delta, which no hop-bounded cone can capture
+//! (empirically <= 0.03% across the suite). The repair must also never regress
+//! past its own stale incumbent (exactly), and stay byte-identical for any
+//! worker count; the headline is the geomean wall-clock speedup of repair over
+//! the full re-schedule (>= 5x on the full `large_dataset` run). A
+//! from-scratch pipeline (fresh greedy baseline + full sharded search on the
+//! mutated DAG) is also timed for context, but not gated: its greedy cascade
+//! lands in an unrelated search basin, so its cost is noise around the warmed
+//! steady state rather than a like-for-like comparator.
+//!
+//! Set `MBSP_BENCH_DELTA_QUICK=1` for the CI smoke run (small instances,
+//! separate output file). The smoke gates determinism, incumbent
+//! monotonicity and speedup but not `cost_ok`: on instances this small the
+//! integer cost floor makes one flipped unit-weight proposal exceed any
+//! sensible relative tolerance, so cost parity is asserted on the full
+//! `large_dataset` run only. The JSON schema is `{benchmark, quick, shards,
+//! cone_radius, instances: [{name, nodes, edges, delta_ops, touched_nodes,
+//! cone_nodes, dirty_shards, shards, incumbent_cost, repair_cost, full_cost,
+//! scratch_cost, repair_seconds, full_seconds, scratch_seconds, speedup,
+//! cost_ok, not_worse_than_incumbent, identical_across_workers}],
+//! geomean_speedup}`.
+
+use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+use mbsp_gen::{mutation_stream, MutationStreamConfig, NamedInstance};
+use mbsp_ilp::{IncrementalScheduler, RepairConfig, ShardedHolisticScheduler, ShardedSearchConfig};
+use mbsp_model::{Architecture, CostModel, MbspInstance};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// More shards than `bench_shard`'s 16: the dirty set is bound by the
+/// mutation window (2-3 shards regardless of the count), so a finer partition
+/// shrinks what repair re-searches while the full re-search still covers
+/// everything — the knob that makes "scope" a 10x lever instead of a 4x one.
+const SHARDS: usize = 24;
+/// Same deep hill-climb shape as `bench_shard`: one candidate per round, the
+/// per-shard budget in rounds.
+const SHARD_ROUNDS: usize = 40;
+/// Cap on the fixed-point warm-up passes (each pass is one full re-search);
+/// the loop normally stops much earlier, at the first pass accepting nothing.
+const WARM_PASS_CAP: usize = 12;
+const CONE_RADIUS: usize = 1;
+/// Relative slack on `repair_cost <= full_cost`: the cross-shard residual of
+/// clean-shard proposals flipping under the delta's global coupling (see the
+/// module docs). Observed residuals are 3-30x smaller than this bound.
+const COST_TOLERANCE: f64 = 1e-3;
+
+#[derive(Debug, Serialize)]
+struct InstanceReport {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    delta_ops: usize,
+    touched_nodes: usize,
+    cone_nodes: usize,
+    dirty_shards: usize,
+    shards: usize,
+    incumbent_cost: f64,
+    repair_cost: f64,
+    full_cost: f64,
+    scratch_cost: f64,
+    repair_seconds: f64,
+    full_seconds: f64,
+    scratch_seconds: f64,
+    speedup: f64,
+    cost_ok: bool,
+    not_worse_than_incumbent: bool,
+    identical_across_workers: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    benchmark: String,
+    quick: bool,
+    shards: usize,
+    cone_radius: usize,
+    instances: Vec<InstanceReport>,
+    geomean_speedup: f64,
+}
+
+fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v.max(1e-9).ln();
+        count += 1;
+    }
+    if count == 0 {
+        1.0
+    } else {
+        (sum / count as f64).exp()
+    }
+}
+
+fn search_config(workers: usize) -> ShardedSearchConfig {
+    ShardedSearchConfig {
+        cost_model: CostModel::Synchronous,
+        num_shards: SHARDS,
+        workers,
+        max_rounds: SHARD_ROUNDS,
+        moves_per_round: 1,
+        time_limit: Duration::from_secs(3600),
+        stale_round_limit: 0,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    // "0", "" and "false" disable quick mode (the documented contract is `=1`).
+    let quick = std::env::var("MBSP_BENCH_DELTA_QUICK")
+        .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
+        .unwrap_or(false);
+
+    let named: Vec<NamedInstance> = if quick {
+        vec![
+            NamedInstance {
+                name: "rand_L12_W50_quick".to_string(),
+                family: "random",
+                dag: random_layered_dag(
+                    &RandomDagConfig {
+                        layers: 12,
+                        width: 50,
+                        edge_probability: 0.08,
+                        ..Default::default()
+                    },
+                    17,
+                ),
+            },
+            NamedInstance {
+                name: "rand_L20_W60_quick".to_string(),
+                family: "random",
+                dag: random_layered_dag(
+                    &RandomDagConfig {
+                        layers: 20,
+                        width: 60,
+                        edge_probability: 0.06,
+                        ..Default::default()
+                    },
+                    18,
+                ),
+            },
+        ]
+    } else {
+        mbsp_gen::large_dataset(42)
+    };
+
+    // Iteration helper: run only the instances whose name contains the filter.
+    let only = std::env::var("MBSP_BENCH_DELTA_ONLY").unwrap_or_default();
+
+    let mut reports = Vec::new();
+    for inst in named
+        .iter()
+        .filter(|i| only.is_empty() || i.name.contains(&only))
+    {
+        let n = inst.dag.num_nodes();
+        eprintln!(
+            "== {} ({} nodes, {} edges)",
+            inst.name,
+            n,
+            inst.dag.num_edges()
+        );
+        let instance = MbspInstance::with_cache_factor(
+            inst.dag.clone(),
+            Architecture::paper_default(0.0),
+            3.0,
+        );
+        let baseline = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+
+        // Warm incumbent: greedy + full sharded search, then iterate the full
+        // re-search to a *fixed point* of the (deterministic, constant-seed)
+        // search operator: once a pass accepts nothing, re-searching a clean
+        // shard re-evaluates exactly the proposals the fixed point already
+        // rejected, and the scheduler's outcome cache holds every shard's
+        // outcome at that state. This is the steady state an
+        // incrementally-maintained deployment amortizes over its lifetime
+        // (none of it is timed), and it is what makes the comparison
+        // meaningful — post-mutation improvements exist only where the deltas
+        // landed.
+        let config = RepairConfig {
+            search: search_config(4),
+            cone_radius: CONE_RADIUS,
+        };
+        let warm_start = Instant::now();
+        let (_, _, warm_procs) = ShardedHolisticScheduler::with_config(search_config(4))
+            .schedule_with_assignment(&instance, &baseline);
+        let mut repairer =
+            IncrementalScheduler::new(inst.dag.clone(), *instance.arch(), warm_procs, config);
+        let mut warm_passes = 0usize;
+        loop {
+            let (_, warm_stats) = repairer.full_repair();
+            warm_passes += 1;
+            if warm_stats.accepted_shards == 0 || warm_passes >= WARM_PASS_CAP {
+                break;
+            }
+        }
+        eprintln!(
+            "    warm to fixed point: {warm_passes} passes in {:.2}s",
+            warm_start.elapsed().as_secs_f64()
+        );
+        // A small localized delta: well under 1% of the nodes, clustered in a
+        // tight topological window so the dirty cone stays small.
+        let delta_ops = (n / 1000).clamp(4, 32);
+        let stream_config = MutationStreamConfig {
+            ops: delta_ops,
+            structural: false,
+            locality: 0.01,
+            ..Default::default()
+        };
+        let stream = mutation_stream(repairer.dag(), &stream_config, 0xDE17A);
+
+        // Land the deltas, then fork three twins off the identical
+        // post-mutation state (same pending set, same outcome cache, same
+        // seed streams): the measured repair, its 1-worker determinism check,
+        // and the full re-search comparator. Scope — dirty cone vs every
+        // shard — is the only variable between (a) and (b).
+        let apply_start = Instant::now();
+        for delta in &stream {
+            repairer
+                .apply(delta)
+                .expect("generated streams replay cleanly");
+        }
+        let apply_seconds = apply_start.elapsed().as_secs_f64();
+        let mut repairer_1w = repairer.clone();
+        repairer_1w.config_mut().search.workers = 1;
+        let mut full_twin = repairer.clone();
+
+        // (a) Repair: re-search only the shards intersecting the dirty cone.
+        let start = Instant::now();
+        let (repaired, stats) = repairer.repair();
+        let repair_seconds = apply_seconds + start.elapsed().as_secs_f64();
+        let (repaired_1w, _) = repairer_1w.repair();
+        let identical_across_workers = repaired == repaired_1w;
+        eprintln!(
+            "    repair: cost {:.1} (incumbent {:.1}) in {repair_seconds:.2}s, \
+             {} touched -> {} cone nodes -> {}/{} dirty shards, {} evals",
+            stats.final_cost,
+            stats.incumbent_cost,
+            stats.pending_nodes,
+            stats.cone_nodes,
+            stats.dirty_shards,
+            stats.shards,
+            stats.evaluations
+        );
+
+        // (b) The full re-schedule: re-search ALL shards from the same stale
+        // incumbent with the same per-shard budget and seeds.
+        let start = Instant::now();
+        let (_, full_stats) = full_twin.full_repair();
+        let full_seconds = apply_seconds + start.elapsed().as_secs_f64();
+        let full_cost = full_stats.final_cost;
+        eprintln!("    full re-search: cost {full_cost:.1} in {full_seconds:.2}s");
+
+        // Informational only: what a from-scratch pipeline (greedy baseline +
+        // full sharded search) reaches on the mutated DAG. Not gated — its
+        // greedy cascade explores an unrelated basin, so its cost is noise
+        // around the warmed steady state rather than a like-for-like
+        // comparator.
+        let mutated = repairer.dag().clone();
+        let full_instance = MbspInstance::new(mutated, *instance.arch());
+        let start = Instant::now();
+        let scratch_baseline =
+            GreedyBspScheduler::new().schedule(full_instance.dag(), full_instance.arch());
+        let (_, scratch_stats) = ShardedHolisticScheduler::with_config(search_config(4))
+            .schedule_with_stats(&full_instance, &scratch_baseline);
+        let scratch_seconds = start.elapsed().as_secs_f64();
+        let scratch_cost = scratch_stats.final_cost;
+        eprintln!("    from-scratch re-schedule: cost {scratch_cost:.1} in {scratch_seconds:.2}s");
+
+        repaired
+            .validate(full_instance.dag(), full_instance.arch())
+            .unwrap_or_else(|e| panic!("{}: repaired schedule invalid: {e}", inst.name));
+        let cost_ok = stats.final_cost <= full_cost + COST_TOLERANCE * (1.0 + full_cost.abs());
+        let not_worse_than_incumbent =
+            stats.final_cost <= stats.incumbent_cost + 1e-9 * (1.0 + stats.incumbent_cost.abs());
+        let speedup = full_seconds / repair_seconds.max(1e-9);
+
+        println!(
+            "{:<18} {:>7} nodes   repair {:>9.1} in {:>7.2}s   full {:>9.1} in {:>7.2}s   ({:>5.2}x)   <=full: {}   ==workers: {}",
+            inst.name,
+            n,
+            stats.final_cost,
+            repair_seconds,
+            full_cost,
+            full_seconds,
+            speedup,
+            cost_ok,
+            identical_across_workers,
+        );
+        reports.push(InstanceReport {
+            name: inst.name.clone(),
+            nodes: n,
+            edges: full_instance.dag().num_edges(),
+            delta_ops: stream.len(),
+            touched_nodes: stats.pending_nodes,
+            cone_nodes: stats.cone_nodes,
+            dirty_shards: stats.dirty_shards,
+            shards: stats.shards,
+            incumbent_cost: stats.incumbent_cost,
+            repair_cost: stats.final_cost,
+            full_cost,
+            scratch_cost,
+            repair_seconds,
+            full_seconds,
+            scratch_seconds,
+            speedup,
+            cost_ok,
+            not_worse_than_incumbent,
+            identical_across_workers,
+        });
+    }
+
+    let geomean_speedup = geomean(reports.iter().map(|r| r.speedup));
+    let report = Report {
+        benchmark: "dirty-cone incremental repair vs full re-search from the same stale \
+                    incumbent after localized DAG mutation"
+            .to_string(),
+        quick,
+        shards: SHARDS,
+        cone_radius: CONE_RADIUS,
+        instances: reports,
+        geomean_speedup,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    // Quick (CI smoke) runs must not clobber the recorded full baseline.
+    let path = if quick {
+        "BENCH_delta_quick.json"
+    } else {
+        "BENCH_delta.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} is writable: {e}"));
+    println!("geomean speedup: {geomean_speedup:.2}x -> {path}");
+    assert!(
+        report.instances.iter().all(|r| r.identical_across_workers),
+        "dirty-cone repair diverged across worker counts — see {path}"
+    );
+    assert!(
+        report.instances.iter().all(|r| r.not_worse_than_incumbent),
+        "dirty-cone repair regressed past its stale incumbent — see {path}"
+    );
+    // The headline acceptance bar applies to the full `large_dataset` run:
+    // cost parity (within `COST_TOLERANCE`) with the full re-search on every
+    // instance and at least a 5x geomean wall-clock win for small (<1% of
+    // nodes) deltas.
+    if !quick {
+        for r in &report.instances {
+            assert!(
+                r.cost_ok,
+                "{}: repair cost {:.1} fell behind the full re-schedule {:.1} — see {path}",
+                r.name, r.repair_cost, r.full_cost
+            );
+        }
+        assert!(
+            geomean_speedup >= 5.0,
+            "geomean repair speedup {geomean_speedup:.2}x below the 5x bar — see {path}"
+        );
+    }
+}

@@ -3,12 +3,14 @@
 //! [`DagBuilder`] keeps the partially-built graph acyclic at all times. The naive
 //! approach — a full reachability DFS per `add_edge` — costs `O(V + E)` per edge
 //! and made generating the 100k-node benchmark instances quadratic. The builder
-//! instead maintains an **incremental topological order** (Pearce & Kelly, 2006):
-//! every node carries an order index, an edge `u -> v` with `ord(u) < ord(v)` is
-//! accepted in O(1), and only an order-violating edge triggers a DFS that is
-//! bounded to the *affected region* `(ord(v), ord(u))` and locally repairs the
-//! order. Since the generators emit edges from lower to higher node ids, building
-//! a DAG with them is linear in practice.
+//! instead maintains an **incremental topological order** ([`crate::pk::PkOrder`],
+//! after Pearce & Kelly, 2006): every node carries an order index, an edge
+//! `u -> v` with `ord(u) < ord(v)` is accepted in O(1), and only an
+//! order-violating edge triggers a DFS that is bounded to the *affected region*
+//! `(ord(v), ord(u))` and locally repairs the order. Since the generators emit
+//! edges from lower to higher node ids, building a DAG with them is linear in
+//! practice. The same order type drives [`crate::delta`]'s in-place edge
+//! insertion on an already-built [`CompDag`].
 //!
 //! Construction-time adjacency uses plain nested `Vec`s (append-friendly); the
 //! final [`DagBuilder::build`] compacts everything into the CSR form of
@@ -16,7 +18,8 @@
 
 use crate::error::DagError;
 use crate::graph::{validate_weights, CompDag, NodeId, NodeWeights};
-use crate::scratch::VisitMarks;
+use crate::pk::PkOrder;
+use crate::view::DagLike;
 use crate::Result;
 
 /// Builder for [`CompDag`] with incremental cycle detection.
@@ -30,16 +33,51 @@ pub struct DagBuilder {
     children: Vec<Vec<NodeId>>,
     /// Construction-time reverse adjacency.
     parents: Vec<Vec<NodeId>>,
-    /// Topological order index of every node (a permutation of `0..n`).
-    ord: Vec<u32>,
-    /// Version-stamped visited marks for the affected-region searches.
-    forward: VisitMarks,
-    backward: VisitMarks,
-    /// Scratch: DFS stack and the two affected sets, reused across `add_edge`.
-    stack: Vec<NodeId>,
-    delta_f: Vec<NodeId>,
-    delta_b: Vec<NodeId>,
-    pool: Vec<u32>,
+    /// Incremental Pearce–Kelly topological order (shared with the
+    /// [`crate::delta`] path, which runs the same check against CSR adjacency).
+    pk: PkOrder,
+}
+
+/// [`DagLike`] adapter over the builder's nested-`Vec` adjacency, so
+/// [`PkOrder::check_edge`] can walk the partially-built graph. Weight and name
+/// accessors are never called by the order check and return placeholders.
+struct BuilderAdj<'a> {
+    children: &'a [Vec<NodeId>],
+    parents: &'a [Vec<NodeId>],
+}
+
+impl DagLike for BuilderAdj<'_> {
+    fn num_nodes(&self) -> usize {
+        self.children.len()
+    }
+
+    fn children(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children[v.index()].iter().copied()
+    }
+
+    fn parents(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.parents[v.index()].iter().copied()
+    }
+
+    fn in_degree(&self, v: NodeId) -> usize {
+        self.parents[v.index()].len()
+    }
+
+    fn out_degree(&self, v: NodeId) -> usize {
+        self.children[v.index()].len()
+    }
+
+    fn compute_weight(&self, _v: NodeId) -> f64 {
+        0.0
+    }
+
+    fn memory_weight(&self, _v: NodeId) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &str {
+        "builder"
+    }
 }
 
 impl DagBuilder {
@@ -86,7 +124,8 @@ impl DagBuilder {
         self.parents.push(Vec::new());
         // A fresh node has no edges, so appending it at the end of the current
         // topological order keeps the order valid.
-        self.ord.push(id.0);
+        let pk_id = self.pk.push_node();
+        debug_assert_eq!(pk_id, id);
         Ok(id)
     }
 
@@ -134,90 +173,20 @@ impl DagBuilder {
                 to: to.index(),
             });
         }
-        if self.ord[from.index()] >= self.ord[to.index()] {
-            // The edge violates the current order: search the affected region;
-            // either a cycle is found (state untouched) or the order is repaired.
-            self.reorder_for_edge(from, to)?;
-        }
+        // Checks the edge against the incremental order (O(1) when it respects
+        // the order); either a cycle is found (state untouched) or the order
+        // accommodates the edge and the insertion commits below.
+        self.pk.check_edge(
+            &BuilderAdj {
+                children: &self.children,
+                parents: &self.parents,
+            },
+            from,
+            to,
+        )?;
         self.children[from.index()].push(to);
         self.parents[to.index()].push(from);
         self.edges.push((from, to));
-        Ok(())
-    }
-
-    /// Pearce–Kelly order repair for an edge `from -> to` with
-    /// `ord(from) >= ord(to)`: discovers the forward set reachable from `to`
-    /// (bounded by `ord <= ord(from)`) and the backward set reaching `from`
-    /// (bounded by `ord >= ord(to)`), then reassigns their order indices so the
-    /// backward set precedes the forward set. Detects a cycle — `from` reachable
-    /// from `to` — before modifying any state.
-    fn reorder_for_edge(&mut self, from: NodeId, to: NodeId) -> Result<()> {
-        let upper = self.ord[from.index()];
-        let lower = self.ord[to.index()];
-
-        // Forward DFS from `to`, restricted to the affected region.
-        self.forward.begin(self.num_nodes());
-        self.delta_f.clear();
-        self.stack.clear();
-        self.stack.push(to);
-        self.forward.visit(to.index());
-        while let Some(u) = self.stack.pop() {
-            if u == from {
-                return Err(DagError::CycleDetected {
-                    from: from.index(),
-                    to: to.index(),
-                });
-            }
-            self.delta_f.push(u);
-            for &c in &self.children[u.index()] {
-                if self.ord[c.index()] <= upper && self.forward.visit(c.index()) {
-                    self.stack.push(c);
-                }
-            }
-        }
-
-        // Backward DFS from `from`, restricted to the affected region. The two
-        // sets are disjoint: a node in both would witness a cycle, which the
-        // forward pass above already excluded.
-        self.backward.begin(self.num_nodes());
-        self.delta_b.clear();
-        self.stack.clear();
-        self.stack.push(from);
-        self.backward.visit(from.index());
-        while let Some(u) = self.stack.pop() {
-            self.delta_b.push(u);
-            for &p in &self.parents[u.index()] {
-                if self.ord[p.index()] >= lower && self.backward.visit(p.index()) {
-                    self.stack.push(p);
-                }
-            }
-        }
-
-        // Reassign: pool the order indices of both sets, sort each set by its
-        // current order, and hand the pooled indices out to the backward set
-        // first (it must precede), then the forward set.
-        {
-            let ord = &self.ord;
-            self.delta_b.sort_unstable_by_key(|v| ord[v.index()]);
-            self.delta_f.sort_unstable_by_key(|v| ord[v.index()]);
-            self.pool.clear();
-            self.pool
-                .extend(self.delta_b.iter().map(|v| ord[v.index()]));
-            self.pool
-                .extend(self.delta_f.iter().map(|v| ord[v.index()]));
-        }
-        self.pool.sort_unstable();
-        let mut slot = 0usize;
-        for i in 0..self.delta_b.len() {
-            let v = self.delta_b[i];
-            self.ord[v.index()] = self.pool[slot];
-            slot += 1;
-        }
-        for i in 0..self.delta_f.len() {
-            let v = self.delta_f[i];
-            self.ord[v.index()] = self.pool[slot];
-            slot += 1;
-        }
         Ok(())
     }
 

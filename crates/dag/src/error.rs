@@ -44,6 +44,23 @@ pub enum DagError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// An edge removal referenced an edge that does not exist.
+    EdgeNotFound {
+        /// Source of the missing edge.
+        from: usize,
+        /// Target of the missing edge.
+        to: usize,
+    },
+    /// A node removal was requested for a node that still has incident edges
+    /// (delta streams must remove the incident edges first).
+    NodeNotIsolated {
+        /// The node whose removal was requested.
+        node: usize,
+        /// Remaining in-degree of the node.
+        in_degree: usize,
+        /// Remaining out-degree of the node.
+        out_degree: usize,
+    },
 }
 
 impl fmt::Display for DagError {
@@ -63,6 +80,21 @@ impl fmt::Display for DagError {
                 write!(f, "invalid weight on node {node}: {reason}")
             }
             DagError::InvalidPartition { reason } => write!(f, "invalid partition: {reason}"),
+            DagError::EdgeNotFound { from, to } => {
+                write!(f, "edge {from} -> {to} does not exist")
+            }
+            DagError::NodeNotIsolated {
+                node,
+                in_degree,
+                out_degree,
+            } => {
+                write!(
+                    f,
+                    "node {node} still has incident edges \
+                     (in-degree {in_degree}, out-degree {out_degree}); \
+                     remove them before removing the node"
+                )
+            }
         }
     }
 }
@@ -98,6 +130,16 @@ mod tests {
             reason: "bad".into(),
         };
         assert!(e.to_string().contains("bad"));
+
+        let e = DagError::EdgeNotFound { from: 1, to: 2 };
+        assert!(e.to_string().contains("does not exist"));
+
+        let e = DagError::NodeNotIsolated {
+            node: 3,
+            in_degree: 1,
+            out_degree: 2,
+        };
+        assert!(e.to_string().contains("incident edges"));
     }
 
     #[test]

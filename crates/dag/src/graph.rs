@@ -131,19 +131,19 @@ pub struct CompDag {
     /// Optional human-readable name (e.g. the benchmark instance name).
     name: String,
     /// Per-node compute and memory weights.
-    weights: Vec<NodeWeights>,
+    pub(crate) weights: Vec<NodeWeights>,
     /// Optional per-node labels (used by the generators / DOT export).
-    labels: Vec<String>,
+    pub(crate) labels: Vec<String>,
     /// CSR offsets into `child_adj`; length `n + 1`.
-    child_off: Vec<u32>,
+    pub(crate) child_off: Vec<u32>,
     /// Flat forward-adjacency targets (children), grouped by source node.
-    child_adj: Vec<NodeId>,
+    pub(crate) child_adj: Vec<NodeId>,
     /// CSR offsets into `parent_adj`; length `n + 1`.
-    parent_off: Vec<u32>,
+    pub(crate) parent_off: Vec<u32>,
     /// Flat reverse-adjacency targets (parents), grouped by target node.
-    parent_adj: Vec<NodeId>,
+    pub(crate) parent_adj: Vec<NodeId>,
     /// Flat edge list in insertion order.
-    edges: Vec<(NodeId, NodeId)>,
+    pub(crate) edges: Vec<(NodeId, NodeId)>,
 }
 
 impl CompDag {

@@ -33,20 +33,42 @@
 //! the sharded holistic search of `mbsp-ilp` builds per-shard sub-problems at
 //! 100k-node scale.
 //!
+//! ## Incremental mutation
+//!
+//! Built graphs are not frozen: [`delta::DagDelta`] describes atomic mutations
+//! (add/remove node, add/remove edge, reweight) and [`CompDag::apply_delta`]
+//! patches the CSR arrays in place in `O(degree + n)` per delta instead of a
+//! full `O(V + E)` rebuild. Cycle safety comes from [`pk::PkOrder`], the
+//! Pearce–Kelly incremental topological order extracted from [`DagBuilder`]:
+//! an order-respecting edge insertion is accepted in O(1), an order-violating
+//! one triggers only the bounded affected-region repair, and a cycle-closing
+//! one is rejected before any state changes. Node removal uses swap-remove id
+//! semantics (the last node takes over the freed id), which keeps ids dense
+//! for the downstream flat per-node tables. This is the substrate layer of
+//! the dirty-cone re-scheduling engine in `mbsp_ilp::dirty_cone`.
+//!
 //! ## Oracle convention
 //!
 //! The pre-CSR nested-`Vec` adjacency lives on as [`reference::AdjacencyOracle`],
 //! a deliberately thin differential oracle: the property tests build both
 //! representations from the same random edge lists and assert every structural
 //! query agrees (mirroring `lp_solver::dense` and
-//! `mbsp_cache::two_stage::reference`).
+//! `mbsp_cache::two_stage::reference`). The delta path carries the same
+//! convention as a **mutation-replay oracle**: seeded [`delta::DagDelta`]
+//! streams are applied through [`CompDag::apply_delta`] while a naive edge
+//! list replays them independently, and after every stream the patched CSR
+//! arrays must be identical to a [`CompDag::from_edges`] rebuild of that list
+//! (children, parents, degrees, weights, edge order), with the maintained
+//! [`pk::PkOrder`] still a valid topological order.
 
 pub mod analysis;
 pub mod builder;
+pub mod delta;
 pub mod dot;
 pub mod error;
 pub mod graph;
 pub mod partition;
+pub mod pk;
 pub mod reference;
 pub mod scratch;
 pub mod subgraph;
@@ -55,9 +77,11 @@ pub mod view;
 
 pub use analysis::DagStatistics;
 pub use builder::DagBuilder;
+pub use delta::{DagDelta, DeltaEffect};
 pub use error::DagError;
 pub use graph::{CompDag, EdgeId, NodeId, NodeWeights};
 pub use partition::{AcyclicPartition, QuotientGraph};
+pub use pk::PkOrder;
 pub use subgraph::SubDag;
 pub use topo::TopologicalOrder;
 pub use view::{DagLike, SubDagView};

@@ -1,0 +1,173 @@
+//! Pearce–Kelly stress property test (seeded, deterministic).
+//!
+//! Random streams of edge insertions — order-respecting and order-violating
+//! alike — and edge removals are applied through `CompDag::apply_delta` with a
+//! live `PkOrder`, while a **full-recompute oracle** replays the same stream on
+//! a plain edge list and decides acceptance by rebuilding with
+//! `CompDag::from_edges` (Kahn's algorithm). The incremental path must accept
+//! exactly the edges the oracle accepts, reject exactly the cycles it rejects
+//! (leaving both graph and order untouched), and keep the maintained order a
+//! valid topological order after every single operation.
+
+use mbsp_dag::{CompDag, DagDelta, DagError, NodeId, NodeWeights, PkOrder};
+
+/// Deterministic LCG so the stress streams are reproducible without pulling
+/// rng crates into the dev-dependencies (same generator as the builder's
+/// in-crate soup test).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() >> 33) as usize % bound
+    }
+}
+
+fn assert_order_valid(dag: &CompDag, order: &PkOrder) {
+    assert!(
+        order.is_valid_for(dag),
+        "PkOrder stopped being a topological order of the accepted edge set"
+    );
+}
+
+#[test]
+fn random_insertions_and_removals_match_full_recompute_oracle() {
+    for seed in 0..6u64 {
+        let n = 30usize;
+        let mut dag = CompDag::from_edges("stress", vec![NodeWeights::unit(); n], &[]).unwrap();
+        let mut order = PkOrder::of_dag(&dag);
+        let mut oracle: Vec<(usize, usize)> = Vec::new();
+        let mut rng = Lcg(0xC0FFEE ^ (seed.wrapping_mul(0x9E3779B97F4A7C15)));
+        let mut cycle_rejections = 0usize;
+        let mut reorderings_survived = 0usize;
+
+        for step in 0..500 {
+            let u = rng.below(n);
+            let v = rng.below(n);
+            let remove = rng.below(100) < 30 && !oracle.is_empty();
+            if remove {
+                // Remove a random currently-present edge.
+                let (ru, rv) = oracle[rng.below(oracle.len())];
+                let delta = DagDelta::RemoveEdge {
+                    from: NodeId::new(ru),
+                    to: NodeId::new(rv),
+                };
+                dag.apply_delta(&delta, &mut order)
+                    .expect("oracle says the edge exists");
+                let pos = oracle.iter().position(|&e| e == (ru, rv)).unwrap();
+                oracle.remove(pos);
+            } else {
+                if u == v {
+                    continue;
+                }
+                let mut trial = oracle.clone();
+                trial.push((u, v));
+                let oracle_accepts =
+                    CompDag::from_edges("trial", vec![NodeWeights::unit(); n], &trial).is_ok();
+                let violates_order = !order.is_before(NodeId::new(u), NodeId::new(v));
+                let before_edges = dag.num_edges();
+                let delta = DagDelta::AddEdge {
+                    from: NodeId::new(u),
+                    to: NodeId::new(v),
+                };
+                match dag.apply_delta(&delta, &mut order) {
+                    Ok(_) => {
+                        assert!(
+                            oracle_accepts,
+                            "step {step}: incremental path accepted {u}->{v}, \
+                             the full recompute rejects it"
+                        );
+                        if violates_order {
+                            reorderings_survived += 1;
+                        }
+                        oracle.push((u, v));
+                    }
+                    Err(DagError::DuplicateEdge { .. }) => {
+                        assert!(oracle.contains(&(u, v)));
+                    }
+                    Err(DagError::CycleDetected { .. }) => {
+                        assert!(
+                            !oracle_accepts,
+                            "step {step}: incremental path rejected {u}->{v} as a cycle, \
+                             the full recompute accepts it"
+                        );
+                        cycle_rejections += 1;
+                        // Rejection must leave the graph untouched.
+                        assert_eq!(dag.num_edges(), before_edges);
+                        assert!(!dag.has_edge(NodeId::new(u), NodeId::new(v)));
+                    }
+                    Err(e) => panic!("unexpected error at step {step}: {e}"),
+                }
+            }
+            assert_order_valid(&dag, &order);
+            assert_eq!(dag.num_edges(), oracle.len());
+        }
+
+        assert!(
+            cycle_rejections > 0,
+            "seed {seed}: stream never exercised cycle rejection"
+        );
+        assert!(
+            reorderings_survived > 0,
+            "seed {seed}: stream never exercised an order-violating acceptance"
+        );
+        assert!(dag.is_acyclic());
+    }
+}
+
+#[test]
+fn removal_then_reinsertion_reuses_the_repaired_order() {
+    // A chain built backwards forces repeated order repairs; removing the
+    // middle and re-adding reversed edges must keep agreeing with the oracle.
+    let n = 8usize;
+    let mut dag = CompDag::from_edges("chain", vec![NodeWeights::unit(); n], &[]).unwrap();
+    let mut order = PkOrder::of_dag(&dag);
+    for i in (1..n).rev() {
+        dag.apply_delta(
+            &DagDelta::AddEdge {
+                from: NodeId::new(i),
+                to: NodeId::new(i - 1),
+            },
+            &mut order,
+        )
+        .unwrap();
+    }
+    assert_order_valid(&dag, &order);
+    // Closing the cycle must fail...
+    let err = dag
+        .apply_delta(
+            &DagDelta::AddEdge {
+                from: NodeId::new(0),
+                to: NodeId::new(n - 1),
+            },
+            &mut order,
+        )
+        .unwrap_err();
+    assert!(matches!(err, DagError::CycleDetected { .. }));
+    // ...until the chain is cut in the middle.
+    dag.apply_delta(
+        &DagDelta::RemoveEdge {
+            from: NodeId::new(4),
+            to: NodeId::new(3),
+        },
+        &mut order,
+    )
+    .unwrap();
+    dag.apply_delta(
+        &DagDelta::AddEdge {
+            from: NodeId::new(0),
+            to: NodeId::new(n - 1),
+        },
+        &mut order,
+    )
+    .unwrap();
+    assert_order_valid(&dag, &order);
+    assert!(dag.is_acyclic());
+}

@@ -15,16 +15,21 @@
 //!   the paper's random memory weights in `{1..5}`;
 //! * [`constructions`] — the parametric gadget DAGs of Theorem 4.1 and
 //!   Lemmas 5.3, 5.4 and 6.1;
-//! * [`random`] — random layered DAGs for property-based testing.
+//! * [`random`] — random layered DAGs for property-based testing;
+//! * [`mutations`] — seeded, replayable `DagDelta` streams over any of the
+//!   above, feeding the incremental re-scheduling engine and its
+//!   mutation-replay differential suite.
 
 pub mod cg;
 pub mod coarse;
 pub mod constructions;
 pub mod datasets;
 pub mod knn;
+pub mod mutations;
 pub mod random;
 pub mod spmv;
 pub mod weights;
 
 pub use datasets::{large_dataset, small_dataset_sample, tiny_dataset, NamedInstance};
+pub use mutations::{mutation_stream, MutationStreamConfig};
 pub use weights::assign_random_memory_weights;

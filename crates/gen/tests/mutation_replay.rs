@@ -1,0 +1,222 @@
+//! Mutation-replay differential suite: `apply_delta` vs full rebuild.
+//!
+//! For every benchmark family, 100+ seeded `DagDelta` streams are generated
+//! with `mutation_stream` and applied two ways:
+//!
+//! * the **fast path** patches the CSR arrays in place via
+//!   `CompDag::apply_delta`, with a live `PkOrder`;
+//! * the **oracle** replays the same deltas on a naive `(weights, edge list)`
+//!   pair and rebuilds from scratch with `CompDag::from_edges`.
+//!
+//! After each stream, the patched graph must match the rebuild on children,
+//! parents, degrees, weights and the edge list itself (the fill order of
+//! `from_edges` is the documented CSR slice-order invariant), and the
+//! maintained Pearce–Kelly order must still be a valid topological order.
+
+use mbsp_dag::{CompDag, DagDelta, NodeWeights, PkOrder};
+use mbsp_gen::{mutation_stream, tiny_dataset, MutationStreamConfig};
+
+/// The naive oracle state: a weight vector and a flat edge list, mutated with
+/// the plainest possible interpretation of each delta.
+struct NaiveGraph {
+    weights: Vec<NodeWeights>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl NaiveGraph {
+    fn of(dag: &CompDag) -> Self {
+        NaiveGraph {
+            weights: dag.nodes().map(|v| dag.weights(v)).collect(),
+            edges: dag.edges().map(|(u, v)| (u.index(), v.index())).collect(),
+        }
+    }
+
+    fn apply(&mut self, delta: &DagDelta) {
+        match delta {
+            DagDelta::AddNode { weights, .. } => self.weights.push(*weights),
+            DagDelta::RemoveNode { node } => {
+                let v = node.index();
+                assert!(
+                    self.edges.iter().all(|&(a, b)| a != v && b != v),
+                    "stream removed a non-isolated node"
+                );
+                let last = self.weights.len() - 1;
+                self.weights.swap_remove(v);
+                for e in &mut self.edges {
+                    if e.0 == last {
+                        e.0 = v;
+                    }
+                    if e.1 == last {
+                        e.1 = v;
+                    }
+                }
+            }
+            DagDelta::AddEdge { from, to } => self.edges.push((from.index(), to.index())),
+            DagDelta::RemoveEdge { from, to } => {
+                let pair = (from.index(), to.index());
+                let pos = self
+                    .edges
+                    .iter()
+                    .position(|&e| e == pair)
+                    .expect("stream removed a missing edge");
+                self.edges.remove(pos);
+            }
+            DagDelta::Reweight { node, weights } => self.weights[node.index()] = *weights,
+        }
+    }
+
+    fn rebuild(&self) -> CompDag {
+        CompDag::from_edges("oracle", self.weights.clone(), &self.edges)
+            .expect("a replayed stream keeps the graph acyclic")
+    }
+}
+
+fn assert_same_graph(fast: &CompDag, rebuilt: &CompDag, context: &str) {
+    assert_eq!(
+        fast.num_nodes(),
+        rebuilt.num_nodes(),
+        "{context}: node count"
+    );
+    assert_eq!(
+        fast.num_edges(),
+        rebuilt.num_edges(),
+        "{context}: edge count"
+    );
+    for v in fast.nodes() {
+        assert_eq!(
+            fast.children(v),
+            rebuilt.children(v),
+            "{context}: children of {v}"
+        );
+        assert_eq!(
+            fast.parents(v),
+            rebuilt.parents(v),
+            "{context}: parents of {v}"
+        );
+        assert_eq!(
+            fast.in_degree(v),
+            rebuilt.in_degree(v),
+            "{context}: in-degree of {v}"
+        );
+        assert_eq!(
+            fast.out_degree(v),
+            rebuilt.out_degree(v),
+            "{context}: out-degree of {v}"
+        );
+        assert_eq!(
+            fast.weights(v),
+            rebuilt.weights(v),
+            "{context}: weights of {v}"
+        );
+    }
+    let fast_edges: Vec<_> = fast.edges().collect();
+    let rebuilt_edges: Vec<_> = rebuilt.edges().collect();
+    assert_eq!(fast_edges, rebuilt_edges, "{context}: edge list order");
+}
+
+#[test]
+fn replayed_streams_match_full_rebuild_across_all_families() {
+    let instances = tiny_dataset(42);
+    let config = MutationStreamConfig {
+        ops: 30,
+        ..Default::default()
+    };
+    let mut streams_per_family: std::collections::BTreeMap<&str, usize> =
+        std::collections::BTreeMap::new();
+    for inst in &instances {
+        for seed in 0..35u64 {
+            let stream = mutation_stream(&inst.dag, &config, seed);
+            let mut fast = inst.dag.clone();
+            let mut order = PkOrder::of_dag(&fast);
+            let mut oracle = NaiveGraph::of(&inst.dag);
+            for delta in &stream {
+                fast.apply_delta(delta, &mut order)
+                    .expect("generated streams replay cleanly");
+                oracle.apply(delta);
+                assert_eq!(fast.num_nodes(), oracle.weights.len());
+                assert_eq!(fast.num_edges(), oracle.edges.len());
+            }
+            let context = format!("{} seed {seed}", inst.name);
+            assert_same_graph(&fast, &oracle.rebuild(), &context);
+            assert!(
+                order.is_valid_for(&fast),
+                "{context}: stale topological order after the stream"
+            );
+            *streams_per_family.entry(inst.family).or_insert(0) += 1;
+        }
+    }
+    for (family, count) in &streams_per_family {
+        assert!(
+            *count >= 100,
+            "family {family} only exercised {count} streams (needs 100+)"
+        );
+    }
+}
+
+#[test]
+fn mid_stream_states_match_the_rebuild_too() {
+    // Denser check on one instance: compare after every single delta, so a
+    // transiently-wrong CSR splice cannot hide behind a later fix-up.
+    let inst = &tiny_dataset(42)[0];
+    let config = MutationStreamConfig {
+        ops: 40,
+        ..Default::default()
+    };
+    for seed in 0..4u64 {
+        let stream = mutation_stream(&inst.dag, &config, seed);
+        let mut fast = inst.dag.clone();
+        let mut order = PkOrder::of_dag(&fast);
+        let mut oracle = NaiveGraph::of(&inst.dag);
+        for (i, delta) in stream.iter().enumerate() {
+            fast.apply_delta(delta, &mut order).unwrap();
+            oracle.apply(delta);
+            let context = format!("{} seed {seed} delta {i}", inst.name);
+            assert_same_graph(&fast, &oracle.rebuild(), &context);
+            assert!(order.is_valid_for(&fast), "{context}: invalid order");
+        }
+    }
+}
+
+#[test]
+fn remapped_ids_stay_consistent_with_side_tables() {
+    // Consumers keep per-node side tables in sync via `Vec::swap_remove`; the
+    // `DeltaEffect::remapped` contract must make that exact.
+    let inst = &tiny_dataset(42)[3];
+    let config = MutationStreamConfig {
+        ops: 50,
+        ..Default::default()
+    };
+    for seed in 100..110u64 {
+        let stream = mutation_stream(&inst.dag, &config, seed);
+        let mut fast = inst.dag.clone();
+        let mut order = PkOrder::of_dag(&fast);
+        // Side table: every node's original label, maintained only through the
+        // DeltaEffect contract.
+        let mut table: Vec<String> = fast.nodes().map(|v| fast.label(v).to_string()).collect();
+        for delta in &stream {
+            let eff = fast.apply_delta(delta, &mut order).unwrap();
+            match delta {
+                DagDelta::AddNode { .. } => {
+                    let id = eff.added.expect("AddNode reports its id");
+                    table.push(fast.label(id).to_string());
+                }
+                DagDelta::RemoveNode { node } => {
+                    table.swap_remove(node.index());
+                    match eff.remapped {
+                        Some(slot) => assert_eq!(slot, *node),
+                        None => assert_eq!(fast.num_nodes(), table.len()),
+                    }
+                }
+                _ => {}
+            }
+            assert_eq!(table.len(), fast.num_nodes());
+        }
+        for v in fast.nodes() {
+            assert_eq!(
+                table[v.index()],
+                fast.label(v),
+                "seed {seed}: side table diverged from the graph at {v}"
+            );
+        }
+    }
+}

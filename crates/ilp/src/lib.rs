@@ -37,8 +37,19 @@
 //!   its own worker thread, and a deterministic `(cost, shard index)`-ordered
 //!   merge whose boundary-repair pass re-evaluates cross-shard supersteps through
 //!   the incremental evaluator.
+//! * [`dirty_cone`] — [`dirty_cone::IncrementalScheduler`], incremental
+//!   re-scheduling under DAG mutation: `mbsp_dag::DagDelta`s stream through
+//!   [`dirty_cone::IncrementalScheduler::apply`], their touched nodes expand
+//!   into a bounded forward/backward mutation cone, and only the topological
+//!   shards intersecting the cone are re-searched (global shard indices keep
+//!   the seed streams aligned with a full run) before the shared deterministic
+//!   merge folds the winners back. Repairs are byte-identical for any worker
+//!   count and never cost more than the stale incumbent; the mutation-replay
+//!   differential suites in `mbsp_gen` and `mbsp_model` pin the underlying
+//!   delta and dirty-set semantics against full-rebuild oracles.
 
 pub mod bsp_opt;
+pub mod dirty_cone;
 pub mod dnc;
 pub mod engine;
 pub mod formulation;
@@ -47,6 +58,9 @@ pub mod partition_ilp;
 pub mod shard;
 
 pub use bsp_opt::BspIlpScheduler;
+pub use dirty_cone::{
+    dirty_shard_indices, mutation_cone, IncrementalScheduler, RepairConfig, RepairStats,
+};
 pub use dnc::{DivideAndConquerConfig, DivideAndConquerScheduler};
 pub use engine::{EvalPath, EvaluationEngine, Move, SearchStats};
 pub use formulation::{ExactIlpScheduler, IlpConfig, MbspIlpBuilder};

@@ -313,14 +313,91 @@ pub fn search_view(
 
 /// One shard's contribution to the merge: the global-id assignment delta of
 /// every locally accepted move (in acceptance order) plus the local costs that
-/// order the merge.
+/// order the merge. Shared with the dirty-cone repair engine, which merges
+/// only the shards intersecting a mutation cone.
 #[derive(Debug, Clone)]
-struct ShardOutcome {
-    index: usize,
-    base_cost: f64,
-    best_cost: f64,
-    deltas: Vec<Vec<(NodeId, ProcId)>>,
-    evaluations: u64,
+pub(crate) struct ShardOutcome {
+    pub(crate) index: usize,
+    pub(crate) base_cost: f64,
+    pub(crate) best_cost: f64,
+    pub(crate) deltas: Vec<Vec<(NodeId, ProcId)>>,
+    pub(crate) evaluations: u64,
+}
+
+/// Folds per-shard outcomes into the global incumbent: most locally-improving
+/// shard first (shard index as the tie-break — a total order, so the result is
+/// identical for any worker count), each fold re-evaluated globally through
+/// `engine` and kept only if the global cost improves; rejected blocks get a
+/// bounded prefix-replay salvage. Updates `procs`, `best_cost` and
+/// `best_schedule` in place and returns `(improved_shards, accepted_shards)`.
+/// Shared by [`ShardedHolisticScheduler`] and the dirty-cone repair engine.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_outcomes(
+    engine: &mut EvaluationEngine,
+    dag: &CompDag,
+    arch: &Architecture,
+    cost_model: CostModel,
+    outcomes: &[ShardOutcome],
+    procs: &mut [ProcId],
+    best_cost: &mut f64,
+    best_schedule: &mut MbspSchedule,
+) -> (usize, usize) {
+    let mut order: Vec<usize> = (0..outcomes.len()).collect();
+    order.sort_by(|&a, &b| {
+        let da = outcomes[a].best_cost - outcomes[a].base_cost;
+        let db = outcomes[b].best_cost - outcomes[b].base_cost;
+        da.total_cmp(&db)
+            .then(outcomes[a].index.cmp(&outcomes[b].index))
+    });
+    let mut trial = procs.to_vec();
+    let mut improved_shards = 0usize;
+    let mut accepted_shards = 0usize;
+    for &i in &order {
+        let o = &outcomes[i];
+        if o.best_cost >= o.base_cost - 1e-9 || o.deltas.is_empty() {
+            continue;
+        }
+        improved_shards += 1;
+        for delta in &o.deltas {
+            for &(g, p) in delta {
+                trial[g.index()] = p;
+            }
+        }
+        let cost = engine.evaluate_assignment_on(dag, arch, &trial, cost_model, &[]);
+        if cost < *best_cost - 1e-9 {
+            *best_cost = cost;
+            best_schedule.clone_from(engine.schedule());
+            accepted_shards += 1;
+            procs.copy_from_slice(&trial);
+            continue;
+        }
+        trial.copy_from_slice(procs);
+        // The whole block regressed globally (a later local move overfit the
+        // shard's boundary conditions) — salvage the improving prefix: replay
+        // the accepted deltas in order, keeping each one only while the global
+        // cost keeps improving, and stop at the first failure (bounded extra
+        // global evaluations per rejected shard).
+        let mut salvaged = false;
+        for delta in o.deltas.iter().take(MERGE_REPLAY_CAP) {
+            for &(g, p) in delta {
+                trial[g.index()] = p;
+            }
+            let cost = engine.evaluate_assignment_on(dag, arch, &trial, cost_model, &[]);
+            if cost < *best_cost - 1e-9 {
+                *best_cost = cost;
+                best_schedule.clone_from(engine.schedule());
+                procs.copy_from_slice(&trial);
+                salvaged = true;
+            } else {
+                trial.copy_from_slice(procs);
+                break;
+            }
+        }
+        if salvaged {
+            accepted_shards += 1;
+        }
+    }
+    (improved_shards, accepted_shards)
 }
 
 /// The sharded holistic scheduler: partition, per-shard engine-backed search on
@@ -357,6 +434,19 @@ impl ShardedHolisticScheduler {
         instance: &MbspInstance,
         baseline: &BspSchedulingResult,
     ) -> (MbspSchedule, ShardedSearchStats) {
+        let (schedule, stats, _) = self.schedule_with_assignment(instance, baseline);
+        (schedule, stats)
+    }
+
+    /// Like [`ShardedHolisticScheduler::schedule_with_stats`], but also returns
+    /// the winning per-node processor assignment — the state an
+    /// [`IncrementalScheduler`](crate::IncrementalScheduler) needs to pick up
+    /// exactly where this full run left off.
+    pub fn schedule_with_assignment(
+        &self,
+        instance: &MbspInstance,
+        baseline: &BspSchedulingResult,
+    ) -> (MbspSchedule, ShardedSearchStats, Vec<ProcId>) {
         let dag = instance.dag();
         let arch = instance.arch();
         let cost_model = self.config.cost_model;
@@ -434,61 +524,16 @@ impl ShardedHolisticScheduler {
         // as the tie-break; each fold must survive the global boundary-repair
         // re-evaluation (conversion + post-optimisation of the whole
         // assignment) to be kept.
-        let mut order: Vec<usize> = (0..outcomes.len()).collect();
-        order.sort_by(|&a, &b| {
-            let da = outcomes[a].best_cost - outcomes[a].base_cost;
-            let db = outcomes[b].best_cost - outcomes[b].base_cost;
-            da.total_cmp(&db)
-                .then(outcomes[a].index.cmp(&outcomes[b].index))
-        });
-        let mut trial = procs.clone();
-        let mut improved_shards = 0usize;
-        let mut accepted_shards = 0usize;
-        for &i in &order {
-            let o = &outcomes[i];
-            if o.best_cost >= o.base_cost - 1e-9 || o.deltas.is_empty() {
-                continue;
-            }
-            improved_shards += 1;
-            for delta in &o.deltas {
-                for &(g, p) in delta {
-                    trial[g.index()] = p;
-                }
-            }
-            let cost = global_engine.evaluate_assignment(instance, &trial, cost_model, &[]);
-            if cost < best_cost - 1e-9 {
-                best_cost = cost;
-                best_schedule = global_engine.schedule().clone();
-                accepted_shards += 1;
-                procs.copy_from_slice(&trial);
-                continue;
-            }
-            trial.copy_from_slice(&procs);
-            // The whole block regressed globally (a later local move overfit
-            // the shard's boundary conditions) — salvage the improving prefix:
-            // replay the accepted deltas in order, keeping each one only while
-            // the global cost keeps improving, and stop at the first failure
-            // (bounded extra global evaluations per rejected shard).
-            let mut salvaged = false;
-            for delta in o.deltas.iter().take(MERGE_REPLAY_CAP) {
-                for &(g, p) in delta {
-                    trial[g.index()] = p;
-                }
-                let cost = global_engine.evaluate_assignment(instance, &trial, cost_model, &[]);
-                if cost < best_cost - 1e-9 {
-                    best_cost = cost;
-                    best_schedule = global_engine.schedule().clone();
-                    procs.copy_from_slice(&trial);
-                    salvaged = true;
-                } else {
-                    trial.copy_from_slice(&procs);
-                    break;
-                }
-            }
-            if salvaged {
-                accepted_shards += 1;
-            }
-        }
+        let (improved_shards, accepted_shards) = merge_outcomes(
+            &mut global_engine,
+            dag,
+            arch,
+            cost_model,
+            &outcomes,
+            &mut procs,
+            &mut best_cost,
+            &mut best_schedule,
+        );
 
         let stats = ShardedSearchStats {
             shards: outcomes.len(),
@@ -499,14 +544,16 @@ impl ShardedHolisticScheduler {
             elapsed: start.elapsed(),
             final_cost: best_cost,
         };
-        (best_schedule, stats)
+        (best_schedule, stats, procs)
     }
 }
 
 /// Builds the view of one shard, runs its local search and maps the winning
-/// assignment back to global ids.
+/// assignment back to global ids. `index` is the shard's *global* index in the
+/// partition — it feeds the seed stride, so searching a subset of shards (the
+/// dirty-cone repair) explores exactly the streams a full run would.
 #[allow(clippy::too_many_arguments)]
-fn run_shard(
+pub(crate) fn run_shard(
     dag: &CompDag,
     arch: &Architecture,
     partition: &AcyclicPartition,

@@ -31,7 +31,19 @@ use mbsp_dag::DagLike;
 /// schedule edit must be paired with the corresponding evaluator update). All
 /// buffers are reused across [`ScheduleEvaluator::rebuild`] calls, so one evaluator
 /// can serve an entire candidate-evaluation loop without allocating.
-#[derive(Debug, Clone, Default)]
+///
+/// ## Dirty tracking
+///
+/// For the incremental re-scheduling engine, the evaluator also carries a
+/// **dirty set** of superstep indices with per-superstep invalidation stamps:
+/// a superstep's cached cost depends only on the weights of the nodes listed
+/// in its phase lists, so after a DAG mutation
+/// [`ScheduleEvaluator::mark_nodes_dirty`] marks exactly the supersteps that
+/// mention a touched node and [`ScheduleEvaluator::refresh_dirty`] re-costs
+/// only those, leaving every clean superstep's cache untouched. Stamps are
+/// epoch-versioned (`stamp[k] == epoch` ⇔ dirty), so clearing the dirty set
+/// is O(1) — no per-superstep reset pass.
+#[derive(Debug, Clone)]
 pub struct ScheduleEvaluator {
     procs: usize,
     g: f64,
@@ -44,6 +56,32 @@ pub struct ScheduleEvaluator {
     max_comp: Vec<f64>,
     max_save: Vec<f64>,
     max_load: Vec<f64>,
+    /// Per-superstep invalidation stamps: `stamp[k] == epoch` marks `k` dirty.
+    stamp: Vec<u64>,
+    /// Current dirty epoch; bumping it (on refresh/clear) cleans every stamp.
+    epoch: u64,
+    /// Indices of the currently dirty supersteps, in marking order.
+    dirty: Vec<u32>,
+}
+
+impl Default for ScheduleEvaluator {
+    fn default() -> Self {
+        ScheduleEvaluator {
+            procs: 0,
+            g: 0.0,
+            latency: 0.0,
+            comp: Vec::new(),
+            save: Vec::new(),
+            load: Vec::new(),
+            max_comp: Vec::new(),
+            max_save: Vec::new(),
+            max_load: Vec::new(),
+            stamp: Vec::new(),
+            // Starts above every fresh stamp (0), so new supersteps are clean.
+            epoch: 1,
+            dirty: Vec::new(),
+        }
+    }
 }
 
 impl ScheduleEvaluator {
@@ -73,6 +111,8 @@ impl ScheduleEvaluator {
         self.max_comp.clear();
         self.max_save.clear();
         self.max_load.clear();
+        self.stamp.clear();
+        self.dirty.clear();
         for step in schedule.supersteps() {
             self.push_superstep(step, dag);
         }
@@ -103,6 +143,8 @@ impl ScheduleEvaluator {
         self.max_comp.push(max_c);
         self.max_save.push(max_s);
         self.max_load.push(max_l);
+        // Freshly costed, hence clean: any stamp below the current epoch works.
+        self.stamp.push(0);
     }
 
     /// Recomputes the cached costs of superstep `k` from `step` (after the caller
@@ -132,6 +174,12 @@ impl ScheduleEvaluator {
     /// Drops the cached costs of superstep `k` (after the caller removed that
     /// superstep from the schedule).
     pub fn remove_superstep(&mut self, k: usize) {
+        // Structural edits would shift the indices queued in the dirty set;
+        // callers must refresh (or clear) dirty marks first.
+        debug_assert!(
+            self.dirty.is_empty(),
+            "refresh_dirty/clear_dirty before structurally editing the schedule"
+        );
         let base = k * self.procs;
         self.comp.drain(base..base + self.procs);
         self.save.drain(base..base + self.procs);
@@ -139,6 +187,78 @@ impl ScheduleEvaluator {
         self.max_comp.remove(k);
         self.max_save.remove(k);
         self.max_load.remove(k);
+        self.stamp.remove(k);
+    }
+
+    /// Marks superstep `k` dirty: its cached costs are stale until the next
+    /// [`ScheduleEvaluator::refresh_dirty`]. Idempotent per epoch.
+    pub fn mark_superstep_dirty(&mut self, k: usize) {
+        debug_assert!(k < self.num_supersteps());
+        if self.stamp[k] != self.epoch {
+            self.stamp[k] = self.epoch;
+            self.dirty.push(k as u32);
+        }
+    }
+
+    /// Returns true if superstep `k` is currently marked dirty.
+    pub fn is_dirty(&self, k: usize) -> bool {
+        self.stamp[k] == self.epoch
+    }
+
+    /// Number of supersteps currently marked dirty.
+    pub fn num_dirty(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Marks every superstep whose phase lists mention a node with
+    /// `dirty_node[v] == true`. A superstep's cached cost depends only on the
+    /// weights of its listed nodes, so this is exactly the invalidation set of
+    /// a node-reweight mutation. Nodes beyond `dirty_node`'s length are clean.
+    pub fn mark_nodes_dirty(&mut self, schedule: &MbspSchedule, dirty_node: &[bool]) {
+        debug_assert_eq!(schedule.num_supersteps(), self.num_supersteps());
+        let is_dirty = |v: mbsp_dag::NodeId| dirty_node.get(v.index()).copied().unwrap_or(false);
+        for (k, step) in schedule.supersteps().iter().enumerate() {
+            if self.stamp[k] == self.epoch {
+                continue;
+            }
+            let touched = step.procs.iter().any(|phases| {
+                phases.compute.iter().any(|s| is_dirty(s.node()))
+                    || phases.save.iter().copied().any(is_dirty)
+                    || phases.load.iter().copied().any(is_dirty)
+            });
+            if touched {
+                self.stamp[k] = self.epoch;
+                self.dirty.push(k as u32);
+            }
+        }
+    }
+
+    /// Re-costs exactly the dirty supersteps from `schedule` and clears the
+    /// dirty set (O(1) epoch bump). Returns how many supersteps were
+    /// refreshed; every clean superstep's cache is left byte-identical.
+    pub fn refresh_dirty<D: DagLike + ?Sized>(
+        &mut self,
+        schedule: &MbspSchedule,
+        dag: &D,
+    ) -> usize {
+        debug_assert_eq!(schedule.num_supersteps(), self.num_supersteps());
+        let dirty = std::mem::take(&mut self.dirty);
+        for &k in &dirty {
+            self.refresh_superstep(k as usize, &schedule.supersteps()[k as usize], dag);
+        }
+        let refreshed = dirty.len();
+        // Hand the buffer back (emptied) so marking stays allocation-free.
+        self.dirty = dirty;
+        self.dirty.clear();
+        self.epoch += 1;
+        refreshed
+    }
+
+    /// Drops all dirty marks without re-costing (the caller rebuilt or
+    /// discarded the cache another way).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.clear();
+        self.epoch += 1;
     }
 
     /// Synchronous cost of superstep `k` (its three phase maxima plus `L`).
@@ -327,6 +447,68 @@ mod tests {
             eval.rebuild(&sched, &dag);
             assert_eq!(eval.total(), sync_cost(&sched, &dag, &arch).total);
         }
+    }
+
+    #[test]
+    fn node_dirty_marks_cover_exactly_the_mentioning_supersteps() {
+        let dag = diamond();
+        let arch = arch();
+        let sched = schedule();
+        let mut eval = ScheduleEvaluator::of(&sched, &dag, &arch);
+        assert_eq!(eval.num_dirty(), 0);
+        // Node 3 appears only in superstep 2 (computed and saved there).
+        let mut mask = vec![false; 4];
+        mask[3] = true;
+        eval.mark_nodes_dirty(&sched, &mask);
+        assert_eq!(eval.num_dirty(), 1);
+        assert!(!eval.is_dirty(0));
+        assert!(!eval.is_dirty(1));
+        assert!(eval.is_dirty(2));
+        // Node 0 is loaded in superstep 0 only.
+        mask[3] = false;
+        mask[0] = true;
+        eval.mark_nodes_dirty(&sched, &mask);
+        assert_eq!(eval.num_dirty(), 2);
+        assert!(eval.is_dirty(0));
+    }
+
+    #[test]
+    fn refresh_dirty_recosts_only_the_marked_supersteps() {
+        let mut dag = diamond();
+        let arch = arch();
+        let sched = schedule();
+        let mut eval = ScheduleEvaluator::of(&sched, &dag, &arch);
+        // Reweight node 1 (superstep 1: computed+saved on p0, loaded on p1).
+        dag.set_weights(NodeId::new(1), NodeWeights::new(9.0, 4.0))
+            .unwrap();
+        let mut mask = vec![false; 4];
+        mask[1] = true;
+        eval.mark_nodes_dirty(&sched, &mask);
+        let refreshed = eval.refresh_dirty(&sched, &dag);
+        assert_eq!(refreshed, 1);
+        assert_eq!(eval.num_dirty(), 0);
+        assert_eq!(eval.total(), sync_cost(&sched, &dag, &arch).total);
+        // Marking is idempotent across epochs: a second round works the same.
+        dag.set_weights(NodeId::new(1), NodeWeights::new(2.0, 1.0))
+            .unwrap();
+        eval.mark_nodes_dirty(&sched, &mask);
+        eval.mark_nodes_dirty(&sched, &mask);
+        assert_eq!(eval.num_dirty(), 1);
+        assert_eq!(eval.refresh_dirty(&sched, &dag), 1);
+        assert_eq!(eval.total(), sync_cost(&sched, &dag, &arch).total);
+    }
+
+    #[test]
+    fn clear_dirty_drops_marks_without_recosting() {
+        let dag = diamond();
+        let arch = arch();
+        let sched = schedule();
+        let mut eval = ScheduleEvaluator::of(&sched, &dag, &arch);
+        eval.mark_superstep_dirty(1);
+        assert!(eval.is_dirty(1));
+        eval.clear_dirty();
+        assert_eq!(eval.num_dirty(), 0);
+        assert!(!eval.is_dirty(1));
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! Dirty-set evaluator differential suite (the evaluator half of the
+//! mutation-replay oracle convention).
+//!
+//! 100+ seeded reweight streams (`mbsp_gen::mutation_stream` with
+//! `structural: false`, so node ids stay valid for a fixed schedule) are
+//! applied to benchmark DAGs. After every delta, the incremental path marks
+//! the supersteps mentioning a touched node (`mark_nodes_dirty`) and re-costs
+//! only those (`refresh_dirty`); the oracle is a fresh `ScheduleEvaluator`
+//! built from scratch. Every superstep's cost and the total must agree
+//! **exactly** (identical summation order ⇒ bitwise-equal floats), and the
+//! number of refreshed supersteps must never exceed the dirty count — with at
+//! least some partial refreshes actually exercised across the suite.
+
+use mbsp_dag::{CompDag, PkOrder, TopologicalOrder};
+use mbsp_gen::{mutation_stream, tiny_dataset, MutationStreamConfig};
+use mbsp_model::{Architecture, ComputePhaseStep, MbspSchedule, ProcId, ScheduleEvaluator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a deterministic pseudo-schedule: topological chunks over supersteps,
+/// random processor per node, with saves and parent loads sprinkled in. The
+/// evaluator costs phase lists regardless of schedule validity, which is all
+/// the differential needs.
+fn pseudo_schedule(
+    dag: &CompDag,
+    procs: usize,
+    supersteps: usize,
+    rng: &mut StdRng,
+) -> MbspSchedule {
+    let topo = TopologicalOrder::of(dag);
+    let n = dag.num_nodes();
+    let mut sched = MbspSchedule::new(procs);
+    for _ in 0..supersteps {
+        sched.push_empty_superstep();
+    }
+    for (i, &v) in topo.order().iter().enumerate() {
+        let k = i * supersteps / n;
+        let p = ProcId::new(rng.gen_range(0..procs));
+        let phases = sched.supersteps_mut()[k].proc_mut(p);
+        if dag.is_source(v) {
+            phases.load.push(v);
+        } else {
+            phases.compute.push(ComputePhaseStep::Compute(v));
+            if rng.gen_bool(0.6) {
+                phases.save.push(v);
+            }
+        }
+    }
+    // Sprinkle some parent loads so load costs are non-trivial.
+    let loads: Vec<_> = dag.nodes().filter(|_| rng.gen_bool(0.3)).collect();
+    for v in loads {
+        let k = rng.gen_range(0..supersteps);
+        let p = ProcId::new(rng.gen_range(0..procs));
+        sched.supersteps_mut()[k].proc_mut(p).load.push(v);
+    }
+    sched
+}
+
+#[test]
+fn dirty_refresh_matches_fresh_evaluator_on_every_superstep() {
+    let instances = tiny_dataset(7);
+    let arch = Architecture::new(4, 1e9, 1.5, 10.0);
+    let config = MutationStreamConfig {
+        ops: 10,
+        structural: false,
+        ..Default::default()
+    };
+    let mut streams = 0usize;
+    let mut partial_refreshes = 0usize;
+    for inst in &instances {
+        for seed in 0..7u64 {
+            streams += 1;
+            let mut dag = inst.dag.clone();
+            let mut order = PkOrder::of_dag(&dag);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF);
+            let supersteps = rng.gen_range(4..9);
+            let sched = pseudo_schedule(&dag, arch.processors, supersteps, &mut rng);
+            let mut eval = ScheduleEvaluator::of(&sched, &dag, &arch);
+            for delta in mutation_stream(&dag.clone(), &config, seed) {
+                let effect = dag.apply_delta(&delta, &mut order).unwrap();
+                let mut mask = vec![false; dag.num_nodes()];
+                for v in effect.touched_nodes() {
+                    mask[v.index()] = true;
+                }
+                eval.mark_nodes_dirty(&sched, &mask);
+                let marked = eval.num_dirty();
+                let refreshed = eval.refresh_dirty(&sched, &dag);
+                assert_eq!(refreshed, marked, "refresh must drain the dirty set");
+                assert!(refreshed <= sched.num_supersteps());
+                if refreshed < sched.num_supersteps() {
+                    partial_refreshes += 1;
+                }
+                let fresh = ScheduleEvaluator::of(&sched, &dag, &arch);
+                assert_eq!(
+                    fresh.num_supersteps(),
+                    eval.num_supersteps(),
+                    "{} seed {seed}: superstep count drifted",
+                    inst.name
+                );
+                for k in 0..fresh.num_supersteps() {
+                    assert_eq!(
+                        eval.step_cost(k),
+                        fresh.step_cost(k),
+                        "{} seed {seed}: superstep {k} cost drifted after {delta:?}",
+                        inst.name
+                    );
+                }
+                assert_eq!(
+                    eval.total(),
+                    fresh.total(),
+                    "{} seed {seed}: total drifted",
+                    inst.name
+                );
+            }
+        }
+    }
+    assert!(streams >= 100, "only {streams} streams exercised");
+    assert!(
+        partial_refreshes > 0,
+        "the suite never exercised a partial (dirty-only) refresh"
+    );
+}
+
+#[test]
+fn stale_marks_survive_until_refreshed() {
+    // Marking without refreshing leaves the cache stale; refresh_dirty then
+    // reconciles in one call. Guards against eager re-costing in mark_*.
+    let inst = &tiny_dataset(7)[2];
+    let arch = Architecture::paper_default(1e9);
+    let mut dag = inst.dag.clone();
+    let mut order = PkOrder::of_dag(&dag);
+    let mut rng = StdRng::seed_from_u64(99);
+    let sched = pseudo_schedule(&dag, arch.processors, 5, &mut rng);
+    let mut eval = ScheduleEvaluator::of(&sched, &dag, &arch);
+    let before = eval.total();
+    let config = MutationStreamConfig {
+        ops: 6,
+        structural: false,
+        ..Default::default()
+    };
+    let mut mask = vec![false; dag.num_nodes()];
+    for delta in mutation_stream(&dag.clone(), &config, 1) {
+        let effect = dag.apply_delta(&delta, &mut order).unwrap();
+        for v in effect.touched_nodes() {
+            mask[v.index()] = true;
+        }
+    }
+    eval.mark_nodes_dirty(&sched, &mask);
+    // The cache still reports the pre-mutation total (stale by design)...
+    assert_eq!(eval.total(), before);
+    // ...until one refresh_dirty reconciles everything at once.
+    eval.refresh_dirty(&sched, &dag);
+    let fresh = ScheduleEvaluator::of(&sched, &dag, &arch);
+    assert_eq!(eval.total(), fresh.total());
+}
