@@ -34,24 +34,29 @@ bench-compile:
 # over zero-copy sub-DAG views vs the single-incumbent search at equal move
 # budget) into BENCH_shard.json, and the incremental-repair comparison
 # (dirty-cone repair vs from-scratch re-schedule after localized DAG mutation)
-# into BENCH_delta.json. Set MBSP_BENCH_SOLVER_QUICK=1 /
+# into BENCH_delta.json, and the worker-pool/kernel/merge comparison (resident
+# pool engine batches vs scoped spawns + eager merge, vectorized vs scalar
+# pebble-set kernels, segment-tree vs O(P)-fold merge pass) into
+# BENCH_pool.json. Set MBSP_BENCH_SOLVER_QUICK=1 /
 # MBSP_BENCH_IMPROVER_QUICK=1 / MBSP_BENCH_DAG_QUICK=1 /
-# MBSP_BENCH_SHARD_QUICK=1 / MBSP_BENCH_DELTA_QUICK=1 for the fast CI smoke
-# variants.
+# MBSP_BENCH_SHARD_QUICK=1 / MBSP_BENCH_DELTA_QUICK=1 /
+# MBSP_BENCH_POOL_QUICK=1 for the fast CI smoke variants.
 bench-json:
 	cargo run --release -p mbsp_bench --bin bench_solver
 	cargo run --release -p mbsp_bench --bin bench_improver
 	cargo run --release -p mbsp_bench --bin bench_dag
 	cargo run --release -p mbsp_bench --bin bench_shard
 	cargo run --release -p mbsp_bench --bin bench_delta
+	cargo run --release -p mbsp_bench --bin bench_pool
 
-# The five CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
+# The six CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
 smokes:
 	MBSP_BENCH_SOLVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_solver
 	MBSP_BENCH_IMPROVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_improver
 	MBSP_BENCH_DAG_QUICK=1 cargo run --release -p mbsp_bench --bin bench_dag
 	MBSP_BENCH_SHARD_QUICK=1 cargo run --release -p mbsp_bench --bin bench_shard
 	MBSP_BENCH_DELTA_QUICK=1 cargo run --release -p mbsp_bench --bin bench_delta
+	MBSP_BENCH_POOL_QUICK=1 cargo run --release -p mbsp_bench --bin bench_pool
 
 # The bench-regression gate: parses the BENCH_*_quick.json smoke outputs and
 # fails on any sub-1.0 speedup or fast/reference divergence.
@@ -59,7 +64,7 @@ bench-check:
 	cargo run --release -p mbsp_bench --bin bench_check
 
 # Everything CI checks, in CI's order: build, test, doc, formatting, clippy,
-# the four benchmark smokes, the criterion compile gate and the
+# the six benchmark smokes, the criterion compile gate and the
 # bench-regression gate. Contributors can reproduce a red CI run locally with
 # this single target.
 ci: build test doc fmt lint smokes bench-compile bench-check

@@ -1,9 +1,12 @@
 //! The CI bench-regression gate: parses the quick-mode `BENCH_*_quick.json`
-//! files that the five benchmark smokes (`bench_solver`, `bench_improver`,
-//! `bench_dag`, `bench_shard`, `bench_delta` with their
+//! files that the six benchmark smokes (`bench_solver`, `bench_improver`,
+//! `bench_dag`, `bench_shard`, `bench_delta`, `bench_pool` with their
 //! `MBSP_BENCH_*_QUICK=1` contracts)
 //! wrote earlier in the run, and **fails** if any fast-vs-reference speedup
 //! dropped below 1.0 or any agreement flag shows the compared paths diverged.
+//! (The pool report's smoke is gated on its agreement flags only: on the tiny
+//! smoke instances the pool-vs-scoped-spawn margin is within timing noise, and
+//! its 1.3x speedup bar is asserted by the full `bench_pool` run instead.)
 //!
 //! This is the last CI step (`cargo run -p mbsp_bench --bin bench_check`), so a
 //! performance regression that makes an optimised path slower than its
@@ -87,6 +90,34 @@ struct DeltaReport {
     quick: bool,
     instances: Vec<DeltaInstance>,
     geomean_speedup: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct PoolInstance {
+    name: String,
+    costs_match: bool,
+    identical_across_workers: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct PoolKernel {
+    name: String,
+    results_match: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct PoolImprover {
+    name: String,
+    costs_match: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct PoolReport {
+    quick: bool,
+    instances: Vec<PoolInstance>,
+    geomean_speedup: f64,
+    kernels: Vec<PoolKernel>,
+    improver: Vec<PoolImprover>,
 }
 
 /// Collected gate violations; empty means the gate is green.
@@ -240,9 +271,54 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(r) = gate.parse::<PoolReport>("BENCH_pool_quick.json") {
+        let path = "BENCH_pool_quick.json";
+        gate.require(
+            path,
+            "report",
+            "quick flag is false — the smoke must run with the quick-mode env var",
+            r.quick,
+        );
+        for i in &r.instances {
+            gate.require(
+                path,
+                &i.name,
+                "pool and scoped-spawn engine batches diverged",
+                i.costs_match,
+            );
+            gate.require(
+                path,
+                &i.name,
+                "pool batches diverged across worker counts",
+                i.identical_across_workers,
+            );
+        }
+        for k in &r.kernels {
+            gate.require(
+                path,
+                &k.name,
+                "chunked kernel diverged from its scalar oracle",
+                k.results_match,
+            );
+        }
+        for i in &r.improver {
+            gate.require(
+                path,
+                &i.name,
+                "segment-tree and eager merge passes diverged",
+                i.costs_match,
+            );
+        }
+        println!(
+            "pool     geomean {:>7.2}x over {} instances",
+            r.geomean_speedup,
+            r.instances.len()
+        );
+    }
+
     if gate.problems.is_empty() {
         println!(
-            "bench_check: {} checks passed across 5 quick reports",
+            "bench_check: {} checks passed across 6 quick reports",
             gate.checked
         );
         ExitCode::SUCCESS

@@ -175,62 +175,28 @@ pub fn run_tiny_comparison(params: &ExperimentParams) -> Vec<ComparisonRow> {
 /// otherwise the machine's available parallelism, in both cases clamped to the
 /// number of instances.
 fn bench_threads(instances: usize) -> usize {
-    // One env contract for the whole workspace: the engine's resolver owns the
+    // One env contract for the whole workspace: the pool's resolver owns the
     // MBSP_BENCH_THREADS parsing and the available-parallelism fallback.
-    mbsp_ilp::engine::resolve_workers(0).clamp(1, instances.max(1))
+    mbsp_pool::resolve_workers(0).clamp(1, instances.max(1))
 }
 
-/// Maps `f` over `0..count` on `threads` scoped worker threads (atomic
-/// work-stealing, no external dependencies — the vendored environment has no
-/// rayon) and returns the results **in index order**, so parallel sweeps stay
-/// byte-for-byte deterministic. A panic in any worker propagates.
+/// Maps `f` over `0..count` with at most `threads` concurrent lanes on the
+/// resident [`mbsp_pool::WorkerPool`] (dynamic index stealing, results **in
+/// index order**), so parallel sweeps stay byte-for-byte deterministic. A panic
+/// in any lane propagates.
 fn parallel_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
-    if threads <= 1 {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(f(i));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= count {
-                                break;
-                            }
-                            local.push((i, f(i)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                for (i, value) in handle.join().expect("bench worker panicked") {
-                    slots[i] = Some(value);
-                }
-            }
-        });
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index is produced exactly once"))
-        .collect()
+    mbsp_pool::WorkerPool::shared().run_indexed(count, threads, f)
 }
 
 /// Runs the divide-and-conquer comparison over the small-dataset sample
 /// (Table 2). Instances are independent, so they are scheduled **in parallel**
-/// on scoped worker threads (`MBSP_BENCH_THREADS` overrides the thread count;
+/// on the resident worker pool (`MBSP_BENCH_THREADS` overrides the lane count;
 /// set it to 1 for serial runs). Result rows keep the dataset order regardless
-/// of thread interleaving.
+/// of lane interleaving.
 pub fn run_small_dataset_comparison(params: &ExperimentParams) -> Vec<ComparisonRow> {
     let instances = mbsp_gen::small_dataset_sample(params.seed);
     let threads = bench_threads(instances.len());

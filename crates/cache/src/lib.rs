@@ -27,4 +27,6 @@ pub mod policy;
 pub mod two_stage;
 
 pub use policy::{CandidateVictim, ClairvoyantPolicy, EvictionPolicy, LruPolicy};
-pub use two_stage::{ConversionArena, TwoStageConfig, TwoStageScheduler};
+pub use two_stage::{
+    set_reference_conversion_mode, ConversionArena, TwoStageConfig, TwoStageScheduler,
+};

@@ -38,6 +38,22 @@ pub trait EvictionPolicy {
     /// minimum — produces the same eviction sequence.
     fn order(&self, a: &CandidateVictim, b: &CandidateVictim) -> std::cmp::Ordering;
 
+    /// Does this policy evict every candidate with `next_use == None` before any
+    /// candidate with a future use, ordering those spent candidates exactly by
+    /// `(has_blue desc, weight desc, node asc)`?
+    ///
+    /// Returning `true` is a promise about [`EvictionPolicy::order`] that lets
+    /// the arena converter serve most evictions from an incrementally maintained
+    /// ordered set of spent values (values with no remaining use on the
+    /// processor) in `O(log cached)` per victim, instead of rebuilding and
+    /// scanning the full candidate set on every eviction trigger. The fallback
+    /// full scan still runs whenever the spent set is exhausted, so a policy
+    /// answering `true` only changes *how fast* victims are found, never *which*
+    /// victims are chosen.
+    fn evicts_spent_first(&self) -> bool {
+        false
+    }
+
     /// Orders the candidates by eviction preference (most evictable first). The
     /// reference converter walks this order and evicts until enough space is
     /// free; the arena-based converter instead selects victims one at a time via
@@ -67,6 +83,13 @@ impl ClairvoyantPolicy {
 impl EvictionPolicy for ClairvoyantPolicy {
     fn name(&self) -> &'static str {
         "clairvoyant"
+    }
+
+    fn evicts_spent_first(&self) -> bool {
+        // `order` keys on `next_use` descending with `None → usize::MAX`, so
+        // spent values precede every candidate with a future use, and the
+        // remaining tie-break is exactly (has_blue desc, weight desc, node asc).
+        true
     }
 
     fn order(&self, a: &CandidateVictim, b: &CandidateVictim) -> std::cmp::Ordering {

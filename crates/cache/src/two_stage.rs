@@ -31,6 +31,17 @@
 //!   allocations and rebuilds the compute sequences only for the processors the
 //!   move actually touched.
 //!
+//! On generous caches the simulation itself is dominated by victim selection:
+//! every eviction trigger used to rebuild and scan a candidate set the size of
+//! the cache. The arena instead maintains, per processor, an ordered set of
+//! **spent** values (cached, no remaining local use — what the clairvoyant
+//! policy evicts first, in exactly the set's order) and a node-id-ordered set
+//! of **dead** values (no remaining use anywhere, droppable without a save),
+//! updated at the few events that create them; eviction triggers then pop
+//! victims in O(log cached). The linear forms are retained behind
+//! [`set_reference_conversion_mode`] — operation-identical, so the switch
+//! changes timings only.
+//!
 //! The arena is **operation-identical** to a from-scratch conversion: the
 //! [`mod@reference`] module keeps the original single-shot converter as a
 //! differential oracle (mirroring the `dense::` oracle of `lp_solver`), and the
@@ -41,6 +52,34 @@ use crate::policy::{CandidateVictim, EvictionPolicy};
 use mbsp_dag::{DagLike, NodeId, TopologicalOrder};
 use mbsp_model::{Architecture, ComputePhaseStep, MbspSchedule, ProcId, Superstep};
 use mbsp_sched::BspSchedulingResult;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, [`ConversionArena`] routes its two optimised hot loops through
+/// their retained linear predecessors: the prefetch planner answers its
+/// membership test with the original `Vec::contains` scan (quadratic in the
+/// prefetch window) instead of the O(1) node mask, and every eviction trigger
+/// rebuilds and scans the full candidate set instead of popping victims from
+/// the incrementally maintained spent-value set. Both forms are
+/// operation-identical — same victims, same saves, same loads — so the switch
+/// changes timings only. It exists for one caller: `bench_pool`'s reference
+/// runs, which reproduce the pre-optimisation "current path" end to end.
+/// Production code never sets it.
+static REFERENCE_CONVERSION: AtomicBool = AtomicBool::new(false);
+
+/// Route the arena's conversion hot loops (prefetch membership, eviction
+/// victim selection) through their retained linear forms (`true`) or the
+/// optimised paths (`false`, the default). Bench/differential use only; both
+/// settings produce identical schedules.
+pub fn set_reference_conversion_mode(enabled: bool) {
+    REFERENCE_CONVERSION.store(enabled, Ordering::Relaxed);
+}
+
+/// Is [`set_reference_conversion_mode`] currently routing the conversion hot
+/// loops through their linear forms?
+#[inline]
+pub fn reference_conversion_mode() -> bool {
+    REFERENCE_CONVERSION.load(Ordering::Relaxed)
+}
 
 /// Configuration of the two-stage converter.
 #[derive(Debug, Clone, Copy)]
@@ -178,6 +217,37 @@ pub struct ConversionArena {
     /// Per processor and node (flat `p * n + v`): logical time of the last
     /// access (for LRU).
     last_use: Vec<usize>,
+    /// Per node: membership mask mirroring the prefetch planner's
+    /// `virtually_cached` list (O(1) lookups instead of a linear scan over a
+    /// window that grows with the cache size). Always all-false outside
+    /// [`ConversionArena::plan_io`].
+    virt_mask: Vec<bool>,
+    /// Per node: its memory weight `μ(v)`, copied out of the DAG once so the
+    /// spent-set keys can be built without a `DagLike` handle.
+    mem_weight: Vec<f64>,
+    /// Per processor: the cached values with no remaining use on that processor
+    /// ("spent"), ordered exactly as the clairvoyant policy evicts them —
+    /// blue-pebbled first, then heavier, then smaller node id (see
+    /// [`ConversionArena::spent_key`]). A value enters the set the moment its
+    /// last local use is consumed (or when it is computed with no local
+    /// children) and leaves it on eviction, so eviction triggers pop victims in
+    /// O(log cached) instead of scanning the whole cache. Policies whose
+    /// [`EvictionPolicy::evicts_spent_first`] is `false` (LRU) ignore the set
+    /// for victim selection, but it is maintained unconditionally so toggling
+    /// policies or [`set_reference_conversion_mode`] between runs is safe.
+    spent: Vec<std::collections::BTreeSet<(u8, u64, u32)>>,
+    /// Per processor and node (flat `p * n + v`): is the node in `spent`?
+    in_spent: Vec<bool>,
+    /// Per processor: the cached values that are *dead* — no unconsumed use on
+    /// any processor and droppable without a save (`!required || blue`) — in
+    /// node-id order, exactly the order
+    /// [`ConversionArena::make_room_with_dead_values`] drops them in. Deadness
+    /// is monotone while a value stays cached, so the set is maintained at the
+    /// two events that create it (the last global use is consumed; a required
+    /// value with no uses left gains its blue pebble) and on eviction.
+    dead: Vec<std::collections::BTreeSet<u32>>,
+    /// Per processor and node (flat `p * n + v`): is the node in `dead`?
+    in_dead: Vec<bool>,
     /// Per processor: logical clock incremented on every compute step.
     clock: Vec<usize>,
     /// Which nodes currently have a blue pebble.
@@ -238,6 +308,18 @@ impl ConversionArena {
             list_pos: vec![0; p * n],
             used: vec![0.0; p],
             last_use: vec![0; p * n],
+            virt_mask: vec![false; n],
+            mem_weight: {
+                let w: Vec<f64> = dag.nodes().map(|v| dag.memory_weight(v)).collect();
+                // Non-negative weights keep the `to_bits` ordering of `spent_key`
+                // consistent with `partial_cmp` in the eviction policies.
+                debug_assert!(w.iter().all(|&x| x >= 0.0));
+                w
+            },
+            spent: vec![std::collections::BTreeSet::new(); p],
+            in_spent: vec![false; p * n],
+            dead: vec![std::collections::BTreeSet::new(); p],
+            in_dead: vec![false; p * n],
             clock: vec![0; p],
             blue: vec![false; n],
             blue_snapshot: vec![false; n],
@@ -451,6 +533,16 @@ impl ConversionArena {
                 self.cached[base + v.index()] = false;
             }
             self.cached_list[pi].clear();
+            // `in_spent` is true exactly for the set members, so clearing the
+            // flags while draining keeps both in sync without an O(V) sweep.
+            for &(_, _, v) in self.spent[pi].iter() {
+                self.in_spent[base + v as usize] = false;
+            }
+            self.spent[pi].clear();
+            for &v in self.dead[pi].iter() {
+                self.in_dead[base + v as usize] = false;
+            }
+            self.dead[pi].clear();
         }
         self.last_use.fill(0);
         self.use_ptr.fill(0);
@@ -544,6 +636,25 @@ impl ConversionArena {
                         self.remaining_uses[u.index()] -= 1;
                     }
                     self.cursor[pi] += 1;
+                    // A value becomes spent the moment its last local use is
+                    // consumed (for v itself: when it has no local uses at
+                    // all); recording the transition here is what lets the
+                    // eviction triggers pop victims without scanning the cache.
+                    if self.next_use(pi, v).is_none() {
+                        self.spent_insert(pi, v);
+                    }
+                    for u in dag.parents(v) {
+                        if self.next_use(pi, u).is_none() {
+                            self.spent_insert(pi, u);
+                        }
+                        if self.remaining_uses[u.index()] == 0
+                            && (!self.is_required_output[u.index()] || self.blue[u.index()])
+                        {
+                            // Last global use consumed: u is now dead on every
+                            // processor that still caches a copy.
+                            self.dead_insert_everywhere(u);
+                        }
+                    }
                 }
 
                 // ---- 2. Save phase: persist computed values that need it. ----
@@ -561,7 +672,23 @@ impl ConversionArena {
                     });
                     if self.is_required_output[v.index()] || has_remote_child {
                         phases.save.push(v);
+                        // Blue is part of the spent-set ordering key, so a
+                        // spent value must be re-keyed across the flip. Only
+                        // pi's set can hold v: an unsaved value exists solely
+                        // on the processor that computed it.
+                        let respent = self.in_spent[base + v.index()];
+                        if respent {
+                            self.spent_remove(pi, v);
+                        }
                         self.blue[v.index()] = true;
+                        if respent {
+                            self.spent_insert(pi, v);
+                        }
+                        if self.remaining_uses[v.index()] == 0 {
+                            // A required value with no uses left becomes dead
+                            // the moment its blue pebble lands.
+                            self.dead_insert_everywhere(v);
+                        }
                     }
                 }
 
@@ -590,33 +717,52 @@ impl ConversionArena {
         if self.used[pi] + needed <= r + 1e-9 {
             return true;
         }
-        let mut parents = std::mem::take(&mut self.scratch_parents);
-        parents.clear();
-        parents.extend(dag.parents(about_to_compute));
-        // Collect the dead cached values and evict them in node-index order (the
-        // order the reference converter walks them in) until the output fits.
-        let mut dead = std::mem::take(&mut self.scratch_nodes);
-        dead.clear();
-        for idx in 0..self.cached_list[pi].len() {
-            let v = self.cached_list[pi][idx];
-            if !parents.contains(&v)
-                && self.remaining_uses[v.index()] == 0
-                && (!self.is_required_output[v.index()] || self.blue[v.index()])
-            {
-                dead.push(v);
+        if !reference_conversion_mode() {
+            // Fast path: the dead values are already known, in eviction order
+            // (node-id ascending), in the incrementally maintained `dead` set —
+            // pop until the output fits. Parents of the pending compute still
+            // have an unconsumed use, so they can never sit in the set.
+            while self.used[pi] + needed > r + 1e-9 {
+                let Some(&vid) = self.dead[pi].first() else {
+                    break;
+                };
+                let v = NodeId::new(vid as usize);
+                debug_assert!(!dag.parents(about_to_compute).any(|u| u == v));
+                phases.compute.push(ComputePhaseStep::Delete(v));
+                self.cache_remove(pi, v);
+                self.used[pi] -= dag.memory_weight(v);
             }
-        }
-        dead.sort_unstable();
-        for &v in &dead {
-            if self.used[pi] + needed <= r + 1e-9 {
-                break;
+        } else {
+            // Retained "current path" (the form `bench_pool`'s reference runs
+            // reproduce): collect the dead cached values by scanning the whole
+            // cache and evict them in node-index order (the order the reference
+            // converter walks them in) until the output fits.
+            let mut parents = std::mem::take(&mut self.scratch_parents);
+            parents.clear();
+            parents.extend(dag.parents(about_to_compute));
+            let mut dead = std::mem::take(&mut self.scratch_nodes);
+            dead.clear();
+            for idx in 0..self.cached_list[pi].len() {
+                let v = self.cached_list[pi][idx];
+                if !parents.contains(&v)
+                    && self.remaining_uses[v.index()] == 0
+                    && (!self.is_required_output[v.index()] || self.blue[v.index()])
+                {
+                    dead.push(v);
+                }
             }
-            phases.compute.push(ComputePhaseStep::Delete(v));
-            self.cache_remove(pi, v);
-            self.used[pi] -= dag.memory_weight(v);
+            dead.sort_unstable();
+            for &v in &dead {
+                if self.used[pi] + needed <= r + 1e-9 {
+                    break;
+                }
+                phases.compute.push(ComputePhaseStep::Delete(v));
+                self.cache_remove(pi, v);
+                self.used[pi] -= dag.memory_weight(v);
+            }
+            self.scratch_nodes = dead;
+            self.scratch_parents = parents;
         }
-        self.scratch_nodes = dead;
-        self.scratch_parents = parents;
         self.used[pi] + needed <= r + 1e-9
     }
 
@@ -659,56 +805,93 @@ impl ConversionArena {
         let missing_weight: f64 = loadable.iter().map(|&u| dag.memory_weight(u)).sum();
         let target_free = missing_weight + dag.memory_weight(next);
 
-        // Evict until the next compute step fits. The reference converter ranks
-        // the full candidate set through `policy.rank`; since the policy order is
-        // total, repeatedly extracting the minimum yields the identical eviction
-        // sequence without sorting candidates that are never evicted.
+        // Evict until the next compute step fits.
         if self.used[pi] + target_free > r + 1e-9 {
-            let mut keep = std::mem::take(&mut self.scratch_parents);
-            keep.clear();
-            keep.extend(dag.parents(next));
-            let mut candidates = std::mem::take(&mut self.scratch_candidates);
-            candidates.clear();
-            for idx in 0..self.cached_list[pi].len() {
-                let v = self.cached_list[pi][idx];
-                if keep.contains(&v) || v == next {
-                    continue;
-                }
-                let candidate = CandidateVictim {
-                    node: v,
-                    weight: dag.memory_weight(v),
-                    next_use: self.next_use(pi, v),
-                    last_use: self.last_use[base + v.index()],
-                    has_blue: self.blue[v.index()],
-                    needed_later: self.remaining_uses[v.index()] > 0
-                        || (self.is_required_output[v.index()] && !self.blue[v.index()]),
-                };
-                candidates.push(candidate);
-            }
-            let mut remaining = candidates.len();
-            while self.used[pi] + target_free > r + 1e-9 && remaining > 0 {
-                let mut best = 0usize;
-                for i in 1..remaining {
-                    if policy.order(&candidates[i], &candidates[best]).is_lt() {
-                        best = i;
+            // Fast path: a policy that evicts spent values first pops them
+            // straight off the ordered spent set — O(log cached) per victim.
+            // Parents of `next` (and `next` itself) are never spent (their use
+            // at the current cursor position is still pending), so the keep-set
+            // filter of the scan below is vacuous here. Popping reads the
+            // current blue pebbles, which equal the trigger-start snapshot the
+            // scan path sees: the only blue bit an eviction flips belongs to
+            // the victim itself, which leaves the cache with it.
+            if policy.evicts_spent_first() && !reference_conversion_mode() {
+                while self.used[pi] + target_free > r + 1e-9 {
+                    let Some((_, _, vid)) = self.spent[pi].pop_first() else {
+                        break;
+                    };
+                    let v = NodeId::new(vid as usize);
+                    self.in_spent[base + v.index()] = false;
+                    debug_assert!(v != next && !dag.parents(next).any(|u| u == v));
+                    let needed_later = self.remaining_uses[v.index()] > 0
+                        || (self.is_required_output[v.index()] && !self.blue[v.index()]);
+                    if needed_later && !self.blue[v.index()] {
+                        phases.save.push(v);
+                        self.blue[v.index()] = true;
                     }
+                    phases.delete.push(v);
+                    self.cache_remove(pi, v);
+                    self.used[pi] -= dag.memory_weight(v);
                 }
-                let c = candidates[best];
-                candidates.swap(best, remaining - 1);
-                remaining -= 1;
-                let v = c.node;
-                // A victim that is still needed and not yet in slow memory must be
-                // saved before it is deleted (save phase precedes delete phase).
-                if c.needed_later && !self.blue[v.index()] {
-                    phases.save.push(v);
-                    self.blue[v.index()] = true;
-                }
-                phases.delete.push(v);
-                self.cache_remove(pi, v);
-                self.used[pi] -= dag.memory_weight(v);
             }
-            self.scratch_candidates = candidates;
-            self.scratch_parents = keep;
+            // Full scan: the reference converter ranks the whole candidate set
+            // through `policy.rank`; since the policy order is total, repeatedly
+            // extracting the minimum yields the identical eviction sequence
+            // without sorting candidates that are never evicted. This is the
+            // only path for policies without the spent-first guarantee, the
+            // retained "current path" under `reference_conversion_mode`, and
+            // the fallback once the spent set runs dry.
+            if self.used[pi] + target_free > r + 1e-9 {
+                let mut keep = std::mem::take(&mut self.scratch_parents);
+                keep.clear();
+                keep.extend(dag.parents(next));
+                let mut candidates = std::mem::take(&mut self.scratch_candidates);
+                candidates.clear();
+                for idx in 0..self.cached_list[pi].len() {
+                    let v = self.cached_list[pi][idx];
+                    if keep.contains(&v) || v == next {
+                        continue;
+                    }
+                    let candidate = CandidateVictim {
+                        node: v,
+                        weight: dag.memory_weight(v),
+                        next_use: self.next_use(pi, v),
+                        last_use: self.last_use[base + v.index()],
+                        has_blue: self.blue[v.index()],
+                        needed_later: self.remaining_uses[v.index()] > 0
+                            || (self.is_required_output[v.index()] && !self.blue[v.index()]),
+                    };
+                    candidates.push(candidate);
+                }
+                let mut remaining = candidates.len();
+                while self.used[pi] + target_free > r + 1e-9 && remaining > 0 {
+                    let mut best = 0usize;
+                    for i in 1..remaining {
+                        if policy.order(&candidates[i], &candidates[best]).is_lt() {
+                            best = i;
+                        }
+                    }
+                    let c = candidates[best];
+                    candidates.swap(best, remaining - 1);
+                    remaining -= 1;
+                    let v = c.node;
+                    // The victim may sit in the spent set (always, under
+                    // reference mode); drop it before the blue flip below
+                    // invalidates its ordering key.
+                    self.spent_remove(pi, v);
+                    // A victim that is still needed and not yet in slow memory must be
+                    // saved before it is deleted (save phase precedes delete phase).
+                    if c.needed_later && !self.blue[v.index()] {
+                        phases.save.push(v);
+                        self.blue[v.index()] = true;
+                    }
+                    phases.delete.push(v);
+                    self.cache_remove(pi, v);
+                    self.used[pi] -= dag.memory_weight(v);
+                }
+                self.scratch_candidates = candidates;
+                self.scratch_parents = keep;
+            }
         }
 
         // Required loads for the next compute step.
@@ -727,21 +910,31 @@ impl ConversionArena {
 
         // Greedy prefetch: extend the loads with the inputs of further compute steps
         // while everything (inputs plus the outputs produced in between) still fits.
+        // Membership in the lookahead window is answered by `virt_mask` in O(1);
+        // the retained linear scan (`reference_conversion_mode`) is the pre-mask
+        // form the bench's reference runs reproduce — both are operation-identical.
         if config.prefetch {
+            let scan = reference_conversion_mode();
             let mut virtually_cached = std::mem::take(&mut self.scratch_nodes2);
             virtually_cached.clear();
             virtually_cached.push(next);
+            if !scan {
+                self.virt_mask[next.index()] = true;
+            }
             let mut extras = std::mem::take(&mut self.scratch_nodes3);
             let mut virtual_used = self.used[pi] + dag.memory_weight(next);
             let mut look = pos + 1;
             while look < self.seq[pi].len() {
                 let w = self.seq[pi][look];
                 extras.clear();
-                extras.extend(
-                    dag.parents(w).filter(|&u| {
-                        !self.cached[base + u.index()] && !virtually_cached.contains(&u)
-                    }),
-                );
+                extras.extend(dag.parents(w).filter(|&u| {
+                    !self.cached[base + u.index()]
+                        && if scan {
+                            !virtually_cached.contains(&u)
+                        } else {
+                            !self.virt_mask[u.index()]
+                        }
+                }));
                 if extras.iter().any(|&u| !self.blue_snapshot[u.index()]) {
                     break;
                 }
@@ -756,7 +949,15 @@ impl ConversionArena {
                 }
                 virtual_used += extra_weight + dag.memory_weight(w);
                 virtually_cached.push(w);
+                if !scan {
+                    self.virt_mask[w.index()] = true;
+                }
                 look += 1;
+            }
+            if !scan {
+                for &v in &virtually_cached {
+                    self.virt_mask[v.index()] = false;
+                }
             }
             self.scratch_nodes2 = virtually_cached;
             self.scratch_nodes3 = extras;
@@ -785,10 +986,71 @@ impl ConversionArena {
         self.cached_list[pi].push(v);
     }
 
+    /// Ordering key of a spent value within [`ConversionArena::spent`]:
+    /// blue-pebbled values first, then heavier values, then smaller node ids —
+    /// exactly the clairvoyant tie-break among candidates whose `next_use` is
+    /// `None`. Weights are non-negative, so `f64::to_bits` is order-preserving
+    /// and its complement sorts heavier values first.
+    #[inline]
+    fn spent_key(&self, v: NodeId) -> (u8, u64, u32) {
+        (
+            !self.blue[v.index()] as u8,
+            !self.mem_weight[v.index()].to_bits(),
+            v.index() as u32,
+        )
+    }
+
+    /// Inserts `v` into `pi`'s spent set (no-op if already present).
+    #[inline]
+    fn spent_insert(&mut self, pi: usize, v: NodeId) {
+        let slot = pi * self.n + v.index();
+        if !self.in_spent[slot] {
+            self.in_spent[slot] = true;
+            let key = self.spent_key(v);
+            self.spent[pi].insert(key);
+        }
+    }
+
+    /// Removes `v` from `pi`'s spent set (no-op if absent). Must run before any
+    /// change to `v`'s blue pebble, while the stored key still matches.
+    #[inline]
+    fn spent_remove(&mut self, pi: usize, v: NodeId) {
+        let slot = pi * self.n + v.index();
+        if self.in_spent[slot] {
+            self.in_spent[slot] = false;
+            let key = self.spent_key(v);
+            let removed = self.spent[pi].remove(&key);
+            debug_assert!(removed, "spent-set key out of sync");
+        }
+    }
+
+    /// Marks `v` as dead on every processor that still caches a copy. Called at
+    /// the two moments a value becomes dead: its last global use is consumed,
+    /// or a required value with no uses left gains its blue pebble. (An
+    /// eviction-save flip needs no call: an unsaved value is cached only on the
+    /// processor evicting it.)
+    fn dead_insert_everywhere(&mut self, v: NodeId) {
+        for pi in 0..self.p {
+            let slot = pi * self.n + v.index();
+            if self.cached[slot] && !self.in_dead[slot] {
+                self.in_dead[slot] = true;
+                self.dead[pi].insert(v.index() as u32);
+            }
+        }
+    }
+
     /// Removes `v` from `pi`'s cache and its dense cached list (O(1) swap-remove).
     #[inline]
     fn cache_remove(&mut self, pi: usize, v: NodeId) {
+        // Evicted values leave the spent and dead sets with the cache (dead
+        // values dropped by `make_room_with_dead_values` are always spent).
+        self.spent_remove(pi, v);
         let slot = pi * self.n + v.index();
+        if self.in_dead[slot] {
+            self.in_dead[slot] = false;
+            let removed = self.dead[pi].remove(&(v.index() as u32));
+            debug_assert!(removed, "dead-set entry out of sync");
+        }
         debug_assert!(self.cached[slot]);
         self.cached[slot] = false;
         let pos = self.list_pos[slot] as usize;
@@ -1247,6 +1509,56 @@ mod tests {
                 &mut out,
             );
             assert_eq!(out, oracle, "{}: arena reuse drifted", inst.name());
+        }
+    }
+
+    #[test]
+    fn reference_conversion_mode_is_operation_identical() {
+        // The retained linear hot loops (full-cache eviction scans, quadratic
+        // prefetch-window scan) must produce byte-identical schedules to the
+        // spent/dead-set and mask fast paths — `bench_pool`'s reference runs
+        // depend on the switch changing timings only. Exercised with and
+        // without prefetch, under both policies, through one reused arena.
+        let sched = GreedyBspScheduler::new();
+        for prefetch in [true, false] {
+            let config = TwoStageConfig { prefetch };
+            for inst in instances() {
+                let bsp = sched.schedule(inst.dag(), inst.arch());
+                let mut arena = ConversionArena::new(inst.dag(), inst.arch());
+                let mut fast = MbspSchedule::new(inst.arch().processors);
+                let mut linear = MbspSchedule::new(inst.arch().processors);
+                let clair = ClairvoyantPolicy::new();
+                let lru = LruPolicy::new();
+                for policy in [&clair as &dyn EvictionPolicy, &lru] {
+                    arena.convert(
+                        inst.dag(),
+                        inst.arch(),
+                        &bsp,
+                        policy,
+                        config,
+                        &[],
+                        &mut fast,
+                    );
+                    set_reference_conversion_mode(true);
+                    arena.convert(
+                        inst.dag(),
+                        inst.arch(),
+                        &bsp,
+                        policy,
+                        config,
+                        &[],
+                        &mut linear,
+                    );
+                    set_reference_conversion_mode(false);
+                    assert_eq!(
+                        fast,
+                        linear,
+                        "{} ({}, prefetch={prefetch}): modes diverged",
+                        inst.name(),
+                        policy.name()
+                    );
+                }
+            }
         }
     }
 

@@ -51,6 +51,7 @@ use crate::engine::{resolve_workers, EvalPath, EvaluationEngine};
 use crate::shard::{merge_outcomes, run_shard, topo_shards, ShardOutcome, ShardedSearchConfig};
 use mbsp_dag::{AcyclicPartition, CompDag, DagDelta, DeltaEffect, NodeId, PkOrder, Result};
 use mbsp_model::{Architecture, MbspSchedule, ProcId};
+use mbsp_pool::WorkerPool;
 use std::time::{Duration, Instant};
 
 /// Configuration of [`IncrementalScheduler`].
@@ -158,6 +159,7 @@ pub struct IncrementalScheduler {
     procs: Vec<ProcId>,
     config: RepairConfig,
     pending: Vec<NodeId>,
+    pool: WorkerPool,
 }
 
 impl IncrementalScheduler {
@@ -180,7 +182,15 @@ impl IncrementalScheduler {
             procs,
             config,
             pending: Vec::new(),
+            pool: WorkerPool::default(),
         }
+    }
+
+    /// Replaces the worker pool the repair searches run on (the default is the
+    /// process-wide [`WorkerPool::shared`](mbsp_pool::WorkerPool::shared) pool).
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The current (mutated) DAG.
@@ -295,35 +305,31 @@ impl IncrementalScheduler {
             // Dirty shards are distributed round-robin over the workers; each
             // shard is seeded by its global index, so the distribution cannot
             // change any result, only the wall-clock.
-            let mut collected: Vec<ShardOutcome> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers.min(dirty.len()).max(1))
-                    .map(|w| {
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            let mut d = w;
-                            while d < dirty_ref.len() {
-                                let s = dirty_ref[d];
-                                local.push(run_shard(
-                                    dag,
-                                    arch,
-                                    partition_ref,
-                                    &parts_ref[s],
-                                    s,
-                                    procs_ref,
-                                    &config,
-                                    deadline,
-                                ));
-                                d += workers;
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("repair worker panicked"))
-                    .collect()
-            });
+            let lanes: Vec<_> = (0..workers.min(dirty.len()).max(1))
+                .map(|w| {
+                    move || {
+                        let mut local = Vec::new();
+                        let mut d = w;
+                        while d < dirty_ref.len() {
+                            let s = dirty_ref[d];
+                            local.push(run_shard(
+                                dag,
+                                arch,
+                                partition_ref,
+                                &parts_ref[s],
+                                s,
+                                procs_ref,
+                                &config,
+                                deadline,
+                            ));
+                            d += workers;
+                        }
+                        local
+                    }
+                })
+                .collect();
+            let mut collected: Vec<ShardOutcome> =
+                self.pool.run_batch(lanes).into_iter().flatten().collect();
             collected.sort_by_key(|o| o.index);
             searched_shards = collected.len();
             search_evaluations = collected.iter().map(|o| o.evaluations).sum();

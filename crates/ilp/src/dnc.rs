@@ -25,6 +25,7 @@ use crate::partition_ilp::{recursive_partition, BipartitionConfig};
 use crate::shard::{part_view, search_view, LocalSearchParams};
 use mbsp_dag::{CompDag, DagLike, NodeId};
 use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId, Superstep};
+use mbsp_pool::WorkerPool;
 use mbsp_sched::{BspScheduler, GreedyBspScheduler, QuotientPlanner};
 use std::time::{Duration, Instant};
 
@@ -69,6 +70,7 @@ impl Default for DivideAndConquerConfig {
 #[derive(Debug, Clone, Default)]
 pub struct DivideAndConquerScheduler {
     config: DivideAndConquerConfig,
+    pool: WorkerPool,
 }
 
 impl DivideAndConquerScheduler {
@@ -79,7 +81,18 @@ impl DivideAndConquerScheduler {
 
     /// Creates a scheduler with an explicit configuration.
     pub fn with_config(config: DivideAndConquerConfig) -> Self {
-        DivideAndConquerScheduler { config }
+        DivideAndConquerScheduler {
+            config,
+            pool: WorkerPool::default(),
+        }
+    }
+
+    /// Replaces the worker pool the per-part searches run on (the default is
+    /// the process-wide [`WorkerPool::shared`](mbsp_pool::WorkerPool::shared)
+    /// pool).
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Schedules the instance. Returns a valid MBSP schedule over the instance's
@@ -104,7 +117,7 @@ impl DivideAndConquerScheduler {
         //    their values are in slow memory when the part runs) and one
         //    engine-backed local search, seeded by restricting a single global
         //    greedy baseline to the part. Parts are independent, so they run
-        //    concurrently on scoped worker threads; results are deterministic
+        //    concurrently on the resident worker pool; results are deterministic
         //    regardless of the worker count.
         let global_baseline = GreedyBspScheduler::new().schedule(dag, arch);
         let global_procs: Vec<ProcId> = dag
@@ -124,14 +137,14 @@ impl DivideAndConquerScheduler {
         }
         let mut sub_schedules: Vec<Option<ScheduledPart>> =
             (0..partition.num_parts()).map(|_| None).collect();
-        let scheduled: Vec<(usize, ScheduledPart)> = std::thread::scope(|scope| {
+        let scheduled: Vec<(usize, ScheduledPart)> = {
             let plan_parts = &plan.parts;
             let parts_ref = &parts;
             let partition_ref = &partition;
             let global_procs_ref: &[ProcId] = &global_procs;
-            let handles: Vec<_> = (0..workers)
+            let lanes: Vec<_> = (0..workers)
                 .map(|w| {
-                    scope.spawn(move || {
+                    move || {
                         let mut out = Vec::new();
                         let mut i = w;
                         while i < plan_parts.len() {
@@ -185,14 +198,11 @@ impl DivideAndConquerScheduler {
                             i += workers;
                         }
                         out
-                    })
+                    }
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("part scheduling worker panicked"))
-                .collect()
-        });
+            self.pool.run_batch(lanes).into_iter().flatten().collect()
+        };
         for (part, scheduled_part) in scheduled {
             sub_schedules[part] = Some(scheduled_part);
         }

@@ -16,16 +16,17 @@
 //!   pre-engine behaviour). Both paths are operation-identical, which the
 //!   differential tests assert; the reference path exists as the oracle and as
 //!   the baseline of `bench_improver`;
-//! * [`evaluate_moves`] — evaluates one round's batch of moves, in parallel via
-//!   `std::thread::scope` with one engine per worker. Candidates are generated up
-//!   front and the winner is chosen by the fixed tie-break order (lowest cost,
-//!   then lowest candidate index), so a fixed seed yields the same search
-//!   trajectory for any worker count.
+//! * [`evaluate_moves`] — evaluates one round's batch of moves, in parallel on
+//!   the resident [`mbsp_pool::WorkerPool`] with one engine per pool task.
+//!   Candidates are generated up front and the winner is chosen by the fixed
+//!   tie-break order (lowest cost, then lowest candidate index), so a fixed seed
+//!   yields the same search trajectory for any worker count.
 
 use crate::improver::{canonical_bsp, reference_post_optimize, PostOptimizer};
 use mbsp_cache::{two_stage, ClairvoyantPolicy, ConversionArena, TwoStageConfig};
 use mbsp_dag::{DagLike, NodeId};
 use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId};
+use mbsp_pool::WorkerPool;
 use mbsp_sched::BspSchedulingResult;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -132,6 +133,14 @@ pub enum EvalPath {
     /// The incremental engine: arena-backed conversion plus incremental cost
     /// deltas in the post-optimiser. The production path.
     Incremental,
+    /// The incremental engine with the pre-segment-tree merge pass: identical
+    /// conversion and cost deltas, but each accepted fold in the per-candidate
+    /// post-optimiser shifts the superstep and cost arrays eagerly
+    /// ([`PostOptimizer::optimize_eager`]) instead of going through the
+    /// `O(log S)` merge session. Kept as the differential oracle and the
+    /// `bench_pool` baseline; candidate costs and schedules are identical to
+    /// [`EvalPath::Incremental`].
+    EagerMerge,
     /// The pre-engine behaviour: a freshly allocated converter and a full
     /// `sync_cost`/`async_cost` re-cost per candidate. Kept as the differential
     /// oracle and the `bench_improver` baseline.
@@ -207,7 +216,7 @@ impl EvaluationEngine {
     ) -> f64 {
         self.evaluations += 1;
         match self.path {
-            EvalPath::Incremental => {
+            EvalPath::Incremental | EvalPath::EagerMerge => {
                 self.arena.convert_assignment(
                     dag,
                     arch,
@@ -217,8 +226,18 @@ impl EvaluationEngine {
                     required_outputs,
                     &mut self.schedule,
                 );
-                self.post
-                    .optimize(&mut self.schedule, dag, arch, cost_model, required_outputs)
+                if self.path == EvalPath::EagerMerge {
+                    self.post.optimize_eager(
+                        &mut self.schedule,
+                        dag,
+                        arch,
+                        cost_model,
+                        required_outputs,
+                    )
+                } else {
+                    self.post
+                        .optimize(&mut self.schedule, dag, arch, cost_model, required_outputs)
+                }
             }
             EvalPath::Reference => {
                 let bsp = canonical_bsp(dag, arch, procs);
@@ -271,7 +290,7 @@ impl EvaluationEngine {
     ) -> f64 {
         self.evaluations += 1;
         match self.path {
-            EvalPath::Incremental => {
+            EvalPath::Incremental | EvalPath::EagerMerge => {
                 self.arena.convert(
                     dag,
                     arch,
@@ -281,8 +300,18 @@ impl EvaluationEngine {
                     required_outputs,
                     &mut self.schedule,
                 );
-                self.post
-                    .optimize(&mut self.schedule, dag, arch, cost_model, required_outputs)
+                if self.path == EvalPath::EagerMerge {
+                    self.post.optimize_eager(
+                        &mut self.schedule,
+                        dag,
+                        arch,
+                        cost_model,
+                        required_outputs,
+                    )
+                } else {
+                    self.post
+                        .optimize(&mut self.schedule, dag, arch, cost_model, required_outputs)
+                }
             }
             EvalPath::Reference => {
                 self.schedule = two_stage::reference::convert(
@@ -337,33 +366,18 @@ pub struct BatchOutcome {
     pub evaluations: u64,
 }
 
-/// Resolves the number of evaluation workers: an explicit positive `configured`
-/// wins; otherwise the `MBSP_BENCH_THREADS` environment variable; otherwise the
-/// machine's available parallelism. Always at least 1.
-pub fn resolve_workers(configured: usize) -> usize {
-    if configured >= 1 {
-        return configured;
-    }
-    let env = std::env::var("MBSP_BENCH_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&t| t >= 1);
-    env.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
-}
+pub use mbsp_pool::resolve_workers;
 
 /// Evaluates one round's batch of candidate moves against the base assignment,
-/// splitting the batch across the given engines on scoped worker threads (one
-/// engine per worker). Returns the winner by the fixed `(cost, index)` tie-break
-/// order, which makes the result independent of the worker count.
+/// splitting the batch across the given engines on the resident worker pool
+/// (one engine per pool task). Returns the winner by the fixed `(cost, index)`
+/// tie-break order, which makes the result independent of the worker count.
 ///
 /// Workers stop evaluating once `deadline` has passed; candidates they skip are
 /// simply not considered (the same truncation the serial loop performed).
 #[allow(clippy::too_many_arguments)]
 pub fn evaluate_moves(
+    pool: &WorkerPool,
     engines: &mut [EvaluationEngine],
     instance: &MbspInstance,
     base_procs: &[ProcId],
@@ -373,6 +387,7 @@ pub fn evaluate_moves(
     deadline: Instant,
 ) -> BatchOutcome {
     evaluate_moves_on(
+        pool,
         engines,
         instance.dag(),
         instance.arch(),
@@ -388,6 +403,74 @@ pub fn evaluate_moves(
 /// share the borrow; both `CompDag` and `SubDagView` qualify).
 #[allow(clippy::too_many_arguments)]
 pub fn evaluate_moves_on<D: DagLike + Sync + ?Sized>(
+    pool: &WorkerPool,
+    engines: &mut [EvaluationEngine],
+    dag: &D,
+    arch: &Architecture,
+    base_procs: &[ProcId],
+    moves: &[Move],
+    cost_model: CostModel,
+    required_outputs: &[NodeId],
+    deadline: Instant,
+) -> BatchOutcome {
+    if moves.is_empty() || engines.is_empty() {
+        return BatchOutcome {
+            winner: None,
+            evaluations: 0,
+        };
+    }
+    let workers = engines.len().min(moves.len());
+    let chunk_size = moves.len().div_ceil(workers);
+    if workers == 1 {
+        let (winner, evaluations) = evaluate_chunk(
+            &mut engines[0],
+            dag,
+            arch,
+            base_procs,
+            moves,
+            0,
+            cost_model,
+            required_outputs,
+            deadline,
+        );
+        return BatchOutcome {
+            winner,
+            evaluations,
+        };
+    }
+    let tasks: Vec<_> = engines[..workers]
+        .iter_mut()
+        .zip(moves.chunks(chunk_size))
+        .enumerate()
+        .map(|(w, (engine, chunk))| {
+            let offset = w * chunk_size;
+            move || {
+                evaluate_chunk(
+                    engine,
+                    dag,
+                    arch,
+                    base_procs,
+                    chunk,
+                    offset,
+                    cost_model,
+                    required_outputs,
+                    deadline,
+                )
+            }
+        })
+        .collect();
+    let results: Vec<(Option<(f64, usize)>, u64)> = pool.run_batch(tasks);
+    reduce_batch(results)
+}
+
+/// The pre-pool scoped-spawn form of [`evaluate_moves_on`], kept as the
+/// differential oracle and the `bench_pool` baseline: every call spawns (and
+/// joins) one OS thread per busy engine instead of reusing the resident
+/// workers — exactly the per-batch overhead the pool removes. The chunking,
+/// deadline handling and `(cost, index)` winner tie-break are identical, so
+/// both forms return the same outcome on the same inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_moves_scoped_on<D: DagLike + Sync + ?Sized>(
     engines: &mut [EvaluationEngine],
     dag: &D,
     arch: &Architecture,
@@ -449,6 +532,12 @@ pub fn evaluate_moves_on<D: DagLike + Sync + ?Sized>(
             .map(|h| h.join().expect("evaluation worker panicked"))
             .collect()
     });
+    reduce_batch(results)
+}
+
+/// Folds the per-worker chunk results into the batch outcome by the fixed
+/// `(cost, candidate index)` tie-break order.
+fn reduce_batch(results: Vec<(Option<(f64, usize)>, u64)>) -> BatchOutcome {
     let mut winner: Option<(f64, usize)> = None;
     let mut evaluations = 0u64;
     for (local, evals) in results {
@@ -593,6 +682,7 @@ mod tests {
                 .map(|_| EvaluationEngine::new(&inst, EvalPath::Incremental))
                 .collect();
             let outcome = evaluate_moves(
+                WorkerPool::shared(),
                 &mut engines,
                 &inst,
                 &procs,
@@ -606,6 +696,54 @@ mod tests {
         }
         assert_eq!(winners[0], winners[1]);
         assert_eq!(winners[0], winners[2]);
+    }
+
+    #[test]
+    fn scoped_spawn_oracle_agrees_with_the_pool_batches() {
+        // The retained spawn-per-batch form must return the same winner and
+        // evaluation count as the resident-pool form, for any worker count.
+        let inst = instance();
+        let dag = inst.dag();
+        let n = dag.num_nodes();
+        let movable: Vec<NodeId> = dag.nodes().filter(|&v| !dag.is_source(v)).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let procs: Vec<ProcId> = (0..n)
+            .map(|i| ProcId::new(i % inst.arch().processors))
+            .collect();
+        let mut moves = Vec::new();
+        while moves.len() < 24 {
+            if let Some(mv) = Move::propose(dag, inst.arch(), &procs, &movable, &mut rng) {
+                moves.push(mv);
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        for workers in [1usize, 3, 8] {
+            let mut engines: Vec<EvaluationEngine> = (0..workers)
+                .map(|_| EvaluationEngine::new(&inst, EvalPath::Incremental))
+                .collect();
+            let pooled = evaluate_moves(
+                WorkerPool::shared(),
+                &mut engines,
+                &inst,
+                &procs,
+                &moves,
+                CostModel::Synchronous,
+                &[],
+                deadline,
+            );
+            let scoped = evaluate_moves_scoped_on(
+                &mut engines,
+                dag,
+                inst.arch(),
+                &procs,
+                &moves,
+                CostModel::Synchronous,
+                &[],
+                deadline,
+            );
+            assert_eq!(pooled.evaluations, scoped.evaluations);
+            assert_eq!(pooled.winner, scoped.winner, "{workers} workers");
+        }
     }
 
     #[test]

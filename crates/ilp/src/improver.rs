@@ -28,6 +28,7 @@ use mbsp_model::{
     Architecture, BspSchedule, Configuration, CostModel, MbspInstance, MbspSchedule, ParentMasks,
     ProcId, ScheduleEvaluator, Superstep,
 };
+use mbsp_pool::WorkerPool;
 use mbsp_sched::BspSchedulingResult;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,6 +72,7 @@ impl Default for HolisticConfig {
 #[derive(Debug, Clone, Default)]
 pub struct HolisticScheduler {
     config: HolisticConfig,
+    pool: WorkerPool,
 }
 
 impl HolisticScheduler {
@@ -81,7 +83,17 @@ impl HolisticScheduler {
 
     /// Creates a scheduler with an explicit configuration.
     pub fn with_config(config: HolisticConfig) -> Self {
-        HolisticScheduler { config }
+        HolisticScheduler {
+            config,
+            pool: WorkerPool::default(),
+        }
+    }
+
+    /// Replaces the worker pool the candidate batches run on (the default is
+    /// the process-wide [`WorkerPool::shared`] pool).
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Improves on the given baseline scheduling result and returns the best MBSP
@@ -165,6 +177,7 @@ impl HolisticScheduler {
                     }
                 }
                 let outcome = evaluate_moves(
+                    &self.pool,
                     &mut engines,
                     instance,
                     &procs,
@@ -358,6 +371,54 @@ impl PostOptimizer {
         self.merge_supersteps(schedule, dag, arch, cost_model)
     }
 
+    /// [`PostOptimizer::optimize`] with the pre-segment-tree merge loop, kept as
+    /// the differential oracle and the `bench_pool` baseline: each fold decision
+    /// uses the same `O(P)` evaluator deltas, but an accepted fold compacts the
+    /// superstep and per-superstep cost arrays **eagerly** — an `O(S · P)` shift
+    /// per fold, so a pass that folds most of an `S`-superstep schedule costs
+    /// `O(S² · P)` where the merge session costs `O(S log S + S · P)`. The fold
+    /// decisions, the optimised schedule and the returned cost are identical.
+    pub fn optimize_eager<D: DagLike + ?Sized>(
+        &mut self,
+        schedule: &mut MbspSchedule,
+        dag: &D,
+        arch: &Architecture,
+        cost_model: CostModel,
+        required_outputs: &[NodeId],
+    ) -> f64 {
+        self.required.fill(false);
+        self.last_load.fill(None);
+        remove_redundant_saves_into(
+            schedule,
+            dag,
+            required_outputs,
+            &mut self.required,
+            &mut self.last_load,
+        );
+        schedule.remove_empty_supersteps();
+        match cost_model {
+            CostModel::Synchronous => {
+                self.evaluator.rebuild(schedule, dag);
+                self.prefix.reset_initial(dag);
+                let mut k = 0usize;
+                while k + 1 < schedule.num_supersteps() {
+                    if self.evaluator.merged_cost(k) <= self.evaluator.separate_cost(k) + 1e-9
+                        && self.try_fold_pair(schedule, dag, arch, k, k + 1)
+                    {
+                        fold_superstep(schedule, k);
+                        self.evaluator.apply_merge(k);
+                        continue;
+                    }
+                    apply_step_unchecked(&mut self.prefix, &schedule.supersteps()[k], dag);
+                    k += 1;
+                }
+                self.evaluator.total()
+            }
+            // The asynchronous arm never used the session; share it.
+            CostModel::Asynchronous => self.merge_supersteps(schedule, dag, arch, cost_model),
+        }
+    }
+
     /// Greedily merges adjacent supersteps whenever the merged schedule remains
     /// valid and its cost does not increase; returns the final cost.
     ///
@@ -370,9 +431,21 @@ impl PostOptimizer {
     /// after the original pair — the common case, checked exactly — the suffix of
     /// the schedule cannot be affected and is not re-simulated at all; otherwise
     /// the check falls back to simulating the suffix, which is still
-    /// allocation-free. The asynchronous makespan has no per-superstep
-    /// decomposition, so that model keeps the full re-evaluation through the
-    /// scratch schedule.
+    /// allocation-free.
+    ///
+    /// Structural bookkeeping goes through the evaluator's **merge session**
+    /// (segment tree over alive supersteps): each accepted fold marks its
+    /// victim dead in O(log S) and empties it in place instead of shifting the
+    /// superstep and cost arrays by O(S), so a pass that folds most of a
+    /// thousands-of-supersteps schedule is O(S log S + S · P) instead of
+    /// O(S² · P); dead steps are compacted away once at the end. The decision
+    /// arithmetic of the session pairs is form-identical to the eager
+    /// [`ScheduleEvaluator::merged_cost`]/[`ScheduleEvaluator::separate_cost`]
+    /// path, so the folds taken — and the resulting schedule and cost — are
+    /// bit-for-bit unchanged (the differential tests against
+    /// [`reference_post_optimize`] pin this down). The asynchronous makespan
+    /// has no per-superstep decomposition, so that model keeps the full
+    /// re-evaluation through the scratch schedule and the eager fold.
     fn merge_supersteps<D: DagLike + ?Sized>(
         &mut self,
         schedule: &mut MbspSchedule,
@@ -383,22 +456,36 @@ impl PostOptimizer {
         match cost_model {
             CostModel::Synchronous => {
                 self.evaluator.rebuild(schedule, dag);
+                self.evaluator.begin_merge();
                 self.prefix.reset_initial(dag);
                 let mut k = 0usize;
-                while k + 1 < schedule.num_supersteps() {
-                    // Cost of the two steps separately vs merged; all other
-                    // supersteps are untouched by the fold.
-                    if self.evaluator.merged_cost(k) <= self.evaluator.separate_cost(k) + 1e-9
-                        && self.try_fold(schedule, dag, arch, k)
+                while let Some(j) = self.evaluator.next_alive_after(k) {
+                    // Cost of the two alive steps separately vs merged; all
+                    // other supersteps are untouched by the fold.
+                    if self.evaluator.merged_cost_pair(k, j)
+                        <= self.evaluator.separate_cost_pair(k, j) + 1e-9
+                        && self.try_fold_pair(schedule, dag, arch, k, j)
                     {
-                        fold_superstep(schedule, k);
-                        self.evaluator.apply_merge(k);
-                        // Stay at the same index: further merges may now be possible.
+                        fold_superstep_pair(schedule, k, j);
+                        self.evaluator.apply_merge_pair(k, j);
+                        // Stay at the same step: further merges may now be possible.
                         continue;
                     }
                     apply_step_unchecked(&mut self.prefix, &schedule.supersteps()[k], dag);
-                    k += 1;
+                    k = j;
                 }
+                // Compact: drop exactly the folded-away (now empty) steps.
+                // Fold-free passes skip the sweep — nothing was emptied.
+                if self.evaluator.merge_alive_count() < schedule.num_supersteps() {
+                    let evaluator = &self.evaluator;
+                    let mut idx = 0usize;
+                    schedule.supersteps_mut().retain(|_| {
+                        let keep = evaluator.merge_alive(idx);
+                        idx += 1;
+                        keep
+                    });
+                }
+                self.evaluator.finish_merge();
                 self.evaluator.total()
             }
             CostModel::Asynchronous => {
@@ -422,16 +509,18 @@ impl PostOptimizer {
         }
     }
 
-    /// Decides whether folding superstep `k + 1` into `k` keeps the schedule
-    /// valid, with exactly the same outcome as validating the folded schedule
-    /// from scratch (the supersteps before `k` are untouched by the fold, so
-    /// their simulation is the cached `prefix`).
-    fn try_fold<D: DagLike + ?Sized>(
+    /// Decides whether folding superstep `j` into `k` (the next alive step and
+    /// its alive successor in the merge session — any steps in between are dead
+    /// and empty) keeps the schedule valid, with exactly the same outcome as
+    /// validating the folded schedule from scratch (the supersteps before `k`
+    /// are untouched by the fold, so their simulation is the cached `prefix`).
+    fn try_fold_pair<D: DagLike + ?Sized>(
         &mut self,
         schedule: &MbspSchedule,
         dag: &D,
         arch: &Architecture,
         k: usize,
+        j: usize,
     ) -> bool {
         let steps = schedule.supersteps();
         let p = schedule.processors();
@@ -439,10 +528,10 @@ impl PostOptimizer {
         // Simulate the merged superstep with full precondition checks, in
         // validation order: the compute phases of every processor, then the save,
         // delete and load phases (each processor's folded phase list is the
-        // concatenation of its step-k and step-k+1 lists).
+        // concatenation of its step-k and step-j lists).
         for pi in 0..p {
             let proc = ProcId::new(pi);
-            for phases in [&steps[k].procs[pi], &steps[k + 1].procs[pi]] {
+            for phases in [&steps[k].procs[pi], &steps[j].procs[pi]] {
                 for &c in &phases.compute {
                     let ok = match c {
                         mbsp_model::ComputePhaseStep::Compute(v) => {
@@ -461,7 +550,7 @@ impl PostOptimizer {
         }
         for pi in 0..p {
             let proc = ProcId::new(pi);
-            for phases in [&steps[k].procs[pi], &steps[k + 1].procs[pi]] {
+            for phases in [&steps[k].procs[pi], &steps[j].procs[pi]] {
                 for &v in &phases.save {
                     if !self.trial.try_save(proc, v) {
                         return false;
@@ -471,7 +560,7 @@ impl PostOptimizer {
         }
         for pi in 0..p {
             let proc = ProcId::new(pi);
-            for phases in [&steps[k].procs[pi], &steps[k + 1].procs[pi]] {
+            for phases in [&steps[k].procs[pi], &steps[j].procs[pi]] {
                 for &v in &phases.delete {
                     if !self.trial.try_delete(dag, proc, v) {
                         return false;
@@ -481,7 +570,7 @@ impl PostOptimizer {
         }
         for pi in 0..p {
             let proc = ProcId::new(pi);
-            for phases in [&steps[k].procs[pi], &steps[k + 1].procs[pi]] {
+            for phases in [&steps[k].procs[pi], &steps[j].procs[pi]] {
                 for &v in &phases.load {
                     if !self.trial.try_load(dag, arch, proc, v) {
                         return false;
@@ -491,18 +580,22 @@ impl PostOptimizer {
         }
         // Fast accept: if the configuration after the merged step equals the
         // configuration after the original pair (compared exactly, floats
-        // included), the remaining supersteps see an identical state and stay
-        // valid because the current schedule is valid.
+        // included — `state_eq` is the chunked-kernel form of the derived
+        // `PartialEq`), the remaining supersteps see an identical state and
+        // stay valid because the current schedule is valid.
         self.unfolded.copy_from(&self.prefix);
         apply_step_unchecked(&mut self.unfolded, &steps[k], dag);
-        apply_step_unchecked(&mut self.unfolded, &steps[k + 1], dag);
-        if self.trial == self.unfolded {
+        apply_step_unchecked(&mut self.unfolded, &steps[j], dag);
+        if self.trial.state_eq(&self.unfolded) {
             return true;
         }
         // Rare slow path: the fold reordered a delete/load pair and changed the
         // state, so re-simulate the suffix (still allocation-free) and re-check
         // the terminal condition.
-        for step in &steps[k + 2..] {
+        // Dead (already-folded) steps are empty and therefore no-ops under the
+        // checked application, so walking the raw suffix is equivalent to
+        // walking the alive suffix.
+        for step in &steps[j + 1..] {
             if !apply_step_checked(&mut self.trial, step, dag, arch, &self.masks) {
                 return false;
             }
@@ -768,7 +861,10 @@ fn copy_schedule_into(dst: &mut MbspSchedule, src: &MbspSchedule) {
 }
 
 /// Folds superstep `k + 1` into superstep `k` in place (phase lists
-/// concatenated per processor), removing step `k + 1`.
+/// concatenated per processor), removing step `k + 1`. O(S) per fold (the
+/// `Vec::remove` shift) — the asynchronous merge pass and the reference pass
+/// keep this form; the synchronous session pass uses
+/// [`fold_superstep_pair`] instead.
 fn fold_superstep(schedule: &mut MbspSchedule, k: usize) {
     let steps = schedule.supersteps_mut();
     let removed = steps.remove(k + 1);
@@ -778,6 +874,26 @@ fn fold_superstep(schedule: &mut MbspSchedule, k: usize) {
         t.save.extend(phases.save);
         t.delete.extend(phases.delete);
         t.load.extend(phases.load);
+    }
+}
+
+/// Folds superstep `j` into superstep `k` in place, leaving step `j` behind
+/// **empty** instead of removing it — the O(phase-lists) counterpart of
+/// [`fold_superstep`] for the merge session, where dead (emptied) steps are
+/// skipped via the evaluator's alive tree and compacted away once at the end
+/// of the pass.
+fn fold_superstep_pair(schedule: &mut MbspSchedule, k: usize, j: usize) {
+    debug_assert!(k < j);
+    let steps = schedule.supersteps_mut();
+    let (head, tail) = steps.split_at_mut(j);
+    let src = &mut tail[0];
+    let dst = &mut head[k];
+    for (pi, phases) in src.procs.iter_mut().enumerate() {
+        let t = &mut dst.procs[pi];
+        t.compute.append(&mut phases.compute);
+        t.save.append(&mut phases.save);
+        t.delete.append(&mut phases.delete);
+        t.load.append(&mut phases.load);
     }
 }
 
@@ -983,6 +1099,45 @@ mod tests {
                 let mut reference = schedule;
                 reference_post_optimize(&mut reference, inst.dag(), inst.arch(), cost_model, &[]);
                 assert_eq!(fast, reference, "{} {cost_model}", inst.name());
+            }
+        }
+    }
+
+    #[test]
+    fn segment_tree_merge_matches_the_eager_merge_exactly() {
+        // The merge session (lazy O(log S) deletions over the alive tree) and
+        // the retained eager pass (O(S · P) shifts per fold) must take the same
+        // folds and produce byte-identical schedules and bit-identical costs.
+        let greedy = GreedyBspScheduler::new();
+        let converter = TwoStageScheduler::new();
+        let policy = ClairvoyantPolicy::new();
+        for inst in tiny_instances(6) {
+            for cost_model in [CostModel::Synchronous, CostModel::Asynchronous] {
+                let baseline = greedy.schedule(inst.dag(), inst.arch());
+                let schedule = converter.schedule(inst.dag(), inst.arch(), &baseline, &policy);
+                let mut session = schedule.clone();
+                let session_cost = PostOptimizer::new(inst.dag(), inst.arch()).optimize(
+                    &mut session,
+                    inst.dag(),
+                    inst.arch(),
+                    cost_model,
+                    &[],
+                );
+                let mut eager = schedule;
+                let eager_cost = PostOptimizer::new(inst.dag(), inst.arch()).optimize_eager(
+                    &mut eager,
+                    inst.dag(),
+                    inst.arch(),
+                    cost_model,
+                    &[],
+                );
+                assert_eq!(session, eager, "{} {cost_model}", inst.name());
+                assert_eq!(
+                    session_cost.to_bits(),
+                    eager_cost.to_bits(),
+                    "{} {cost_model}: session {session_cost} vs eager {eager_cost}",
+                    inst.name()
+                );
             }
         }
     }

@@ -36,6 +36,7 @@
 use crate::engine::{evaluate_moves_on, resolve_workers, EvalPath, EvaluationEngine, Move};
 use mbsp_dag::{AcyclicPartition, CompDag, DagLike, NodeId, SubDagView, TopologicalOrder};
 use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId};
+use mbsp_pool::WorkerPool;
 use mbsp_sched::BspSchedulingResult;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -247,7 +248,10 @@ pub fn search_view(
                     moves.push(mv);
                 }
             }
+            // One engine means the batch runs inline on this thread — the pool
+            // handle is never exercised (shards already saturate the workers).
             let outcome = evaluate_moves_on(
+                WorkerPool::shared(),
                 &mut engines,
                 view,
                 arch,
@@ -401,10 +405,11 @@ pub(crate) fn merge_outcomes(
 }
 
 /// The sharded holistic scheduler: partition, per-shard engine-backed search on
-/// scoped worker threads, deterministic boundary-repaired merge.
+/// the resident worker pool, deterministic boundary-repaired merge.
 #[derive(Debug, Clone, Default)]
 pub struct ShardedHolisticScheduler {
     config: ShardedSearchConfig,
+    pool: WorkerPool,
 }
 
 impl ShardedHolisticScheduler {
@@ -415,7 +420,17 @@ impl ShardedHolisticScheduler {
 
     /// Creates a scheduler with an explicit configuration.
     pub fn with_config(config: ShardedSearchConfig) -> Self {
-        ShardedHolisticScheduler { config }
+        ShardedHolisticScheduler {
+            config,
+            pool: WorkerPool::default(),
+        }
+    }
+
+    /// Replaces the worker pool the shard searches run on (the default is the
+    /// process-wide [`WorkerPool::shared`] pool).
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// Improves on the given baseline and returns the best schedule found. The
@@ -488,34 +503,30 @@ impl ShardedHolisticScheduler {
             // search is self-contained and seeded by its own index, so the
             // distribution (and therefore the worker count) cannot change any
             // result, only the wall-clock.
-            let mut collected: Vec<ShardOutcome> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            let mut s = w;
-                            while s < k {
-                                local.push(run_shard(
-                                    dag,
-                                    arch,
-                                    partition_ref,
-                                    &parts_ref[s],
-                                    s,
-                                    procs_ref,
-                                    &config,
-                                    deadline,
-                                ));
-                                s += workers;
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            });
+            let lanes: Vec<_> = (0..workers)
+                .map(|w| {
+                    move || {
+                        let mut local = Vec::new();
+                        let mut s = w;
+                        while s < k {
+                            local.push(run_shard(
+                                dag,
+                                arch,
+                                partition_ref,
+                                &parts_ref[s],
+                                s,
+                                procs_ref,
+                                &config,
+                                deadline,
+                            ));
+                            s += workers;
+                        }
+                        local
+                    }
+                })
+                .collect();
+            let mut collected: Vec<ShardOutcome> =
+                self.pool.run_batch(lanes).into_iter().flatten().collect();
             collected.sort_by_key(|o| o.index);
             outcomes = collected;
         }

@@ -25,7 +25,7 @@ fn sharded_search_is_byte_identical_across_worker_counts() {
         let baseline = greedy.schedule(inst.dag(), inst.arch());
         let mut schedules = Vec::new();
         let mut costs = Vec::new();
-        for workers in [1usize, 2, 4] {
+        for workers in [1usize, 2, 4, 8] {
             let sharded = ShardedHolisticScheduler::with_config(ShardedSearchConfig {
                 num_shards: 4,
                 workers,
@@ -52,8 +52,16 @@ fn sharded_search_is_byte_identical_across_worker_counts() {
             "{}: 1-worker and 4-worker sharded searches diverged",
             inst.name()
         );
+        assert_eq!(
+            schedules[0],
+            schedules[3],
+            "{}: 1-worker and 8-worker sharded searches diverged (pool oversubscribed \
+             beyond the shard count)",
+            inst.name()
+        );
         assert!((costs[0] - costs[1]).abs() < 1e-12);
         assert!((costs[0] - costs[2]).abs() < 1e-12);
+        assert!((costs[0] - costs[3]).abs() < 1e-12);
     }
 }
 

@@ -62,6 +62,16 @@ pub struct ScheduleEvaluator {
     epoch: u64,
     /// Indices of the currently dirty supersteps, in marking order.
     dirty: Vec<u32>,
+    /// Per-superstep liveness of the current merge session (all `true` outside
+    /// one); rows of folded-away supersteps go dead instead of being drained.
+    alive: Vec<bool>,
+    /// Segment tree over the alive flags: `tree[i]` counts the alive leaves
+    /// under node `i` (1-based heap layout, leaves at `tree_base..`), so the
+    /// next alive superstep after any index is an O(log S) descent and a fold
+    /// is an O(log S) path update instead of an O(S) array shift.
+    tree: Vec<u32>,
+    /// Index of the first leaf of `tree` (the leaf count, a power of two).
+    tree_base: usize,
 }
 
 impl Default for ScheduleEvaluator {
@@ -80,6 +90,9 @@ impl Default for ScheduleEvaluator {
             // Starts above every fresh stamp (0), so new supersteps are clean.
             epoch: 1,
             dirty: Vec::new(),
+            alive: Vec::new(),
+            tree: Vec::new(),
+            tree_base: 0,
         }
     }
 }
@@ -173,12 +186,22 @@ impl ScheduleEvaluator {
 
     /// Drops the cached costs of superstep `k` (after the caller removed that
     /// superstep from the schedule).
+    ///
+    /// This is an **O(S · P)** structural edit: every row behind `k` shifts
+    /// forward, exactly mirroring the `Vec::remove` the caller performed on the
+    /// schedule. Fine for occasional edits; a merge pass that folds many of `S`
+    /// supersteps should use the [`ScheduleEvaluator::begin_merge`] session,
+    /// whose lazy deletions cost O(log S) per fold instead.
     pub fn remove_superstep(&mut self, k: usize) {
         // Structural edits would shift the indices queued in the dirty set;
         // callers must refresh (or clear) dirty marks first.
         debug_assert!(
             self.dirty.is_empty(),
             "refresh_dirty/clear_dirty before structurally editing the schedule"
+        );
+        debug_assert!(
+            self.alive.is_empty(),
+            "finish_merge before structurally editing the schedule"
         );
         let base = k * self.procs;
         self.comp.drain(base..base + self.procs);
@@ -296,7 +319,13 @@ impl ScheduleEvaluator {
     }
 
     /// Folds the cached costs of superstep `k + 1` into `k` (mirroring the same
-    /// fold applied to the schedule) and removes row `k + 1`. O(P).
+    /// fold applied to the schedule) and removes row `k + 1`.
+    ///
+    /// O(P) for the re-max plus the **O(S · P)** shift of
+    /// [`ScheduleEvaluator::remove_superstep`] — the merge-session form
+    /// ([`ScheduleEvaluator::apply_merge_pair`]) replaces the shift with an
+    /// O(log S) lazy deletion and is what the post-optimiser's merge pass uses;
+    /// this eager form stays as its differential oracle.
     pub fn apply_merge(&mut self, k: usize) {
         let mut max_c: f64 = 0.0;
         let mut max_s: f64 = 0.0;
@@ -315,6 +344,197 @@ impl ScheduleEvaluator {
         self.max_save[k] = max_s;
         self.max_load[k] = max_l;
         self.remove_superstep(k + 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Merge sessions: O(log S) fold bookkeeping for the post-optimiser.
+    //
+    // A greedy merge pass over a schedule with thousands of supersteps folds
+    // O(S) times; with the eager `apply_merge` each fold pays an O(S) array
+    // shift, making the pass quadratic. A session replaces the shifts with
+    // lazy deletion: folded-away rows are marked dead in a segment tree of
+    // alive counts, "the superstep after k" becomes an O(log S) tree descent
+    // ([`ScheduleEvaluator::next_alive_after`]) and the arrays are compacted
+    // once at [`ScheduleEvaluator::finish_merge`]. The per-row arithmetic of
+    // `merged_cost_pair`/`separate_cost_pair`/`apply_merge_pair` is
+    // form-identical to the eager pair forms on compacted arrays, so every
+    // fold decision — and therefore the final schedule and its cost — is
+    // bit-for-bit the same; the eager path stays as the differential oracle.
+    // ------------------------------------------------------------------
+
+    /// Opens a merge session over the currently cached supersteps: every row
+    /// starts alive, and the alive-count segment tree is (re)built in O(S).
+    /// Pair with [`ScheduleEvaluator::finish_merge`]; structural edits outside
+    /// the session API are not allowed while one is open.
+    pub fn begin_merge(&mut self) {
+        debug_assert!(
+            self.dirty.is_empty(),
+            "refresh_dirty/clear_dirty before a merge session"
+        );
+        let s = self.num_supersteps();
+        self.alive.clear();
+        self.alive.resize(s, true);
+        self.tree_base = s.next_power_of_two().max(1);
+        self.tree.clear();
+        self.tree.resize(2 * self.tree_base, 0);
+        for leaf in 0..s {
+            self.tree[self.tree_base + leaf] = 1;
+        }
+        for i in (1..self.tree_base).rev() {
+            self.tree[i] = self.tree[2 * i] + self.tree[2 * i + 1];
+        }
+    }
+
+    /// Is superstep `k` still alive in the current merge session?
+    pub fn merge_alive(&self, k: usize) -> bool {
+        self.alive[k]
+    }
+
+    /// The smallest alive superstep index strictly greater than `k`, or `None`
+    /// if every later superstep has been folded away. O(log S): one walk up
+    /// the alive-count tree to the first right-hand subtree containing an
+    /// alive leaf, one descent to its leftmost alive leaf.
+    pub fn next_alive_after(&self, k: usize) -> Option<usize> {
+        let s = self.num_supersteps();
+        if k + 1 >= s {
+            return None;
+        }
+        let mut node = self.tree_base + k + 1;
+        loop {
+            if self.tree[node] > 0 {
+                // Descend to the leftmost alive leaf of this subtree.
+                while node < self.tree_base {
+                    node *= 2;
+                    if self.tree[node] == 0 {
+                        node += 1;
+                    }
+                }
+                return Some(node - self.tree_base);
+            }
+            // Climb out of exhausted right spines, then step to the sibling on
+            // the right; reaching the root means no alive leaf remains.
+            while node % 2 == 1 {
+                node /= 2;
+                if node <= 1 {
+                    return None;
+                }
+            }
+            node += 1;
+        }
+    }
+
+    /// Combined synchronous cost of alive supersteps `k` and `j` kept separate
+    /// — the session form of [`ScheduleEvaluator::separate_cost`], identical
+    /// arithmetic with `j` in place of `k + 1`.
+    pub fn separate_cost_pair(&self, k: usize, j: usize) -> f64 {
+        debug_assert!(self.alive[k] && self.alive[j]);
+        self.max_comp[k]
+            + self.max_save[k]
+            + self.max_load[k]
+            + self.max_comp[j]
+            + self.max_save[j]
+            + self.max_load[j]
+            + self.latency
+    }
+
+    /// Synchronous cost of the superstep that would result from folding alive
+    /// superstep `j` into `k` — the session form of
+    /// [`ScheduleEvaluator::merged_cost`], identical arithmetic with `j` in
+    /// place of `k + 1`.
+    pub fn merged_cost_pair(&self, k: usize, j: usize) -> f64 {
+        debug_assert!(self.alive[k] && self.alive[j]);
+        let a = k * self.procs;
+        let b = j * self.procs;
+        let mut max_c: f64 = 0.0;
+        let mut max_s: f64 = 0.0;
+        let mut max_l: f64 = 0.0;
+        for pi in 0..self.procs {
+            max_c = max_c.max(self.comp[a + pi] + self.comp[b + pi]);
+            max_s = max_s.max(self.save[a + pi] + self.save[b + pi]);
+            max_l = max_l.max(self.load[a + pi] + self.load[b + pi]);
+        }
+        max_c + max_s + max_l
+    }
+
+    /// Folds the cached costs of alive superstep `j` into `k` and marks `j`
+    /// dead: the same row additions and re-max as
+    /// [`ScheduleEvaluator::apply_merge`], but the dead row is lazily deleted
+    /// through the segment tree — O(P + log S), no array shift. The dead row's
+    /// stale values are never read again (session accessors only ever take
+    /// alive indices).
+    pub fn apply_merge_pair(&mut self, k: usize, j: usize) {
+        debug_assert!(self.alive[k] && self.alive[j] && k < j);
+        let mut max_c: f64 = 0.0;
+        let mut max_s: f64 = 0.0;
+        let mut max_l: f64 = 0.0;
+        for pi in 0..self.procs {
+            let a = k * self.procs + pi;
+            let b = j * self.procs + pi;
+            self.comp[a] += self.comp[b];
+            self.save[a] += self.save[b];
+            self.load[a] += self.load[b];
+            max_c = max_c.max(self.comp[a]);
+            max_s = max_s.max(self.save[a]);
+            max_l = max_l.max(self.load[a]);
+        }
+        self.max_comp[k] = max_c;
+        self.max_save[k] = max_s;
+        self.max_load[k] = max_l;
+        self.alive[j] = false;
+        let mut node = self.tree_base + j;
+        while node >= 1 {
+            self.tree[node] -= 1;
+            node /= 2;
+        }
+    }
+
+    /// Closes the merge session: compacts every cached array down to the alive
+    /// rows (one O(S · P) pass — paid once per pass instead of once per fold)
+    /// and releases the session state. The evaluator afterwards mirrors the
+    /// compacted schedule exactly as an eager-merge evaluator would.
+    pub fn finish_merge(&mut self) {
+        let procs = self.procs;
+        let s = self.alive.len();
+        // Fast exit for the (common) fold-free session: every row is alive, the
+        // arrays are already compact, and only the session state needs clearing.
+        // The buffers keep their capacity either way — a post-optimiser reuses
+        // one evaluator across thousands of candidate schedules.
+        if self.merge_alive_count() < s {
+            let mut kept = 0usize;
+            for k in 0..s {
+                if !self.alive[k] {
+                    continue;
+                }
+                if kept != k {
+                    for pi in 0..procs {
+                        self.comp[kept * procs + pi] = self.comp[k * procs + pi];
+                        self.save[kept * procs + pi] = self.save[k * procs + pi];
+                        self.load[kept * procs + pi] = self.load[k * procs + pi];
+                    }
+                    self.max_comp[kept] = self.max_comp[k];
+                    self.max_save[kept] = self.max_save[k];
+                    self.max_load[kept] = self.max_load[k];
+                    self.stamp[kept] = self.stamp[k];
+                }
+                kept += 1;
+            }
+            self.comp.truncate(kept * procs);
+            self.save.truncate(kept * procs);
+            self.load.truncate(kept * procs);
+            self.max_comp.truncate(kept);
+            self.max_save.truncate(kept);
+            self.max_load.truncate(kept);
+            self.stamp.truncate(kept);
+        }
+        self.alive.clear();
+        self.tree.clear();
+        self.tree_base = 0;
+    }
+
+    /// Number of supersteps still alive in the current merge session (the root
+    /// of the alive-count tree).
+    pub fn merge_alive_count(&self) -> usize {
+        self.tree.get(1).map_or(0, |&n| n as usize)
     }
 
     /// Total synchronous cost of the cached schedule. Accumulates the per-phase
@@ -509,6 +729,70 @@ mod tests {
         eval.clear_dirty();
         assert_eq!(eval.num_dirty(), 0);
         assert!(!eval.is_dirty(1));
+    }
+
+    #[test]
+    fn merge_session_replays_the_eager_merge_exactly() {
+        // Replay the same greedy fold sequence through the eager O(S)-shift
+        // API and the segment-tree session API; every intermediate decision
+        // quantity and the final totals must agree bit for bit.
+        let dag = diamond();
+        let arch = arch();
+        let sched = schedule();
+        let mut eager = ScheduleEvaluator::of(&sched, &dag, &arch);
+        let mut session = ScheduleEvaluator::of(&sched, &dag, &arch);
+        session.begin_merge();
+
+        // Fold step 1 into step 0, then step 2 (now the eager step 1) into 0.
+        let j = session.next_alive_after(0).unwrap();
+        assert_eq!(j, 1);
+        assert_eq!(session.merged_cost_pair(0, j), eager.merged_cost(0));
+        assert_eq!(session.separate_cost_pair(0, j), eager.separate_cost(0));
+        session.apply_merge_pair(0, j);
+        eager.apply_merge(0);
+
+        let j = session.next_alive_after(0).unwrap();
+        assert_eq!(j, 2); // eager index 1 is session index 2 (1 is dead)
+        assert!(session.merge_alive(0) && !session.merge_alive(1));
+        assert_eq!(session.merged_cost_pair(0, j), eager.merged_cost(0));
+        assert_eq!(session.separate_cost_pair(0, j), eager.separate_cost(0));
+        session.apply_merge_pair(0, j);
+        eager.apply_merge(0);
+
+        assert_eq!(session.next_alive_after(0), None);
+        session.finish_merge();
+        assert_eq!(session.num_supersteps(), eager.num_supersteps());
+        assert_eq!(session.total(), eager.total());
+        for k in 0..eager.num_supersteps() {
+            assert_eq!(session.step_cost(k), eager.step_cost(k));
+        }
+    }
+
+    #[test]
+    fn next_alive_descent_crosses_tree_levels() {
+        // 9 supersteps force a 16-leaf tree; kill everything between 0 and 8
+        // so the successor walk has to climb to the root and descend the far
+        // subtree.
+        let dag = diamond();
+        let arch = arch();
+        let mut sched = MbspSchedule::new(2);
+        for _ in 0..9 {
+            sched.push_empty_superstep();
+        }
+        let mut eval = ScheduleEvaluator::of(&sched, &dag, &arch);
+        eval.begin_merge();
+        for j in 1..8 {
+            let next = eval.next_alive_after(0).unwrap();
+            assert_eq!(next, j);
+            eval.apply_merge_pair(0, j);
+        }
+        assert_eq!(eval.next_alive_after(0), Some(8));
+        assert_eq!(eval.next_alive_after(7), Some(8));
+        assert_eq!(eval.next_alive_after(8), None);
+        eval.apply_merge_pair(0, 8);
+        assert_eq!(eval.next_alive_after(0), None);
+        eval.finish_merge();
+        assert_eq!(eval.num_supersteps(), 1);
     }
 
     #[test]

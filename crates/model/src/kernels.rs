@@ -1,0 +1,213 @@
+//! Chunked word-loop kernels for the pebble bitsets.
+//!
+//! The hot paths of candidate evaluation spend their time in three word-level
+//! operations over the packed red/blue bitsets of [`crate::Configuration`]:
+//! population counts (cache occupancy), whole-state equality (the
+//! post-optimiser's exact fast-accept) and the `parents ⊆ R_p` subset test of
+//! [`crate::Configuration::try_compute_masked`]. The straightforward
+//! one-word-at-a-time loops compile to serial scalar code; the kernels here
+//! process the words in fixed-size chunks (`chunks_exact`) with a branch-free
+//! accumulator per chunk, which LLVM unrolls and — on SIMD targets —
+//! autovectorizes, while the per-chunk early exits keep the expected cost of
+//! failing subset/equality tests as low as the scalar loop's.
+//!
+//! Every kernel keeps its one-word-at-a-time predecessor as `*_scalar` next to
+//! it: the scalar forms are the differential oracles of
+//! `tests/kernel_differential.rs` (seeded random word slices, both paths must
+//! agree exactly) and document the semantics the chunked loops must preserve.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, every chunked kernel routes to its `*_scalar` oracle instead.
+///
+/// This exists for one caller: `bench_pool`'s reference runs, which reproduce
+/// the pre-kernel "current path" end to end (scoped spawns + eager merge +
+/// one-word-at-a-time loops). Production code never sets it; the relaxed load
+/// it costs per kernel call is a single predictable branch.
+static SCALAR_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Route every chunked kernel through its retained scalar oracle (`true`) or
+/// the chunked fast path (`false`, the default). Bench/differential use only;
+/// both settings produce bit-identical results.
+pub fn set_scalar_mode(enabled: bool) {
+    SCALAR_MODE.store(enabled, Ordering::Relaxed);
+}
+
+/// Is [`set_scalar_mode`] currently routing kernels to the scalar oracles?
+#[inline]
+pub fn scalar_mode() -> bool {
+    SCALAR_MODE.load(Ordering::Relaxed)
+}
+
+/// Words per chunk of [`words_equal`] and [`popcount_words`]. Eight `u64`s are
+/// one cache line — wide enough for two 256-bit vector lanes, small enough that
+/// an early exit loses at most a line of work.
+const EQ_CHUNK: usize = 8;
+
+/// Words per chunk of [`masked_subset`]. Parent masks of one node rarely span
+/// more than a few words, so the chunk is kept narrow to make the remainder
+/// loop the common case only for tiny entries.
+const SUBSET_CHUNK: usize = 4;
+
+/// Total number of set bits across `words`.
+///
+/// Chunked form of [`popcount_words_scalar`]: per chunk the eight `count_ones`
+/// results are summed without branches, so the loop body is a straight line of
+/// popcount instructions the backend can schedule (and, with SIMD popcount,
+/// vectorize).
+#[inline]
+pub fn popcount_words(words: &[u64]) -> u32 {
+    if scalar_mode() {
+        return popcount_words_scalar(words);
+    }
+    let mut chunks = words.chunks_exact(EQ_CHUNK);
+    let mut total = 0u32;
+    for chunk in &mut chunks {
+        let mut sum = 0u32;
+        for &w in chunk {
+            sum += w.count_ones();
+        }
+        total += sum;
+    }
+    for &w in chunks.remainder() {
+        total += w.count_ones();
+    }
+    total
+}
+
+/// One-word-at-a-time form of [`popcount_words`] — the differential oracle.
+#[inline]
+pub fn popcount_words_scalar(words: &[u64]) -> u32 {
+    words.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Are the two word slices equal? Slices of different lengths are unequal.
+///
+/// Chunked form of [`words_equal_scalar`]: each chunk ORs the eight XOR lanes
+/// into one accumulator and tests it once, so the body is branch-free and
+/// vectorizable while a difference still exits after at most one chunk.
+#[inline]
+pub fn words_equal(a: &[u64], b: &[u64]) -> bool {
+    if scalar_mode() {
+        return words_equal_scalar(a, b);
+    }
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut ca = a.chunks_exact(EQ_CHUNK);
+    let mut cb = b.chunks_exact(EQ_CHUNK);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        let mut diff = 0u64;
+        for k in 0..EQ_CHUNK {
+            diff |= xa[k] ^ xb[k];
+        }
+        if diff != 0 {
+            return false;
+        }
+    }
+    ca.remainder()
+        .iter()
+        .zip(cb.remainder())
+        .all(|(&xa, &xb)| xa == xb)
+}
+
+/// One-word-at-a-time form of [`words_equal`] — the differential oracle.
+#[inline]
+pub fn words_equal_scalar(a: &[u64], b: &[u64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&xa, &xb)| xa == xb)
+}
+
+/// Is every mask contained in its word of `red`? `words[k]` indexes into `red`,
+/// and the test is `red[words[k]] & masks[k] == masks[k]` for all `k` — the
+/// CSR-sliced `parents ⊆ R_p` precondition of
+/// [`crate::Configuration::try_compute_masked`].
+///
+/// Chunked form of [`masked_subset_scalar`]: four entries per iteration feed
+/// one OR-accumulated "missing bits" word that is tested once per chunk, so
+/// high-fan-in nodes (whose parents span many words) check four words per
+/// branch instead of one.
+///
+/// # Panics
+/// In debug builds, if `words` and `masks` differ in length or a word index is
+/// out of bounds (release builds bounds-check each `red` access as usual).
+#[inline]
+pub fn masked_subset(red: &[u64], words: &[u32], masks: &[u64]) -> bool {
+    debug_assert_eq!(words.len(), masks.len());
+    if scalar_mode() {
+        return masked_subset_scalar(red, words, masks);
+    }
+    let mut cw = words.chunks_exact(SUBSET_CHUNK);
+    let mut cm = masks.chunks_exact(SUBSET_CHUNK);
+    for (xw, xm) in (&mut cw).zip(&mut cm) {
+        let mut missing = 0u64;
+        for k in 0..SUBSET_CHUNK {
+            // Bits of the mask that are not present in the word.
+            missing |= xm[k] & !red[xw[k] as usize];
+        }
+        if missing != 0 {
+            return false;
+        }
+    }
+    cw.remainder()
+        .iter()
+        .zip(cm.remainder())
+        .all(|(&w, &m)| red[w as usize] & m == m)
+}
+
+/// One-entry-at-a-time form of [`masked_subset`] — the differential oracle.
+#[inline]
+pub fn masked_subset_scalar(red: &[u64], words: &[u32], masks: &[u64]) -> bool {
+    debug_assert_eq!(words.len(), masks.len());
+    words
+        .iter()
+        .zip(masks)
+        .all(|(&w, &m)| red[w as usize] & m == m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn popcount_matches_oracle_across_chunk_edges() {
+        for n in 0..=2 * EQ_CHUNK + 1 {
+            let words: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x0101_0307)).collect();
+            assert_eq!(popcount_words(&words), popcount_words_scalar(&words));
+        }
+        assert_eq!(popcount_words(&[u64::MAX; 11]), 11 * 64);
+    }
+
+    #[test]
+    fn equality_matches_oracle_for_every_flip_position() {
+        let a: Vec<u64> = (0..19u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        assert!(words_equal(&a, &a));
+        for flip in 0..a.len() {
+            let mut b = a.clone();
+            b[flip] ^= 1 << (flip % 64);
+            assert!(!words_equal(&a, &b));
+            assert_eq!(words_equal(&a, &b), words_equal_scalar(&a, &b));
+        }
+        assert!(!words_equal(&a, &a[..18]));
+    }
+
+    #[test]
+    fn subset_matches_oracle_for_every_missing_entry() {
+        let red: Vec<u64> = (0..6u64).map(|i| !(i.wrapping_mul(0x00FF_00F0))).collect();
+        let words: Vec<u32> = (0..11u32).map(|k| k % 6).collect();
+        let masks: Vec<u64> = words.iter().map(|&w| red[w as usize]).collect();
+        assert!(masked_subset(&red, &words, &masks));
+        for k in 0..masks.len() {
+            let mut bad = masks.clone();
+            bad[k] |= !red[words[k] as usize];
+            if bad[k] == masks[k] {
+                continue; // the word is already all-ones
+            }
+            assert!(!masked_subset(&red, &words, &bad));
+            assert_eq!(
+                masked_subset(&red, &words, &bad),
+                masked_subset_scalar(&red, &words, &bad)
+            );
+        }
+        assert!(masked_subset(&red, &[], &[]));
+    }
+}

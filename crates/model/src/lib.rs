@@ -18,10 +18,13 @@
 //! * the pebble state itself ([`state::Configuration`]) packs the per-processor
 //!   red sets and the blue set into `u64`-word bitsets with incrementally
 //!   maintained memory usage, so simulation, validation and the post-optimiser's
-//!   merge checks run on flat cache-resident words; the pre-bitset
-//!   nested-`Vec<bool>` implementation is retained as
-//!   [`reference::ReferenceConfiguration`], the differential oracle of the
-//!   seeded property tests (the workspace's oracle convention);
+//!   merge checks run on flat cache-resident words; the hottest word loops
+//!   (popcounts, equality, the masked `parents ⊆ R_p` subset test) go through
+//!   the chunked autovectorizable kernels of [`kernels`], each retaining its
+//!   scalar form as differential oracle, and the pre-bitset nested-`Vec<bool>`
+//!   implementation is retained as [`reference::ReferenceConfiguration`], the
+//!   differential oracle of the seeded property tests (the workspace's oracle
+//!   convention);
 //! * the cost of a schedule is measured either **synchronously** (BSP-style,
 //!   per-superstep maxima plus `L`) or **asynchronously** (makespan of the induced
 //!   per-processor timelines) — see [`cost`];
@@ -39,6 +42,7 @@ pub mod bsp;
 pub mod cost;
 pub mod eval;
 pub mod instance;
+pub mod kernels;
 pub mod ops;
 pub mod reference;
 pub mod schedule;

@@ -12,10 +12,13 @@
 //! `P · ⌈n / 64⌉` words (processor-major), and one word array for the blue
 //! pebbles. A pebble test is a shift-and-mask, [`Configuration::reset_initial`]
 //! and [`Configuration::copy_from`] are word-level `fill`/`copy_from_slice`
-//! operations, equality (used by the post-optimiser's exact fast-accept) compares
-//! 64 nodes per word, and [`Configuration::cached_nodes`] /
-//! [`Configuration::blue_nodes`] walk set bits with `trailing_zeros`. Bits at
-//! index `≥ n` are kept zero at all times so word-level comparisons are exact.
+//! operations (lowered to `memset`/`memcpy`), equality (used by the
+//! post-optimiser's exact fast-accept, [`Configuration::state_eq`]), occupancy
+//! popcounts and the masked `parents ⊆ R_p` subset test run through the chunked
+//! autovectorizable word kernels of [`crate::kernels`], and
+//! [`Configuration::cached_nodes`] / [`Configuration::blue_nodes`] walk set
+//! bits with `trailing_zeros`. Bits at index `≥ n` are kept zero at all times
+//! so word-level comparisons are exact.
 //!
 //! The pre-bitset nested-`Vec<bool>` implementation is retained verbatim as
 //! [`crate::reference::ReferenceConfiguration`], the differential oracle of the
@@ -128,6 +131,37 @@ impl Configuration {
     pub fn cached_nodes(&self, p: ProcId) -> impl Iterator<Item = NodeId> + '_ {
         let base = p.index() * self.words;
         SetBits::new(&self.red[base..base + self.words])
+    }
+
+    /// Number of nodes currently cached by processor `p` — a chunked popcount
+    /// over the processor's red bitset ([`crate::kernels::popcount_words`]),
+    /// without iterating the set bits.
+    pub fn num_cached(&self, p: ProcId) -> usize {
+        let base = p.index() * self.words;
+        crate::kernels::popcount_words(&self.red[base..base + self.words]) as usize
+    }
+
+    /// Number of nodes currently in slow memory — a chunked popcount over the
+    /// blue bitset.
+    pub fn num_blue(&self) -> usize {
+        crate::kernels::popcount_words(&self.blue) as usize
+    }
+
+    /// Word-level state equality through the chunked
+    /// [`crate::kernels::words_equal`] kernel: identical to `self == other`
+    /// (the derived `PartialEq` is the differential oracle) but compares the
+    /// red and blue bitsets eight words per branch. The tracked memory usage
+    /// is compared with ordinary `f64` slice equality, preserving float
+    /// semantics (`-0.0 == 0.0`).
+    ///
+    /// This is the post-optimiser's exact fast-accept test, executed once per
+    /// attempted superstep fold.
+    pub fn state_eq(&self, other: &Configuration) -> bool {
+        self.processors == other.processors
+            && self.num_nodes == other.num_nodes
+            && crate::kernels::words_equal(&self.red, &other.red)
+            && crate::kernels::words_equal(&self.blue, &other.blue)
+            && self.used == other.used
     }
 
     /// The nodes currently in slow memory, in index order.
@@ -377,11 +411,12 @@ impl Configuration {
         }
         let base = p.index() * self.words;
         let (a, b) = masks.range(v);
-        for k in a..b {
-            let m = masks.masks[k];
-            if self.red[base + masks.words[k] as usize] & m != m {
-                return false;
-            }
+        if !crate::kernels::masked_subset(
+            &self.red[base..base + self.words],
+            &masks.words[a..b],
+            &masks.masks[a..b],
+        ) {
+            return false;
         }
         let i = v.index();
         let bit = 1u64 << (i & 63);
@@ -836,6 +871,29 @@ mod tests {
         // Sources are rejected by both paths.
         assert!(!walk.try_compute(&dag, &arch, p, NodeId::new(0)));
         assert!(!masked.try_compute_masked(&dag, &arch, &masks, p, NodeId::new(0)));
+    }
+
+    #[test]
+    fn kernel_backed_counts_and_equality_match_the_derived_forms() {
+        let n = 130;
+        let dag = CompDag::from_edges("wide", vec![NodeWeights::unit(); n], &[]).unwrap();
+        let arch = arch2(1e9);
+        let p = ProcId::new(1);
+        let mut cfg = Configuration::empty(&dag, &arch);
+        for i in [0usize, 63, 64, 129] {
+            cfg.place_red_unchecked(&dag, p, NodeId::new(i));
+            cfg.place_blue_unchecked(NodeId::new(i));
+        }
+        assert_eq!(cfg.num_cached(p), cfg.cached_nodes(p).count());
+        assert_eq!(cfg.num_cached(ProcId::new(0)), 0);
+        assert_eq!(cfg.num_blue(), cfg.blue_nodes().count());
+        let other = cfg.clone();
+        assert!(cfg.state_eq(&other));
+        assert_eq!(cfg.state_eq(&other), cfg == other);
+        let mut diff = cfg.clone();
+        diff.place_red_unchecked(&dag, p, NodeId::new(1));
+        assert!(!cfg.state_eq(&diff));
+        assert_eq!(cfg.state_eq(&diff), cfg == diff);
     }
 
     #[test]
