@@ -4,9 +4,15 @@
 //! `MBSP_BENCH_*_QUICK=1` contracts)
 //! wrote earlier in the run, and **fails** if any fast-vs-reference speedup
 //! dropped below 1.0 or any agreement flag shows the compared paths diverged.
-//! (The pool report's smoke is gated on its agreement flags only: on the tiny
-//! smoke instances the pool-vs-scoped-spawn margin is within timing noise, and
-//! its 1.3x speedup bar is asserted by the full `bench_pool` run instead.)
+//! Every violation names the offending file, instance and metric; a missing or
+//! unreadable quick-JSON is itself a violation.
+//! (The pool and shard smokes are gated on their agreement flags only: on the
+//! tiny smoke instances the pool-vs-scoped-spawn margin is within timing noise
+//! and the weighted sharding's partition-ILP overhead is not amortised, so
+//! their speedup bars are asserted by the full `bench_pool` / `bench_shard`
+//! runs instead. The shard smoke must cover both sharding modes — legacy
+//! topological and weighted-iterated — and additionally gates the weighted
+//! mode's equal-or-better-than-legacy flag.)
 //!
 //! This is the last CI step (`cargo run -p mbsp_bench --bin bench_check`), so a
 //! performance regression that makes an optimised path slower than its
@@ -41,12 +47,29 @@ struct DagInstance {
     costs_match: bool,
 }
 
+/// Flags shared by both sharded modes (`legacy` topological and `weighted`
+/// iterated) in the `bench_shard` report.
+#[derive(Debug, Deserialize)]
+struct ShardModeGate {
+    identical_across_workers: bool,
+    not_worse_than_baseline: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct ShardWeightedGate {
+    base: ShardModeGate,
+    equal_or_better_than_legacy: Option<bool>,
+}
+
 #[derive(Debug, Deserialize)]
 struct ShardInstance {
     name: String,
-    speedup: f64,
     not_worse_than_baseline: bool,
     identical_across_workers: bool,
+    /// `null` when the smoke ran in `weighted`-only mode.
+    legacy: Option<ShardModeGate>,
+    /// `null` when the smoke ran in `legacy`-only mode.
+    weighted: Option<ShardWeightedGate>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -225,9 +248,18 @@ fn main() -> ExitCode {
         );
     }
     if let Some(r) = gate.parse::<ShardReport>("BENCH_shard_quick.json") {
+        // Like the pool smoke, the shard smoke is gated on its agreement and
+        // never-worse flags only: the weighted mode's partition-ILP overhead
+        // is not amortised on the tiny smoke instances, so its speedup bar is
+        // asserted by the full `bench_shard` run instead.
         let path = "BENCH_shard_quick.json";
+        gate.require(
+            path,
+            "report",
+            "quick flag is false — the smoke must run with the quick-mode env var",
+            r.quick,
+        );
         for i in &r.instances {
-            gate.check_common(path, r.quick, &i.name, i.speedup);
             gate.require(
                 path,
                 &i.name,
@@ -240,9 +272,51 @@ fn main() -> ExitCode {
                 "sharded search diverged across worker counts",
                 i.identical_across_workers,
             );
+            gate.require(
+                path,
+                &i.name,
+                "CI smoke must exercise BOTH sharding modes (run with \
+                 MBSP_BENCH_SHARD_MODE=both or unset)",
+                i.legacy.is_some() && i.weighted.is_some(),
+            );
+            if let Some(l) = &i.legacy {
+                gate.require(
+                    path,
+                    &i.name,
+                    "legacy/topo mode fell behind the shared baseline incumbent",
+                    l.not_worse_than_baseline,
+                );
+                gate.require(
+                    path,
+                    &i.name,
+                    "legacy/topo mode diverged across worker counts",
+                    l.identical_across_workers,
+                );
+            }
+            if let Some(w) = &i.weighted {
+                gate.require(
+                    path,
+                    &i.name,
+                    "weighted-iterated mode fell behind the shared baseline incumbent",
+                    w.base.not_worse_than_baseline,
+                );
+                gate.require(
+                    path,
+                    &i.name,
+                    "weighted-iterated mode diverged across worker counts",
+                    w.base.identical_across_workers,
+                );
+                gate.require(
+                    path,
+                    &i.name,
+                    "weighted-iterated mode fell behind the legacy sharding at equal \
+                     candidate budget",
+                    w.equal_or_better_than_legacy.unwrap_or(true),
+                );
+            }
         }
         println!(
-            "shard    geomean {:>7.2}x over {} instances",
+            "shard    geomean {:>7.2}x over {} instances (both sharding modes gated)",
             r.geomean_speedup,
             r.instances.len()
         );

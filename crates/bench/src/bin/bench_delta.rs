@@ -45,7 +45,10 @@
 
 use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
 use mbsp_gen::{mutation_stream, MutationStreamConfig, NamedInstance};
-use mbsp_ilp::{IncrementalScheduler, RepairConfig, ShardedHolisticScheduler, ShardedSearchConfig};
+use mbsp_ilp::{
+    IncrementalScheduler, RepairConfig, ShardStrategy, ShardedHolisticScheduler,
+    ShardedSearchConfig,
+};
 use mbsp_model::{Architecture, CostModel, MbspInstance};
 use mbsp_sched::{BspScheduler, GreedyBspScheduler};
 use serde::Serialize;
@@ -118,6 +121,14 @@ fn geomean(values: impl Iterator<Item = f64>) -> f64 {
 fn search_config(workers: usize) -> ShardedSearchConfig {
     ShardedSearchConfig {
         cost_model: CostModel::Synchronous,
+        // This benchmark measures incremental-repair *latency*: keep the O(n)
+        // topological partitioner and the single-pass pipeline, so a repair
+        // pays no partition-ILP or shard-seeding overhead on top of its cone.
+        // The weighted iterated pipeline is a batch-mode feature, benchmarked
+        // by `bench_shard`.
+        strategy: ShardStrategy::Topo,
+        shard_local_seed: false,
+        iterations: 1,
         num_shards: SHARDS,
         workers,
         max_rounds: SHARD_ROUNDS,

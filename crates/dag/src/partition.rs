@@ -92,6 +92,17 @@ impl AcyclicPartition {
         sizes
     }
 
+    /// Total compute weight of each part — the mass a weight-aware partitioner
+    /// balances (node counts can be arbitrarily lopsided in mass when weights
+    /// are heterogeneous).
+    pub fn part_compute_masses(&self, dag: &CompDag) -> Vec<f64> {
+        let mut masses = vec![0.0f64; self.num_parts];
+        for (i, &p) in self.part.iter().enumerate() {
+            masses[p] += dag.compute_weight(NodeId::new(i));
+        }
+        masses
+    }
+
     /// Number of edges of `dag` whose endpoints lie in different parts (the cut).
     pub fn cut_edges(&self, dag: &CompDag) -> usize {
         dag.edges()

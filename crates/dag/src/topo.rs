@@ -7,10 +7,10 @@
 //! is the output array itself (no `VecDeque`), and every entry point has an `_into`
 //! or `rebuild` variant that reuses the caller's allocations across instances.
 
-use crate::graph::{CompDag, NodeId};
+use crate::graph::NodeId;
 use crate::view::DagLike;
 
-/// A topological ordering of a [`CompDag`] together with derived level information.
+/// A topological ordering of a [`CompDag`](crate::graph::CompDag) together with derived level information.
 ///
 /// The `Default` value is the (valid) ordering of the empty DAG; it exists so
 /// scratch holders can embed a `TopologicalOrder` and fill it later via
@@ -128,8 +128,9 @@ pub struct DfsOrderScratch {
 
 /// Returns a depth-first topological order starting from the sources, visiting
 /// children in index order. This is the order the paper's single-processor DFS
-/// baseline uses for the red–blue pebbling experiment.
-pub fn dfs_topological_order(dag: &CompDag) -> Vec<NodeId> {
+/// baseline uses for the red–blue pebbling experiment. Accepts any [`DagLike`]
+/// graph, including the zero-copy [`crate::SubDagView`].
+pub fn dfs_topological_order<D: DagLike + ?Sized>(dag: &D) -> Vec<NodeId> {
     let mut order = Vec::new();
     dfs_topological_order_into(dag, &mut order, &mut DfsOrderScratch::default());
     order
@@ -137,8 +138,8 @@ pub fn dfs_topological_order(dag: &CompDag) -> Vec<NodeId> {
 
 /// Allocation-free variant of [`dfs_topological_order`]: writes the order into
 /// `order` and reuses `scratch` across calls.
-pub fn dfs_topological_order_into(
-    dag: &CompDag,
+pub fn dfs_topological_order_into<D: DagLike + ?Sized>(
+    dag: &D,
     order: &mut Vec<NodeId>,
     scratch: &mut DfsOrderScratch,
 ) {
@@ -164,7 +165,7 @@ pub fn dfs_topological_order_into(
         // Push children whose parents are all emitted; depth-first: last pushed is
         // explored next, so push in reverse index order to explore low indices first.
         scratch.ready.clear();
-        for &c in dag.children(u) {
+        for c in dag.children(u) {
             scratch.remaining_parents[c.index()] -= 1;
             if scratch.remaining_parents[c.index()] == 0 {
                 scratch.ready.push(c);
@@ -180,7 +181,7 @@ pub fn dfs_topological_order_into(
 
 /// Bottom level of every node: the compute weight of the heaviest path from the node
 /// to any sink, including the node's own weight. Classic list-scheduling priority.
-pub fn bottom_levels(dag: &CompDag) -> Vec<f64> {
+pub fn bottom_levels<D: DagLike + ?Sized>(dag: &D) -> Vec<f64> {
     let topo = TopologicalOrder::of(dag);
     let mut bl = Vec::new();
     bottom_levels_into(dag, &topo, &mut bl);
@@ -189,15 +190,15 @@ pub fn bottom_levels(dag: &CompDag) -> Vec<f64> {
 
 /// Allocation-free variant of [`bottom_levels`] for callers that already hold a
 /// [`TopologicalOrder`] and a reusable output buffer.
-pub fn bottom_levels_into(dag: &CompDag, topo: &TopologicalOrder, out: &mut Vec<f64>) {
+pub fn bottom_levels_into<D: DagLike + ?Sized>(
+    dag: &D,
+    topo: &TopologicalOrder,
+    out: &mut Vec<f64>,
+) {
     out.clear();
     out.resize(dag.num_nodes(), 0.0);
     for &v in topo.order().iter().rev() {
-        let best_child = dag
-            .children(v)
-            .iter()
-            .map(|&c| out[c.index()])
-            .fold(0.0, f64::max);
+        let best_child = dag.children(v).map(|c| out[c.index()]).fold(0.0, f64::max);
         out[v.index()] = dag.compute_weight(v) + best_child;
     }
 }
@@ -205,11 +206,11 @@ pub fn bottom_levels_into(dag: &CompDag, topo: &TopologicalOrder, out: &mut Vec<
 /// Top level of every node: the compute weight of the heaviest path from any source
 /// to the node, excluding the node's own weight (i.e. its earliest possible start in
 /// an unbounded-processor schedule without communication).
-pub fn top_levels(dag: &CompDag) -> Vec<f64> {
+pub fn top_levels<D: DagLike + ?Sized>(dag: &D) -> Vec<f64> {
     let topo = TopologicalOrder::of(dag);
     let mut tl = vec![0.0f64; dag.num_nodes()];
     for &v in topo.order().iter() {
-        for &c in dag.children(v) {
+        for c in dag.children(v) {
             let cand = tl[v.index()] + dag.compute_weight(v);
             if cand > tl[c.index()] {
                 tl[c.index()] = cand;
@@ -221,7 +222,7 @@ pub fn top_levels(dag: &CompDag) -> Vec<f64> {
 
 /// The critical-path length of the DAG: the maximum over nodes of
 /// `top_level(v) + ω(v)`.
-pub fn critical_path_length(dag: &CompDag) -> f64 {
+pub fn critical_path_length<D: DagLike + ?Sized>(dag: &D) -> f64 {
     let tl = top_levels(dag);
     dag.nodes()
         .map(|v| tl[v.index()] + dag.compute_weight(v))
@@ -232,7 +233,7 @@ pub fn critical_path_length(dag: &CompDag) -> f64 {
 mod tests {
     use super::*;
     use crate::builder::DagBuilder;
-    use crate::graph::NodeWeights;
+    use crate::graph::{CompDag, NodeWeights};
 
     fn diamond() -> CompDag {
         CompDag::from_edges(

@@ -11,8 +11,10 @@
 //!    both directions (a reweighted child changes what its parents should
 //!    save; a new parent changes where a child wants to live), but the effect
 //!    decays with distance, which is what the radius bounds.
-//! 2. **Dirty shards** — the same [`topo_shards`] partition a full sharded run
-//!    would use is intersected with the cone ([`dirty_shard_indices`]); only
+//! 2. **Dirty shards** — the same partition a full sharded run would build on
+//!    its first iteration (strategy-dispatched: [`topo_shards`](crate::shard::topo_shards) or the
+//!    weight-aware `weighted_shards`) is intersected with the cone
+//!    ([`dirty_shard_indices`]); only
 //!    intersecting shards are re-searched, with their *global* shard index
 //!    feeding the per-shard seed stride, so a repaired shard explores exactly
 //!    the stream the full run would have.
@@ -48,7 +50,7 @@
 //! invariance.
 
 use crate::engine::{resolve_workers, EvalPath, EvaluationEngine};
-use crate::shard::{merge_outcomes, run_shard, topo_shards, ShardOutcome, ShardedSearchConfig};
+use crate::shard::{merge_outcomes, run_shard, shard_partition, ShardOutcome, ShardedSearchConfig};
 use mbsp_dag::{AcyclicPartition, CompDag, DagDelta, DeltaEffect, NodeId, PkOrder, Result};
 use mbsp_model::{Architecture, MbspSchedule, ProcId};
 use mbsp_pool::WorkerPool;
@@ -58,9 +60,13 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy)]
 pub struct RepairConfig {
     /// The sharded-search knobs (shard count, workers, per-shard budget, seed)
-    /// shared with the full [`ShardedHolisticScheduler`](crate::ShardedHolisticScheduler). The shard count must
-    /// match the full run's for the repaired shards to explore the same
-    /// streams.
+    /// shared with the full [`ShardedHolisticScheduler`](crate::ShardedHolisticScheduler). The shard count and
+    /// strategy must match the full run's for the repaired shards to explore
+    /// the same streams. The *default* here overrides the search default to
+    /// [`ShardStrategy::Topo`](crate::ShardStrategy::Topo) without shard-local
+    /// seeds: a repair is a latency path, and re-running the weighted
+    /// partition ILP per delta batch is pure overhead inside a cone that
+    /// rarely spans a cut.
     pub search: ShardedSearchConfig,
     /// Hop radius of the mutation cone expanded around touched nodes, in both
     /// edge directions. `0` repairs only the shards containing touched nodes
@@ -71,7 +77,11 @@ pub struct RepairConfig {
 impl Default for RepairConfig {
     fn default() -> Self {
         RepairConfig {
-            search: ShardedSearchConfig::default(),
+            search: ShardedSearchConfig {
+                strategy: crate::shard::ShardStrategy::Topo,
+                shard_local_seed: false,
+                ..ShardedSearchConfig::default()
+            },
             cone_radius: 2,
         }
     }
@@ -92,6 +102,8 @@ pub struct RepairStats {
     pub improved_shards: usize,
     /// Shard merges accepted by the global boundary-repair evaluation.
     pub accepted_shards: usize,
+    /// Individually replayed deltas kept by the merge's prefix salvage.
+    pub salvaged_moves: u64,
     /// Total candidate evaluations (local and global).
     pub evaluations: u64,
     /// Wall-clock of the repair.
@@ -293,7 +305,10 @@ impl IncrementalScheduler {
         let mut search_evaluations = 0u64;
         let mut outcomes: Vec<ShardOutcome> = Vec::new();
         if movable_any && arch.processors > 1 && dag.num_nodes() > 0 && !cone.is_empty() {
-            let partition = topo_shards(dag, k);
+            // Iteration 0 of the full run's partition schedule: the repaired
+            // shards must line up with the shards a full run would search so
+            // the per-shard seed streams match.
+            let partition = shard_partition(dag, k, search, 0);
             shards = partition.num_parts();
             let dirty = dirty_shard_indices(&partition, &cone);
             let parts = partition.parts();
@@ -320,6 +335,7 @@ impl IncrementalScheduler {
                                 s,
                                 procs_ref,
                                 &config,
+                                config.seed,
                                 deadline,
                             ));
                             d += workers;
@@ -336,7 +352,7 @@ impl IncrementalScheduler {
             outcomes = collected;
         }
 
-        let (improved_shards, accepted_shards) = merge_outcomes(
+        let (improved_shards, accepted_shards, salvaged_moves) = merge_outcomes(
             &mut engine,
             dag,
             arch,
@@ -345,6 +361,7 @@ impl IncrementalScheduler {
             &mut self.procs,
             &mut best_cost,
             &mut best_schedule,
+            search.merge_replay_cap,
         );
 
         let stats = RepairStats {
@@ -354,6 +371,7 @@ impl IncrementalScheduler {
             dirty_shards: searched_shards,
             improved_shards,
             accepted_shards,
+            salvaged_moves,
             evaluations: engine.evaluations + search_evaluations,
             elapsed: start.elapsed(),
             incumbent_cost,
@@ -366,7 +384,7 @@ impl IncrementalScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::shard::ShardedHolisticScheduler;
+    use crate::shard::{topo_shards, ShardedHolisticScheduler};
     use mbsp_model::{sync_cost, CostModel, MbspInstance};
     use mbsp_sched::{BspScheduler, GreedyBspScheduler};
 

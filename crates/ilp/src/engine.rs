@@ -399,6 +399,18 @@ pub fn evaluate_moves(
     )
 }
 
+/// The `(node, new processor)` pairs by which `after` differs from `before` —
+/// the assignment delta the sharded merge replays through the global engine.
+/// Node ids are indices into the assignment slices (local or global, caller's
+/// choice); the result is in index order, so it is deterministic.
+pub fn assignment_delta(before: &[ProcId], after: &[ProcId]) -> Vec<(NodeId, ProcId)> {
+    debug_assert_eq!(before.len(), after.len());
+    (0..before.len())
+        .filter(|&i| after[i] != before[i])
+        .map(|i| (NodeId::new(i), after[i]))
+        .collect()
+}
+
 /// [`evaluate_moves`] over any [`DagLike`] graph (`Sync` so worker threads can
 /// share the borrow; both `CompDag` and `SubDagView` qualify).
 #[allow(clippy::too_many_arguments)]

@@ -33,10 +33,15 @@
 //!   and concatenation of the sub-schedules.
 //! * [`shard`] — [`shard::ShardedHolisticScheduler`], the sharded evaluation
 //!   service that scales the holistic search to the 100k-node instances:
-//!   topological shards, one `EvaluationEngine`-backed local search per shard on
-//!   its own worker thread, and a deterministic `(cost, shard index)`-ordered
-//!   merge whose boundary-repair pass re-evaluates cross-shard supersteps through
-//!   the incremental evaluator.
+//!   weight-aware shards (recursive ILP bipartition of a topological run
+//!   quotient, with equal node-count topological shards as the legacy
+//!   fallback), one `EvaluationEngine`-backed local search per shard on its own
+//!   worker thread seeded from both the global incumbent's restriction and a
+//!   shard-local greedy baseline, a deterministic `(cost, shard index)`-ordered
+//!   merge whose boundary-repair pass re-evaluates cross-shard supersteps
+//!   through the incremental evaluator (with capped move-replay salvage for
+//!   rejected blocks), iterated over shifted partitions until the candidate
+//!   budget is spent.
 //! * [`dirty_cone`] — [`dirty_cone::IncrementalScheduler`], incremental
 //!   re-scheduling under DAG mutation: `mbsp_dag::DagDelta`s stream through
 //!   [`dirty_cone::IncrementalScheduler::apply`], their touched nodes expand
@@ -65,5 +70,11 @@ pub use dnc::{DivideAndConquerConfig, DivideAndConquerScheduler};
 pub use engine::{EvalPath, EvaluationEngine, Move, SearchStats};
 pub use formulation::{ExactIlpScheduler, IlpConfig, MbspIlpBuilder};
 pub use improver::{HolisticConfig, HolisticScheduler};
-pub use partition_ilp::{bipartition, bipartition_model, BipartitionConfig};
-pub use shard::{ShardedHolisticScheduler, ShardedSearchConfig, ShardedSearchStats};
+pub use partition_ilp::{
+    bipartition, bipartition_model, weighted_bipartition, weighted_bipartition_model,
+    weighted_prefix_split, BipartitionConfig, WeightedBipartitionConfig,
+};
+pub use shard::{
+    topo_shards, weighted_shards, ShardStrategy, ShardedHolisticScheduler, ShardedSearchConfig,
+    ShardedSearchStats,
+};

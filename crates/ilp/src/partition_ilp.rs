@@ -149,6 +149,202 @@ pub fn prefix_split(dag: &CompDag) -> AcyclicPartition {
     AcyclicPartition::new(dag, assignment, 2).expect("prefix split is always acyclic")
 }
 
+/// Configuration of the weight-aware bipartitioning step used by the sharded
+/// search ([`crate::shard::weighted_shards`]).
+///
+/// Unlike [`BipartitionConfig`], balance is expressed in *compute mass* (the sum
+/// of node compute weights per side) rather than node count, and each edge
+/// carries an explicit cut penalty (for quotient graphs: the number of original
+/// DAG edges the quotient edge aggregates).
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedBipartitionConfig {
+    /// Fraction of the total compute mass the second part (side 1) should get.
+    pub side1_mass_fraction: f64,
+    /// Relative tolerance on the mass target: side 1 must end up within
+    /// `target * (1 ± mass_tolerance)` (clamped to `[0, total]`).
+    pub mass_tolerance: f64,
+    /// Minimal number of nodes on side 0 (guarantees non-empty parts downstream).
+    pub min_side0_nodes: usize,
+    /// Minimal number of nodes on side 1.
+    pub min_side1_nodes: usize,
+    /// Limits for the branch-and-bound solver.
+    pub limits: SolverLimits,
+}
+
+impl Default for WeightedBipartitionConfig {
+    fn default() -> Self {
+        WeightedBipartitionConfig {
+            side1_mass_fraction: 0.5,
+            mass_tolerance: 0.15,
+            min_side0_nodes: 1,
+            min_side1_nodes: 1,
+            limits: SolverLimits {
+                max_nodes: 2_000,
+                time_limit: Duration::from_secs(5),
+                relative_gap: 1e-6,
+            },
+        }
+    }
+}
+
+/// Builds the weight-aware bipartition ILP of `dag` together with its
+/// mass-balanced prefix-split warm start. `edge_weights[e]` is the objective
+/// coefficient of cutting the `e`-th edge of `dag.edges()` (for run-quotient
+/// graphs this is the multiplicity of the aggregated original edges). The first
+/// `n` variables are the binary node-side indicators `x_v`, followed by one
+/// continuous cut indicator per edge, exactly as in [`bipartition_model`].
+pub fn weighted_bipartition_model(
+    dag: &CompDag,
+    edge_weights: &[f64],
+    config: &WeightedBipartitionConfig,
+) -> (LpProblem, Vec<f64>) {
+    let n = dag.num_nodes();
+    let fallback = weighted_prefix_split(dag, config);
+    let mut problem = LpProblem::new();
+    let xs: Vec<_> = (0..n)
+        .map(|i| problem.add_binary(format!("x{i}"), 0.0))
+        .collect();
+    for (e, (u, v)) in dag.edges().enumerate() {
+        let y = problem.add_continuous(format!("y{e}"), 0.0, 1.0, edge_weights[e]);
+        problem.add_constraint(
+            format!("cut{e}"),
+            LinExpr::term(y, 1.0)
+                .plus(xs[v.index()], -1.0)
+                .plus(xs[u.index()], 1.0),
+            ConstraintSense::GreaterEqual,
+            0.0,
+        );
+        problem.add_constraint(
+            format!("acyc{e}"),
+            LinExpr::term(xs[u.index()], 1.0).plus(xs[v.index()], -1.0),
+            ConstraintSense::LessEqual,
+            0.0,
+        );
+    }
+    // Node-count floor per side (keeps every downstream shard non-empty even when
+    // the compute mass is concentrated on a few nodes).
+    let min_side1 = config.min_side1_nodes.max(1) as f64;
+    let max_side1 = (n as f64) - config.min_side0_nodes.max(1) as f64;
+    let mut count_expr = LinExpr::new();
+    for &x in &xs {
+        count_expr.add(x, 1.0);
+    }
+    problem.add_constraint(
+        "count_lo",
+        count_expr.clone(),
+        ConstraintSense::GreaterEqual,
+        min_side1,
+    );
+    problem.add_constraint(
+        "count_hi",
+        count_expr,
+        ConstraintSense::LessEqual,
+        max_side1,
+    );
+    // Compute-mass balance around the target fraction.
+    let total_mass: f64 = dag.nodes().map(|v| dag.compute_weight(v)).sum();
+    if total_mass > 0.0 {
+        let target = total_mass * config.side1_mass_fraction;
+        let lo = (target * (1.0 - config.mass_tolerance)).max(0.0);
+        let hi = (target * (1.0 + config.mass_tolerance))
+            .min(total_mass)
+            .max(lo);
+        let mut mass_expr = LinExpr::new();
+        for v in dag.nodes() {
+            mass_expr.add(xs[v.index()], dag.compute_weight(v));
+        }
+        problem.add_constraint(
+            "mass_lo",
+            mass_expr.clone(),
+            ConstraintSense::GreaterEqual,
+            lo,
+        );
+        problem.add_constraint("mass_hi", mass_expr, ConstraintSense::LessEqual, hi);
+    }
+
+    // Warm start from the mass-balanced prefix split.
+    let mut warm = vec![0.0; problem.num_variables()];
+    for v in dag.nodes() {
+        warm[xs[v.index()].index()] = fallback.part_of(v) as f64;
+    }
+    for (e, (u, v)) in dag.edges().enumerate() {
+        let cut = fallback.part_of(u) != fallback.part_of(v);
+        warm[xs.len() + e] = if cut { 1.0 } else { 0.0 };
+    }
+    (problem, warm)
+}
+
+/// Computes a weight-aware acyclic bipartition of `dag` minimising the weighted
+/// cut subject to compute-mass balance (see [`WeightedBipartitionConfig`]).
+///
+/// Falls back to the mass-balanced topological-prefix split when the solver
+/// cannot find a solution within its limits (the mass window plus the count
+/// floors can genuinely be infeasible — the prefix split then provides the
+/// closest achievable balance) or the DAG is too small to split.
+pub fn weighted_bipartition(
+    dag: &CompDag,
+    edge_weights: &[f64],
+    config: &WeightedBipartitionConfig,
+) -> AcyclicPartition {
+    let n = dag.num_nodes();
+    if n < config.min_side0_nodes.max(1) + config.min_side1_nodes.max(1) {
+        return AcyclicPartition::trivial(dag);
+    }
+    let fallback = weighted_prefix_split(dag, config);
+    let (problem, warm) = weighted_bipartition_model(dag, edge_weights, config);
+    let solution = BranchBoundSolver::with_limits(config.limits)
+        .with_warm_start(warm)
+        .solve(&problem);
+    match solution.status {
+        MipStatus::Optimal | MipStatus::Feasible => {
+            let assignment: Vec<usize> = (0..n)
+                .map(|i| solution.values[i].round() as usize)
+                .collect();
+            AcyclicPartition::new(dag, assignment, 2).unwrap_or(fallback)
+        }
+        _ => fallback,
+    }
+}
+
+/// Mass-balanced topological-prefix split: cuts a topological order at the
+/// prefix whose suffix mass is closest to the configured side-1 target, subject
+/// to the per-side node-count floors. Always acyclic; used as warm start and
+/// fallback for [`weighted_bipartition`]. Ties prefer the earlier cut.
+pub fn weighted_prefix_split(
+    dag: &CompDag,
+    config: &WeightedBipartitionConfig,
+) -> AcyclicPartition {
+    let n = dag.num_nodes();
+    let min0 = config.min_side0_nodes.max(1);
+    let min1 = config.min_side1_nodes.max(1);
+    if n < min0 + min1 {
+        return AcyclicPartition::trivial(dag);
+    }
+    let topo = TopologicalOrder::of(dag);
+    let total_mass: f64 = dag.nodes().map(|v| dag.compute_weight(v)).sum();
+    let target = total_mass * config.side1_mass_fraction;
+    // suffix_mass(c) = mass of positions c..n; choose the cut position minimising
+    // the distance to the target.
+    let mut best_cut = min0;
+    let mut best_err = f64::INFINITY;
+    let mut suffix = total_mass;
+    for (c, &v) in topo.order().iter().enumerate() {
+        if c >= min0 && c <= n - min1 {
+            let err = (suffix - target).abs();
+            if err < best_err - 1e-12 {
+                best_err = err;
+                best_cut = c;
+            }
+        }
+        suffix -= dag.compute_weight(v);
+    }
+    let mut assignment = vec![0usize; n];
+    for (i, &v) in topo.order().iter().enumerate() {
+        assignment[v.index()] = if i < best_cut { 0 } else { 1 };
+    }
+    AcyclicPartition::new(dag, assignment, 2).expect("prefix split is always acyclic")
+}
+
 /// Recursively bipartitions `dag` until every part has at most `max_part_size`
 /// nodes. Returns the final acyclic partition.
 pub fn recursive_partition(
@@ -268,5 +464,82 @@ mod tests {
         let dag = b.build();
         let part = bipartition(&dag, &BipartitionConfig::default());
         assert_eq!(part.num_parts(), 1);
+    }
+
+    #[test]
+    fn weighted_bipartition_balances_mass_not_node_count() {
+        // A chain where the last two nodes carry almost all the mass: a node-count
+        // split would put ~half the nodes on each side, but the mass-balanced split
+        // must cut late so that side 1 holds roughly half the *mass*.
+        let mut b = mbsp_dag::DagBuilder::new("heavy-tail");
+        let light = b.add_unit_nodes(10).unwrap();
+        b.add_chain(&light).unwrap();
+        let h1 = b.add_node(50.0, 1.0).unwrap();
+        let h2 = b.add_node(50.0, 1.0).unwrap();
+        b.add_edge(light[9], h1).unwrap();
+        b.add_edge(h1, h2).unwrap();
+        let dag = b.build();
+        let weights = vec![1.0; dag.edges().count()];
+        let part = weighted_bipartition(&dag, &weights, &WeightedBipartitionConfig::default());
+        assert_eq!(part.num_parts(), 2);
+        assert!(part.quotient_is_acyclic(&dag));
+        let mass1: f64 = dag
+            .nodes()
+            .filter(|&v| part.part_of(v) == 1)
+            .map(|v| dag.compute_weight(v))
+            .sum();
+        let total: f64 = dag.nodes().map(|v| dag.compute_weight(v)).sum();
+        assert!(
+            (mass1 - total * 0.5).abs() <= total * 0.2,
+            "side-1 mass {mass1} should sit near half of {total}"
+        );
+    }
+
+    #[test]
+    fn weighted_bipartition_prefers_cheap_cuts() {
+        // Two parallel chains joined at a single bridge edge of huge weight versus
+        // many light edges elsewhere: the solver must avoid cutting the bridge.
+        let dag = random_layered_dag(
+            &RandomDagConfig {
+                layers: 6,
+                width: 5,
+                ..Default::default()
+            },
+            11,
+        );
+        let m = dag.edges().count();
+        // Uniform weights first: record the baseline weighted cut.
+        let cfg = WeightedBipartitionConfig::default();
+        let uniform = weighted_bipartition(&dag, &vec![1.0; m], &cfg);
+        let fallback = weighted_prefix_split(&dag, &cfg);
+        let cut_cost = |p: &AcyclicPartition, w: &[f64]| -> f64 {
+            dag.edges()
+                .enumerate()
+                .filter(|&(_, (u, v))| p.part_of(u) != p.part_of(v))
+                .map(|(e, _)| w[e])
+                .sum()
+        };
+        let w = vec![1.0; m];
+        assert!(cut_cost(&uniform, &w) <= cut_cost(&fallback, &w) + 1e-9);
+    }
+
+    #[test]
+    fn weighted_prefix_split_respects_count_floors() {
+        let dag = random_layered_dag(
+            &RandomDagConfig {
+                layers: 4,
+                width: 4,
+                ..Default::default()
+            },
+            5,
+        );
+        let cfg = WeightedBipartitionConfig {
+            min_side0_nodes: 3,
+            min_side1_nodes: 5,
+            ..Default::default()
+        };
+        let part = weighted_prefix_split(&dag, &cfg);
+        let sizes = part.part_sizes();
+        assert!(sizes[0] >= 3 && sizes[1] >= 5, "sizes {sizes:?}");
     }
 }

@@ -6,17 +6,27 @@
 //! vanishing neighbourhood. This module turns the search into a sharded
 //! evaluation service:
 //!
-//! 1. **Partition** — [`topo_shards`] cuts a topological order of the DAG into
-//!    contiguous blocks, giving an [`AcyclicPartition`] whose quotient is acyclic
-//!    by construction (every edge points from a block to the same or a later
-//!    block). Keeping shard boundaries aligned with the precedence order is the
-//!    BSP-bridging-model discipline: merged schedules stay superstep-valid.
+//! 1. **Partition** — [`weighted_shards`] balances per-shard *compute mass*
+//!    and penalises cut edges: the DAG is quotiented over contiguous topo
+//!    runs (a few runs per shard), and the small run-quotient is recursively
+//!    bipartitioned by the warm-started [`weighted_bipartition`] ILP. Side 0 of every split receives the lower part indices, so each
+//!    edge satisfies `part(u) ≤ part(v)` and the quotient is acyclic by
+//!    construction. [`topo_shards`] (equal node-count blocks) is retained as
+//!    the differential fallback/oracle and the legacy strategy. Keeping shard
+//!    boundaries aligned with the precedence order is the BSP-bridging-model
+//!    discipline: merged schedules stay superstep-valid.
 //! 2. **Search** — every shard becomes a zero-copy [`SubDagView`]
 //!    ([`SubDagView::with_inputs`]: external parents join as pure sources whose
 //!    values are already in slow memory) and gets its own
 //!    [`EvaluationEngine`]-backed local search ([`search_view`]) on a scoped
 //!    worker thread. Per-shard candidate evaluations cost `O(V/k)` instead of
 //!    `O(V)`, which is where the wall-clock win comes from even on one core.
+//!    With [`ShardedSearchConfig::shard_local_seed`] the search additionally
+//!    seeds from a *shard-local* greedy baseline (the `DagLike`-generic
+//!    [`mbsp_sched::GreedyBspScheduler`] run directly on the view), adopted as
+//!    the first accepted delta when it beats the restriction of the global
+//!    incumbent — a restriction of a global schedule is rarely a good schedule
+//!    of the sub-problem.
 //! 3. **Merge** — per-shard winning assignments are folded back into the global
 //!    assignment one shard at a time, ordered by `(local cost delta, shard
 //!    index)` — a total order, so the result is identical for any worker count.
@@ -26,27 +36,49 @@
 //!    pass re-derives and re-costs the cross-shard supersteps, so local wins
 //!    that break the boundary are rejected rather than merged blindly.
 //!
+//! 4. **Iterate** — with [`ShardedSearchConfig::iterations`] `> 1` the
+//!    pipeline re-partitions around the merged incumbent with *shifted* cut
+//!    offsets (a golden-ratio fraction of a run per iteration), so
+//!    improvements blocked by an old shard boundary land inside a shard on
+//!    the next pass. Every iteration spends the same per-shard budget; the
+//!    candidate budget of a run is `iterations · k · max_rounds ·
+//!    moves_per_round`.
+//!
 //! The final schedule is therefore never worse than the baseline incumbent,
 //! and for a fixed seed and shard count the whole pipeline is deterministic
 //! regardless of the worker count, **provided the time limit does not truncate
-//! a shard's search** (truncation depends on wall-clock timing — the same
-//! caveat as the single-incumbent search); `tests/shard_determinism.rs`
-//! asserts the worker-count invariance under a generous limit.
+//! a shard's search or drop an iteration** (truncation depends on wall-clock
+//! timing — the same caveat as the single-incumbent search);
+//! `tests/shard_determinism.rs` asserts the worker-count invariance under a
+//! generous limit for both strategies.
 
-use crate::engine::{evaluate_moves_on, resolve_workers, EvalPath, EvaluationEngine, Move};
-use mbsp_dag::{AcyclicPartition, CompDag, DagLike, NodeId, SubDagView, TopologicalOrder};
+use crate::engine::{
+    assignment_delta, evaluate_moves_on, resolve_workers, EvalPath, EvaluationEngine, Move,
+};
+use crate::partition_ilp::{weighted_bipartition, WeightedBipartitionConfig};
+use mbsp_dag::{
+    AcyclicPartition, CompDag, DagLike, NodeId, NodeWeights, SubDagView, TopologicalOrder,
+};
 use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId};
 use mbsp_pool::WorkerPool;
-use mbsp_sched::BspSchedulingResult;
+use mbsp_sched::{BspSchedulingResult, GreedyBspScheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-/// When a shard's whole winning block is rejected by the global
-/// boundary-repair evaluation, at most this many of its accepted deltas are
-/// replayed individually to salvage an improving prefix (each replay is one
-/// global evaluation, so the cap bounds the merge cost).
-const MERGE_REPLAY_CAP: usize = 4;
+/// How [`ShardedHolisticScheduler`] partitions the DAG into shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Equal node-count contiguous topological blocks ([`topo_shards`]) — the
+    /// legacy strategy, retained as the differential fallback/oracle.
+    Topo,
+    /// Compute-mass-balanced, cut-minimising shards ([`weighted_shards`]):
+    /// recursive warm-started ILP bipartition of a quotient over contiguous
+    /// topological runs.
+    #[default]
+    Weighted,
+}
 
 /// Configuration of [`ShardedHolisticScheduler`].
 #[derive(Debug, Clone, Copy)]
@@ -82,6 +114,33 @@ pub struct ShardedSearchConfig {
     /// rounds want `0`, since one unlucky candidate should not forfeit the
     /// remaining budget.
     pub stale_round_limit: usize,
+    /// Partitioning strategy (see [`ShardStrategy`]).
+    pub strategy: ShardStrategy,
+    /// Number of partition/search/merge passes. Each pass re-partitions around
+    /// the merged incumbent with a shifted cut offset (see
+    /// [`weighted_shards`]) and spends the full per-shard budget again, so the
+    /// total candidate budget scales linearly with this knob. `0` behaves like
+    /// `1`.
+    pub iterations: usize,
+    /// Seed every shard's search from a shard-local greedy baseline (the
+    /// `DagLike`-generic [`mbsp_sched::GreedyBspScheduler`] run on the shard's
+    /// view) in addition to the restriction of the global incumbent; the
+    /// better of the two starts the hill climb. Costs one extra evaluation per
+    /// shard.
+    pub shard_local_seed: bool,
+    /// When a shard's whole winning block is rejected by the global
+    /// boundary-repair evaluation, at most this many of its accepted deltas
+    /// are replayed individually to salvage an improving prefix (each replay
+    /// is one global evaluation, so the cap bounds the merge cost). `0`
+    /// restores the all-or-nothing merge.
+    pub merge_replay_cap: usize,
+    /// Granularity of the weighted partitioner: the DAG is quotiented over
+    /// `runs_per_shard · k` contiguous topological runs before the recursive
+    /// ILP bipartition (clamped to `[k, n]`). More runs give the ILP finer cut
+    /// placement at a slightly larger (still tiny) model.
+    pub runs_per_shard: usize,
+    /// Relative compute-mass tolerance of every weighted bipartition step.
+    pub mass_tolerance: f64,
 }
 
 impl Default for ShardedSearchConfig {
@@ -95,14 +154,20 @@ impl Default for ShardedSearchConfig {
             time_limit: Duration::from_secs(20),
             seed: 0x5EED,
             stale_round_limit: 1,
+            strategy: ShardStrategy::Weighted,
+            iterations: 1,
+            shard_local_seed: true,
+            merge_replay_cap: 4,
+            runs_per_shard: 8,
+            mass_tolerance: 0.25,
         }
     }
 }
 
 /// Statistics of one sharded search run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ShardedSearchStats {
-    /// Number of shards searched.
+    /// Number of shard searches run (summed over all iterations).
     pub shards: usize,
     /// Shards whose local search improved on its local baseline.
     pub improved_shards: usize,
@@ -114,6 +179,16 @@ pub struct ShardedSearchStats {
     pub elapsed: Duration,
     /// Cost of the returned schedule under the configured cost model.
     pub final_cost: f64,
+    /// Per-shard compute mass of the first iteration's partition (what the
+    /// weighted partitioner balances; empty when no partition was built).
+    pub shard_compute_mass: Vec<f64>,
+    /// Cut edges of the first iteration's partition.
+    pub cut_edges: usize,
+    /// Individually replayed deltas kept by the merge's prefix salvage (moves
+    /// recovered from shards whose whole block was rejected).
+    pub salvaged_moves: u64,
+    /// Partition/search/merge iterations executed.
+    pub iterations: usize,
 }
 
 /// Partitions `dag` into `num_shards` acyclic shards by cutting a topological
@@ -133,6 +208,238 @@ pub fn topo_shards(dag: &CompDag, num_shards: usize) -> AcyclicPartition {
         part[v.index()] = (pos * k) / n.max(1);
     }
     AcyclicPartition::new(dag, part, k).expect("topological blocks form an acyclic partition")
+}
+
+/// Assigns every node to one of `c` contiguous, compute-mass-balanced blocks of
+/// the topological order. `cut_offset ∈ [0, 1)` shifts every interior block
+/// boundary *earlier* by that fraction of a block's mass — the lever the
+/// iterated search uses to move cuts across old shard boundaries. Every block
+/// is non-empty (mass ties are broken towards the earlier cut; when the DAG
+/// carries no compute mass, unit masses make this the node-count split).
+fn contiguous_mass_blocks(
+    dag: &CompDag,
+    topo: &TopologicalOrder,
+    c: usize,
+    cut_offset: f64,
+) -> Vec<usize> {
+    let n = dag.num_nodes();
+    let c = c.clamp(1, n.max(1));
+    let weight = |v: NodeId| -> f64 {
+        let w = dag.compute_weight(v);
+        if w > 0.0 {
+            w
+        } else {
+            0.0
+        }
+    };
+    let mut total: f64 = topo.order().iter().map(|&v| weight(v)).sum();
+    let unit_mass = total <= 0.0;
+    if unit_mass {
+        total = n as f64;
+    }
+    let step = total / c as f64;
+    let mut part = vec![0usize; n];
+    let mut block = 0usize;
+    let mut in_block = 0usize;
+    let mut acc = 0.0f64;
+    for (pos, &v) in topo.order().iter().enumerate() {
+        if block + 1 < c {
+            let remaining_positions = n - pos;
+            let remaining_blocks = c - block;
+            // The boundary before block b+1 sits at mass (b + 1 - offset)·step.
+            let target = ((block + 1) as f64 - cut_offset) * step;
+            let must_advance = remaining_positions < remaining_blocks;
+            if in_block > 0 && (must_advance || acc >= target - 1e-12) {
+                block += 1;
+                in_block = 0;
+            }
+        }
+        part[v.index()] = block;
+        in_block += 1;
+        acc += if unit_mass { 1.0 } else { weight(v) };
+    }
+    part
+}
+
+/// Partitions `dag` into `num_shards` acyclic shards balancing per-shard
+/// *compute mass* and minimising cut edges — the paper's acyclic-bipartition
+/// discipline applied at shard granularity.
+///
+/// The DAG is first quotiented over `runs_per_shard · k` contiguous
+/// mass-balanced topological runs (`contiguous_mass_blocks`; always acyclic),
+/// then the small run-quotient — whose edge weights are the multiplicities of
+/// the aggregated original edges — is recursively split by the warm-started
+/// [`weighted_bipartition`] ILP. Side 0 of every split takes the lower part
+/// indices, so every original edge satisfies `part(u) ≤ part(v)` and the
+/// result is acyclic by construction for *any* split the ILP returns.
+///
+/// `cut_offset ∈ [0, 1)` shifts the run boundaries (see
+/// `contiguous_mass_blocks`); the iterated search passes a golden-ratio
+/// multiple per iteration so repeated partitions straddle each other's cuts.
+/// Deterministic: the ILPs are solved with fixed limits and deterministic
+/// warm starts, and every tie-break is index-based.
+pub fn weighted_shards(
+    dag: &CompDag,
+    num_shards: usize,
+    runs_per_shard: usize,
+    mass_tolerance: f64,
+    cut_offset: f64,
+) -> AcyclicPartition {
+    let n = dag.num_nodes();
+    let k = num_shards.clamp(1, n.max(1));
+    if k <= 1 || n == 0 {
+        return AcyclicPartition::trivial(dag);
+    }
+    let topo = TopologicalOrder::of(dag);
+    let c = (k * runs_per_shard.max(1)).clamp(k, n);
+    let run_of = contiguous_mass_blocks(dag, &topo, c, cut_offset);
+
+    // Run quotient: per-run mass and per-run-pair edge multiplicity. BTreeMap
+    // keeps the edge order deterministic.
+    let mut run_weights = vec![NodeWeights::new(0.0, 0.0); c];
+    for v in dag.nodes() {
+        let r = run_of[v.index()];
+        run_weights[r] = NodeWeights::new(
+            run_weights[r].compute + dag.compute_weight(v),
+            run_weights[r].memory + dag.memory_weight(v),
+        );
+    }
+    let mut multiplicity: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for (u, v) in dag.edges() {
+        let (ru, rv) = (run_of[u.index()], run_of[v.index()]);
+        if ru != rv {
+            *multiplicity.entry((ru, rv)).or_insert(0.0) += 1.0;
+        }
+    }
+
+    // Recursive weight-aware split of the run list into k parts.
+    let mut part_of_run = vec![0usize; c];
+    let runs: Vec<usize> = (0..c).collect();
+    split_runs(
+        &runs,
+        k,
+        0,
+        &run_weights,
+        &multiplicity,
+        mass_tolerance,
+        &mut part_of_run,
+    );
+
+    let part: Vec<usize> = (0..n).map(|i| part_of_run[run_of[i]]).collect();
+    match AcyclicPartition::new(dag, part, k) {
+        Ok(p) => p,
+        // Defensive: the recursive split guarantees part(u) ≤ part(v) per
+        // edge, but if a degenerate split ever slipped through, fall back to
+        // the direct mass-balanced contiguous cut (always valid).
+        Err(_) => {
+            let direct = contiguous_mass_blocks(dag, &topo, k, cut_offset);
+            AcyclicPartition::new(dag, direct, k)
+                .expect("contiguous mass blocks form an acyclic partition")
+        }
+    }
+}
+
+/// Recursively assigns the runs in `runs` (ascending run indices) to `k`
+/// consecutive part indices starting at `base`, bipartitioning by compute mass
+/// with cut-multiplicity objective. Side 0 keeps the lower part indices; the
+/// quotient-edge acyclicity constraint of the ILP (`x_u ≤ x_v`) guarantees
+/// every cross-side edge points from side 0 to side 1.
+fn split_runs(
+    runs: &[usize],
+    k: usize,
+    base: usize,
+    run_weights: &[NodeWeights],
+    multiplicity: &BTreeMap<(usize, usize), f64>,
+    mass_tolerance: f64,
+    part_of_run: &mut [usize],
+) {
+    if k <= 1 || runs.len() <= 1 {
+        for &r in runs {
+            part_of_run[r] = base;
+        }
+        return;
+    }
+    let kl = k - k / 2; // side 0 (earlier runs) gets the larger half on odd k
+    let kr = k / 2;
+
+    // Build the induced sub-quotient over `runs`: local index = position in the
+    // ascending run list, so edges only point forward and the graph is acyclic.
+    let local_of: BTreeMap<usize, usize> = runs.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let weights: Vec<NodeWeights> = runs.iter().map(|&r| run_weights[r]).collect();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut edge_weights: Vec<f64> = Vec::new();
+    for (&(ru, rv), &m) in multiplicity {
+        if let (Some(&lu), Some(&lv)) = (local_of.get(&ru), local_of.get(&rv)) {
+            edges.push((lu, lv));
+            edge_weights.push(m);
+        }
+    }
+    let sub = CompDag::from_edges("runs", weights, &edges).expect("run quotient is acyclic");
+    let cfg = WeightedBipartitionConfig {
+        side1_mass_fraction: kr as f64 / k as f64,
+        mass_tolerance,
+        min_side0_nodes: kl,
+        min_side1_nodes: kr,
+        ..Default::default()
+    };
+    let split = weighted_bipartition(&sub, &edge_weights, &cfg);
+
+    let mut side0: Vec<usize> = Vec::new();
+    let mut side1: Vec<usize> = Vec::new();
+    if split.num_parts() == 2 {
+        for (i, &r) in runs.iter().enumerate() {
+            if split.part_of(NodeId::new(i)) == 0 {
+                side0.push(r);
+            } else {
+                side1.push(r);
+            }
+        }
+    }
+    if side0.len() < kl || side1.len() < kr {
+        // Degenerate split (the count floors make this unreachable through the
+        // ILP or its prefix fallback, but stay safe): prefix split by count.
+        side0 = runs[..kl].to_vec();
+        side1 = runs[kl..].to_vec();
+    }
+    split_runs(
+        &side0,
+        kl,
+        base,
+        run_weights,
+        multiplicity,
+        mass_tolerance,
+        part_of_run,
+    );
+    split_runs(
+        &side1,
+        kr,
+        base + kl,
+        run_weights,
+        multiplicity,
+        mass_tolerance,
+        part_of_run,
+    );
+}
+
+/// The partition one iteration of the sharded search runs on: dispatches on
+/// [`ShardedSearchConfig::strategy`], with the iteration index driving the
+/// golden-ratio cut-offset shift of the weighted strategy. Iteration `0` uses
+/// offset `0`, so single-iteration runs (and the dirty-cone repair, which
+/// always repairs iteration 0's partition) are unaffected by the shift
+/// schedule.
+pub(crate) fn shard_partition(
+    dag: &CompDag,
+    k: usize,
+    config: &ShardedSearchConfig,
+    iteration: usize,
+) -> AcyclicPartition {
+    match config.strategy {
+        ShardStrategy::Topo => topo_shards(dag, k),
+        ShardStrategy::Weighted => {
+            let offset = ((iteration as f64) * 0.618_033_988_749_894_8).fract();
+            weighted_shards(dag, k, config.runs_per_shard, config.mass_tolerance, offset)
+        }
+    }
 }
 
 /// Builds the boundary sub-problem of one part: the zero-copy
@@ -223,6 +530,34 @@ pub fn search_view(
     required_outputs: &[NodeId],
     deadline: Instant,
 ) -> LocalSearchOutcome {
+    search_view_seeded(
+        view,
+        arch,
+        params,
+        seed_procs,
+        None,
+        required_outputs,
+        deadline,
+    )
+}
+
+/// [`search_view`] with an optional alternative starting assignment
+/// (typically a shard-local greedy baseline): the non-source part of
+/// `alt_seed` is evaluated against `seed_procs`, and when it improves, it is
+/// adopted as the first accepted delta — so the merge can replay it into the
+/// global schedule like any other move. `base_cost` still reports the cost of
+/// `seed_procs` (the restriction of the global incumbent), which is what
+/// orders the merge by improvement-over-incumbent.
+#[allow(clippy::too_many_arguments)]
+pub fn search_view_seeded(
+    view: &SubDagView<'_>,
+    arch: &Architecture,
+    params: &LocalSearchParams,
+    seed_procs: &[ProcId],
+    alt_seed: Option<&[ProcId]>,
+    required_outputs: &[NodeId],
+    deadline: Instant,
+) -> LocalSearchOutcome {
     let mut engine = EvaluationEngine::for_dag(view, arch, EvalPath::Incremental);
     let mut procs = seed_procs.to_vec();
     let base_cost =
@@ -230,6 +565,35 @@ pub fn search_view(
     let mut best_cost = base_cost;
     let mut best_schedule = engine.schedule().clone();
     let mut accepted_deltas: Vec<Vec<(NodeId, ProcId)>> = Vec::new();
+
+    if let Some(alt) = alt_seed {
+        // Candidate = alt seed restricted to the movable (non-source) nodes;
+        // sources keep the incumbent's assignment so the adopted delta stays
+        // replayable through the global merge (global sources are never moved,
+        // and input nodes map to foreign global nodes).
+        let mut candidate = procs.clone();
+        for v in view.nodes() {
+            if !view.is_source(v) {
+                candidate[v.index()] = alt[v.index()];
+            }
+        }
+        let delta = assignment_delta(&procs, &candidate);
+        if !delta.is_empty() {
+            let cost = engine.evaluate_assignment_on(
+                view,
+                arch,
+                &candidate,
+                params.cost_model,
+                required_outputs,
+            );
+            if cost < best_cost - 1e-9 {
+                accepted_deltas.push(delta);
+                procs = candidate;
+                best_cost = cost;
+                best_schedule = engine.schedule().clone();
+            }
+        }
+    }
 
     let movable: Vec<NodeId> = view.nodes().filter(|&v| !view.is_source(v)).collect();
     let mut rounds = 0usize;
@@ -279,12 +643,7 @@ pub fn search_view(
                 stale_rounds = 0;
                 let before = procs.clone();
                 moves[idx].apply(view, &mut procs);
-                accepted_deltas.push(
-                    (0..procs.len())
-                        .filter(|&i| procs[i] != before[i])
-                        .map(|i| (NodeId::new(i), procs[i]))
-                        .collect(),
-                );
+                accepted_deltas.push(assignment_delta(&before, &procs));
                 // Re-evaluate the winner to materialise its schedule.
                 best_cost = engines[0].evaluate_assignment_on(
                     view,
@@ -332,9 +691,10 @@ pub(crate) struct ShardOutcome {
 /// shard first (shard index as the tie-break — a total order, so the result is
 /// identical for any worker count), each fold re-evaluated globally through
 /// `engine` and kept only if the global cost improves; rejected blocks get a
-/// bounded prefix-replay salvage. Updates `procs`, `best_cost` and
-/// `best_schedule` in place and returns `(improved_shards, accepted_shards)`.
-/// Shared by [`ShardedHolisticScheduler`] and the dirty-cone repair engine.
+/// prefix-replay salvage bounded by `replay_cap`. Updates `procs`, `best_cost`
+/// and `best_schedule` in place and returns `(improved_shards,
+/// accepted_shards, salvaged_moves)`. Shared by [`ShardedHolisticScheduler`]
+/// and the dirty-cone repair engine.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn merge_outcomes(
     engine: &mut EvaluationEngine,
@@ -345,7 +705,8 @@ pub(crate) fn merge_outcomes(
     procs: &mut [ProcId],
     best_cost: &mut f64,
     best_schedule: &mut MbspSchedule,
-) -> (usize, usize) {
+    replay_cap: usize,
+) -> (usize, usize, u64) {
     let mut order: Vec<usize> = (0..outcomes.len()).collect();
     order.sort_by(|&a, &b| {
         let da = outcomes[a].best_cost - outcomes[a].base_cost;
@@ -356,6 +717,7 @@ pub(crate) fn merge_outcomes(
     let mut trial = procs.to_vec();
     let mut improved_shards = 0usize;
     let mut accepted_shards = 0usize;
+    let mut salvaged_moves = 0u64;
     for &i in &order {
         let o = &outcomes[i];
         if o.best_cost >= o.base_cost - 1e-9 || o.deltas.is_empty() {
@@ -382,7 +744,7 @@ pub(crate) fn merge_outcomes(
         // cost keeps improving, and stop at the first failure (bounded extra
         // global evaluations per rejected shard).
         let mut salvaged = false;
-        for delta in o.deltas.iter().take(MERGE_REPLAY_CAP) {
+        for delta in o.deltas.iter().take(replay_cap) {
             for &(g, p) in delta {
                 trial[g.index()] = p;
             }
@@ -392,6 +754,7 @@ pub(crate) fn merge_outcomes(
                 best_schedule.clone_from(engine.schedule());
                 procs.copy_from_slice(&trial);
                 salvaged = true;
+                salvaged_moves += 1;
             } else {
                 trial.copy_from_slice(procs);
                 break;
@@ -401,7 +764,7 @@ pub(crate) fn merge_outcomes(
             accepted_shards += 1;
         }
     }
-    (improved_shards, accepted_shards)
+    (improved_shards, accepted_shards, salvaged_moves)
 }
 
 /// The sharded holistic scheduler: partition, per-shard engine-backed search on
@@ -491,14 +854,47 @@ impl ShardedHolisticScheduler {
         }
 
         let movable_any = dag.nodes().any(|v| !dag.is_source(v));
-        let mut outcomes: Vec<ShardOutcome> = Vec::new();
-        if movable_any && arch.processors > 1 && dag.num_nodes() > 0 {
-            let partition = topo_shards(dag, k);
+        let searchable = movable_any && arch.processors > 1 && dag.num_nodes() > 0;
+        let iterations = self.config.iterations.max(1);
+        let mut total_shards = 0usize;
+        let mut improved_shards = 0usize;
+        let mut accepted_shards = 0usize;
+        let mut salvaged_moves = 0u64;
+        let mut shard_evaluations = 0u64;
+        let mut shard_compute_mass: Vec<f64> = Vec::new();
+        let mut cut_edges = 0usize;
+        let mut iterations_run = 0usize;
+
+        for iter in 0..iterations {
+            if !searchable {
+                break;
+            }
+            // The deadline can truncate the iteration schedule exactly like it
+            // can truncate a shard's search — the determinism caveat in the
+            // module docs covers both.
+            if iter > 0 && Instant::now() >= deadline {
+                break;
+            }
+            iterations_run += 1;
+            // Re-partition around the merged incumbent: iteration `iter` shifts
+            // the weighted strategy's run boundaries by a golden-ratio offset,
+            // so improvements blocked by an old shard boundary land inside a
+            // shard on a later pass.
+            let partition = shard_partition(dag, k, &self.config, iter);
+            if iter == 0 {
+                shard_compute_mass = partition.part_compute_masses(dag);
+                cut_edges = partition.cut_edges(dag);
+            }
             let parts = partition.parts();
             let config = self.config;
             let procs_ref: &[ProcId] = &procs;
             let partition_ref = &partition;
             let parts_ref = &parts;
+            // Decorrelate the iterations' move streams: each pass explores new
+            // candidates from the new incumbent.
+            let seed_base = config
+                .seed
+                .wrapping_add((iter as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
             // Shards are distributed round-robin over the workers; each shard's
             // search is self-contained and seeded by its own index, so the
             // distribution (and therefore the worker count) cannot change any
@@ -517,6 +913,7 @@ impl ShardedHolisticScheduler {
                                 s,
                                 procs_ref,
                                 &config,
+                                seed_base,
                                 deadline,
                             ));
                             s += workers;
@@ -525,35 +922,43 @@ impl ShardedHolisticScheduler {
                     }
                 })
                 .collect();
-            let mut collected: Vec<ShardOutcome> =
+            let mut outcomes: Vec<ShardOutcome> =
                 self.pool.run_batch(lanes).into_iter().flatten().collect();
-            collected.sort_by_key(|o| o.index);
-            outcomes = collected;
+            outcomes.sort_by_key(|o| o.index);
+
+            // Deterministic merge: most locally-improving shard first, shard
+            // index as the tie-break; each fold must survive the global
+            // boundary-repair re-evaluation (conversion + post-optimisation of
+            // the whole assignment) to be kept.
+            let (improved, accepted, salvaged) = merge_outcomes(
+                &mut global_engine,
+                dag,
+                arch,
+                cost_model,
+                &outcomes,
+                &mut procs,
+                &mut best_cost,
+                &mut best_schedule,
+                self.config.merge_replay_cap,
+            );
+            total_shards += outcomes.len();
+            improved_shards += improved;
+            accepted_shards += accepted;
+            salvaged_moves += salvaged;
+            shard_evaluations += outcomes.iter().map(|o| o.evaluations).sum::<u64>();
         }
 
-        // Deterministic merge: most locally-improving shard first, shard index
-        // as the tie-break; each fold must survive the global boundary-repair
-        // re-evaluation (conversion + post-optimisation of the whole
-        // assignment) to be kept.
-        let (improved_shards, accepted_shards) = merge_outcomes(
-            &mut global_engine,
-            dag,
-            arch,
-            cost_model,
-            &outcomes,
-            &mut procs,
-            &mut best_cost,
-            &mut best_schedule,
-        );
-
         let stats = ShardedSearchStats {
-            shards: outcomes.len(),
+            shards: total_shards,
             improved_shards,
             accepted_shards,
-            evaluations: global_engine.evaluations
-                + outcomes.iter().map(|o| o.evaluations).sum::<u64>(),
+            evaluations: global_engine.evaluations + shard_evaluations,
             elapsed: start.elapsed(),
             final_cost: best_cost,
+            shard_compute_mass,
+            cut_edges,
+            salvaged_moves,
+            iterations: iterations_run,
         };
         (best_schedule, stats, procs)
     }
@@ -563,6 +968,8 @@ impl ShardedHolisticScheduler {
 /// assignment back to global ids. `index` is the shard's *global* index in the
 /// partition — it feeds the seed stride, so searching a subset of shards (the
 /// dirty-cone repair) explores exactly the streams a full run would.
+/// `seed_base` is the iteration-shifted base seed (iteration 0 passes
+/// `config.seed` unchanged, which is what the dirty-cone repair replays).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_shard(
     dag: &CompDag,
@@ -572,6 +979,7 @@ pub(crate) fn run_shard(
     index: usize,
     global_procs: &[ProcId],
     config: &ShardedSearchConfig,
+    seed_base: u64,
     deadline: Instant,
 ) -> ShardOutcome {
     let (view, required) = part_view(dag, partition, core, index, "shard");
@@ -584,12 +992,27 @@ pub(crate) fn run_shard(
         moves_per_round: config.moves_per_round,
         // Golden-ratio stride decorrelates the shard streams from each other
         // and from the single-incumbent search at the same base seed.
-        seed: config
-            .seed
-            .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        seed: seed_base.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         stale_round_limit: config.stale_round_limit,
     };
-    let outcome = search_view(&view, arch, &params, &seed_procs, &required, deadline);
+    // Shard-local greedy baseline: a restriction of the global schedule is
+    // rarely a good schedule of the sub-problem, so offer the generic greedy
+    // scheduler's view-local schedule as an alternative starting point.
+    let alt_seed: Option<Vec<ProcId>> = if config.shard_local_seed && arch.processors > 1 {
+        let local = GreedyBspScheduler::new().schedule_dag(&view, arch);
+        Some(view.nodes().map(|v| local.schedule.proc_of(v)).collect())
+    } else {
+        None
+    };
+    let outcome = search_view_seeded(
+        &view,
+        arch,
+        &params,
+        &seed_procs,
+        alt_seed.as_deref(),
+        &required,
+        deadline,
+    );
     let deltas: Vec<Vec<(NodeId, ProcId)>> = outcome
         .accepted_deltas
         .iter()

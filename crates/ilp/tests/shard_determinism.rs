@@ -3,7 +3,7 @@
 //! `(local cost delta, shard index)` order, so the worker pool only changes
 //! wall-clock, never results.
 
-use mbsp_ilp::{ShardedHolisticScheduler, ShardedSearchConfig};
+use mbsp_ilp::{ShardStrategy, ShardedHolisticScheduler, ShardedSearchConfig};
 use mbsp_model::{Architecture, MbspInstance};
 use mbsp_sched::{BspScheduler, GreedyBspScheduler};
 use std::time::Duration;
@@ -66,6 +66,56 @@ fn sharded_search_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn weighted_iterated_search_is_byte_identical_across_worker_counts() {
+    // The iterated weight-aware mode re-partitions around the merged incumbent
+    // with shifted cut offsets; every iteration seeds shards from a
+    // shard-local greedy baseline. None of that may depend on the pool size.
+    let greedy = GreedyBspScheduler::new();
+    for inst in instances(3) {
+        let baseline = greedy.schedule(inst.dag(), inst.arch());
+        let mut schedules = Vec::new();
+        let mut stats_by_workers = Vec::new();
+        for workers in [1usize, 4, 8] {
+            let sharded = ShardedHolisticScheduler::with_config(ShardedSearchConfig {
+                strategy: ShardStrategy::Weighted,
+                num_shards: 3,
+                workers,
+                max_rounds: 3,
+                moves_per_round: 8,
+                iterations: 3,
+                shard_local_seed: true,
+                // Generous enough that the deadline never truncates an
+                // iteration or a shard search.
+                time_limit: Duration::from_secs(60),
+                ..Default::default()
+            });
+            let (schedule, stats) = sharded.schedule_with_stats(&inst, &baseline);
+            schedule.validate(inst.dag(), inst.arch()).unwrap();
+            schedules.push(schedule);
+            stats_by_workers.push(stats);
+        }
+        assert_eq!(
+            schedules[0],
+            schedules[1],
+            "{}: 1-worker and 4-worker weighted-iterated searches diverged",
+            inst.name()
+        );
+        assert_eq!(
+            schedules[0],
+            schedules[2],
+            "{}: 1-worker and 8-worker weighted-iterated searches diverged",
+            inst.name()
+        );
+        for s in &stats_by_workers {
+            assert_eq!(s.iterations, 3, "{}", inst.name());
+            assert!((s.final_cost - stats_by_workers[0].final_cost).abs() < 1e-12);
+            assert_eq!(s.salvaged_moves, stats_by_workers[0].salvaged_moves);
+            assert_eq!(s.shards, stats_by_workers[0].shards);
+        }
+    }
+}
+
+#[test]
 fn sharded_search_stats_are_consistent() {
     let greedy = GreedyBspScheduler::new();
     let inst = &instances(4)[3];
@@ -80,6 +130,19 @@ fn sharded_search_stats_are_consistent() {
     });
     let (schedule, stats) = sharded.schedule_with_stats(&inst.clone(), &baseline);
     assert_eq!(stats.shards, 3);
+    assert_eq!(stats.iterations, 1);
+    assert_eq!(
+        stats.shard_compute_mass.len(),
+        3,
+        "per-shard compute mass must cover the iteration-0 partition"
+    );
+    let total_mass: f64 = inst
+        .dag()
+        .nodes()
+        .map(|v| inst.dag().compute_weight(v))
+        .sum();
+    let recorded: f64 = stats.shard_compute_mass.iter().sum();
+    assert!((recorded - total_mass).abs() < 1e-6);
     assert!(stats.accepted_shards <= stats.improved_shards);
     assert!(stats.improved_shards <= stats.shards);
     // Global incumbent evaluations (assignment + baseline BSP) plus at least

@@ -14,7 +14,7 @@
 //! pre-scratch implementation retained as [`crate::reference::cilk_reference`]).
 
 use crate::{BspScheduler, BspSchedulingResult, SchedulerScratch};
-use mbsp_dag::{CompDag, NodeId};
+use mbsp_dag::{CompDag, DagLike, NodeId};
 use mbsp_model::{Architecture, BspSchedule, ProcId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -46,7 +46,12 @@ impl CilkScheduler {
     /// the worker that executed it (`scratch.owner`) and the execution order
     /// (`scratch.completion_order`, a permutation of the non-source nodes in
     /// completion order).
-    fn simulate(&self, dag: &CompDag, processors: usize, scratch: &mut SchedulerScratch) {
+    fn simulate<D: DagLike + ?Sized>(
+        &self,
+        dag: &D,
+        processors: usize,
+        scratch: &mut SchedulerScratch,
+    ) {
         let n = dag.num_nodes();
         let mut rng = StdRng::seed_from_u64(self.seed);
         scratch.remaining_parents.clear();
@@ -64,7 +69,7 @@ impl CilkScheduler {
         // round-robin over the workers (sources themselves are inputs).
         scratch.ready.clear();
         for v in dag.source_nodes() {
-            for &c in dag.children(v) {
+            for c in dag.children(v) {
                 scratch.remaining_parents[c.index()] -= 1;
                 if scratch.remaining_parents[c.index()] == 0 {
                     scratch.ready.push(c);
@@ -131,7 +136,7 @@ impl CilkScheduler {
                     scratch.worker_time[w] += dag.compute_weight(v).max(f64::MIN_POSITIVE);
                     scratch.completion_order.push(v);
                     // Newly ready children go to this worker's deque (depth-first).
-                    for &c in dag.children(v) {
+                    for c in dag.children(v) {
                         scratch.remaining_parents[c.index()] -= 1;
                         if scratch.remaining_parents[c.index()] == 0 {
                             scratch.deques[w].push_back(c);
@@ -157,20 +162,24 @@ impl CilkScheduler {
             }
         }
     }
-}
 
-impl BspScheduler for CilkScheduler {
-    fn name(&self) -> &'static str {
-        "cilk-work-stealing"
-    }
-
-    fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
-        self.schedule_with_scratch(dag, arch, &mut SchedulerScratch::default())
-    }
-
-    fn schedule_with_scratch(
+    /// Generic counterpart of [`BspScheduler::schedule`]: simulates the
+    /// work-stealing execution on any [`DagLike`] graph, including the zero-copy
+    /// [`mbsp_dag::SubDagView`]. On a `CompDag` it is byte-identical to the trait
+    /// path (which delegates here) — the RNG draw sequence does not depend on the
+    /// graph representation.
+    pub fn schedule_dag<D: DagLike + ?Sized>(
         &self,
-        dag: &CompDag,
+        dag: &D,
+        arch: &Architecture,
+    ) -> BspSchedulingResult {
+        self.schedule_dag_with_scratch(dag, arch, &mut SchedulerScratch::default())
+    }
+
+    /// Like [`CilkScheduler::schedule_dag`], reusing the caller's scratch buffers.
+    pub fn schedule_dag_with_scratch<D: DagLike + ?Sized>(
+        &self,
+        dag: &D,
         arch: &Architecture,
         scratch: &mut SchedulerScratch,
     ) -> BspSchedulingResult {
@@ -199,7 +208,7 @@ impl BspScheduler for CilkScheduler {
             let v = scratch.completion_order[i];
             let w = scratch.owner[v.index()];
             let mut s = scratch.last_step_of_worker[w.index()];
-            for &u in dag.parents(v) {
+            for u in dag.parents(v) {
                 if dag.is_source(u) {
                     continue;
                 }
@@ -231,6 +240,25 @@ impl BspScheduler for CilkScheduler {
         let mut schedule = BspSchedule::new(p, assignment);
         schedule.compact_supersteps();
         BspSchedulingResult { schedule, order }
+    }
+}
+
+impl BspScheduler for CilkScheduler {
+    fn name(&self) -> &'static str {
+        "cilk-work-stealing"
+    }
+
+    fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
+        self.schedule_dag(dag, arch)
+    }
+
+    fn schedule_with_scratch(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        scratch: &mut SchedulerScratch,
+    ) -> BspSchedulingResult {
+        self.schedule_dag_with_scratch(dag, arch, scratch)
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::{BspScheduler, BspSchedulingResult, SchedulerScratch};
 use mbsp_dag::topo::dfs_topological_order_into;
-use mbsp_dag::CompDag;
+use mbsp_dag::{CompDag, DagLike};
 use mbsp_model::{Architecture, BspSchedule, ProcId};
 
 /// Depth-first single-processor scheduler.
@@ -22,20 +22,22 @@ impl DfsScheduler {
     pub fn new() -> Self {
         DfsScheduler
     }
-}
 
-impl BspScheduler for DfsScheduler {
-    fn name(&self) -> &'static str {
-        "dfs"
-    }
-
-    fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
-        self.schedule_with_scratch(dag, arch, &mut SchedulerScratch::default())
-    }
-
-    fn schedule_with_scratch(
+    /// Generic counterpart of [`BspScheduler::schedule`]: computes the
+    /// single-processor DFS schedule on any [`DagLike`] graph, including the
+    /// zero-copy [`mbsp_dag::SubDagView`].
+    pub fn schedule_dag<D: DagLike + ?Sized>(
         &self,
-        dag: &CompDag,
+        dag: &D,
+        arch: &Architecture,
+    ) -> BspSchedulingResult {
+        self.schedule_dag_with_scratch(dag, arch, &mut SchedulerScratch::default())
+    }
+
+    /// Like [`DfsScheduler::schedule_dag`], reusing the caller's scratch buffers.
+    pub fn schedule_dag_with_scratch<D: DagLike + ?Sized>(
+        &self,
+        dag: &D,
         _arch: &Architecture,
         scratch: &mut SchedulerScratch,
     ) -> BspSchedulingResult {
@@ -46,6 +48,25 @@ impl BspScheduler for DfsScheduler {
             schedule: BspSchedule::new(1, assignment),
             order,
         }
+    }
+}
+
+impl BspScheduler for DfsScheduler {
+    fn name(&self) -> &'static str {
+        "dfs"
+    }
+
+    fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
+        self.schedule_dag(dag, arch)
+    }
+
+    fn schedule_with_scratch(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        scratch: &mut SchedulerScratch,
+    ) -> BspSchedulingResult {
+        self.schedule_dag_with_scratch(dag, arch, scratch)
     }
 }
 

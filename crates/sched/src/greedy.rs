@@ -25,7 +25,7 @@
 
 use crate::{BspScheduler, BspSchedulingResult, SchedulerScratch};
 use mbsp_dag::topo::bottom_levels_into;
-use mbsp_dag::{CompDag, NodeId};
+use mbsp_dag::{CompDag, DagLike, NodeId};
 use mbsp_model::{Architecture, BspSchedule, ProcId};
 
 /// Tunable parameters of [`GreedyBspScheduler`].
@@ -72,20 +72,24 @@ impl GreedyBspScheduler {
     pub fn with_config(config: GreedyBspConfig) -> Self {
         GreedyBspScheduler { config }
     }
-}
 
-impl BspScheduler for GreedyBspScheduler {
-    fn name(&self) -> &'static str {
-        "greedy-bsp"
-    }
-
-    fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
-        self.schedule_with_scratch(dag, arch, &mut SchedulerScratch::default())
-    }
-
-    fn schedule_with_scratch(
+    /// Generic counterpart of [`BspScheduler::schedule`]: runs the greedy list
+    /// scheduler on any [`DagLike`] graph, including the zero-copy
+    /// [`mbsp_dag::SubDagView`]. On a `CompDag` it is byte-identical to the trait
+    /// path (which delegates here).
+    pub fn schedule_dag<D: DagLike + ?Sized>(
         &self,
-        dag: &CompDag,
+        dag: &D,
+        arch: &Architecture,
+    ) -> BspSchedulingResult {
+        self.schedule_dag_with_scratch(dag, arch, &mut SchedulerScratch::default())
+    }
+
+    /// Like [`GreedyBspScheduler::schedule_dag`], reusing the caller's scratch
+    /// buffers.
+    pub fn schedule_dag_with_scratch<D: DagLike + ?Sized>(
+        &self,
+        dag: &D,
         arch: &Architecture,
         scratch: &mut SchedulerScratch,
     ) -> BspSchedulingResult {
@@ -124,7 +128,7 @@ impl BspScheduler for GreedyBspScheduler {
                 assignment[v.index()] = Some((ProcId::new(0), 0));
                 order.push(v);
                 scheduled += 1;
-                for &c in dag.children(v) {
+                for c in dag.children(v) {
                     scratch.remaining_parents[c.index()] -= 1;
                     if scratch.remaining_parents[c.index()] == 0 {
                         scratch.ready.push(c);
@@ -176,7 +180,7 @@ impl BspScheduler for GreedyBspScheduler {
                     // assigned to that same processor within this superstep.
                     scratch.allowed.clear();
                     'proc: for pi in 0..p {
-                        for &u in dag.parents(v) {
+                        for u in dag.parents(v) {
                             let ok = scratch.finished_before[u.index()]
                                 || assignment[u.index()] == Some((ProcId::new(pi), superstep));
                             if !ok {
@@ -205,12 +209,11 @@ impl BspScheduler for GreedyBspScheduler {
                     for &q in &scratch.allowed {
                         let comm: f64 = dag
                             .parents(v)
-                            .iter()
-                            .filter(|&&u| {
+                            .filter(|&u| {
                                 let (pu, _) = assignment[u.index()].expect("parent scheduled");
                                 pu != q && !dag.is_source(u)
                             })
-                            .map(|&u| dag.memory_weight(u) * arch.g)
+                            .map(|u| dag.memory_weight(u) * arch.g)
                             .sum();
                         let score = self.config.balance_weight * scratch.load[q.index()]
                             + self.config.comm_weight * comm;
@@ -230,7 +233,7 @@ impl BspScheduler for GreedyBspScheduler {
                     order.push(v);
                     scheduled += 1;
                     progressed = true;
-                    for &c in dag.children(v) {
+                    for c in dag.children(v) {
                         scratch.remaining_parents[c.index()] -= 1;
                         if scratch.remaining_parents[c.index()] == 0 {
                             scratch.ready.push(c);
@@ -252,6 +255,25 @@ impl BspScheduler for GreedyBspScheduler {
         let mut schedule = BspSchedule::new(p, assignment);
         schedule.compact_supersteps();
         BspSchedulingResult { schedule, order }
+    }
+}
+
+impl BspScheduler for GreedyBspScheduler {
+    fn name(&self) -> &'static str {
+        "greedy-bsp"
+    }
+
+    fn schedule(&self, dag: &CompDag, arch: &Architecture) -> BspSchedulingResult {
+        self.schedule_dag(dag, arch)
+    }
+
+    fn schedule_with_scratch(
+        &self,
+        dag: &CompDag,
+        arch: &Architecture,
+        scratch: &mut SchedulerScratch,
+    ) -> BspSchedulingResult {
+        self.schedule_dag_with_scratch(dag, arch, scratch)
     }
 }
 
