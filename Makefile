@@ -37,10 +37,13 @@ bench-compile:
 # into BENCH_delta.json, and the worker-pool/kernel/merge comparison (resident
 # pool engine batches vs scoped spawns + eager merge, vectorized vs scalar
 # pebble-set kernels, segment-tree vs O(P)-fold merge pass) into
-# BENCH_pool.json. Set MBSP_BENCH_SOLVER_QUICK=1 /
-# MBSP_BENCH_IMPROVER_QUICK=1 / MBSP_BENCH_DAG_QUICK=1 /
-# MBSP_BENCH_SHARD_QUICK=1 / MBSP_BENCH_DELTA_QUICK=1 /
-# MBSP_BENCH_POOL_QUICK=1 for the fast CI smoke variants.
+# BENCH_pool.json, and the checkpoint-codec baseline (session encode/decode
+# wall-clock with byte-identity and corruption-rejection flags, <50 ms each
+# way on the 100k-node instances) into BENCH_io.json. Set
+# MBSP_BENCH_SOLVER_QUICK=1 / MBSP_BENCH_IMPROVER_QUICK=1 /
+# MBSP_BENCH_DAG_QUICK=1 / MBSP_BENCH_SHARD_QUICK=1 /
+# MBSP_BENCH_DELTA_QUICK=1 / MBSP_BENCH_POOL_QUICK=1 /
+# MBSP_BENCH_IO_QUICK=1 for the fast CI smoke variants.
 bench-json:
 	cargo run --release -p mbsp_bench --bin bench_solver
 	cargo run --release -p mbsp_bench --bin bench_improver
@@ -48,8 +51,9 @@ bench-json:
 	cargo run --release -p mbsp_bench --bin bench_shard
 	cargo run --release -p mbsp_bench --bin bench_delta
 	cargo run --release -p mbsp_bench --bin bench_pool
+	cargo run --release -p mbsp_bench --bin bench_io
 
-# The six CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
+# The seven CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
 smokes:
 	MBSP_BENCH_SOLVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_solver
 	MBSP_BENCH_IMPROVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_improver
@@ -57,6 +61,7 @@ smokes:
 	MBSP_BENCH_SHARD_QUICK=1 cargo run --release -p mbsp_bench --bin bench_shard
 	MBSP_BENCH_DELTA_QUICK=1 cargo run --release -p mbsp_bench --bin bench_delta
 	MBSP_BENCH_POOL_QUICK=1 cargo run --release -p mbsp_bench --bin bench_pool
+	MBSP_BENCH_IO_QUICK=1 cargo run --release -p mbsp_bench --bin bench_io
 
 # The bench-regression gate: parses the BENCH_*_quick.json smoke outputs and
 # fails on any sub-1.0 speedup or fast/reference divergence.
@@ -64,7 +69,7 @@ bench-check:
 	cargo run --release -p mbsp_bench --bin bench_check
 
 # Everything CI checks, in CI's order: build, test, doc, formatting, clippy,
-# the six benchmark smokes, the criterion compile gate and the
+# the seven benchmark smokes, the criterion compile gate and the
 # bench-regression gate. Contributors can reproduce a red CI run locally with
 # this single target.
 ci: build test doc fmt lint smokes bench-compile bench-check

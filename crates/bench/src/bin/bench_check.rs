@@ -1,7 +1,7 @@
 //! The CI bench-regression gate: parses the quick-mode `BENCH_*_quick.json`
-//! files that the six benchmark smokes (`bench_solver`, `bench_improver`,
-//! `bench_dag`, `bench_shard`, `bench_delta`, `bench_pool` with their
-//! `MBSP_BENCH_*_QUICK=1` contracts)
+//! files that the seven benchmark smokes (`bench_solver`, `bench_improver`,
+//! `bench_dag`, `bench_shard`, `bench_delta`, `bench_pool`, `bench_io` with
+//! their `MBSP_BENCH_*_QUICK=1` contracts)
 //! wrote earlier in the run, and **fails** if any fast-vs-reference speedup
 //! dropped below 1.0 or any agreement flag shows the compared paths diverged.
 //! Every violation names the offending file, instance and metric; a missing or
@@ -12,7 +12,10 @@
 //! their speedup bars are asserted by the full `bench_pool` / `bench_shard`
 //! runs instead. The shard smoke must cover both sharding modes — legacy
 //! topological and weighted-iterated — and additionally gates the weighted
-//! mode's equal-or-better-than-legacy flag.)
+//! mode's equal-or-better-than-legacy flag. The io smoke gates checkpoint
+//! byte-identity and corruption rejection; its 50 ms encode/decode budget is
+//! production-scale by definition, so it is asserted by the full `bench_io`
+//! run on the 100k-node instances.)
 //!
 //! This is the last CI step (`cargo run -p mbsp_bench --bin bench_check`), so a
 //! performance regression that makes an optimised path slower than its
@@ -141,6 +144,21 @@ struct PoolReport {
     geomean_speedup: f64,
     kernels: Vec<PoolKernel>,
     improver: Vec<PoolImprover>,
+}
+
+#[derive(Debug, Deserialize)]
+struct IoInstance {
+    name: String,
+    encode_seconds: f64,
+    decode_seconds: f64,
+    byte_identical: bool,
+    corrupt_rejected: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct IoReport {
+    quick: bool,
+    instances: Vec<IoInstance>,
 }
 
 /// Collected gate violations; empty means the gate is green.
@@ -390,9 +408,50 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(r) = gate.parse::<IoReport>("BENCH_io_quick.json") {
+        let path = "BENCH_io_quick.json";
+        gate.require(
+            path,
+            "report",
+            "quick flag is false — the smoke must run with the quick-mode env var",
+            r.quick,
+        );
+        for i in &r.instances {
+            gate.require(
+                path,
+                &i.name,
+                "restored session re-checkpointed to different bytes",
+                i.byte_identical,
+            );
+            gate.require(
+                path,
+                &i.name,
+                "a corrupted checkpoint was accepted",
+                i.corrupt_rejected,
+            );
+            // No wall-clock bar on the smoke (tiny instances, noisy runners) —
+            // the 50 ms encode/decode budget is asserted by the full
+            // `bench_io` run on the 100k-node instances. The timings just have
+            // to be real measurements.
+            gate.require(
+                path,
+                &i.name,
+                "checkpoint codec timings are not finite positive seconds",
+                i.encode_seconds > 0.0
+                    && i.encode_seconds.is_finite()
+                    && i.decode_seconds > 0.0
+                    && i.decode_seconds.is_finite(),
+            );
+        }
+        println!(
+            "io       byte-identical over {} instances",
+            r.instances.len()
+        );
+    }
+
     if gate.problems.is_empty() {
         println!(
-            "bench_check: {} checks passed across 6 quick reports",
+            "bench_check: {} checks passed across 7 quick reports",
             gate.checked
         );
         ExitCode::SUCCESS

@@ -1,0 +1,261 @@
+//! Records the checkpoint codec baseline: binary encode/decode wall-clock of
+//! full `mbsp_ilp::IncrementalScheduler` sessions (`mbsp_io` frame) on the
+//! `large_dataset` instances — written to `BENCH_io.json`.
+//!
+//! Per instance the harness seeds an incremental session (greedy assignment,
+//! standard repair configuration), lands a small localized delta stream so
+//! the pending set and the mutated order are non-trivial — a checkpoint of a
+//! freshly-built session would flatter the codec — then measures
+//! (a) `checkpoint()` (encode) and (b) `IncrementalScheduler::restore`
+//! (decode + full invariant re-validation), each as the minimum over `REPS`
+//! runs. Two robustness flags ride along: `byte_identical` (the restored
+//! session re-checkpoints to the exact original bytes — the property the
+//! `checkpoint_session` suite pins functionally) and `corrupt_rejected` (a
+//! truncation and a bit flip of the blob are both refused with a typed
+//! [`DecodeError`](mbsp_ilp::DecodeError)).
+//!
+//! The headline acceptance bar applies to the production-scale (100k-node)
+//! instances of the full run: encode and decode must each finish **under
+//! 50 ms** — checkpointing has to be cheap enough to run at mutation-stream
+//! cadence, not just at job boundaries. Byte identity and corruption
+//! rejection are gated on every instance, quick or full.
+//!
+//! Set `MBSP_BENCH_IO_QUICK=1` for the CI smoke run (small instances,
+//! separate output file). The JSON schema is `{benchmark, quick, instances:
+//! [{name, nodes, edges, pending, blob_bytes, encode_seconds, decode_seconds,
+//! encode_mb_per_s, decode_mb_per_s, byte_identical, corrupt_rejected}]}`.
+
+use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+use mbsp_gen::{mutation_stream, Corruption, MutationStreamConfig, NamedInstance};
+use mbsp_ilp::{IncrementalScheduler, RepairConfig, ShardedSearchConfig};
+use mbsp_model::{Architecture, MbspInstance};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// Wall-clock is the minimum over this many runs: checkpointing is pure CPU
+/// (no I/O, no search), so the minimum is the least-noisy estimator.
+const REPS: usize = 5;
+/// The acceptance bar, per direction, on the 100k-node instances.
+const BUDGET_SECONDS: f64 = 0.050;
+
+#[derive(Debug, Serialize)]
+struct InstanceReport {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    pending: usize,
+    blob_bytes: usize,
+    encode_seconds: f64,
+    decode_seconds: f64,
+    encode_mb_per_s: f64,
+    decode_mb_per_s: f64,
+    byte_identical: bool,
+    corrupt_rejected: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    benchmark: String,
+    quick: bool,
+    instances: Vec<InstanceReport>,
+}
+
+fn main() {
+    // "0", "" and "false" disable quick mode (the documented contract is `=1`).
+    let quick = std::env::var("MBSP_BENCH_IO_QUICK")
+        .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
+        .unwrap_or(false);
+
+    let named: Vec<NamedInstance> = if quick {
+        vec![
+            NamedInstance {
+                name: "rand_L12_W50_quick".to_string(),
+                family: "random",
+                dag: random_layered_dag(
+                    &RandomDagConfig {
+                        layers: 12,
+                        width: 50,
+                        edge_probability: 0.08,
+                        ..Default::default()
+                    },
+                    17,
+                ),
+            },
+            NamedInstance {
+                name: "rand_L20_W60_quick".to_string(),
+                family: "random",
+                dag: random_layered_dag(
+                    &RandomDagConfig {
+                        layers: 20,
+                        width: 60,
+                        edge_probability: 0.06,
+                        ..Default::default()
+                    },
+                    18,
+                ),
+            },
+        ]
+    } else {
+        mbsp_gen::large_dataset(42)
+    };
+
+    // Iteration helper: run only the instances whose name contains the filter.
+    let only = std::env::var("MBSP_BENCH_IO_ONLY").unwrap_or_default();
+
+    let mut reports = Vec::new();
+    for inst in named
+        .iter()
+        .filter(|i| only.is_empty() || i.name.contains(&only))
+    {
+        let n = inst.dag.num_nodes();
+        eprintln!(
+            "== {} ({} nodes, {} edges)",
+            inst.name,
+            n,
+            inst.dag.num_edges()
+        );
+        let instance = MbspInstance::with_cache_factor(
+            inst.dag.clone(),
+            Architecture::paper_default(0.0),
+            3.0,
+        );
+        let baseline = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+        let procs = instance
+            .dag()
+            .nodes()
+            .map(|v| baseline.schedule.proc_of(v))
+            .collect();
+        let mut sched = IncrementalScheduler::new(
+            inst.dag.clone(),
+            *instance.arch(),
+            procs,
+            RepairConfig {
+                search: ShardedSearchConfig {
+                    num_shards: 16,
+                    workers: 4,
+                    max_rounds: 20,
+                    moves_per_round: 4,
+                    time_limit: Duration::from_secs(3600),
+                    ..Default::default()
+                },
+                cone_radius: 1,
+            },
+        );
+
+        // Make the session state non-trivial: land a localized delta stream so
+        // the checkpoint carries a real pending set and a mutated live order.
+        // (The search itself is not run — this benchmark times the codec, and
+        // the blob layout is identical either way.)
+        let stream_config = MutationStreamConfig {
+            ops: (n / 1000).clamp(4, 32),
+            structural: false,
+            locality: 0.01,
+            ..Default::default()
+        };
+        for delta in &mutation_stream(sched.dag(), &stream_config, 0x10CDC) {
+            sched
+                .apply(delta)
+                .expect("generated streams replay cleanly");
+        }
+
+        // (a) Encode: full session -> blob.
+        let mut encode_seconds = f64::INFINITY;
+        let mut blob = Vec::new();
+        for _ in 0..REPS {
+            let start = Instant::now();
+            blob = sched.checkpoint();
+            encode_seconds = encode_seconds.min(start.elapsed().as_secs_f64());
+        }
+
+        // (b) Decode: blob -> session, re-validating every invariant.
+        let mut decode_seconds = f64::INFINITY;
+        let mut restored = None;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            restored = Some(IncrementalScheduler::restore(&blob).expect("clean blob restores"));
+            decode_seconds = decode_seconds.min(start.elapsed().as_secs_f64());
+        }
+        let byte_identical = restored.expect("REPS >= 1").checkpoint() == blob;
+
+        // Robustness spot-checks: a mid-blob truncation and a payload bit flip
+        // must both be refused with a typed error (the corrupted-checkpoint
+        // corpus suite walks every section exhaustively; this keeps the
+        // recorded artifact honest about the binary actually benchmarked).
+        let truncated = Corruption::Truncate {
+            offset: blob.len() / 2,
+        }
+        .apply(&blob);
+        let flipped = Corruption::BitFlip {
+            offset: blob.len() - 9,
+            bit: 3,
+        }
+        .apply(&blob);
+        let corrupt_rejected = IncrementalScheduler::restore(&truncated).is_err()
+            && IncrementalScheduler::restore(&flipped).is_err();
+
+        let mb = blob.len() as f64 / (1024.0 * 1024.0);
+        println!(
+            "{:<18} {:>7} nodes   {:>9} bytes   encode {:>8.3} ms   decode {:>8.3} ms   bytes==: {}   corrupt rejected: {}",
+            inst.name,
+            n,
+            blob.len(),
+            encode_seconds * 1e3,
+            decode_seconds * 1e3,
+            byte_identical,
+            corrupt_rejected,
+        );
+        reports.push(InstanceReport {
+            name: inst.name.clone(),
+            nodes: n,
+            edges: inst.dag.num_edges(),
+            pending: sched.num_pending(),
+            blob_bytes: blob.len(),
+            encode_seconds,
+            decode_seconds,
+            encode_mb_per_s: mb / encode_seconds.max(1e-12),
+            decode_mb_per_s: mb / decode_seconds.max(1e-12),
+            byte_identical,
+            corrupt_rejected,
+        });
+    }
+
+    let report = Report {
+        benchmark: "binary session checkpoint encode/decode (mbsp_io frame) with byte-identity \
+                    and corruption-rejection flags"
+            .to_string(),
+        quick,
+        instances: reports,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    // Quick (CI smoke) runs must not clobber the recorded full baseline.
+    let path = if quick {
+        "BENCH_io_quick.json"
+    } else {
+        "BENCH_io.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} is writable: {e}"));
+    println!("checkpoint codec report -> {path}");
+    assert!(
+        report.instances.iter().all(|r| r.byte_identical),
+        "a restored session re-checkpointed to different bytes — see {path}"
+    );
+    assert!(
+        report.instances.iter().all(|r| r.corrupt_rejected),
+        "a corrupted checkpoint was accepted — see {path}"
+    );
+    // The headline acceptance bar applies to the production-scale (100k-node)
+    // instances of the full `large_dataset` run.
+    if !quick {
+        for r in report.instances.iter().filter(|r| r.nodes >= 100_000) {
+            assert!(
+                r.encode_seconds < BUDGET_SECONDS && r.decode_seconds < BUDGET_SECONDS,
+                "{}: checkpoint codec over budget (encode {:.1} ms, decode {:.1} ms, bar {:.0} ms) — see {path}",
+                r.name,
+                r.encode_seconds * 1e3,
+                r.decode_seconds * 1e3,
+                BUDGET_SECONDS * 1e3
+            );
+        }
+    }
+}

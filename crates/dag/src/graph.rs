@@ -189,6 +189,37 @@ impl CompDag {
         Ok(dag)
     }
 
+    /// Rebuilds a DAG from fully explicit saved parts: name, per-node weights
+    /// and labels, and the flat edge list in insertion order.
+    ///
+    /// This is the restore path of the binary checkpoint codec (`mbsp_io`):
+    /// the CSR arrays are rebuilt by the same two-pass construction as
+    /// [`CompDag::from_edges`] and the graph is checked acyclic, so a
+    /// corrupted or hand-crafted edge list is rejected with a typed
+    /// [`DagError`] instead of producing an inconsistent graph.
+    pub fn from_saved_parts(
+        name: impl Into<String>,
+        weights: Vec<NodeWeights>,
+        labels: Vec<String>,
+        edges: Vec<(NodeId, NodeId)>,
+    ) -> Result<Self> {
+        if labels.len() != weights.len() {
+            return Err(DagError::InvalidPartition {
+                reason: format!("{} labels for {} nodes", labels.len(), weights.len()),
+            });
+        }
+        let dag = CompDag::from_parts(name, weights, labels, edges)?;
+        if !dag.is_acyclic() {
+            let (u, v) = dag
+                .edges
+                .first()
+                .map(|&(u, v)| (u.index(), v.index()))
+                .unwrap_or((0, 0));
+            return Err(DagError::CycleDetected { from: u, to: v });
+        }
+        Ok(dag)
+    }
+
     /// Builds the CSR representation from fully collected parts in `O(V + E)`:
     /// one degree-counting pass sizes the adjacency arrays exactly, a second
     /// pass fills them in edge-insertion order. Validates weights, endpoints,

@@ -18,12 +18,15 @@
 //! * [`random`] — random layered DAGs for property-based testing;
 //! * [`mutations`] — seeded, replayable `DagDelta` streams over any of the
 //!   above, feeding the incremental re-scheduling engine and its
-//!   mutation-replay differential suite.
+//!   mutation-replay differential suite;
+//! * [`faults`] — seeded fault-injection plans (worker panics, checkpoint
+//!   corruption, invalid deltas) driving the engine's robustness soak tests.
 
 pub mod cg;
 pub mod coarse;
 pub mod constructions;
 pub mod datasets;
+pub mod faults;
 pub mod knn;
 pub mod mutations;
 pub mod random;
@@ -31,5 +34,6 @@ pub mod spmv;
 pub mod weights;
 
 pub use datasets::{large_dataset, small_dataset_sample, tiny_dataset, NamedInstance};
-pub use mutations::{mutation_stream, MutationStreamConfig};
+pub use faults::{Corruption, FaultPlan};
+pub use mutations::{mutation_stream, try_mutation_stream, MutationStreamConfig, StreamError};
 pub use weights::assign_random_memory_weights;

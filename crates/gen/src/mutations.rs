@@ -31,6 +31,40 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Why a mutation stream could not be generated. Returned by
+/// [`try_mutation_stream`]; the panicking [`mutation_stream`] wrapper keeps
+/// the original assert-style contract for test-internal callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// `config.ops == 0`.
+    EmptyStream,
+    /// The source DAG has no nodes.
+    EmptyGraph,
+    /// `config.locality` is outside `(0, 1]`.
+    BadLocality(f64),
+    /// The generator exhausted its attempt budget without emitting a single
+    /// delta (the footprint cap or the family invariants are too tight).
+    Starved,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::EmptyStream => write!(f, "an empty stream is not a stream"),
+            StreamError::EmptyGraph => write!(f, "cannot mutate an empty graph"),
+            StreamError::BadLocality(l) => {
+                write!(f, "locality {l} must be a fraction in (0, 1]")
+            }
+            StreamError::Starved => write!(
+                f,
+                "mutation stream generation starved (cap or invariants too tight)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
 /// Configuration of a [`mutation_stream`].
 #[derive(Debug, Clone, Copy)]
 pub struct MutationStreamConfig {
@@ -76,14 +110,28 @@ impl Default for MutationStreamConfig {
 ///
 /// # Panics
 /// Panics if `config.ops == 0`, `dag` is empty, or `config.locality` is not in
-/// `(0, 1]`.
+/// `(0, 1]`. Externally-driven callers (configs or graphs arriving from files
+/// or over a boundary) should use [`try_mutation_stream`] instead.
 pub fn mutation_stream(dag: &CompDag, config: &MutationStreamConfig, seed: u64) -> Vec<DagDelta> {
-    assert!(config.ops > 0, "an empty stream is not a stream");
-    assert!(!dag.is_empty(), "cannot mutate an empty graph");
-    assert!(
-        config.locality > 0.0 && config.locality <= 1.0,
-        "locality must be a fraction in (0, 1]"
-    );
+    try_mutation_stream(dag, config, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The total variant of [`mutation_stream`]: every invalid input or starved
+/// generation surfaces as a typed [`StreamError`] instead of a panic.
+pub fn try_mutation_stream(
+    dag: &CompDag,
+    config: &MutationStreamConfig,
+    seed: u64,
+) -> Result<Vec<DagDelta>, StreamError> {
+    if config.ops == 0 {
+        return Err(StreamError::EmptyStream);
+    }
+    if dag.is_empty() {
+        return Err(StreamError::EmptyGraph);
+    }
+    if !(config.locality > 0.0 && config.locality <= 1.0) {
+        return Err(StreamError::BadLocality(config.locality));
+    }
     let mut mirror = dag.clone();
     let mut order = PkOrder::of_dag(&mirror);
     let cap = if config.footprint_cap > 0.0 {
@@ -248,11 +296,10 @@ pub fn mutation_stream(dag: &CompDag, config: &MutationStreamConfig, seed: u64) 
             }
         }
     }
-    assert!(
-        !deltas.is_empty(),
-        "mutation stream generation starved (cap or invariants too tight)"
-    );
-    deltas
+    if deltas.is_empty() {
+        return Err(StreamError::Starved);
+    }
+    Ok(deltas)
 }
 
 #[cfg(test)]
@@ -337,6 +384,36 @@ mod tests {
         assert!(stream
             .iter()
             .all(|d| matches!(d, DagDelta::Reweight { .. })));
+    }
+
+    #[test]
+    fn invalid_inputs_surface_as_typed_errors() {
+        let dag = base_dag();
+        let empty_ops = MutationStreamConfig {
+            ops: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            try_mutation_stream(&dag, &empty_ops, 1),
+            Err(StreamError::EmptyStream)
+        );
+        let bad_locality = MutationStreamConfig {
+            locality: 1.5,
+            ..Default::default()
+        };
+        assert_eq!(
+            try_mutation_stream(&dag, &bad_locality, 1),
+            Err(StreamError::BadLocality(1.5))
+        );
+        let starving = MutationStreamConfig {
+            structural: false,
+            footprint_cap: 1e-12,
+            ..Default::default()
+        };
+        assert_eq!(
+            try_mutation_stream(&dag, &starving, 1),
+            Err(StreamError::Starved)
+        );
     }
 
     #[test]

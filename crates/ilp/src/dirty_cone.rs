@@ -53,7 +53,7 @@ use crate::engine::{resolve_workers, EvalPath, EvaluationEngine};
 use crate::shard::{merge_outcomes, run_shard, shard_partition, ShardOutcome, ShardedSearchConfig};
 use mbsp_dag::{AcyclicPartition, CompDag, DagDelta, DeltaEffect, NodeId, PkOrder, Result};
 use mbsp_model::{Architecture, MbspSchedule, ProcId};
-use mbsp_pool::WorkerPool;
+use mbsp_pool::{CancelToken, Deadline, StopReason, WorkerPool};
 use std::time::{Duration, Instant};
 
 /// Configuration of [`IncrementalScheduler`].
@@ -112,6 +112,9 @@ pub struct RepairStats {
     pub incumbent_cost: f64,
     /// Cost of the repaired schedule.
     pub final_cost: f64,
+    /// Why the repair stopped: ran to completion, hit the configured time
+    /// limit, or observed a [`CancelToken`] at a round boundary.
+    pub stop_reason: StopReason,
 }
 
 /// Forward/backward cone of `seeds` in `dag`, bounded by `radius` hops in each
@@ -165,13 +168,14 @@ pub fn dirty_shard_indices(partition: &AcyclicPartition, cone: &[NodeId]) -> Vec
 /// mutation cone. See the module docs for the lifecycle.
 #[derive(Debug, Clone)]
 pub struct IncrementalScheduler {
-    dag: CompDag,
-    arch: Architecture,
-    order: PkOrder,
-    procs: Vec<ProcId>,
-    config: RepairConfig,
-    pending: Vec<NodeId>,
-    pool: WorkerPool,
+    pub(crate) dag: CompDag,
+    pub(crate) arch: Architecture,
+    pub(crate) order: PkOrder,
+    pub(crate) procs: Vec<ProcId>,
+    pub(crate) config: RepairConfig,
+    pub(crate) pending: Vec<NodeId>,
+    pub(crate) pool: WorkerPool,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl IncrementalScheduler {
@@ -195,6 +199,7 @@ impl IncrementalScheduler {
             config,
             pending: Vec::new(),
             pool: WorkerPool::default(),
+            cancel: None,
         }
     }
 
@@ -202,6 +207,15 @@ impl IncrementalScheduler {
     /// process-wide [`WorkerPool::shared`](mbsp_pool::WorkerPool::shared) pool).
     pub fn with_pool(mut self, pool: WorkerPool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`] observed at shard-round
+    /// boundaries of every subsequent repair: a repair interrupted by the
+    /// token still folds the completed rounds' winners through the merge and
+    /// reports [`StopReason::Cancelled`] in its stats.
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
         self
     }
 
@@ -281,7 +295,7 @@ impl IncrementalScheduler {
         let search = &self.config.search;
         let cost_model = search.cost_model;
         let start = Instant::now();
-        let deadline = start + search.time_limit;
+        let deadline = Deadline::at(start + search.time_limit).with_token_opt(self.cancel.as_ref());
 
         // The DAG size may have changed since the last repair, so the engine
         // (arena sized at construction) is rebuilt each time.
@@ -317,35 +331,43 @@ impl IncrementalScheduler {
             let partition_ref = &partition;
             let parts_ref = &parts;
             let dirty_ref = &dirty;
+            let deadline_ref = &deadline;
             // Dirty shards are distributed round-robin over the workers; each
             // shard is seeded by its global index, so the distribution cannot
             // change any result, only the wall-clock.
-            let lanes: Vec<_> = (0..workers.min(dirty.len()).max(1))
-                .map(|w| {
-                    move || {
-                        let mut local = Vec::new();
-                        let mut d = w;
-                        while d < dirty_ref.len() {
-                            let s = dirty_ref[d];
-                            local.push(run_shard(
-                                dag,
-                                arch,
-                                partition_ref,
-                                &parts_ref[s],
-                                s,
-                                procs_ref,
-                                &config,
-                                config.seed,
-                                deadline,
-                            ));
-                            d += workers;
+            let make_lanes = || {
+                (0..workers.min(dirty_ref.len()).max(1))
+                    .map(|w| {
+                        move || {
+                            let mut local = Vec::new();
+                            let mut d = w;
+                            while d < dirty_ref.len() {
+                                let s = dirty_ref[d];
+                                local.push(run_shard(
+                                    dag,
+                                    arch,
+                                    partition_ref,
+                                    &parts_ref[s],
+                                    s,
+                                    procs_ref,
+                                    &config,
+                                    config.seed,
+                                    deadline_ref,
+                                ));
+                                d += workers;
+                            }
+                            local
                         }
-                        local
-                    }
-                })
-                .collect();
-            let mut collected: Vec<ShardOutcome> =
-                self.pool.run_batch(lanes).into_iter().flatten().collect();
+                    })
+                    .collect::<Vec<_>>()
+            };
+            // A poisoned pool (worker panic outside the engine's own jobs)
+            // degrades to re-running the whole batch on the caller thread:
+            // slower, byte-identical.
+            let mut collected: Vec<ShardOutcome> = match self.pool.try_run_batch(make_lanes()) {
+                Ok(lanes) => lanes.into_iter().flatten().collect(),
+                Err(_poisoned) => make_lanes().into_iter().flat_map(|lane| lane()).collect(),
+            };
             collected.sort_by_key(|o| o.index);
             searched_shards = collected.len();
             search_evaluations = collected.iter().map(|o| o.evaluations).sum();
@@ -376,6 +398,7 @@ impl IncrementalScheduler {
             elapsed: start.elapsed(),
             incumbent_cost,
             final_cost: best_cost,
+            stop_reason: deadline.reason().unwrap_or_default(),
         };
         (best_schedule, stats)
     }

@@ -25,9 +25,9 @@ use crate::partition_ilp::{recursive_partition, BipartitionConfig};
 use crate::shard::{part_view, search_view, LocalSearchParams};
 use mbsp_dag::{CompDag, DagLike, NodeId};
 use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId, Superstep};
-use mbsp_pool::WorkerPool;
+use mbsp_pool::{Deadline, WorkerPool};
 use mbsp_sched::{BspScheduler, GreedyBspScheduler, QuotientPlanner};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of [`DivideAndConquerScheduler`].
 #[derive(Debug, Clone, Copy)]
@@ -175,14 +175,14 @@ impl DivideAndConquerScheduler {
                                 // stale best-of-batch round ends the part.
                                 stale_round_limit: 1,
                             };
-                            let deadline = Instant::now() + config.per_part.time_limit;
+                            let deadline = Deadline::after(config.per_part.time_limit);
                             let outcome = search_view(
                                 &view,
                                 &local_arch,
                                 &params,
                                 &seed_procs,
                                 &required,
-                                deadline,
+                                &deadline,
                             );
                             let to_global: Vec<NodeId> = (0..view.num_nodes())
                                 .map(|l| view.to_global(NodeId::new(l)))

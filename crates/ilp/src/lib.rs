@@ -52,6 +52,12 @@
 //!   count and never cost more than the stale incumbent; the mutation-replay
 //!   differential suites in `mbsp_gen` and `mbsp_model` pin the underlying
 //!   delta and dirty-set semantics against full-rebuild oracles.
+//! * [`session`] — binary session checkpoints for the incremental scheduler,
+//!   composing the `mbsp_io` frame: [`IncrementalScheduler::checkpoint`]
+//!   captures the mutated DAG, live order, incumbent assignment, pending set
+//!   and full repair configuration; [`IncrementalScheduler::restore`]
+//!   re-validates every invariant and continues byte-identically to an
+//!   uninterrupted session.
 
 pub mod bsp_opt;
 pub mod dirty_cone;
@@ -60,6 +66,7 @@ pub mod engine;
 pub mod formulation;
 pub mod improver;
 pub mod partition_ilp;
+pub mod session;
 pub mod shard;
 
 pub use bsp_opt::BspIlpScheduler;
@@ -78,3 +85,12 @@ pub use shard::{
     topo_shards, weighted_shards, ShardStrategy, ShardedHolisticScheduler, ShardedSearchConfig,
     ShardedSearchStats,
 };
+
+// Cancellation vocabulary, re-exported so downstream users of the schedulers
+// (including the `mbsp` facade, which does not depend on `mbsp_pool` directly)
+// can build tokens and inspect stop reasons.
+pub use mbsp_pool::{CancelToken, Deadline, PoolError, StopReason};
+
+// The checkpoint error type, re-exported for callers matching on
+// [`IncrementalScheduler::restore`] failures without naming `mbsp_io`.
+pub use mbsp_io::DecodeError;

@@ -1,0 +1,265 @@
+//! Binary session checkpoints for [`IncrementalScheduler`].
+//!
+//! A checkpoint captures *everything* a restored session needs to continue
+//! byte-identically to an uninterrupted one: the mutated DAG, the live
+//! Pearce–Kelly order (its values **and** never-reused high-water mark — a
+//! freshly recomputed order would diverge on the next structural delta), the
+//! incumbent per-node assignment, the pending touched set and the full
+//! [`RepairConfig`] (seeds, budgets, strategy). Restoring therefore takes no
+//! caller-side configuration; only the transient worker pool and cancel token
+//! are re-attached with [`IncrementalScheduler::with_pool`] /
+//! [`IncrementalScheduler::with_cancel`], neither of which can affect results.
+//!
+//! The format is the `mbsp_io` frame (`MBIO` magic, version, CRC-checked
+//! sections) under [`KIND_SESSION`]; this module is the composition point the
+//! `mbsp_io` crate documents — it cannot depend on the scheduler itself.
+//! Decoding is total: truncated, bit-flipped or semantically inconsistent
+//! blobs (order/assignment length mismatching the DAG, out-of-range pending
+//! ids, unknown strategy bytes) are rejected with a typed [`DecodeError`].
+
+use crate::dirty_cone::{IncrementalScheduler, RepairConfig};
+use crate::shard::{ShardStrategy, ShardedSearchConfig};
+use mbsp_dag::NodeId;
+use mbsp_io::{
+    check_assignment, write_dag_sections, DagSections, Decode, DecodeError, Encode, Reader,
+    SavedOrder, Writer, KIND_SESSION, SEC_ARCH, SEC_CONFIG, SEC_ORDER, SEC_PENDING, SEC_PROCS,
+};
+use mbsp_model::{Architecture, CostModel, ProcId};
+use mbsp_pool::WorkerPool;
+use std::time::Duration;
+
+fn encode_config(cfg: &RepairConfig, w: &mut Writer) {
+    let s = &cfg.search;
+    w.put_u8(match s.cost_model {
+        CostModel::Synchronous => 0,
+        CostModel::Asynchronous => 1,
+    });
+    w.put_u8(match s.strategy {
+        ShardStrategy::Topo => 0,
+        ShardStrategy::Weighted => 1,
+    });
+    w.put_u8(s.shard_local_seed as u8);
+    w.put_u64(s.num_shards as u64);
+    w.put_u64(s.workers as u64);
+    w.put_u64(s.max_rounds as u64);
+    w.put_u64(s.moves_per_round as u64);
+    w.put_u64(s.time_limit.as_secs());
+    w.put_u32(s.time_limit.subsec_nanos());
+    w.put_u64(s.seed);
+    w.put_u64(s.stale_round_limit as u64);
+    w.put_u64(s.iterations as u64);
+    w.put_u64(s.merge_replay_cap as u64);
+    w.put_u64(s.runs_per_shard as u64);
+    w.put_f64(s.mass_tolerance);
+    w.put_u64(cfg.cone_radius as u64);
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<RepairConfig, DecodeError> {
+    let cost_model = match r.get_u8()? {
+        0 => CostModel::Synchronous,
+        1 => CostModel::Asynchronous,
+        b => return Err(r.invalid(format!("byte {b:#04x} is not a cost model"))),
+    };
+    let strategy = match r.get_u8()? {
+        0 => ShardStrategy::Topo,
+        1 => ShardStrategy::Weighted,
+        b => return Err(r.invalid(format!("byte {b:#04x} is not a shard strategy"))),
+    };
+    let shard_local_seed = bool::decode(r)?;
+    let num_shards = usize::decode(r)?;
+    let workers = usize::decode(r)?;
+    let max_rounds = usize::decode(r)?;
+    let moves_per_round = usize::decode(r)?;
+    let secs = r.get_u64()?;
+    let nanos = r.get_u32()?;
+    if nanos >= 1_000_000_000 {
+        return Err(r.invalid(format!("{nanos} subsecond nanos overflow a second")));
+    }
+    let time_limit = Duration::new(secs, nanos);
+    let seed = r.get_u64()?;
+    let stale_round_limit = usize::decode(r)?;
+    let iterations = usize::decode(r)?;
+    let merge_replay_cap = usize::decode(r)?;
+    let runs_per_shard = usize::decode(r)?;
+    let mass_tolerance = r.get_f64()?;
+    if !mass_tolerance.is_finite() || mass_tolerance < 0.0 {
+        return Err(r.invalid(format!(
+            "mass tolerance {mass_tolerance} is not finite and >= 0"
+        )));
+    }
+    let cone_radius = usize::decode(r)?;
+    Ok(RepairConfig {
+        search: ShardedSearchConfig {
+            cost_model,
+            num_shards,
+            workers,
+            max_rounds,
+            moves_per_round,
+            time_limit,
+            seed,
+            stale_round_limit,
+            strategy,
+            iterations,
+            shard_local_seed,
+            merge_replay_cap,
+            runs_per_shard,
+            mass_tolerance,
+        },
+        cone_radius,
+    })
+}
+
+fn set_once<T>(tag: u32, slot: &mut Option<T>, value: T) -> Result<(), DecodeError> {
+    if slot.is_some() {
+        return Err(DecodeError::DuplicateSection { tag });
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+impl IncrementalScheduler {
+    /// Serialises the full session into a checkpoint blob. See the module docs
+    /// for exactly what is captured.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_SESSION);
+        w.section(SEC_CONFIG, |w| encode_config(&self.config, w));
+        write_dag_sections(&mut w, &self.dag);
+        w.section(SEC_ARCH, |w| self.arch.encode(w));
+        w.section(SEC_ORDER, |w| SavedOrder::of(&self.order).encode(w));
+        w.section(SEC_PROCS, |w| self.procs.encode(w));
+        w.section(SEC_PENDING, |w| self.pending.encode(w));
+        w.finish()
+    }
+
+    /// Restores a session from a checkpoint blob, re-validating every domain
+    /// invariant (acyclicity, order consistency, assignment coverage, pending
+    /// ids in range). The restored scheduler runs on the default worker pool
+    /// with no cancel token; both are transient and result-neutral.
+    pub fn restore(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::open(bytes, KIND_SESSION)?;
+        let mut dag_sections = DagSections::default();
+        let mut config: Option<RepairConfig> = None;
+        let mut arch: Option<Architecture> = None;
+        let mut order: Option<SavedOrder> = None;
+        let mut procs: Option<Vec<ProcId>> = None;
+        let mut pending: Option<Vec<NodeId>> = None;
+        while let Some((tag, mut body)) = r.next_section()? {
+            if dag_sections.accept(tag, &mut body)? {
+                continue;
+            }
+            match tag {
+                SEC_CONFIG => set_once(tag, &mut config, decode_config(&mut body)?)?,
+                SEC_ARCH => set_once(tag, &mut arch, Architecture::decode(&mut body)?)?,
+                SEC_ORDER => set_once(tag, &mut order, SavedOrder::decode(&mut body)?)?,
+                SEC_PROCS => set_once(tag, &mut procs, Vec::decode(&mut body)?)?,
+                SEC_PENDING => set_once(tag, &mut pending, Vec::decode(&mut body)?)?,
+                _ => {
+                    return Err(DecodeError::BadSectionTag {
+                        offset: body.offset(),
+                        tag,
+                    })
+                }
+            }
+            body.finish()?;
+        }
+        let dag = dag_sections.build()?;
+        let config = config.ok_or(DecodeError::MissingSection { tag: SEC_CONFIG })?;
+        let arch = arch.ok_or(DecodeError::MissingSection { tag: SEC_ARCH })?;
+        let order = order.ok_or(DecodeError::MissingSection { tag: SEC_ORDER })?;
+        let procs = procs.ok_or(DecodeError::MissingSection { tag: SEC_PROCS })?;
+        let pending = pending.ok_or(DecodeError::MissingSection { tag: SEC_PENDING })?;
+        if order.values.len() != dag.num_nodes() {
+            return Err(DecodeError::InvalidValue {
+                offset: 0,
+                what: format!(
+                    "order covers {} nodes but the DAG has {}",
+                    order.values.len(),
+                    dag.num_nodes()
+                ),
+            });
+        }
+        let order = order.restore()?;
+        check_assignment(&procs, dag.num_nodes(), arch.processors)?;
+        if let Some(&v) = pending.iter().find(|v| v.index() >= dag.num_nodes()) {
+            return Err(DecodeError::InvalidValue {
+                offset: 0,
+                what: format!(
+                    "pending node {v} is out of range for a {}-node DAG",
+                    dag.num_nodes()
+                ),
+            });
+        }
+        Ok(IncrementalScheduler {
+            dag,
+            arch,
+            order,
+            procs,
+            config,
+            pending,
+            pool: WorkerPool::default(),
+            cancel: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbsp_dag::DagDelta;
+    use mbsp_model::MbspInstance;
+    use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+
+    fn session() -> IncrementalScheduler {
+        let inst = mbsp_gen::tiny_dataset(42).remove(2);
+        let inst = MbspInstance::with_cache_factor(inst.dag, Architecture::paper_default(0.0), 3.0);
+        let baseline = GreedyBspScheduler::new().schedule(inst.dag(), inst.arch());
+        let procs: Vec<ProcId> = inst
+            .dag()
+            .nodes()
+            .map(|v| baseline.schedule.proc_of(v))
+            .collect();
+        IncrementalScheduler::new(
+            inst.dag().clone(),
+            *inst.arch(),
+            procs,
+            RepairConfig::default(),
+        )
+    }
+
+    #[test]
+    fn a_session_round_trips_through_its_checkpoint() {
+        let mut sched = session();
+        // Leave some pending state behind so the checkpoint is non-trivial.
+        let v = NodeId::new(1);
+        let mut w = sched.dag().weights(v);
+        w.compute += 1.0;
+        sched
+            .apply(&DagDelta::Reweight {
+                node: v,
+                weights: w,
+            })
+            .unwrap();
+        let blob = sched.checkpoint();
+        let back = IncrementalScheduler::restore(&blob).expect("restore");
+        assert_eq!(back.num_pending(), sched.num_pending());
+        assert_eq!(back.assignment(), sched.assignment());
+        assert_eq!(back.dag().num_nodes(), sched.dag().num_nodes());
+        // The checkpoint of the restored session reproduces the same bytes.
+        assert_eq!(back.checkpoint(), blob);
+    }
+
+    #[test]
+    fn inconsistent_checkpoints_are_rejected() {
+        let sched = session();
+        let blob = sched.checkpoint();
+        // Wrong artifact kind.
+        assert!(matches!(
+            mbsp_io::decode_dag(&blob),
+            Err(DecodeError::WrongArtifact { .. })
+        ));
+        // Every truncation fails with a typed error.
+        for cut in [0, 3, blob.len() / 2, blob.len() - 1] {
+            assert!(IncrementalScheduler::restore(&blob[..cut]).is_err());
+        }
+    }
+}

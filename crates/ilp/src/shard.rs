@@ -60,7 +60,7 @@ use mbsp_dag::{
     AcyclicPartition, CompDag, DagLike, NodeId, NodeWeights, SubDagView, TopologicalOrder,
 };
 use mbsp_model::{Architecture, CostModel, MbspInstance, MbspSchedule, ProcId};
-use mbsp_pool::WorkerPool;
+use mbsp_pool::{CancelToken, Deadline, StopReason, WorkerPool};
 use mbsp_sched::{BspSchedulingResult, GreedyBspScheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -189,6 +189,11 @@ pub struct ShardedSearchStats {
     pub salvaged_moves: u64,
     /// Partition/search/merge iterations executed.
     pub iterations: usize,
+    /// Why the run stopped: budget exhausted normally, wall-clock deadline, or
+    /// cancellation. Observed only at iteration boundaries — a deadline that
+    /// merely truncated the final shard searches still reports `Completed`
+    /// (the module docs' determinism caveat).
+    pub stop_reason: StopReason,
 }
 
 /// Partitions `dag` into `num_shards` acyclic shards by cutting a topological
@@ -528,7 +533,7 @@ pub fn search_view(
     params: &LocalSearchParams,
     seed_procs: &[ProcId],
     required_outputs: &[NodeId],
-    deadline: Instant,
+    deadline: &Deadline,
 ) -> LocalSearchOutcome {
     search_view_seeded(
         view,
@@ -556,7 +561,7 @@ pub fn search_view_seeded(
     seed_procs: &[ProcId],
     alt_seed: Option<&[ProcId]>,
     required_outputs: &[NodeId],
-    deadline: Instant,
+    deadline: &Deadline,
 ) -> LocalSearchOutcome {
     let mut engine = EvaluationEngine::for_dag(view, arch, EvalPath::Incremental);
     let mut procs = seed_procs.to_vec();
@@ -602,8 +607,12 @@ pub fn search_view_seeded(
         let mut moves: Vec<Move> = Vec::with_capacity(params.moves_per_round);
         let mut engines = [engine];
         let mut stale_rounds = 0usize;
+        // The engine's mid-batch time checks consume the wall-clock component
+        // only; the cancel token is observed at the round boundary below, the
+        // shard search's deterministic cut point.
+        let wall = deadline.wall_clock();
         for _round in 0..params.max_rounds {
-            if Instant::now() >= deadline {
+            if deadline.expired() {
                 break;
             }
             moves.clear();
@@ -623,7 +632,7 @@ pub fn search_view_seeded(
                 &moves,
                 params.cost_model,
                 required_outputs,
-                deadline,
+                wall,
             );
             rounds += 1;
             let Some((cost, idx)) = outcome.winner else {
@@ -773,6 +782,7 @@ pub(crate) fn merge_outcomes(
 pub struct ShardedHolisticScheduler {
     config: ShardedSearchConfig,
     pool: WorkerPool,
+    cancel: Option<CancelToken>,
 }
 
 impl ShardedHolisticScheduler {
@@ -786,6 +796,7 @@ impl ShardedHolisticScheduler {
         ShardedHolisticScheduler {
             config,
             pool: WorkerPool::default(),
+            cancel: None,
         }
     }
 
@@ -793,6 +804,18 @@ impl ShardedHolisticScheduler {
     /// process-wide [`WorkerPool::shared`] pool).
     pub fn with_pool(mut self, pool: WorkerPool) -> Self {
         self.pool = pool;
+        self
+    }
+
+    /// Attaches a cancellation token. The token is observed **only at
+    /// deterministic cut points** — before each partition/search/merge
+    /// iteration and at every shard-search round boundary — so a run cancelled
+    /// before it starts returns the seed incumbent byte-identically for any
+    /// worker count, and a run cancelled mid-flight still returns a valid,
+    /// never-worse schedule with [`ShardedSearchStats::stop_reason`] set to
+    /// [`StopReason::Cancelled`].
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
         self
     }
 
@@ -829,7 +852,8 @@ impl ShardedHolisticScheduler {
         let arch = instance.arch();
         let cost_model = self.config.cost_model;
         let start = Instant::now();
-        let deadline = start + self.config.time_limit;
+        let deadline =
+            Deadline::at(start + self.config.time_limit).with_token_opt(self.cancel.as_ref());
         let k = if self.config.num_shards >= 1 {
             self.config.num_shards
         } else {
@@ -864,6 +888,7 @@ impl ShardedHolisticScheduler {
         let mut shard_compute_mass: Vec<f64> = Vec::new();
         let mut cut_edges = 0usize;
         let mut iterations_run = 0usize;
+        let mut stop_reason = StopReason::Completed;
 
         for iter in 0..iterations {
             if !searchable {
@@ -871,8 +896,11 @@ impl ShardedHolisticScheduler {
             }
             // The deadline can truncate the iteration schedule exactly like it
             // can truncate a shard's search — the determinism caveat in the
-            // module docs covers both.
-            if iter > 0 && Instant::now() >= deadline {
+            // module docs covers both. Cancellation is additionally observed
+            // before the *first* iteration, so a pre-cancelled token returns
+            // the seed incumbent without spending a single evaluation.
+            if deadline.cancelled() || (iter > 0 && deadline.expired()) {
+                stop_reason = deadline.reason().unwrap_or(StopReason::DeadlineExpired);
                 break;
             }
             iterations_run += 1;
@@ -890,6 +918,7 @@ impl ShardedHolisticScheduler {
             let procs_ref: &[ProcId] = &procs;
             let partition_ref = &partition;
             let parts_ref = &parts;
+            let deadline_ref = &deadline;
             // Decorrelate the iterations' move streams: each pass explores new
             // candidates from the new incumbent.
             let seed_base = config
@@ -899,31 +928,40 @@ impl ShardedHolisticScheduler {
             // search is self-contained and seeded by its own index, so the
             // distribution (and therefore the worker count) cannot change any
             // result, only the wall-clock.
-            let lanes: Vec<_> = (0..workers)
-                .map(|w| {
-                    move || {
-                        let mut local = Vec::new();
-                        let mut s = w;
-                        while s < k {
-                            local.push(run_shard(
-                                dag,
-                                arch,
-                                partition_ref,
-                                &parts_ref[s],
-                                s,
-                                procs_ref,
-                                &config,
-                                seed_base,
-                                deadline,
-                            ));
-                            s += workers;
+            let make_lanes = || {
+                (0..workers)
+                    .map(|w| {
+                        move || {
+                            let mut local = Vec::new();
+                            let mut s = w;
+                            while s < k {
+                                local.push(run_shard(
+                                    dag,
+                                    arch,
+                                    partition_ref,
+                                    &parts_ref[s],
+                                    s,
+                                    procs_ref,
+                                    &config,
+                                    seed_base,
+                                    deadline_ref,
+                                ));
+                                s += workers;
+                            }
+                            local
                         }
-                        local
-                    }
-                })
-                .collect();
-            let mut outcomes: Vec<ShardOutcome> =
-                self.pool.run_batch(lanes).into_iter().flatten().collect();
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let mut outcomes: Vec<ShardOutcome> = match self.pool.try_run_batch(make_lanes()) {
+                Ok(lanes) => lanes.into_iter().flatten().collect(),
+                // A poisoned batch (a shard job panicked on a worker) degrades
+                // to re-running every lane on the calling thread: slower, but
+                // the engine keeps producing schedules instead of aborting. A
+                // deterministic panic will surface here on the caller's stack,
+                // where it belongs.
+                Err(_poisoned) => make_lanes().into_iter().flat_map(|lane| lane()).collect(),
+            };
             outcomes.sort_by_key(|o| o.index);
 
             // Deterministic merge: most locally-improving shard first, shard
@@ -959,6 +997,7 @@ impl ShardedHolisticScheduler {
             cut_edges,
             salvaged_moves,
             iterations: iterations_run,
+            stop_reason,
         };
         (best_schedule, stats, procs)
     }
@@ -980,7 +1019,7 @@ pub(crate) fn run_shard(
     global_procs: &[ProcId],
     config: &ShardedSearchConfig,
     seed_base: u64,
-    deadline: Instant,
+    deadline: &Deadline,
 ) -> ShardOutcome {
     let (view, required) = part_view(dag, partition, core, index, "shard");
     let seed_procs: Vec<ProcId> = (0..view.num_nodes())
@@ -1119,8 +1158,8 @@ mod tests {
             seed: 7,
             stale_round_limit: 1,
         };
-        let deadline = Instant::now() + Duration::from_secs(10);
-        let out = search_view(&view, inst.arch(), &params, &seed, &required, deadline);
+        let deadline = Deadline::after(Duration::from_secs(10));
+        let out = search_view(&view, inst.arch(), &params, &seed, &required, &deadline);
         assert!(out.best_cost <= out.base_cost + 1e-9);
         assert!(out.evaluations >= 1);
         assert_eq!(out.procs.len(), view.num_nodes());

@@ -1,0 +1,212 @@
+//! Session-checkpoint robustness: a corrupted-checkpoint corpus (every
+//! section truncated at several offsets, plus single-bit flips) must be
+//! rejected with typed errors, and a session restored from a clean checkpoint
+//! must continue **byte-identically** to the uninterrupted session, at any
+//! worker count.
+
+use mbsp_dag::DagDelta;
+use mbsp_gen::{mutation_stream, MutationStreamConfig};
+use mbsp_ilp::{DecodeError, IncrementalScheduler, RepairConfig, ShardedSearchConfig};
+use mbsp_model::{Architecture, MbspInstance, ProcId};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+use std::time::Duration;
+
+fn instance() -> MbspInstance {
+    let inst = mbsp_gen::tiny_dataset(42).remove(2);
+    MbspInstance::with_cache_factor(inst.dag, Architecture::paper_default(0.0), 3.0)
+}
+
+fn seed_procs(inst: &MbspInstance) -> Vec<ProcId> {
+    let baseline = GreedyBspScheduler::new().schedule(inst.dag(), inst.arch());
+    inst.dag()
+        .nodes()
+        .map(|v| baseline.schedule.proc_of(v))
+        .collect()
+}
+
+fn repair_config(workers: usize) -> RepairConfig {
+    RepairConfig {
+        search: ShardedSearchConfig {
+            num_shards: 4,
+            workers,
+            max_rounds: 4,
+            moves_per_round: 12,
+            time_limit: Duration::from_secs(60),
+            ..Default::default()
+        },
+        cone_radius: 2,
+    }
+}
+
+fn session(workers: usize) -> IncrementalScheduler {
+    let inst = instance();
+    IncrementalScheduler::new(
+        inst.dag().clone(),
+        *inst.arch(),
+        seed_procs(&inst),
+        repair_config(workers),
+    )
+}
+
+/// Byte ranges of the blob's sections: `(tag, start, end)` with `start` at the
+/// section's tag word and `end` one past its payload.
+fn section_spans(blob: &[u8]) -> Vec<(u32, usize, usize)> {
+    let mut spans = Vec::new();
+    let mut pos = 10; // magic(4) + version(2) + kind(4)
+    while pos < blob.len() {
+        let tag = u32::from_le_bytes(blob[pos..pos + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(blob[pos + 4..pos + 12].try_into().unwrap()) as usize;
+        let end = pos + 16 + len;
+        spans.push((tag, pos, end));
+        pos = end;
+    }
+    spans
+}
+
+#[test]
+fn every_section_truncation_and_bit_flip_is_a_typed_error() {
+    let mut sched = session(1);
+    sched.full_repair();
+    let blob = sched.checkpoint();
+    let spans = section_spans(&blob);
+    assert!(
+        spans.len() >= 8,
+        "expected all session sections, got {spans:?}"
+    );
+
+    for &(tag, start, end) in &spans {
+        // Truncate inside the section header, inside the payload and just
+        // before its end: all must fail with a typed error, never a panic.
+        for cut in [start + 2, (start + 16 + end) / 2, end - 1] {
+            let err = IncrementalScheduler::restore(&blob[..cut])
+                .expect_err("truncated checkpoint must be rejected");
+            match err {
+                DecodeError::Truncated { .. }
+                | DecodeError::ChecksumMismatch { .. }
+                | DecodeError::MissingSection { .. } => {}
+                other => panic!("section {tag:#x} cut at {cut}: unexpected error {other}"),
+            }
+        }
+        // One-bit flips across the whole section (header and payload): every
+        // flip is either rejected or — never here, but permitted in general —
+        // decodes to a checkpoint with identical bytes.
+        for pos in start..end {
+            let mut bad = blob.clone();
+            bad[pos] ^= 0x04;
+            match IncrementalScheduler::restore(&bad) {
+                Err(_) => {}
+                Ok(back) => assert_eq!(
+                    back.checkpoint(),
+                    blob,
+                    "accepted flip at byte {pos} of section {tag:#x} must be value-preserving"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn swapping_in_a_foreign_artifact_is_rejected() {
+    let sched = session(1);
+    let dag_blob = mbsp_io::encode_dag(sched.dag());
+    assert!(matches!(
+        IncrementalScheduler::restore(&dag_blob),
+        Err(DecodeError::WrongArtifact { .. })
+    ));
+    assert!(matches!(
+        IncrementalScheduler::restore(&[]),
+        Err(DecodeError::Truncated { .. })
+    ));
+}
+
+/// The uninterrupted reference: warm-up, apply the first half of the stream,
+/// repair, apply the rest, repair. The interrupted runs checkpoint/restore at
+/// the midpoint and must land on the same bytes.
+#[test]
+fn a_restored_session_continues_byte_identically() {
+    let inst = instance();
+    let stream = {
+        let config = MutationStreamConfig {
+            ops: 12,
+            ..Default::default()
+        };
+        let mut probe = inst.dag().clone();
+        let mut order = mbsp_dag::PkOrder::of_dag(&probe);
+        let stream = mutation_stream(&probe, &config, 23);
+        for delta in &stream {
+            probe.apply_delta(delta, &mut order).unwrap();
+        }
+        stream
+    };
+    let half = stream.len() / 2;
+
+    let run_reference = || {
+        let mut sched = session(1);
+        sched.full_repair();
+        for delta in &stream[..half] {
+            sched.apply(delta).unwrap();
+        }
+        sched.repair();
+        for delta in &stream[half..] {
+            sched.apply(delta).unwrap();
+        }
+        let (schedule, _) = sched.repair();
+        (schedule, sched.assignment().to_vec(), sched.checkpoint())
+    };
+    let (ref_schedule, ref_procs, ref_blob) = run_reference();
+
+    for workers in [1usize, 4, 8] {
+        let mut sched = session(1);
+        sched.full_repair();
+        for delta in &stream[..half] {
+            sched.apply(delta).unwrap();
+        }
+        sched.repair();
+        // Interrupt: checkpoint, drop the live session, restore, continue on a
+        // different worker count (result-neutral by contract).
+        let blob = sched.checkpoint();
+        drop(sched);
+        let mut sched = IncrementalScheduler::restore(&blob).expect("clean restore");
+        sched.config_mut().search.workers = workers;
+        for delta in &stream[half..] {
+            sched.apply(delta).unwrap();
+        }
+        let (schedule, stats) = sched.repair();
+        assert_eq!(
+            schedule, ref_schedule,
+            "{workers}-worker restored run diverged from the uninterrupted one"
+        );
+        assert_eq!(sched.assignment(), &ref_procs[..]);
+        assert!(stats.final_cost <= stats.incumbent_cost + 1e-9);
+        // The final checkpoints agree byte-for-byte (modulo the worker knob we
+        // deliberately changed).
+        sched.config_mut().search.workers = 1;
+        assert_eq!(sched.checkpoint(), ref_blob);
+    }
+}
+
+/// A checkpoint taken mid-stream restores with the pending set intact: the
+/// restored session's next repair drains exactly what the live one would.
+#[test]
+fn pending_state_survives_the_round_trip() {
+    let mut sched = session(1);
+    sched.full_repair();
+    let v = mbsp_dag::NodeId::new(1);
+    let mut w = sched.dag().weights(v);
+    w.memory += 1.0;
+    sched
+        .apply(&DagDelta::Reweight {
+            node: v,
+            weights: w,
+        })
+        .unwrap();
+    assert_eq!(sched.num_pending(), 1);
+    let blob = sched.checkpoint();
+    let mut restored = IncrementalScheduler::restore(&blob).expect("restore");
+    assert_eq!(restored.num_pending(), 1);
+    let (live, live_stats) = sched.repair();
+    let (back, back_stats) = restored.repair();
+    assert_eq!(live, back);
+    assert_eq!(live_stats.evaluations, back_stats.evaluations);
+    assert_eq!(restored.num_pending(), 0);
+}

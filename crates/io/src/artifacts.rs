@@ -1,0 +1,316 @@
+//! Framed codecs for the engine's domain artifacts: computational DAGs,
+//! Pearce–Kelly orders, BSP schedules, assignments and architectures.
+//!
+//! Each artifact is a blob of CRC-checked sections (see [`crate::frame`]);
+//! decoding validates domain invariants on the way back in — a decoded DAG is
+//! re-checked acyclic, a decoded order must be pairwise distinct, a decoded
+//! schedule must reference processors that exist — so restoring from a
+//! corrupted or adversarial blob yields a typed [`DecodeError`], never an
+//! inconsistent in-memory structure.
+
+use crate::codec::{Decode, Encode};
+use crate::frame::{DecodeError, Reader, Writer};
+use mbsp_dag::{CompDag, NodeId, NodeWeights, PkOrder};
+use mbsp_model::{Architecture, BspSchedule, ProcId};
+
+/// Artifact kind stamped in the header of a DAG blob.
+pub const KIND_DAG: u32 = u32::from_le_bytes(*b"CDAG");
+/// Artifact kind of a BSP-schedule blob.
+pub const KIND_BSP: u32 = u32::from_le_bytes(*b"BSPS");
+/// Artifact kind of an incremental-scheduler session checkpoint.
+pub const KIND_SESSION: u32 = u32::from_le_bytes(*b"SESS");
+
+/// Section tag: DAG metadata (name, node count).
+pub const SEC_META: u32 = u32::from_le_bytes(*b"META");
+/// Section tag: per-node weights.
+pub const SEC_WEIGHTS: u32 = u32::from_le_bytes(*b"WGTS");
+/// Section tag: per-node labels.
+pub const SEC_LABELS: u32 = u32::from_le_bytes(*b"LBLS");
+/// Section tag: flat edge list in insertion order.
+pub const SEC_EDGES: u32 = u32::from_le_bytes(*b"EDGE");
+/// Section tag: architecture parameters.
+pub const SEC_ARCH: u32 = u32::from_le_bytes(*b"ARCH");
+/// Section tag: Pearce–Kelly order values + high-water mark.
+pub const SEC_ORDER: u32 = u32::from_le_bytes(*b"ORDR");
+/// Section tag: per-node processor assignment (the incumbent).
+pub const SEC_PROCS: u32 = u32::from_le_bytes(*b"PROC");
+/// Section tag: pending touched-node set of an incremental session.
+pub const SEC_PENDING: u32 = u32::from_le_bytes(*b"PEND");
+/// Section tag: search/repair configuration (seeds, budgets, strategy).
+pub const SEC_CONFIG: u32 = u32::from_le_bytes(*b"CONF");
+/// Section tag: BSP assignment (processor, superstep) per node.
+pub const SEC_ASSIGN: u32 = u32::from_le_bytes(*b"ASGN");
+
+/// Writes the body of a DAG (its four sections) into `w`.
+///
+/// Exposed separately from [`encode_dag`] so composite artifacts (session
+/// checkpoints) can embed a DAG without nesting a second header.
+pub fn write_dag_sections(w: &mut Writer, dag: &CompDag) {
+    w.section(SEC_META, |w| {
+        w.put_str(dag.name());
+        w.put_u64(dag.num_nodes() as u64);
+    });
+    w.section(SEC_WEIGHTS, |w| {
+        let weights: Vec<NodeWeights> = dag.nodes().map(|v| dag.weights(v)).collect();
+        weights.encode(w);
+    });
+    w.section(SEC_LABELS, |w| {
+        w.put_u64(dag.num_nodes() as u64);
+        for v in dag.nodes() {
+            w.put_str(dag.label(v));
+        }
+    });
+    w.section(SEC_EDGES, |w| {
+        let edges: Vec<(NodeId, NodeId)> = dag.edges().collect();
+        edges.encode(w);
+    });
+}
+
+/// Accumulates the four DAG sections while a blob is scanned, then rebuilds
+/// the CSR graph (re-validating endpoints, duplicates and acyclicity).
+#[derive(Default)]
+pub struct DagSections {
+    name: Option<(String, u64)>,
+    weights: Option<Vec<NodeWeights>>,
+    labels: Option<Vec<String>>,
+    edges: Option<Vec<(NodeId, NodeId)>>,
+}
+
+impl DagSections {
+    /// Consumes one section if its tag belongs to the DAG; returns `false` for
+    /// foreign tags so composite decoders can try their own.
+    pub fn accept(&mut self, tag: u32, r: &mut Reader<'_>) -> Result<bool, DecodeError> {
+        match tag {
+            SEC_META => {
+                set_once(tag, &mut self.name, (r.get_str()?, r.get_u64()?))?;
+            }
+            SEC_WEIGHTS => {
+                set_once(tag, &mut self.weights, Vec::decode(r)?)?;
+            }
+            SEC_LABELS => {
+                let len = r.get_len(8)?;
+                let mut labels = Vec::with_capacity(len);
+                for _ in 0..len {
+                    labels.push(r.get_str()?);
+                }
+                set_once(tag, &mut self.labels, labels)?;
+            }
+            SEC_EDGES => {
+                set_once(tag, &mut self.edges, Vec::decode(r)?)?;
+            }
+            _ => return Ok(false),
+        }
+        r.finish()?;
+        Ok(true)
+    }
+
+    /// Rebuilds the DAG once every section has been seen.
+    pub fn build(self) -> Result<CompDag, DecodeError> {
+        let (name, n) = self
+            .name
+            .ok_or(DecodeError::MissingSection { tag: SEC_META })?;
+        let weights = self
+            .weights
+            .ok_or(DecodeError::MissingSection { tag: SEC_WEIGHTS })?;
+        let labels = self
+            .labels
+            .ok_or(DecodeError::MissingSection { tag: SEC_LABELS })?;
+        let edges = self
+            .edges
+            .ok_or(DecodeError::MissingSection { tag: SEC_EDGES })?;
+        if weights.len() as u64 != n || labels.len() as u64 != n {
+            return Err(DecodeError::InvalidValue {
+                offset: 0,
+                what: format!(
+                    "META says {n} nodes but {} weights and {} labels were decoded",
+                    weights.len(),
+                    labels.len()
+                ),
+            });
+        }
+        CompDag::from_saved_parts(name, weights, labels, edges).map_err(|e| {
+            DecodeError::InvalidValue {
+                offset: 0,
+                what: format!("rejected DAG: {e}"),
+            }
+        })
+    }
+}
+
+/// Records a value for a section seen for the first time; a second occurrence
+/// is a [`DecodeError::DuplicateSection`].
+fn set_once<T>(tag: u32, slot: &mut Option<T>, value: T) -> Result<(), DecodeError> {
+    if slot.is_some() {
+        return Err(DecodeError::DuplicateSection { tag });
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+/// Encodes a DAG as a standalone blob.
+pub fn encode_dag(dag: &CompDag) -> Vec<u8> {
+    let mut w = Writer::new(KIND_DAG);
+    write_dag_sections(&mut w, dag);
+    w.finish()
+}
+
+/// Decodes a standalone DAG blob, re-validating every graph invariant.
+pub fn decode_dag(bytes: &[u8]) -> Result<CompDag, DecodeError> {
+    let mut r = Reader::open(bytes, KIND_DAG)?;
+    let mut dag = DagSections::default();
+    while let Some((tag, mut body)) = r.next_section()? {
+        if !dag.accept(tag, &mut body)? {
+            return Err(DecodeError::BadSectionTag {
+                offset: body.offset(),
+                tag,
+            });
+        }
+    }
+    dag.build()
+}
+
+/// The persistent state of a [`PkOrder`]: its values and high-water mark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SavedOrder {
+    /// Order value per node id.
+    pub values: Vec<u64>,
+    /// Never-reused high-water mark for fresh values.
+    pub next_value: u64,
+}
+
+impl SavedOrder {
+    /// Captures the persistent state of an order.
+    pub fn of(order: &PkOrder) -> Self {
+        SavedOrder {
+            values: order.values().to_vec(),
+            next_value: order.next_value(),
+        }
+    }
+
+    /// Restores the live order, rejecting duplicate or out-of-range values.
+    pub fn restore(self) -> Result<PkOrder, DecodeError> {
+        PkOrder::from_saved(self.values, self.next_value).map_err(|e| DecodeError::InvalidValue {
+            offset: 0,
+            what: format!("rejected order: {e}"),
+        })
+    }
+}
+
+impl Encode for SavedOrder {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.next_value);
+        self.values.encode(w);
+    }
+}
+
+impl Decode for SavedOrder {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let next_value = r.get_u64()?;
+        let values = Vec::decode(r)?;
+        Ok(SavedOrder { values, next_value })
+    }
+    const MIN_SIZE: usize = 16;
+}
+
+impl Encode for Architecture {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.processors as u64);
+        w.put_f64(self.cache_size);
+        w.put_f64(self.g);
+        w.put_f64(self.latency);
+    }
+}
+
+impl Decode for Architecture {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let processors = usize::decode(r)?;
+        let cache_size = r.get_f64()?;
+        let g = r.get_f64()?;
+        let latency = r.get_f64()?;
+        if processors == 0 {
+            return Err(r.invalid("architecture has zero processors"));
+        }
+        for (name, v) in [("cache size", cache_size), ("g", g), ("latency", latency)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(r.invalid(format!("{name} {v} is not finite and >= 0")));
+            }
+        }
+        Ok(Architecture {
+            processors,
+            cache_size,
+            g,
+            latency,
+        })
+    }
+    const MIN_SIZE: usize = 32;
+}
+
+/// Encodes a BSP schedule (first-stage baseline) as a standalone blob.
+pub fn encode_bsp(sched: &BspSchedule) -> Vec<u8> {
+    let mut w = Writer::new(KIND_BSP);
+    w.section(SEC_ASSIGN, |w| {
+        w.put_u64(sched.processors() as u64);
+        w.put_u64(sched.assignment().len() as u64);
+        for &(p, step) in sched.assignment() {
+            w.put_u32(p.0);
+            w.put_u64(step as u64);
+        }
+    });
+    w.finish()
+}
+
+/// Decodes a BSP-schedule blob, rejecting out-of-range processor ids.
+pub fn decode_bsp(bytes: &[u8]) -> Result<BspSchedule, DecodeError> {
+    let mut r = Reader::open(bytes, KIND_BSP)?;
+    let mut saved: Option<BspSchedule> = None;
+    while let Some((tag, mut body)) = r.next_section()? {
+        match tag {
+            SEC_ASSIGN => {
+                let processors = usize::decode(&mut body)?;
+                let len = body.get_len(12)?;
+                let mut assignment = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let p = ProcId(body.get_u32()?);
+                    let step = usize::decode(&mut body)?;
+                    if p.index() >= processors {
+                        return Err(body.invalid(format!(
+                            "assignment references processor {p} but only {processors} exist"
+                        )));
+                    }
+                    assignment.push((p, step));
+                }
+                body.finish()?;
+                set_once(tag, &mut saved, BspSchedule::new(processors, assignment))?;
+            }
+            _ => {
+                return Err(DecodeError::BadSectionTag {
+                    offset: body.offset(),
+                    tag,
+                })
+            }
+        }
+    }
+    saved.ok_or(DecodeError::MissingSection { tag: SEC_ASSIGN })
+}
+
+/// Validates a decoded assignment against a DAG and processor count: one entry
+/// per node, every processor in range. Shared by the session restore path.
+pub fn check_assignment(
+    procs: &[ProcId],
+    num_nodes: usize,
+    processors: usize,
+) -> Result<(), DecodeError> {
+    if procs.len() != num_nodes {
+        return Err(DecodeError::InvalidValue {
+            offset: 0,
+            what: format!("{} assignments for {num_nodes} nodes", procs.len()),
+        });
+    }
+    if let Some(p) = procs.iter().find(|p| p.index() >= processors) {
+        return Err(DecodeError::InvalidValue {
+            offset: 0,
+            what: format!("assignment references processor {p} but only {processors} exist"),
+        });
+    }
+    Ok(())
+}

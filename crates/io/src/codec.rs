@@ -1,0 +1,200 @@
+//! The [`Encode`]/[`Decode`] traits and their implementations for primitives
+//! and small composite values.
+//!
+//! These traits cover *fields inside a section payload*; framing (header,
+//! section tags, lengths, CRCs) lives in [`crate::frame`]. Decoding is total:
+//! every implementation returns a typed [`DecodeError`] on malformed input and
+//! never panics or over-allocates on untrusted bytes (collection lengths are
+//! bounds-checked against the remaining payload before allocation).
+
+use crate::frame::{DecodeError, Reader, Writer};
+use mbsp_dag::{NodeId, NodeWeights};
+use mbsp_model::ProcId;
+
+/// Serialises a value into a [`Writer`].
+pub trait Encode {
+    /// Appends this value's byte representation.
+    fn encode(&self, w: &mut Writer);
+}
+
+/// Deserialises a value from a [`Reader`], rejecting malformed bytes with a
+/// typed [`DecodeError`].
+pub trait Decode: Sized {
+    /// Reads one value.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Fixed lower bound on the encoded size in bytes, used to sanity-check
+    /// collection lengths before allocating. `1` is always safe.
+    const MIN_SIZE: usize = 1;
+}
+
+impl Encode for u8 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.get_u8()
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(*self);
+    }
+}
+
+impl Decode for u32 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.get_u32()
+    }
+    const MIN_SIZE: usize = 4;
+}
+
+impl Encode for u64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.get_u64()
+    }
+    const MIN_SIZE: usize = 8;
+}
+
+impl Encode for usize {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(*self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let v = r.get_u64()?;
+        usize::try_from(v).map_err(|_| r.invalid(format!("{v} does not fit in usize")))
+    }
+    const MIN_SIZE: usize = 8;
+}
+
+impl Encode for f64 {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(*self);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.get_f64()
+    }
+    const MIN_SIZE: usize = 8;
+}
+
+impl Encode for bool {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(*self as u8);
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(r.invalid(format!("byte {b:#04x} is not a bool"))),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.get_str()
+    }
+    const MIN_SIZE: usize = 8;
+}
+
+impl Encode for NodeId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for NodeId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(NodeId(r.get_u32()?))
+    }
+    const MIN_SIZE: usize = 4;
+}
+
+impl Encode for ProcId {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.0);
+    }
+}
+
+impl Decode for ProcId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ProcId(r.get_u32()?))
+    }
+    const MIN_SIZE: usize = 4;
+}
+
+impl Encode for NodeWeights {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.compute);
+        w.put_f64(self.memory);
+    }
+}
+
+impl Decode for NodeWeights {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let compute = r.get_f64()?;
+        let memory = r.get_f64()?;
+        Ok(NodeWeights { compute, memory })
+    }
+    const MIN_SIZE: usize = 16;
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, w: &mut Writer) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+    const MIN_SIZE: usize = A::MIN_SIZE + B::MIN_SIZE;
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.len() as u64);
+        for v in self {
+            v.encode(w);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = r.get_len(T::MIN_SIZE)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+    const MIN_SIZE: usize = 8;
+}

@@ -19,6 +19,7 @@
 use crate::dense::solve_lp_dense_with_bounds_deadline;
 use crate::model::{LpProblem, VarType};
 use crate::revised::{Basis, LpSolution, LpStatus, RevisedSimplex};
+use mbsp_pool::CancelToken;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -82,6 +83,8 @@ pub struct BranchBoundSolver {
     /// Solve node relaxations with the dense-tableau oracle instead of the
     /// warm-started revised simplex (differential testing / benchmarking).
     dense_relaxation: bool,
+    /// Optional cooperative cancellation, observed at node pops.
+    cancel: Option<CancelToken>,
 }
 
 /// One open node of the depth-first search.
@@ -120,6 +123,16 @@ impl BranchBoundSolver {
     /// testing and for the recorded `BENCH_solver.json` baseline.
     pub fn with_dense_relaxation(mut self, dense: bool) -> Self {
         self.dense_relaxation = dense;
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`]. The search observes it only at
+    /// the deterministic node-pop boundary: a cancelled solve returns the best
+    /// incumbent found so far with `proven == false`, and the set of explored
+    /// nodes up to the observation point is identical to an uncancelled run's
+    /// prefix.
+    pub fn with_cancel(mut self, token: &CancelToken) -> Self {
+        self.cancel = Some(token.clone());
         self
     }
 
@@ -162,7 +175,10 @@ impl BranchBoundSolver {
         let mut proven = true;
 
         while let Some(node) = stack.pop() {
-            if nodes >= self.limits.max_nodes || start.elapsed() >= self.limits.time_limit {
+            if nodes >= self.limits.max_nodes
+                || start.elapsed() >= self.limits.time_limit
+                || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            {
                 proven = false;
                 break;
             }
@@ -487,6 +503,40 @@ mod tests {
             sol.status,
             MipStatus::Feasible | MipStatus::LimitReached | MipStatus::Optimal
         ));
+    }
+
+    #[test]
+    fn a_pre_cancelled_token_stops_at_the_first_node_pop() {
+        let mut p = LpProblem::new();
+        let mut expr = LinExpr::new();
+        for i in 0..25 {
+            let x = p.add_binary(format!("x{i}"), -((i % 7 + 1) as f64));
+            expr.add(x, ((i % 5) + 1) as f64);
+        }
+        p.add_constraint("cap", expr, ConstraintSense::LessEqual, 20.0);
+        let token = CancelToken::new();
+        token.cancel();
+        // A feasible warm start survives cancellation as the returned incumbent.
+        let ws = vec![0.0; p.num_variables()];
+        let sol = BranchBoundSolver::new()
+            .with_warm_start(ws.clone())
+            .with_cancel(&token)
+            .solve(&p);
+        assert_eq!(sol.nodes_explored, 0);
+        assert_eq!(sol.status, MipStatus::Feasible);
+        assert_eq!(sol.values, ws);
+        // Without a warm start the cancelled solve reports the limit.
+        let sol = BranchBoundSolver::new().with_cancel(&token).solve(&p);
+        assert_eq!(sol.nodes_explored, 0);
+        assert_eq!(sol.status, MipStatus::LimitReached);
+        // An uncancelled token leaves the solve untouched.
+        let free = BranchBoundSolver::new()
+            .with_cancel(&CancelToken::new())
+            .solve(&p);
+        let plain = BranchBoundSolver::new().solve(&p);
+        assert_eq!(free.status, plain.status);
+        assert_close(free.objective, plain.objective);
+        assert_eq!(free.nodes_explored, plain.nodes_explored);
     }
 
     #[test]

@@ -24,9 +24,22 @@
 //!   order**. Worker count and steal interleaving therefore never change what a
 //!   caller observes — the holistic engine's deterministic `(cost, index)`
 //!   winner tie-break survives unchanged, as does every index-ordered sweep.
-//! * **Panic propagation.** A panicking job does not poison the pool: the first
-//!   payload is captured and re-thrown on the submitting thread after the rest
-//!   of the batch has drained, mirroring `std::thread::scope`.
+//! * **Panic isolation.** A panicking job does not poison the pool: every job
+//!   runs under `catch_unwind`, the batch drains fully, and the first payload
+//!   is either re-thrown on the submitting thread ([`WorkerPool::run_batch`],
+//!   mirroring `std::thread::scope`) or surfaced as a typed [`PoolError`]
+//!   carrying the payload message ([`WorkerPool::try_run_batch`]) so callers
+//!   can degrade — the schedulers re-run a poisoned batch on the calling
+//!   thread instead of aborting. Workers that die anyway (stack overflow and
+//!   friends) are reaped and respawned on the next batch, and a worker that
+//!   observes shutdown drains the deques before exiting so no queued job is
+//!   ever stranded.
+//!
+//! The pool is also where the workspace's **cancellation vocabulary** lives:
+//! [`CancelToken`] (a cloneable atomic flag), [`Deadline`] (optional wall-clock
+//! instant + optional token) and [`StopReason`]. The schedulers observe these
+//! only at deterministic round boundaries — see the fault-tolerance section of
+//! the repository README.
 //!
 //! The pool also owns the workspace's worker-count contract:
 //! [`resolve_workers`] is the single implementation of the `MBSP_BENCH_THREADS`
@@ -42,9 +55,170 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation flag: one `cancel()` is observed by every clone.
+///
+/// The schedulers check the token **only at deterministic round boundaries**
+/// (shard-search round, iteration boundary, branch-and-bound node pop), never
+/// mid-evaluation — so a cancelled run still returns a valid, never-worse
+/// incumbent, and a token that was cancelled *before* the run starts yields a
+/// byte-identical result for any worker count.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Why a search run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopReason {
+    /// The run exhausted its configured budget normally.
+    #[default]
+    Completed,
+    /// The wall-clock deadline passed at a round boundary.
+    DeadlineExpired,
+    /// A [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Completed => write!(f, "completed"),
+            StopReason::DeadlineExpired => write!(f, "deadline expired"),
+            StopReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// A combined stop condition: an optional wall-clock instant plus an optional
+/// [`CancelToken`], checked together at the schedulers' round boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct Deadline {
+    instant: Option<Instant>,
+    token: Option<CancelToken>,
+}
+
+impl Deadline {
+    /// Never expires on its own (no instant, no token).
+    pub fn none() -> Self {
+        Deadline::default()
+    }
+
+    /// Expires once `instant` has passed.
+    pub fn at(instant: Instant) -> Self {
+        Deadline {
+            instant: Some(instant),
+            token: None,
+        }
+    }
+
+    /// Expires `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Deadline::at(Instant::now() + d)
+    }
+
+    /// Attaches a cancellation token (cloned; `cancel()` on the original is
+    /// observed here).
+    pub fn with_token(mut self, token: &CancelToken) -> Self {
+        self.token = Some(token.clone());
+        self
+    }
+
+    /// Attaches a token if one is given.
+    pub fn with_token_opt(self, token: Option<&CancelToken>) -> Self {
+        match token {
+            Some(t) => self.with_token(t),
+            None => self,
+        }
+    }
+
+    /// The wall-clock component, if any.
+    pub fn instant(&self) -> Option<Instant> {
+        self.instant
+    }
+
+    /// The wall-clock component, or an effectively-unreachable instant — the
+    /// form the evaluation engine's time-budgeted inner loops consume.
+    pub fn wall_clock(&self) -> Instant {
+        self.instant
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400 * 365))
+    }
+
+    /// True once the attached token was cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.token.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// True once the run should stop: token cancelled or instant passed.
+    pub fn expired(&self) -> bool {
+        self.cancelled() || self.instant.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// The stop reason if this deadline is expired (cancellation takes
+    /// precedence over the clock), `None` while the run may continue.
+    pub fn reason(&self) -> Option<StopReason> {
+        if self.cancelled() {
+            Some(StopReason::Cancelled)
+        } else if self.instant.is_some_and(|t| Instant::now() >= t) {
+            Some(StopReason::DeadlineExpired)
+        } else {
+            None
+        }
+    }
+}
+
+/// A batch failed because one of its jobs panicked.
+///
+/// The batch still drained — every other job ran to completion and the pool's
+/// workers survive — so the caller can degrade (e.g. re-run the work inline)
+/// instead of aborting. Carries the panic payload's message and the index of
+/// the first job that failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Submission index of the first panicking job.
+    pub job_index: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads verbatim).
+    pub message: String,
+}
+
+impl PoolError {
+    fn from_payload(job_index: usize, payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        PoolError { job_index, message }
+    }
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch job {} panicked: {}", self.job_index, self.message)
+    }
+}
+
+impl std::error::Error for PoolError {}
 
 /// Resolves the number of evaluation workers: an explicit positive `configured`
 /// wins; otherwise the `MBSP_BENCH_THREADS` environment variable; otherwise the
@@ -128,16 +302,27 @@ impl Shared {
     }
 }
 
-/// Resident worker loop: run jobs while any are queued, park otherwise.
+/// Runs one queued job with panic isolation. Batch jobs already wrap the
+/// caller's closure in `catch_unwind` and report panics through their batch
+/// state; this outer guard is defence in depth so that a panic escaping the
+/// glue (e.g. out of a payload's `Drop`) cannot unwind a resident worker and
+/// strand its deque.
+fn run_isolated(job: Job) {
+    let _ = catch_unwind(AssertUnwindSafe(job));
+}
+
+/// Resident worker loop: run jobs while any are queued, park otherwise. On
+/// shutdown the worker drains every job it can still reach before exiting, so
+/// a submitter blocked on a batch is never stranded by a racing drop.
 fn worker_loop(shared: Arc<Shared>, me: usize) {
     loop {
         if let Some(job) = shared.pop_for(me) {
-            job();
+            run_isolated(job);
             continue;
         }
         let mut control = shared.control.lock().unwrap();
         if control.shutdown {
-            return;
+            break;
         }
         // Re-check under the control lock: an injection between the failed pop
         // and the lock acquisition must not be slept through (injectors notify
@@ -147,8 +332,11 @@ fn worker_loop(shared: Arc<Shared>, me: usize) {
         }
         control = shared.wake.wait(control).unwrap();
         if control.shutdown {
-            return;
+            break;
         }
+    }
+    while let Some(job) = shared.pop_for(me) {
+        run_isolated(job);
     }
 }
 
@@ -160,9 +348,9 @@ struct BatchState {
 
 struct BatchProgress {
     pending: usize,
-    /// First panic payload of the batch (later ones are dropped, like
-    /// `std::thread::scope` joining multiple panicked threads).
-    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Submission index and payload of the batch's first panic (later ones are
+    /// dropped, like `std::thread::scope` joining multiple panicked threads).
+    panic: Option<(usize, Box<dyn std::any::Any + Send>)>,
 }
 
 /// Owns the worker handles; dropping the last pool handle shuts the workers
@@ -275,6 +463,22 @@ impl WorkerPool {
     /// worker count — the pool keeps functioning because submitters help.
     fn ensure_workers(&self, want: usize) {
         let mut control = self.core.shared.control.lock().unwrap();
+        // Reap workers that died (defensive `catch_unwind` makes this nearly
+        // unreachable, but a stack overflow or a poisoned internal lock can
+        // still kill a thread) so the spawn loop below replaces them instead
+        // of counting corpses against the cap.
+        {
+            let mut handles = self.core.handles.lock().unwrap();
+            let mut i = 0;
+            while i < handles.len() {
+                if handles[i].is_finished() {
+                    let _ = handles.swap_remove(i).join();
+                    control.spawned -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
         let target = want.min(control.cap);
         while control.spawned < target {
             let shared = Arc::clone(&self.core.shared);
@@ -320,6 +524,65 @@ impl WorkerPool {
             let task = tasks.into_iter().next().unwrap();
             return vec![task()];
         }
+        let (results, panic) = self.execute(tasks);
+        if let Some((_, payload)) = panic {
+            resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every batch job fills its slot"))
+            .collect()
+    }
+
+    /// Like [`WorkerPool::run_batch`], but a panicking job surfaces as a typed
+    /// [`PoolError`] instead of re-throwing the panic.
+    ///
+    /// The failure mode is identical — the batch drains fully, the workers
+    /// survive — only the report differs: the error names the first panicking
+    /// job and carries its payload message, so callers can degrade gracefully
+    /// (the schedulers re-run a poisoned batch on the calling thread).
+    pub fn try_run_batch<'env, T, F>(&self, tasks: Vec<F>) -> Result<Vec<T>, PoolError>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if n == 1 {
+            let task = tasks.into_iter().next().unwrap();
+            return match catch_unwind(AssertUnwindSafe(task)) {
+                Ok(v) => Ok(vec![v]),
+                Err(payload) => Err(PoolError::from_payload(0, payload.as_ref())),
+            };
+        }
+        let (results, panic) = self.execute(tasks);
+        match panic {
+            Some((index, payload)) => Err(PoolError::from_payload(index, payload.as_ref())),
+            None => Ok(results
+                .into_iter()
+                .map(|slot| slot.expect("every batch job fills its slot"))
+                .collect()),
+        }
+    }
+
+    /// Shared core of [`WorkerPool::run_batch`]/[`WorkerPool::try_run_batch`]:
+    /// runs a multi-job batch to full completion and returns the result slots
+    /// plus the first panic, if any. `tasks` must hold at least two jobs.
+    #[allow(clippy::type_complexity)]
+    fn execute<'env, T, F>(
+        &self,
+        tasks: Vec<F>,
+    ) -> (
+        Vec<Option<T>>,
+        Option<(usize, Box<dyn std::any::Any + Send>)>,
+    )
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let n = tasks.len();
         let mut results: Vec<Option<T>> = Vec::with_capacity(n);
         results.resize_with(n, || None);
         let state = Arc::new(BatchState {
@@ -345,7 +608,7 @@ impl WorkerPool {
                     // submitter reads the slots only after `pending` hits 0.
                     Ok(value) => unsafe { slot.write(value) },
                     Err(payload) => {
-                        progress.panic.get_or_insert(payload);
+                        progress.panic.get_or_insert((i, payload));
                     }
                 }
                 progress.pending -= 1;
@@ -368,13 +631,7 @@ impl WorkerPool {
         self.inject(jobs);
         self.help_until_done(&state);
         let panic = state.progress.lock().unwrap().panic.take();
-        if let Some(payload) = panic {
-            resume_unwind(payload);
-        }
-        results
-            .into_iter()
-            .map(|slot| slot.expect("every batch job fills its slot"))
-            .collect()
+        (results, panic)
     }
 
     /// Maps `f` over `0..count` with dynamic index stealing across at most
@@ -572,6 +829,87 @@ mod tests {
         assert_eq!(ran.load(Ordering::Relaxed), 5);
         // The pool survives and accepts the next batch.
         assert_eq!(pool.run_batch(vec![|| 1, || 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_run_batch_surfaces_a_typed_error_and_drains() {
+        let pool = WorkerPool::with_capacity(2);
+        let ran = AtomicUsize::new(0);
+        let ran_ref = &ran;
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..6usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 2 {
+                        panic!("boom at {i}");
+                    }
+                    ran_ref.fetch_add(1, Ordering::Relaxed);
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let err = pool.try_run_batch(tasks).expect_err("job 2 panics");
+        assert_eq!(err.job_index, 2);
+        assert_eq!(err.message, "boom at 2");
+        assert_eq!(ran.load(Ordering::Relaxed), 5, "the rest of the batch ran");
+        // The pool survives and the Ok path still works.
+        assert_eq!(pool.try_run_batch(vec![|| 7, || 8]), Ok(vec![7, 8]));
+        // The single-job inline path is isolated too.
+        let single: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![Box::new(|| panic!("solo"))];
+        let err = pool.try_run_batch(single).expect_err("solo panics");
+        assert_eq!((err.job_index, err.message.as_str()), (0, "solo"));
+    }
+
+    #[test]
+    fn dropping_handles_under_load_joins_cleanly() {
+        // Clones of the pool are dropped from other threads while batches are
+        // in flight; every batch must still complete with correct results and
+        // the final drop must join all workers without hanging.
+        let pool = WorkerPool::with_capacity(3);
+        let batches: Vec<_> = (0..4)
+            .map(|b| {
+                let handle = pool.clone();
+                std::thread::spawn(move || {
+                    let tasks: Vec<_> = (0..32)
+                        .map(|i| {
+                            move || {
+                                std::thread::sleep(Duration::from_micros(200));
+                                b * 100 + i
+                            }
+                        })
+                        .collect();
+                    handle.run_batch(tasks)
+                })
+            })
+            .collect();
+        for _ in 0..8 {
+            drop(pool.clone());
+        }
+        drop(pool); // workers keep running: the batch threads hold clones
+        for (b, t) in batches.into_iter().enumerate() {
+            let got = t.join().expect("batch thread");
+            let want: Vec<usize> = (0..32).map(|i| b * 100 + i).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn cancel_tokens_and_deadlines_expire_as_documented() {
+        let token = CancelToken::new();
+        let deadline = Deadline::after(Duration::from_secs(3600)).with_token(&token);
+        assert!(!deadline.expired());
+        assert_eq!(deadline.reason(), None);
+        token.cancel();
+        assert!(deadline.expired());
+        assert_eq!(deadline.reason(), Some(StopReason::Cancelled));
+
+        let past = Deadline::at(Instant::now() - Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.reason(), Some(StopReason::DeadlineExpired));
+        // Cancellation outranks the clock when both hold.
+        let both = Deadline::at(Instant::now() - Duration::from_millis(1)).with_token(&token);
+        assert_eq!(both.reason(), Some(StopReason::Cancelled));
+        assert!(!Deadline::none().expired());
+        assert!(Deadline::none().wall_clock() > Instant::now());
     }
 
     #[test]

@@ -33,8 +33,8 @@ bench-compile:
 # BENCH_solver.json, the improver comparison into BENCH_improver.json, the
 # DAG-substrate comparison into BENCH_dag.json, the sharded-search
 # comparison into BENCH_shard.json, the incremental-repair comparison
-# into BENCH_delta.json and the worker-pool/kernel/merge comparison into
-# BENCH_pool.json.
+# into BENCH_delta.json, the worker-pool/kernel/merge comparison into
+# BENCH_pool.json and the checkpoint-codec baseline into BENCH_io.json.
 bench-json:
     cargo run --release -p mbsp_bench --bin bench_solver
     cargo run --release -p mbsp_bench --bin bench_improver
@@ -42,8 +42,9 @@ bench-json:
     cargo run --release -p mbsp_bench --bin bench_shard
     cargo run --release -p mbsp_bench --bin bench_delta
     cargo run --release -p mbsp_bench --bin bench_pool
+    cargo run --release -p mbsp_bench --bin bench_io
 
-# The six CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
+# The seven CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
 smokes:
     MBSP_BENCH_SOLVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_solver
     MBSP_BENCH_IMPROVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_improver
@@ -51,11 +52,12 @@ smokes:
     MBSP_BENCH_SHARD_QUICK=1 cargo run --release -p mbsp_bench --bin bench_shard
     MBSP_BENCH_DELTA_QUICK=1 cargo run --release -p mbsp_bench --bin bench_delta
     MBSP_BENCH_POOL_QUICK=1 cargo run --release -p mbsp_bench --bin bench_pool
+    MBSP_BENCH_IO_QUICK=1 cargo run --release -p mbsp_bench --bin bench_io
 
 # The bench-regression gate over the BENCH_*_quick.json smoke outputs.
 bench-check:
     cargo run --release -p mbsp_bench --bin bench_check
 
-# Everything CI checks, in CI's order (build, test, doc, fmt, clippy, the six
-# bench smokes, the criterion compile gate, the bench-regression gate).
+# Everything CI checks, in CI's order (build, test, doc, fmt, clippy, the
+# seven bench smokes, the criterion compile gate, the bench-regression gate).
 ci: build test doc fmt lint smokes bench-compile bench-check

@@ -15,9 +15,15 @@
 //! * [`solver`] — the LP/MIP solver substrate (sparse revised simplex with
 //!   warm-started branch and bound, plus the dense differential oracle);
 //! * [`ilp`] — the holistic schedulers: ILP formulation, exact solver,
-//!   baseline-seeded holistic search, the divide-and-conquer method, and the
+//!   baseline-seeded holistic search, the divide-and-conquer method, the
 //!   sharded holistic search over zero-copy sub-DAG views
-//!   ([`ilp::shard::ShardedHolisticScheduler`]).
+//!   ([`ilp::shard::ShardedHolisticScheduler`]) and the incremental
+//!   re-scheduling engine ([`ilp::dirty_cone::IncrementalScheduler`]) with
+//!   binary session checkpoints, cooperative cancellation and typed stop
+//!   reasons;
+//! * [`io`] — the versioned, checksummed binary codec behind those
+//!   checkpoints (DAGs, schedules, orders, sessions; every corruption decodes
+//!   to a typed [`io::DecodeError`]).
 //!
 //! ## Quick start
 //!
@@ -64,6 +70,7 @@ pub use mbsp_cache as cache;
 pub use mbsp_dag as dag;
 pub use mbsp_gen as gen;
 pub use mbsp_ilp as ilp;
+pub use mbsp_io as io;
 pub use mbsp_model as model;
 pub use mbsp_sched as sched;
 
@@ -73,8 +80,9 @@ pub mod prelude {
     pub use crate::dag::{CompDag, DagBuilder, DagLike, DagStatistics, NodeId, SubDagView};
     pub use crate::gen::{large_dataset, small_dataset_sample, tiny_dataset};
     pub use crate::ilp::{
-        DivideAndConquerScheduler, ExactIlpScheduler, HolisticConfig, HolisticScheduler,
-        ShardedHolisticScheduler, ShardedSearchConfig,
+        CancelToken, Deadline, DivideAndConquerScheduler, ExactIlpScheduler, HolisticConfig,
+        HolisticScheduler, IncrementalScheduler, RepairConfig, ShardedHolisticScheduler,
+        ShardedSearchConfig, StopReason,
     };
     pub use crate::model::{
         async_cost, sync_cost, Architecture, BspSchedule, CostModel, MbspInstance, MbspSchedule,
@@ -108,5 +116,36 @@ mod tests {
         );
         schedule.validate(instance.dag(), instance.arch()).unwrap();
         assert!(sync_cost(&schedule, instance.dag(), instance.arch()).total > 0.0);
+    }
+
+    #[test]
+    fn facade_surfaces_sessions_and_cancellation() {
+        let dataset = tiny_dataset(1);
+        let instance = MbspInstance::with_cache_factor(
+            dataset[0].dag.clone(),
+            Architecture::paper_default(0.0),
+            3.0,
+        );
+        let bsp = GreedyBspScheduler::new().schedule(instance.dag(), instance.arch());
+        let procs = instance
+            .dag()
+            .nodes()
+            .map(|v| bsp.schedule.proc_of(v))
+            .collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut sched = IncrementalScheduler::new(
+            instance.dag().clone(),
+            *instance.arch(),
+            procs,
+            RepairConfig::default(),
+        )
+        .with_cancel(&token);
+        let (_, stats) = sched.full_repair();
+        assert_eq!(stats.stop_reason, StopReason::Cancelled);
+        let blob = sched.checkpoint();
+        let restored = IncrementalScheduler::restore(&blob).unwrap();
+        assert_eq!(restored.checkpoint(), blob);
+        assert!(crate::io::decode_dag(&blob).is_err(), "wrong artifact kind");
     }
 }

@@ -181,19 +181,19 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| Error::custom("invalid UTF-8 in number"))?;
+            .map_err(|_| Error::custom(format!("invalid UTF-8 in number at offset {start}")))?;
         if is_float {
             text.parse::<f64>()
                 .map(Value::Float)
-                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+                .map_err(|_| Error::custom(format!("invalid number `{text}` at offset {start}")))
         } else if text.starts_with('-') {
             text.parse::<i64>()
                 .map(Value::Int)
-                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+                .map_err(|_| Error::custom(format!("invalid number `{text}` at offset {start}")))
         } else {
             text.parse::<u64>()
                 .map(Value::UInt)
-                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+                .map_err(|_| Error::custom(format!("invalid number `{text}` at offset {start}")))
         }
     }
 
@@ -205,18 +205,24 @@ impl Parser<'_> {
             .bytes
             .get(self.pos + 1..self.pos + 5)
             .and_then(|h| std::str::from_utf8(h).ok())
-            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
-        let code = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+            .ok_or_else(|| Error::custom(format!("truncated \\u escape at offset {}", self.pos)))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::custom(format!("invalid \\u escape at offset {}", self.pos)))?;
         self.pos += 4;
         Ok(code)
     }
 
     fn parse_string(&mut self) -> Result<String, Error> {
+        let start = self.pos;
         self.expect(b'"')?;
         let mut s = String::new();
         loop {
             match self.peek() {
-                None => return Err(Error::custom("unterminated string")),
+                None => {
+                    return Err(Error::custom(format!(
+                        "unterminated string starting at offset {start}"
+                    )))
+                }
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(s);
@@ -239,32 +245,50 @@ impl Parser<'_> {
                                 if self.bytes.get(self.pos + 1) != Some(&b'\\')
                                     || self.bytes.get(self.pos + 2) != Some(&b'u')
                                 {
-                                    return Err(Error::custom("unpaired surrogate in \\u escape"));
+                                    return Err(Error::custom(format!(
+                                        "unpaired surrogate in \\u escape at offset {}",
+                                        self.pos
+                                    )));
                                 }
                                 self.pos += 2;
                                 let low = self.parse_u_escape_digits()?;
                                 if !(0xDC00..0xE000).contains(&low) {
-                                    return Err(Error::custom(
-                                        "invalid low surrogate in \\u escape",
-                                    ));
+                                    return Err(Error::custom(format!(
+                                        "invalid low surrogate in \\u escape at offset {}",
+                                        self.pos
+                                    )));
                                 }
                                 let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-                                char::from_u32(combined)
-                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?
+                                char::from_u32(combined).ok_or_else(|| {
+                                    Error::custom(format!(
+                                        "invalid \\u code point at offset {}",
+                                        self.pos
+                                    ))
+                                })?
                             } else {
-                                char::from_u32(code)
-                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?
+                                char::from_u32(code).ok_or_else(|| {
+                                    Error::custom(format!(
+                                        "invalid \\u code point at offset {}",
+                                        self.pos
+                                    ))
+                                })?
                             };
                             s.push(c);
                         }
-                        _ => return Err(Error::custom("invalid escape")),
+                        _ => {
+                            return Err(Error::custom(format!(
+                                "invalid escape at offset {}",
+                                self.pos
+                            )))
+                        }
                     }
                     self.pos += 1;
                 }
                 Some(_) => {
                     // Consume one UTF-8 encoded character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
+                        Error::custom(format!("invalid UTF-8 in string at offset {}", self.pos))
+                    })?;
                     let c = rest.chars().next().unwrap();
                     s.push(c);
                     self.pos += c.len_utf8();
@@ -376,6 +400,28 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage() {
         assert!(from_str::<bool>("true false").is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_byte_offset() {
+        for (input, expected_offset) in [
+            ("true false", 5),            // trailing characters
+            ("[1, 2", 5),                 // unterminated array
+            ("{\"a\" 1}", 5),             // missing colon
+            ("nul", 0),                   // bad literal
+            ("\"abc", 0),                 // unterminated string
+            ("[1, x]", 4),                // unexpected character
+            ("  {\"k\": \"\\q\"}  ", 10), // invalid escape
+        ] {
+            // Every case fails during parsing, before any `from_value`
+            // conversion, so the target type is irrelevant.
+            let err = from_str::<bool>(input).expect_err(input);
+            let msg = format!("{err}");
+            assert!(
+                msg.contains(&format!("offset {expected_offset}")),
+                "{input:?}: error {msg:?} does not name offset {expected_offset}"
+            );
+        }
     }
 
     #[test]
