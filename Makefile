@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see .github/workflows/ci.yml).
 # A justfile with identical recipes exists for `just` users.
 
-.PHONY: build test doc fmt lint bench bench-compile bench-json smokes bench-check ci
+.PHONY: build test doc fmt lint bench bench-compile bench-json smokes bench-check serve-smoke ci
 
 build:
 	cargo build --release --workspace --all-targets
@@ -37,13 +37,16 @@ bench-compile:
 # into BENCH_delta.json, and the worker-pool/kernel/merge comparison (resident
 # pool engine batches vs scoped spawns + eager merge, vectorized vs scalar
 # pebble-set kernels, segment-tree vs O(P)-fold merge pass) into
-# BENCH_pool.json, and the checkpoint-codec baseline (session encode/decode
+# BENCH_pool.json, the checkpoint-codec baseline (session encode/decode
 # wall-clock with byte-identity and corruption-rejection flags, <50 ms each
-# way on the 100k-node instances) into BENCH_io.json. Set
+# way on the 100k-node instances) into BENCH_io.json, and the serving
+# baseline (mbsp_serve fan-out latency/throughput with monotone-incumbent
+# and served-vs-direct byte-identity flags) into BENCH_serve.json. Set
 # MBSP_BENCH_SOLVER_QUICK=1 / MBSP_BENCH_IMPROVER_QUICK=1 /
 # MBSP_BENCH_DAG_QUICK=1 / MBSP_BENCH_SHARD_QUICK=1 /
 # MBSP_BENCH_DELTA_QUICK=1 / MBSP_BENCH_POOL_QUICK=1 /
-# MBSP_BENCH_IO_QUICK=1 for the fast CI smoke variants.
+# MBSP_BENCH_IO_QUICK=1 / MBSP_BENCH_SERVE_QUICK=1 for the fast CI smoke
+# variants.
 bench-json:
 	cargo run --release -p mbsp_bench --bin bench_solver
 	cargo run --release -p mbsp_bench --bin bench_improver
@@ -52,8 +55,9 @@ bench-json:
 	cargo run --release -p mbsp_bench --bin bench_delta
 	cargo run --release -p mbsp_bench --bin bench_pool
 	cargo run --release -p mbsp_bench --bin bench_io
+	cargo run --release -p mbsp_bench --bin bench_serve
 
-# The seven CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
+# The eight CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
 smokes:
 	MBSP_BENCH_SOLVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_solver
 	MBSP_BENCH_IMPROVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_improver
@@ -62,14 +66,22 @@ smokes:
 	MBSP_BENCH_DELTA_QUICK=1 cargo run --release -p mbsp_bench --bin bench_delta
 	MBSP_BENCH_POOL_QUICK=1 cargo run --release -p mbsp_bench --bin bench_pool
 	MBSP_BENCH_IO_QUICK=1 cargo run --release -p mbsp_bench --bin bench_io
+	MBSP_BENCH_SERVE_QUICK=1 cargo run --release -p mbsp_bench --bin bench_serve
 
 # The bench-regression gate: parses the BENCH_*_quick.json smoke outputs and
 # fails on any sub-1.0 speedup or fast/reference divergence.
 bench-check:
 	cargo run --release -p mbsp_bench --bin bench_check
 
+# The serving smoke: boot a real mbsp_serve daemon, drive a scripted client
+# session (register / schedule / mutate / graceful shutdown), restart it on
+# the same state directory and assert the checkpointed session restored.
+serve-smoke:
+	cargo run --release -p mbsp_serve -- --help >/dev/null
+	sh scripts/serve_smoke.sh
+
 # Everything CI checks, in CI's order: build, test, doc, formatting, clippy,
-# the seven benchmark smokes, the criterion compile gate and the
-# bench-regression gate. Contributors can reproduce a red CI run locally with
-# this single target.
-ci: build test doc fmt lint smokes bench-compile bench-check
+# the eight benchmark smokes, the criterion compile gate, the
+# bench-regression gate and the serving smoke. Contributors can reproduce a
+# red CI run locally with this single target.
+ci: build test doc fmt lint smokes bench-compile bench-check serve-smoke

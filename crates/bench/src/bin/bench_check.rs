@@ -1,11 +1,15 @@
 //! The CI bench-regression gate: parses the quick-mode `BENCH_*_quick.json`
-//! files that the seven benchmark smokes (`bench_solver`, `bench_improver`,
-//! `bench_dag`, `bench_shard`, `bench_delta`, `bench_pool`, `bench_io` with
-//! their `MBSP_BENCH_*_QUICK=1` contracts)
+//! files that the eight benchmark smokes (`bench_solver`, `bench_improver`,
+//! `bench_dag`, `bench_shard`, `bench_delta`, `bench_pool`, `bench_io`,
+//! `bench_serve` with their `MBSP_BENCH_*_QUICK=1` contracts)
 //! wrote earlier in the run, and **fails** if any fast-vs-reference speedup
 //! dropped below 1.0 or any agreement flag shows the compared paths diverged.
 //! Every violation names the offending file, instance and metric; a missing or
-//! unreadable quick-JSON is itself a violation.
+//! unreadable quick-JSON is itself a violation. Only the [`REGISTERED`] report
+//! list is gated: a `BENCH_*_quick.json` in the working directory that no gate
+//! knows about is reported as a **named warning** (a new smoke was added
+//! without registering it here, or a stale artifact is lying around) rather
+//! than silently ignored or spuriously failed.
 //! (The pool and shard smokes are gated on their agreement flags only: on the
 //! tiny smoke instances the pool-vs-scoped-spawn margin is within timing noise
 //! and the weighted sharding's partition-ILP overhead is not amortised, so
@@ -160,6 +164,33 @@ struct IoReport {
     quick: bool,
     instances: Vec<IoInstance>,
 }
+
+#[derive(Debug, Deserialize)]
+struct ServeScenario {
+    name: String,
+    total_seconds: f64,
+    incumbents_monotone: bool,
+    final_byte_identical: bool,
+}
+
+#[derive(Debug, Deserialize)]
+struct ServeReport {
+    quick: bool,
+    scenarios: Vec<ServeScenario>,
+}
+
+/// Every quick report this gate knows how to check. A `BENCH_*_quick.json`
+/// not on this list produces a named warning, never a silent pass.
+const REGISTERED: [&str; 8] = [
+    "BENCH_solver_quick.json",
+    "BENCH_improver_quick.json",
+    "BENCH_dag_quick.json",
+    "BENCH_shard_quick.json",
+    "BENCH_delta_quick.json",
+    "BENCH_pool_quick.json",
+    "BENCH_io_quick.json",
+    "BENCH_serve_quick.json",
+];
 
 /// Collected gate violations; empty means the gate is green.
 #[derive(Default)]
@@ -449,10 +480,72 @@ fn main() -> ExitCode {
         );
     }
 
+    if let Some(r) = gate.parse::<ServeReport>("BENCH_serve_quick.json") {
+        // The serve smoke is gated on its determinism flags only: fan-out
+        // wall-clock on tiny instances is dominated by session spin-up, so
+        // the latency story belongs to the full `bench_serve` run.
+        let path = "BENCH_serve_quick.json";
+        gate.require(
+            path,
+            "report",
+            "quick flag is false — the smoke must run with the quick-mode env var",
+            r.quick,
+        );
+        for s in &r.scenarios {
+            gate.require(
+                path,
+                &s.name,
+                "a client observed a non-monotone incumbent stream",
+                s.incumbents_monotone,
+            );
+            gate.require(
+                path,
+                &s.name,
+                "a served schedule diverged from the direct library run",
+                s.final_byte_identical,
+            );
+            gate.require(
+                path,
+                &s.name,
+                "fan-out timing is not finite positive seconds",
+                s.total_seconds > 0.0 && s.total_seconds.is_finite(),
+            );
+        }
+        println!(
+            "serve    byte-identical over {} fan-out scenarios",
+            r.scenarios.len()
+        );
+    }
+
+    // Anything matching the quick-report shape that no gate above knows about
+    // gets called out by name — a forgotten registration must not pass green.
+    let mut warnings = 0usize;
+    if let Ok(dir) = std::fs::read_dir(".") {
+        let mut extras: Vec<String> = dir
+            .flatten()
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| {
+                n.starts_with("BENCH_")
+                    && n.ends_with("_quick.json")
+                    && !REGISTERED.contains(&n.as_str())
+            })
+            .collect();
+        extras.sort();
+        for name in extras {
+            warnings += 1;
+            eprintln!(
+                "bench_check: WARNING: {name} is not a registered quick report — \
+                 register it in bench_check's REGISTERED list (or delete the stale file)"
+            );
+        }
+    }
+
     if gate.problems.is_empty() {
         println!(
-            "bench_check: {} checks passed across 7 quick reports",
-            gate.checked
+            "bench_check: {} checks passed across {} registered quick reports ({} warning(s))",
+            gate.checked,
+            REGISTERED.len(),
+            warnings
         );
         ExitCode::SUCCESS
     } else {

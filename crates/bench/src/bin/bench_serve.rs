@@ -1,0 +1,345 @@
+//! Records the serving-path baseline: end-to-end latency and throughput of
+//! the `mbsp_serve` daemon under concurrent scheduling clients — written to
+//! `BENCH_serve.json`.
+//!
+//! Per scenario the harness starts an in-process [`mbsp_serve::Server`] on an
+//! ephemeral port with a private state directory, registers one family
+//! instance, and fans out `CLIENTS` real TCP connections that each submit a
+//! streaming `schedule` request at the same fixed budget. Wall-clock is the
+//! minimum over `REPS` fan-outs (each rep is a fresh daemon, so the number
+//! includes accept/register/session-spin-up, not just the hot path). Two
+//! correctness flags ride along and are gated: `incumbents_monotone` (every
+//! client observed a strictly-decreasing incumbent stream with contiguous
+//! sequence numbers, finishing at the `done` cost) and `final_byte_identical`
+//! (every served schedule serialized byte-for-byte equal to a direct
+//! [`ShardedHolisticScheduler`] run on
+//! the same DAG at the same budget — serving adds batching and transport, not
+//! nondeterminism).
+//!
+//! Set `MBSP_BENCH_SERVE_QUICK=1` for the CI smoke run (smaller instances and
+//! fan-out, separate output file). The JSON schema is `{benchmark, quick,
+//! scenarios: [{name, nodes, edges, clients, total_seconds,
+//! requests_per_second, mean_latency_seconds, incumbent_frames,
+//! incumbents_monotone, final_byte_identical}]}`.
+
+use mbsp_gen::cg::cg_dag;
+use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+use mbsp_ilp::{ShardedHolisticScheduler, ShardedSearchConfig};
+use mbsp_model::{Architecture, MbspInstance};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+use mbsp_serve::{Server, ServerConfig};
+use serde::{map_get, Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Each scenario's fan-out is repeated this many times; wall-clock is the
+/// minimum (serving is latency-bound, so the minimum is the least-noisy
+/// estimator of the achievable rate).
+const REPS: usize = 3;
+
+/// One registered instance exercised by a fan-out of scheduling clients.
+struct Scenario {
+    name: &'static str,
+    dag: mbsp_dag::CompDag,
+    clients: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct ScenarioReport {
+    name: String,
+    nodes: usize,
+    edges: usize,
+    clients: usize,
+    total_seconds: f64,
+    requests_per_second: f64,
+    mean_latency_seconds: f64,
+    incumbent_frames: usize,
+    incumbents_monotone: bool,
+    final_byte_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    benchmark: String,
+    quick: bool,
+    scenarios: Vec<ScenarioReport>,
+}
+
+/// The fixed budget every request runs at — explicit shard count so the
+/// recorded baseline is machine-independent.
+fn budget() -> ShardedSearchConfig {
+    ShardedSearchConfig {
+        num_shards: 4,
+        seed: 11,
+        max_rounds: 6,
+        moves_per_round: 8,
+        iterations: 2,
+        stale_round_limit: 0,
+        ..ShardedSearchConfig::default()
+    }
+}
+
+const BUDGET_JSON: &str = r#""num_shards":4,"seed":11,"max_rounds":6,"moves_per_round":8,"iterations":2,"stale_round_limit":0"#;
+
+fn main() {
+    // "0", "" and "false" disable quick mode (the documented contract is `=1`).
+    let quick = std::env::var("MBSP_BENCH_SERVE_QUICK")
+        .map(|v| !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"))
+        .unwrap_or(false);
+
+    let scenarios = if quick {
+        vec![
+            Scenario {
+                name: "cg_n4_k2_c4",
+                dag: cg_dag("cg", 4, 2),
+                clients: 4,
+            },
+            Scenario {
+                name: "rand_L5_W6_c4",
+                dag: random_layered_dag(
+                    &RandomDagConfig {
+                        layers: 5,
+                        width: 6,
+                        edge_probability: 0.35,
+                        ..Default::default()
+                    },
+                    7,
+                ),
+                clients: 4,
+            },
+        ]
+    } else {
+        vec![
+            Scenario {
+                name: "cg_n8_k3_c8",
+                dag: cg_dag("cg", 8, 3),
+                clients: 8,
+            },
+            Scenario {
+                name: "rand_L12_W20_c8",
+                dag: random_layered_dag(
+                    &RandomDagConfig {
+                        layers: 12,
+                        width: 20,
+                        edge_probability: 0.12,
+                        ..Default::default()
+                    },
+                    7,
+                ),
+                clients: 8,
+            },
+            Scenario {
+                name: "rand_L12_W20_c16",
+                dag: random_layered_dag(
+                    &RandomDagConfig {
+                        layers: 12,
+                        width: 20,
+                        edge_probability: 0.12,
+                        ..Default::default()
+                    },
+                    7,
+                ),
+                clients: 16,
+            },
+        ]
+    };
+
+    let mut reports = Vec::new();
+    for scenario in &scenarios {
+        // The direct-run reference all served schedules must match.
+        let base = Architecture::new(4, 0.0, 1.0, 2.0);
+        let arch = *MbspInstance::with_cache_factor(scenario.dag.clone(), base, 3.0).arch();
+        let baseline = GreedyBspScheduler::new().schedule(&scenario.dag, &arch);
+        let instance = MbspInstance::new(scenario.dag.clone(), arch);
+        let (reference, _, _) = ShardedHolisticScheduler::with_config(budget())
+            .schedule_with_assignment(&instance, &baseline);
+        let reference = serde_json::to_string(&reference).expect("schedule serializes");
+
+        let mut best = f64::INFINITY;
+        let mut best_outcome = FanOutOutcome::default();
+        for _ in 0..REPS {
+            let (seconds, outcome) = run_fan_out(scenario, &reference);
+            if seconds < best {
+                best = seconds;
+                best_outcome = outcome;
+            }
+        }
+
+        let n = scenario.clients as f64;
+        println!(
+            "{:<18} {:>6} nodes  {:>3} clients   {:>8.3} ms total   {:>8.1} req/s   monotone: {}   byte==: {}",
+            scenario.name,
+            scenario.dag.num_nodes(),
+            scenario.clients,
+            best * 1e3,
+            n / best.max(1e-12),
+            best_outcome.monotone,
+            best_outcome.byte_identical,
+        );
+        reports.push(ScenarioReport {
+            name: scenario.name.to_string(),
+            nodes: scenario.dag.num_nodes(),
+            edges: scenario.dag.num_edges(),
+            clients: scenario.clients,
+            total_seconds: best,
+            requests_per_second: n / best.max(1e-12),
+            mean_latency_seconds: best_outcome.latency_sum / n,
+            incumbent_frames: best_outcome.incumbent_frames,
+            incumbents_monotone: best_outcome.monotone,
+            final_byte_identical: best_outcome.byte_identical,
+        });
+    }
+
+    let report = Report {
+        benchmark: "mbsp_serve daemon under concurrent streaming schedule clients: fan-out \
+                    latency/throughput with monotone-incumbent and byte-identity flags"
+            .to_string(),
+        quick,
+        scenarios: reports,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    // Quick (CI smoke) runs must not clobber the recorded full baseline.
+    let path = if quick {
+        "BENCH_serve_quick.json"
+    } else {
+        "BENCH_serve.json"
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("{path} is writable: {e}"));
+    println!("serving report -> {path}");
+    assert!(
+        report.scenarios.iter().all(|s| s.incumbents_monotone),
+        "a client observed a non-monotone incumbent stream — see {path}"
+    );
+    assert!(
+        report.scenarios.iter().all(|s| s.final_byte_identical),
+        "a served schedule diverged from the direct library run — see {path}"
+    );
+}
+
+#[derive(Default)]
+struct FanOutOutcome {
+    latency_sum: f64,
+    incumbent_frames: usize,
+    monotone: bool,
+    byte_identical: bool,
+}
+
+/// One timed rep: fresh daemon, one register, `clients` concurrent streaming
+/// schedule requests, graceful shutdown. Returns wall-clock and the merged
+/// per-client observations.
+fn run_fan_out(scenario: &Scenario, reference: &str) -> (f64, FanOutOutcome) {
+    let state_dir = std::env::temp_dir().join(format!(
+        "mbsp_bench_serve_{}_{}",
+        std::process::id(),
+        scenario.name
+    ));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let server = Server::start(ServerConfig {
+        listen: "127.0.0.1:0".to_string(),
+        state_dir: state_dir.clone(),
+        workers: 0,
+    })
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    register(addr, &scenario.dag);
+    let handles: Vec<_> = (0..scenario.clients)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let begin = Instant::now();
+                let (frames, monotone, served) = stream_schedule(addr);
+                (begin.elapsed().as_secs_f64(), frames, monotone, served)
+            })
+        })
+        .collect();
+    let mut outcome = FanOutOutcome {
+        monotone: true,
+        byte_identical: true,
+        ..FanOutOutcome::default()
+    };
+    for handle in handles {
+        let (latency, frames, monotone, served) = handle.join().expect("client thread");
+        outcome.latency_sum += latency;
+        outcome.incumbent_frames += frames;
+        outcome.monotone &= monotone;
+        outcome.byte_identical &= served == reference;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+
+    server.shutdown();
+    server.join();
+    let _ = std::fs::remove_dir_all(&state_dir);
+    (seconds, outcome)
+}
+
+/// Uploads the scenario DAG via the binary codec (hex on the wire) so the
+/// daemon schedules exactly the reference DAG.
+fn register(addr: SocketAddr, dag: &mbsp_dag::CompDag) {
+    let blob = mbsp_io::encode_dag(dag);
+    let hex = mbsp_serve::encode_hex(&blob);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let line = format!(
+        r#"{{"id":1,"op":"register","instance":"bench","dag_hex":"{hex}","processors":4,"cache_factor":3.0,{BUDGET_JSON}}}"#
+    );
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("recv");
+    assert!(
+        reply.contains(r#""event":"registered""#),
+        "register failed: {reply}"
+    );
+}
+
+/// One streaming schedule request; returns (incumbent frame count, stream was
+/// monotone, served schedule JSON).
+fn stream_schedule(addr: SocketAddr) -> (usize, bool, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let line = format!(
+        r#"{{"id":2,"op":"schedule","instance":"bench","stream":true,"return_schedule":true,{BUDGET_JSON}}}"#
+    );
+    stream.write_all(line.as_bytes()).expect("send");
+    stream.write_all(b"\n").expect("send");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+
+    let mut frames = 0usize;
+    let mut monotone = true;
+    let mut last_cost = f64::INFINITY;
+    let mut next_sequence = 0u64;
+    loop {
+        let mut text = String::new();
+        let n = reader.read_line(&mut text).expect("recv");
+        assert!(n > 0, "server closed mid-stream");
+        let frame: Value = serde_json::from_str(text.trim()).expect("valid frame");
+        let field = |key: &str| frame.as_map().and_then(|m| map_get(m, key)).cloned();
+        match field("event") {
+            Some(Value::Str(e)) if e == "incumbent" => {
+                frames += 1;
+                monotone &= field("sequence") == Some(Value::UInt(next_sequence));
+                next_sequence += 1;
+                if let Some(Value::Float(cost)) = field("cost") {
+                    monotone &= cost < last_cost;
+                    last_cost = cost;
+                } else {
+                    monotone = false;
+                }
+            }
+            Some(Value::Str(e)) if e == "done" => {
+                monotone &= field("cost") == Some(Value::Float(last_cost));
+                let served = field("schedule").expect("schedule embedded");
+                return (
+                    frames,
+                    monotone,
+                    serde_json::to_string(&served).expect("schedule serializes"),
+                );
+            }
+            Some(Value::Str(e)) if e == "accepted" => {}
+            other => panic!("unexpected frame {other:?}: {text}"),
+        }
+    }
+}

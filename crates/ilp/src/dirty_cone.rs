@@ -234,9 +234,28 @@ impl IncrementalScheduler {
         self.pending.len()
     }
 
-    /// Mutable access to the repair configuration.
+    /// The architecture the session schedules for.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The repair configuration the session searches with.
+    pub fn config(&self) -> &RepairConfig {
+        &self.config
+    }
+
+    /// Mutable access to the repair configuration (budget/seed re-tuning
+    /// between repairs; the serving daemon uses it for per-request overrides).
     pub fn config_mut(&mut self) -> &mut RepairConfig {
         &mut self.config
+    }
+
+    /// Replaces the cancellation token observed by subsequent repairs (`None`
+    /// detaches). The in-place counterpart of
+    /// [`IncrementalScheduler::with_cancel`] for sessions owned by a long-lived
+    /// service, where each job brings its own token.
+    pub fn set_cancel(&mut self, token: Option<&CancelToken>) {
+        self.cancel = token.cloned();
     }
 
     /// Applies one delta to the owned DAG, keeping the assignment and the

@@ -41,7 +41,9 @@
 //!   merge whose boundary-repair pass re-evaluates cross-shard supersteps
 //!   through the incremental evaluator (with capped move-replay salvage for
 //!   rejected blocks), iterated over shifted partitions until the candidate
-//!   budget is spent.
+//!   budget is spent. An optional [`shard::IncumbentObserver`] fires at each
+//!   deterministic merge boundary, yielding the monotone anytime-incumbent
+//!   stream that the `mbsp_serve` daemon forwards to its clients.
 //! * [`dirty_cone`] — [`dirty_cone::IncrementalScheduler`], incremental
 //!   re-scheduling under DAG mutation: `mbsp_dag::DagDelta`s stream through
 //!   [`dirty_cone::IncrementalScheduler::apply`], their touched nodes expand
@@ -82,8 +84,8 @@ pub use partition_ilp::{
     weighted_prefix_split, BipartitionConfig, WeightedBipartitionConfig,
 };
 pub use shard::{
-    topo_shards, weighted_shards, ShardStrategy, ShardedHolisticScheduler, ShardedSearchConfig,
-    ShardedSearchStats,
+    topo_shards, weighted_shards, IncumbentObserver, IncumbentUpdate, ShardStrategy,
+    ShardedHolisticScheduler, ShardedSearchConfig, ShardedSearchStats,
 };
 
 // Cancellation vocabulary, re-exported so downstream users of the schedulers

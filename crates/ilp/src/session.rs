@@ -16,6 +16,11 @@
 //! Decoding is total: truncated, bit-flipped or semantically inconsistent
 //! blobs (order/assignment length mismatching the DAG, out-of-range pending
 //! ids, unknown strategy bytes) are rejected with a typed [`DecodeError`].
+//!
+//! The `mbsp_serve` daemon builds its durability on exactly this contract:
+//! it checkpoints every warm session to disk after each mutation batch and on
+//! graceful shutdown, and a restarted daemon restores the sessions and
+//! continues serving byte-identically to an uninterrupted one.
 
 use crate::dirty_cone::{IncrementalScheduler, RepairConfig};
 use crate::shard::{ShardStrategy, ShardedSearchConfig};

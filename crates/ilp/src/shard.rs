@@ -65,6 +65,7 @@ use mbsp_sched::{BspSchedulingResult, GreedyBspScheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How [`ShardedHolisticScheduler`] partitions the DAG into shards.
@@ -776,13 +777,53 @@ pub(crate) fn merge_outcomes(
     (improved_shards, accepted_shards, salvaged_moves)
 }
 
+/// One anytime-incumbent improvement observed at a deterministic merge
+/// boundary of the sharded search.
+///
+/// The update stream is part of the determinism contract: for a fixed
+/// instance, baseline and [`ShardedSearchConfig`], the sequence of updates
+/// (their count, `iteration`, `cost` and `evaluations` fields) is
+/// byte-identical for any worker count, because emissions happen only after
+/// the deterministic merge fold (`merge_outcomes`) — never from inside a
+/// shard worker. Costs are strictly decreasing along the stream, so a consumer
+/// (e.g. the `mbsp_serve` daemon streaming incumbents to a client) observes a
+/// monotone, reproducible improvement sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncumbentUpdate {
+    /// Position in the improvement stream (0 = the seed incumbent).
+    pub sequence: u64,
+    /// The partition/search/merge iteration that produced this incumbent
+    /// (0 for the seed incumbent emitted before the first iteration).
+    pub iteration: usize,
+    /// Total cost of the incumbent under the configured cost model.
+    pub cost: f64,
+    /// Schedule evaluations spent so far (global engine + finished shards).
+    pub evaluations: u64,
+}
+
+/// Callback invoked by [`ShardedHolisticScheduler`] at every incumbent
+/// improvement; shared so one observer can serve a whole request fan-out.
+pub type IncumbentObserver = Arc<dyn Fn(&IncumbentUpdate) + Send + Sync>;
+
 /// The sharded holistic scheduler: partition, per-shard engine-backed search on
 /// the resident worker pool, deterministic boundary-repaired merge.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct ShardedHolisticScheduler {
     config: ShardedSearchConfig,
     pool: WorkerPool,
     cancel: Option<CancelToken>,
+    observer: Option<IncumbentObserver>,
+}
+
+impl std::fmt::Debug for ShardedHolisticScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHolisticScheduler")
+            .field("config", &self.config)
+            .field("pool", &self.pool)
+            .field("cancel", &self.cancel)
+            .field("observer", &self.observer.as_ref().map(|_| "<callback>"))
+            .finish()
+    }
 }
 
 impl ShardedHolisticScheduler {
@@ -797,6 +838,7 @@ impl ShardedHolisticScheduler {
             config,
             pool: WorkerPool::default(),
             cancel: None,
+            observer: None,
         }
     }
 
@@ -816,6 +858,18 @@ impl ShardedHolisticScheduler {
     /// [`StopReason::Cancelled`].
     pub fn with_cancel(mut self, token: &CancelToken) -> Self {
         self.cancel = Some(token.clone());
+        self
+    }
+
+    /// Attaches an anytime-incumbent observer. The observer fires **only at
+    /// deterministic emission points** — once for the seed incumbent after the
+    /// baseline evaluation, then after any iteration whose merge improved the
+    /// global incumbent — so the stream of [`IncumbentUpdate`]s is identical
+    /// for any worker count and strictly decreasing in cost. The callback runs
+    /// on the scheduling thread between iterations; keep it cheap (hand the
+    /// update to a channel or socket writer) so it does not distort budgets.
+    pub fn with_observer(mut self, observer: IncumbentObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -875,6 +929,18 @@ impl ShardedHolisticScheduler {
                 best_cost = cost;
                 best_schedule = global_engine.schedule().clone();
             }
+        }
+        // Anytime stream, update 0: the seed incumbent. Every emission below
+        // happens after a deterministic merge, so the whole stream is
+        // reproducible for any worker count.
+        let mut observer_sequence = 0u64;
+        if let Some(observer) = &self.observer {
+            observer(&IncumbentUpdate {
+                sequence: observer_sequence,
+                iteration: 0,
+                cost: best_cost,
+                evaluations: global_engine.evaluations,
+            });
         }
 
         let movable_any = dag.nodes().any(|v| !dag.is_source(v));
@@ -984,6 +1050,21 @@ impl ShardedHolisticScheduler {
             accepted_shards += accepted;
             salvaged_moves += salvaged;
             shard_evaluations += outcomes.iter().map(|o| o.evaluations).sum::<u64>();
+            // Emit an anytime update when this iteration's merge improved the
+            // incumbent. `merge_outcomes` only ever lowers `best_cost`, so
+            // `accepted > 0` implies a strict improvement and the stream stays
+            // strictly decreasing.
+            if accepted > 0 {
+                if let Some(observer) = &self.observer {
+                    observer_sequence += 1;
+                    observer(&IncumbentUpdate {
+                        sequence: observer_sequence,
+                        iteration: iter,
+                        cost: best_cost,
+                        evaluations: global_engine.evaluations + shard_evaluations,
+                    });
+                }
+            }
         }
 
         let stats = ShardedSearchStats {

@@ -19,6 +19,8 @@ pub const KIND_DAG: u32 = u32::from_le_bytes(*b"CDAG");
 pub const KIND_BSP: u32 = u32::from_le_bytes(*b"BSPS");
 /// Artifact kind of an incremental-scheduler session checkpoint.
 pub const KIND_SESSION: u32 = u32::from_le_bytes(*b"SESS");
+/// Artifact kind of a serving-daemon instance registry.
+pub const KIND_REGISTRY: u32 = u32::from_le_bytes(*b"SREG");
 
 /// Section tag: DAG metadata (name, node count).
 pub const SEC_META: u32 = u32::from_le_bytes(*b"META");
@@ -40,6 +42,8 @@ pub const SEC_PENDING: u32 = u32::from_le_bytes(*b"PEND");
 pub const SEC_CONFIG: u32 = u32::from_le_bytes(*b"CONF");
 /// Section tag: BSP assignment (processor, superstep) per node.
 pub const SEC_ASSIGN: u32 = u32::from_le_bytes(*b"ASGN");
+/// Section tag: instance entries of a serving-daemon registry.
+pub const SEC_INSTANCES: u32 = u32::from_le_bytes(*b"INST");
 
 /// Writes the body of a DAG (its four sections) into `w`.
 ///
@@ -291,6 +295,105 @@ pub fn decode_bsp(bytes: &[u8]) -> Result<BspSchedule, DecodeError> {
         }
     }
     saved.ok_or(DecodeError::MissingSection { tag: SEC_ASSIGN })
+}
+
+/// True when `name` is a valid service-instance name: 1–64 characters drawn
+/// from `[A-Za-z0-9_-]`. The charset keeps names safe to embed in checkpoint
+/// file names and in the `mbsp_serve` line protocol without escaping.
+pub fn valid_instance_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// One instance known to a serving daemon: the name clients address it by,
+/// the session-checkpoint file holding its engine state, and the number of
+/// checkpoints written so far (a freshness/debugging aid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryEntry {
+    /// Client-facing instance name (validated by [`valid_instance_name`]).
+    pub name: String,
+    /// Checkpoint file name, relative to the daemon's state directory.
+    pub session_file: String,
+    /// Monotone count of checkpoints written for this instance.
+    pub generation: u64,
+}
+
+/// The persistent instance registry of a serving daemon: which instances
+/// exist and where each one's session checkpoint lives. Written atomically on
+/// every mutation and on graceful shutdown; decoded (and fully re-validated)
+/// on restart before any session is restored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceRegistry {
+    /// Registered instances, in registration order.
+    pub entries: Vec<RegistryEntry>,
+}
+
+impl ServiceRegistry {
+    /// Encodes the registry as a standalone [`KIND_REGISTRY`] blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new(KIND_REGISTRY);
+        w.section(SEC_INSTANCES, |w| {
+            w.put_u64(self.entries.len() as u64);
+            for e in &self.entries {
+                w.put_str(&e.name);
+                w.put_str(&e.session_file);
+                w.put_u64(e.generation);
+            }
+        });
+        w.finish()
+    }
+
+    /// Decodes a registry blob, rejecting invalid or duplicate instance names.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::open(bytes, KIND_REGISTRY)?;
+        let mut saved: Option<ServiceRegistry> = None;
+        while let Some((tag, mut body)) = r.next_section()? {
+            match tag {
+                SEC_INSTANCES => {
+                    let len = body.get_len(24)?;
+                    let mut entries = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        let name = body.get_str()?;
+                        let session_file = body.get_str()?;
+                        let generation = body.get_u64()?;
+                        if !valid_instance_name(&name) {
+                            return Err(body.invalid(format!(
+                                "registry entry name {name:?} is not a valid instance name"
+                            )));
+                        }
+                        entries.push(RegistryEntry {
+                            name,
+                            session_file,
+                            generation,
+                        });
+                    }
+                    body.finish()?;
+                    for i in 1..entries.len() {
+                        if entries[..i].iter().any(|e| e.name == entries[i].name) {
+                            return Err(DecodeError::InvalidValue {
+                                offset: 0,
+                                what: format!(
+                                    "registry lists instance {:?} twice",
+                                    entries[i].name
+                                ),
+                            });
+                        }
+                    }
+                    set_once(tag, &mut saved, ServiceRegistry { entries })?;
+                }
+                _ => {
+                    return Err(DecodeError::BadSectionTag {
+                        offset: body.offset(),
+                        tag,
+                    })
+                }
+            }
+        }
+        saved.ok_or(DecodeError::MissingSection { tag: SEC_INSTANCES })
+    }
 }
 
 /// Validates a decoded assignment against a DAG and processor count: one entry

@@ -21,6 +21,9 @@
 //!   decode).
 //! - [`encode_bsp`]/[`decode_bsp`] — a [`mbsp_model::BspSchedule`].
 //! - [`SavedOrder`] — the persistent state of a [`mbsp_dag::PkOrder`].
+//! - [`ServiceRegistry`] — the instance registry of the `mbsp_serve` daemon
+//!   (instance name → session-checkpoint file + generation counter), so a
+//!   restarted daemon knows which engine sessions to restore.
 //! - [`Encode`]/[`Decode`] impls for the primitives and id types any composite
 //!   artifact needs. Full `IncrementalScheduler` session checkpoints compose
 //!   these in `mbsp_ilp::session` (this crate cannot depend on the scheduler).
@@ -39,9 +42,10 @@ mod codec;
 mod frame;
 
 pub use artifacts::{
-    check_assignment, decode_bsp, decode_dag, encode_bsp, encode_dag, write_dag_sections,
-    DagSections, SavedOrder, KIND_BSP, KIND_DAG, KIND_SESSION, SEC_ARCH, SEC_ASSIGN, SEC_CONFIG,
-    SEC_EDGES, SEC_LABELS, SEC_META, SEC_ORDER, SEC_PENDING, SEC_PROCS, SEC_WEIGHTS,
+    check_assignment, decode_bsp, decode_dag, encode_bsp, encode_dag, valid_instance_name,
+    write_dag_sections, DagSections, RegistryEntry, SavedOrder, ServiceRegistry, KIND_BSP,
+    KIND_DAG, KIND_REGISTRY, KIND_SESSION, SEC_ARCH, SEC_ASSIGN, SEC_CONFIG, SEC_EDGES,
+    SEC_INSTANCES, SEC_LABELS, SEC_META, SEC_ORDER, SEC_PENDING, SEC_PROCS, SEC_WEIGHTS,
 };
 pub use codec::{Decode, Encode};
 pub use frame::{crc32, DecodeError, Reader, Writer, MAGIC, VERSION};

@@ -1,0 +1,710 @@
+//! The `mbsp_serve` line protocol: request parsing and frame building.
+//!
+//! One request per line, one JSON object per request; the daemon answers with
+//! one or more JSON object frames, each on its own line (the full
+//! specification, with a worked transcript, lives in `docs/PROTOCOL.md`).
+//! The vendored serde derive layer rejects *any* missing struct field, which
+//! is the wrong tool for a wire protocol full of optional knobs — so requests
+//! are parsed by hand off the generic [`serde::Value`] model, and every
+//! missing-field / wrong-type case maps to a typed [`Reject`] carrying one of
+//! the protocol's stable error codes.
+
+use mbsp_dag::{CompDag, DagDelta, NodeId, NodeWeights};
+use mbsp_gen::cg::cg_dag;
+use mbsp_gen::knn::knn_dag;
+use mbsp_gen::random::{random_layered_dag, RandomDagConfig};
+use mbsp_ilp::{ShardStrategy, ShardedSearchConfig};
+use serde::{map_get, Value};
+use std::time::Duration;
+
+/// Error code: the line was not valid JSON or not a JSON object.
+pub const E_BAD_REQUEST: &str = "bad_request";
+/// Error code: the `op` field is missing or names no operation.
+pub const E_UNKNOWN_OP: &str = "unknown_op";
+/// Error code: the addressed instance is not registered.
+pub const E_UNKNOWN_INSTANCE: &str = "unknown_instance";
+/// Error code: an instance with this name already exists.
+pub const E_DUPLICATE_INSTANCE: &str = "duplicate_instance";
+/// Error code: the instance name violates `[A-Za-z0-9_-]{1,64}`.
+pub const E_INVALID_NAME: &str = "invalid_name";
+/// Error code: an uploaded DAG blob or family spec was rejected.
+pub const E_BAD_DAG: &str = "bad_dag";
+/// Error code: a mutation delta was rejected by the engine.
+pub const E_BAD_DELTA: &str = "bad_delta";
+/// Error code: the addressed job is unknown (or already finished).
+pub const E_UNKNOWN_JOB: &str = "unknown_job";
+/// Error code: the daemon is shutting down and admits no new work.
+pub const E_SHUTTING_DOWN: &str = "shutting_down";
+
+/// A rejected request: a stable machine-readable code plus a human message.
+#[derive(Debug, Clone)]
+pub struct Reject {
+    /// One of the `E_*` error codes.
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Reject {
+    /// Builds a rejection.
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        Reject {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+type Parse<T> = Result<T, Reject>;
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Register a new instance and spin up its warm session (boxed: the
+    /// parsed request dwarfs every other variant).
+    Register(Box<RegisterRequest>),
+    /// Run a full sharded search on an instance, streaming incumbents.
+    Schedule(ScheduleRequest),
+    /// Run the incremental dirty-cone repair on an instance.
+    Repair(RepairRequest),
+    /// Apply DAG deltas to an instance (checkpoints on success).
+    Mutate(MutateRequest),
+    /// Cancel an in-flight job by its server-assigned id.
+    Cancel {
+        /// The job to cancel.
+        job: u64,
+    },
+    /// Query one instance (queued) or the whole daemon (immediate).
+    Status {
+        /// Instance to query; `None` asks for the daemon-level status.
+        instance: Option<String>,
+    },
+    /// Checkpoint everything and stop the daemon gracefully.
+    Shutdown,
+}
+
+/// How a registered instance's DAG is obtained.
+#[derive(Debug, Clone)]
+pub enum DagSource {
+    /// Uploaded as a hex-encoded `mbsp_io` DAG blob (already decoded).
+    Uploaded(CompDag),
+    /// Generated server-side from an `mbsp_gen` family spec.
+    Family(FamilySpec),
+}
+
+/// An `mbsp_gen` benchmark-family spec, named like the paper's instances.
+#[derive(Debug, Clone)]
+pub enum FamilySpec {
+    /// `random_layered_dag`: seeded layered random DAG.
+    Random {
+        /// Generator configuration.
+        config: RandomDagConfig,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `cg_dag`: conjugate gradient on an `n × n` grid, `k` iterations.
+    Cg {
+        /// Grid side length.
+        n: usize,
+        /// CG iterations.
+        k: usize,
+    },
+    /// `knn_dag`: k-NN refinement over `n` points, `k` rounds.
+    Knn {
+        /// Number of points.
+        n: usize,
+        /// Refinement rounds.
+        k: usize,
+    },
+}
+
+impl FamilySpec {
+    /// Generates the DAG for this spec, named after the instance.
+    pub fn generate(&self, name: &str) -> CompDag {
+        match self {
+            FamilySpec::Random { config, seed } => random_layered_dag(config, *seed),
+            FamilySpec::Cg { n, k } => cg_dag(name, *n, *k),
+            FamilySpec::Knn { n, k } => knn_dag(name, *n, *k),
+        }
+    }
+}
+
+/// How the fast-memory capacity of a registered instance is specified.
+#[derive(Debug, Clone, Copy)]
+pub enum CacheSpec {
+    /// An explicit cache size.
+    Size(f64),
+    /// A multiple of the DAG's minimal feasible cache size (resolved against
+    /// the actual DAG via [`mbsp_model::MbspInstance::with_cache_factor`]).
+    Factor(f64),
+}
+
+/// A parsed `register` request.
+#[derive(Debug, Clone)]
+pub struct RegisterRequest {
+    /// Instance name (already validated).
+    pub instance: String,
+    /// Where the DAG comes from.
+    pub source: DagSource,
+    /// Processor count of the target machine.
+    pub processors: usize,
+    /// Per-unit communication cost `g`.
+    pub g: f64,
+    /// Superstep latency `L`.
+    pub latency: f64,
+    /// Fast-memory capacity (explicit or as a feasibility factor).
+    pub cache: CacheSpec,
+    /// The instance's default search budget (overridable per request).
+    pub search: ShardedSearchConfig,
+    /// Mutation-cone radius of the repair path.
+    pub cone_radius: usize,
+}
+
+/// Per-request overrides of the instance's search budget. Every field is
+/// optional; absent fields keep the instance default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchOverrides {
+    /// RNG seed.
+    pub seed: Option<u64>,
+    /// Shard count.
+    pub num_shards: Option<usize>,
+    /// Worker threads.
+    pub workers: Option<usize>,
+    /// Local-search rounds per shard.
+    pub max_rounds: Option<usize>,
+    /// Candidate moves per round per shard.
+    pub moves_per_round: Option<usize>,
+    /// Partition/search/merge passes.
+    pub iterations: Option<usize>,
+    /// Wall-clock limit in milliseconds.
+    pub time_limit_ms: Option<u64>,
+    /// Stale-round early-stopping limit.
+    pub stale_round_limit: Option<usize>,
+}
+
+impl SearchOverrides {
+    /// Applies the present overrides to a config copy.
+    pub fn apply(&self, config: &mut ShardedSearchConfig) {
+        if let Some(v) = self.seed {
+            config.seed = v;
+        }
+        if let Some(v) = self.num_shards {
+            config.num_shards = v;
+        }
+        if let Some(v) = self.workers {
+            config.workers = v;
+        }
+        if let Some(v) = self.max_rounds {
+            config.max_rounds = v;
+        }
+        if let Some(v) = self.moves_per_round {
+            config.moves_per_round = v;
+        }
+        if let Some(v) = self.iterations {
+            config.iterations = v;
+        }
+        if let Some(v) = self.time_limit_ms {
+            config.time_limit = Duration::from_millis(v);
+        }
+        if let Some(v) = self.stale_round_limit {
+            config.stale_round_limit = v;
+        }
+    }
+}
+
+/// A parsed `schedule` request.
+#[derive(Debug, Clone)]
+pub struct ScheduleRequest {
+    /// Target instance.
+    pub instance: String,
+    /// Stream `incumbent` frames as the search improves (default `true`).
+    pub stream: bool,
+    /// Embed the final schedule in the `done` frame (default `false`).
+    pub return_schedule: bool,
+    /// Budget overrides for this job only.
+    pub overrides: SearchOverrides,
+}
+
+/// A parsed `repair` request.
+#[derive(Debug, Clone)]
+pub struct RepairRequest {
+    /// Target instance.
+    pub instance: String,
+    /// Embed the repaired schedule in the `done` frame (default `false`).
+    pub return_schedule: bool,
+    /// Budget overrides for this job only.
+    pub overrides: SearchOverrides,
+}
+
+/// A parsed `mutate` request.
+#[derive(Debug, Clone)]
+pub struct MutateRequest {
+    /// Target instance.
+    pub instance: String,
+    /// Deltas, applied in order; the first rejected delta stops the batch.
+    pub deltas: Vec<DagDelta>,
+}
+
+fn want_map(v: &Value) -> Parse<&[(String, Value)]> {
+    v.as_map()
+        .ok_or_else(|| Reject::new(E_BAD_REQUEST, "request must be a JSON object"))
+}
+
+fn field_str(map: &[(String, Value)], key: &str) -> Parse<Option<String>> {
+    match map_get(map, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(Reject::new(
+            E_BAD_REQUEST,
+            format!("field `{key}` must be a string"),
+        )),
+    }
+}
+
+fn field_u64(map: &[(String, Value)], key: &str) -> Parse<Option<u64>> {
+    match map_get(map, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::UInt(n)) => Ok(Some(*n)),
+        Some(Value::Int(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(_) => Err(Reject::new(
+            E_BAD_REQUEST,
+            format!("field `{key}` must be a non-negative integer"),
+        )),
+    }
+}
+
+fn field_usize(map: &[(String, Value)], key: &str) -> Parse<Option<usize>> {
+    Ok(field_u64(map, key)?.map(|n| n as usize))
+}
+
+fn field_f64(map: &[(String, Value)], key: &str) -> Parse<Option<f64>> {
+    match map_get(map, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Float(x)) => Ok(Some(*x)),
+        Some(Value::Int(n)) => Ok(Some(*n as f64)),
+        Some(Value::UInt(n)) => Ok(Some(*n as f64)),
+        Some(_) => Err(Reject::new(
+            E_BAD_REQUEST,
+            format!("field `{key}` must be a number"),
+        )),
+    }
+}
+
+fn field_bool(map: &[(String, Value)], key: &str) -> Parse<Option<bool>> {
+    match map_get(map, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(Reject::new(
+            E_BAD_REQUEST,
+            format!("field `{key}` must be a boolean"),
+        )),
+    }
+}
+
+fn require<T>(value: Option<T>, key: &str) -> Parse<T> {
+    value.ok_or_else(|| Reject::new(E_BAD_REQUEST, format!("field `{key}` is required")))
+}
+
+/// Parses one request line. On success returns the echoed client `id` (if
+/// any) and the request; on failure the id (when recoverable) and the
+/// rejection, so the error frame can still be correlated.
+pub fn parse_request(line: &str) -> Result<(Option<u64>, Request), (Option<u64>, Reject)> {
+    let value: Value = serde_json::from_str(line).map_err(|e| {
+        (
+            None,
+            Reject::new(E_BAD_REQUEST, format!("invalid JSON: {e}")),
+        )
+    })?;
+    let map = want_map(&value).map_err(|r| (None, r))?;
+    let id = field_u64(map, "id").map_err(|r| (None, r))?;
+    let parsed = parse_op(map).map_err(|r| (id, r))?;
+    Ok((id, parsed))
+}
+
+fn parse_op(map: &[(String, Value)]) -> Parse<Request> {
+    let op = require(field_str(map, "op")?, "op")?;
+    match op.as_str() {
+        "register" => Ok(Request::Register(Box::new(parse_register(map)?))),
+        "schedule" => Ok(Request::Schedule(ScheduleRequest {
+            instance: require(field_str(map, "instance")?, "instance")?,
+            stream: field_bool(map, "stream")?.unwrap_or(true),
+            return_schedule: field_bool(map, "return_schedule")?.unwrap_or(false),
+            overrides: parse_overrides(map)?,
+        })),
+        "repair" => Ok(Request::Repair(RepairRequest {
+            instance: require(field_str(map, "instance")?, "instance")?,
+            return_schedule: field_bool(map, "return_schedule")?.unwrap_or(false),
+            overrides: parse_overrides(map)?,
+        })),
+        "mutate" => Ok(Request::Mutate(MutateRequest {
+            instance: require(field_str(map, "instance")?, "instance")?,
+            deltas: parse_deltas(map)?,
+        })),
+        "cancel" => Ok(Request::Cancel {
+            job: require(field_u64(map, "job")?, "job")?,
+        }),
+        "status" => Ok(Request::Status {
+            instance: field_str(map, "instance")?,
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(Reject::new(
+            E_UNKNOWN_OP,
+            format!("unknown op `{other}` (expected register/schedule/repair/mutate/cancel/status/shutdown)"),
+        )),
+    }
+}
+
+fn parse_register(map: &[(String, Value)]) -> Parse<RegisterRequest> {
+    let instance = require(field_str(map, "instance")?, "instance")?;
+    if !mbsp_io::valid_instance_name(&instance) {
+        return Err(Reject::new(
+            E_INVALID_NAME,
+            format!("instance name {instance:?} must match [A-Za-z0-9_-]{{1,64}}"),
+        ));
+    }
+
+    let source = match (map_get(map, "dag_hex"), map_get(map, "family")) {
+        (Some(_), Some(_)) => {
+            return Err(Reject::new(
+                E_BAD_REQUEST,
+                "give either `dag_hex` or `family`, not both",
+            ))
+        }
+        (Some(Value::Str(hex)), None) => {
+            let bytes = decode_hex(hex)?;
+            let dag = mbsp_io::decode_dag(&bytes)
+                .map_err(|e| Reject::new(E_BAD_DAG, format!("rejected DAG blob: {e}")))?;
+            DagSource::Uploaded(dag)
+        }
+        (Some(_), None) => {
+            return Err(Reject::new(
+                E_BAD_REQUEST,
+                "field `dag_hex` must be a string",
+            ))
+        }
+        (None, Some(spec)) => DagSource::Family(parse_family(spec)?),
+        (None, None) => {
+            return Err(Reject::new(
+                E_BAD_REQUEST,
+                "a `register` needs a `dag_hex` blob or a `family` spec",
+            ))
+        }
+    };
+
+    let processors = require(field_usize(map, "processors")?, "processors")?;
+    if processors == 0 {
+        return Err(Reject::new(
+            E_BAD_REQUEST,
+            "`processors` must be at least 1",
+        ));
+    }
+    let g = field_f64(map, "g")?.unwrap_or(1.0);
+    let latency = field_f64(map, "latency")?.unwrap_or(2.0);
+    let cache_size = field_f64(map, "cache_size")?;
+    let cache_factor = field_f64(map, "cache_factor")?;
+    if cache_size.is_some() && cache_factor.is_some() {
+        return Err(Reject::new(
+            E_BAD_REQUEST,
+            "give either `cache_size` or `cache_factor`, not both",
+        ));
+    }
+
+    // Serving needs reproducible results across daemons with different core
+    // counts, so the environment-resolved `num_shards: 0` default is replaced
+    // with an explicit value unless the client picks one.
+    let mut search = ShardedSearchConfig {
+        num_shards: 4,
+        ..ShardedSearchConfig::default()
+    };
+    parse_overrides(map)?.apply(&mut search);
+    if let Some(strategy) = field_str(map, "strategy")? {
+        search.strategy = match strategy.as_str() {
+            "topo" => ShardStrategy::Topo,
+            "weighted" => ShardStrategy::Weighted,
+            other => {
+                return Err(Reject::new(
+                    E_BAD_REQUEST,
+                    format!("unknown strategy `{other}` (expected topo/weighted)"),
+                ))
+            }
+        };
+    }
+    let cone_radius = field_usize(map, "cone_radius")?.unwrap_or(2);
+
+    let cache = match (cache_size, cache_factor) {
+        (Some(size), None) => CacheSpec::Size(size),
+        (None, factor) => CacheSpec::Factor(factor.unwrap_or(3.0)),
+        (Some(_), Some(_)) => unreachable!("rejected above"),
+    };
+    Ok(RegisterRequest {
+        instance,
+        source,
+        processors,
+        g,
+        latency,
+        cache,
+        search,
+        cone_radius,
+    })
+}
+
+fn parse_family(spec: &Value) -> Parse<FamilySpec> {
+    let map = spec
+        .as_map()
+        .ok_or_else(|| Reject::new(E_BAD_REQUEST, "`family` must be a JSON object"))?;
+    let kind = require(field_str(map, "kind")?, "family.kind")?;
+    match kind.as_str() {
+        "random" => Ok(FamilySpec::Random {
+            config: RandomDagConfig {
+                layers: require(field_usize(map, "layers")?, "family.layers")?,
+                width: require(field_usize(map, "width")?, "family.width")?,
+                edge_probability: field_f64(map, "edge_probability")?.unwrap_or(0.3),
+                max_compute: field_u64(map, "max_compute")?.unwrap_or(4) as u32,
+                max_memory: field_u64(map, "max_memory")?.unwrap_or(3) as u32,
+            },
+            seed: field_u64(map, "seed")?.unwrap_or(0),
+        }),
+        "cg" => Ok(FamilySpec::Cg {
+            n: require(field_usize(map, "n")?, "family.n")?,
+            k: require(field_usize(map, "k")?, "family.k")?,
+        }),
+        "knn" => Ok(FamilySpec::Knn {
+            n: require(field_usize(map, "n")?, "family.n")?,
+            k: require(field_usize(map, "k")?, "family.k")?,
+        }),
+        other => Err(Reject::new(
+            E_BAD_DAG,
+            format!("unknown family kind `{other}` (expected random/cg/knn)"),
+        )),
+    }
+}
+
+fn parse_overrides(map: &[(String, Value)]) -> Parse<SearchOverrides> {
+    // Overrides may sit flat on the request or nested under `budget`.
+    let nested;
+    let map = match map_get(map, "budget") {
+        Some(v) => {
+            nested = v
+                .as_map()
+                .ok_or_else(|| Reject::new(E_BAD_REQUEST, "`budget` must be a JSON object"))?;
+            nested
+        }
+        None => map,
+    };
+    Ok(SearchOverrides {
+        seed: field_u64(map, "seed")?,
+        num_shards: field_usize(map, "num_shards")?,
+        workers: field_usize(map, "workers")?,
+        max_rounds: field_usize(map, "max_rounds")?,
+        moves_per_round: field_usize(map, "moves_per_round")?,
+        iterations: field_usize(map, "iterations")?,
+        time_limit_ms: field_u64(map, "time_limit_ms")?,
+        stale_round_limit: field_usize(map, "stale_round_limit")?,
+    })
+}
+
+fn parse_deltas(map: &[(String, Value)]) -> Parse<Vec<DagDelta>> {
+    let seq = match map_get(map, "deltas") {
+        Some(Value::Seq(seq)) => seq,
+        _ => {
+            return Err(Reject::new(
+                E_BAD_REQUEST,
+                "a `mutate` needs a `deltas` array",
+            ))
+        }
+    };
+    let mut deltas = Vec::with_capacity(seq.len());
+    for (i, entry) in seq.iter().enumerate() {
+        deltas.push(
+            parse_delta(entry)
+                .map_err(|r| Reject::new(r.code, format!("delta {i}: {}", r.message)))?,
+        );
+    }
+    Ok(deltas)
+}
+
+fn parse_delta(entry: &Value) -> Parse<DagDelta> {
+    let map = entry
+        .as_map()
+        .ok_or_else(|| Reject::new(E_BAD_DELTA, "each delta must be a single-entry object"))?;
+    if map.len() != 1 {
+        return Err(Reject::new(
+            E_BAD_DELTA,
+            "each delta must have exactly one key (add_node/remove_node/add_edge/remove_edge/reweight)",
+        ));
+    }
+    let (kind, body) = &map[0];
+    let body = body
+        .as_map()
+        .ok_or_else(|| Reject::new(E_BAD_DELTA, format!("`{kind}` body must be an object")))?;
+    let node =
+        |key: &str| -> Parse<NodeId> { Ok(NodeId::new(require(field_usize(body, key)?, key)?)) };
+    match kind.as_str() {
+        "add_node" => Ok(DagDelta::AddNode {
+            weights: NodeWeights::new(
+                require(field_f64(body, "compute")?, "compute")?,
+                require(field_f64(body, "memory")?, "memory")?,
+            ),
+            label: field_str(body, "label")?,
+        }),
+        "remove_node" => Ok(DagDelta::RemoveNode {
+            node: node("node")?,
+        }),
+        "add_edge" => Ok(DagDelta::AddEdge {
+            from: node("from")?,
+            to: node("to")?,
+        }),
+        "remove_edge" => Ok(DagDelta::RemoveEdge {
+            from: node("from")?,
+            to: node("to")?,
+        }),
+        "reweight" => Ok(DagDelta::Reweight {
+            node: node("node")?,
+            weights: NodeWeights::new(
+                require(field_f64(body, "compute")?, "compute")?,
+                require(field_f64(body, "memory")?, "memory")?,
+            ),
+        }),
+        other => Err(Reject::new(
+            E_BAD_DELTA,
+            format!("unknown delta kind `{other}`"),
+        )),
+    }
+}
+
+/// Fluent builder for response frames (JSON objects), keeping server code
+/// free of `Value::Map` noise.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    entries: Vec<(String, Value)>,
+}
+
+impl JsonWriter {
+    /// Starts an empty frame.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Adds an arbitrary value field.
+    pub fn value(mut self, key: &str, value: Value) -> Self {
+        self.entries.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        self.value(key, Value::Str(value.to_string()))
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.value(key, Value::UInt(value))
+    }
+
+    /// Adds a float field.
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        self.value(key, Value::Float(value))
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.value(key, Value::Bool(value))
+    }
+
+    /// Adds the optional echoed request id.
+    pub fn id(self, id: Option<u64>) -> Self {
+        match id {
+            Some(id) => self.u64("id", id),
+            None => self,
+        }
+    }
+
+    /// Finishes the frame.
+    pub fn build(self) -> Value {
+        Value::Map(self.entries)
+    }
+}
+
+/// Hex-encodes a binary blob (lowercase, no separators) — the wire form of
+/// `mbsp_io` artifacts inside the text protocol.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xF) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decodes a hex string produced by [`encode_hex`] (case-insensitive).
+pub fn decode_hex(hex: &str) -> Result<Vec<u8>, Reject> {
+    if hex.len() % 2 != 0 {
+        return Err(Reject::new(E_BAD_DAG, "hex blob has odd length"));
+    }
+    let digits = hex.as_bytes();
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16);
+        let lo = (pair[1] as char).to_digit(16);
+        match (hi, lo) {
+            (Some(hi), Some(lo)) => out.push(((hi << 4) | lo) as u8),
+            _ => return Err(Reject::new(E_BAD_DAG, "hex blob has non-hex characters")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let blob: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode_hex(&encode_hex(&blob)).unwrap(), blob);
+        assert!(decode_hex("abc").is_err());
+        assert!(decode_hex("zz").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+        let (id, rej) = parse_request(r#"{"id":7,"op":"warp"}"#).unwrap_err();
+        assert_eq!(id, Some(7));
+        assert_eq!(rej.code, E_UNKNOWN_OP);
+    }
+
+    #[test]
+    fn parse_register_family() {
+        let line = r#"{"id":1,"op":"register","instance":"cg8","family":{"kind":"cg","n":4,"k":2},"processors":4,"cache_factor":3.0,"seed":42,"max_rounds":5}"#;
+        let (id, req) = parse_request(line).unwrap();
+        assert_eq!(id, Some(1));
+        let Request::Register(req) = req else {
+            panic!("expected register");
+        };
+        assert_eq!(req.instance, "cg8");
+        assert_eq!(req.processors, 4);
+        assert_eq!(req.search.seed, 42);
+        assert_eq!(req.search.max_rounds, 5);
+        assert!(matches!(req.cache, CacheSpec::Factor(f) if f == 3.0));
+        let dag = match &req.source {
+            DagSource::Family(f) => f.generate(&req.instance),
+            _ => panic!("expected family"),
+        };
+        assert!(dag.num_nodes() > 0);
+    }
+
+    #[test]
+    fn parse_mutate_deltas() {
+        let line = r#"{"op":"mutate","instance":"x","deltas":[{"add_node":{"compute":1.5,"memory":2.0}},{"add_edge":{"from":0,"to":3}},{"reweight":{"node":1,"compute":2.0,"memory":1.0}}]}"#;
+        let (_, req) = parse_request(line).unwrap();
+        let Request::Mutate(req) = req else {
+            panic!("expected mutate");
+        };
+        assert_eq!(req.deltas.len(), 3);
+        assert!(matches!(req.deltas[0], DagDelta::AddNode { .. }));
+        assert!(matches!(req.deltas[1], DagDelta::AddEdge { .. }));
+        assert!(matches!(req.deltas[2], DagDelta::Reweight { .. }));
+    }
+}

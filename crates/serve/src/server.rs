@@ -1,0 +1,763 @@
+//! The daemon: TCP listener, connection handling, per-instance session
+//! workers and checkpoint/restore plumbing.
+//!
+//! # Threading model
+//!
+//! * One **accept thread** owns the listener and spawns a detached thread per
+//!   connection.
+//! * Each **connection thread** parses request lines. Server-level operations
+//!   (`register`, `cancel`, daemon `status`, `shutdown`) execute immediately;
+//!   instance operations (`schedule`, `repair`, `mutate`, instance `status`)
+//!   are stamped with a server-wide job id, answered with an `accepted` frame
+//!   and admitted to the instance's [`AdmissionQueue`].
+//! * One **session worker thread per instance** owns the warm
+//!   [`IncrementalScheduler`] exclusively and drains its queue in
+//!   admission-ticket order, running each job on the shared [`WorkerPool`].
+//!   Single ownership is what makes request batching deterministic: no lock
+//!   interleaving can reorder two jobs for the same instance.
+//!
+//! # Durability
+//!
+//! Every instance checkpoint (registration, after each mutation batch, on
+//! graceful shutdown) is an atomic temp-file-and-rename write of the
+//! session blob plus a rewrite of the [`ServiceRegistry`] blob, so a crash
+//! between writes leaves the previous consistent pair in place.
+
+use crate::protocol::{
+    self, parse_request, CacheSpec, DagSource, JsonWriter, MutateRequest, RegisterRequest, Reject,
+    RepairRequest, Request, ScheduleRequest,
+};
+use mbsp_ilp::{
+    CancelToken, IncrementalScheduler, IncumbentObserver, IncumbentUpdate, RepairConfig,
+    ShardedHolisticScheduler, StopReason,
+};
+use mbsp_io::{RegistryEntry, ServiceRegistry};
+use mbsp_model::{Architecture, MbspInstance};
+use mbsp_pool::{AdmissionQueue, WorkerPool};
+use mbsp_sched::{BspScheduler, GreedyBspScheduler};
+use serde::{Serialize, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// Name of the registry blob inside the state directory.
+pub const REGISTRY_FILE: &str = "registry.mbio";
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7700` (`:0` picks an ephemeral port).
+    pub listen: String,
+    /// Directory for session checkpoints and the instance registry; created
+    /// if missing.
+    pub state_dir: PathBuf,
+    /// Worker threads of the shard pool; `0` uses the process-wide shared
+    /// pool (which resolves `MBSP_BENCH_THREADS`).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            state_dir: PathBuf::from("mbsp-serve-state"),
+            workers: 0,
+        }
+    }
+}
+
+/// A shared, line-buffered writer for one client connection. Each frame is
+/// written and flushed under the lock, so concurrent emitters (the connection
+/// thread and session workers streaming incumbents) never interleave bytes
+/// within a line.
+#[derive(Clone)]
+struct LineWriter {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl LineWriter {
+    fn new(stream: TcpStream) -> Self {
+        LineWriter {
+            stream: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// Serializes and sends one frame. Write errors are swallowed: a client
+    /// that hung up stops receiving frames, but its queued jobs still run to
+    /// completion (their session effects must not depend on the socket).
+    fn send(&self, frame: Value) {
+        let Ok(mut line) = serde_json::to_string(&frame) else {
+            return;
+        };
+        line.push('\n');
+        let mut stream = self.stream.lock().unwrap();
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.flush();
+    }
+
+    fn send_reject(&self, id: Option<u64>, job: Option<u64>, reject: &Reject) {
+        let mut w = JsonWriter::new().id(id);
+        if let Some(job) = job {
+            w = w.u64("job", job);
+        }
+        let error = JsonWriter::new()
+            .str("code", reject.code)
+            .str("message", &reject.message)
+            .build();
+        self.send(w.bool("ok", false).value("error", error).build());
+    }
+}
+
+/// A queued instance job.
+struct Job {
+    id: Option<u64>,
+    job_id: u64,
+    cancel: CancelToken,
+    out: LineWriter,
+    kind: JobKind,
+}
+
+enum JobKind {
+    Schedule(ScheduleRequest),
+    Repair(RepairRequest),
+    Mutate(MutateRequest),
+    Status,
+}
+
+/// The state owned exclusively by one instance's session worker.
+struct InstanceState {
+    name: String,
+    session: IncrementalScheduler,
+    generation: u64,
+    last_cost: Option<f64>,
+}
+
+struct InstanceHandle {
+    queue: Arc<AdmissionQueue<Job>>,
+    worker: thread::JoinHandle<()>,
+}
+
+struct ServerInner {
+    addr: SocketAddr,
+    pool: WorkerPool,
+    state_dir: PathBuf,
+    shutting_down: AtomicBool,
+    instances: Mutex<BTreeMap<String, InstanceHandle>>,
+    jobs: Mutex<HashMap<u64, CancelToken>>,
+    next_job: AtomicU64,
+    registry: Mutex<BTreeMap<String, (String, u64)>>,
+    done: (Mutex<bool>, Condvar),
+}
+
+impl ServerInner {
+    fn write_registry_locked(&self, entries: &BTreeMap<String, (String, u64)>) {
+        let registry = ServiceRegistry {
+            entries: entries
+                .iter()
+                .map(|(name, (file, generation))| RegistryEntry {
+                    name: name.clone(),
+                    session_file: file.clone(),
+                    generation: *generation,
+                })
+                .collect(),
+        };
+        write_atomic(&self.state_dir.join(REGISTRY_FILE), &registry.encode());
+    }
+
+    /// Persists one instance: session blob first, then the registry naming it.
+    fn checkpoint_instance(&self, state: &InstanceState) {
+        let file = format!("{}.session.mbio", state.name);
+        write_atomic(&self.state_dir.join(&file), &state.session.checkpoint());
+        let mut registry = self.registry.lock().unwrap();
+        registry.insert(state.name.clone(), (file, state.generation));
+        self.write_registry_locked(&registry);
+    }
+
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close every admission queue: workers drain their backlog, write a
+        // final checkpoint and exit; the accept thread joins them.
+        for handle in self.instances.lock().unwrap().values() {
+            handle.queue.close();
+        }
+        // Wake the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Writes `bytes` to `path` atomically (temp file + rename).
+fn write_atomic(path: &Path, bytes: &[u8]) {
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, bytes).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// The daemon handle: binds, restores persisted sessions, serves until
+/// shutdown. Embeddable in-process (tests, benches) via [`Server::start`].
+pub struct Server {
+    inner: Arc<ServerInner>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, restores every instance recorded in the state
+    /// directory's registry and starts serving.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        let pool = if config.workers > 0 {
+            WorkerPool::with_capacity(config.workers)
+        } else {
+            WorkerPool::shared().clone()
+        };
+        let inner = Arc::new(ServerInner {
+            addr,
+            pool,
+            state_dir: config.state_dir,
+            shutting_down: AtomicBool::new(false),
+            instances: Mutex::new(BTreeMap::new()),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(1),
+            registry: Mutex::new(BTreeMap::new()),
+            done: (Mutex::new(false), Condvar::new()),
+        });
+        restore_instances(&inner)?;
+
+        let accept_inner = Arc::clone(&inner);
+        let accept = thread::Builder::new()
+            .name("mbsp-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner))
+            .expect("spawn accept thread");
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral `:0` listen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Triggers a graceful shutdown: drains every session queue, writes final
+    /// checkpoints, stops accepting. Returns immediately; [`Server::join`]
+    /// waits for completion.
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Waits until the daemon has fully shut down (all sessions
+    /// checkpointed, accept loop exited).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let (lock, cvar) = &self.inner.done;
+        let mut done = lock.lock().unwrap();
+        while !*done {
+            done = cvar.wait(done).unwrap();
+        }
+    }
+}
+
+fn restore_instances(inner: &Arc<ServerInner>) -> std::io::Result<()> {
+    let path = inner.state_dir.join(REGISTRY_FILE);
+    if !path.exists() {
+        return Ok(());
+    }
+    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let registry = ServiceRegistry::decode(&std::fs::read(&path)?)
+        .map_err(|e| invalid(format!("corrupt registry {}: {e}", path.display())))?;
+    for entry in registry.entries {
+        let session_path = inner.state_dir.join(&entry.session_file);
+        let blob = std::fs::read(&session_path)?;
+        let session = IncrementalScheduler::restore(&blob)
+            .map_err(|e| invalid(format!("corrupt session {}: {e}", session_path.display())))?
+            .with_pool(inner.pool.clone());
+        inner
+            .registry
+            .lock()
+            .unwrap()
+            .insert(entry.name.clone(), (entry.session_file, entry.generation));
+        spawn_instance(
+            inner,
+            InstanceState {
+                name: entry.name,
+                session,
+                generation: entry.generation,
+                last_cost: None,
+            },
+        );
+    }
+    Ok(())
+}
+
+fn spawn_instance(inner: &Arc<ServerInner>, state: InstanceState) {
+    let queue = Arc::new(AdmissionQueue::new());
+    let worker_queue = Arc::clone(&queue);
+    let worker_inner = Arc::clone(inner);
+    let name = state.name.clone();
+    let worker = thread::Builder::new()
+        .name(format!("mbsp-serve-{name}"))
+        .spawn(move || instance_worker(state, worker_queue, worker_inner))
+        .expect("spawn session worker");
+    inner
+        .instances
+        .lock()
+        .unwrap()
+        .insert(name, InstanceHandle { queue, worker });
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<ServerInner>) {
+    for stream in listener.incoming() {
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_inner = Arc::clone(&inner);
+        let _ = thread::Builder::new()
+            .name("mbsp-serve-conn".into())
+            .spawn(move || connection_loop(stream, conn_inner));
+    }
+    drop(listener);
+    // Join every session worker; each wrote its final checkpoint on exit.
+    let handles: Vec<InstanceHandle> = {
+        let mut instances = inner.instances.lock().unwrap();
+        std::mem::take(&mut *instances).into_values().collect()
+    };
+    for handle in handles {
+        handle.queue.close();
+        let _ = handle.worker.join();
+    }
+    let (lock, cvar) = &inner.done;
+    *lock.lock().unwrap() = true;
+    cvar.notify_all();
+}
+
+fn connection_loop(stream: TcpStream, inner: Arc<ServerInner>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let out = LineWriter::new(stream);
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request(&line) {
+            Err((id, reject)) => out.send_reject(id, None, &reject),
+            Ok((id, request)) => dispatch(&inner, &out, id, request),
+        }
+    }
+}
+
+fn dispatch(inner: &Arc<ServerInner>, out: &LineWriter, id: Option<u64>, request: Request) {
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        out.send_reject(
+            id,
+            None,
+            &Reject::new(protocol::E_SHUTTING_DOWN, "daemon is shutting down"),
+        );
+        return;
+    }
+    match request {
+        Request::Register(req) => handle_register(inner, out, id, *req),
+        Request::Schedule(req) => {
+            let instance = req.instance.clone();
+            enqueue(inner, out, id, &instance, JobKind::Schedule(req));
+        }
+        Request::Repair(req) => {
+            let instance = req.instance.clone();
+            enqueue(inner, out, id, &instance, JobKind::Repair(req));
+        }
+        Request::Mutate(req) => {
+            let instance = req.instance.clone();
+            enqueue(inner, out, id, &instance, JobKind::Mutate(req));
+        }
+        Request::Status {
+            instance: Some(name),
+        } => {
+            enqueue(inner, out, id, &name, JobKind::Status);
+        }
+        Request::Status { instance: None } => handle_server_status(inner, out, id),
+        Request::Cancel { job } => {
+            let token = inner.jobs.lock().unwrap().get(&job).cloned();
+            match token {
+                Some(token) => {
+                    token.cancel();
+                    out.send(
+                        JsonWriter::new()
+                            .id(id)
+                            .bool("ok", true)
+                            .str("event", "cancelled")
+                            .u64("job", job)
+                            .build(),
+                    );
+                }
+                None => out.send_reject(
+                    id,
+                    Some(job),
+                    &Reject::new(
+                        protocol::E_UNKNOWN_JOB,
+                        format!("job {job} is unknown or already finished"),
+                    ),
+                ),
+            }
+        }
+        Request::Shutdown => {
+            out.send(
+                JsonWriter::new()
+                    .id(id)
+                    .bool("ok", true)
+                    .str("event", "shutting_down")
+                    .build(),
+            );
+            inner.begin_shutdown();
+        }
+    }
+}
+
+fn handle_register(
+    inner: &Arc<ServerInner>,
+    out: &LineWriter,
+    id: Option<u64>,
+    req: RegisterRequest,
+) {
+    if inner.instances.lock().unwrap().contains_key(&req.instance) {
+        out.send_reject(
+            id,
+            None,
+            &Reject::new(
+                protocol::E_DUPLICATE_INSTANCE,
+                format!("instance {:?} already exists", req.instance),
+            ),
+        );
+        return;
+    }
+    let dag = match &req.source {
+        DagSource::Uploaded(dag) => dag.clone(),
+        DagSource::Family(spec) => spec.generate(&req.instance),
+    };
+    if dag.num_nodes() == 0 {
+        out.send_reject(
+            id,
+            None,
+            &Reject::new(protocol::E_BAD_DAG, "the DAG has no nodes"),
+        );
+        return;
+    }
+    let arch = match req.cache {
+        CacheSpec::Size(size) => Architecture::new(req.processors, size, req.g, req.latency),
+        CacheSpec::Factor(factor) => {
+            let base = Architecture::new(req.processors, 0.0, req.g, req.latency);
+            *MbspInstance::with_cache_factor(dag.clone(), base, factor).arch()
+        }
+    };
+    // Seed the warm session's incumbent from the deterministic greedy BSP
+    // baseline — the same seed a direct library run starts from.
+    let baseline = GreedyBspScheduler::new().schedule(&dag, &arch);
+    let procs = dag.nodes().map(|v| baseline.schedule.proc_of(v)).collect();
+    let config = RepairConfig {
+        search: req.search,
+        cone_radius: req.cone_radius,
+    };
+    let session = IncrementalScheduler::new(dag, arch, procs, config).with_pool(inner.pool.clone());
+    let state = InstanceState {
+        name: req.instance.clone(),
+        session,
+        generation: 1,
+        last_cost: None,
+    };
+    let (nodes, edges) = (
+        state.session.dag().num_nodes(),
+        state.session.dag().num_edges(),
+    );
+    inner.checkpoint_instance(&state);
+    spawn_instance(inner, state);
+    out.send(
+        JsonWriter::new()
+            .id(id)
+            .bool("ok", true)
+            .str("event", "registered")
+            .str("instance", &req.instance)
+            .u64("nodes", nodes as u64)
+            .u64("edges", edges as u64)
+            .u64("processors", arch.processors as u64)
+            .f64("cache_size", arch.cache_size)
+            .build(),
+    );
+}
+
+fn handle_server_status(inner: &Arc<ServerInner>, out: &LineWriter, id: Option<u64>) {
+    let instances: Vec<Value> = inner
+        .registry
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, (file, generation))| {
+            JsonWriter::new()
+                .str("name", name)
+                .str("session_file", file)
+                .u64("generation", *generation)
+                .build()
+        })
+        .collect();
+    let active = inner.jobs.lock().unwrap().len();
+    out.send(
+        JsonWriter::new()
+            .id(id)
+            .bool("ok", true)
+            .str("event", "status")
+            .value("instances", Value::Seq(instances))
+            .u64("active_jobs", active as u64)
+            .build(),
+    );
+}
+
+/// Stamps a job id, sends the `accepted` frame and admits the job to the
+/// instance's queue. The `accepted` frame always precedes every other frame
+/// of the job (the session worker emits through the same line-locked writer).
+fn enqueue(
+    inner: &Arc<ServerInner>,
+    out: &LineWriter,
+    id: Option<u64>,
+    instance: &str,
+    kind: JobKind,
+) {
+    let queue = {
+        let instances = inner.instances.lock().unwrap();
+        match instances.get(instance) {
+            Some(handle) => Arc::clone(&handle.queue),
+            None => {
+                out.send_reject(
+                    id,
+                    None,
+                    &Reject::new(
+                        protocol::E_UNKNOWN_INSTANCE,
+                        format!("instance {instance:?} is not registered"),
+                    ),
+                );
+                return;
+            }
+        }
+    };
+    let job_id = inner.next_job.fetch_add(1, Ordering::SeqCst);
+    let cancel = CancelToken::default();
+    inner.jobs.lock().unwrap().insert(job_id, cancel.clone());
+    out.send(
+        JsonWriter::new()
+            .id(id)
+            .bool("ok", true)
+            .str("event", "accepted")
+            .u64("job", job_id)
+            .str("instance", instance)
+            .build(),
+    );
+    let job = Job {
+        id,
+        job_id,
+        cancel,
+        out: out.clone(),
+        kind,
+    };
+    if queue.admit(job).is_err() {
+        inner.jobs.lock().unwrap().remove(&job_id);
+        out.send_reject(
+            id,
+            Some(job_id),
+            &Reject::new(protocol::E_SHUTTING_DOWN, "daemon is shutting down"),
+        );
+    }
+}
+
+fn instance_worker(
+    mut state: InstanceState,
+    queue: Arc<AdmissionQueue<Job>>,
+    inner: Arc<ServerInner>,
+) {
+    while let Some((_ticket, job)) = queue.next() {
+        let job_id = job.job_id;
+        execute(&mut state, job, &inner);
+        inner.jobs.lock().unwrap().remove(&job_id);
+    }
+    // Queue closed: graceful shutdown. Persist the final session state.
+    inner.checkpoint_instance(&state);
+}
+
+fn execute(state: &mut InstanceState, job: Job, inner: &ServerInner) {
+    match job.kind {
+        JobKind::Schedule(ref req) => {
+            let req = req.clone();
+            run_schedule(state, &job, req, inner);
+        }
+        JobKind::Repair(ref req) => {
+            let req = req.clone();
+            run_repair(state, &job, req, inner);
+        }
+        JobKind::Mutate(ref req) => {
+            let req = req.clone();
+            run_mutate(state, &job, req, inner);
+        }
+        JobKind::Status => {
+            job.out.send(
+                instance_status_frame(state)
+                    .id(job.id)
+                    .u64("job", job.job_id)
+                    .build(),
+            );
+        }
+    }
+}
+
+fn instance_status_frame(state: &InstanceState) -> JsonWriter {
+    let mut w = JsonWriter::new()
+        .bool("ok", true)
+        .str("event", "status")
+        .str("instance", &state.name)
+        .u64("nodes", state.session.dag().num_nodes() as u64)
+        .u64("edges", state.session.dag().num_edges() as u64)
+        .u64("pending", state.session.num_pending() as u64)
+        .u64("generation", state.generation);
+    if let Some(cost) = state.last_cost {
+        w = w.f64("last_cost", cost);
+    }
+    w
+}
+
+fn stop_reason_str(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::Completed => "completed",
+        StopReason::DeadlineExpired => "deadline",
+        StopReason::Cancelled => "cancelled",
+    }
+}
+
+fn run_schedule(state: &mut InstanceState, job: &Job, req: ScheduleRequest, inner: &ServerInner) {
+    let dag = state.session.dag().clone();
+    let arch = *state.session.arch();
+    let mut config = state.session.config().search;
+    req.overrides.apply(&mut config);
+
+    // Identical to a direct library run at the same budget: greedy baseline,
+    // then the sharded search seeded from it.
+    let baseline = GreedyBspScheduler::new().schedule(&dag, &arch);
+    let instance = MbspInstance::new(dag.clone(), arch);
+    let mut scheduler = ShardedHolisticScheduler::with_config(config)
+        .with_pool(inner.pool.clone())
+        .with_cancel(&job.cancel);
+    if req.stream {
+        let out = job.out.clone();
+        let job_id = job.job_id;
+        let observer: IncumbentObserver = Arc::new(move |update: &IncumbentUpdate| {
+            out.send(
+                JsonWriter::new()
+                    .u64("job", job_id)
+                    .str("event", "incumbent")
+                    .u64("sequence", update.sequence)
+                    .u64("iteration", update.iteration as u64)
+                    .f64("cost", update.cost)
+                    .u64("evaluations", update.evaluations)
+                    .build(),
+            );
+        });
+        scheduler = scheduler.with_observer(observer);
+    }
+    let (schedule, stats, procs) = scheduler.schedule_with_assignment(&instance, &baseline);
+
+    // Fold the winning incumbent back into the warm session so subsequent
+    // mutations repair from what this run found.
+    let config = *state.session.config();
+    state.session =
+        IncrementalScheduler::new(dag, arch, procs, config).with_pool(inner.pool.clone());
+    state.last_cost = Some(stats.final_cost);
+
+    let mut frame = JsonWriter::new()
+        .id(job.id)
+        .u64("job", job.job_id)
+        .bool("ok", true)
+        .str("event", "done")
+        .f64("cost", stats.final_cost)
+        .str("stop_reason", stop_reason_str(stats.stop_reason))
+        .u64("iterations", stats.iterations as u64)
+        .u64("evaluations", stats.evaluations);
+    if req.return_schedule {
+        frame = frame.value("schedule", schedule.to_value());
+    }
+    job.out.send(frame.build());
+}
+
+fn run_repair(state: &mut InstanceState, job: &Job, req: RepairRequest, inner: &ServerInner) {
+    let saved = *state.session.config();
+    req.overrides.apply(&mut state.session.config_mut().search);
+    state.session.set_cancel(Some(&job.cancel));
+    let (schedule, stats) = state.session.repair();
+    state.session.set_cancel(None);
+    *state.session.config_mut() = saved;
+    state.last_cost = Some(stats.final_cost);
+    // The repair moved the incumbent: persist it so a restart resumes from
+    // the repaired state, not the pre-repair checkpoint.
+    state.generation += 1;
+    inner.checkpoint_instance(state);
+
+    let mut frame = JsonWriter::new()
+        .id(job.id)
+        .u64("job", job.job_id)
+        .bool("ok", true)
+        .str("event", "done")
+        .f64("cost", stats.final_cost)
+        .f64("incumbent_cost", stats.incumbent_cost)
+        .str("stop_reason", stop_reason_str(stats.stop_reason))
+        .u64("pending_nodes", stats.pending_nodes as u64)
+        .u64("dirty_shards", stats.dirty_shards as u64)
+        .u64("evaluations", stats.evaluations);
+    if req.return_schedule {
+        frame = frame.value("schedule", schedule.to_value());
+    }
+    job.out.send(frame.build());
+}
+
+fn run_mutate(state: &mut InstanceState, job: &Job, req: MutateRequest, inner: &ServerInner) {
+    let mut applied = 0u64;
+    for (i, delta) in req.deltas.iter().enumerate() {
+        if let Err(e) = state.session.apply(delta) {
+            // The applied prefix stays applied (and is checkpointed below);
+            // the client learns exactly how far the batch got.
+            state.generation += 1;
+            inner.checkpoint_instance(state);
+            job.out.send_reject(
+                job.id,
+                Some(job.job_id),
+                &Reject::new(
+                    protocol::E_BAD_DELTA,
+                    format!("delta {i} rejected after {applied} applied: {e}"),
+                ),
+            );
+            return;
+        }
+        applied += 1;
+    }
+    state.generation += 1;
+    inner.checkpoint_instance(state);
+    job.out.send(
+        JsonWriter::new()
+            .id(job.id)
+            .u64("job", job.job_id)
+            .bool("ok", true)
+            .str("event", "done")
+            .u64("applied", applied)
+            .u64("nodes", state.session.dag().num_nodes() as u64)
+            .u64("edges", state.session.dag().num_edges() as u64)
+            .u64("pending", state.session.num_pending() as u64)
+            .u64("generation", state.generation)
+            .build(),
+    );
+}

@@ -34,7 +34,8 @@ bench-compile:
 # DAG-substrate comparison into BENCH_dag.json, the sharded-search
 # comparison into BENCH_shard.json, the incremental-repair comparison
 # into BENCH_delta.json, the worker-pool/kernel/merge comparison into
-# BENCH_pool.json and the checkpoint-codec baseline into BENCH_io.json.
+# BENCH_pool.json, the checkpoint-codec baseline into BENCH_io.json and the
+# serving baseline into BENCH_serve.json.
 bench-json:
     cargo run --release -p mbsp_bench --bin bench_solver
     cargo run --release -p mbsp_bench --bin bench_improver
@@ -43,8 +44,9 @@ bench-json:
     cargo run --release -p mbsp_bench --bin bench_delta
     cargo run --release -p mbsp_bench --bin bench_pool
     cargo run --release -p mbsp_bench --bin bench_io
+    cargo run --release -p mbsp_bench --bin bench_serve
 
-# The seven CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
+# The eight CI benchmark smokes (quick mode, writing BENCH_*_quick.json).
 smokes:
     MBSP_BENCH_SOLVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_solver
     MBSP_BENCH_IMPROVER_QUICK=1 cargo run --release -p mbsp_bench --bin bench_improver
@@ -53,11 +55,18 @@ smokes:
     MBSP_BENCH_DELTA_QUICK=1 cargo run --release -p mbsp_bench --bin bench_delta
     MBSP_BENCH_POOL_QUICK=1 cargo run --release -p mbsp_bench --bin bench_pool
     MBSP_BENCH_IO_QUICK=1 cargo run --release -p mbsp_bench --bin bench_io
+    MBSP_BENCH_SERVE_QUICK=1 cargo run --release -p mbsp_bench --bin bench_serve
 
 # The bench-regression gate over the BENCH_*_quick.json smoke outputs.
 bench-check:
     cargo run --release -p mbsp_bench --bin bench_check
 
+# The serving smoke: boot a real mbsp_serve daemon, drive a scripted client
+# session, restart on the same state dir and assert the checkpoint restored.
+serve-smoke:
+    sh scripts/serve_smoke.sh
+
 # Everything CI checks, in CI's order (build, test, doc, fmt, clippy, the
-# seven bench smokes, the criterion compile gate, the bench-regression gate).
-ci: build test doc fmt lint smokes bench-compile bench-check
+# eight bench smokes, the criterion compile gate, the bench-regression gate,
+# the serving smoke).
+ci: build test doc fmt lint smokes bench-compile bench-check serve-smoke

@@ -1,0 +1,126 @@
+#!/bin/sh
+# The CI serving smoke: boots a real mbsp_serve daemon on an ephemeral port,
+# drives a scripted client session (register / schedule with streamed
+# incumbents / mutate / graceful shutdown), then restarts the daemon on the
+# same state directory and asserts the checkpointed session restored — the
+# pending set survived and a repair completes. Exits non-zero on any failed
+# step. Run via `make serve-smoke` / `just serve-smoke`.
+set -eu
+
+cargo build --release -q -p mbsp_serve
+
+STATE=$(mktemp -d)
+BIN=target/release/mbsp_serve
+trap 'kill $DAEMON_PID 2>/dev/null || true; rm -rf "$STATE"' EXIT
+
+wait_addr() {
+    i=0
+    while [ ! -s "$STATE/addr" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "serve_smoke: daemon never bound" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+"$BIN" --listen 127.0.0.1:0 --state-dir "$STATE" --addr-file "$STATE/addr" &
+DAEMON_PID=$!
+wait_addr
+
+python3 - "$(cat "$STATE/addr")" "$STATE/pending" <<'EOF'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=60)
+rfile = sock.makefile("r")
+
+def send(obj):
+    sock.sendall((json.dumps(obj) + "\n").encode())
+
+def recv():
+    frame = json.loads(rfile.readline())
+    print("<<", json.dumps(frame))
+    return frame
+
+def recv_done():
+    while True:
+        frame = recv()
+        if frame.get("event") == "done":
+            return frame
+
+send({"id": 1, "op": "register", "instance": "smoke",
+      "family": {"kind": "cg", "n": 4, "k": 2},
+      "processors": 4, "cache_factor": 3.0,
+      "num_shards": 4, "seed": 11, "max_rounds": 5,
+      "moves_per_round": 6, "iterations": 1})
+assert recv()["event"] == "registered", "register failed"
+
+send({"id": 2, "op": "schedule", "instance": "smoke", "stream": True})
+done = recv_done()
+assert done["ok"] and done["stop_reason"] == "completed", done
+
+send({"id": 3, "op": "mutate", "instance": "smoke", "deltas": [
+    {"add_node": {"compute": 2.0, "memory": 1.0}},
+    {"add_edge": {"from": 0, "to": 252}}]})
+done = recv_done()
+assert done["ok"] and done["applied"] == 2, done
+
+send({"id": 4, "op": "status", "instance": "smoke"})
+while True:
+    frame = recv()
+    if frame.get("event") == "status" and "pending" in frame:
+        with open(sys.argv[2], "w") as f:
+            f.write(str(frame["pending"]))
+        break
+
+send({"id": 5, "op": "shutdown"})
+assert recv()["event"] == "shutting_down"
+EOF
+
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "serve_smoke: first daemon shut down cleanly"
+
+rm -f "$STATE/addr"
+"$BIN" --listen 127.0.0.1:0 --state-dir "$STATE" --addr-file "$STATE/addr" &
+DAEMON_PID=$!
+wait_addr
+
+python3 - "$(cat "$STATE/addr")" "$STATE/pending" <<'EOF'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=60)
+rfile = sock.makefile("r")
+
+def send(obj):
+    sock.sendall((json.dumps(obj) + "\n").encode())
+
+def recv():
+    frame = json.loads(rfile.readline())
+    print("<<", json.dumps(frame))
+    return frame
+
+expected_pending = int(open(sys.argv[2]).read())
+
+send({"id": 1, "op": "status", "instance": "smoke"})
+while True:
+    frame = recv()
+    if frame.get("event") == "status" and "pending" in frame:
+        assert frame["pending"] == expected_pending, (
+            f"restart lost pending set: {frame['pending']} != {expected_pending}")
+        break
+
+send({"id": 2, "op": "repair", "instance": "smoke"})
+while True:
+    frame = recv()
+    if frame.get("event") == "done":
+        assert frame["ok"] and frame["stop_reason"] == "completed", frame
+        break
+
+send({"id": 3, "op": "shutdown"})
+assert recv()["event"] == "shutting_down"
+EOF
+
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "serve_smoke: restart restored the checkpointed session — PASS"

@@ -23,7 +23,15 @@
 //!   reasons;
 //! * [`io`] — the versioned, checksummed binary codec behind those
 //!   checkpoints (DAGs, schedules, orders, sessions; every corruption decodes
-//!   to a typed [`io::DecodeError`]).
+//!   to a typed [`io::DecodeError`]);
+//! * [`serve`] — the long-lived scheduling daemon: warm engine sessions over
+//!   a newline-delimited JSON line protocol ([`serve::Server`]), with
+//!   deterministic request batching, streamed anytime incumbents and
+//!   checkpoint-backed restarts (spec: `docs/PROTOCOL.md`).
+//!
+//! A top-down tour of how these crates fit together — including the
+//! oracle/differential testing convention and the determinism contract every
+//! optimisation is held to — lives in `docs/ARCHITECTURE.md`.
 //!
 //! ## Quick start
 //!
@@ -73,6 +81,7 @@ pub use mbsp_ilp as ilp;
 pub use mbsp_io as io;
 pub use mbsp_model as model;
 pub use mbsp_sched as sched;
+pub use mbsp_serve as serve;
 
 /// Commonly used items, re-exported for convenient glob imports.
 pub mod prelude {

@@ -79,6 +79,22 @@ pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Valu
     entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
+// `Value` is its own serialized form: the identity impls let callers parse a
+// document into the generic model first (`from_str::<Value>`) and walk it by
+// hand — the door to schema-tolerant decoding (optional fields, unions) that
+// the strict derive layer does not provide.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// A (de)serialization error.
 #[derive(Debug, Clone)]
 pub struct Error(String);
